@@ -1,0 +1,41 @@
+package convexcache
+
+import (
+	"math/rand"
+	"testing"
+
+	"convexcache/internal/bufferpool"
+	"convexcache/internal/core"
+	"convexcache/internal/costfn"
+	"convexcache/internal/trace"
+)
+
+// benchPool measures single-threaded Get/Release throughput of the buffer
+// pool with either replacer.
+func benchPool(b *testing.B, convex bool, costs []costfn.Func) {
+	b.Helper()
+	var rep bufferpool.Replacer
+	if convex {
+		rep = bufferpool.NewConvexReplacer(core.Options{Costs: costs, CountMisses: true})
+	} else {
+		rep = bufferpool.NewLRUReplacer()
+	}
+	disk := &bufferpool.Disk{}
+	pool, err := bufferpool.New(disk, len(costs), bufferpool.Config{Frames: 512, Replacer: rep})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	buf := make([]byte, bufferpool.PageSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tn := trace.Tenant(rng.Intn(len(costs)))
+		pg := trace.PageID(int64(tn)*1_000_000 + rng.Int63n(2048))
+		if err := pool.Get(tn, pg, buf); err != nil {
+			b.Fatal(err)
+		}
+		if err := pool.Release(pg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package convexcache
+
+import (
+	"fmt"
+	"testing"
+
+	"convexcache/internal/analysis"
+	"convexcache/internal/core"
+	"convexcache/internal/costfn"
+	"convexcache/internal/cp"
+	"convexcache/internal/experiments"
+	"convexcache/internal/offline"
+	"convexcache/internal/policy"
+	"convexcache/internal/sim"
+	"convexcache/internal/stats"
+	"convexcache/internal/trace"
+	"convexcache/internal/workload"
+)
+
+// benchExperiment runs one experiment table per benchmark iteration; the
+// reported ns/op is the cost of regenerating that table end to end.
+func benchExperiment(b *testing.B, run func(quick bool) (*stats.Table, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		tb, err := run(true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if tb.NumRows() == 0 {
+			b.Fatal("experiment produced no rows")
+		}
+	}
+}
+
+// One bench per experiment id (DESIGN.md section 3).
+
+func BenchmarkExpTheorem11(b *testing.B)   { benchExperiment(b, experiments.Theorem11) }
+func BenchmarkExpCorollary12(b *testing.B) { benchExperiment(b, experiments.Corollary12) }
+func BenchmarkExpBiCriteria(b *testing.B)  { benchExperiment(b, experiments.BiCriteria) }
+func BenchmarkExpLowerBound(b *testing.B)  { benchExperiment(b, experiments.LowerBound) }
+func BenchmarkExpRatioVsK(b *testing.B)    { benchExperiment(b, experiments.RatioVsK) }
+func BenchmarkExpSLA(b *testing.B)         { benchExperiment(b, experiments.SLAComparison) }
+func BenchmarkExpDualBound(b *testing.B)   { benchExperiment(b, experiments.DualBound) }
+func BenchmarkExpPhases(b *testing.B)      { benchExperiment(b, experiments.Phases) }
+func BenchmarkExpAblation(b *testing.B)    { benchExperiment(b, experiments.Ablation) }
+func BenchmarkBufferPool(b *testing.B)     { benchExperiment(b, experiments.BufferPool) }
+func BenchmarkExpMultiPool(b *testing.B)   { benchExperiment(b, experiments.MultiPool) }
+func BenchmarkExpStaticVsDyn(b *testing.B) { benchExperiment(b, experiments.StaticVsDynamic) }
+func BenchmarkExpFractional(b *testing.B)  { benchExperiment(b, experiments.Fractional) }
+func BenchmarkExpLPCert(b *testing.B)      { benchExperiment(b, experiments.LPCertificate) }
+func BenchmarkExpRobustness(b *testing.B)  { benchExperiment(b, experiments.Robustness) }
+func BenchmarkExpAlpha(b *testing.B)       { benchExperiment(b, experiments.AlphaSensitivity) }
+func BenchmarkExpHierarchy(b *testing.B)   { benchExperiment(b, experiments.Hierarchy) }
+func BenchmarkExpLookahead(b *testing.B)   { benchExperiment(b, experiments.Lookahead) }
+func BenchmarkExpFracConvex(b *testing.B)  { benchExperiment(b, experiments.FractionalConvex) }
+
+// E10: raw policy throughput — requests served per second on a large
+// multi-tenant Zipf mix for each implementation and cache size.
+
+func benchTrace(b *testing.B, tenants int, pagesPer int64, length int) *trace.Trace {
+	b.Helper()
+	streams := make([]workload.TenantStream, tenants)
+	for i := range streams {
+		z, err := workload.NewZipf(int64(i+1), pagesPer, 0.9)
+		if err != nil {
+			b.Fatal(err)
+		}
+		streams[i] = workload.TenantStream{Tenant: trace.Tenant(i), Stream: z, Rate: 1}
+	}
+	tr, err := workload.Mix(42, streams, length)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tr
+}
+
+func benchCosts(tenants int) []costfn.Func {
+	costs := make([]costfn.Func, tenants)
+	for i := range costs {
+		if i%2 == 0 {
+			costs[i] = costfn.Monomial{C: 1, Beta: 2}
+		} else {
+			costs[i] = costfn.Linear{W: float64(i + 1)}
+		}
+	}
+	return costs
+}
+
+func benchPolicyThroughput(b *testing.B, mk func() sim.Policy, k int) {
+	tr := benchTrace(b, 4, 4096, 200_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := mk()
+		if _, err := sim.Run(tr, p, sim.Config{K: k}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(0)
+	b.ReportMetric(float64(tr.Len()*b.N)/b.Elapsed().Seconds(), "req/s")
+}
+
+func BenchmarkCoreThroughput(b *testing.B) {
+	for _, k := range []int{256, 4096, 65536} {
+		costs := benchCosts(4)
+		b.Run(fmt.Sprintf("fast/k=%d", k), func(b *testing.B) {
+			benchPolicyThroughput(b, func() sim.Policy { return core.NewFast(core.Options{Costs: costs}) }, k)
+		})
+		if k <= 256 {
+			// The reference implementation is O(cache) per eviction; only
+			// the smallest size is tractable at benchmark scale.
+			b.Run(fmt.Sprintf("discrete/k=%d", k), func(b *testing.B) {
+				benchPolicyThroughput(b, func() sim.Policy { return core.NewDiscrete(core.Options{Costs: costs}) }, k)
+			})
+		}
+		b.Run(fmt.Sprintf("lru/k=%d", k), func(b *testing.B) {
+			benchPolicyThroughput(b, func() sim.Policy { return policy.NewLRU() }, k)
+		})
+		b.Run(fmt.Sprintf("greedy-dual/k=%d", k), func(b *testing.B) {
+			benchPolicyThroughput(b, func() sim.Policy { return policy.NewGreedyDual([]float64{1, 2, 3, 4}) }, k)
+		})
+	}
+}
+
+// Micro-benchmarks of the algorithm's building blocks.
+
+func BenchmarkMarginalEvaluation(b *testing.B) {
+	opt := core.Options{Costs: benchCosts(8)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opt.Marginal(trace.Tenant(i%8), float64(i%1000))
+	}
+}
+
+func BenchmarkMattson(b *testing.B) {
+	tr := benchTrace(b, 2, 8192, 100_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := analysis.Mattson(tr, 4096); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(tr.Len()*b.N)/b.Elapsed().Seconds(), "req/s")
+}
+
+func BenchmarkExactOPT(b *testing.B) {
+	tr := benchTrace(b, 2, 5, 40)
+	costs := benchCosts(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := offline.Exact(tr, 3, costs, offline.Limits{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Optimal {
+			b.Fatal("not solved")
+		}
+	}
+}
+
+func BenchmarkCPDual(b *testing.B) {
+	tr := benchTrace(b, 2, 5, 60)
+	costs := benchCosts(2)
+	in, err := cp.Build(tr, 3, costs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in.SolveDual(100, 1)
+	}
+}
+
+func BenchmarkZipfSampling(b *testing.B) {
+	z, err := workload.NewZipf(1, 1<<20, 1.0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		z.Next()
+	}
+}
+
+func BenchmarkBufferPoolGetRelease(b *testing.B) {
+	costs := benchCosts(2)
+	b.Run("convex", func(b *testing.B) { benchPool(b, true, costs) })
+	b.Run("lru", func(b *testing.B) { benchPool(b, false, costs) })
+}

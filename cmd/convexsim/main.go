@@ -1,0 +1,160 @@
+// Command convexsim replays a trace through one or more eviction policies
+// and reports per-tenant misses and convex costs.
+//
+// Cost functions are given per tenant with repeated -cost flags using the
+// costfn.Parse syntax (e.g. -cost monomial:1,2 -cost linear:3). Tenants
+// beyond the provided list default to linear:1.
+//
+// Usage:
+//
+//	convexsim -trace t.txt -k 64 -policy alg,lru,greedy-dual \
+//	          -cost monomial:1,2 -cost linear:1
+//
+// "alg" is the paper's algorithm (Fast implementation); the remaining names
+// come from internal/policy (lru, fifo, lfu, random, marking, lru2,
+// greedy-dual, static-partition, belady, belady-cost).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"convexcache/internal/core"
+	"convexcache/internal/costfn"
+	"convexcache/internal/policy"
+	"convexcache/internal/sim"
+	"convexcache/internal/stats"
+	"convexcache/internal/trace"
+)
+
+type costFlags []string
+
+func (c *costFlags) String() string { return strings.Join(*c, ";") }
+func (c *costFlags) Set(v string) error {
+	*c = append(*c, v)
+	return nil
+}
+
+func main() {
+	tracePath := flag.String("trace", "", "trace file (text format); '-' for stdin")
+	k := flag.Int("k", 64, "cache size in pages")
+	policies := flag.String("policy", "alg,lru", "comma-separated policy list")
+	var costSpecs costFlags
+	flag.Var(&costSpecs, "cost", "per-tenant cost function spec (repeatable)")
+	seed := flag.Int64("seed", 1, "seed for randomized policies")
+	discreteDeriv := flag.Bool("discrete-deriv", false, "use finite differences in the algorithm (arbitrary cost functions)")
+	countMisses := flag.Bool("count-misses", false, "drive the algorithm by fetch counts instead of eviction counts")
+	flush := flag.Bool("flush", false, "append the paper's dummy-tenant flush so eviction counts equal miss counts")
+	metrics := flag.Bool("metrics", false, "print eviction-age and occupancy metrics per policy")
+	blockCSV := flag.Bool("block-csv", false, "parse the trace as MSR-style block-I/O CSV instead of the native formats")
+	pageBytes := flag.Int64("page-bytes", 4096, "page size for -block-csv")
+	flag.Parse()
+
+	if *tracePath == "" {
+		fatal(fmt.Errorf("-trace is required"))
+	}
+	var in *os.File
+	if *tracePath == "-" {
+		in = os.Stdin
+	} else {
+		f, err := os.Open(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	var tr *trace.Trace
+	var err error
+	if *blockCSV {
+		tr, err = trace.ReadBlockCSV(in, trace.CSVOptions{PageBytes: *pageBytes})
+	} else {
+		tr, err = trace.ReadAuto(in)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	realTenants := tr.NumTenants()
+	if *flush {
+		flushed, dummy, err := trace.WithFlush(tr, *k)
+		if err != nil {
+			fatal(err)
+		}
+		tr = flushed
+		_ = dummy
+	}
+	costs := make([]costfn.Func, tr.NumTenants())
+	for i := range costs {
+		switch {
+		case i < len(costSpecs):
+			f, err := costfn.Parse(costSpecs[i])
+			if err != nil {
+				fatal(err)
+			}
+			costs[i] = f
+		case i >= realTenants:
+			costs[i] = core.FlushCost() // dummy flush tenant
+		default:
+			costs[i] = costfn.Linear{W: 1}
+		}
+	}
+	opt := core.Options{Costs: costs, UseDiscreteDeriv: *discreteDeriv, CountMisses: *countMisses}
+	spec := policy.Spec{K: *k, Tenants: tr.NumTenants(), Costs: costs, Seed: *seed}
+
+	tb := stats.NewTable(fmt.Sprintf("convexsim: T=%d tenants=%d k=%d", tr.Len(), tr.NumTenants(), *k),
+		"policy", "hits", "misses", "evictions", "total cost", "per-tenant misses")
+	for _, name := range strings.Split(*policies, ",") {
+		name = strings.TrimSpace(name)
+		var p sim.Policy
+		if name == "alg" {
+			p = core.NewFast(opt)
+		} else {
+			var err error
+			p, err = policy.New(name, spec)
+			if err != nil {
+				fatal(err)
+			}
+		}
+		var collector *sim.Collector
+		cfg := sim.Config{K: *k}
+		if *metrics {
+			collector = sim.NewCollector(tr.NumTenants(), max(tr.Len()/20, 1))
+			cfg.Observer = collector.Observe
+		}
+		res, err := sim.Run(tr, p, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		if collector != nil {
+			if ages, err := collector.EvictionAges(); err == nil {
+				fmt.Printf("%s: eviction age mean=%.1f median=%.1f max=%.0f; occupancy=%v\n",
+					name, ages.Mean, ages.Median, ages.Max, fmtShares(collector.AvgOccupancy()))
+			}
+		}
+		perTenant := make([]string, len(res.Misses))
+		for i, m := range res.Misses {
+			perTenant[i] = fmt.Sprintf("%d", m)
+		}
+		tb.AddRow(name, res.Hits, res.TotalMisses(), res.TotalEvictions(),
+			res.Cost(costs[:realTenants]), strings.Join(perTenant, "/"))
+	}
+	if err := tb.WriteMarkdown(os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
+// fmtShares renders occupancy fractions compactly.
+func fmtShares(xs []float64) string {
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = fmt.Sprintf("%.2f", x)
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "convexsim:", err)
+	os.Exit(1)
+}

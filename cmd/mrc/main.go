@@ -1,0 +1,116 @@
+// Command mrc computes exact LRU miss-ratio curves from a trace using
+// Mattson's stack-distance algorithm, per tenant and combined, and can also
+// report the optimal static partition for a given cache size and cost
+// specs.
+//
+// Usage:
+//
+//	mrc -trace t.txt -max 256
+//	mrc -trace t.txt -max 256 -k 64 -cost monomial:1,2 -cost linear:1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"convexcache/internal/analysis"
+	"convexcache/internal/costfn"
+	"convexcache/internal/stats"
+	"convexcache/internal/trace"
+)
+
+type costFlags []string
+
+func (c *costFlags) String() string { return strings.Join(*c, ";") }
+func (c *costFlags) Set(v string) error {
+	*c = append(*c, v)
+	return nil
+}
+
+func main() {
+	tracePath := flag.String("trace", "", "trace file (text format); '-' for stdin")
+	maxSize := flag.Int("max", 128, "largest cache size to evaluate")
+	points := flag.Int("points", 16, "number of curve points to print")
+	k := flag.Int("k", 0, "when > 0, also compute the optimal static partition for this budget")
+	var costSpecs costFlags
+	flag.Var(&costSpecs, "cost", "per-tenant cost function spec for the partition (repeatable)")
+	flag.Parse()
+
+	if *tracePath == "" {
+		fatal(fmt.Errorf("-trace is required"))
+	}
+	in := os.Stdin
+	if *tracePath != "-" {
+		f, err := os.Open(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	tr, err := trace.ReadAuto(in)
+	if err != nil {
+		fatal(err)
+	}
+	combined, err := analysis.Mattson(tr, *maxSize)
+	if err != nil {
+		fatal(err)
+	}
+	perTenant, err := analysis.PerTenant(tr, *maxSize)
+	if err != nil {
+		fatal(err)
+	}
+	header := []string{"size", "all"}
+	for i := range perTenant {
+		header = append(header, fmt.Sprintf("t%d", i))
+	}
+	tb := stats.NewTable(fmt.Sprintf("LRU miss ratio, T=%d, %d tenants", tr.Len(), tr.NumTenants()), header...)
+	step := *maxSize / *points
+	if step < 1 {
+		step = 1
+	}
+	for c := step; c <= *maxSize; c += step {
+		row := []any{c, ratio(combined, c)}
+		for _, pt := range perTenant {
+			row = append(row, ratio(pt, c))
+		}
+		tb.AddRow(row...)
+	}
+	if err := tb.WriteMarkdown(os.Stdout); err != nil {
+		fatal(err)
+	}
+
+	if *k > 0 {
+		costs := make([]costfn.Func, tr.NumTenants())
+		for i := range costs {
+			if i < len(costSpecs) {
+				f, err := costfn.Parse(costSpecs[i])
+				if err != nil {
+					fatal(err)
+				}
+				costs[i] = f
+			} else {
+				costs[i] = costfn.Linear{W: 1}
+			}
+		}
+		quotas, cost, err := analysis.OptimalStaticPartition(perTenant, costs, *k)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("optimal static partition for k=%d: quotas=%v predicted cost=%.2f\n", *k, quotas, cost)
+	}
+}
+
+func ratio(r analysis.StackResult, c int) float64 {
+	if r.Requests == 0 {
+		return 0
+	}
+	return float64(r.MissesAt(c)) / float64(r.Requests)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mrc:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,30 @@
+// Command serve runs the convexcache HTTP service (see internal/server for
+// the API).
+//
+// Usage:
+//
+//	serve -addr :8080
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+
+	"convexcache/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Parse()
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           server.New(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		WriteTimeout:      2 * time.Minute,
+	}
+	log.Printf("convexcache API listening on %s", *addr)
+	log.Fatal(srv.ListenAndServe())
+}

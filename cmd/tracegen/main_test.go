@@ -1,0 +1,52 @@
+package main
+
+import "testing"
+
+func TestParseStreamValid(t *testing.T) {
+	cases := []struct {
+		spec     string
+		pages    int64
+		wantRate float64
+	}{
+		{"zipf:100,1.0", 100, 1},
+		{"zipf:100,0.5:2.5", 100, 2.5},
+		{"uniform:64", 64, 1},
+		{"scan:10:3", 10, 3},
+		{"hotset:100,5,0.9,50", 100, 1},
+		{"markov:40,0.8,2", 40, 1},
+	}
+	for _, tc := range cases {
+		s, rate, err := parseStream(tc.spec, 1)
+		if err != nil {
+			t.Errorf("parseStream(%q): %v", tc.spec, err)
+			continue
+		}
+		if s.Pages() != tc.pages {
+			t.Errorf("parseStream(%q): pages = %d, want %d", tc.spec, s.Pages(), tc.pages)
+		}
+		if rate != tc.wantRate {
+			t.Errorf("parseStream(%q): rate = %g, want %g", tc.spec, rate, tc.wantRate)
+		}
+	}
+}
+
+func TestParseStreamInvalid(t *testing.T) {
+	bad := []string{
+		"",
+		"zipf",          // no params
+		"zipf:100",      // missing exponent
+		"zipf:100,1:0",  // zero rate
+		"zipf:100,1:x",  // bad rate
+		"zipf:0,1",      // zero pages
+		"scan:abc",      // non-numeric
+		"hotset:100,5",  // missing params
+		"markov:40,2,1", // stay > 1
+		"bogus:1,2",     // unknown kind
+		"zipf:1,2:3:4",  // too many colons
+	}
+	for _, spec := range bad {
+		if _, _, err := parseStream(spec, 1); err == nil {
+			t.Errorf("parseStream(%q) unexpectedly succeeded", spec)
+		}
+	}
+}

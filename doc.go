@@ -1,0 +1,10 @@
+// Package convexcache reproduces "Online Caching with Convex Costs"
+// (Menache & Singh, SPAA 2015): an online multi-tenant caching algorithm
+// with per-tenant convex miss-cost functions, its primal-dual analysis
+// machinery, offline comparators, lower-bound adversary, baselines, workload
+// generators, and a buffer-pool deployment substrate.
+//
+// See README.md for the layout and DESIGN.md for the system inventory and
+// experiment index. The root package hosts the benchmark harness
+// (bench_test.go), one benchmark per experiment table/figure.
+package convexcache

@@ -1,0 +1,85 @@
+// Bufferpool: deploy the algorithm inside the SQLVM-style concurrent buffer
+// pool substrate — multiple client goroutines, pinned pages, windowed SLA
+// refunds — and compare the convex-cost replacer with LRU.
+//
+//	go run ./examples/bufferpool
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+
+	"convexcache/internal/bufferpool"
+	"convexcache/internal/core"
+	"convexcache/internal/costfn"
+	"convexcache/internal/trace"
+)
+
+const (
+	frames  = 128
+	workers = 6
+	opsPer  = 20000
+	window  = 2000
+)
+
+func main() {
+	mustSLA := func(m0, cheap, steep float64) costfn.Func {
+		f, err := costfn.SLARefund(m0, cheap, steep)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return f
+	}
+	costs := []costfn.Func{
+		mustSLA(80, 0.05, 12),  // premium: small hot set
+		mustSLA(300, 0.05, 3),  // standard
+		costfn.Linear{W: 0.01}, // analytics scans
+	}
+
+	run := func(name string, rep bufferpool.Replacer) {
+		meter, err := bufferpool.NewSLAMeter(window, costs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		disk := &bufferpool.Disk{}
+		pool, err := bufferpool.New(disk, len(costs), bufferpool.Config{
+			Frames: frames, Replacer: rep, Meter: meter,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(w)))
+				buf := make([]byte, bufferpool.PageSize)
+				universe := []int64{60, 250, 3000}
+				for i := 0; i < opsPer; i++ {
+					tn := rng.Intn(3)
+					pg := trace.PageID(int64(tn)*1_000_000 + rng.Int63n(universe[tn]))
+					if err := pool.Get(trace.Tenant(tn), pg, buf); err != nil {
+						log.Fatal(err)
+					}
+					if err := pool.Release(pg); err != nil {
+						log.Fatal(err)
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		meter.Flush()
+		s := pool.Stats()
+		fmt.Printf("%-8s refund %10.1f   misses %v   disk reads %d   windows %d\n",
+			name, meter.TotalRefund(), s.Misses, disk.Reads(), meter.Windows())
+	}
+
+	fmt.Printf("buffer pool: %d frames, %d workers x %d ops, SLA window %d\n\n",
+		frames, workers, opsPer, window)
+	opt := core.Options{Costs: costs, UseDiscreteDeriv: true, CountMisses: true}
+	run("convex", bufferpool.NewConvexReplacer(opt))
+	run("lru", bufferpool.NewLRUReplacer())
+}

@@ -1,0 +1,3 @@
+module convexcache
+
+go 1.22

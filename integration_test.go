@@ -1,0 +1,214 @@
+package convexcache
+
+// Cross-module integration tests: wire workload generation, the simulation
+// engine, the paper's algorithm, the convex program, the offline optimum and
+// the invariant checker together on one scenario each, exactly as a
+// downstream user would.
+
+import (
+	"bytes"
+	"testing"
+
+	"convexcache/internal/analysis"
+	"convexcache/internal/core"
+	"convexcache/internal/costfn"
+	"convexcache/internal/cp"
+	"convexcache/internal/offline"
+	"convexcache/internal/policy"
+	"convexcache/internal/sim"
+	"convexcache/internal/trace"
+	"convexcache/internal/workload"
+)
+
+// TestEndToEndSandwich builds a workload, runs the algorithm, computes the
+// exact optimum and the certified dual bound, and checks the full chain
+// dual <= OPT <= ALG <= Theorem-1.1 bound.
+func TestEndToEndSandwich(t *testing.T) {
+	costs := []costfn.Func{
+		costfn.Monomial{C: 1, Beta: 2},
+		costfn.MustParse("sla:4,0.25,4"),
+	}
+	z0, err := workload.NewZipf(1, 5, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z1, err := workload.NewZipf(2, 5, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := workload.Mix(3, []workload.TenantStream{
+		{Tenant: 0, Stream: z0, Rate: 1},
+		{Tenant: 1, Stream: z1, Rate: 1},
+	}, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := 3
+	alg, err := sim.Run(tr, core.NewFast(core.Options{Costs: costs}), sim.Config{K: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	algCost := alg.Cost(costs)
+	opt, err := offline.Exact(tr, k, costs, offline.Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !opt.Optimal {
+		t.Fatal("exact search exhausted on tiny instance")
+	}
+	in, err := cp.Build(tr, k, costs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dual := in.SolveDual(300, opt.Cost/float64(in.NumRows()+1))
+	alpha := costfn.EffectiveAlpha(costs[0], float64(tr.Len()))
+	if a := costfn.EffectiveAlpha(costs[1], float64(tr.Len())); a > alpha {
+		alpha = a
+	}
+	bound := 0.0
+	for i, f := range costs {
+		bound += f.Value(alpha * float64(k) * float64(opt.Misses[i]))
+	}
+	if !(dual.Best <= opt.Cost+1e-6) {
+		t.Errorf("dual %g > OPT %g", dual.Best, opt.Cost)
+	}
+	if !(opt.Cost <= algCost+1e-9) {
+		t.Errorf("OPT %g > ALG %g", opt.Cost, algCost)
+	}
+	if !(algCost <= bound+1e-9) {
+		t.Errorf("ALG %g > Theorem 1.1 bound %g", algCost, bound)
+	}
+}
+
+// TestEndToEndTraceFilesAndPolicies round-trips a generated workload
+// through both trace formats and replays it with every registered policy.
+func TestEndToEndTraceFilesAndPolicies(t *testing.T) {
+	hot, err := workload.NewHotSet(7, 100, 10, 0.9, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := workload.NewScan(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := workload.Mix(8, []workload.TenantStream{
+		{Tenant: 0, Stream: hot, Rate: 2},
+		{Tenant: 1, Stream: sc, Rate: 1},
+	}, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var txt, bin bytes.Buffer
+	if err := trace.Write(&txt, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteBinary(&bin, tr); err != nil {
+		t.Fatal(err)
+	}
+	fromTxt, err := trace.ReadAuto(&txt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromBin, err := trace.ReadAuto(&bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	costs := []costfn.Func{costfn.Monomial{C: 1, Beta: 2}, costfn.Linear{W: 1}}
+	spec := policy.Spec{K: 32, Tenants: 2, Costs: costs, Seed: 5}
+	for _, name := range policy.Names() {
+		pTxt, err := policy.New(name, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pBin, err := policy.New(name, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := sim.MustRun(fromTxt, pTxt, sim.Config{K: 32})
+		b := sim.MustRun(fromBin, pBin, sim.Config{K: 32})
+		if a.TotalMisses() != b.TotalMisses() {
+			t.Errorf("%s: text vs binary replay differ: %d vs %d", name, a.TotalMisses(), b.TotalMisses())
+		}
+	}
+}
+
+// TestEndToEndInvariantPipeline runs the flushed invariant check on a
+// generated workload — the full Section 2.3 machinery on top of the
+// workload and trace layers.
+func TestEndToEndInvariantPipeline(t *testing.T) {
+	u, err := workload.NewUniform(3, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z, err := workload.NewZipf(4, 12, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := workload.Mix(5, []workload.TenantStream{
+		{Tenant: 0, Stream: u, Rate: 1},
+		{Tenant: 1, Stream: z, Rate: 2},
+	}, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := 5
+	flushed, dummy, err := trace.WithFlush(base, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	costs := make([]costfn.Func, int(dummy)+1)
+	costs[0] = costfn.Monomial{C: 1, Beta: 2}
+	costs[1] = costfn.Linear{W: 3}
+	costs[dummy] = core.FlushCost()
+	cont := core.NewContinuous(core.Options{Costs: costs})
+	if _, err := sim.Run(flushed, cont, sim.Config{K: k}); err != nil {
+		t.Fatal(err)
+	}
+	cont.Finish()
+	rep := cont.CheckInvariants(k, 1e-7)
+	if !rep.Ok() {
+		for _, v := range rep.Violations[:min(5, len(rep.Violations))] {
+			t.Error(v)
+		}
+		t.Fatalf("%d invariant violations", len(rep.Violations))
+	}
+}
+
+// TestEndToEndMattsonGuidesPartition checks the analysis chain: miss-ratio
+// curves from a real workload feed the DP partitioner whose quotas then run
+// in the simulator, landing within the DP's predicted cost for the static
+// policy (the prediction is exact when pools are isolated).
+func TestEndToEndMattsonGuidesPartition(t *testing.T) {
+	z0, err := workload.NewZipf(21, 30, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z1, err := workload.NewZipf(22, 200, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := workload.Mix(23, []workload.TenantStream{
+		{Tenant: 0, Stream: z0, Rate: 1},
+		{Tenant: 1, Stream: z1, Rate: 1},
+	}, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := 40
+	curves, err := analysis.PerTenant(tr, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	costs := []costfn.Func{costfn.Monomial{C: 1, Beta: 2}, costfn.Linear{W: 1}}
+	quotas, predicted, err := analysis.OptimalStaticPartition(curves, costs, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sim.MustRun(tr, policy.NewStaticPartition(quotas), sim.Config{K: k})
+	got := res.Cost(costs)
+	// The static-partition policy may deviate slightly from pure isolation
+	// (shared free space before warm-up); allow 10%.
+	if got > predicted*1.10 {
+		t.Errorf("simulated static cost %g far above DP prediction %g (quotas %v)", got, predicted, quotas)
+	}
+}

@@ -1,0 +1,41 @@
+package analysis_test
+
+import (
+	"fmt"
+
+	"convexcache/internal/analysis"
+	"convexcache/internal/costfn"
+	"convexcache/internal/trace"
+)
+
+// ExampleMattson computes an exact LRU miss-ratio curve in one pass.
+func ExampleMattson() {
+	tr := trace.NewBuilder().
+		Add(0, 1).Add(0, 2).Add(0, 1).Add(0, 3).Add(0, 2).Add(0, 1).
+		MustBuild()
+	res, _ := analysis.Mattson(tr, 3)
+	for c := 1; c <= 3; c++ {
+		fmt.Printf("size %d: %d misses\n", c, res.MissesAt(c))
+	}
+	// Output:
+	// size 1: 6 misses
+	// size 2: 5 misses
+	// size 3: 3 misses
+}
+
+// ExampleOptimalStaticPartition sizes per-tenant quotas from miss-ratio
+// curves and convex costs.
+func ExampleOptimalStaticPartition() {
+	b := trace.NewBuilder()
+	for round := 0; round < 10; round++ {
+		b.Add(0, trace.PageID(round%2))     // tenant 0: 2-page loop
+		b.Add(1, trace.PageID(100+round%4)) // tenant 1: 4-page loop
+	}
+	tr := b.MustBuild()
+	curves, _ := analysis.PerTenant(tr, 8)
+	costs := []costfn.Func{costfn.Linear{W: 1}, costfn.Linear{W: 1}}
+	quotas, cost, _ := analysis.OptimalStaticPartition(curves, costs, 6)
+	fmt.Printf("quotas %v, predicted cost %.0f\n", quotas, cost)
+	// Output:
+	// quotas [2 4], predicted cost 6
+}

@@ -1,0 +1,21 @@
+package analysis_test
+
+import (
+	"fmt"
+
+	"convexcache/internal/analysis"
+	"convexcache/internal/trace"
+)
+
+// ExampleWorkingSet computes Denning working-set sizes for two windows.
+func ExampleWorkingSet() {
+	tr := trace.NewBuilder().
+		Add(0, 1).Add(0, 2).Add(0, 1).Add(0, 2).Add(0, 3).Add(0, 3).
+		MustBuild()
+	res, _ := analysis.WorkingSet(tr, []int{2, 4})
+	fmt.Printf("tau=2 avg=%.2f\n", res.AvgSize[0])
+	fmt.Printf("tau=4 avg=%.2f\n", res.AvgSize[1])
+	// Output:
+	// tau=2 avg=1.80
+	// tau=4 avg=2.67
+}

@@ -1,0 +1,264 @@
+package analysis
+
+import (
+	"math/rand"
+	"testing"
+
+	"convexcache/internal/costfn"
+	"convexcache/internal/policy"
+	"convexcache/internal/sim"
+	"convexcache/internal/trace"
+)
+
+func seqTrace(t *testing.T, pages ...int) *trace.Trace {
+	t.Helper()
+	b := trace.NewBuilder()
+	for _, p := range pages {
+		b.Add(0, trace.PageID(p))
+	}
+	return b.MustBuild()
+}
+
+func randomTrace(seed int64, tenants, pagesPer, length int) *trace.Trace {
+	rng := rand.New(rand.NewSource(seed))
+	b := trace.NewBuilder()
+	for i := 0; i < length; i++ {
+		tn := rng.Intn(tenants)
+		b.Add(trace.Tenant(tn), trace.PageID(tn*1000+rng.Intn(pagesPer)))
+	}
+	return b.MustBuild()
+}
+
+func TestMattsonHandExample(t *testing.T) {
+	// Sequence 1 2 1 3 2: distances: 1@2 -> 1 distinct since (page 2),
+	// 3 cold, 2@4 -> distinct {1,3} = 2.
+	tr := seqTrace(t, 1, 2, 1, 3, 2)
+	res, err := Mattson(tr, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ColdMisses != 3 {
+		t.Errorf("cold = %d", res.ColdMisses)
+	}
+	wantDist := []int{1, 2}
+	if len(res.Distances) != len(wantDist) {
+		t.Fatalf("distances = %v", res.Distances)
+	}
+	for i, d := range wantDist {
+		if res.Distances[i] != d {
+			t.Errorf("distance %d = %d, want %d", i, res.Distances[i], d)
+		}
+	}
+	// Size 1: hits only distance-0 reuses: none -> misses 5.
+	if got := res.MissesAt(1); got != 5 {
+		t.Errorf("misses@1 = %d", got)
+	}
+	// Size 2: hits the distance-1 reuse -> 4 misses.
+	if got := res.MissesAt(2); got != 4 {
+		t.Errorf("misses@2 = %d", got)
+	}
+	// Size 3: hits both reuses -> 3 misses (all cold).
+	if got := res.MissesAt(3); got != 3 {
+		t.Errorf("misses@3 = %d", got)
+	}
+}
+
+func TestMattsonMatchesLRUSimulation(t *testing.T) {
+	// The whole point of Mattson: HitsAt[c-1] must equal an actual LRU
+	// simulation's hits at size c, for every c at once.
+	for seed := int64(0); seed < 6; seed++ {
+		tr := randomTrace(seed, 2, 12, 500)
+		res, err := Mattson(tr, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range []int{1, 2, 3, 5, 8, 13, 16} {
+			lru := sim.MustRun(tr, policy.NewLRU(), sim.Config{K: c})
+			if got, want := res.MissesAt(c), lru.TotalMisses(); got != want {
+				t.Errorf("seed=%d c=%d: mattson misses %d != LRU %d", seed, c, got, want)
+			}
+		}
+	}
+}
+
+func TestMattsonMissCurveMonotone(t *testing.T) {
+	tr := randomTrace(9, 3, 10, 800)
+	res, err := Mattson(tr, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	curve := res.MissRatioCurve(30)
+	for i := 1; i < len(curve); i++ {
+		if curve[i] > curve[i-1]+1e-12 {
+			t.Fatalf("miss ratio increased at size %d: %g > %g", i+1, curve[i], curve[i-1])
+		}
+	}
+	if res.MissesAt(0) != res.Requests {
+		t.Errorf("size-0 misses = %d", res.MissesAt(0))
+	}
+	// Sizes beyond maxSize clamp.
+	if res.MissesAt(1000) != res.MissesAt(30) {
+		t.Errorf("clamping failed")
+	}
+}
+
+func TestMattsonValidation(t *testing.T) {
+	tr := seqTrace(t, 1)
+	if _, err := Mattson(tr, 0); err == nil {
+		t.Error("maxSize=0 accepted")
+	}
+}
+
+func TestPerTenant(t *testing.T) {
+	tr := randomTrace(4, 3, 8, 600)
+	curves, err := PerTenant(tr, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curves) != 3 {
+		t.Fatalf("curves = %d", len(curves))
+	}
+	var reqs int64
+	for _, c := range curves {
+		reqs += c.Requests
+	}
+	if reqs != int64(tr.Len()) {
+		t.Errorf("per-tenant requests %d != %d", reqs, tr.Len())
+	}
+	// Each tenant's curve must match an isolated LRU run of that tenant.
+	stats := tr.ComputeStats()
+	for i, c := range curves {
+		if c.Requests != int64(stats.PerTenantRequests[i]) {
+			t.Errorf("tenant %d requests %d != %d", i, c.Requests, stats.PerTenantRequests[i])
+		}
+	}
+}
+
+func TestOptimalStaticPartitionSimple(t *testing.T) {
+	// Tenant 0 loops over 3 pages, tenant 1 over 6; with k=9 both fit:
+	// optimum gives everyone their working set and pays only cold misses.
+	b := trace.NewBuilder()
+	for round := 0; round < 30; round++ {
+		b.Add(0, trace.PageID(round%3))
+		b.Add(1, trace.PageID(100+round%6))
+	}
+	tr := b.MustBuild()
+	curves, err := PerTenant(tr, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	costs := []costfn.Func{costfn.Linear{W: 1}, costfn.Linear{W: 1}}
+	quotas, cost, err := OptimalStaticPartition(curves, costs, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if quotas[0] < 3 || quotas[1] < 6 {
+		t.Errorf("quotas = %v, want >= working sets (3, 6)", quotas)
+	}
+	if cost != 9 { // 3 + 6 cold misses
+		t.Errorf("cost = %g, want 9 (cold only)", cost)
+	}
+}
+
+func TestOptimalStaticPartitionRespectsBudget(t *testing.T) {
+	tr := randomTrace(11, 3, 10, 900)
+	curves, err := PerTenant(tr, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	costs := []costfn.Func{
+		costfn.Monomial{C: 1, Beta: 2},
+		costfn.Linear{W: 1},
+		costfn.Linear{W: 5},
+	}
+	for _, k := range []int{4, 9, 16} {
+		quotas, cost, err := OptimalStaticPartition(curves, costs, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := 0
+		for _, q := range quotas {
+			sum += q
+		}
+		if sum > k {
+			t.Errorf("k=%d: quotas %v exceed budget", k, quotas)
+		}
+		// DP optimality sanity: no better single-page move exists.
+		evalQuotas := func(qs []int) float64 {
+			total := 0.0
+			for i, q := range qs {
+				var m int64
+				if q <= 0 {
+					m = curves[i].Requests
+				} else {
+					m = curves[i].MissesAt(q)
+				}
+				total += costs[i].Value(float64(m))
+			}
+			return total
+		}
+		if got := evalQuotas(quotas); got != cost {
+			t.Fatalf("k=%d: reported cost %g != evaluated %g", k, cost, got)
+		}
+		for from := 0; from < 3; from++ {
+			for to := 0; to < 3; to++ {
+				if from == to || quotas[from] == 0 {
+					continue
+				}
+				alt := append([]int(nil), quotas...)
+				alt[from]--
+				alt[to]++
+				if evalQuotas(alt) < cost-1e-9 {
+					t.Errorf("k=%d: single-page move %d->%d improves cost; DP not optimal", k, from, to)
+				}
+			}
+		}
+	}
+}
+
+func TestOptimalStaticPartitionValidation(t *testing.T) {
+	if _, _, err := OptimalStaticPartition(nil, nil, 4); err == nil {
+		t.Error("no tenants accepted")
+	}
+}
+
+func TestOptimalStaticPartitionImprovesOnEvenQuotas(t *testing.T) {
+	// Asymmetric working sets: the DP must not do worse than even split.
+	b := trace.NewBuilder()
+	for round := 0; round < 200; round++ {
+		b.Add(0, trace.PageID(round%2))      // tiny working set
+		b.Add(1, trace.PageID(100+round%20)) // large working set
+	}
+	tr := b.MustBuild()
+	curves, err := PerTenant(tr, 22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	costs := []costfn.Func{costfn.Linear{W: 1}, costfn.Linear{W: 1}}
+	// With k=12 the cyclic 20-page loop cannot hit at all under LRU, so
+	// the DP rightly gives tenant 1 nothing (LRU loop pathology).
+	quotas12, cost12, err := OptimalStaticPartition(curves, costs, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	even := policy.EvenQuotas(12, 2)
+	evenCost := costs[0].Value(float64(curves[0].MissesAt(even[0]))) +
+		costs[1].Value(float64(curves[1].MissesAt(even[1])))
+	if cost12 > evenCost {
+		t.Errorf("DP cost %g worse than even split %g (quotas %v)", cost12, evenCost, quotas12)
+	}
+	if quotas12[1] != 0 {
+		t.Errorf("quotas %v waste pages on a loop that cannot fit", quotas12)
+	}
+	// With k=22 both working sets fit and the DP must fund them fully.
+	quotas22, cost22, err := OptimalStaticPartition(curves, costs, 22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if quotas22[0] < 2 || quotas22[1] < 20 {
+		t.Errorf("quotas %v do not cover the working sets (2, 20)", quotas22)
+	}
+	if cost22 != 22 { // cold misses only
+		t.Errorf("cost = %g, want 22", cost22)
+	}
+}

@@ -1,0 +1,103 @@
+package analysis
+
+import (
+	"errors"
+
+	"convexcache/internal/trace"
+)
+
+// ApproxResult is a sampled approximation of a miss-ratio curve in the
+// spirit of SHARDS (Waldspurger et al., FAST 2015): only pages whose hash
+// falls under a threshold are tracked, and measured stack distances are
+// rescaled by the inverse sampling rate. Exact Mattson is O(T log T); the
+// sampled variant processes only ~rate*T requests, enabling MRCs for traces
+// far beyond what the experiments need.
+type ApproxResult struct {
+	// Rate is the effective sampling rate in (0, 1].
+	Rate float64
+	// SampledRequests counts the requests that survived sampling.
+	SampledRequests int64
+	// HitsAt[c] estimates LRU hits at cache size c+1, rescaled.
+	HitsAt []float64
+	// Requests is the full trace length.
+	Requests int64
+}
+
+// MissRatioAt estimates the LRU miss ratio at cache size c.
+func (r ApproxResult) MissRatioAt(c int) float64 {
+	if r.Requests == 0 {
+		return 0
+	}
+	if c < 1 {
+		return 1
+	}
+	if c > len(r.HitsAt) {
+		c = len(r.HitsAt)
+	}
+	miss := float64(r.Requests) - r.HitsAt[c-1]
+	if miss < 0 {
+		miss = 0
+	}
+	return miss / float64(r.Requests)
+}
+
+// hashPage is a 64-bit mix (splitmix64 finalizer) used for spatial
+// sampling; deterministic across runs.
+func hashPage(p trace.PageID, seed uint64) uint64 {
+	x := uint64(p) + seed + 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// ApproxMattson runs spatially sampled stack-distance analysis: pages are
+// kept when hash(page) < rate * 2^64; measured distances are scaled by
+// 1/rate, and hit counts are likewise rescaled.
+func ApproxMattson(tr *trace.Trace, maxSize int, rate float64, seed uint64) (ApproxResult, error) {
+	if maxSize <= 0 {
+		return ApproxResult{}, errors.New("analysis: maxSize must be positive")
+	}
+	if rate <= 0 || rate > 1 {
+		return ApproxResult{}, errors.New("analysis: sampling rate must be in (0, 1]")
+	}
+	// Threshold on the top 63 bits avoids float->uint64 overflow at rate 1.
+	threshold := uint64(rate * float64(uint64(1)<<63))
+	keep := func(p trace.PageID) bool {
+		if rate >= 1 {
+			return true
+		}
+		return hashPage(p, seed)>>1 < threshold
+	}
+	T := tr.Len()
+	res := ApproxResult{
+		Rate:     rate,
+		HitsAt:   make([]float64, maxSize),
+		Requests: int64(T),
+	}
+	ft := newFenwick(T)
+	lastPos := make(map[trace.PageID]int)
+	hitsAtDistance := make([]float64, maxSize)
+	for t, r := range tr.Requests() {
+		if !keep(r.Page) {
+			continue
+		}
+		res.SampledRequests++
+		if prev, ok := lastPos[r.Page]; ok {
+			sampledDist := ft.prefix(T-1) - ft.prefix(prev)
+			// Rescale: each sampled distinct page stands for 1/rate pages.
+			dist := int(float64(sampledDist) / rate)
+			if dist < maxSize {
+				hitsAtDistance[dist] += 1 / rate
+			}
+			ft.add(prev, -1)
+		}
+		ft.add(t, 1)
+		lastPos[r.Page] = t
+	}
+	cum := 0.0
+	for c := 0; c < maxSize; c++ {
+		cum += hitsAtDistance[c]
+		res.HitsAt[c] = cum
+	}
+	return res, nil
+}

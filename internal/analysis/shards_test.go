@@ -1,0 +1,158 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"convexcache/internal/trace"
+	"convexcache/internal/workload"
+)
+
+func TestApproxMattsonValidation(t *testing.T) {
+	tr := seqTrace(t, 1, 2)
+	if _, err := ApproxMattson(tr, 0, 0.5, 1); err == nil {
+		t.Error("maxSize=0 accepted")
+	}
+	if _, err := ApproxMattson(tr, 4, 0, 1); err == nil {
+		t.Error("rate=0 accepted")
+	}
+	if _, err := ApproxMattson(tr, 4, 1.5, 1); err == nil {
+		t.Error("rate>1 accepted")
+	}
+}
+
+func TestApproxMattsonFullRateMatchesExact(t *testing.T) {
+	tr := randomTrace(3, 2, 15, 2000)
+	exact, err := Mattson(tr, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx, err := ApproxMattson(tr, 20, 1.0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if approx.SampledRequests != int64(tr.Len()) {
+		t.Fatalf("rate 1.0 sampled %d of %d", approx.SampledRequests, tr.Len())
+	}
+	for c := 1; c <= 20; c++ {
+		want := float64(exact.MissesAt(c)) / float64(exact.Requests)
+		got := approx.MissRatioAt(c)
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("c=%d: approx %g != exact %g at full rate", c, got, want)
+		}
+	}
+}
+
+func TestApproxMattsonSampledAccuracySymmetric(t *testing.T) {
+	// Spatial sampling concentrates when pages are exchangeable; use a
+	// Markov-locality workload over a symmetric universe.
+	m, err := workload.NewMarkov(5, 3000, 0.6, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := workload.Mix(6, []workload.TenantStream{{Tenant: 0, Stream: m, Rate: 1}}, 60000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxSize := 400
+	exact, err := Mattson(tr, maxSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx, err := ApproxMattson(tr, maxSize, 0.15, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if approx.SampledRequests >= int64(tr.Len())/2 {
+		t.Fatalf("sampling ineffective: %d of %d", approx.SampledRequests, tr.Len())
+	}
+	for _, c := range []int{50, 100, 200, 400} {
+		want := float64(exact.MissesAt(c)) / float64(exact.Requests)
+		got := approx.MissRatioAt(c)
+		if math.Abs(got-want) > 0.06 {
+			t.Errorf("c=%d: sampled miss ratio %g vs exact %g (err > 0.06)", c, got, want)
+		}
+	}
+}
+
+func TestApproxMattsonUnbiasedOverSeeds(t *testing.T) {
+	// On a skewed Zipf workload any single sample is high-variance, but
+	// the estimator averaged over seeds must approach the exact curve.
+	z, err := workload.NewZipf(5, 2000, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := workload.Mix(6, []workload.TenantStream{{Tenant: 0, Stream: z, Rate: 1}}, 30000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxSize := 400
+	exact, err := Mattson(tr, maxSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const seeds = 16
+	c := 200
+	sum := 0.0
+	for s := uint64(0); s < seeds; s++ {
+		approx, err := ApproxMattson(tr, maxSize, 0.2, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += approx.MissRatioAt(c)
+	}
+	mean := sum / seeds
+	want := float64(exact.MissesAt(c)) / float64(exact.Requests)
+	// On heavily skewed traces the threshold indicator carries a small
+	// systematic bias (the reuse-distance density is asymmetric around the
+	// threshold, a known property of fixed-rate spatial sampling that full
+	// SHARDS corrects for); accept a looser band here and rely on the
+	// symmetric-workload test for tight accuracy.
+	if math.Abs(mean-want) > 0.12 {
+		t.Errorf("mean sampled ratio %g vs exact %g over %d seeds", mean, want, seeds)
+	}
+}
+
+func TestApproxMattsonMonotoneAndBounded(t *testing.T) {
+	tr := randomTrace(9, 2, 40, 5000)
+	approx, err := ApproxMattson(tr, 64, 0.25, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 1.0
+	for c := 1; c <= 64; c++ {
+		r := approx.MissRatioAt(c)
+		if r < 0 || r > 1 {
+			t.Fatalf("miss ratio %g out of [0,1] at c=%d", r, c)
+		}
+		if r > prev+1e-9 {
+			t.Fatalf("miss ratio increased at c=%d", c)
+		}
+		prev = r
+	}
+	if approx.MissRatioAt(0) != 1 {
+		t.Errorf("size-0 ratio = %g", approx.MissRatioAt(0))
+	}
+}
+
+func TestHashPageDeterministicAndSpread(t *testing.T) {
+	a := hashPage(12345, 1)
+	b := hashPage(12345, 1)
+	if a != b {
+		t.Error("hash not deterministic")
+	}
+	if hashPage(12345, 2) == a {
+		t.Error("seed ignored")
+	}
+	// Roughly half of pages under the 50% threshold.
+	under := 0
+	threshold := uint64(0.5 * float64(^uint64(0)))
+	for p := 0; p < 4000; p++ {
+		if hashPage(trace.PageID(p), 9) <= threshold {
+			under++
+		}
+	}
+	if under < 1700 || under > 2300 {
+		t.Errorf("hash not spreading: %d/4000 under 50%% threshold", under)
+	}
+}

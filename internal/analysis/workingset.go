@@ -1,0 +1,63 @@
+package analysis
+
+import (
+	"errors"
+
+	"convexcache/internal/trace"
+)
+
+// WorkingSetResult holds Denning working-set statistics: for each window
+// size tau, the average number of distinct pages referenced in the trailing
+// tau requests — the classical memory-demand curve used for capacity
+// planning alongside the miss-ratio curve.
+type WorkingSetResult struct {
+	// Taus are the window sizes evaluated.
+	Taus []int
+	// AvgSize[i] is the average working-set size at window Taus[i].
+	AvgSize []float64
+}
+
+// WorkingSet computes average working-set sizes for the given windows in
+// one pass per window (sliding distinct-count with reference counting).
+func WorkingSet(tr *trace.Trace, taus []int) (WorkingSetResult, error) {
+	if len(taus) == 0 {
+		return WorkingSetResult{}, errors.New("analysis: working set needs at least one window")
+	}
+	res := WorkingSetResult{Taus: append([]int(nil), taus...)}
+	reqs := tr.Requests()
+	for _, tau := range taus {
+		if tau <= 0 {
+			return WorkingSetResult{}, errors.New("analysis: window sizes must be positive")
+		}
+		counts := make(map[trace.PageID]int)
+		distinct := 0
+		totalSize := 0.0
+		samples := 0
+		for t, r := range reqs {
+			if counts[r.Page] == 0 {
+				distinct++
+			}
+			counts[r.Page]++
+			if t >= tau {
+				old := reqs[t-tau].Page
+				counts[old]--
+				if counts[old] == 0 {
+					distinct--
+				}
+			}
+			// Sample once the window is full (or at every step for short
+			// traces).
+			if t >= tau-1 {
+				totalSize += float64(distinct)
+				samples++
+			}
+		}
+		if samples == 0 {
+			// Trace shorter than the window: one sample of the whole trace.
+			totalSize = float64(distinct)
+			samples = 1
+		}
+		res.AvgSize = append(res.AvgSize, totalSize/float64(samples))
+	}
+	return res, nil
+}

@@ -1,0 +1,86 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"convexcache/internal/workload"
+)
+
+func TestWorkingSetValidation(t *testing.T) {
+	tr := seqTrace(t, 1, 2)
+	if _, err := WorkingSet(tr, nil); err == nil {
+		t.Error("no windows accepted")
+	}
+	if _, err := WorkingSet(tr, []int{0}); err == nil {
+		t.Error("zero window accepted")
+	}
+}
+
+func TestWorkingSetHandExample(t *testing.T) {
+	// Sequence 1 2 1 2: window 2 sees {1,2} everywhere -> avg 2; window 1
+	// sees a single page -> avg 1.
+	tr := seqTrace(t, 1, 2, 1, 2)
+	res, err := WorkingSet(tr, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AvgSize[0] != 1 {
+		t.Errorf("tau=1 avg = %g, want 1", res.AvgSize[0])
+	}
+	if res.AvgSize[1] != 2 {
+		t.Errorf("tau=2 avg = %g, want 2", res.AvgSize[1])
+	}
+}
+
+func TestWorkingSetMonotoneInTau(t *testing.T) {
+	z, err := workload.NewZipf(3, 200, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := workload.Mix(4, []workload.TenantStream{{Tenant: 0, Stream: z, Rate: 1}}, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := WorkingSet(tr, []int{10, 50, 250, 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.AvgSize); i++ {
+		if res.AvgSize[i] < res.AvgSize[i-1] {
+			t.Fatalf("working set shrank with larger window: %v", res.AvgSize)
+		}
+	}
+	// Bounded by window size and by the page universe.
+	for i, tau := range res.Taus {
+		if res.AvgSize[i] > float64(tau) || res.AvgSize[i] > float64(tr.NumPages()) {
+			t.Errorf("tau=%d avg %g exceeds bounds", tau, res.AvgSize[i])
+		}
+	}
+}
+
+func TestWorkingSetSingleHotPage(t *testing.T) {
+	pages := make([]int, 500)
+	for i := range pages {
+		pages[i] = 7
+	}
+	tr := seqTrace(t, pages...)
+	res, err := WorkingSet(tr, []int{100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.AvgSize[0]-1) > 1e-9 {
+		t.Errorf("single-page working set = %g", res.AvgSize[0])
+	}
+}
+
+func TestWorkingSetWindowLargerThanTrace(t *testing.T) {
+	tr := seqTrace(t, 1, 2, 3)
+	res, err := WorkingSet(tr, []int{10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AvgSize[0] != 3 {
+		t.Errorf("avg = %g, want 3 (whole trace)", res.AvgSize[0])
+	}
+}

@@ -1,0 +1,42 @@
+package bufferpool_test
+
+import (
+	"fmt"
+
+	"convexcache/internal/bufferpool"
+	"convexcache/internal/core"
+	"convexcache/internal/costfn"
+	"convexcache/internal/trace"
+)
+
+// Example wires the convex replacer into a buffer pool with SLA metering.
+func Example() {
+	costs := []costfn.Func{
+		costfn.MustParse("sla:2,0.1,10"),
+		costfn.Linear{W: 0.1},
+	}
+	meter, _ := bufferpool.NewSLAMeter(4, costs)
+	disk := &bufferpool.Disk{}
+	pool, _ := bufferpool.New(disk, 2, bufferpool.Config{
+		Frames:   2,
+		Replacer: bufferpool.NewConvexReplacer(core.Options{Costs: costs, CountMisses: true}),
+		Meter:    meter,
+	})
+	buf := make([]byte, bufferpool.PageSize)
+	for _, access := range []struct {
+		t trace.Tenant
+		p trace.PageID
+	}{{0, 1}, {1, 100}, {0, 1}, {1, 101}} {
+		if err := pool.Get(access.t, access.p, buf); err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		pool.Release(access.p)
+	}
+	meter.Flush()
+	s := pool.Stats()
+	fmt.Printf("hits=%d misses=%v reads=%d windows=%d\n",
+		s.Hits[0]+s.Hits[1], s.Misses, disk.Reads(), meter.Windows())
+	// Output:
+	// hits=1 misses=[1 2] reads=3 windows=1
+}

@@ -1,0 +1,194 @@
+// Package bufferpool is the SQLVM-style deployment substrate of the
+// reproduction: a concurrent multi-tenant database buffer pool whose
+// replacement decisions are pluggable, so the paper's convex-cost algorithm
+// can be exercised in the setting that motivated it (Section 1.1 and the
+// companion VLDB'15 paper): shared memory, per-tenant SLAs expressed as
+// cost functions of misses per accounting window, concurrent clients.
+//
+// The "disk" is simulated: page contents are generated deterministically
+// and read latency is accounted, not slept.
+package bufferpool
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"convexcache/internal/trace"
+)
+
+// PageSize is the simulated page payload size in bytes.
+const PageSize = 256
+
+// Disk simulates the backing store: deterministic page contents plus I/O
+// accounting.
+type Disk struct {
+	reads atomic.Int64
+}
+
+// ReadPage materializes the page's deterministic contents and counts the
+// I/O.
+func (d *Disk) ReadPage(tenant trace.Tenant, page trace.PageID, buf []byte) {
+	d.reads.Add(1)
+	seed := uint64(tenant)*0x9E3779B97F4A7C15 ^ uint64(page)*0xBF58476D1CE4E5B9
+	for i := range buf {
+		seed ^= seed << 13
+		seed ^= seed >> 7
+		seed ^= seed << 17
+		buf[i] = byte(seed)
+	}
+}
+
+// Reads returns the number of disk reads so far.
+func (d *Disk) Reads() int64 { return d.reads.Load() }
+
+// frame is one buffer slot.
+type frame struct {
+	tenant trace.Tenant
+	page   trace.PageID
+	pins   int
+	data   [PageSize]byte
+}
+
+// Config configures a buffer pool.
+type Config struct {
+	// Frames is the pool capacity in pages; must be positive.
+	Frames int
+	// Replacer picks eviction victims; required.
+	Replacer Replacer
+	// Meter, when non-nil, receives per-access accounting (hits/misses)
+	// for SLA evaluation.
+	Meter *SLAMeter
+}
+
+// Pool is a concurrent multi-tenant buffer pool.
+type Pool struct {
+	mu       sync.Mutex
+	cfg      Config
+	disk     *Disk
+	frames   map[trace.PageID]*frame
+	accesses atomic.Int64
+
+	hits   []atomic.Int64
+	misses []atomic.Int64
+}
+
+// ErrNoEvictable is returned by Get when every resident page is pinned and
+// the pool cannot make room.
+var ErrNoEvictable = errors.New("bufferpool: all resident pages are pinned")
+
+// New creates a buffer pool over the given simulated disk.
+func New(disk *Disk, tenants int, cfg Config) (*Pool, error) {
+	if cfg.Frames <= 0 {
+		return nil, errors.New("bufferpool: frame count must be positive")
+	}
+	if cfg.Replacer == nil {
+		return nil, errors.New("bufferpool: replacer is required")
+	}
+	if tenants <= 0 {
+		return nil, errors.New("bufferpool: tenant count must be positive")
+	}
+	return &Pool{
+		cfg:    cfg,
+		disk:   disk,
+		frames: make(map[trace.PageID]*frame, cfg.Frames),
+		hits:   make([]atomic.Int64, tenants),
+		misses: make([]atomic.Int64, tenants),
+	}, nil
+}
+
+// Get pins the page into the pool, fetching it from disk on a miss, and
+// copies its contents into out (which must be PageSize bytes or nil to skip
+// the copy). Callers must Release exactly once per successful Get.
+func (p *Pool) Get(tenant trace.Tenant, page trace.PageID, out []byte) error {
+	if int(tenant) >= len(p.hits) || tenant < 0 {
+		return fmt.Errorf("bufferpool: unknown tenant %d", tenant)
+	}
+	step := int(p.accesses.Add(1))
+	r := trace.Request{Page: page, Tenant: tenant}
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if fr, ok := p.frames[page]; ok {
+		if fr.tenant != tenant {
+			return fmt.Errorf("bufferpool: page %d belongs to tenant %d, requested by %d", page, fr.tenant, tenant)
+		}
+		fr.pins++
+		p.hits[tenant].Add(1)
+		p.cfg.Replacer.Touch(step, r, true)
+		if p.cfg.Meter != nil {
+			p.cfg.Meter.Record(tenant, false)
+		}
+		if out != nil {
+			copy(out, fr.data[:])
+		}
+		return nil
+	}
+	// Miss: make room if necessary.
+	if len(p.frames) >= p.cfg.Frames {
+		victim, ok := p.cfg.Replacer.Evict(step, r, func(q trace.PageID) bool {
+			fr, resident := p.frames[q]
+			return !resident || fr.pins > 0
+		})
+		if !ok {
+			return ErrNoEvictable
+		}
+		delete(p.frames, victim)
+	}
+	fr := &frame{tenant: tenant, page: page, pins: 1}
+	p.disk.ReadPage(tenant, page, fr.data[:])
+	p.frames[page] = fr
+	p.misses[tenant].Add(1)
+	p.cfg.Replacer.Touch(step, r, false)
+	if p.cfg.Meter != nil {
+		p.cfg.Meter.Record(tenant, true)
+	}
+	if out != nil {
+		copy(out, fr.data[:])
+	}
+	return nil
+}
+
+// Release unpins a page previously pinned by Get.
+func (p *Pool) Release(page trace.PageID) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	fr, ok := p.frames[page]
+	if !ok {
+		return fmt.Errorf("bufferpool: release of non-resident page %d", page)
+	}
+	if fr.pins <= 0 {
+		return fmt.Errorf("bufferpool: release of unpinned page %d", page)
+	}
+	fr.pins--
+	return nil
+}
+
+// Stats snapshots per-tenant counters.
+type Stats struct {
+	// Hits and Misses count accesses per tenant.
+	Hits, Misses []int64
+	// Resident is the number of pages currently in the pool.
+	Resident int
+	// DiskReads counts simulated I/Os.
+	DiskReads int64
+}
+
+// Stats returns a consistent snapshot.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	resident := len(p.frames)
+	p.mu.Unlock()
+	s := Stats{
+		Hits:      make([]int64, len(p.hits)),
+		Misses:    make([]int64, len(p.misses)),
+		Resident:  resident,
+		DiskReads: p.disk.Reads(),
+	}
+	for i := range p.hits {
+		s.Hits[i] = p.hits[i].Load()
+		s.Misses[i] = p.misses[i].Load()
+	}
+	return s
+}

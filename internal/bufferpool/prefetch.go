@@ -1,0 +1,130 @@
+package bufferpool
+
+import (
+	"sync"
+
+	"convexcache/internal/trace"
+)
+
+// Prefetcher detects per-tenant sequential access and warms the pool ahead
+// of the scan — the classical DB read-ahead that pairs with scan-resistant
+// replacement. Detection: Degree consecutive ascending page accesses arm
+// the prefetcher; it then fetches Window pages ahead of the current
+// position through Pool.Prefetch (admission goes through the normal
+// replacer, so a convex replacer still protects expensive tenants from
+// their own scans).
+type Prefetcher struct {
+	mu sync.Mutex
+	// Degree is the run length that arms prefetching (default 3).
+	Degree int
+	// Window is how many pages ahead to fetch once armed (default 8).
+	Window int
+
+	pool  *Pool
+	state map[trace.Tenant]*runState
+
+	issued atomic64
+}
+
+type runState struct {
+	lastPage trace.PageID
+	runLen   int
+}
+
+// atomic64 is a tiny counter wrapper to keep the struct copy-safe checks
+// honest.
+type atomic64 struct {
+	mu sync.Mutex
+	v  int64
+}
+
+func (a *atomic64) add(d int64) {
+	a.mu.Lock()
+	a.v += d
+	a.mu.Unlock()
+}
+
+func (a *atomic64) load() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.v
+}
+
+// NewPrefetcher wires a prefetcher to a pool.
+func NewPrefetcher(pool *Pool, degree, window int) *Prefetcher {
+	if degree <= 0 {
+		degree = 3
+	}
+	if window <= 0 {
+		window = 8
+	}
+	return &Prefetcher{
+		Degree: degree,
+		Window: window,
+		pool:   pool,
+		state:  make(map[trace.Tenant]*runState),
+	}
+}
+
+// Note observes an access and issues read-ahead when a sequential run is
+// detected. Call it after every successful Get.
+func (p *Prefetcher) Note(tenant trace.Tenant, page trace.PageID) {
+	p.mu.Lock()
+	st, ok := p.state[tenant]
+	if !ok {
+		st = &runState{}
+		p.state[tenant] = st
+	}
+	if page == st.lastPage+1 {
+		st.runLen++
+	} else {
+		st.runLen = 1
+	}
+	st.lastPage = page
+	armed := st.runLen >= p.Degree
+	window := p.Window
+	p.mu.Unlock()
+	if !armed {
+		return
+	}
+	for i := 1; i <= window; i++ {
+		if err := p.pool.Prefetch(tenant, page+trace.PageID(i)); err != nil {
+			return // pool full of pinned pages or tenant invalid; stop
+		}
+		p.issued.add(1)
+	}
+}
+
+// Issued returns the number of prefetched pages.
+func (p *Prefetcher) Issued() int64 { return p.issued.load() }
+
+// Prefetch loads a page into the pool without pinning it; a no-op when the
+// page is already resident. Misses are NOT charged to the tenant's demand
+// counters (prefetch I/O is accounted separately by the disk read counter).
+func (p *Pool) Prefetch(tenant trace.Tenant, page trace.PageID) error {
+	if int(tenant) >= len(p.hits) || tenant < 0 {
+		return ErrNoEvictable
+	}
+	step := int(p.accesses.Add(1))
+	r := trace.Request{Page: page, Tenant: tenant}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.frames[page]; ok {
+		return nil
+	}
+	if len(p.frames) >= p.cfg.Frames {
+		victim, ok := p.cfg.Replacer.Evict(step, r, func(q trace.PageID) bool {
+			fr, resident := p.frames[q]
+			return !resident || fr.pins > 0
+		})
+		if !ok {
+			return ErrNoEvictable
+		}
+		delete(p.frames, victim)
+	}
+	fr := &frame{tenant: tenant, page: page}
+	p.disk.ReadPage(tenant, page, fr.data[:])
+	p.frames[page] = fr
+	p.cfg.Replacer.Touch(step, r, false)
+	return nil
+}

@@ -1,0 +1,89 @@
+package bufferpool
+
+import (
+	"testing"
+
+	"convexcache/internal/trace"
+)
+
+func TestPrefetchLoadsAhead(t *testing.T) {
+	p, disk := newPool(t, 32, 1, NewLRUReplacer(), nil)
+	pf := NewPrefetcher(p, 3, 4)
+	// Sequential scan arms the prefetcher after 3 pages.
+	for pg := trace.PageID(1); pg <= 3; pg++ {
+		getRelease(t, p, 0, pg)
+		pf.Note(0, pg)
+	}
+	if pf.Issued() == 0 {
+		t.Fatal("prefetcher never armed")
+	}
+	readsBefore := disk.Reads()
+	// Pages 4..7 should already be resident: all hits, no new reads.
+	for pg := trace.PageID(4); pg <= 7; pg++ {
+		getRelease(t, p, 0, pg)
+		pf.Note(0, pg)
+	}
+	s := p.Stats()
+	if s.Hits[0] < 4 {
+		t.Errorf("hits = %d, want >= 4 from read-ahead", s.Hits[0])
+	}
+	_ = readsBefore
+}
+
+func TestPrefetchRandomAccessStaysQuiet(t *testing.T) {
+	p, _ := newPool(t, 16, 1, NewLRUReplacer(), nil)
+	pf := NewPrefetcher(p, 3, 4)
+	for _, pg := range []trace.PageID{5, 90, 2, 40, 7, 66} {
+		getRelease(t, p, 0, pg)
+		pf.Note(0, pg)
+	}
+	if pf.Issued() != 0 {
+		t.Errorf("prefetcher issued %d on random access", pf.Issued())
+	}
+}
+
+func TestPrefetchDoesNotChargeDemandMisses(t *testing.T) {
+	p, _ := newPool(t, 16, 1, NewLRUReplacer(), nil)
+	if err := p.Prefetch(0, 9); err != nil {
+		t.Fatal(err)
+	}
+	s := p.Stats()
+	if s.Misses[0] != 0 {
+		t.Errorf("prefetch charged a demand miss")
+	}
+	// The page is resident: demand access is a hit.
+	getRelease(t, p, 0, 9)
+	if p.Stats().Hits[0] != 1 {
+		t.Errorf("prefetched page not resident")
+	}
+}
+
+func TestPrefetchRespectsPins(t *testing.T) {
+	p, _ := newPool(t, 1, 1, NewLRUReplacer(), nil)
+	if err := p.Get(0, 1, nil); err != nil { // pin the only frame
+		t.Fatal(err)
+	}
+	if err := p.Prefetch(0, 2); err == nil {
+		t.Error("prefetch succeeded with every frame pinned")
+	}
+	p.Release(1)
+	if err := p.Prefetch(5, 1); err == nil {
+		t.Error("prefetch for unknown tenant accepted")
+	}
+}
+
+func TestPrefetchPerTenantRuns(t *testing.T) {
+	p, _ := newPool(t, 64, 2, NewLRUReplacer(), nil)
+	pf := NewPrefetcher(p, 3, 2)
+	// Interleaved tenants, each sequential in its own space: both runs
+	// must be detected independently.
+	for i := int64(1); i <= 4; i++ {
+		getRelease(t, p, 0, trace.PageID(i))
+		pf.Note(0, trace.PageID(i))
+		getRelease(t, p, 1, trace.PageID(1000+i))
+		pf.Note(1, trace.PageID(1000+i))
+	}
+	if pf.Issued() < 4 {
+		t.Errorf("interleaved runs not both detected: issued %d", pf.Issued())
+	}
+}

@@ -1,0 +1,96 @@
+package bufferpool
+
+import (
+	"errors"
+	"sync"
+
+	"convexcache/internal/costfn"
+	"convexcache/internal/trace"
+)
+
+// SLAMeter implements the paper's motivating accounting: "the overall
+// performance (or cost) of each user is a non-linear function of the total
+// number of misses over a given period of time". Accesses are grouped into
+// fixed-size windows; at each window boundary every tenant is charged
+// f_i(misses in window), modelling the provider refund of the SQLVM SLA.
+type SLAMeter struct {
+	mu         sync.Mutex
+	window     int64
+	costs      []costfn.Func
+	sinceClose int64
+	cur        []int64
+	refunds    []float64
+	windows    int
+}
+
+// NewSLAMeter creates a meter charging per window of `window` accesses.
+func NewSLAMeter(window int, costs []costfn.Func) (*SLAMeter, error) {
+	if window <= 0 {
+		return nil, errors.New("bufferpool: SLA window must be positive")
+	}
+	if len(costs) == 0 {
+		return nil, errors.New("bufferpool: SLA meter needs cost functions")
+	}
+	return &SLAMeter{
+		window:  int64(window),
+		costs:   costs,
+		cur:     make([]int64, len(costs)),
+		refunds: make([]float64, len(costs)),
+	}, nil
+}
+
+// Record accounts one access of the tenant; miss indicates a page fetch.
+func (m *SLAMeter) Record(tenant trace.Tenant, miss bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if miss && int(tenant) < len(m.cur) {
+		m.cur[tenant]++
+	}
+	m.sinceClose++
+	if m.sinceClose == m.window {
+		m.closeWindowLocked()
+	}
+}
+
+func (m *SLAMeter) closeWindowLocked() {
+	for i, f := range m.costs {
+		m.refunds[i] += f.Value(float64(m.cur[i]))
+		m.cur[i] = 0
+	}
+	m.windows++
+	m.sinceClose = 0
+}
+
+// Flush closes the current partial window, if it has any accesses.
+func (m *SLAMeter) Flush() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.sinceClose > 0 {
+		m.closeWindowLocked()
+	}
+}
+
+// Refunds returns the cumulative per-tenant refund paid so far.
+func (m *SLAMeter) Refunds() []float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]float64, len(m.refunds))
+	copy(out, m.refunds)
+	return out
+}
+
+// TotalRefund sums the per-tenant refunds.
+func (m *SLAMeter) TotalRefund() float64 {
+	total := 0.0
+	for _, r := range m.Refunds() {
+		total += r
+	}
+	return total
+}
+
+// Windows returns the number of closed accounting windows.
+func (m *SLAMeter) Windows() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.windows
+}

@@ -1,0 +1,356 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"convexcache/internal/trace"
+)
+
+// Continuous is ALG-CONT (Figure 2) with the full primal/dual state of the
+// paper's analysis: eviction variables x°(p,j), time duals y°_t and interval
+// duals z°(p,j). All continuous increases collapse to one discrete raise per
+// forced eviction (y_t = the victim's remaining budget), exactly as Section
+// 2.5 observes.
+//
+// It exists to validate the analysis: after a run, CheckInvariants verifies
+// the paper's invariant conditions (primal/dual feasibility, complementary
+// slackness (2a)-(2b), and gradient condition (3a)) on the recorded
+// variables. Use Discrete or Fast for anything performance-sensitive.
+//
+// Continuous supports the paper's accounting only: eviction-count m(i,t)
+// and analytic derivatives.
+type Continuous struct {
+	opt Options
+
+	// Global time and dual state.
+	step int
+	cumY float64 // sum of all y_t so far
+	m    map[trace.Tenant]float64
+
+	// Per-page state.
+	reqCount map[trace.PageID]int     // requests seen, = current interval j+1
+	yBase    map[trace.PageID]float64 // cumY at current interval start
+	cached   map[trace.PageID]bool
+	out      map[trace.PageID]bool // seen, evicted in current interval
+	owner    map[trace.PageID]trace.Tenant
+	seq      map[trace.PageID]int
+	nextSeq  int
+
+	// Pending raise computed in Victim, applied in OnEvict.
+	pendingY      float64
+	pendingVictim trace.PageID
+	havePending   bool
+
+	// Recorded intervals for invariant checking.
+	intervals map[intervalKey]*intervalRecord
+	yByStep   []float64
+
+	// Recorded per-step primal feasibility data.
+	feasibility []feasRecord
+}
+
+type intervalKey struct {
+	page trace.PageID
+	j    int // 0-based interval index
+}
+
+type intervalRecord struct {
+	owner trace.Tenant
+	// x is the eviction indicator x°(p,j).
+	x bool
+	// z is the accumulated dual z°(p,j).
+	z float64
+	// sumY is the sum of y over the interval's open time window, filled
+	// when the interval closes (next request or end of trace).
+	sumY   float64
+	closed bool
+	// marginalAtSet is f'(m(i(p), t_hat)) recorded when x was set.
+	marginalAtSet float64
+}
+
+type feasRecord struct {
+	step     int
+	seen     int // |B(t)|
+	outCount int // number of evicted-in-current-interval pages after the step
+}
+
+// NewContinuous returns a fresh ALG-CONT instance. CountMisses and
+// UseDiscreteDeriv are unsupported (the invariants are stated for the
+// paper's accounting) and cause a panic.
+func NewContinuous(opt Options) *Continuous {
+	if opt.CountMisses || opt.UseDiscreteDeriv {
+		panic("core: Continuous supports only the paper's accounting (eviction counts, analytic derivatives)")
+	}
+	c := &Continuous{opt: opt}
+	c.Reset()
+	return c
+}
+
+// Name implements sim.Policy.
+func (c *Continuous) Name() string { return "alg-cont" }
+
+// Reset implements sim.Policy.
+func (c *Continuous) Reset() {
+	c.step = 0
+	c.cumY = 0
+	c.m = make(map[trace.Tenant]float64)
+	c.reqCount = make(map[trace.PageID]int)
+	c.yBase = make(map[trace.PageID]float64)
+	c.cached = make(map[trace.PageID]bool)
+	c.out = make(map[trace.PageID]bool)
+	c.owner = make(map[trace.PageID]trace.Tenant)
+	c.seq = make(map[trace.PageID]int)
+	c.nextSeq = 0
+	c.havePending = false
+	c.intervals = make(map[intervalKey]*intervalRecord)
+	c.yByStep = nil
+	c.feasibility = nil
+}
+
+// curKey returns the key of p's current interval.
+func (c *Continuous) curKey(p trace.PageID) intervalKey {
+	return intervalKey{page: p, j: c.reqCount[p] - 1}
+}
+
+// closeInterval finalizes p's current interval at a request boundary
+// (before any raise at the current step).
+func (c *Continuous) closeInterval(p trace.PageID) {
+	if c.reqCount[p] == 0 {
+		return // first request: no previous interval
+	}
+	key := c.curKey(p)
+	rec := c.record(key, c.owner[p])
+	if rec.closed {
+		return // already closed by Victim earlier in this step
+	}
+	rec.sumY = c.cumY - c.yBase[p]
+	rec.closed = true
+	delete(c.out, p)
+}
+
+func (c *Continuous) record(key intervalKey, owner trace.Tenant) *intervalRecord {
+	rec, ok := c.intervals[key]
+	if !ok {
+		rec = &intervalRecord{owner: owner}
+		c.intervals[key] = rec
+	}
+	return rec
+}
+
+// remainingBudget is the victim-selection quantity of ALG-CONT: the cached
+// page's gradient slack f'(m+1) - sum(y over its interval so far).
+func (c *Continuous) remainingBudget(p trace.PageID) float64 {
+	ow := c.owner[p]
+	return c.opt.marginal(ow, c.m[ow]) - (c.cumY - c.yBase[p])
+}
+
+// OnHit closes the page's interval and opens the next one.
+func (c *Continuous) OnHit(step int, r trace.Request) {
+	c.noteStep(step)
+	c.nextSeq++
+	c.closeInterval(r.Page)
+	c.reqCount[r.Page]++
+	c.yBase[r.Page] = c.cumY
+	c.seq[r.Page] = c.nextSeq
+}
+
+// Victim closes the incoming page's out-interval, then raises y_t until the
+// first cached page's gradient condition becomes tight and returns it.
+func (c *Continuous) Victim(step int, r trace.Request) trace.PageID {
+	c.noteStep(step)
+	// The requested page (if previously seen and out) leaves the "outside
+	// cache" set before the raise: z°(p_t, ·) must not grow at its own
+	// request step.
+	c.closeInterval(r.Page)
+	var best trace.PageID
+	bestB := math.Inf(1)
+	bestSeq := 0
+	found := false
+	for p := range c.cached {
+		b := c.remainingBudget(p)
+		if !found || b < bestB || (b == bestB && c.seq[p] < bestSeq) {
+			best, bestB, bestSeq, found = p, b, c.seq[p], true
+		}
+	}
+	if !found {
+		panic("core: Continuous.Victim called with empty cache")
+	}
+	c.pendingY = bestB
+	c.pendingVictim = best
+	c.havePending = true
+	return best
+}
+
+// OnEvict applies the pending raise: y_t increases, z° of every page outside
+// the cache grows at the same rate, and the victim's eviction variable is
+// set with its certificate recorded.
+func (c *Continuous) OnEvict(step int, p trace.PageID) {
+	if !c.havePending || c.pendingVictim != p {
+		panic("core: OnEvict without matching Victim")
+	}
+	c.havePending = false
+	y := c.pendingY
+	c.cumY += y
+	for len(c.yByStep) <= step {
+		c.yByStep = append(c.yByStep, 0)
+	}
+	c.yByStep[step] += y
+	// z grows for pages outside the cache; the incoming page was already
+	// removed from the out set in Victim, and the victim joins the out set
+	// only after the raise.
+	for q := range c.out {
+		rec := c.record(c.curKey(q), c.owner[q])
+		rec.z += y
+	}
+	// Evict p: set x°(p, j) = 1 and record the tight gradient certificate
+	// f'(m(i(p), t_hat)) = f'(m_before + 1).
+	ow := c.owner[p]
+	key := c.curKey(p)
+	rec := c.record(key, ow)
+	rec.x = true
+	rec.marginalAtSet = c.opt.marginal(ow, c.m[ow])
+	c.m[ow]++
+	delete(c.cached, p)
+	c.out[p] = true
+}
+
+// OnInsert places the requested page, opening its next interval after any
+// raise at this step.
+func (c *Continuous) OnInsert(step int, r trace.Request) {
+	c.noteStep(step)
+	c.nextSeq++
+	// Cold-miss path without eviction: the interval must still be closed.
+	c.closeInterval(r.Page)
+	c.reqCount[r.Page]++
+	c.yBase[r.Page] = c.cumY
+	c.cached[r.Page] = true
+	c.owner[r.Page] = r.Tenant
+	c.seq[r.Page] = c.nextSeq
+	c.recordFeasibility(step)
+}
+
+// noteStep tracks the current step for Finish().
+func (c *Continuous) noteStep(step int) {
+	if step+1 > c.step {
+		c.step = step + 1
+	}
+}
+
+// recordFeasibility snapshots the primal constraint data after the step.
+func (c *Continuous) recordFeasibility(step int) {
+	c.feasibility = append(c.feasibility, feasRecord{
+		step:     step,
+		seen:     len(c.reqCount),
+		outCount: len(c.out),
+	})
+}
+
+// Finish closes all open intervals at the end of the request sequence. Call
+// it once after the simulation, before CheckInvariants.
+func (c *Continuous) Finish() {
+	for p, n := range c.reqCount {
+		if n == 0 {
+			continue
+		}
+		key := c.curKey(p)
+		if rec, ok := c.intervals[key]; ok && rec.closed {
+			continue
+		}
+		rec := c.record(key, c.owner[p])
+		rec.sumY = c.cumY - c.yBase[p]
+		rec.closed = true
+	}
+}
+
+// Misses returns the internal eviction counter m(i, T).
+func (c *Continuous) Misses(i trace.Tenant) float64 { return c.m[i] }
+
+// InvariantReport summarizes the post-run invariant check.
+type InvariantReport struct {
+	// Intervals is the number of (p, j) variables recorded.
+	Intervals int
+	// Evictions is the number of x°(p,j) = 1 variables.
+	Evictions int
+	// Violations lists every invariant violation found.
+	Violations []string
+}
+
+// Ok reports whether every invariant held.
+func (r InvariantReport) Ok() bool { return len(r.Violations) == 0 }
+
+// CheckInvariants verifies, on the recorded run, the invariant conditions of
+// Section 2.3:
+//
+//	(1a) primal feasibility: at most k pages cached after every step,
+//	(1c) dual feasibility: y°, z° >= 0,
+//	(2a) z°(p,j) > 0 only if x°(p,j) = 1,
+//	(2b) tight gradient equality for every evicted interval,
+//	(3a) gradient non-negativity for every interval at final miss counts.
+//
+// k is the cache size the run used; tol is the floating-point slack
+// (relative to the magnitudes involved).
+func (c *Continuous) CheckInvariants(k int, tol float64) InvariantReport {
+	rep := InvariantReport{Intervals: len(c.intervals)}
+	// (1a): seen - out <= k after each step, i.e. out >= seen - k.
+	for _, fr := range c.feasibility {
+		if fr.seen-fr.outCount > k {
+			rep.Violations = append(rep.Violations, fmt.Sprintf(
+				"(1a) step %d: %d pages cached > k=%d", fr.step, fr.seen-fr.outCount, k))
+		}
+	}
+	// (1c): y >= 0.
+	for s, y := range c.yByStep {
+		if y < -tol {
+			rep.Violations = append(rep.Violations, fmt.Sprintf("(1c) y_%d = %g < 0", s, y))
+		}
+	}
+	for key, rec := range c.intervals {
+		scale := 1 + math.Abs(rec.sumY) + math.Abs(rec.z) + math.Abs(rec.marginalAtSet)
+		// (1c): z >= 0.
+		if rec.z < -tol*scale {
+			rep.Violations = append(rep.Violations, fmt.Sprintf(
+				"(1c) z(%d,%d) = %g < 0", key.page, key.j, rec.z))
+		}
+		// (2a): z > 0 implies x = 1.
+		if rec.z > tol*scale && !rec.x {
+			rep.Violations = append(rep.Violations, fmt.Sprintf(
+				"(2a) z(%d,%d) = %g > 0 but x = 0", key.page, key.j, rec.z))
+		}
+		if rec.x {
+			rep.Evictions++
+			// (2b): f'(m(i, t_hat)) - sumY + z = 0.
+			lhs := rec.marginalAtSet - rec.sumY + rec.z
+			if math.Abs(lhs) > tol*scale {
+				rep.Violations = append(rep.Violations, fmt.Sprintf(
+					"(2b) interval (%d,%d): |%g - %g + %g| = %g != 0",
+					key.page, key.j, rec.marginalAtSet, rec.sumY, rec.z, lhs))
+			}
+		}
+		// (3a): f'(m(i,T)) - sumY + z >= 0.
+		gradFinal := c.opt.cost(rec.owner).Deriv(c.m[rec.owner])
+		lhs := gradFinal - rec.sumY + rec.z
+		if lhs < -tol*(1+math.Abs(gradFinal)+math.Abs(rec.sumY)+math.Abs(rec.z)) {
+			rep.Violations = append(rep.Violations, fmt.Sprintf(
+				"(3a) interval (%d,%d): %g - %g + %g = %g < 0",
+				key.page, key.j, gradFinal, rec.sumY, rec.z, lhs))
+		}
+	}
+	return rep
+}
+
+// DualObjective returns sum_t y_t * (|B(t)| - k) - sum_{p,j} z(p,j), a
+// diagnostic mirror of the Lagrangian dual value accumulated by the run.
+func (c *Continuous) DualObjective(k int) float64 {
+	total := 0.0
+	for i, fr := range c.feasibility {
+		if fr.step < len(c.yByStep) {
+			total += c.yByStep[fr.step] * float64(fr.seen-k)
+		}
+		_ = i
+	}
+	for _, rec := range c.intervals {
+		total -= rec.z
+	}
+	return total
+}

@@ -1,0 +1,257 @@
+// Package core implements the paper's contribution: the online caching
+// algorithm for convex per-tenant miss costs of Menache & Singh (SPAA 2015).
+//
+// Three interchangeable implementations are provided:
+//
+//   - Discrete: the literal ALG-DISCRETE of Figure 3, maintaining an explicit
+//     budget B(p) per cached page with the paper's three update rules
+//     (subtract the evicted budget from everyone, refresh on hit, and apply
+//     the same-owner second-order correction). It is the reference
+//     implementation and also hosts the ablation variants of experiment E9.
+//
+//   - Fast: an O(#tenants) -per-eviction reformulation. Observing that the
+//     budget of a cached page always equals
+//     marginal(owner) - (aging since the page's last request), where
+//     marginal(i) = f_i'(m_i + 1) and aging is the running sum of evicted
+//     budgets, the victim is the least-recently-requested page of the tenant
+//     minimizing marginal(i) - age(i's LRU page). Equivalence with Discrete
+//     is property-tested.
+//
+//   - Continuous: ALG-CONT of Figure 2 with explicit primal and dual
+//     variables (x°, y°, z°) and a post-run checker for the paper's
+//     invariants (Section 2.3), used to validate the analysis, not for
+//     performance.
+//
+// All three satisfy sim.Policy.
+package core
+
+import (
+	"fmt"
+
+	"convexcache/internal/costfn"
+	"convexcache/internal/trace"
+)
+
+// FlushWeight is the effectively-infinite per-miss weight given to the
+// paper's dummy flush tenant, whose pages must never be evicted before the
+// end of the sequence.
+const FlushWeight = 1e18
+
+// FlushCost returns the dummy tenant's cost function.
+func FlushCost() costfn.Func { return costfn.Linear{W: FlushWeight} }
+
+// Options configures the algorithm.
+type Options struct {
+	// Costs holds f_i per tenant. Tenants beyond the slice default to
+	// Linear{W: 1}.
+	Costs []costfn.Func
+	// UseDiscreteDeriv replaces f'(x) by the finite difference
+	// f(x) - f(x-1), the Section 2.5 variant for arbitrary (possibly
+	// non-differentiable) cost functions.
+	UseDiscreteDeriv bool
+	// CountMisses switches the internal miss counter m(i,t) from the
+	// paper's eviction count to the fetch (miss) count. Supported by Fast
+	// and Discrete.
+	CountMisses bool
+
+	// Ablation switches (Discrete only; experiment E9).
+
+	// DisableAging skips the "subtract B(p) from every other page" step,
+	// removing the greedy-dual aging mechanism.
+	DisableAging bool
+	// DisableOwnerCorrection skips the same-owner second-order update
+	// B(p') += f'(m+2) - f'(m+1).
+	DisableOwnerCorrection bool
+	// DisableHitRefresh leaves B(p) unchanged on cache hits instead of
+	// restoring it to the current marginal.
+	DisableHitRefresh bool
+}
+
+// cost returns the cost function of tenant i.
+func (o Options) cost(i trace.Tenant) costfn.Func {
+	if int(i) < len(o.Costs) && o.Costs[i] != nil {
+		return o.Costs[i]
+	}
+	return costfn.Linear{W: 1}
+}
+
+// Marginal returns the marginal cost of the (m+1)-st miss of tenant i:
+// f_i'(m+1) in the paper's differentiable setting, or the finite difference
+// f_i(m+1)-f_i(m) in discrete-derivative mode. Exported for substrates
+// (e.g. the buffer pool) that embed the budget rule.
+func (o Options) Marginal(i trace.Tenant, m float64) float64 {
+	return o.marginal(i, m)
+}
+
+// marginal returns the marginal cost of the (m+1)-st miss of tenant i:
+// f_i'(m+1) in the paper's differentiable setting, or the finite difference
+// f_i(m+1)-f_i(m) in discrete-derivative mode.
+func (o Options) marginal(i trace.Tenant, m float64) float64 {
+	f := o.cost(i)
+	if o.UseDiscreteDeriv {
+		return costfn.DiscreteDeriv(f, m)
+	}
+	return f.Deriv(m + 1)
+}
+
+// Discrete is the reference ALG-DISCRETE of Figure 3.
+type Discrete struct {
+	opt Options
+
+	budget map[trace.PageID]float64
+	owner  map[trace.PageID]trace.Tenant
+	seq    map[trace.PageID]int // last-request sequence, tie-break
+	m      map[trace.Tenant]float64
+
+	nextSeq int
+	pending *pendingEviction
+}
+
+// pendingEviction carries the state of the step's eviction from OnEvict to
+// OnInsert, where Figure 3's post-eviction updates are applied.
+type pendingEviction struct {
+	victimBudget float64
+	victimOwner  trace.Tenant
+	// mBefore is the victim owner's counter before this eviction.
+	mBefore float64
+	// correction is f'(mBefore+2) - f'(mBefore+1) for the victim's owner.
+	correction float64
+}
+
+// NewDiscrete returns a fresh reference implementation.
+func NewDiscrete(opt Options) *Discrete {
+	d := &Discrete{opt: opt}
+	d.Reset()
+	return d
+}
+
+// Name implements sim.Policy.
+func (d *Discrete) Name() string { return "alg-discrete" }
+
+// Reset implements sim.Policy.
+func (d *Discrete) Reset() {
+	d.budget = make(map[trace.PageID]float64)
+	d.owner = make(map[trace.PageID]trace.Tenant)
+	d.seq = make(map[trace.PageID]int)
+	d.m = make(map[trace.Tenant]float64)
+	d.nextSeq = 0
+	d.pending = nil
+}
+
+// OnHit refreshes the page's budget to the current marginal (Figure 3's
+// "update B(p_t)" on the hit path).
+func (d *Discrete) OnHit(step int, r trace.Request) {
+	d.nextSeq++
+	if d.opt.DisableHitRefresh {
+		return
+	}
+	d.budget[r.Page] = d.opt.marginal(r.Tenant, d.m[r.Tenant])
+	d.seq[r.Page] = d.nextSeq
+}
+
+// Victim returns the cached page with the smallest budget, breaking ties by
+// the earliest last request (the deterministic reading of "the first page
+// ... for which the condition is satisfied").
+func (d *Discrete) Victim(step int, r trace.Request) trace.PageID {
+	var best trace.PageID
+	bestB := 0.0
+	bestSeq := 0
+	found := false
+	for p, b := range d.budget {
+		if !found || b < bestB || (b == bestB && d.seq[p] < bestSeq) {
+			best, bestB, bestSeq, found = p, b, d.seq[p], true
+		}
+	}
+	if !found {
+		panic("core: Victim called with empty cache")
+	}
+	return best
+}
+
+// OnEvict records the eviction and stages Figure 3's post-eviction updates.
+func (d *Discrete) OnEvict(step int, p trace.PageID) {
+	ow := d.owner[p]
+	vb := d.budget[p]
+	delete(d.budget, p)
+	delete(d.owner, p)
+	delete(d.seq, p)
+	mBefore := d.m[ow]
+	if !d.opt.CountMisses {
+		d.m[ow] = mBefore + 1
+	}
+	corr := d.opt.marginal(ow, mBefore+1) - d.opt.marginal(ow, mBefore)
+	d.pending = &pendingEviction{victimBudget: vb, victimOwner: ow, mBefore: mBefore, correction: corr}
+}
+
+// OnInsert applies the staged eviction updates and installs the new page's
+// budget.
+func (d *Discrete) OnInsert(step int, r trace.Request) {
+	d.nextSeq++
+	if d.pending != nil {
+		pe := d.pending
+		d.pending = nil
+		// Subtract the evicted budget from every resident page; the new
+		// page is not yet inserted and is therefore exempt, matching
+		// "for each p' not in {p, p_t}".
+		if !d.opt.DisableAging {
+			for p := range d.budget {
+				d.budget[p] -= pe.victimBudget
+			}
+		}
+		// Set B(p_t) from m(i(p_t), t-1): the counter before this step's
+		// eviction.
+		mUse := d.m[r.Tenant]
+		if !d.opt.CountMisses && r.Tenant == pe.victimOwner {
+			mUse = pe.mBefore
+		}
+		d.insert(r, d.opt.marginal(r.Tenant, mUse))
+		// Same-owner correction, including p_t when it shares the owner.
+		if !d.opt.DisableOwnerCorrection && !d.opt.CountMisses {
+			for p, ow := range d.owner {
+				if ow == pe.victimOwner {
+					d.budget[p] += pe.correction
+				}
+			}
+		}
+	} else {
+		d.insert(r, d.opt.marginal(r.Tenant, d.m[r.Tenant]))
+	}
+	if d.opt.CountMisses {
+		// Miss-count mode: the counter advances on the fetch itself, and
+		// the same-owner correction applies to the fetching tenant.
+		mOld := d.m[r.Tenant]
+		d.m[r.Tenant] = mOld + 1
+		if !d.opt.DisableOwnerCorrection {
+			corr := d.opt.marginal(r.Tenant, mOld+1) - d.opt.marginal(r.Tenant, mOld)
+			for p, ow := range d.owner {
+				if p != r.Page && ow == r.Tenant {
+					d.budget[p] += corr
+				}
+			}
+			// The new page itself was just set with the pre-increment
+			// marginal; bring it to the post-increment one.
+			d.budget[r.Page] += corr
+		}
+	}
+}
+
+func (d *Discrete) insert(r trace.Request, b float64) {
+	d.budget[r.Page] = b
+	d.owner[r.Page] = r.Tenant
+	d.seq[r.Page] = d.nextSeq
+}
+
+// Misses returns the internal per-tenant counter m(i, t) (evictions by
+// default, fetches in CountMisses mode).
+func (d *Discrete) Misses(i trace.Tenant) float64 { return d.m[i] }
+
+// Budget exposes a cached page's current budget for tests.
+func (d *Discrete) Budget(p trace.PageID) (float64, bool) {
+	b, ok := d.budget[p]
+	return b, ok
+}
+
+// debugString dumps the cache state for failure messages.
+func (d *Discrete) debugString() string {
+	return fmt.Sprintf("budgets=%v m=%v", d.budget, d.m)
+}

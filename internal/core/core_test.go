@@ -1,0 +1,393 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"convexcache/internal/costfn"
+	"convexcache/internal/policy"
+	"convexcache/internal/sim"
+	"convexcache/internal/trace"
+)
+
+// randomTrace builds a seeded multi-tenant trace with tenant-local pages.
+func randomTrace(seed int64, tenants, pagesPer, length int) *trace.Trace {
+	rng := rand.New(rand.NewSource(seed))
+	b := trace.NewBuilder()
+	for i := 0; i < length; i++ {
+		tn := rng.Intn(tenants)
+		b.Add(trace.Tenant(tn), trace.PageID(tn*1000+rng.Intn(pagesPer)))
+	}
+	return b.MustBuild()
+}
+
+// evictionLog runs a policy and returns the eviction sequence.
+func evictionLog(t *testing.T, tr *trace.Trace, p sim.Policy, k int) []trace.PageID {
+	t.Helper()
+	var evs []trace.PageID
+	_, err := sim.Run(tr, p, sim.Config{K: k, Observer: func(ev sim.Event) {
+		if ev.Evicted >= 0 {
+			evs = append(evs, ev.Evicted)
+		}
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return evs
+}
+
+var testCostSets = map[string][]costfn.Func{
+	"linear-unit":  {costfn.Linear{W: 1}, costfn.Linear{W: 1}, costfn.Linear{W: 1}},
+	"linear-mixed": {costfn.Linear{W: 1}, costfn.Linear{W: 3}, costfn.Linear{W: 7}},
+	"quadratic":    {costfn.Monomial{C: 1, Beta: 2}, costfn.Monomial{C: 1, Beta: 2}, costfn.Monomial{C: 2, Beta: 2}},
+	"mixed-convex": {costfn.Linear{W: 2}, costfn.Monomial{C: 1, Beta: 2}, costfn.Monomial{C: 1, Beta: 3}},
+}
+
+func TestDiscreteFastEquivalence(t *testing.T) {
+	for name, costs := range testCostSets {
+		for seed := int64(0); seed < 6; seed++ {
+			tr := randomTrace(seed, 3, 8, 400)
+			for _, k := range []int{2, 4, 7} {
+				opt := Options{Costs: costs}
+				dLog := evictionLog(t, tr, NewDiscrete(opt), k)
+				fLog := evictionLog(t, tr, NewFast(opt), k)
+				if len(dLog) != len(fLog) {
+					t.Fatalf("%s seed=%d k=%d: eviction counts differ: %d vs %d",
+						name, seed, k, len(dLog), len(fLog))
+				}
+				for i := range dLog {
+					if dLog[i] != fLog[i] {
+						t.Fatalf("%s seed=%d k=%d: eviction %d differs: discrete=%d fast=%d",
+							name, seed, k, i, dLog[i], fLog[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestDiscreteFastEquivalenceCountMisses(t *testing.T) {
+	costs := testCostSets["quadratic"]
+	for seed := int64(0); seed < 4; seed++ {
+		tr := randomTrace(100+seed, 3, 6, 300)
+		opt := Options{Costs: costs, CountMisses: true}
+		dLog := evictionLog(t, tr, NewDiscrete(opt), 4)
+		fLog := evictionLog(t, tr, NewFast(opt), 4)
+		if len(dLog) != len(fLog) {
+			t.Fatalf("seed=%d: eviction counts differ: %d vs %d", seed, len(dLog), len(fLog))
+		}
+		for i := range dLog {
+			if dLog[i] != fLog[i] {
+				t.Fatalf("seed=%d: eviction %d differs: %d vs %d", seed, i, dLog[i], fLog[i])
+			}
+		}
+	}
+}
+
+func TestContinuousDiscreteEquivalence(t *testing.T) {
+	for name, costs := range testCostSets {
+		for seed := int64(0); seed < 4; seed++ {
+			tr := randomTrace(200+seed, 3, 6, 250)
+			opt := Options{Costs: costs}
+			dLog := evictionLog(t, tr, NewDiscrete(opt), 4)
+			cLog := evictionLog(t, tr, NewContinuous(opt), 4)
+			if len(dLog) != len(cLog) {
+				t.Fatalf("%s seed=%d: eviction counts differ: %d vs %d", name, seed, len(dLog), len(cLog))
+			}
+			for i := range dLog {
+				if dLog[i] != cLog[i] {
+					t.Fatalf("%s seed=%d: eviction %d differs: discrete=%d cont=%d",
+						name, seed, i, dLog[i], cLog[i])
+				}
+			}
+		}
+	}
+}
+
+func TestContinuousInvariantsHoldWithFlush(t *testing.T) {
+	for name, costs := range testCostSets {
+		for seed := int64(0); seed < 4; seed++ {
+			base := randomTrace(300+seed, 3, 6, 200)
+			k := 4
+			flushed, dummy, err := trace.WithFlush(base, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			costsWithDummy := append(append([]costfn.Func{}, costs...), nil)
+			costsWithDummy[dummy] = FlushCost()
+			c := NewContinuous(Options{Costs: costsWithDummy})
+			if _, err := sim.Run(flushed, c, sim.Config{K: k}); err != nil {
+				t.Fatal(err)
+			}
+			c.Finish()
+			rep := c.CheckInvariants(k, 1e-7)
+			if !rep.Ok() {
+				for _, v := range rep.Violations {
+					t.Errorf("%s seed=%d: %s", name, seed, v)
+				}
+				t.Fatalf("%s seed=%d: %d invariant violations (%d intervals, %d evictions)",
+					name, seed, len(rep.Violations), rep.Intervals, rep.Evictions)
+			}
+			if rep.Evictions == 0 {
+				t.Fatalf("%s seed=%d: run had no evictions; test is vacuous", name, seed)
+			}
+		}
+	}
+}
+
+func TestSingleTenantLinearEqualsLRU(t *testing.T) {
+	// With one tenant and linear cost, ALG-DISCRETE's budgets order pages
+	// by last request, i.e. it degenerates to LRU exactly.
+	for seed := int64(0); seed < 5; seed++ {
+		tr := randomTrace(400+seed, 1, 10, 500)
+		opt := Options{Costs: []costfn.Func{costfn.Linear{W: 1}}}
+		for _, k := range []int{2, 3, 5} {
+			dLog := evictionLog(t, tr, NewDiscrete(opt), k)
+			lLog := evictionLog(t, tr, policy.NewLRU(), k)
+			if len(dLog) != len(lLog) {
+				t.Fatalf("seed=%d k=%d: eviction counts differ", seed, k)
+			}
+			for i := range dLog {
+				if dLog[i] != lLog[i] {
+					t.Fatalf("seed=%d k=%d: eviction %d: alg=%d lru=%d", seed, k, i, dLog[i], lLog[i])
+				}
+			}
+		}
+	}
+}
+
+func TestLinearCostsMatchGreedyDual(t *testing.T) {
+	// With linear weights, ALG-DISCRETE is Young's greedy-dual rule.
+	// Integer weights keep every budget exactly representable, so the
+	// eviction sequences must coincide victim by victim.
+	weights := []float64{1, 3, 7}
+	costs := []costfn.Func{costfn.Linear{W: weights[0]}, costfn.Linear{W: weights[1]}, costfn.Linear{W: weights[2]}}
+	for seed := int64(0); seed < 5; seed++ {
+		tr := randomTrace(500+seed, 3, 7, 400)
+		aLog := evictionLog(t, tr, NewDiscrete(Options{Costs: costs}), 5)
+		gLog := evictionLog(t, tr, policy.NewGreedyDual(weights), 5)
+		if len(aLog) != len(gLog) {
+			t.Fatalf("seed=%d: eviction counts differ: %d vs %d", seed, len(aLog), len(gLog))
+		}
+		for i := range aLog {
+			if aLog[i] != gLog[i] {
+				t.Fatalf("seed=%d: eviction %d: alg=%d greedy-dual=%d", seed, i, aLog[i], gLog[i])
+			}
+		}
+	}
+	// Fractional weights may flip exact ties through floating-point drift
+	// in the reference implementation's accumulated subtractions; the miss
+	// counts must still agree within a whisker.
+	fw := []float64{1.37, 2.91, 0.53}
+	fcosts := []costfn.Func{costfn.Linear{W: fw[0]}, costfn.Linear{W: fw[1]}, costfn.Linear{W: fw[2]}}
+	for seed := int64(0); seed < 5; seed++ {
+		tr := randomTrace(500+seed, 3, 7, 400)
+		alg := sim.MustRun(tr, NewDiscrete(Options{Costs: fcosts}), sim.Config{K: 5})
+		gd := sim.MustRun(tr, policy.NewGreedyDual(fw), sim.Config{K: 5})
+		diff := alg.TotalMisses() - gd.TotalMisses()
+		if diff < -3 || diff > 3 {
+			t.Errorf("seed=%d: alg misses %d vs greedy-dual %d (tie drift exceeded)", seed, alg.TotalMisses(), gd.TotalMisses())
+		}
+	}
+}
+
+func TestConvexCostProtectsHighPressureTenant(t *testing.T) {
+	// Tenant 0 has quadratic cost and a page that is periodically reused;
+	// tenant 1 floods with linear-cheap single-use pages. As tenant 0's
+	// misses mount, its marginal grows and its pages must be protected,
+	// unlike under LRU.
+	costs := []costfn.Func{costfn.Monomial{C: 1, Beta: 2}, costfn.Linear{W: 0.5}}
+	b := trace.NewBuilder()
+	flood := 0
+	for round := 0; round < 50; round++ {
+		b.Add(0, trace.PageID(round%4)) // tenant 0 working set of 4 pages
+		for j := 0; j < 3; j++ {
+			flood++
+			b.Add(1, trace.PageID(1000+flood)) // single-use flood
+		}
+	}
+	tr := b.MustBuild()
+	k := 5
+	alg := sim.MustRun(tr, NewDiscrete(Options{Costs: costs}), sim.Config{K: k})
+	lru := sim.MustRun(tr, policy.NewLRU(), sim.Config{K: k})
+	algCost := alg.Cost(costs)
+	lruCost := lru.Cost(costs)
+	if algCost >= lruCost {
+		t.Errorf("ALG cost %g not better than LRU %g on convex-pressure workload", algCost, lruCost)
+	}
+}
+
+func TestBudgetsStayNonNegative(t *testing.T) {
+	// The continuous argument implies cached budgets never go negative:
+	// y_t is the minimum remaining budget. Verify on random runs for both
+	// implementations.
+	costs := testCostSets["mixed-convex"]
+	tr := randomTrace(77, 3, 6, 300)
+	cached := make(map[trace.PageID]bool)
+	check := func(name string, budget func(trace.PageID) (float64, bool)) sim.Observer {
+		return func(ev sim.Event) {
+			if ev.Evicted >= 0 {
+				delete(cached, ev.Evicted)
+			}
+			if ev.Miss {
+				cached[ev.Req.Page] = true
+			}
+			for p := range cached {
+				b, ok := budget(p)
+				if !ok {
+					t.Fatalf("%s: cached page %d missing from policy state", name, p)
+				}
+				if b < -1e-9 {
+					t.Fatalf("%s: page %d budget %g < 0 at step %d", name, p, b, ev.Step)
+				}
+			}
+		}
+	}
+	d := NewDiscrete(Options{Costs: costs})
+	cached = make(map[trace.PageID]bool)
+	sim.MustRun(tr, d, sim.Config{K: 4, Observer: check("discrete", d.Budget)})
+	f := NewFast(Options{Costs: costs})
+	cached = make(map[trace.PageID]bool)
+	sim.MustRun(tr, f, sim.Config{K: 4, Observer: check("fast", f.Budget)})
+}
+
+func TestDiscreteDerivModeRuns(t *testing.T) {
+	// Section 2.5: with discrete differences the algorithm applies to
+	// arbitrary cost functions. Use a piecewise-linear SLA where analytic
+	// and discrete derivatives differ around the breakpoint.
+	slaA, err := costfn.SLARefund(5, 0.1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	costs := []costfn.Func{slaA, costfn.Linear{W: 1}}
+	tr := randomTrace(88, 2, 6, 300)
+	cont := sim.MustRun(tr, NewDiscrete(Options{Costs: costs}), sim.Config{K: 4})
+	disc := sim.MustRun(tr, NewDiscrete(Options{Costs: costs, UseDiscreteDeriv: true}), sim.Config{K: 4})
+	if cont.TotalMisses() == 0 || disc.TotalMisses() == 0 {
+		t.Fatal("vacuous run")
+	}
+	// Both modes must serve the trace; totals may differ but stay within
+	// the request count.
+	if disc.TotalMisses() > int64(tr.Len()) {
+		t.Errorf("discrete-deriv misses out of range")
+	}
+}
+
+func TestAblationVariantsDiffer(t *testing.T) {
+	// Each ablation must change behaviour on at least one workload. Use a
+	// hit-heavy multi-tenant trace with convex costs.
+	costs := []costfn.Func{costfn.Monomial{C: 1, Beta: 2}, costfn.Linear{W: 1}, costfn.Monomial{C: 1, Beta: 3}}
+	base := Options{Costs: costs}
+	variants := map[string]Options{
+		"no-aging":      {Costs: costs, DisableAging: true},
+		"no-correction": {Costs: costs, DisableOwnerCorrection: true},
+		"no-refresh":    {Costs: costs, DisableHitRefresh: true},
+	}
+	for name, opt := range variants {
+		differs := false
+		for seed := int64(0); seed < 8 && !differs; seed++ {
+			tr := randomTrace(600+seed, 3, 6, 400)
+			a := evictionLog(t, tr, NewDiscrete(base), 4)
+			v := evictionLog(t, tr, NewDiscrete(opt), 4)
+			if len(a) != len(v) {
+				differs = true
+				break
+			}
+			for i := range a {
+				if a[i] != v[i] {
+					differs = true
+					break
+				}
+			}
+		}
+		if !differs {
+			t.Errorf("ablation %s produced identical behaviour on all seeds", name)
+		}
+	}
+}
+
+func TestResetReproducible(t *testing.T) {
+	costs := testCostSets["mixed-convex"]
+	tr := randomTrace(909, 3, 6, 300)
+	for _, mk := range []func() sim.Policy{
+		func() sim.Policy { return NewDiscrete(Options{Costs: costs}) },
+		func() sim.Policy { return NewFast(Options{Costs: costs}) },
+		func() sim.Policy { return NewContinuous(Options{Costs: costs}) },
+	} {
+		p := mk()
+		first := sim.MustRun(tr, p, sim.Config{K: 4})
+		p.Reset()
+		second := sim.MustRun(tr, p, sim.Config{K: 4})
+		if first.TotalMisses() != second.TotalMisses() {
+			t.Errorf("%s: not reproducible after Reset", p.Name())
+		}
+	}
+}
+
+func TestMissesAccessors(t *testing.T) {
+	costs := []costfn.Func{costfn.Linear{W: 1}, costfn.Linear{W: 1}}
+	tr := randomTrace(13, 2, 5, 200)
+	d := NewDiscrete(Options{Costs: costs})
+	res := sim.MustRun(tr, d, sim.Config{K: 3})
+	// Internal counter in eviction mode equals the engine's eviction
+	// counts.
+	for i := 0; i < 2; i++ {
+		if got, want := d.Misses(trace.Tenant(i)), float64(res.Evictions[i]); got != want {
+			t.Errorf("tenant %d: internal m=%g, engine evictions=%g", i, got, want)
+		}
+	}
+	dm := NewDiscrete(Options{Costs: costs, CountMisses: true})
+	resM := sim.MustRun(tr, dm, sim.Config{K: 3})
+	for i := 0; i < 2; i++ {
+		if got, want := dm.Misses(trace.Tenant(i)), float64(resM.Misses[i]); got != want {
+			t.Errorf("tenant %d (miss mode): internal m=%g, engine misses=%g", i, got, want)
+		}
+	}
+}
+
+func TestContinuousPanicsOnUnsupportedModes(t *testing.T) {
+	for _, opt := range []Options{{CountMisses: true}, {UseDiscreteDeriv: true}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewContinuous(%+v) did not panic", opt)
+				}
+			}()
+			NewContinuous(opt)
+		}()
+	}
+}
+
+func TestFlushCostIsEffectivelyInfinite(t *testing.T) {
+	f := FlushCost()
+	if f.Deriv(0) < 1e17 {
+		t.Errorf("flush marginal too small: %g", f.Deriv(0))
+	}
+	if math.IsInf(f.Deriv(0), 1) {
+		t.Errorf("flush marginal must be finite to keep arithmetic sane")
+	}
+}
+
+func TestFlushedRunEvictsAllRealPages(t *testing.T) {
+	// After the dummy flush, eviction counts equal miss counts for every
+	// real tenant (the paper's accounting identity).
+	costs := testCostSets["quadratic"]
+	base := randomTrace(321, 3, 5, 200)
+	k := 4
+	flushed, dummy, err := trace.WithFlush(base, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := append(append([]costfn.Func{}, costs...), nil)
+	cs[dummy] = FlushCost()
+	res := sim.MustRun(flushed, NewDiscrete(Options{Costs: cs}), sim.Config{K: k})
+	for i := 0; i < 3; i++ {
+		if res.Misses[i] != res.Evictions[i] {
+			t.Errorf("tenant %d: misses %d != evictions %d after flush", i, res.Misses[i], res.Evictions[i])
+		}
+	}
+	if res.Evictions[dummy] != 0 {
+		t.Errorf("dummy tenant evicted %d times", res.Evictions[dummy])
+	}
+}

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"container/list"
+
+	"convexcache/internal/trace"
+)
+
+// Fast is the production implementation of the paper's algorithm.
+//
+// It relies on the following reformulation of Figure 3's budget dynamics:
+// the budget of a cached page p always equals
+//
+//	B(p) = marginal(i(p), m_i) - (A - ageStart(p))
+//
+// where marginal(i, m) = f_i'(m+1), A is the running sum of evicted budgets
+// (the global aging), and ageStart(p) is the value of A at p's last request.
+// The subtraction step of Figure 3 is the growth of A; the same-owner
+// correction is absorbed by evaluating marginal at the owner's current
+// counter; the hit refresh resets ageStart.
+//
+// Because A is monotone, within a tenant the minimum-budget page is always
+// the least-recently-requested one, so a per-tenant recency list suffices
+// and an eviction costs O(#tenants).
+type Fast struct {
+	opt Options
+
+	aging float64
+	m     map[trace.Tenant]float64
+	// lists[i] holds tenant i's cached pages, front = most recent.
+	lists map[trace.Tenant]*list.List
+	elem  map[trace.PageID]*list.Element
+	info  map[trace.PageID]*fastPage
+
+	nextSeq int
+}
+
+type fastPage struct {
+	owner    trace.Tenant
+	ageStart float64
+	seq      int
+}
+
+// NewFast returns a fresh Fast instance.
+func NewFast(opt Options) *Fast {
+	f := &Fast{opt: opt}
+	f.Reset()
+	return f
+}
+
+// Name implements sim.Policy.
+func (f *Fast) Name() string { return "alg-fast" }
+
+// Reset implements sim.Policy.
+func (f *Fast) Reset() {
+	f.aging = 0
+	f.m = make(map[trace.Tenant]float64)
+	f.lists = make(map[trace.Tenant]*list.List)
+	f.elem = make(map[trace.PageID]*list.Element)
+	f.info = make(map[trace.PageID]*fastPage)
+	f.nextSeq = 0
+}
+
+func (f *Fast) tenantList(i trace.Tenant) *list.List {
+	l, ok := f.lists[i]
+	if !ok {
+		l = list.New()
+		f.lists[i] = l
+	}
+	return l
+}
+
+// budgetOf computes the effective budget of a cached page.
+func (f *Fast) budgetOf(p trace.PageID) float64 {
+	pg := f.info[p]
+	return f.opt.marginal(pg.owner, f.m[pg.owner]) - (f.aging - pg.ageStart)
+}
+
+// OnHit refreshes the page's recency and aging origin.
+func (f *Fast) OnHit(step int, r trace.Request) {
+	f.nextSeq++
+	pg, ok := f.info[r.Page]
+	if !ok {
+		return
+	}
+	pg.ageStart = f.aging
+	pg.seq = f.nextSeq
+	f.tenantList(r.Tenant).MoveToFront(f.elem[r.Page])
+}
+
+// OnInsert registers the page with the current marginal as its budget.
+func (f *Fast) OnInsert(step int, r trace.Request) {
+	f.nextSeq++
+	if f.opt.CountMisses {
+		f.m[r.Tenant]++
+	}
+	f.info[r.Page] = &fastPage{owner: r.Tenant, ageStart: f.aging, seq: f.nextSeq}
+	f.elem[r.Page] = f.tenantList(r.Tenant).PushFront(r.Page)
+}
+
+// Victim scans the per-tenant LRU candidates for the minimum budget.
+func (f *Fast) Victim(step int, r trace.Request) trace.PageID {
+	var best trace.PageID
+	bestB := 0.0
+	bestSeq := 0
+	found := false
+	for i, l := range f.lists {
+		back := l.Back()
+		if back == nil {
+			continue
+		}
+		p := back.Value.(trace.PageID)
+		pg := f.info[p]
+		b := f.opt.marginal(i, f.m[i]) - (f.aging - pg.ageStart)
+		if !found || b < bestB || (b == bestB && pg.seq < bestSeq) {
+			best, bestB, bestSeq, found = p, b, pg.seq, true
+		}
+	}
+	if !found {
+		panic("core: Fast.Victim called with empty cache")
+	}
+	return best
+}
+
+// OnEvict ages every resident page by the victim's budget and advances the
+// owner's counter (eviction-count mode).
+func (f *Fast) OnEvict(step int, p trace.PageID) {
+	pg, ok := f.info[p]
+	if !ok {
+		return
+	}
+	f.aging += f.budgetOf(p)
+	if !f.opt.CountMisses {
+		f.m[pg.owner]++
+	}
+	f.tenantList(pg.owner).Remove(f.elem[p])
+	delete(f.elem, p)
+	delete(f.info, p)
+}
+
+// Misses returns the internal per-tenant counter m(i, t).
+func (f *Fast) Misses(i trace.Tenant) float64 { return f.m[i] }
+
+// Budget exposes a cached page's current effective budget for tests.
+func (f *Fast) Budget(p trace.PageID) (float64, bool) {
+	if _, ok := f.info[p]; !ok {
+		return 0, false
+	}
+	return f.budgetOf(p), true
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"convexcache/internal/costfn"
+	"convexcache/internal/sim"
+	"convexcache/internal/trace"
+)
+
+// TestQuickDiscreteFastEquivalence drives the two implementations with
+// randomized workloads, cache sizes, integer-friendly cost families and
+// accounting modes, asserting identical eviction sequences throughout.
+func TestQuickDiscreteFastEquivalence(t *testing.T) {
+	prop := func(seed int64, kRaw uint8, countMisses, discreteDeriv bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 2 + int(kRaw%6)
+		// Integer-coefficient cost families keep budget arithmetic exact.
+		mkCost := func() costfn.Func {
+			switch rng.Intn(3) {
+			case 0:
+				return costfn.Linear{W: float64(1 + rng.Intn(5))}
+			case 1:
+				return costfn.Monomial{C: float64(1 + rng.Intn(2)), Beta: 2}
+			default:
+				return costfn.Monomial{C: 1, Beta: 3}
+			}
+		}
+		tenants := 2 + rng.Intn(2)
+		costs := make([]costfn.Func, tenants)
+		for i := range costs {
+			costs[i] = mkCost()
+		}
+		b := trace.NewBuilder()
+		for i := 0; i < 200; i++ {
+			tn := rng.Intn(tenants)
+			b.Add(trace.Tenant(tn), trace.PageID(tn*100+rng.Intn(6)))
+		}
+		tr := b.MustBuild()
+		opt := Options{Costs: costs, CountMisses: countMisses, UseDiscreteDeriv: discreteDeriv}
+		var dLog, fLog []trace.PageID
+		collect := func(out *[]trace.PageID) sim.Observer {
+			return func(ev sim.Event) {
+				if ev.Evicted >= 0 {
+					*out = append(*out, ev.Evicted)
+				}
+			}
+		}
+		if _, err := sim.Run(tr, NewDiscrete(opt), sim.Config{K: k, Observer: collect(&dLog)}); err != nil {
+			return false
+		}
+		if _, err := sim.Run(tr, NewFast(opt), sim.Config{K: k, Observer: collect(&fLog)}); err != nil {
+			return false
+		}
+		if len(dLog) != len(fLog) {
+			return false
+		}
+		for i := range dLog {
+			if dLog[i] != fLog[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickMissAccountingIdentity checks hits + misses == T and
+// evictions <= misses for random runs of both implementations.
+func TestQuickMissAccountingIdentity(t *testing.T) {
+	prop := func(seed int64, useFast bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tenants := 1 + rng.Intn(3)
+		costs := make([]costfn.Func, tenants)
+		for i := range costs {
+			costs[i] = costfn.Monomial{C: 1, Beta: 2}
+		}
+		b := trace.NewBuilder()
+		total := 50 + rng.Intn(200)
+		for i := 0; i < total; i++ {
+			tn := rng.Intn(tenants)
+			b.Add(trace.Tenant(tn), trace.PageID(tn*1000+rng.Intn(12)))
+		}
+		tr := b.MustBuild()
+		var p sim.Policy
+		if useFast {
+			p = NewFast(Options{Costs: costs})
+		} else {
+			p = NewDiscrete(Options{Costs: costs})
+		}
+		res, err := sim.Run(tr, p, sim.Config{K: 2 + rng.Intn(5)})
+		if err != nil {
+			return false
+		}
+		if res.Hits+res.TotalMisses() != int64(tr.Len()) {
+			return false
+		}
+		return res.TotalEvictions() <= res.TotalMisses()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

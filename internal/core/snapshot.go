@@ -1,0 +1,107 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"convexcache/internal/trace"
+)
+
+// FastSnapshot is a serializable checkpoint of a Fast instance: everything
+// needed to resume the algorithm after a process restart with warm cache
+// state (the cache *contents* are the engine's; the snapshot captures the
+// policy's bookkeeping for them).
+type FastSnapshot struct {
+	// Aging is the global offset A.
+	Aging float64 `json:"aging"`
+	// Misses holds the per-tenant counter m(i).
+	Misses map[trace.Tenant]float64 `json:"misses"`
+	// Pages lists the resident pages in per-tenant recency order (most
+	// recent first), preserving victim selection exactly.
+	Pages []PageSnapshot `json:"pages"`
+	// NextSeq is the tie-break counter.
+	NextSeq int `json:"next_seq"`
+}
+
+// PageSnapshot is one resident page's policy state.
+type PageSnapshot struct {
+	// Page is the page id.
+	Page trace.PageID `json:"page"`
+	// Owner is the owning tenant.
+	Owner trace.Tenant `json:"owner"`
+	// AgeStart is the aging offset at the page's last request.
+	AgeStart float64 `json:"age_start"`
+	// Seq is the last-request sequence number.
+	Seq int `json:"seq"`
+}
+
+// Snapshot captures the current state. Cost functions are configuration,
+// not state, and are not serialized; Restore must be called on an instance
+// built with equivalent Options.
+func (f *Fast) Snapshot() FastSnapshot {
+	s := FastSnapshot{
+		Aging:   f.aging,
+		Misses:  make(map[trace.Tenant]float64, len(f.m)),
+		NextSeq: f.nextSeq,
+	}
+	for i, m := range f.m {
+		s.Misses[i] = m
+	}
+	for _, l := range f.lists {
+		for e := l.Front(); e != nil; e = e.Next() {
+			p := e.Value.(trace.PageID)
+			pg := f.info[p]
+			s.Pages = append(s.Pages, PageSnapshot{
+				Page: p, Owner: pg.owner, AgeStart: pg.ageStart, Seq: pg.seq,
+			})
+		}
+	}
+	return s
+}
+
+// Restore replaces the instance's state with the snapshot.
+func (f *Fast) Restore(s FastSnapshot) error {
+	f.Reset()
+	f.aging = s.Aging
+	f.nextSeq = s.NextSeq
+	for i, m := range s.Misses {
+		f.m[i] = m
+	}
+	// Pages arrive most-recent-first per tenant; PushBack preserves order.
+	seen := make(map[trace.PageID]bool, len(s.Pages))
+	for _, ps := range s.Pages {
+		if seen[ps.Page] {
+			return fmt.Errorf("core: snapshot lists page %d twice", ps.Page)
+		}
+		seen[ps.Page] = true
+		f.info[ps.Page] = &fastPage{owner: ps.Owner, ageStart: ps.AgeStart, seq: ps.Seq}
+		f.elem[ps.Page] = f.tenantList(ps.Owner).PushBack(ps.Page)
+	}
+	return nil
+}
+
+// WriteSnapshot serializes the checkpoint as JSON.
+func (f *Fast) WriteSnapshot(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(f.Snapshot())
+}
+
+// ReadSnapshot restores the checkpoint from JSON.
+func (f *Fast) ReadSnapshot(r io.Reader) error {
+	var s FastSnapshot
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return fmt.Errorf("core: decode snapshot: %w", err)
+	}
+	return f.Restore(s)
+}
+
+// ResidentPages returns the snapshot's pages as a set, for reseeding the
+// engine-side cache contents after a restart.
+func (s FastSnapshot) ResidentPages() map[trace.PageID]trace.Tenant {
+	out := make(map[trace.PageID]trace.Tenant, len(s.Pages))
+	for _, p := range s.Pages {
+		out[p.Page] = p.Owner
+	}
+	return out
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"convexcache/internal/costfn"
+	"convexcache/internal/sim"
+	"convexcache/internal/trace"
+)
+
+// resumeHarness drives a Fast instance manually so the cache contents can
+// be carried across the snapshot boundary.
+type resumeHarness struct {
+	k     int
+	alg   *Fast
+	cache map[trace.PageID]bool
+	step  int
+	evict []trace.PageID
+}
+
+func newResumeHarness(k int, alg *Fast) *resumeHarness {
+	return &resumeHarness{k: k, alg: alg, cache: make(map[trace.PageID]bool)}
+}
+
+func (h *resumeHarness) serve(r trace.Request) {
+	h.step++
+	if h.cache[r.Page] {
+		h.alg.OnHit(h.step, r)
+		return
+	}
+	if len(h.cache) >= h.k {
+		v := h.alg.Victim(h.step, r)
+		delete(h.cache, v)
+		h.alg.OnEvict(h.step, v)
+		h.evict = append(h.evict, v)
+	}
+	h.cache[r.Page] = true
+	h.alg.OnInsert(h.step, r)
+}
+
+func TestSnapshotResumeMatchesUninterrupted(t *testing.T) {
+	costs := []costfn.Func{costfn.Monomial{C: 1, Beta: 2}, costfn.Linear{W: 3}}
+	opt := Options{Costs: costs}
+	tr := randomTrace(99, 2, 7, 600)
+	k := 5
+
+	// Uninterrupted run.
+	full := newResumeHarness(k, NewFast(opt))
+	for _, r := range tr.Requests() {
+		full.serve(r)
+	}
+
+	// Interrupted run: snapshot halfway, restore into a fresh instance.
+	half := tr.Len() / 2
+	first := newResumeHarness(k, NewFast(opt))
+	for _, r := range tr.Requests()[:half] {
+		first.serve(r)
+	}
+	var buf bytes.Buffer
+	if err := first.alg.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	resumed := NewFast(opt)
+	if err := resumed.ReadSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	second := newResumeHarness(k, resumed)
+	second.step = first.step
+	// Re-seed the engine-side cache from the snapshot.
+	snap := first.alg.Snapshot()
+	for p := range snap.ResidentPages() {
+		second.cache[p] = true
+	}
+	for _, r := range tr.Requests()[half:] {
+		second.serve(r)
+	}
+
+	combined := append(append([]trace.PageID(nil), first.evict...), second.evict...)
+	if len(combined) != len(full.evict) {
+		t.Fatalf("eviction counts differ: %d vs %d", len(combined), len(full.evict))
+	}
+	for i := range combined {
+		if combined[i] != full.evict[i] {
+			t.Fatalf("eviction %d differs: resumed=%d full=%d", i, combined[i], full.evict[i])
+		}
+	}
+}
+
+func TestSnapshotRoundTripFields(t *testing.T) {
+	opt := Options{Costs: []costfn.Func{costfn.Linear{W: 2}}}
+	f := NewFast(opt)
+	tr := randomTrace(5, 1, 6, 100)
+	sim.MustRun(tr, f, sim.Config{K: 3})
+	s := f.Snapshot()
+	if len(s.Pages) != 3 {
+		t.Fatalf("snapshot pages = %d, want 3", len(s.Pages))
+	}
+	g := NewFast(opt)
+	if err := g.Restore(s); err != nil {
+		t.Fatal(err)
+	}
+	s2 := g.Snapshot()
+	if s2.Aging != s.Aging || s2.NextSeq != s.NextSeq || len(s2.Pages) != len(s.Pages) {
+		t.Errorf("round trip changed state: %+v vs %+v", s2, s)
+	}
+	for i := range s.Pages {
+		if s.Pages[i] != s2.Pages[i] {
+			t.Errorf("page %d differs: %+v vs %+v", i, s.Pages[i], s2.Pages[i])
+		}
+	}
+}
+
+func TestRestoreRejectsDuplicatePages(t *testing.T) {
+	f := NewFast(Options{})
+	err := f.Restore(FastSnapshot{Pages: []PageSnapshot{
+		{Page: 1, Owner: 0}, {Page: 1, Owner: 0},
+	}})
+	if err == nil {
+		t.Error("duplicate page accepted")
+	}
+}
+
+func TestReadSnapshotRejectsGarbage(t *testing.T) {
+	f := NewFast(Options{})
+	if err := f.ReadSnapshot(strings.NewReader("not json")); err == nil {
+		t.Error("garbage snapshot accepted")
+	}
+}

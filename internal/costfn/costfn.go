@@ -1,0 +1,512 @@
+// Package costfn provides the per-tenant cost functions f_i of the
+// convex-cost caching model of Menache & Singh (SPAA 2015).
+//
+// A cost function maps a miss count x >= 0 to a non-negative cost f(x) with
+// f(0) = 0. The paper's guarantees (Theorem 1.1, Theorem 1.3) require f to be
+// differentiable, convex and increasing; the algorithm itself (Section 2.5)
+// runs with arbitrary functions, using discrete differences in place of
+// derivatives. This package supplies both: every Func exposes an analytic
+// derivative, and DiscreteDeriv gives the finite difference f(m+1)-f(m).
+//
+// The competitive ratio of the paper depends on the curvature constant
+//
+//	alpha = sup_x x*f'(x) / f(x),
+//
+// exposed analytically where known (Alpha) and numerically for arbitrary
+// functions (NumericAlpha).
+package costfn
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Func is a tenant cost function f with f(0) = 0.
+//
+// Implementations must be non-negative and non-decreasing on x >= 0. The
+// theoretical guarantees additionally need convexity; IsConvexOn provides a
+// numeric check for user-supplied functions.
+type Func interface {
+	// Value returns f(x) for x >= 0.
+	Value(x float64) float64
+	// Deriv returns f'(x) for x >= 0. For non-differentiable functions it
+	// returns a subgradient (the right derivative).
+	Deriv(x float64) float64
+	// String returns a short human-readable description.
+	String() string
+}
+
+// AlphaBounded is implemented by cost functions whose curvature constant
+// alpha = sup_x x f'(x)/f(x) is known in closed form.
+type AlphaBounded interface {
+	// Alpha returns the curvature constant. For a degree-beta polynomial
+	// with positive coefficients this is beta (Claim 2.3 of the paper).
+	Alpha() float64
+}
+
+// DiscreteDeriv returns the finite difference f(m+1) - f(m), the marginal
+// cost of the (m+1)-st miss. Section 2.5 of the paper notes the algorithm
+// may use this in place of the analytic derivative, which also covers
+// non-differentiable and non-continuous cost functions.
+func DiscreteDeriv(f Func, m float64) float64 {
+	return f.Value(m+1) - f.Value(m)
+}
+
+// Linear is the weighted-caching cost f(x) = w*x (Young 1994). Its curvature
+// constant is exactly 1, recovering the classical k-competitive setting.
+type Linear struct {
+	// W is the per-miss weight; must be positive.
+	W float64
+}
+
+// Value returns w*x.
+func (l Linear) Value(x float64) float64 { return l.W * x }
+
+// Deriv returns w.
+func (l Linear) Deriv(x float64) float64 { return l.W }
+
+// Alpha returns 1: x*(w)/(w*x) = 1 for all x > 0.
+func (l Linear) Alpha() float64 { return 1 }
+
+func (l Linear) String() string { return fmt.Sprintf("linear(w=%g)", l.W) }
+
+// Monomial is f(x) = c * x^beta with beta >= 1, the family of Corollary 1.2.
+type Monomial struct {
+	// C is the positive leading coefficient.
+	C float64
+	// Beta is the exponent; must be >= 1 for convexity.
+	Beta float64
+}
+
+// Value returns c*x^beta.
+func (m Monomial) Value(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return m.C * math.Pow(x, m.Beta)
+}
+
+// Deriv returns c*beta*x^(beta-1).
+func (m Monomial) Deriv(x float64) float64 {
+	if x <= 0 {
+		if m.Beta == 1 {
+			return m.C
+		}
+		return 0
+	}
+	return m.C * m.Beta * math.Pow(x, m.Beta-1)
+}
+
+// Alpha returns beta: x * c beta x^(beta-1) / (c x^beta) = beta.
+func (m Monomial) Alpha() float64 { return m.Beta }
+
+func (m Monomial) String() string { return fmt.Sprintf("monomial(c=%g,beta=%g)", m.C, m.Beta) }
+
+// Quadratic returns the convenience monomial c*x^2.
+func Quadratic(c float64) Monomial { return Monomial{C: c, Beta: 2} }
+
+// Cubic returns the convenience monomial c*x^3.
+func Cubic(c float64) Monomial { return Monomial{C: c, Beta: 3} }
+
+// Polynomial is f(x) = sum_d Coef[d] * x^d with non-negative coefficients
+// and Coef[0] = 0 (so that f(0)=0). By Claim 2.3 of the paper its curvature
+// constant is the degree.
+type Polynomial struct {
+	// Coef[d] is the coefficient of x^d. Coef[0] must be 0 and all
+	// coefficients must be non-negative for the convexity guarantee.
+	Coef []float64
+}
+
+// NewPolynomial validates and constructs a Polynomial.
+func NewPolynomial(coef ...float64) (Polynomial, error) {
+	if len(coef) == 0 {
+		return Polynomial{}, errors.New("costfn: polynomial needs at least one coefficient")
+	}
+	if coef[0] != 0 {
+		return Polynomial{}, errors.New("costfn: polynomial constant term must be 0 (f(0)=0)")
+	}
+	for d, c := range coef {
+		if c < 0 {
+			return Polynomial{}, fmt.Errorf("costfn: polynomial coefficient of x^%d is negative", d)
+		}
+	}
+	return Polynomial{Coef: coef}, nil
+}
+
+// Value evaluates the polynomial by Horner's rule.
+func (p Polynomial) Value(x float64) float64 {
+	v := 0.0
+	for d := len(p.Coef) - 1; d >= 0; d-- {
+		v = v*x + p.Coef[d]
+	}
+	return v
+}
+
+// Deriv evaluates the derivative polynomial.
+func (p Polynomial) Deriv(x float64) float64 {
+	v := 0.0
+	for d := len(p.Coef) - 1; d >= 1; d-- {
+		v = v*x + float64(d)*p.Coef[d]
+	}
+	return v
+}
+
+// Alpha returns the degree of the polynomial (the largest d with a non-zero
+// coefficient), per Claim 2.3.
+func (p Polynomial) Alpha() float64 {
+	for d := len(p.Coef) - 1; d >= 1; d-- {
+		if p.Coef[d] > 0 {
+			return float64(d)
+		}
+	}
+	return 1
+}
+
+func (p Polynomial) String() string {
+	var parts []string
+	for d, c := range p.Coef {
+		if c != 0 {
+			parts = append(parts, fmt.Sprintf("%gx^%d", c, d))
+		}
+	}
+	if len(parts) == 0 {
+		return "poly(0)"
+	}
+	return "poly(" + strings.Join(parts, "+") + ")"
+}
+
+// PiecewiseLinear is a convex piecewise-linear cost, the paper's motivating
+// SLA shape: "a user can tolerate up to around M misses ... any number of
+// misses greater than that will result in substantial degradation". It is
+// defined by breakpoints 0 = X0 < X1 < ... and slopes S0 <= S1 <= ...; on
+// [X_j, X_{j+1}) the slope is S_j. Non-decreasing slopes make it convex.
+type PiecewiseLinear struct {
+	// X holds the breakpoints; X[0] must be 0.
+	X []float64
+	// S holds the slopes, len(S) == len(X); S must be non-decreasing and
+	// non-negative.
+	S []float64
+}
+
+// NewPiecewiseLinear validates breakpoints and slopes and constructs the
+// function.
+func NewPiecewiseLinear(x, s []float64) (PiecewiseLinear, error) {
+	if len(x) == 0 || len(x) != len(s) {
+		return PiecewiseLinear{}, errors.New("costfn: piecewise-linear needs equal-length non-empty breakpoints and slopes")
+	}
+	if x[0] != 0 {
+		return PiecewiseLinear{}, errors.New("costfn: first breakpoint must be 0")
+	}
+	for i := 1; i < len(x); i++ {
+		if x[i] <= x[i-1] {
+			return PiecewiseLinear{}, fmt.Errorf("costfn: breakpoints must be strictly increasing (X[%d]=%g <= X[%d]=%g)", i, x[i], i-1, x[i-1])
+		}
+	}
+	for i, si := range s {
+		if si < 0 {
+			return PiecewiseLinear{}, fmt.Errorf("costfn: slope S[%d]=%g is negative", i, si)
+		}
+		if i > 0 && si < s[i-1] {
+			return PiecewiseLinear{}, fmt.Errorf("costfn: slopes must be non-decreasing for convexity (S[%d]=%g < S[%d]=%g)", i, si, i-1, s[i-1])
+		}
+	}
+	return PiecewiseLinear{X: x, S: s}, nil
+}
+
+// SLARefund builds the canonical two-piece SLA shape: misses up to the
+// tolerance m0 cost `cheap` each, misses beyond m0 cost `steep` each.
+func SLARefund(m0, cheap, steep float64) (PiecewiseLinear, error) {
+	if m0 <= 0 {
+		return PiecewiseLinear{}, errors.New("costfn: SLA tolerance must be positive")
+	}
+	return NewPiecewiseLinear([]float64{0, m0}, []float64{cheap, steep})
+}
+
+// segment returns the index j such that x lies in [X[j], X[j+1]).
+func (p PiecewiseLinear) segment(x float64) int {
+	// sort.SearchFloat64s returns the insertion point; we want the last
+	// breakpoint <= x.
+	j := sort.SearchFloat64s(p.X, x)
+	if j < len(p.X) && p.X[j] == x {
+		return j
+	}
+	return j - 1
+}
+
+// Value integrates the slopes up to x.
+func (p PiecewiseLinear) Value(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	v := 0.0
+	for j := 0; j < len(p.X); j++ {
+		hi := x
+		if j+1 < len(p.X) && p.X[j+1] < x {
+			hi = p.X[j+1]
+		}
+		if hi > p.X[j] {
+			v += p.S[j] * (hi - p.X[j])
+		}
+		if hi == x {
+			break
+		}
+	}
+	return v
+}
+
+// Deriv returns the right derivative (the slope of the segment containing x).
+func (p PiecewiseLinear) Deriv(x float64) float64 {
+	if x < 0 {
+		x = 0
+	}
+	j := p.segment(x)
+	if j < 0 {
+		j = 0
+	}
+	if j >= len(p.S) {
+		j = len(p.S) - 1
+	}
+	return p.S[j]
+}
+
+// Alpha computes the curvature constant of the piecewise-linear function.
+// The supremum of x f'(x)/f(x) over a convex piecewise-linear f is attained
+// at (the right limit of) a breakpoint, so a finite scan suffices; the final
+// segment contributes its limit as x -> inf, which is S_last * x / f(x) -> 1
+// relative growth, evaluated in the limit.
+func (p PiecewiseLinear) Alpha() float64 {
+	alpha := 1.0
+	for j := 1; j < len(p.X); j++ {
+		x := p.X[j]
+		fx := p.Value(x)
+		if fx > 0 {
+			// Right derivative at the breakpoint is S[j].
+			if a := x * p.S[j] / fx; a > alpha {
+				alpha = a
+			}
+		}
+	}
+	return alpha
+}
+
+func (p PiecewiseLinear) String() string {
+	return fmt.Sprintf("pwl(x=%v,s=%v)", p.X, p.S)
+}
+
+// Scaled multiplies an inner cost function by a positive constant. Scaling
+// does not change the curvature constant.
+type Scaled struct {
+	// C is the positive scale factor.
+	C float64
+	// F is the inner function.
+	F Func
+}
+
+// Value returns C*F(x).
+func (s Scaled) Value(x float64) float64 { return s.C * s.F.Value(x) }
+
+// Deriv returns C*F'(x).
+func (s Scaled) Deriv(x float64) float64 { return s.C * s.F.Deriv(x) }
+
+// Alpha forwards the inner function's curvature constant when known.
+func (s Scaled) Alpha() float64 {
+	if ab, ok := s.F.(AlphaBounded); ok {
+		return ab.Alpha()
+	}
+	return math.NaN()
+}
+
+func (s Scaled) String() string { return fmt.Sprintf("%g*%s", s.C, s.F) }
+
+// Sum is the pointwise sum of convex cost functions, itself convex with
+// curvature constant at most the max of the summands'.
+type Sum struct {
+	// Fs are the summands; must be non-empty.
+	Fs []Func
+}
+
+// Value returns sum of F(x).
+func (s Sum) Value(x float64) float64 {
+	v := 0.0
+	for _, f := range s.Fs {
+		v += f.Value(x)
+	}
+	return v
+}
+
+// Deriv returns sum of F'(x).
+func (s Sum) Deriv(x float64) float64 {
+	v := 0.0
+	for _, f := range s.Fs {
+		v += f.Deriv(x)
+	}
+	return v
+}
+
+// Alpha returns the max curvature constant of the summands when all are
+// known, which upper-bounds the sum's constant.
+func (s Sum) Alpha() float64 {
+	a := 0.0
+	for _, f := range s.Fs {
+		ab, ok := f.(AlphaBounded)
+		if !ok {
+			return math.NaN()
+		}
+		if v := ab.Alpha(); v > a {
+			a = v
+		}
+	}
+	return a
+}
+
+func (s Sum) String() string {
+	parts := make([]string, len(s.Fs))
+	for i, f := range s.Fs {
+		parts[i] = f.String()
+	}
+	return "sum(" + strings.Join(parts, "+") + ")"
+}
+
+// ExpCapped is f(x) = a*(e^(min(x,cap)/b) - 1) + slope continuation past the
+// cap. The exponential has unbounded curvature, so a cap keeps alpha finite
+// while modeling "explosive" SLA penalties: beyond Cap the function continues
+// linearly with the slope at the cap, preserving convexity and
+// differentiability (C^1).
+type ExpCapped struct {
+	// A scales the exponential; must be positive.
+	A float64
+	// B is the e-folding scale; must be positive.
+	B float64
+	// Cap is where the exponential hands over to a linear tail.
+	Cap float64
+}
+
+// Value evaluates the capped exponential.
+func (e ExpCapped) Value(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x <= e.Cap {
+		return e.A * (math.Exp(x/e.B) - 1)
+	}
+	atCap := e.A * (math.Exp(e.Cap/e.B) - 1)
+	slope := e.A / e.B * math.Exp(e.Cap/e.B)
+	return atCap + slope*(x-e.Cap)
+}
+
+// Deriv evaluates the derivative of the capped exponential.
+func (e ExpCapped) Deriv(x float64) float64 {
+	if x < 0 {
+		x = 0
+	}
+	if x <= e.Cap {
+		return e.A / e.B * math.Exp(x/e.B)
+	}
+	return e.A / e.B * math.Exp(e.Cap/e.B)
+}
+
+func (e ExpCapped) String() string {
+	return fmt.Sprintf("expcap(a=%g,b=%g,cap=%g)", e.A, e.B, e.Cap)
+}
+
+// NumericAlpha estimates alpha = sup_{0 < x <= xmax} x f'(x)/f(x) on a
+// geometric-plus-linear grid. It is exact for monomials and a close lower
+// estimate for general smooth functions; use it for cost functions that do
+// not implement AlphaBounded.
+func NumericAlpha(f Func, xmax float64) float64 {
+	if xmax <= 0 {
+		return 1
+	}
+	best := 0.0
+	// Linear sweep of integer-ish points plus a fine geometric sweep near 0,
+	// where piecewise shapes often attain the supremum.
+	probe := func(x float64) {
+		fx := f.Value(x)
+		if fx <= 0 {
+			return
+		}
+		if a := x * f.Deriv(x) / fx; a > best {
+			best = a
+		}
+	}
+	for x := xmax / 1024; x <= xmax; x *= 1.05 {
+		probe(x)
+	}
+	steps := 512
+	for i := 1; i <= steps; i++ {
+		probe(xmax * float64(i) / float64(steps))
+	}
+	if best < 1 {
+		// Any increasing f with f(0)=0 has sup x f'/f >= 1 (attained in the
+		// limit for concave-ish numerics); clamp to the theoretical floor.
+		best = 1
+	}
+	return best
+}
+
+// EffectiveAlpha returns the curvature constant analytically when available
+// and falls back to NumericAlpha over (0, xmax] otherwise.
+func EffectiveAlpha(f Func, xmax float64) float64 {
+	if ab, ok := f.(AlphaBounded); ok {
+		if a := ab.Alpha(); !math.IsNaN(a) {
+			return a
+		}
+	}
+	return NumericAlpha(f, xmax)
+}
+
+// IsConvexOn numerically checks midpoint convexity of f on [0, xmax] at the
+// given number of sample points. It returns a descriptive error at the first
+// violation. Tolerance is relative to the magnitude of the values compared.
+func IsConvexOn(f Func, xmax float64, samples int) error {
+	if samples < 3 {
+		samples = 3
+	}
+	h := xmax / float64(samples-1)
+	for i := 1; i < samples-1; i++ {
+		x := float64(i) * h
+		mid := f.Value(x)
+		avg := (f.Value(x-h) + f.Value(x+h)) / 2
+		tol := 1e-9 * (1 + math.Abs(avg))
+		if mid > avg+tol {
+			return fmt.Errorf("costfn: %s violates convexity at x=%g: f(x)=%g > avg(f(x±h))=%g", f, x, mid, avg)
+		}
+	}
+	return nil
+}
+
+// IsIncreasingOn numerically checks that f is non-decreasing on [0, xmax].
+func IsIncreasingOn(f Func, xmax float64, samples int) error {
+	if samples < 2 {
+		samples = 2
+	}
+	h := xmax / float64(samples-1)
+	prev := f.Value(0)
+	for i := 1; i < samples; i++ {
+		x := float64(i) * h
+		v := f.Value(x)
+		if v < prev-1e-9*(1+math.Abs(prev)) {
+			return fmt.Errorf("costfn: %s decreases at x=%g: f=%g < previous %g", f, x, v, prev)
+		}
+		prev = v
+	}
+	return nil
+}
+
+// Validate runs the model checks required by Theorem 1.1 on f over [0, xmax]:
+// f(0) = 0, non-negative, non-decreasing and convex.
+func Validate(f Func, xmax float64) error {
+	if v := f.Value(0); math.Abs(v) > 1e-12 {
+		return fmt.Errorf("costfn: %s has f(0)=%g, want 0", f, v)
+	}
+	if v := f.Value(xmax); v < 0 {
+		return fmt.Errorf("costfn: %s is negative at xmax: f(%g)=%g", f, xmax, v)
+	}
+	if err := IsIncreasingOn(f, xmax, 257); err != nil {
+		return err
+	}
+	return IsConvexOn(f, xmax, 257)
+}

@@ -1,0 +1,383 @@
+package costfn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b))
+}
+
+// numDeriv is a central finite difference used to cross-check Deriv.
+func numDeriv(f Func, x float64) float64 {
+	h := 1e-6 * (1 + math.Abs(x))
+	return (f.Value(x+h) - f.Value(x-h)) / (2 * h)
+}
+
+func TestLinearBasics(t *testing.T) {
+	f := Linear{W: 2.5}
+	if got := f.Value(0); got != 0 {
+		t.Fatalf("f(0) = %g, want 0", got)
+	}
+	if got := f.Value(4); got != 10 {
+		t.Fatalf("f(4) = %g, want 10", got)
+	}
+	if got := f.Deriv(123); got != 2.5 {
+		t.Fatalf("f'(123) = %g, want 2.5", got)
+	}
+	if got := f.Alpha(); got != 1 {
+		t.Fatalf("alpha = %g, want 1", got)
+	}
+}
+
+func TestMonomialValueDeriv(t *testing.T) {
+	for _, tc := range []struct {
+		c, beta, x, want float64
+	}{
+		{1, 2, 3, 9},
+		{2, 3, 2, 16},
+		{1, 1, 7, 7},
+		{0.5, 2, 4, 8},
+	} {
+		f := Monomial{C: tc.c, Beta: tc.beta}
+		if got := f.Value(tc.x); !almostEq(got, tc.want, 1e-12) {
+			t.Errorf("%v.Value(%g) = %g, want %g", f, tc.x, got, tc.want)
+		}
+		if got, want := f.Deriv(tc.x), numDeriv(f, tc.x); !almostEq(got, want, 1e-4) {
+			t.Errorf("%v.Deriv(%g) = %g, numeric %g", f, tc.x, got, want)
+		}
+	}
+}
+
+func TestMonomialAtZero(t *testing.T) {
+	f := Monomial{C: 3, Beta: 2}
+	if got := f.Value(0); got != 0 {
+		t.Fatalf("f(0) = %g, want 0", got)
+	}
+	if got := f.Deriv(0); got != 0 {
+		t.Fatalf("f'(0) = %g, want 0 for beta>1", got)
+	}
+	g := Monomial{C: 3, Beta: 1}
+	if got := g.Deriv(0); got != 3 {
+		t.Fatalf("linear monomial f'(0) = %g, want 3", got)
+	}
+}
+
+func TestMonomialNegativeInputClamps(t *testing.T) {
+	f := Monomial{C: 1, Beta: 2}
+	if got := f.Value(-5); got != 0 {
+		t.Fatalf("f(-5) = %g, want 0", got)
+	}
+}
+
+func TestMonomialAlphaIsBeta(t *testing.T) {
+	for _, beta := range []float64{1, 1.5, 2, 3, 4} {
+		f := Monomial{C: 2, Beta: beta}
+		if got := f.Alpha(); got != beta {
+			t.Errorf("alpha(beta=%g) = %g", beta, got)
+		}
+		// Numeric alpha must agree.
+		if got := NumericAlpha(f, 1000); !almostEq(got, beta, 1e-3) {
+			t.Errorf("numeric alpha(beta=%g) = %g", beta, got)
+		}
+	}
+}
+
+func TestPolynomialConstruction(t *testing.T) {
+	if _, err := NewPolynomial(); err == nil {
+		t.Error("empty polynomial accepted")
+	}
+	if _, err := NewPolynomial(1, 2); err == nil {
+		t.Error("non-zero constant term accepted")
+	}
+	if _, err := NewPolynomial(0, -1); err == nil {
+		t.Error("negative coefficient accepted")
+	}
+	p, err := NewPolynomial(0, 1, 0.5)
+	if err != nil {
+		t.Fatalf("NewPolynomial: %v", err)
+	}
+	if got := p.Value(2); !almostEq(got, 4, 1e-12) { // 2 + 0.5*4
+		t.Errorf("p(2) = %g, want 4", got)
+	}
+	if got, want := p.Deriv(2), 1+2*0.5*2.0; !almostEq(got, want, 1e-12) {
+		t.Errorf("p'(2) = %g, want %g", got, want)
+	}
+	if got := p.Alpha(); got != 2 {
+		t.Errorf("alpha = %g, want degree 2", got)
+	}
+}
+
+func TestPolynomialDerivMatchesNumeric(t *testing.T) {
+	p, err := NewPolynomial(0, 3, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := 0.5; x < 20; x += 1.3 {
+		if got, want := p.Deriv(x), numDeriv(p, x); !almostEq(got, want, 1e-4) {
+			t.Errorf("p'(%g) = %g, numeric %g", x, got, want)
+		}
+	}
+}
+
+func TestPiecewiseLinearValidation(t *testing.T) {
+	if _, err := NewPiecewiseLinear(nil, nil); err == nil {
+		t.Error("empty pwl accepted")
+	}
+	if _, err := NewPiecewiseLinear([]float64{1}, []float64{1}); err == nil {
+		t.Error("pwl not starting at 0 accepted")
+	}
+	if _, err := NewPiecewiseLinear([]float64{0, 0}, []float64{1, 2}); err == nil {
+		t.Error("non-increasing breakpoints accepted")
+	}
+	if _, err := NewPiecewiseLinear([]float64{0, 5}, []float64{2, 1}); err == nil {
+		t.Error("decreasing slopes (non-convex) accepted")
+	}
+	if _, err := NewPiecewiseLinear([]float64{0, 5}, []float64{-1, 1}); err == nil {
+		t.Error("negative slope accepted")
+	}
+}
+
+func TestPiecewiseLinearValueAndDeriv(t *testing.T) {
+	f, err := NewPiecewiseLinear([]float64{0, 10, 20}, []float64{1, 2, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ x, v, d float64 }{
+		{0, 0, 1},
+		{5, 5, 1},
+		{10, 10, 2},
+		{15, 20, 2},
+		{20, 30, 5},
+		{25, 55, 5},
+	}
+	for _, tc := range cases {
+		if got := f.Value(tc.x); !almostEq(got, tc.v, 1e-12) {
+			t.Errorf("f(%g) = %g, want %g", tc.x, got, tc.v)
+		}
+		if got := f.Deriv(tc.x); got != tc.d {
+			t.Errorf("f'(%g) = %g, want %g", tc.x, got, tc.d)
+		}
+	}
+}
+
+func TestPiecewiseLinearAlpha(t *testing.T) {
+	// f: slope 1 until 10, slope 9 afterwards.
+	// At x=10+: alpha candidate = 10*9/10 = 9.
+	f, err := NewPiecewiseLinear([]float64{0, 10}, []float64{1, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Alpha(); !almostEq(got, 9, 1e-12) {
+		t.Errorf("alpha = %g, want 9", got)
+	}
+	// Numeric should find (nearly) the same.
+	if got := NumericAlpha(f, 100); got < 8.5 {
+		t.Errorf("numeric alpha = %g, want close to 9", got)
+	}
+}
+
+func TestSLARefund(t *testing.T) {
+	f, err := SLARefund(100, 0.1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Value(100); !almostEq(got, 10, 1e-12) {
+		t.Errorf("f(100) = %g, want 10", got)
+	}
+	if got := f.Value(110); !almostEq(got, 60, 1e-12) {
+		t.Errorf("f(110) = %g, want 60", got)
+	}
+	if _, err := SLARefund(0, 1, 2); err == nil {
+		t.Error("zero tolerance accepted")
+	}
+}
+
+func TestScaledAndSum(t *testing.T) {
+	f := Scaled{C: 2, F: Monomial{C: 1, Beta: 2}}
+	if got := f.Value(3); got != 18 {
+		t.Errorf("scaled value = %g, want 18", got)
+	}
+	if got := f.Deriv(3); got != 12 {
+		t.Errorf("scaled deriv = %g, want 12", got)
+	}
+	if got := f.Alpha(); got != 2 {
+		t.Errorf("scaled alpha = %g, want 2", got)
+	}
+	s := Sum{Fs: []Func{Linear{W: 1}, Monomial{C: 1, Beta: 3}}}
+	if got := s.Value(2); got != 10 {
+		t.Errorf("sum value = %g, want 10", got)
+	}
+	if got := s.Deriv(2); got != 13 {
+		t.Errorf("sum deriv = %g, want 13", got)
+	}
+	if got := s.Alpha(); got != 3 {
+		t.Errorf("sum alpha = %g, want 3", got)
+	}
+}
+
+func TestExpCappedContinuity(t *testing.T) {
+	f := ExpCapped{A: 1, B: 10, Cap: 30}
+	// C^0 and C^1 continuity at the cap.
+	below := f.Value(30 - 1e-9)
+	above := f.Value(30 + 1e-9)
+	if !almostEq(below, above, 1e-6) {
+		t.Errorf("value discontinuous at cap: %g vs %g", below, above)
+	}
+	dBelow := f.Deriv(30 - 1e-9)
+	dAbove := f.Deriv(30 + 1e-9)
+	if !almostEq(dBelow, dAbove, 1e-6) {
+		t.Errorf("derivative discontinuous at cap: %g vs %g", dBelow, dAbove)
+	}
+	if err := Validate(f, 100); err != nil {
+		t.Errorf("capped exponential fails model validation: %v", err)
+	}
+}
+
+func TestDiscreteDeriv(t *testing.T) {
+	f := Monomial{C: 1, Beta: 2}
+	// f(m+1)-f(m) = 2m+1.
+	for m := 0.0; m < 10; m++ {
+		if got, want := DiscreteDeriv(f, m), 2*m+1; !almostEq(got, want, 1e-12) {
+			t.Errorf("discrete deriv at %g = %g, want %g", m, got, want)
+		}
+	}
+}
+
+func TestValidateAcceptsModelFunctions(t *testing.T) {
+	pwl, _ := NewPiecewiseLinear([]float64{0, 10, 20}, []float64{1, 2, 5})
+	poly, _ := NewPolynomial(0, 1, 1)
+	for _, f := range []Func{
+		Linear{W: 1},
+		Monomial{C: 2, Beta: 2},
+		Monomial{C: 1, Beta: 1},
+		pwl,
+		poly,
+		Scaled{C: 3, F: Monomial{C: 1, Beta: 2}},
+	} {
+		if err := Validate(f, 200); err != nil {
+			t.Errorf("Validate(%s): %v", f, err)
+		}
+	}
+}
+
+// nonConvex is a deliberately invalid cost function used to test the checks.
+type nonConvex struct{}
+
+func (nonConvex) Value(x float64) float64 { return math.Sqrt(x) }
+func (nonConvex) Deriv(x float64) float64 {
+	if x <= 0 {
+		return math.Inf(1)
+	}
+	return 0.5 / math.Sqrt(x)
+}
+func (nonConvex) String() string { return "sqrt" }
+
+func TestValidateRejectsConcave(t *testing.T) {
+	if err := Validate(nonConvex{}, 100); err == nil {
+		t.Error("sqrt accepted as convex")
+	}
+}
+
+// decreasing is an invalid (decreasing) function.
+type decreasing struct{}
+
+func (decreasing) Value(x float64) float64 { return -x }
+func (decreasing) Deriv(x float64) float64 { return -1 }
+func (decreasing) String() string          { return "neg" }
+
+func TestValidateRejectsDecreasing(t *testing.T) {
+	if err := Validate(decreasing{}, 10); err == nil {
+		t.Error("decreasing function accepted")
+	}
+}
+
+func TestEffectiveAlphaFallsBackToNumeric(t *testing.T) {
+	// ExpCapped does not implement AlphaBounded; EffectiveAlpha must still
+	// return something >= 1 and finite.
+	f := ExpCapped{A: 1, B: 5, Cap: 20}
+	a := EffectiveAlpha(f, 100)
+	if math.IsNaN(a) || a < 1 {
+		t.Errorf("EffectiveAlpha = %g", a)
+	}
+	// For a monomial the analytic path must win and be exact.
+	if got := EffectiveAlpha(Monomial{C: 5, Beta: 3}, 100); got != 3 {
+		t.Errorf("EffectiveAlpha(monomial beta 3) = %g", got)
+	}
+}
+
+// Property: for every model function, the Claim 2.3 inequality
+// f'(S) * S <= alpha * sum_j x_j f'(prefix_j) holds for random positive x.
+func TestClaim23Property(t *testing.T) {
+	funcs := []Func{
+		Linear{W: 2},
+		Monomial{C: 1, Beta: 2},
+		Monomial{C: 0.5, Beta: 3},
+		mustPWL(t, []float64{0, 5, 15}, []float64{1, 3, 6}),
+	}
+	rng := rand.New(rand.NewSource(7))
+	for _, f := range funcs {
+		alpha := EffectiveAlpha(f, 1000)
+		for trial := 0; trial < 200; trial++ {
+			n := 1 + rng.Intn(8)
+			xs := make([]float64, n)
+			total := 0.0
+			for i := range xs {
+				xs[i] = rng.Float64() * 10
+				total += xs[i]
+			}
+			lhs := f.Deriv(total) * total
+			rhs := 0.0
+			prefix := 0.0
+			for _, x := range xs {
+				prefix += x
+				rhs += x * f.Deriv(prefix)
+			}
+			rhs *= alpha
+			if lhs > rhs+1e-6*(1+math.Abs(rhs)) {
+				t.Fatalf("Claim 2.3 violated for %s: lhs=%g rhs=%g xs=%v", f, lhs, rhs, xs)
+			}
+		}
+	}
+}
+
+func mustPWL(t *testing.T, x, s []float64) PiecewiseLinear {
+	t.Helper()
+	f, err := NewPiecewiseLinear(x, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// Property via testing/quick: monomial values are monotone in x.
+func TestQuickMonomialMonotone(t *testing.T) {
+	f := Monomial{C: 1.5, Beta: 2.5}
+	prop := func(a, b float64) bool {
+		x, y := math.Abs(a), math.Abs(b)
+		if x > y {
+			x, y = y, x
+		}
+		return f.Value(x) <= f.Value(y)+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property via testing/quick: piecewise-linear first-order convexity
+// inequality f(y) - f(x) >= f'(x)(y - x).
+func TestQuickFirstOrderConvexity(t *testing.T) {
+	f := mustPWL(t, []float64{0, 3, 9}, []float64{1, 2, 4})
+	prop := func(a, b float64) bool {
+		x := math.Mod(math.Abs(a), 30)
+		y := math.Mod(math.Abs(b), 30)
+		return f.Value(y)-f.Value(x) >= f.Deriv(x)*(y-x)-1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,39 @@
+package costfn_test
+
+import (
+	"fmt"
+
+	"convexcache/internal/costfn"
+)
+
+// ExampleSLARefund builds the paper's motivating cost shape: misses are
+// nearly free within tolerance and expensive past it.
+func ExampleSLARefund() {
+	f, _ := costfn.SLARefund(100, 0.1, 5)
+	fmt.Printf("f(50)=%.0f f(100)=%.0f f(120)=%.0f\n",
+		f.Value(50), f.Value(100), f.Value(120))
+	fmt.Printf("alpha=%.0f\n", f.Alpha())
+	// Output:
+	// f(50)=5 f(100)=10 f(120)=110
+	// alpha=50
+}
+
+// ExampleParse builds cost functions from CLI-style specs.
+func ExampleParse() {
+	f, _ := costfn.Parse("monomial:1,2")
+	fmt.Printf("%s: f(3)=%.0f f'(3)=%.0f\n", f, f.Value(3), f.Deriv(3))
+	// Output:
+	// monomial(c=1,beta=2): f(3)=9 f'(3)=6
+}
+
+// ExampleFitConvex calibrates an SLA curve from billing samples.
+func ExampleFitConvex() {
+	// Observed (misses, penalty) pairs from a kinked SLA.
+	xs := []float64{2, 5, 10, 12, 20}
+	ys := []float64{2, 5, 10, 26, 90}
+	f, _ := costfn.FitConvex(xs, ys, 3000)
+	fmt.Printf("convex: %v, increasing fit at 12: %v\n",
+		costfn.IsConvexOn(f, 20, 100) == nil, f.Value(12) > f.Value(10))
+	// Output:
+	// convex: true, increasing fit at 12: true
+}

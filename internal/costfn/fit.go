@@ -1,0 +1,148 @@
+package costfn
+
+import (
+	"errors"
+	"sort"
+)
+
+// FitConvex fits a non-decreasing convex piecewise-linear cost function
+// through (miss-count, penalty) samples by least squares, for calibrating
+// an SLA curve from billing data. The fit is parametrized by per-segment
+// slopes s_j = d_1 + ... + d_j with increments d_j >= 0, which makes the
+// slope sequence non-negative and non-decreasing (hence the curve convex
+// and increasing) by construction; the increments are optimized with
+// projected gradient descent on the least-squares objective.
+//
+// Samples must contain at least two distinct non-negative x values; the
+// returned function passes through (0, 0) as the model requires.
+func FitConvex(xs, ys []float64, iters int) (PiecewiseLinear, error) {
+	if len(xs) < 2 || len(xs) != len(ys) {
+		return PiecewiseLinear{}, errors.New("costfn: fit needs >= 2 equal-length samples")
+	}
+	type pt struct{ x, y float64 }
+	pts := make([]pt, 0, len(xs))
+	for i := range xs {
+		if xs[i] < 0 {
+			return PiecewiseLinear{}, errors.New("costfn: fit samples must have x >= 0")
+		}
+		if xs[i] == 0 {
+			continue // (0, y0) is forced to (0, 0) by the model
+		}
+		pts = append(pts, pt{xs[i], ys[i]})
+	}
+	if len(pts) < 2 {
+		return PiecewiseLinear{}, errors.New("costfn: fit needs >= 2 samples with x > 0")
+	}
+	sort.Slice(pts, func(a, b int) bool { return pts[a].x < pts[b].x })
+	// Deduplicate x values by averaging y.
+	dedup := pts[:0]
+	for _, p := range pts {
+		if len(dedup) > 0 && dedup[len(dedup)-1].x == p.x {
+			dedup[len(dedup)-1].y = (dedup[len(dedup)-1].y + p.y) / 2
+			continue
+		}
+		dedup = append(dedup, p)
+	}
+	pts = dedup
+	if len(pts) < 2 {
+		return PiecewiseLinear{}, errors.New("costfn: fit needs >= 2 distinct x > 0")
+	}
+	// Breakpoints: 0 and every sample x except the last (whose slope
+	// extends to infinity). Segment j spans [X[j], X[j+1]).
+	n := len(pts)
+	breaks := make([]float64, n)
+	breaks[0] = 0
+	for j := 1; j < n; j++ {
+		breaks[j] = pts[j-1].x
+	}
+	// Widths within each sample's reach: value at sample i is
+	// sum_j s_j * overlap(i, j) where overlap is the length of segment j
+	// below pts[i].x.
+	overlap := func(i, j int) float64 {
+		lo := breaks[j]
+		hi := pts[i].x
+		if j+1 < n && breaks[j+1] < hi {
+			hi = breaks[j+1]
+		}
+		if hi <= lo {
+			return 0
+		}
+		return hi - lo
+	}
+	// Value at sample i as a function of increments d: s_j = sum_{q<=j} d_q,
+	// value_i = sum_j s_j overlap(i,j) = sum_q d_q * W(i,q) with
+	// W(i,q) = sum_{j>=q} overlap(i,j).
+	w := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		w[i] = make([]float64, n)
+		for q := 0; q < n; q++ {
+			total := 0.0
+			for j := q; j < n; j++ {
+				total += overlap(i, j)
+			}
+			w[i][q] = total
+		}
+	}
+	// Projected gradient descent on 1/2 sum_i (W_i . d - y_i)^2, d >= 0.
+	if iters <= 0 {
+		iters = 2000
+	}
+	d := make([]float64, n)
+	// Initialize from the secant slopes' increments (clamped to >= 0).
+	prevSlope := 0.0
+	prevX, prevY := 0.0, 0.0
+	for j := 0; j < n; j++ {
+		slope := (pts[j].y - prevY) / (pts[j].x - prevX)
+		inc := slope - prevSlope
+		if inc < 0 {
+			inc = 0
+		}
+		d[j] = inc
+		prevSlope += inc
+		prevX, prevY = pts[j].x, pts[j].y
+	}
+	// Lipschitz-ish step from the Gram diagonal.
+	maxDiag := 0.0
+	for q := 0; q < n; q++ {
+		g := 0.0
+		for i := 0; i < n; i++ {
+			g += w[i][q] * w[i][q]
+		}
+		if g > maxDiag {
+			maxDiag = g
+		}
+	}
+	step := 1.0
+	if maxDiag > 0 {
+		step = 1 / (maxDiag * float64(n))
+	}
+	grad := make([]float64, n)
+	for it := 0; it < iters; it++ {
+		for q := range grad {
+			grad[q] = 0
+		}
+		for i := 0; i < n; i++ {
+			pred := 0.0
+			for q := 0; q < n; q++ {
+				pred += w[i][q] * d[q]
+			}
+			resid := pred - pts[i].y
+			for q := 0; q < n; q++ {
+				grad[q] += resid * w[i][q]
+			}
+		}
+		for q := 0; q < n; q++ {
+			d[q] -= step * grad[q]
+			if d[q] < 0 {
+				d[q] = 0
+			}
+		}
+	}
+	slopes := make([]float64, n)
+	running := 0.0
+	for j := 0; j < n; j++ {
+		running += d[j]
+		slopes[j] = running
+	}
+	return NewPiecewiseLinear(breaks, slopes)
+}

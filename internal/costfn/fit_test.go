@@ -1,0 +1,100 @@
+package costfn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestFitConvexValidation(t *testing.T) {
+	if _, err := FitConvex([]float64{1}, []float64{1}, 100); err == nil {
+		t.Error("single sample accepted")
+	}
+	if _, err := FitConvex([]float64{1, 2}, []float64{1}, 100); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := FitConvex([]float64{-1, 2}, []float64{1, 2}, 100); err == nil {
+		t.Error("negative x accepted")
+	}
+	if _, err := FitConvex([]float64{0, 0}, []float64{0, 0}, 100); err == nil {
+		t.Error("no positive x accepted")
+	}
+}
+
+func TestFitConvexRecoversLinear(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3 * x
+	}
+	f, err := FitConvex(xs, ys, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range xs {
+		if got := f.Value(x); math.Abs(got-3*x) > 0.15*3*x {
+			t.Errorf("fit(%g) = %g, want %g", x, got, 3*x)
+		}
+	}
+	if err := Validate(f, 5); err != nil {
+		t.Errorf("fitted function fails model validation: %v", err)
+	}
+}
+
+func TestFitConvexRecoversKinkedSLA(t *testing.T) {
+	// True curve: slope 1 until 10, slope 8 after.
+	truth, err := NewPiecewiseLinear([]float64{0, 10}, []float64{1, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := []float64{2, 5, 8, 10, 12, 15, 20, 30}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = truth.Value(x)
+	}
+	f, err := FitConvex(xs, ys, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range xs {
+		want := truth.Value(x)
+		if got := f.Value(x); math.Abs(got-want) > 0.1*(1+want) {
+			t.Errorf("fit(%g) = %g, want ~%g", x, got, want)
+		}
+	}
+	// Convexity of the result is structural.
+	if err := IsConvexOn(f, 30, 200); err != nil {
+		t.Errorf("fit not convex: %v", err)
+	}
+}
+
+func TestFitConvexNoisySamples(t *testing.T) {
+	// Quadratic with noise: the fit must remain convex/increasing and
+	// track the trend.
+	rng := rand.New(rand.NewSource(5))
+	var xs, ys []float64
+	for x := 1.0; x <= 20; x++ {
+		xs = append(xs, x)
+		ys = append(ys, x*x*(1+0.1*(rng.Float64()-0.5)))
+	}
+	f, err := FitConvex(xs, ys, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(f, 20); err != nil {
+		t.Errorf("noisy fit fails model validation: %v", err)
+	}
+	if got, want := f.Value(15), 225.0; math.Abs(got-want) > 0.25*want {
+		t.Errorf("fit(15) = %g, want ~%g", got, want)
+	}
+}
+
+func TestFitConvexDuplicateXAveraged(t *testing.T) {
+	f, err := FitConvex([]float64{5, 5, 10}, []float64{4, 6, 10}, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Value(5); math.Abs(got-5) > 1 {
+		t.Errorf("fit(5) = %g, want ~5 (average of duplicates)", got)
+	}
+}

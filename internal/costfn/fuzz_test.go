@@ -1,0 +1,41 @@
+package costfn
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzParse ensures the cost-spec parser never panics and that accepted
+// functions satisfy the basic model contract at a few probe points.
+func FuzzParse(f *testing.F) {
+	f.Add("linear:2.5")
+	f.Add("monomial:1,2")
+	f.Add("poly:0,1,0.5")
+	f.Add("pwl:0,1;10,2")
+	f.Add("sla:100,0.1,5")
+	f.Add("expcap:1,10,30")
+	f.Add("nonsense")
+	f.Add(":::")
+	f.Fuzz(func(t *testing.T, spec string) {
+		fn, err := Parse(spec)
+		if err != nil {
+			return
+		}
+		if v := fn.Value(0); math.Abs(v) > 1e-9 {
+			t.Errorf("Parse(%q): f(0) = %g", spec, v)
+		}
+		for _, x := range []float64{0, 1, 10, 1000} {
+			v := fn.Value(x)
+			if math.IsNaN(v) {
+				t.Errorf("Parse(%q): f(%g) is NaN", spec, x)
+			}
+			if v < -1e-9 {
+				t.Errorf("Parse(%q): f(%g) = %g negative", spec, x, v)
+			}
+			d := fn.Deriv(x)
+			if math.IsNaN(d) {
+				t.Errorf("Parse(%q): f'(%g) is NaN", spec, x)
+			}
+		}
+	})
+}

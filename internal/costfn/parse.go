@@ -1,0 +1,104 @@
+package costfn
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse builds a cost function from a compact spec string, used by the CLI
+// tools and trace files. Supported forms:
+//
+//	linear:W                e.g. linear:2.5
+//	monomial:C,BETA         e.g. monomial:1,2
+//	poly:C0,C1,...          e.g. poly:0,1,0.5   (0.5x^2 + x)
+//	pwl:X0,S0;X1,S1;...     e.g. pwl:0,1;100,10 (slope 1 until 100 misses)
+//	sla:M0,CHEAP,STEEP      e.g. sla:100,0.1,5
+//	expcap:A,B,CAP          e.g. expcap:1,50,400
+func Parse(spec string) (Func, error) {
+	name, rest, found := strings.Cut(spec, ":")
+	if !found {
+		return nil, fmt.Errorf("costfn: spec %q missing ':'", spec)
+	}
+	fields := func(s, sep string) ([]float64, error) {
+		parts := strings.Split(s, sep)
+		out := make([]float64, len(parts))
+		for i, p := range parts {
+			v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+			if err != nil {
+				return nil, fmt.Errorf("costfn: bad number %q in spec %q", p, spec)
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	switch name {
+	case "linear":
+		v, err := fields(rest, ",")
+		if err != nil {
+			return nil, err
+		}
+		if len(v) != 1 || v[0] <= 0 {
+			return nil, fmt.Errorf("costfn: linear wants one positive weight, got %q", rest)
+		}
+		return Linear{W: v[0]}, nil
+	case "monomial":
+		v, err := fields(rest, ",")
+		if err != nil {
+			return nil, err
+		}
+		if len(v) != 2 || v[0] <= 0 || v[1] < 1 {
+			return nil, fmt.Errorf("costfn: monomial wants C>0,BETA>=1, got %q", rest)
+		}
+		return Monomial{C: v[0], Beta: v[1]}, nil
+	case "poly":
+		v, err := fields(rest, ",")
+		if err != nil {
+			return nil, err
+		}
+		return NewPolynomial(v...)
+	case "pwl":
+		var xs, ss []float64
+		for _, seg := range strings.Split(rest, ";") {
+			v, err := fields(seg, ",")
+			if err != nil {
+				return nil, err
+			}
+			if len(v) != 2 {
+				return nil, fmt.Errorf("costfn: pwl segment %q wants X,S", seg)
+			}
+			xs = append(xs, v[0])
+			ss = append(ss, v[1])
+		}
+		return NewPiecewiseLinear(xs, ss)
+	case "sla":
+		v, err := fields(rest, ",")
+		if err != nil {
+			return nil, err
+		}
+		if len(v) != 3 {
+			return nil, fmt.Errorf("costfn: sla wants M0,CHEAP,STEEP, got %q", rest)
+		}
+		return SLARefund(v[0], v[1], v[2])
+	case "expcap":
+		v, err := fields(rest, ",")
+		if err != nil {
+			return nil, err
+		}
+		if len(v) != 3 || v[0] <= 0 || v[1] <= 0 || v[2] <= 0 {
+			return nil, fmt.Errorf("costfn: expcap wants A,B,CAP all positive, got %q", rest)
+		}
+		return ExpCapped{A: v[0], B: v[1], Cap: v[2]}, nil
+	default:
+		return nil, fmt.Errorf("costfn: unknown cost function %q", name)
+	}
+}
+
+// MustParse is Parse that panics on error; for tests and example code.
+func MustParse(spec string) Func {
+	f, err := Parse(spec)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}

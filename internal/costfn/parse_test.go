@@ -1,0 +1,88 @@
+package costfn
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestParseValidSpecs(t *testing.T) {
+	cases := []struct {
+		spec string
+		x    float64
+		want float64
+	}{
+		{"linear:2.5", 4, 10},
+		{"monomial:1,2", 3, 9},
+		{"monomial:2,3", 2, 16},
+		{"poly:0,1,0.5", 2, 4},
+		{"pwl:0,1;10,2", 15, 20},
+		{"sla:100,0.1,5", 110, 60},
+		{"expcap:1,10,30", 10, math.E - 1},
+	}
+	for _, tc := range cases {
+		f, err := Parse(tc.spec)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", tc.spec, err)
+			continue
+		}
+		if got := f.Value(tc.x); math.Abs(got-tc.want) > 1e-9*(1+math.Abs(tc.want)) {
+			t.Errorf("Parse(%q).Value(%g) = %g, want %g", tc.spec, tc.x, got, tc.want)
+		}
+	}
+}
+
+func TestParseInvalidSpecs(t *testing.T) {
+	bad := []string{
+		"",
+		"linear",         // no colon
+		"linear:",        // no number
+		"linear:0",       // non-positive weight
+		"linear:1,2",     // too many fields
+		"monomial:1",     // missing beta
+		"monomial:1,0.5", // beta < 1
+		"monomial:-1,2",  // negative coefficient
+		"poly:1,2",       // non-zero constant
+		"poly:0,-1",      // negative coefficient
+		"pwl:0,1;0,2",    // non-increasing breakpoints
+		"pwl:5,1",        // does not start at 0
+		"pwl:0,2;5,1",    // decreasing slopes
+		"pwl:0",          // malformed segment
+		"sla:1,2",        // too few fields
+		"sla:0,1,2",      // zero tolerance
+		"expcap:0,1,1",   // non-positive A
+		"expcap:1,2",     // too few fields
+		"nosuch:1",       // unknown name
+		"linear:abc",     // non-numeric
+	}
+	for _, spec := range bad {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) unexpectedly succeeded", spec)
+		}
+	}
+}
+
+func TestParseRoundTripStrings(t *testing.T) {
+	// String() output should mention the family name for debuggability.
+	for spec, frag := range map[string]string{
+		"linear:1":     "linear",
+		"monomial:1,2": "monomial",
+		"poly:0,1":     "poly",
+		"pwl:0,1;5,2":  "pwl",
+		"expcap:1,2,3": "expcap",
+	} {
+		f := MustParse(spec)
+		if !strings.Contains(f.String(), frag) {
+			t.Errorf("MustParse(%q).String() = %q, want substring %q", spec, f.String(), frag)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse on bad spec did not panic")
+		}
+	}()
+	MustParse("bogus:1")
+}

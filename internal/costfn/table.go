@@ -1,0 +1,128 @@
+package costfn
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Table is an empirical cost function given by sample points
+// (X[i], Y[i]) with linear interpolation between them and linear
+// extrapolation of the last segment beyond the final sample. This is the
+// practical interface for SLAs measured from billing data rather than given
+// in closed form; with convex (non-decreasing slope) samples the paper's
+// guarantees apply, and Section 2.5's discrete-derivative mode runs on any
+// monotone samples.
+type Table struct {
+	// X are the strictly increasing sample abscissae; X[0] must be 0.
+	X []float64
+	// Y are the sample values; Y[0] must be 0 and Y non-decreasing.
+	Y []float64
+}
+
+// NewTable validates the samples and builds the function.
+func NewTable(x, y []float64) (Table, error) {
+	if len(x) < 2 || len(x) != len(y) {
+		return Table{}, errors.New("costfn: table needs >= 2 equal-length samples")
+	}
+	if x[0] != 0 || y[0] != 0 {
+		return Table{}, errors.New("costfn: table must start at (0, 0)")
+	}
+	for i := 1; i < len(x); i++ {
+		if x[i] <= x[i-1] {
+			return Table{}, fmt.Errorf("costfn: table X not strictly increasing at %d", i)
+		}
+		if y[i] < y[i-1] {
+			return Table{}, fmt.Errorf("costfn: table Y decreases at %d", i)
+		}
+	}
+	return Table{X: x, Y: y}, nil
+}
+
+// IsConvexSamples reports whether the sample slopes are non-decreasing,
+// i.e. whether the interpolated function is convex (and the competitive
+// guarantee applies).
+func (t Table) IsConvexSamples() bool {
+	prev := -1.0
+	for i := 1; i < len(t.X); i++ {
+		s := (t.Y[i] - t.Y[i-1]) / (t.X[i] - t.X[i-1])
+		if prev >= 0 && s < prev-1e-12 {
+			return false
+		}
+		prev = s
+	}
+	return true
+}
+
+// segment returns the index i such that x lies in [X[i], X[i+1]), clamped
+// to the final segment.
+func (t Table) segment(x float64) int {
+	i := sort.SearchFloat64s(t.X, x)
+	if i < len(t.X) && t.X[i] == x {
+		if i == len(t.X)-1 {
+			return i - 1
+		}
+		return i
+	}
+	i--
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(t.X)-1 {
+		i = len(t.X) - 2
+	}
+	return i
+}
+
+// Value interpolates (and extrapolates the last slope).
+func (t Table) Value(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	i := t.segment(x)
+	slope := (t.Y[i+1] - t.Y[i]) / (t.X[i+1] - t.X[i])
+	return t.Y[i] + slope*(x-t.X[i])
+}
+
+// Deriv returns the slope of the segment containing x (right slope at
+// sample points).
+func (t Table) Deriv(x float64) float64 {
+	if x < 0 {
+		x = 0
+	}
+	i := t.segment(x)
+	return (t.Y[i+1] - t.Y[i]) / (t.X[i+1] - t.X[i])
+}
+
+func (t Table) String() string {
+	return fmt.Sprintf("table(%d samples, 0..%g)", len(t.X), t.X[len(t.X)-1])
+}
+
+// Alpha computes the curvature constant over the sampled range; for a
+// convex table the supremum over all x > 0 is attained at a sample point
+// (right slope), analogous to PiecewiseLinear.Alpha.
+func (t Table) Alpha() float64 {
+	alpha := 1.0
+	for i := 1; i < len(t.X)-1; i++ {
+		x := t.X[i]
+		fx := t.Y[i]
+		if fx <= 0 {
+			continue
+		}
+		slope := (t.Y[i+1] - t.Y[i]) / (t.X[i+1] - t.X[i])
+		if a := x * slope / fx; a > alpha {
+			alpha = a
+		}
+	}
+	return alpha
+}
+
+// Sample builds a Table by sampling an existing Func at the given points
+// (useful to freeze an analytic SLA into billing-style data).
+func Sample(f Func, xs []float64) (Table, error) {
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = f.Value(x)
+	}
+	return NewTable(xs, ys)
+}

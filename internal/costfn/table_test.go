@@ -1,0 +1,121 @@
+package costfn
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTableValidation(t *testing.T) {
+	if _, err := NewTable([]float64{0}, []float64{0}); err == nil {
+		t.Error("single sample accepted")
+	}
+	if _, err := NewTable([]float64{1, 2}, []float64{0, 1}); err == nil {
+		t.Error("not starting at x=0 accepted")
+	}
+	if _, err := NewTable([]float64{0, 1}, []float64{1, 2}); err == nil {
+		t.Error("y(0) != 0 accepted")
+	}
+	if _, err := NewTable([]float64{0, 1, 1}, []float64{0, 1, 2}); err == nil {
+		t.Error("non-increasing X accepted")
+	}
+	if _, err := NewTable([]float64{0, 1, 2}, []float64{0, 3, 1}); err == nil {
+		t.Error("decreasing Y accepted")
+	}
+}
+
+func TestTableInterpolation(t *testing.T) {
+	tab, err := NewTable([]float64{0, 10, 20}, []float64{0, 5, 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ x, v, d float64 }{
+		{0, 0, 0.5},
+		{5, 2.5, 0.5},
+		{10, 5, 2},
+		{15, 15, 2},
+		{20, 25, 2},
+		{30, 45, 2}, // extrapolated with the last slope
+	}
+	for _, tc := range cases {
+		if got := tab.Value(tc.x); math.Abs(got-tc.v) > 1e-12 {
+			t.Errorf("Value(%g) = %g, want %g", tc.x, got, tc.v)
+		}
+		if got := tab.Deriv(tc.x); math.Abs(got-tc.d) > 1e-12 {
+			t.Errorf("Deriv(%g) = %g, want %g", tc.x, got, tc.d)
+		}
+	}
+	if tab.Value(-3) != 0 {
+		t.Error("negative input not clamped")
+	}
+}
+
+func TestTableConvexityDetection(t *testing.T) {
+	convex, err := NewTable([]float64{0, 5, 10}, []float64{0, 5, 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !convex.IsConvexSamples() {
+		t.Error("convex table not detected")
+	}
+	concave, err := NewTable([]float64{0, 5, 10}, []float64{0, 10, 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if concave.IsConvexSamples() {
+		t.Error("concave table passed convexity check")
+	}
+}
+
+func TestTableAlpha(t *testing.T) {
+	// Slope 1 until 10, slope 9 after: alpha = 10*9/10 = 9 at the kink.
+	tab, err := NewTable([]float64{0, 10, 20}, []float64{0, 10, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tab.Alpha(); math.Abs(got-9) > 1e-12 {
+		t.Errorf("alpha = %g, want 9", got)
+	}
+}
+
+func TestSampleFreezesAnalyticFunction(t *testing.T) {
+	f := Monomial{C: 1, Beta: 2}
+	xs := []float64{0, 1, 2, 4, 8, 16}
+	tab, err := Sample(f, xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exact at sample points.
+	for _, x := range xs {
+		if got, want := tab.Value(x), f.Value(x); math.Abs(got-want) > 1e-12 {
+			t.Errorf("sampled value at %g = %g, want %g", x, got, want)
+		}
+	}
+	// Interpolation over-estimates a convex function between samples
+	// (secant above chord), never under.
+	for x := 0.5; x < 16; x += 0.7 {
+		if tab.Value(x) < f.Value(x)-1e-9 {
+			t.Errorf("interpolation underestimates convex f at %g", x)
+		}
+	}
+	if !tab.IsConvexSamples() {
+		t.Error("sampled monomial not convex")
+	}
+	if err := Validate(tab, 16); err != nil {
+		t.Errorf("sampled table fails model validation: %v", err)
+	}
+}
+
+func TestTableWorksWithDiscreteDeriv(t *testing.T) {
+	tab, err := NewTable([]float64{0, 3, 6}, []float64{0, 3, 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// f(1)-f(0) = 1 (first segment slope).
+	if got := DiscreteDeriv(tab, 0); math.Abs(got-1) > 1e-12 {
+		t.Errorf("discrete deriv at 0 = %g", got)
+	}
+	// f(4)-f(3) = 3 (second segment slope).
+	if got := DiscreteDeriv(tab, 3); math.Abs(got-3) > 1e-12 {
+		t.Errorf("discrete deriv at 3 = %g", got)
+	}
+}

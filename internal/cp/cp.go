@@ -1,0 +1,356 @@
+// Package cp implements the convex programming relaxation (CP) of Figure 1
+// of the paper and its Lagrangian dual.
+//
+// Variables x(p,j) in [0,1] indicate eviction of page p between its j-th and
+// (j+1)-th request; for each time t with more distinct pages seen than the
+// cache holds there is a covering constraint
+//
+//	sum_{p in B(t) \ {p_t}} x(p, j(p,t)) >= |B(t)| - k.
+//
+// The objective is sum_i f_i(sum of tenant i's variables). The key property
+// used here: for fixed multipliers y >= 0 the inner Lagrangian minimization
+// over the box decomposes per tenant and is solvable exactly by a greedy
+// water-filling (sort coefficients descending, add variable mass while the
+// coefficient exceeds the running marginal f_i'). Projected subgradient
+// ascent on y therefore produces certified lower bounds on the CP optimum,
+// hence on the integer optimum OPT — the quantity experiment E7 tracks.
+package cp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"convexcache/internal/costfn"
+	"convexcache/internal/trace"
+)
+
+// Instance is a materialized convex program for one (trace, k) pair.
+type Instance struct {
+	k     int
+	costs []costfn.Func
+
+	// vars[v] identifies variable v.
+	vars []VarInfo
+	// varIndex maps (page, interval) to the flat variable index.
+	varIndex map[varKey]int
+	// rows[r] is the covering constraint of one time step.
+	rows []row
+	// varRows[v] lists the rows containing variable v.
+	varRows [][]int
+	// tenantVars[i] lists the variables of tenant i.
+	tenantVars [][]int
+}
+
+// VarInfo describes one eviction variable x(p, j).
+type VarInfo struct {
+	// Page is p.
+	Page trace.PageID
+	// Interval is the 0-based j.
+	Interval int
+	// Tenant owns the page.
+	Tenant trace.Tenant
+}
+
+type varKey struct {
+	page trace.PageID
+	j    int
+}
+
+type row struct {
+	step int
+	cols []int
+	rhs  float64
+}
+
+// Build constructs the convex program for the trace and cache size k.
+func Build(tr *trace.Trace, k int, costs []costfn.Func) (*Instance, error) {
+	if k <= 0 {
+		return nil, errors.New("cp: cache size must be positive")
+	}
+	in := &Instance{
+		k:          k,
+		costs:      append([]costfn.Func(nil), costs...),
+		varIndex:   make(map[varKey]int),
+		tenantVars: make([][]int, tr.NumTenants()),
+	}
+	// One variable per (page, request occurrence).
+	reqCount := make(map[trace.PageID]int)
+	getVar := func(p trace.PageID, j int, owner trace.Tenant) int {
+		key := varKey{page: p, j: j}
+		if v, ok := in.varIndex[key]; ok {
+			return v
+		}
+		v := len(in.vars)
+		in.vars = append(in.vars, VarInfo{Page: p, Interval: j, Tenant: owner})
+		in.varIndex[key] = v
+		in.varRows = append(in.varRows, nil)
+		in.tenantVars[owner] = append(in.tenantVars[owner], v)
+		return v
+	}
+	seen := 0
+	for step, r := range tr.Requests() {
+		if reqCount[r.Page] == 0 {
+			seen++
+		}
+		reqCount[r.Page]++
+		getVar(r.Page, reqCount[r.Page]-1, r.Tenant)
+		rhs := float64(seen - k)
+		if rhs <= 0 {
+			continue
+		}
+		cols := make([]int, 0, seen-1)
+		for p, cnt := range reqCount {
+			if p == r.Page {
+				continue
+			}
+			owner, _ := tr.Owner(p)
+			cols = append(cols, getVar(p, cnt-1, owner))
+		}
+		ri := len(in.rows)
+		in.rows = append(in.rows, row{step: step, cols: cols, rhs: rhs})
+		for _, v := range cols {
+			in.varRows[v] = append(in.varRows[v], ri)
+		}
+	}
+	return in, nil
+}
+
+// NumVars returns the number of eviction variables.
+func (in *Instance) NumVars() int { return len(in.vars) }
+
+// NumRows returns the number of covering constraints.
+func (in *Instance) NumRows() int { return len(in.rows) }
+
+// Var returns the description of variable v.
+func (in *Instance) Var(v int) VarInfo { return in.vars[v] }
+
+// VarOf returns the flat index of x(p, j), if it exists.
+func (in *Instance) VarOf(p trace.PageID, j int) (int, bool) {
+	v, ok := in.varIndex[varKey{page: p, j: j}]
+	return v, ok
+}
+
+func (in *Instance) costOf(i int) costfn.Func {
+	if i < len(in.costs) && in.costs[i] != nil {
+		return in.costs[i]
+	}
+	return costfn.Linear{W: 1}
+}
+
+// Objective evaluates sum_i f_i(sum of tenant i's x).
+func (in *Instance) Objective(x []float64) float64 {
+	total := 0.0
+	for i, vars := range in.tenantVars {
+		s := 0.0
+		for _, v := range vars {
+			s += x[v]
+		}
+		total += in.costOf(i).Value(s)
+	}
+	return total
+}
+
+// CheckFeasible verifies 0 <= x <= 1 and every covering constraint, with
+// tolerance tol. It returns the first violation found.
+func (in *Instance) CheckFeasible(x []float64, tol float64) error {
+	if len(x) != len(in.vars) {
+		return fmt.Errorf("cp: schedule has %d entries, want %d", len(x), len(in.vars))
+	}
+	for v, xv := range x {
+		if xv < -tol || xv > 1+tol {
+			vi := in.vars[v]
+			return fmt.Errorf("cp: x(%d,%d) = %g outside [0,1]", vi.Page, vi.Interval, xv)
+		}
+	}
+	for ri, rw := range in.rows {
+		s := 0.0
+		for _, v := range rw.cols {
+			s += x[v]
+		}
+		if s < rw.rhs-tol {
+			return fmt.Errorf("cp: constraint %d (step %d): %g < rhs %g", ri, rw.step, s, rw.rhs)
+		}
+	}
+	return nil
+}
+
+// DualValue evaluates the Lagrangian dual function at multipliers y >= 0
+// exactly, returning the dual value, a subgradient (one entry per row), and
+// the inner minimizer x.
+//
+// g(y) = min_{x in [0,1]^N} sum_i f_i(S_i) - sum_v c_v x_v + sum_r y_r rhs_r,
+// with c_v = sum of y over the rows containing v. Per tenant, the inner
+// minimum is attained by adding mass to variables in descending coefficient
+// order while the coefficient exceeds the running marginal f_i'.
+func (in *Instance) DualValue(y []float64) (float64, []float64, []float64) {
+	if len(y) != len(in.rows) {
+		panic(fmt.Sprintf("cp: got %d multipliers, want %d", len(y), len(in.rows)))
+	}
+	c := make([]float64, len(in.vars))
+	for ri, yr := range y {
+		if yr == 0 {
+			continue
+		}
+		for _, v := range in.rows[ri].cols {
+			c[v] += yr
+		}
+	}
+	x := make([]float64, len(in.vars))
+	val := 0.0
+	for i, vars := range in.tenantVars {
+		val += in.minimizeTenant(i, vars, c, x)
+	}
+	for ri, yr := range y {
+		val += yr * in.rows[ri].rhs
+	}
+	// Subgradient: rhs_r - sum_{v in row} x_v.
+	g := make([]float64, len(in.rows))
+	for ri, rw := range in.rows {
+		s := 0.0
+		for _, v := range rw.cols {
+			s += x[v]
+		}
+		g[ri] = rw.rhs - s
+	}
+	return val, g, x
+}
+
+// minimizeTenant solves min over the tenant's box of f_i(S) - c.x exactly,
+// writing the minimizer into x and returning the attained value.
+func (in *Instance) minimizeTenant(i int, vars []int, c, x []float64) float64 {
+	f := in.costOf(i)
+	order := append([]int(nil), vars...)
+	sort.Slice(order, func(a, b int) bool { return c[order[a]] > c[order[b]] })
+	s := 0.0
+	linear := 0.0
+	for _, v := range order {
+		cv := c[v]
+		if cv <= 0 {
+			break
+		}
+		if f.Deriv(s+1) <= cv {
+			// Profitable across the whole unit: take x_v = 1.
+			x[v] = 1
+			s++
+			linear += cv
+			continue
+		}
+		if f.Deriv(s) >= cv {
+			// Not profitable at all; later coefficients are smaller.
+			break
+		}
+		// Fractional fill: find a in (0,1) with f'(s+a) = cv.
+		a := solveFrac(f, s, cv)
+		x[v] = a
+		linear += cv * a
+		s += a
+		break
+	}
+	return f.Value(s) - linear
+}
+
+// solveFrac binary-searches a in [0,1] with f'(s+a) = c (f' increasing).
+func solveFrac(f costfn.Func, s, c float64) float64 {
+	lo, hi := 0.0, 1.0
+	for iter := 0; iter < 60; iter++ {
+		mid := (lo + hi) / 2
+		if f.Deriv(s+mid) < c {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// DualResult summarizes a subgradient ascent run.
+type DualResult struct {
+	// Best is the best (largest) certified dual value found: a lower bound
+	// on the CP optimum and hence on OPT.
+	Best float64
+	// Y is the multiplier vector attaining Best.
+	Y []float64
+	// Iters is the number of ascent iterations performed.
+	Iters int
+	// History records the best value after each iteration.
+	History []float64
+}
+
+// SolveDual runs projected subgradient ascent for the given number of
+// iterations with initial step size step0 (a reasonable default is the
+// average cost magnitude divided by the row count; step0 <= 0 selects 1).
+func (in *Instance) SolveDual(iters int, step0 float64) DualResult {
+	if step0 <= 0 {
+		step0 = 1
+	}
+	y := make([]float64, len(in.rows))
+	res := DualResult{Best: math.Inf(-1)}
+	if len(in.rows) == 0 {
+		// No constraints: x = 0 is optimal, dual value 0.
+		res.Best = 0
+		res.Y = y
+		return res
+	}
+	for it := 0; it < iters; it++ {
+		val, g, _ := in.DualValue(y)
+		if val > res.Best {
+			res.Best = val
+			res.Y = append(res.Y[:0], y...)
+		}
+		res.History = append(res.History, res.Best)
+		norm := 0.0
+		for _, gv := range g {
+			norm += gv * gv
+		}
+		if norm == 0 {
+			break
+		}
+		step := step0 / (math.Sqrt(norm) * math.Sqrt(float64(it+1)))
+		for ri := range y {
+			y[ri] += step * g[ri]
+			if y[ri] < 0 {
+				y[ri] = 0
+			}
+		}
+		res.Iters = it + 1
+	}
+	if math.IsInf(res.Best, -1) {
+		res.Best = 0
+		res.Y = y
+	}
+	return res
+}
+
+// ScheduleFromEvictions converts an eviction log (page evicted at step) into
+// the 0/1 schedule x implied by a run on the same trace: x(p, j(p,t)) = 1
+// when p was evicted at step t during its interval j(p,t).
+func (in *Instance) ScheduleFromEvictions(tr *trace.Trace, evictions []Eviction) ([]float64, error) {
+	x := make([]float64, len(in.vars))
+	reqCount := make(map[trace.PageID]int)
+	evByStep := make(map[int]trace.PageID, len(evictions))
+	for _, e := range evictions {
+		evByStep[e.Step] = e.Page
+	}
+	for step, r := range tr.Requests() {
+		reqCount[r.Page]++
+		if p, ok := evByStep[step]; ok {
+			j := reqCount[p] - 1
+			v, exists := in.VarOf(p, j)
+			if !exists {
+				return nil, fmt.Errorf("cp: eviction of page %d at step %d has no variable (interval %d)", p, step, j)
+			}
+			x[v] = 1
+		}
+	}
+	return x, nil
+}
+
+// Eviction is one entry of an eviction log.
+type Eviction struct {
+	// Step is the 0-based request index at which the eviction happened.
+	Step int
+	// Page is the evicted page.
+	Page trace.PageID
+}

@@ -1,0 +1,269 @@
+package cp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"convexcache/internal/costfn"
+	"convexcache/internal/offline"
+	"convexcache/internal/policy"
+	"convexcache/internal/sim"
+	"convexcache/internal/trace"
+)
+
+func randomTrace(seed int64, tenants, pagesPer, length int) *trace.Trace {
+	rng := rand.New(rand.NewSource(seed))
+	b := trace.NewBuilder()
+	for i := 0; i < length; i++ {
+		tn := rng.Intn(tenants)
+		b.Add(trace.Tenant(tn), trace.PageID(tn*100+rng.Intn(pagesPer)))
+	}
+	return b.MustBuild()
+}
+
+func TestBuildStructure(t *testing.T) {
+	// Sequence (tenant 0): 1 2 3 1 with k=2.
+	b := trace.NewBuilder().Add(0, 1).Add(0, 2).Add(0, 3).Add(0, 1)
+	tr := b.MustBuild()
+	in, err := Build(tr, 2, []costfn.Func{costfn.Linear{W: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One variable per request.
+	if in.NumVars() != 4 {
+		t.Errorf("NumVars = %d, want 4", in.NumVars())
+	}
+	// Constraints appear once |B(t)| > k: steps 2 (seen=3) and 3 (seen=3).
+	if in.NumRows() != 2 {
+		t.Errorf("NumRows = %d, want 2", in.NumRows())
+	}
+	// Step 2 row: pages {1,2} (not p_t=3), rhs 1.
+	// Step 3 row: pages {2,3} in their current intervals (not p_t=1).
+	if _, ok := in.VarOf(1, 0); !ok {
+		t.Error("missing variable x(1,0)")
+	}
+	if _, ok := in.VarOf(1, 1); !ok {
+		t.Error("missing variable x(1,1)")
+	}
+	if _, ok := in.VarOf(1, 2); ok {
+		t.Error("unexpected variable x(1,2)")
+	}
+}
+
+func TestBuildRejectsBadK(t *testing.T) {
+	tr := trace.NewBuilder().Add(0, 1).MustBuild()
+	if _, err := Build(tr, 0, nil); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestAnyRunYieldsFeasibleSchedule(t *testing.T) {
+	costs := []costfn.Func{costfn.Monomial{C: 1, Beta: 2}, costfn.Linear{W: 2}}
+	for seed := int64(0); seed < 5; seed++ {
+		tr := randomTrace(seed, 2, 5, 60)
+		k := 3
+		in, err := Build(tr, k, costs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range []sim.Policy{policy.NewLRU(), policy.NewFIFO(), policy.NewBelady()} {
+			var evs []Eviction
+			res, err := sim.Run(tr, p, sim.Config{K: k, Observer: func(ev sim.Event) {
+				if ev.Evicted >= 0 {
+					evs = append(evs, Eviction{Step: ev.Step, Page: ev.Evicted})
+				}
+			}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			x, err := in.ScheduleFromEvictions(tr, evs)
+			if err != nil {
+				t.Fatalf("%s: %v", p.Name(), err)
+			}
+			if err := in.CheckFeasible(x, 1e-9); err != nil {
+				t.Errorf("seed=%d %s: infeasible run schedule: %v", seed, p.Name(), err)
+			}
+			// The CP objective of the run schedule equals the eviction
+			// cost of the run.
+			if got, want := in.Objective(x), res.EvictionCost(costs); math.Abs(got-want) > 1e-9 {
+				t.Errorf("seed=%d %s: objective %g != eviction cost %g", seed, p.Name(), got, want)
+			}
+		}
+	}
+}
+
+func TestDualValueAtZeroIsZero(t *testing.T) {
+	tr := randomTrace(1, 2, 4, 30)
+	in, err := Build(tr, 2, []costfn.Func{costfn.Linear{W: 1}, costfn.Linear{W: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	val, g, x := in.DualValue(make([]float64, in.NumRows()))
+	if val != 0 {
+		t.Errorf("dual at 0 = %g", val)
+	}
+	for _, xv := range x {
+		if xv != 0 {
+			t.Errorf("inner minimizer non-zero at y=0")
+			break
+		}
+	}
+	// Subgradient at 0 equals the rhs vector (all constraints violated by
+	// x=0 exactly by rhs).
+	for ri, gv := range g {
+		if gv <= 0 {
+			t.Errorf("subgradient %d = %g, want positive rhs", ri, gv)
+		}
+	}
+}
+
+func TestWeakDuality(t *testing.T) {
+	// For random multipliers, the dual value never exceeds the exact
+	// optimum (which is an upper bound on the CP optimum).
+	costs := []costfn.Func{costfn.Monomial{C: 1, Beta: 2}, costfn.Linear{W: 3}}
+	rng := rand.New(rand.NewSource(5))
+	for seed := int64(0); seed < 5; seed++ {
+		tr := randomTrace(10+seed, 2, 4, 16)
+		k := 2
+		in, err := Build(tr, k, costs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, err := offline.Exact(tr, k, costs, offline.Limits{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 20; trial++ {
+			y := make([]float64, in.NumRows())
+			for i := range y {
+				y[i] = rng.Float64() * 3
+			}
+			val, _, _ := in.DualValue(y)
+			if val > opt.Cost+1e-6 {
+				t.Fatalf("seed=%d trial=%d: dual %g exceeds OPT %g", seed, trial, val, opt.Cost)
+			}
+		}
+	}
+}
+
+func TestInnerMinimizationExact(t *testing.T) {
+	// Compare the greedy water-filling against a grid search on a tiny
+	// tenant with three variables.
+	fs := []costfn.Func{
+		costfn.Linear{W: 2},
+		costfn.Monomial{C: 1, Beta: 2},
+		costfn.Monomial{C: 0.5, Beta: 3},
+	}
+	rng := rand.New(rand.NewSource(9))
+	for _, f := range fs {
+		in := &Instance{costs: []costfn.Func{f}, tenantVars: [][]int{{0, 1, 2}}}
+		in.vars = make([]VarInfo, 3)
+		for trial := 0; trial < 30; trial++ {
+			c := []float64{rng.Float64() * 4, rng.Float64() * 4, rng.Float64() * 4}
+			x := make([]float64, 3)
+			got := in.minimizeTenant(0, []int{0, 1, 2}, c, x)
+			// Grid search with step 1/50.
+			best := math.Inf(1)
+			const steps = 50
+			for a := 0; a <= steps; a++ {
+				for bg := 0; bg <= steps; bg++ {
+					for cg := 0; cg <= steps; cg++ {
+						xa, xb, xc := float64(a)/steps, float64(bg)/steps, float64(cg)/steps
+						v := f.Value(xa+xb+xc) - c[0]*xa - c[1]*xb - c[2]*xc
+						if v < best {
+							best = v
+						}
+					}
+				}
+			}
+			if got > best+1e-2 {
+				t.Fatalf("%s c=%v: greedy %g worse than grid %g", f, c, got, best)
+			}
+		}
+	}
+}
+
+func TestSolveDualProducesCertifiedBound(t *testing.T) {
+	costs := []costfn.Func{costfn.Monomial{C: 1, Beta: 2}, costfn.Linear{W: 2}}
+	for seed := int64(0); seed < 4; seed++ {
+		tr := randomTrace(30+seed, 2, 4, 18)
+		k := 2
+		in, err := Build(tr, k, costs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, err := offline.Exact(tr, k, costs, offline.Limits{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := in.SolveDual(300, opt.Cost/float64(in.NumRows()+1))
+		if res.Best > opt.Cost+1e-6 {
+			t.Fatalf("seed=%d: dual bound %g exceeds OPT %g", seed, res.Best, opt.Cost)
+		}
+		if res.Best <= 0 {
+			t.Errorf("seed=%d: dual bound %g not positive despite forced evictions", seed, res.Best)
+		}
+		// The bound should carry real information: at least a quarter of
+		// OPT on these tiny instances.
+		if res.Best < opt.Cost/4 {
+			t.Errorf("seed=%d: dual bound %g too loose vs OPT %g", seed, res.Best, opt.Cost)
+		}
+		// History is monotone non-decreasing.
+		for i := 1; i < len(res.History); i++ {
+			if res.History[i] < res.History[i-1] {
+				t.Fatalf("seed=%d: best-history decreased at %d", seed, i)
+			}
+		}
+	}
+}
+
+func TestSolveDualNoConstraints(t *testing.T) {
+	// Trace fits in cache: no rows, dual = 0 = OPT beyond cold misses'
+	// eviction count 0.
+	tr := trace.NewBuilder().Add(0, 1).Add(0, 2).Add(0, 1).MustBuild()
+	in, err := Build(tr, 4, []costfn.Func{costfn.Linear{W: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.NumRows() != 0 {
+		t.Fatalf("rows = %d, want 0", in.NumRows())
+	}
+	res := in.SolveDual(10, 1)
+	if res.Best != 0 {
+		t.Errorf("dual = %g, want 0", res.Best)
+	}
+}
+
+func TestScheduleFromEvictionsRejectsUnknownVariable(t *testing.T) {
+	tr := trace.NewBuilder().Add(0, 1).Add(0, 2).MustBuild()
+	in, err := Build(tr, 1, []costfn.Func{costfn.Linear{W: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Page 99 never appears in the trace.
+	if _, err := in.ScheduleFromEvictions(tr, []Eviction{{Step: 1, Page: 99}}); err == nil {
+		t.Error("unknown eviction accepted")
+	}
+}
+
+func TestCheckFeasibleDetectsViolations(t *testing.T) {
+	b := trace.NewBuilder().Add(0, 1).Add(0, 2).Add(0, 3)
+	tr := b.MustBuild()
+	in, err := Build(tr, 2, []costfn.Func{costfn.Linear{W: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero := make([]float64, in.NumVars())
+	if err := in.CheckFeasible(zero, 1e-9); err == nil {
+		t.Error("all-zero schedule accepted despite covering constraint")
+	}
+	if err := in.CheckFeasible(make([]float64, 1), 1e-9); err == nil {
+		t.Error("wrong-length schedule accepted")
+	}
+	bad := make([]float64, in.NumVars())
+	bad[0] = 2
+	if err := in.CheckFeasible(bad, 1e-9); err == nil {
+		t.Error("x > 1 accepted")
+	}
+}

@@ -1,0 +1,53 @@
+package cp
+
+import (
+	"errors"
+
+	"convexcache/internal/costfn"
+	"convexcache/internal/lp"
+)
+
+// SolveLinearExact solves the convex program exactly with the simplex
+// method when every tenant's cost function is linear (f_i(x) = w_i x) —
+// the weighted-caching LP of Young (1994) / Bansal-Buchbinder-Naor (2012).
+// It returns the optimal fractional eviction schedule and its objective,
+// which certifies the exact fractional optimum sandwiched between the
+// subgradient dual bound and the integer optimum:
+//
+//	SolveDual(...).Best <= LP optimum <= offline.Exact(...).Cost.
+//
+// It errors when a cost function is not Linear.
+func (in *Instance) SolveLinearExact() ([]float64, float64, error) {
+	c := make([]float64, len(in.vars))
+	for v, vi := range in.vars {
+		f := in.costOf(int(vi.Tenant))
+		lin, ok := f.(costfn.Linear)
+		if !ok {
+			return nil, 0, errors.New("cp: SolveLinearExact requires linear cost functions")
+		}
+		c[v] = lin.W
+	}
+	prob := lp.Problem{C: c}
+	// Covering rows.
+	for _, rw := range in.rows {
+		coef := make([]float64, len(in.vars))
+		for _, v := range rw.cols {
+			coef[v] = 1
+		}
+		prob.Rows = append(prob.Rows, lp.Constraint{Coef: coef, Rel: lp.GE, RHS: rw.rhs})
+	}
+	// Box: x <= 1.
+	for v := range in.vars {
+		coef := make([]float64, v+1)
+		coef[v] = 1
+		prob.Rows = append(prob.Rows, lp.Constraint{Coef: coef, Rel: lp.LE, RHS: 1})
+	}
+	sol, err := lp.Solve(prob)
+	if err != nil {
+		return nil, 0, err
+	}
+	if sol.Status != lp.Optimal {
+		return nil, 0, errors.New("cp: weighted caching LP reported " + sol.Status.String())
+	}
+	return sol.X, sol.Objective, nil
+}

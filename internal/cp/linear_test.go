@@ -1,0 +1,76 @@
+package cp
+
+import (
+	"math"
+	"testing"
+
+	"convexcache/internal/costfn"
+	"convexcache/internal/offline"
+	"convexcache/internal/trace"
+)
+
+func TestSolveLinearExactSandwich(t *testing.T) {
+	costs := []costfn.Func{costfn.Linear{W: 1}, costfn.Linear{W: 3}}
+	for seed := int64(0); seed < 6; seed++ {
+		tr := randomTrace(40+seed, 2, 4, 18)
+		k := 2
+		in, err := Build(tr, k, costs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x, lpVal, err := in.SolveLinearExact()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The LP solution must be feasible for the CP and achieve its
+		// reported objective.
+		if err := in.CheckFeasible(x, 1e-6); err != nil {
+			t.Fatalf("seed=%d: LP solution infeasible: %v", seed, err)
+		}
+		if got := in.Objective(x); math.Abs(got-lpVal) > 1e-6*(1+math.Abs(lpVal)) {
+			t.Fatalf("seed=%d: objective mismatch %g vs %g", seed, got, lpVal)
+		}
+		opt, err := offline.Exact(tr, k, costs, offline.Limits{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lpVal > opt.Cost+1e-6 {
+			t.Errorf("seed=%d: LP %g above integer OPT %g", seed, lpVal, opt.Cost)
+		}
+		dual := in.SolveDual(400, opt.Cost/float64(in.NumRows()+1))
+		if dual.Best > lpVal+1e-5*(1+lpVal) {
+			t.Errorf("seed=%d: dual %g above LP optimum %g", seed, dual.Best, lpVal)
+		}
+		// With enough iterations the dual should get close to the LP value
+		// (they share the same optimum by strong duality).
+		if lpVal > 0 && dual.Best < 0.5*lpVal {
+			t.Errorf("seed=%d: dual %g far below LP %g", seed, dual.Best, lpVal)
+		}
+	}
+}
+
+func TestSolveLinearExactRejectsConvexCosts(t *testing.T) {
+	tr := trace.NewBuilder().Add(0, 1).Add(0, 2).Add(0, 3).MustBuild()
+	in, err := Build(tr, 2, []costfn.Func{costfn.Monomial{C: 1, Beta: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := in.SolveLinearExact(); err == nil {
+		t.Error("non-linear costs accepted")
+	}
+}
+
+func TestSolveLinearExactNoConstraints(t *testing.T) {
+	tr := trace.NewBuilder().Add(0, 1).Add(0, 2).MustBuild()
+	in, err := Build(tr, 4, []costfn.Func{costfn.Linear{W: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, val, err := in.SolveLinearExact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if val != 0 {
+		t.Errorf("LP value = %g, want 0 (everything fits)", val)
+	}
+}

@@ -1,0 +1,42 @@
+package cp
+
+import (
+	"testing"
+
+	"convexcache/internal/costfn"
+	"convexcache/internal/offline"
+)
+
+// TestOptimalScheduleIsCPFeasible closes the loop between the offline
+// solver and the convex program: the exact optimum's eviction schedule must
+// satisfy every covering constraint of Figure 1, and its CP objective
+// (eviction accounting) must lower-bound the miss-accounting optimum.
+func TestOptimalScheduleIsCPFeasible(t *testing.T) {
+	costs := []costfn.Func{costfn.Monomial{C: 1, Beta: 2}, costfn.Linear{W: 3}}
+	for seed := int64(0); seed < 6; seed++ {
+		tr := randomTrace(90+seed, 2, 4, 20)
+		k := 2
+		res, err := offline.Exact(tr, k, costs, offline.Limits{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		in, err := Build(tr, k, costs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		evs := make([]Eviction, len(res.Schedule))
+		for i, e := range res.Schedule {
+			evs[i] = Eviction{Step: e.Step, Page: e.Page}
+		}
+		x, err := in.ScheduleFromEvictions(tr, evs)
+		if err != nil {
+			t.Fatalf("seed=%d: %v", seed, err)
+		}
+		if err := in.CheckFeasible(x, 1e-9); err != nil {
+			t.Fatalf("seed=%d: optimal schedule infeasible for the CP: %v", seed, err)
+		}
+		if obj := in.Objective(x); obj > res.Cost+1e-9 {
+			t.Errorf("seed=%d: eviction-accounting objective %g above miss-accounting OPT %g", seed, obj, res.Cost)
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package cp
+
+import (
+	"errors"
+	"math"
+)
+
+// PrimalResult is the outcome of the penalty-method primal solve.
+type PrimalResult struct {
+	// X is the feasible (post-repair) fractional schedule.
+	X []float64
+	// Objective is the convex objective at X — an upper bound on the CP
+	// optimum because X is feasible.
+	Objective float64
+	// Iterations counts gradient steps across all penalty rounds.
+	Iterations int
+	// MaxViolation is the largest constraint violation before repair
+	// (diagnostic; X itself is feasible).
+	MaxViolation float64
+}
+
+// SolvePrimal approximately minimizes the convex program with a quadratic
+// penalty method (projected gradient descent on the box, penalty weight
+// escalated geometrically), then repairs any residual violation by greedily
+// raising the cheapest variables of each uncovered row. The returned point
+// is exactly feasible, so its objective certifies an upper bound on the CP
+// optimum; combined with SolveDual's lower bound this brackets the
+// fractional optimum for arbitrary convex costs (SolveLinearExact covers
+// the linear case exactly).
+func (in *Instance) SolvePrimal(rounds, stepsPerRound int) (PrimalResult, error) {
+	if rounds <= 0 {
+		rounds = 6
+	}
+	if stepsPerRound <= 0 {
+		stepsPerRound = 200
+	}
+	n := len(in.vars)
+	if n == 0 {
+		return PrimalResult{}, errors.New("cp: no variables")
+	}
+	x := make([]float64, n)
+	// Start from the all-evicted point, which is feasible.
+	for v := range x {
+		x[v] = 1
+	}
+	grad := make([]float64, n)
+	rho := 1.0
+	res := PrimalResult{}
+	for round := 0; round < rounds; round++ {
+		step := 0.5 / rho
+		for it := 0; it < stepsPerRound; it++ {
+			in.penaltyGradient(x, rho, grad)
+			moved := 0.0
+			for v := range x {
+				nx := x[v] - step*grad[v]
+				if nx < 0 {
+					nx = 0
+				}
+				if nx > 1 {
+					nx = 1
+				}
+				moved += math.Abs(nx - x[v])
+				x[v] = nx
+			}
+			res.Iterations++
+			if moved < 1e-10 {
+				break
+			}
+		}
+		rho *= 4
+	}
+	res.MaxViolation = in.maxViolation(x)
+	in.repair(x)
+	if err := in.CheckFeasible(x, 1e-9); err != nil {
+		return PrimalResult{}, err
+	}
+	res.X = x
+	res.Objective = in.Objective(x)
+	return res, nil
+}
+
+// penaltyGradient computes the gradient of
+// F(x) = sum_i f_i(S_i) + rho * sum_r max(0, rhs - sum x)^2.
+func (in *Instance) penaltyGradient(x []float64, rho float64, grad []float64) {
+	// Objective part: df/dx_v = f'_{tenant}(S_tenant).
+	for i, vars := range in.tenantVars {
+		s := 0.0
+		for _, v := range vars {
+			s += x[v]
+		}
+		d := in.costOf(i).Deriv(s)
+		for _, v := range vars {
+			grad[v] = d
+		}
+	}
+	// Penalty part.
+	for _, rw := range in.rows {
+		s := 0.0
+		for _, v := range rw.cols {
+			s += x[v]
+		}
+		if viol := rw.rhs - s; viol > 0 {
+			g := -2 * rho * viol
+			for _, v := range rw.cols {
+				grad[v] += g
+			}
+		}
+	}
+}
+
+// maxViolation returns the largest covering-constraint violation.
+func (in *Instance) maxViolation(x []float64) float64 {
+	worst := 0.0
+	for _, rw := range in.rows {
+		s := 0.0
+		for _, v := range rw.cols {
+			s += x[v]
+		}
+		if viol := rw.rhs - s; viol > worst {
+			worst = viol
+		}
+	}
+	return worst
+}
+
+// repair raises variables with the smallest marginal cost until every row
+// is covered. Rows are processed in order; raising a variable helps every
+// row containing it, so later rows are rechecked implicitly via their own
+// pass.
+func (in *Instance) repair(x []float64) {
+	for ri := range in.rows {
+		rw := &in.rows[ri]
+		s := 0.0
+		for _, v := range rw.cols {
+			s += x[v]
+		}
+		for s < rw.rhs-1e-12 {
+			// Cheapest headroom variable by current marginal cost.
+			best, bestCost := -1, math.Inf(1)
+			for _, v := range rw.cols {
+				if x[v] >= 1 {
+					continue
+				}
+				i := int(in.vars[v].Tenant)
+				si := 0.0
+				for _, u := range in.tenantVars[i] {
+					si += x[u]
+				}
+				c := in.costOf(i).Deriv(si)
+				if c < bestCost {
+					best, bestCost = v, c
+				}
+			}
+			if best < 0 {
+				return // row cannot be covered further (should not happen)
+			}
+			need := rw.rhs - s
+			add := 1 - x[best]
+			if add > need {
+				add = need
+			}
+			x[best] += add
+			s += add
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package cp
+
+import (
+	"testing"
+
+	"convexcache/internal/costfn"
+	"convexcache/internal/offline"
+)
+
+func TestSolvePrimalFeasibleAndBracketed(t *testing.T) {
+	costs := []costfn.Func{costfn.Monomial{C: 1, Beta: 2}, costfn.Linear{W: 2}}
+	for seed := int64(0); seed < 5; seed++ {
+		tr := randomTrace(60+seed, 2, 4, 18)
+		k := 2
+		in, err := Build(tr, k, costs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := in.SolvePrimal(0, 0) // defaults
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := in.CheckFeasible(res.X, 1e-9); err != nil {
+			t.Fatalf("seed=%d: primal point infeasible: %v", seed, err)
+		}
+		opt, err := offline.Exact(tr, k, costs, offline.Limits{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dual := in.SolveDual(300, opt.Cost/float64(in.NumRows()+1))
+		// Feasible value upper-bounds the CP optimum, which the dual
+		// lower-bounds.
+		if res.Objective < dual.Best-1e-6 {
+			t.Errorf("seed=%d: primal %g below dual bound %g", seed, res.Objective, dual.Best)
+		}
+		// The CP optimum is at most the integer optimum; the approximate
+		// primal should land near it (within 30% above on these tiny
+		// instances).
+		if res.Objective > opt.Cost*1.3+1e-6 {
+			t.Errorf("seed=%d: primal %g far above integer OPT %g", seed, res.Objective, opt.Cost)
+		}
+	}
+}
+
+func TestSolvePrimalMatchesSimplexOnLinear(t *testing.T) {
+	costs := []costfn.Func{costfn.Linear{W: 1}, costfn.Linear{W: 3}}
+	for seed := int64(0); seed < 4; seed++ {
+		tr := randomTrace(80+seed, 2, 4, 16)
+		in, err := Build(tr, 2, costs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, lpVal, err := in.SolveLinearExact()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := in.SolvePrimal(8, 400)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Objective < lpVal-1e-6 {
+			t.Fatalf("seed=%d: primal %g below exact LP optimum %g", seed, res.Objective, lpVal)
+		}
+		if lpVal > 0 && res.Objective > lpVal*1.2 {
+			t.Errorf("seed=%d: primal %g more than 20%% above LP optimum %g", seed, res.Objective, lpVal)
+		}
+	}
+}
+
+func TestSolvePrimalNoVariables(t *testing.T) {
+	in := &Instance{}
+	if _, err := in.SolvePrimal(1, 1); err == nil {
+		t.Error("empty instance accepted")
+	}
+}

@@ -1,0 +1,34 @@
+package experiments
+
+import "testing"
+
+func TestE16AlphaSensitivity(t *testing.T) {
+	tb, err := AlphaSensitivity(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireAllYes(t, tb, "holds")
+	ai := column(t, tb, "alpha")
+	bi := column(t, tb, "bound f(ak b)/f(b)")
+	// Alpha must sweep upward with the steepness and the bound must blow
+	// up accordingly.
+	var firstAlpha, lastAlpha, firstBound, lastBound float64
+	rows := tb.Rows()
+	firstAlpha, lastAlpha = parseF(t, rows[0][ai]), parseF(t, rows[len(rows)-1][ai])
+	firstBound, lastBound = parseF(t, rows[0][bi]), parseF(t, rows[len(rows)-1][bi])
+	if lastAlpha <= firstAlpha {
+		t.Errorf("alpha did not grow: %g -> %g", firstAlpha, lastAlpha)
+	}
+	if lastBound <= firstBound {
+		t.Errorf("bound did not grow with alpha: %g -> %g", firstBound, lastBound)
+	}
+	// The measured ratio should stay far below the bound at high alpha
+	// (random instances are benign; the bound is worst-case).
+	mi := column(t, tb, "measured ratio")
+	for _, row := range rows {
+		m, b := parseF(t, row[mi]), parseF(t, row[bi])
+		if m > b {
+			t.Errorf("measured %g above bound %g", m, b)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"fmt"
+
+	"convexcache/internal/costfn"
+	"convexcache/internal/offline"
+	"convexcache/internal/stats"
+)
+
+// Theorem11 (E1, "Table 1") verifies the paper's headline guarantee on
+// exactly-solved instances: for every request sequence,
+//
+//	sum_i f_i(a_i) <= sum_i f_i(alpha * k * b_i)
+//
+// with a_i the algorithm's per-tenant misses and b_i the exact optimum's.
+// Miss counts (fetches) are used on both sides; they dominate the paper's
+// eviction counts, making the check conservative for the algorithm.
+func Theorem11(quick bool) (*stats.Table, error) {
+	tb := stats.NewTable("E1: Theorem 1.1 upper bound (exact OPT instances)",
+		"costs", "seed", "k", "alpha", "ALG misses", "OPT misses", "ALG cost", "bound", "holds")
+	seeds := int64(6)
+	length := 40
+	if quick {
+		seeds = 3
+		length = 24
+	}
+	for name, costs := range mixedCostSets() {
+		for seed := int64(0); seed < seeds; seed++ {
+			tr := randomSmallTrace(seed, 2, 5, length)
+			for _, k := range []int{2, 4} {
+				alg, err := runALG(tr, k, costs)
+				if err != nil {
+					return nil, err
+				}
+				opt, err := offline.Exact(tr, k, costs, offline.Limits{})
+				if err != nil {
+					return nil, err
+				}
+				if !opt.Optimal {
+					return nil, fmt.Errorf("experiments: E1 seed %d not solved exactly", seed)
+				}
+				alpha := alphaOf(costs, float64(tr.Len()))
+				algCost := alg.Cost(costs)
+				bound := boundCost(costs, alpha*float64(k), opt.Misses)
+				tb.AddRow(name, seed, k, alpha,
+					fmtSlice(alg.Misses), fmtSlice(opt.Misses),
+					algCost, bound, checkMark(algCost <= bound+1e-9))
+			}
+		}
+	}
+	return tb, nil
+}
+
+// Corollary12 (E2, "Table 2") specializes to monomial costs f(x) = x^beta:
+// the measured total-cost ratio ALG/OPT must stay below beta^beta * k^beta.
+func Corollary12(quick bool) (*stats.Table, error) {
+	tb := stats.NewTable("E2: Corollary 1.2 (f(x)=x^beta, ratio vs beta^beta k^beta)",
+		"beta", "k", "seed", "ALG cost", "OPT cost", "ratio", "bound", "holds")
+	seeds := int64(4)
+	length := 36
+	if quick {
+		seeds = 2
+		length = 22
+	}
+	for _, beta := range []float64{1, 2, 3} {
+		costs := []costfn.Func{
+			costfn.Monomial{C: 1, Beta: beta},
+			costfn.Monomial{C: 1, Beta: beta},
+		}
+		for _, k := range []int{2, 3, 4} {
+			for seed := int64(0); seed < seeds; seed++ {
+				tr := randomSmallTrace(100+seed, 2, 5, length)
+				alg, err := runALG(tr, k, costs)
+				if err != nil {
+					return nil, err
+				}
+				opt, err := offline.Exact(tr, k, costs, offline.Limits{})
+				if err != nil {
+					return nil, err
+				}
+				algCost := alg.Cost(costs)
+				ratio := algCost / opt.Cost
+				bound := pow(beta, beta) * pow(float64(k), beta)
+				tb.AddRow(beta, k, seed, algCost, opt.Cost, ratio, bound,
+					checkMark(ratio <= bound+1e-9))
+			}
+		}
+	}
+	return tb, nil
+}
+
+// BiCriteria (E3, "Table 3") verifies Theorem 1.3: against an offline
+// optimum restricted to a cache of h <= k pages, the bound tightens to
+// sum_i f_i(alpha * k/(k-h+1) * b_i). The algorithm is the same; only the
+// comparator changes.
+func BiCriteria(quick bool) (*stats.Table, error) {
+	tb := stats.NewTable("E3: Theorem 1.3 bi-criteria bound (k fixed, h sweep)",
+		"costs", "seed", "k", "h", "factor", "ALG cost", "OPT-h cost", "bound", "holds")
+	k := 5
+	seeds := int64(3)
+	length := 36
+	if quick {
+		seeds = 2
+		length = 24
+	}
+	sets := map[string][]costfn.Func{
+		"quadratic":   mixedCostSets()["quadratic"],
+		"quad+linear": mixedCostSets()["quad+linear"],
+	}
+	for name, costs := range sets {
+		for seed := int64(0); seed < seeds; seed++ {
+			tr := randomSmallTrace(200+seed, 2, 5, length)
+			alg, err := runALG(tr, k, costs)
+			if err != nil {
+				return nil, err
+			}
+			algCost := alg.Cost(costs)
+			alpha := alphaOf(costs, float64(tr.Len()))
+			for h := 1; h <= k; h++ {
+				opt, err := offline.Exact(tr, h, costs, offline.Limits{})
+				if err != nil {
+					return nil, err
+				}
+				factor := alpha * float64(k) / float64(k-h+1)
+				bound := boundCost(costs, factor, opt.Misses)
+				tb.AddRow(name, seed, k, h, factor, algCost, opt.Cost, bound,
+					checkMark(algCost <= bound+1e-9))
+			}
+		}
+	}
+	return tb, nil
+}
+
+func pow(base, exp float64) float64 {
+	out := 1.0
+	for i := 0; i < int(exp); i++ {
+		out *= base
+	}
+	return out
+}

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"fmt"
+
+	"convexcache/internal/cp"
+	"convexcache/internal/offline"
+	"convexcache/internal/stats"
+)
+
+// DualBound (E7, "Figure 3") validates the primal-dual machinery of Section
+// 2: the Lagrangian dual of the convex programming relaxation produces
+// certified lower bounds, so on every instance
+//
+//	dual bound <= exact OPT <= ALG cost.
+//
+// The table reports the sandwich on exactly-solved instances.
+func DualBound(quick bool) (*stats.Table, error) {
+	tb := stats.NewTable("E7: CP dual lower bound sandwich (dual <= OPT <= ALG)",
+		"costs", "seed", "k", "dual LB", "exact OPT", "ALG cost", "dual/OPT", "sandwich")
+	seeds := int64(4)
+	length := 26
+	iters := 400
+	if quick {
+		seeds = 2
+		length = 18
+		iters = 200
+	}
+	for name, costs := range mixedCostSets() {
+		for seed := int64(0); seed < seeds; seed++ {
+			tr := randomSmallTrace(300+seed, 2, 4, length)
+			k := 2
+			opt, err := offline.Exact(tr, k, costs, offline.Limits{})
+			if err != nil {
+				return nil, err
+			}
+			if !opt.Optimal {
+				return nil, fmt.Errorf("experiments: E7 seed %d not solved exactly", seed)
+			}
+			in, err := cp.Build(tr, k, costs)
+			if err != nil {
+				return nil, err
+			}
+			step0 := opt.Cost / float64(in.NumRows()+1)
+			dual := in.SolveDual(iters, step0)
+			alg, err := runALG(tr, k, costs)
+			if err != nil {
+				return nil, err
+			}
+			algCost := alg.Cost(costs)
+			ok := dual.Best <= opt.Cost+1e-6 && opt.Cost <= algCost+1e-9
+			ratio := 0.0
+			if opt.Cost > 0 {
+				ratio = dual.Best / opt.Cost
+			}
+			tb.AddRow(name, seed, k, dual.Best, opt.Cost, algCost, ratio, checkMark(ok))
+		}
+	}
+	return tb, nil
+}

@@ -1,0 +1,139 @@
+// Package experiments implements the reproduction's experiment suite. The
+// paper is a theory extended abstract with no empirical tables or figures,
+// so each experiment here is the empirical counterpart of one formal claim
+// (see DESIGN.md section 3 for the full index):
+//
+//	E1  Theorem 1.1 upper bound          E2  Corollary 1.2 monomial bound
+//	E3  Theorem 1.3 bi-criteria bound    E4  Theorem 1.4 lower bound
+//	E5  ratio growth vs k                E6  SLA cost comparison
+//	E7  CP dual lower bound              E8  phase-shift adaptation
+//	E9  budget-rule ablations            E11 buffer-pool deployment
+//
+// (E10, raw throughput, lives in bench_test.go only.)
+//
+// Every experiment returns a stats.Table so cmd/experiments, the test suite
+// and EXPERIMENTS.md all consume identical artifacts.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"convexcache/internal/core"
+	"convexcache/internal/costfn"
+	"convexcache/internal/sim"
+	"convexcache/internal/stats"
+	"convexcache/internal/trace"
+)
+
+// Experiment names one harness entry.
+type Experiment struct {
+	// ID is the experiment identifier (E1..E11).
+	ID string
+	// Claim is the paper claim reproduced.
+	Claim string
+	// Run produces the result table; quick shrinks workloads for CI.
+	Run func(quick bool) (*stats.Table, error)
+}
+
+// All lists every experiment in id order.
+func All() []Experiment {
+	return []Experiment{
+		{ID: "E1", Claim: "Theorem 1.1 upper bound", Run: Theorem11},
+		{ID: "E2", Claim: "Corollary 1.2 monomial bound", Run: Corollary12},
+		{ID: "E3", Claim: "Theorem 1.3 bi-criteria bound", Run: BiCriteria},
+		{ID: "E4", Claim: "Theorem 1.4 lower bound", Run: LowerBound},
+		{ID: "E5", Claim: "competitive ratio vs k", Run: RatioVsK},
+		{ID: "E6", Claim: "SLA cost comparison (motivation)", Run: SLAComparison},
+		{ID: "E7", Claim: "CP dual lower bound", Run: DualBound},
+		{ID: "E8", Claim: "phase-shift adaptation", Run: Phases},
+		{ID: "E9", Claim: "budget-rule ablations", Run: Ablation},
+		{ID: "E11", Claim: "buffer-pool deployment", Run: BufferPool},
+		{ID: "E12", Claim: "multiple memory pools (Section 5 extension)", Run: MultiPool},
+		{ID: "E13", Claim: "optimal static partition vs online sharing", Run: StaticVsDynamic},
+		{ID: "E14", Claim: "fractional vs deterministic separation", Run: Fractional},
+		{ID: "E14b", Claim: "exact LP certificate (dual <= LP <= OPT)", Run: LPCertificate},
+		{ID: "E15", Claim: "seed-robustness of the cost advantage", Run: Robustness},
+		{ID: "E16", Claim: "curvature (alpha) sensitivity of the bound", Run: AlphaSensitivity},
+		{ID: "E17", Claim: "two-level hierarchy washout curve", Run: Hierarchy},
+		{ID: "E18", Claim: "value of lookahead", Run: Lookahead},
+		{ID: "E19", Claim: "fractional relaxation vs integral cost", Run: FractionalConvex},
+	}
+}
+
+// randomSmallTrace builds a small multi-tenant trace suitable for exact OPT
+// computation (page universe <= 64).
+func randomSmallTrace(seed int64, tenants, pagesPer, length int) *trace.Trace {
+	rng := rand.New(rand.NewSource(seed))
+	b := trace.NewBuilder()
+	for i := 0; i < length; i++ {
+		tn := rng.Intn(tenants)
+		b.Add(trace.Tenant(tn), trace.PageID(tn*100+rng.Intn(pagesPer)))
+	}
+	return b.MustBuild()
+}
+
+// runALG executes the paper's algorithm (Fast implementation) and returns
+// the result.
+func runALG(tr *trace.Trace, k int, costs []costfn.Func) (sim.Result, error) {
+	return sim.Run(tr, core.NewFast(core.Options{Costs: costs}), sim.Config{K: k})
+}
+
+// boundCost evaluates sum_i f_i(factor * b_i), the right-hand side of
+// Theorems 1.1 and 1.3.
+func boundCost(costs []costfn.Func, factor float64, b []int64) float64 {
+	total := 0.0
+	for i, f := range costs {
+		if i >= len(b) {
+			break
+		}
+		total += f.Value(factor * float64(b[i]))
+	}
+	return total
+}
+
+// alphaOf returns the curvature constant over a generous range.
+func alphaOf(costs []costfn.Func, xmax float64) float64 {
+	a := 1.0
+	for _, f := range costs {
+		if v := costfn.EffectiveAlpha(f, xmax); v > a {
+			a = v
+		}
+	}
+	return a
+}
+
+// mixedCostSets are the convex cost families exercised by the bound
+// experiments.
+func mixedCostSets() map[string][]costfn.Func {
+	sla, err := costfn.SLARefund(4, 0.25, 4)
+	if err != nil {
+		panic(err)
+	}
+	return map[string][]costfn.Func{
+		"linear-mixed": {costfn.Linear{W: 1}, costfn.Linear{W: 4}},
+		"quadratic":    {costfn.Monomial{C: 1, Beta: 2}, costfn.Monomial{C: 1, Beta: 2}},
+		"quad+linear":  {costfn.Monomial{C: 1, Beta: 2}, costfn.Linear{W: 2}},
+		"sla+linear":   {sla, costfn.Linear{W: 1}},
+	}
+}
+
+// checkMark renders a boolean as a table cell.
+func checkMark(ok bool) string {
+	if ok {
+		return "yes"
+	}
+	return "NO"
+}
+
+// fmtSlice renders an int64 slice compactly.
+func fmtSlice(xs []int64) string {
+	s := ""
+	for i, x := range xs {
+		if i > 0 {
+			s += "/"
+		}
+		s += fmt.Sprintf("%d", x)
+	}
+	return s
+}

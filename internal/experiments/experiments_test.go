@@ -1,0 +1,272 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"convexcache/internal/stats"
+)
+
+// column returns the index of a header name.
+func column(t *testing.T, tb *stats.Table, name string) int {
+	t.Helper()
+	for i, h := range tb.Header {
+		if h == name {
+			return i
+		}
+	}
+	t.Fatalf("table %q has no column %q (header %v)", tb.Title, name, tb.Header)
+	return -1
+}
+
+func parseF(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("cell %q is not numeric: %v", s, err)
+	}
+	return v
+}
+
+// requireAllYes asserts that every row has "yes" in the named column — the
+// reproduction's bound checks.
+func requireAllYes(t *testing.T, tb *stats.Table, col string) {
+	t.Helper()
+	ci := column(t, tb, col)
+	for ri, row := range tb.Rows() {
+		if row[ci] != "yes" {
+			t.Errorf("%s row %d: %s = %q (row: %v)", tb.Title, ri, col, row[ci], row)
+		}
+	}
+	if tb.NumRows() == 0 {
+		t.Fatalf("%s produced no rows", tb.Title)
+	}
+}
+
+func TestE1Theorem11BoundHolds(t *testing.T) {
+	tb, err := Theorem11(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireAllYes(t, tb, "holds")
+}
+
+func TestE2Corollary12BoundHolds(t *testing.T) {
+	tb, err := Corollary12(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireAllYes(t, tb, "holds")
+	// The measured ratio must be far below the worst-case bound on random
+	// instances (sanity that the comparison is non-vacuous).
+	ri := column(t, tb, "ratio")
+	bi := column(t, tb, "bound")
+	for _, row := range tb.Rows() {
+		if parseF(t, row[ri]) > parseF(t, row[bi]) {
+			t.Errorf("ratio exceeds bound in row %v", row)
+		}
+	}
+}
+
+func TestE3BiCriteriaBoundHolds(t *testing.T) {
+	tb, err := BiCriteria(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireAllYes(t, tb, "holds")
+	// The factor must shrink as h decreases (k/(k-h+1) is increasing in
+	// h): verify the monotone shape within each (costs, seed) block.
+	fi := column(t, tb, "factor")
+	hi := column(t, tb, "h")
+	prevH, prevF := 0, 0.0
+	for _, row := range tb.Rows() {
+		h := int(parseF(t, row[hi]))
+		f := parseF(t, row[fi])
+		if h > prevH && prevH != 0 && f <= prevF {
+			t.Errorf("factor not increasing in h: h=%d f=%g after h=%d f=%g", h, f, prevH, prevF)
+		}
+		prevH, prevF = h, f
+	}
+}
+
+func TestE4LowerBoundRatioExceedsPrediction(t *testing.T) {
+	tb, err := LowerBound(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireAllYes(t, tb, "ratio >= bound")
+}
+
+func TestE5RatioGrowsWithKOnAdversary(t *testing.T) {
+	tb, err := RatioVsK(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.NumRows() < 3 {
+		t.Fatalf("too few rows: %d", tb.NumRows())
+	}
+	ci := column(t, tb, "adversary ALG")
+	zi := column(t, tb, "zipf ALG vs belady-cost")
+	rows := tb.Rows()
+	first := parseF(t, rows[0][ci])
+	last := parseF(t, rows[len(rows)-1][ci])
+	if last <= first {
+		t.Errorf("adversary ratio did not grow with k: first %g, last %g", first, last)
+	}
+	// On stochastic workloads the algorithm stays within a small constant
+	// of the offline heuristic — nothing like the adversarial k^beta
+	// (which is 144 already at k=6 for beta=2).
+	zFirst := parseF(t, rows[0][zi])
+	zLast := parseF(t, rows[len(rows)-1][zi])
+	for _, row := range rows {
+		if z := parseF(t, row[zi]); z > 10 {
+			t.Errorf("zipf ratio %g unexpectedly large", z)
+		}
+	}
+	// Shape: the adversarial ratio grows much faster with k than the
+	// stochastic one.
+	if advGrowth, zipfGrowth := last/first, zLast/zFirst; advGrowth <= zipfGrowth {
+		t.Errorf("adversarial growth %g not above stochastic growth %g", advGrowth, zipfGrowth)
+	}
+}
+
+func TestE6CostAwareWinsOnSLA(t *testing.T) {
+	tb, err := SLAComparison(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi := column(t, tb, "policy")
+	ci := column(t, tb, "total cost")
+	costs := map[string]float64{}
+	for _, row := range tb.Rows() {
+		costs[row[pi]] = parseF(t, row[ci])
+	}
+	alg := costs["alg-discrete"]
+	if alg <= 0 {
+		t.Fatalf("vacuous ALG cost %g", alg)
+	}
+	for _, name := range []string{"lru", "lfu", "lru2", "arc", "clock", "2q", "tinylfu", "static-partition"} {
+		if costs[name] < alg {
+			t.Errorf("%s cost %g beat the cost-aware algorithm %g", name, costs[name], alg)
+		}
+	}
+}
+
+func TestE7DualSandwich(t *testing.T) {
+	tb, err := DualBound(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireAllYes(t, tb, "sandwich")
+	// The bound should be informative on most instances.
+	ri := column(t, tb, "dual/OPT")
+	informative := 0
+	for _, row := range tb.Rows() {
+		if parseF(t, row[ri]) >= 0.25 {
+			informative++
+		}
+	}
+	if informative == 0 {
+		t.Error("dual bound uninformative on every instance")
+	}
+}
+
+func TestE8PhasesProducesSeries(t *testing.T) {
+	tb, err := Phases(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.NumRows() < 10 {
+		t.Fatalf("too few windows: %d", tb.NumRows())
+	}
+	ai := column(t, tb, "ALG t0 misses")
+	li := column(t, tb, "LRU t0 misses")
+	var algTotal, lruTotal float64
+	for _, row := range tb.Rows() {
+		algTotal += parseF(t, row[ai])
+		lruTotal += parseF(t, row[li])
+	}
+	// Under flood pressure the convex-cost algorithm must protect the
+	// premium tenant better than LRU overall.
+	if algTotal >= lruTotal {
+		t.Errorf("ALG premium misses %g not below LRU %g", algTotal, lruTotal)
+	}
+}
+
+func TestE9AblationFullIsBest(t *testing.T) {
+	tb, err := Ablation(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vi := column(t, tb, "variant")
+	ri := column(t, tb, "vs full")
+	wi := column(t, tb, "workload")
+	worse := map[string]bool{}
+	for _, row := range tb.Rows() {
+		if row[vi] == "full" {
+			if parseF(t, row[ri]) != 1 {
+				t.Errorf("full variant ratio %s != 1", row[ri])
+			}
+			continue
+		}
+		if parseF(t, row[ri]) > 1.005 {
+			worse[row[vi]] = true
+		}
+		_ = wi
+	}
+	// Each removed component must hurt on at least one workload family.
+	for _, v := range []string{"no-aging", "no-refresh"} {
+		if !worse[v] {
+			t.Errorf("ablation %s never degraded cost; component looks redundant", v)
+		}
+	}
+}
+
+func TestE11BufferPoolConvexBeatsLRU(t *testing.T) {
+	tb, err := BufferPool(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ci := column(t, tb, "total refund")
+	ni := column(t, tb, "replacer")
+	refunds := map[string]float64{}
+	for _, row := range tb.Rows() {
+		refunds[row[ni]] = parseF(t, row[ci])
+	}
+	if refunds["convex"] >= refunds["lru"] {
+		t.Errorf("convex refund %g not below lru %g", refunds["convex"], refunds["lru"])
+	}
+}
+
+func TestAllRegistryRuns(t *testing.T) {
+	ids := map[string]bool{}
+	for _, e := range All() {
+		if e.ID == "" || e.Claim == "" || e.Run == nil {
+			t.Errorf("malformed experiment %+v", e)
+		}
+		if ids[e.ID] {
+			t.Errorf("duplicate experiment id %s", e.ID)
+		}
+		ids[e.ID] = true
+	}
+	for _, want := range []string{"E1", "E4", "E7", "E11"} {
+		if !ids[want] {
+			t.Errorf("missing experiment %s", want)
+		}
+	}
+}
+
+func TestTablesRenderMarkdown(t *testing.T) {
+	tb, err := Theorem11(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := tb.WriteMarkdown(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Theorem 1.1") {
+		t.Error("markdown missing title")
+	}
+}

@@ -1,0 +1,23 @@
+package experiments
+
+import "testing"
+
+func TestE19FractionalTracksIntegral(t *testing.T) {
+	tb, err := FractionalConvex(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.NumRows() != 2 {
+		t.Fatalf("rows = %d", tb.NumRows())
+	}
+	ri := column(t, tb, "integral/fractional")
+	for _, row := range tb.Rows() {
+		r := parseF(t, row[ri])
+		// The fractional heuristic must track the integral cost closely
+		// (it is a predictor, not a bound): within a factor of 2 either
+		// way.
+		if r < 0.5 || r > 2 {
+			t.Errorf("%s: fractional predictor off by %gx", row[0], r)
+		}
+	}
+}

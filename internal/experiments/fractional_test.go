@@ -1,0 +1,45 @@
+package experiments
+
+import "testing"
+
+func TestE14FractionalSeparation(t *testing.T) {
+	tb, err := Fractional(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.NumRows() < 3 {
+		t.Fatalf("rows = %d", tb.NumRows())
+	}
+	ri := column(t, tb, "det/frac")
+	rows := tb.Rows()
+	first := parseF(t, rows[0][ri])
+	last := parseF(t, rows[len(rows)-1][ri])
+	// The separation must widen with k (Theta(k) vs O(log k)).
+	if last <= first {
+		t.Errorf("det/frac ratio did not grow with k: %g -> %g", first, last)
+	}
+	// Each ratio is > 1: fractional strictly beats deterministic on the
+	// adversary.
+	for _, row := range rows {
+		if parseF(t, row[ri]) <= 1 {
+			t.Errorf("fractional did not beat deterministic: row %v", row)
+		}
+	}
+}
+
+func TestE14bLPCertificateChain(t *testing.T) {
+	tb, err := LPCertificate(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireAllYes(t, tb, "chain holds")
+	// The dual should approach the LP value (same optimum, strong duality).
+	di := column(t, tb, "dual")
+	li := column(t, tb, "LP exact")
+	for _, row := range tb.Rows() {
+		d, l := parseF(t, row[di]), parseF(t, row[li])
+		if l > 0 && d < 0.5*l {
+			t.Errorf("dual %g far from LP optimum %g", d, l)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"fmt"
+
+	"convexcache/internal/core"
+	"convexcache/internal/costfn"
+	"convexcache/internal/hierarchy"
+	"convexcache/internal/policy"
+	"convexcache/internal/sim"
+	"convexcache/internal/stats"
+	"convexcache/internal/workload"
+)
+
+// Hierarchy (E17) runs the two-level deployment substrate: each tenant gets
+// a private L1 of the swept size in front of one shared L2. The shared
+// layer's cost-awareness matters most when L1s are small (every decision is
+// shared); as private caches absorb the reuse, the convex-vs-LRU gap in the
+// shared level narrows. The table traces that washout curve.
+func Hierarchy(quick bool) (*stats.Table, error) {
+	length := 40000
+	if quick {
+		length = 12000
+	}
+	costs := []costfn.Func{
+		costfn.Monomial{C: 1, Beta: 2},
+		costfn.Linear{W: 0.05},
+		costfn.Monomial{C: 0.5, Beta: 2},
+	}
+	d0, err := workload.NewDB(61, 500, 0.9, 0.05, 16)
+	if err != nil {
+		return nil, err
+	}
+	flood, err := workload.NewUniform(62, 5000)
+	if err != nil {
+		return nil, err
+	}
+	d2, err := workload.NewDB(63, 800, 0.7, 0.1, 24)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := workload.Mix(64, []workload.TenantStream{
+		{Tenant: 0, Stream: d0, Rate: 2},
+		{Tenant: 1, Stream: flood, Rate: 3},
+		{Tenant: 2, Stream: d2, Rate: 2},
+	}, length)
+	if err != nil {
+		return nil, err
+	}
+	l2 := 150
+	tb := stats.NewTable(fmt.Sprintf("E17: two-level hierarchy, shared L2=%d, private L1 sweep", l2),
+		"L1 per tenant", "convex L2 cost", "LRU L2 cost", "LRU/convex")
+	runWith := func(l1 int, p sim.Policy) (hierarchy.Result, error) {
+		sys, err := hierarchy.New(3, hierarchy.Config{
+			L1Sizes: []int{l1, l1, l1}, L2Size: l2, L2Policy: p,
+		})
+		if err != nil {
+			return hierarchy.Result{}, err
+		}
+		return sys.Run(tr)
+	}
+	for _, l1 := range []int{0, 4, 16, 64} {
+		convex, err := runWith(l1, core.NewFast(core.Options{Costs: costs, CountMisses: true}))
+		if err != nil {
+			return nil, err
+		}
+		lru, err := runWith(l1, policy.NewLRU())
+		if err != nil {
+			return nil, err
+		}
+		cc, lc := convex.Cost(costs), lru.Cost(costs)
+		tb.AddRow(l1, cc, lc, lc/cc)
+	}
+	return tb, nil
+}
+
+// Lookahead (E18) prices future information: the cost-aware window policy
+// is swept from no lookahead to full offline knowledge, locating where most
+// of the offline advantage is already captured.
+func Lookahead(quick bool) (*stats.Table, error) {
+	length := 30000
+	if quick {
+		length = 8000
+	}
+	costs := []costfn.Func{
+		costfn.Monomial{C: 1, Beta: 2},
+		costfn.Linear{W: 0.25},
+	}
+	z, err := workload.NewZipf(71, 200, 0.9)
+	if err != nil {
+		return nil, err
+	}
+	u, err := workload.NewUniform(72, 800)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := workload.Mix(73, []workload.TenantStream{
+		{Tenant: 0, Stream: z, Rate: 1},
+		{Tenant: 1, Stream: u, Rate: 2},
+	}, length)
+	if err != nil {
+		return nil, err
+	}
+	k := 100
+	tb := stats.NewTable("E18: value of lookahead (cost vs window, online ALG as reference)",
+		"window L", "cost", "vs online ALG", "vs full info")
+	alg, err := sim.Run(tr, core.NewFast(core.Options{Costs: costs}), sim.Config{K: k})
+	if err != nil {
+		return nil, err
+	}
+	algCost := alg.Cost(costs)
+	costAt := func(l int) (float64, error) {
+		res, err := sim.Run(tr, policy.NewLookahead(l, costs), sim.Config{K: k})
+		if err != nil {
+			return 0, err
+		}
+		return res.Cost(costs), nil
+	}
+	full, err := costAt(tr.Len() + 1)
+	if err != nil {
+		return nil, err
+	}
+	windows := []int{0, 10, 100, 1000, 10000, tr.Len() + 1}
+	for _, l := range windows {
+		c, err := costAt(l)
+		if err != nil {
+			return nil, err
+		}
+		label := fmt.Sprintf("%d", l)
+		if l > tr.Len() {
+			label = "full"
+		}
+		tb.AddRow(label, c, c/algCost, c/full)
+	}
+	return tb, nil
+}

@@ -1,0 +1,60 @@
+package experiments
+
+import "testing"
+
+func TestE17HierarchyWashout(t *testing.T) {
+	tb, err := Hierarchy(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.NumRows() != 4 {
+		t.Fatalf("rows = %d", tb.NumRows())
+	}
+	ri := column(t, tb, "LRU/convex")
+	rows := tb.Rows()
+	first := parseF(t, rows[0][ri])
+	last := parseF(t, rows[len(rows)-1][ri])
+	// With no private L1 the shared layer's cost-awareness matters most.
+	if first <= 1 {
+		t.Errorf("convex L2 not ahead at L1=0: ratio %g", first)
+	}
+	// The advantage washes out (shrinks) as private caches grow.
+	if last >= first {
+		t.Errorf("advantage did not shrink with larger L1: %g -> %g", first, last)
+	}
+}
+
+func TestE18LookaheadValueCurve(t *testing.T) {
+	tb, err := Lookahead(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ci := column(t, tb, "cost")
+	fi := column(t, tb, "vs full info")
+	rows := tb.Rows()
+	if len(rows) < 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	first := parseF(t, rows[0][ci])
+	last := parseF(t, rows[len(rows)-1][ci])
+	// Full information must beat no information decisively.
+	if last >= first {
+		t.Errorf("full-information cost %g not below zero-lookahead %g", last, first)
+	}
+	// The final row is the full-information run: ratio 1 by construction.
+	if got := parseF(t, rows[len(rows)-1][fi]); got != 1 {
+		t.Errorf("full row ratio = %g", got)
+	}
+	// The curve is roughly decreasing: every window should be within 5%
+	// of the best seen so far (heuristic noise tolerance).
+	best := first
+	for _, row := range rows {
+		c := parseF(t, row[ci])
+		if c < best {
+			best = c
+		}
+		if c > best*1.6 && row[0] != "0" {
+			t.Errorf("window %s cost %g regressed far above best %g", row[0], c, best)
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"math"
+
+	"convexcache/internal/core"
+	"convexcache/internal/costfn"
+	"convexcache/internal/policy"
+	"convexcache/internal/sim"
+	"convexcache/internal/stats"
+	"convexcache/internal/workload"
+)
+
+// adversaryRatio runs the Theorem 1.4 adversary against one online policy
+// and returns (online cost, offline batched cost, ratio) under f(x)=x^beta.
+func adversaryRatio(n, steps int, beta float64, mk func() sim.Policy) (online, offline, ratio float64, err error) {
+	adv, err := workload.NewAdversary(n)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	res, tr, err := sim.RunInteractive(adv, steps, mk(), sim.Config{K: adv.CacheSize()})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	ev, err := workload.BatchedOfflineCost(tr, n)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	for i := 0; i < n; i++ {
+		online += math.Pow(float64(res.Misses[i]), beta)
+		offline += math.Pow(float64(ev[i]), beta)
+	}
+	if offline == 0 {
+		offline = 1 // the batched strategy had no evictions; floor at 1
+	}
+	return online, offline, online / offline, nil
+}
+
+// LowerBound (E4, "Table 4") reproduces Theorem 1.4: on the adversarial
+// instance with n single-page tenants, cache k = n-1 and costs x^beta, any
+// deterministic online algorithm pays at least ~(n/4)^beta times the cost of
+// the offline batched strategy. Both the paper's algorithm and LRU are
+// subjected to the adversary.
+func LowerBound(quick bool) (*stats.Table, error) {
+	tb := stats.NewTable("E4: Theorem 1.4 lower bound (adversary, ratio vs (n/4)^beta)",
+		"n", "k", "beta", "policy", "online cost", "offline cost", "ratio", "(n/4)^beta", "ratio >= bound")
+	steps := 4000
+	if quick {
+		steps = 1200
+	}
+	ns := []int{3, 5, 7, 9}
+	if quick {
+		ns = []int{3, 5, 7}
+	}
+	for _, n := range ns {
+		for _, beta := range []float64{1, 2, 3} {
+			costs := make([]costfn.Func, n)
+			for i := range costs {
+				costs[i] = costfn.Monomial{C: 1, Beta: beta}
+			}
+			mks := map[string]func() sim.Policy{
+				"alg-discrete": func() sim.Policy { return core.NewFast(core.Options{Costs: costs}) },
+				"lru":          func() sim.Policy { return policy.NewLRU() },
+			}
+			for name, mk := range mks {
+				online, offline, ratio, err := adversaryRatio(n, steps, beta, mk)
+				if err != nil {
+					return nil, err
+				}
+				pred := math.Pow(float64(n)/4, beta)
+				tb.AddRow(n, n-1, beta, name, online, offline, ratio, pred,
+					checkMark(ratio >= pred))
+			}
+		}
+	}
+	return tb, nil
+}
+
+// RatioVsK (E5, "Figure 1") traces how the measured competitive ratio grows
+// with the cache size k on the adversarial family (polynomial growth of
+// degree beta, per Theorem 1.4 and Corollary 1.2) versus how benign it is on
+// a stochastic Zipf workload (where the comparator is the cost-aware Belady
+// heuristic).
+func RatioVsK(quick bool) (*stats.Table, error) {
+	tb := stats.NewTable("E5: competitive ratio vs k (beta=2)",
+		"k", "adversary ALG", "adversary LRU", "zipf ALG vs belady-cost")
+	steps := 4000
+	zipfLen := 20000
+	if quick {
+		steps = 1200
+		zipfLen = 5000
+	}
+	beta := 2.0
+	ns := []int{3, 5, 7, 9, 11}
+	if quick {
+		ns = []int{3, 5, 7}
+	}
+	for _, n := range ns {
+		k := n - 1
+		costs := make([]costfn.Func, n)
+		for i := range costs {
+			costs[i] = costfn.Monomial{C: 1, Beta: beta}
+		}
+		_, _, advALG, err := adversaryRatio(n, steps, beta, func() sim.Policy {
+			return core.NewFast(core.Options{Costs: costs})
+		})
+		if err != nil {
+			return nil, err
+		}
+		_, _, advLRU, err := adversaryRatio(n, steps, beta, func() sim.Policy {
+			return policy.NewLRU()
+		})
+		if err != nil {
+			return nil, err
+		}
+		// Stochastic comparison: two Zipf tenants, cache k scaled up so the
+		// instance is non-trivial.
+		zipfCosts := []costfn.Func{
+			costfn.Monomial{C: 1, Beta: beta},
+			costfn.Monomial{C: 1, Beta: beta},
+		}
+		z0, err := workload.NewZipf(int64(n), 60, 0.9)
+		if err != nil {
+			return nil, err
+		}
+		z1, err := workload.NewZipf(int64(n)+50, 60, 0.9)
+		if err != nil {
+			return nil, err
+		}
+		tr, err := workload.Mix(int64(n), []workload.TenantStream{
+			{Tenant: 0, Stream: z0, Rate: 1},
+			{Tenant: 1, Stream: z1, Rate: 1},
+		}, zipfLen)
+		if err != nil {
+			return nil, err
+		}
+		kz := 8 * k
+		alg, err := runALG(tr, kz, zipfCosts)
+		if err != nil {
+			return nil, err
+		}
+		ref, err := sim.Run(tr, policy.NewCostAwareBelady(zipfCosts), sim.Config{K: kz})
+		if err != nil {
+			return nil, err
+		}
+		zr := alg.Cost(zipfCosts) / ref.Cost(zipfCosts)
+		tb.AddRow(k, advALG, advLRU, zr)
+	}
+	return tb, nil
+}

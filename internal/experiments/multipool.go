@@ -1,0 +1,198 @@
+package experiments
+
+import (
+	"fmt"
+
+	"convexcache/internal/analysis"
+	"convexcache/internal/core"
+	"convexcache/internal/costfn"
+	"convexcache/internal/multipool"
+	"convexcache/internal/policy"
+	"convexcache/internal/sim"
+	"convexcache/internal/stats"
+	"convexcache/internal/trace"
+	"convexcache/internal/workload"
+)
+
+// shiftingLoadTrace builds a 4-tenant workload whose hot pair flips halfway
+// through, so any fixed tenant-to-server assignment becomes unbalanced.
+func shiftingLoadTrace(length int) (*trace.Trace, []costfn.Func, error) {
+	mk := func(seed int64) (workload.Stream, error) { return workload.NewZipf(seed, 60, 0.9) }
+	streamsAt := func(base int64, hotFirst bool) ([]workload.TenantStream, error) {
+		rates := []float64{4, 4, 1, 1}
+		if !hotFirst {
+			rates = []float64{1, 1, 4, 4}
+		}
+		out := make([]workload.TenantStream, 4)
+		for i := range out {
+			z, err := mk(base + int64(i))
+			if err != nil {
+				return nil, err
+			}
+			out[i] = workload.TenantStream{Tenant: trace.Tenant(i), Stream: z, Rate: rates[i]}
+		}
+		return out, nil
+	}
+	half := length / 2
+	s1, err := streamsAt(40, true)
+	if err != nil {
+		return nil, nil, err
+	}
+	first, err := workload.Mix(41, s1, half)
+	if err != nil {
+		return nil, nil, err
+	}
+	s2, err := streamsAt(50, false)
+	if err != nil {
+		return nil, nil, err
+	}
+	second, err := workload.Mix(51, s2, length-half)
+	if err != nil {
+		return nil, nil, err
+	}
+	tr, err := first.Concat(second)
+	if err != nil {
+		return nil, nil, err
+	}
+	costs := make([]costfn.Func, 4)
+	for i := range costs {
+		costs[i] = costfn.Monomial{C: 1, Beta: 2}
+	}
+	return tr, costs, nil
+}
+
+// MultiPool (E12) explores the paper's Section-5 future-work setting:
+// tenants assigned to separate memory pools (servers), with migrations
+// charged a switching cost. Compared: one shared pool (the paper's model),
+// isolated pools under a static assignment that the phase shift turns
+// adversarial, and the same pools with greedy epoch rebalancing.
+func MultiPool(quick bool) (*stats.Table, error) {
+	length := 30000
+	if quick {
+		length = 10000
+	}
+	tr, costs, err := shiftingLoadTrace(length)
+	if err != nil {
+		return nil, err
+	}
+	poolSize := 30
+	tb := stats.NewTable("E12: multiple memory pools under shifting load (Section 5 extension)",
+		"configuration", "cache cost", "switch cost", "total", "migrations")
+	single, err := multipool.New(multipool.Config{
+		PoolSizes: []int{2 * poolSize}, Costs: costs, Assign: []int{0, 0, 0, 0},
+	})
+	if err != nil {
+		return nil, err
+	}
+	sres, err := single.Run(tr)
+	if err != nil {
+		return nil, err
+	}
+	tb.AddRow("single shared pool (2x size)", sres.CacheCost, sres.SwitchTotal, sres.TotalCost(), sres.Migrations)
+
+	static, err := multipool.New(multipool.Config{
+		PoolSizes: []int{poolSize, poolSize}, Costs: costs, Assign: []int{0, 0, 1, 1},
+	})
+	if err != nil {
+		return nil, err
+	}
+	stres, err := static.Run(tr)
+	if err != nil {
+		return nil, err
+	}
+	tb.AddRow("2 pools, static assignment", stres.CacheCost, stres.SwitchTotal, stres.TotalCost(), stres.Migrations)
+
+	dyn, err := multipool.New(multipool.Config{
+		PoolSizes: []int{poolSize, poolSize}, Costs: costs, Assign: []int{0, 0, 1, 1},
+		SwitchCost: 50, EpochLen: length / 40, Rebalancer: &multipool.GreedyRebalancer{},
+	})
+	if err != nil {
+		return nil, err
+	}
+	dres, err := dyn.Run(tr)
+	if err != nil {
+		return nil, err
+	}
+	tb.AddRow("2 pools, greedy rebalancing", dres.CacheCost, dres.SwitchTotal, dres.TotalCost(), dres.Migrations)
+	return tb, nil
+}
+
+// StaticVsDynamic (E13) quantifies the introduction's argument against
+// static allocation with the strongest possible static baseline: per-tenant
+// quotas chosen optimally (offline!) by dynamic programming over the exact
+// per-tenant LRU miss-ratio curves.
+//
+// The honest finding has two regimes. On a *stationary* workload the
+// offline-tuned static split is genuinely competitive — it may even beat
+// the online algorithm, which pays for learning the mix. Under *shifting*
+// load any fixed split is mis-sized half the time and the online algorithm
+// wins clearly. Both regimes are reported; the shape claim of the paper's
+// motivation (static allocation is wasteful, reproduced here as "loses
+// under shift and needs offline knowledge to win even when stationary")
+// is asserted on the shifting rows.
+func StaticVsDynamic(quick bool) (*stats.Table, error) {
+	tb := stats.NewTable("E13: offline DP-optimal static quotas vs online sharing",
+		"workload", "policy", "quotas", "total cost", "vs ALG")
+	type scenario struct {
+		name  string
+		tr    *trace.Trace
+		costs []costfn.Func
+		k     int
+	}
+	var scenarios []scenario
+	trStat, costsStat, kStat, err := slaScenario(quick)
+	if err != nil {
+		return nil, err
+	}
+	scenarios = append(scenarios, scenario{"stationary", trStat, costsStat, kStat})
+	length := 30000
+	if quick {
+		length = 10000
+	}
+	trShift, costsShift, err := shiftingLoadTrace(length)
+	if err != nil {
+		return nil, err
+	}
+	scenarios = append(scenarios, scenario{"shifting", trShift, costsShift, 60})
+	for _, sc := range scenarios {
+		curves, err := analysis.PerTenant(sc.tr, sc.k)
+		if err != nil {
+			return nil, err
+		}
+		quotas, _, err := analysis.OptimalStaticPartition(curves, sc.costs, sc.k)
+		if err != nil {
+			return nil, err
+		}
+		alg, err := sim.Run(sc.tr, core.NewFast(core.Options{Costs: sc.costs, UseDiscreteDeriv: true, CountMisses: true}),
+			sim.Config{K: sc.k})
+		if err != nil {
+			return nil, err
+		}
+		algCost := alg.Cost(sc.costs)
+		tb.AddRow(sc.name, "alg-discrete (dynamic)", "-", algCost, 1.0)
+		even, err := sim.Run(sc.tr, policy.NewStaticPartition(policy.EvenQuotas(sc.k, len(sc.costs))), sim.Config{K: sc.k})
+		if err != nil {
+			return nil, err
+		}
+		tb.AddRow(sc.name, "static even quotas", fmtInts(policy.EvenQuotas(sc.k, len(sc.costs))),
+			even.Cost(sc.costs), even.Cost(sc.costs)/algCost)
+		opt, err := sim.Run(sc.tr, policy.NewStaticPartition(quotas), sim.Config{K: sc.k})
+		if err != nil {
+			return nil, err
+		}
+		tb.AddRow(sc.name, "static DP-optimal quotas", fmtInts(quotas),
+			opt.Cost(sc.costs), opt.Cost(sc.costs)/algCost)
+	}
+	return tb, nil
+}
+
+func fmtInts(xs []int) string {
+	s := ""
+	for i, x := range xs {
+		if i > 0 {
+			s += "/"
+		}
+		s += fmt.Sprintf("%d", x)
+	}
+	return s
+}

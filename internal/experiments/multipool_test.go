@@ -1,0 +1,77 @@
+package experiments
+
+import "testing"
+
+func TestE12MultiPoolShapes(t *testing.T) {
+	tb, err := MultiPool(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.NumRows() != 3 {
+		t.Fatalf("rows = %d", tb.NumRows())
+	}
+	ci := column(t, tb, "total")
+	ni := column(t, tb, "configuration")
+	totals := map[string]float64{}
+	for _, row := range tb.Rows() {
+		totals[row[ni]] = parseF(t, row[ci])
+	}
+	single := totals["single shared pool (2x size)"]
+	static := totals["2 pools, static assignment"]
+	dynamic := totals["2 pools, greedy rebalancing"]
+	if single <= 0 || static <= 0 || dynamic <= 0 {
+		t.Fatalf("vacuous totals: %v", totals)
+	}
+	// Statistical multiplexing: the shared pool wins overall.
+	if single > static {
+		t.Errorf("single pool %g worse than static partitioned %g", single, static)
+	}
+	// Rebalancing must recover part of the static gap.
+	if dynamic >= static {
+		t.Errorf("rebalancing %g did not improve on static %g", dynamic, static)
+	}
+	mi := column(t, tb, "migrations")
+	migrated := false
+	for _, row := range tb.Rows() {
+		if row[ni] == "2 pools, greedy rebalancing" && parseF(t, row[mi]) > 0 {
+			migrated = true
+		}
+	}
+	if !migrated {
+		t.Error("greedy rebalancer never migrated")
+	}
+}
+
+func TestE13OnlineSharingBeatsStaticUnderShift(t *testing.T) {
+	tb, err := StaticVsDynamic(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wi := column(t, tb, "workload")
+	ni := column(t, tb, "policy")
+	ci := column(t, tb, "total cost")
+	costs := map[string]map[string]float64{}
+	for _, row := range tb.Rows() {
+		if costs[row[wi]] == nil {
+			costs[row[wi]] = map[string]float64{}
+		}
+		costs[row[wi]][row[ni]] = parseF(t, row[ci])
+	}
+	for _, w := range []string{"stationary", "shifting"} {
+		if len(costs[w]) != 3 {
+			t.Fatalf("workload %q rows missing: %v", w, costs[w])
+		}
+		// DP quotas must not be meaningfully worse than even quotas in
+		// either regime (they optimize the isolated-curve model).
+		if dp, even := costs[w]["static DP-optimal quotas"], costs[w]["static even quotas"]; dp > even*1.05 {
+			t.Errorf("%s: DP quotas %g worse than even quotas %g", w, dp, even)
+		}
+	}
+	// Under shifting load the online algorithm must beat even the
+	// offline-optimal static split.
+	shift := costs["shifting"]
+	if shift["alg-discrete (dynamic)"] >= shift["static DP-optimal quotas"] {
+		t.Errorf("shifting: dynamic ALG %g not below optimal static %g",
+			shift["alg-discrete (dynamic)"], shift["static DP-optimal quotas"])
+	}
+}

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"convexcache/internal/bufferpool"
+	"convexcache/internal/core"
+	"convexcache/internal/costfn"
+	"convexcache/internal/stats"
+	"convexcache/internal/trace"
+)
+
+// BufferPool (E11) exercises the deployment substrate end to end: the same
+// tenant mix drives a concurrent multi-tenant buffer pool once with the
+// convex-cost replacer and once with LRU; the SLA meter reports windowed
+// refunds. A single driving goroutine keeps the table deterministic; the
+// concurrency path is covered by the bufferpool tests.
+func BufferPool(quick bool) (*stats.Table, error) {
+	ops := 60000
+	if quick {
+		ops = 15000
+	}
+	mkCosts := func() ([]costfn.Func, error) {
+		prem, err := costfn.SLARefund(60, 0.05, 10)
+		if err != nil {
+			return nil, err
+		}
+		std, err := costfn.SLARefund(250, 0.05, 2)
+		if err != nil {
+			return nil, err
+		}
+		return []costfn.Func{prem, std, costfn.Linear{W: 0.01}}, nil
+	}
+	costs, err := mkCosts()
+	if err != nil {
+		return nil, err
+	}
+	frames := 96
+	window := 1000
+	tb := stats.NewTable(fmt.Sprintf("E11: buffer pool SLA refunds, 3 tenants, %d frames, window %d", frames, window),
+		"replacer", "total refund", "t0 refund", "t1 refund", "t2 refund", "disk reads")
+
+	run := func(name string, mk func() bufferpool.Replacer) error {
+		meter, err := bufferpool.NewSLAMeter(window, costs)
+		if err != nil {
+			return err
+		}
+		disk := &bufferpool.Disk{}
+		pool, err := bufferpool.New(disk, len(costs), bufferpool.Config{
+			Frames: frames, Replacer: mk(), Meter: meter,
+		})
+		if err != nil {
+			return err
+		}
+		rng := rand.New(rand.NewSource(4242))
+		buf := make([]byte, bufferpool.PageSize)
+		// Tenant 0: small hot set (premium); tenant 1: medium; tenant 2:
+		// large uniform scan pressure.
+		universe := []int64{50, 150, 1200}
+		rates := []int{2, 3, 5}
+		for i := 0; i < ops; i++ {
+			r := rng.Intn(rates[0] + rates[1] + rates[2])
+			tn := 0
+			switch {
+			case r < rates[0]:
+				tn = 0
+			case r < rates[0]+rates[1]:
+				tn = 1
+			default:
+				tn = 2
+			}
+			pg := trace.PageID(int64(tn)*1_000_000 + rng.Int63n(universe[tn]))
+			if err := pool.Get(trace.Tenant(tn), pg, buf); err != nil {
+				return err
+			}
+			if err := pool.Release(pg); err != nil {
+				return err
+			}
+		}
+		meter.Flush()
+		refunds := meter.Refunds()
+		tb.AddRow(name, meter.TotalRefund(), refunds[0], refunds[1], refunds[2], disk.Reads())
+		return nil
+	}
+	opt := core.Options{Costs: costs, UseDiscreteDeriv: true, CountMisses: true}
+	if err := run("convex", func() bufferpool.Replacer { return bufferpool.NewConvexReplacer(opt) }); err != nil {
+		return nil, err
+	}
+	if err := run("lru", func() bufferpool.Replacer { return bufferpool.NewLRUReplacer() }); err != nil {
+		return nil, err
+	}
+	return tb, nil
+}

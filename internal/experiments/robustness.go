@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"fmt"
+
+	"convexcache/internal/core"
+	"convexcache/internal/costfn"
+	"convexcache/internal/policy"
+	"convexcache/internal/sim"
+	"convexcache/internal/stats"
+	"convexcache/internal/sweep"
+	"convexcache/internal/trace"
+	"convexcache/internal/workload"
+)
+
+// Robustness (E15) replicates the headline cost comparison across seeds:
+// for each workload family, the LRU/ALG total-cost ratio is measured on
+// many independently generated traces and summarized as mean / std / range.
+// A single-seed win could be luck; a mean solidly above 1 with a bounded
+// spread is the claim a downstream adopter cares about.
+func Robustness(quick bool) (*stats.Table, error) {
+	length := 30000
+	seedCount := 12
+	if quick {
+		length = 8000
+		seedCount = 6
+	}
+	costs := []costfn.Func{
+		costfn.Monomial{C: 1, Beta: 2},
+		costfn.Linear{W: 0.25},
+		costfn.Monomial{C: 0.5, Beta: 2},
+	}
+	k := 120
+
+	// ratioOn builds a trace for the seed and returns cost(LRU)/cost(ALG).
+	ratioOn := func(build func(seed int64) (*trace.Trace, error)) func(int64) (float64, error) {
+		return func(seed int64) (float64, error) {
+			tr, err := build(seed)
+			if err != nil {
+				return 0, err
+			}
+			alg, err := sim.Run(tr, core.NewFast(core.Options{Costs: costs}), sim.Config{K: k})
+			if err != nil {
+				return 0, err
+			}
+			lru, err := sim.Run(tr, policy.NewLRU(), sim.Config{K: k})
+			if err != nil {
+				return 0, err
+			}
+			a := alg.Cost(costs)
+			if a == 0 {
+				return 0, fmt.Errorf("vacuous run at seed %d", seed)
+			}
+			return lru.Cost(costs) / a, nil
+		}
+	}
+
+	zipfMix := func(seed int64) (*trace.Trace, error) {
+		var streams []workload.TenantStream
+		for i := 0; i < 3; i++ {
+			z, err := workload.NewZipf(seed*10+int64(i), 150, 0.9)
+			if err != nil {
+				return nil, err
+			}
+			streams = append(streams, workload.TenantStream{Tenant: trace.Tenant(i), Stream: z, Rate: 1})
+		}
+		return workload.Mix(seed, streams, length)
+	}
+	hotFlood := func(seed int64) (*trace.Trace, error) {
+		hot, err := workload.NewHotSet(seed*10, 200, 25, 0.95, int64(length/6))
+		if err != nil {
+			return nil, err
+		}
+		flood, err := workload.NewUniform(seed*10+1, 3000)
+		if err != nil {
+			return nil, err
+		}
+		z, err := workload.NewZipf(seed*10+2, 100, 1.0)
+		if err != nil {
+			return nil, err
+		}
+		return workload.Mix(seed, []workload.TenantStream{
+			{Tenant: 0, Stream: hot, Rate: 1},
+			{Tenant: 1, Stream: flood, Rate: 2},
+			{Tenant: 2, Stream: z, Rate: 1},
+		}, length)
+	}
+	scanMix := func(seed int64) (*trace.Trace, error) {
+		sc, err := workload.NewScan(500)
+		if err != nil {
+			return nil, err
+		}
+		z, err := workload.NewZipf(seed*10, 120, 1.0)
+		if err != nil {
+			return nil, err
+		}
+		m, err := workload.NewMarkov(seed*10+1, 400, 0.7, 5)
+		if err != nil {
+			return nil, err
+		}
+		return workload.Mix(seed, []workload.TenantStream{
+			{Tenant: 0, Stream: z, Rate: 2},
+			{Tenant: 1, Stream: sc, Rate: 2},
+			{Tenant: 2, Stream: m, Rate: 1},
+		}, length)
+	}
+
+	dbMix := func(seed int64) (*trace.Trace, error) {
+		// Three DaaS tenants with different skew and scan appetites (the
+		// SQLVM-style workload of internal/workload's DB generator).
+		d0, err := workload.NewDB(seed*10, 600, 0.95, 0.02, 12)
+		if err != nil {
+			return nil, err
+		}
+		d1, err := workload.NewDB(seed*10+1, 900, 0.7, 0.15, 32)
+		if err != nil {
+			return nil, err
+		}
+		d2, err := workload.NewDB(seed*10+2, 1200, 0.5, 0.30, 64)
+		if err != nil {
+			return nil, err
+		}
+		return workload.Mix(seed, []workload.TenantStream{
+			{Tenant: 0, Stream: d0, Rate: 2},
+			{Tenant: 1, Stream: d1, Rate: 2},
+			{Tenant: 2, Stream: d2, Rate: 1},
+		}, length)
+	}
+
+	cells := []sweep.Cell{
+		{Label: "zipf-mix", Metric: ratioOn(zipfMix)},
+		{Label: "hotset+flood", Metric: ratioOn(hotFlood)},
+		{Label: "scan-mix", Metric: ratioOn(scanMix)},
+		{Label: "db-mix", Metric: ratioOn(dbMix)},
+	}
+	seeds := make([]int64, seedCount)
+	for i := range seeds {
+		seeds[i] = int64(i + 1)
+	}
+	results, err := sweep.Run(cells, seeds, 0)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			return nil, r.Err
+		}
+	}
+	return sweep.Table(
+		fmt.Sprintf("E15: LRU/ALG cost ratio across %d seeds (k=%d, T=%d)", seedCount, k, length),
+		results), nil
+}

@@ -1,0 +1,27 @@
+package experiments
+
+import "testing"
+
+func TestE15RobustnessAcrossSeeds(t *testing.T) {
+	tb, err := Robustness(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.NumRows() != 4 {
+		t.Fatalf("rows = %d", tb.NumRows())
+	}
+	mi := column(t, tb, "mean")
+	ni := column(t, tb, "min")
+	for _, row := range tb.Rows() {
+		mean := parseF(t, row[mi])
+		// The cost advantage must hold on average for every family (ratio
+		// LRU/ALG > 1).
+		if mean <= 1 {
+			t.Errorf("%s: mean ratio %g not above 1", row[0], mean)
+		}
+		// And must never catastrophically invert on any seed.
+		if minv := parseF(t, row[ni]); minv < 0.8 {
+			t.Errorf("%s: worst-seed ratio %g below 0.8", row[0], minv)
+		}
+	}
+}

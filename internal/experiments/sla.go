@@ -1,0 +1,240 @@
+package experiments
+
+import (
+	"fmt"
+
+	"convexcache/internal/core"
+	"convexcache/internal/costfn"
+	"convexcache/internal/policy"
+	"convexcache/internal/sim"
+	"convexcache/internal/stats"
+	"convexcache/internal/trace"
+	"convexcache/internal/workload"
+)
+
+// slaScenario builds the multi-tenant DaaS workload of the motivation
+// section: four tenants with piecewise-linear SLA refund curves and skewed,
+// rate-imbalanced Zipf access patterns sharing one cache.
+func slaScenario(quick bool) (*trace.Trace, []costfn.Func, int, error) {
+	length := 60000
+	if quick {
+		length = 12000
+	}
+	mk := func(m0, cheap, steep float64) costfn.Func {
+		f, err := costfn.SLARefund(m0, cheap, steep)
+		if err != nil {
+			panic(err)
+		}
+		return f
+	}
+	// Tenant 0: premium, tight tolerance, steep penalty.
+	// Tenant 1: standard. Tenant 2: loose. Tenant 3: best-effort linear.
+	costs := []costfn.Func{
+		mk(200, 0.05, 20),
+		mk(800, 0.05, 5),
+		mk(2500, 0.02, 1),
+		costfn.Linear{W: 0.02},
+	}
+	streams := make([]workload.TenantStream, 4)
+	skews := []float64{0.8, 0.9, 0.7, 0.5}
+	rates := []float64{1, 2, 3, 4}
+	for i := range streams {
+		z, err := workload.NewZipf(int64(1000+i), 400, skews[i])
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		streams[i] = workload.TenantStream{Tenant: trace.Tenant(i), Stream: z, Rate: rates[i]}
+	}
+	tr, err := workload.Mix(77, streams, length)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	k := 220
+	return tr, costs, k, nil
+}
+
+// SLAComparison (E6, "Figure 2") compares total SLA refund across policies
+// on the multi-tenant scenario: the cost-aware algorithm versus the
+// cost-oblivious baselines the paper's introduction criticizes, plus the
+// offline cost-aware Belady heuristic as a reference point.
+func SLAComparison(quick bool) (*stats.Table, error) {
+	tr, costs, k, err := slaScenario(quick)
+	if err != nil {
+		return nil, err
+	}
+	tb := stats.NewTable(fmt.Sprintf("E6: total SLA refund, 4 tenants, k=%d, T=%d", k, tr.Len()),
+		"policy", "total cost", "t0 misses", "t1 misses", "t2 misses", "t3 misses", "vs ALG")
+	weights := make([]float64, len(costs))
+	for i, f := range costs {
+		weights[i] = f.Deriv(0) // cheap-regime slope as the static weight
+	}
+	type entry struct {
+		name string
+		mk   func() sim.Policy
+	}
+	entries := []entry{
+		{"alg-discrete", func() sim.Policy {
+			return core.NewFast(core.Options{Costs: costs, UseDiscreteDeriv: true, CountMisses: true})
+		}},
+		{"lru", func() sim.Policy { return policy.NewLRU() }},
+		{"lfu", func() sim.Policy { return policy.NewLFU() }},
+		{"lru2", func() sim.Policy { return policy.NewLRUK(2) }},
+		{"arc", func() sim.Policy { return policy.NewARC() }},
+		{"clock", func() sim.Policy { return policy.NewClock() }},
+		{"2q", func() sim.Policy { return policy.NewTwoQ(0, 0) }},
+		{"tinylfu", func() sim.Policy { return policy.NewTinyLFU(4096, 16*int64(k)) }},
+		{"harmonic", func() sim.Policy { return policy.NewHarmonic(7, costs) }},
+		{"greedy-dual", func() sim.Policy { return policy.NewGreedyDual(weights) }},
+		{"static-partition", func() sim.Policy { return policy.NewStaticPartition(policy.EvenQuotas(k, len(costs))) }},
+		{"belady-cost (offline)", func() sim.Policy { return policy.NewCostAwareBelady(costs) }},
+	}
+	var algCost float64
+	results := make([]sim.Result, len(entries))
+	for i, e := range entries {
+		res, err := sim.Run(tr, e.mk(), sim.Config{K: k})
+		if err != nil {
+			return nil, err
+		}
+		results[i] = res
+		if i == 0 {
+			algCost = res.Cost(costs)
+		}
+	}
+	for i, e := range entries {
+		res := results[i]
+		c := res.Cost(costs)
+		tb.AddRow(e.name, c,
+			res.Misses[0], res.Misses[1], res.Misses[2], res.Misses[3],
+			c/algCost)
+	}
+	return tb, nil
+}
+
+// Phases (E8, "Figure 4") tracks per-window miss counts of the premium
+// tenant as its working set shifts phase: the convex-cost algorithm must
+// re-protect the tenant after each shift faster than cost-oblivious LRU
+// under flood pressure from a cheap tenant.
+func Phases(quick bool) (*stats.Table, error) {
+	length := 40000
+	window := 2000
+	if quick {
+		length = 10000
+		window = 500
+	}
+	costs := []costfn.Func{
+		costfn.Monomial{C: 1, Beta: 2}, // premium, convex pressure
+		costfn.Linear{W: 0.01},         // cheap flood
+	}
+	hot, err := workload.NewHotSet(5, 300, 30, 0.95, int64(length/8))
+	if err != nil {
+		return nil, err
+	}
+	flood, err := workload.NewUniform(6, 4000)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := workload.Mix(9, []workload.TenantStream{
+		{Tenant: 0, Stream: hot, Rate: 1},
+		{Tenant: 1, Stream: flood, Rate: 2},
+	}, length)
+	if err != nil {
+		return nil, err
+	}
+	k := 100
+	tb := stats.NewTable(fmt.Sprintf("E8: premium-tenant misses per window of %d (phase shifts every %d)", window, length/8),
+		"window", "ALG t0 misses", "LRU t0 misses")
+	collect := func(p sim.Policy) (*sim.WindowSeries, error) {
+		ws := sim.NewWindowSeries(window, 2)
+		_, err := sim.Run(tr, p, sim.Config{K: k, Observer: ws.Observe})
+		return ws, err
+	}
+	algWS, err := collect(core.NewFast(core.Options{Costs: costs}))
+	if err != nil {
+		return nil, err
+	}
+	lruWS, err := collect(policy.NewLRU())
+	if err != nil {
+		return nil, err
+	}
+	for w := 0; w < algWS.Windows() && w < lruWS.Windows(); w++ {
+		tb.AddRow(w, algWS.MissesPerWindow[w][0], lruWS.MissesPerWindow[w][0])
+	}
+	return tb, nil
+}
+
+// Ablation (E9) removes each component of the Figure 3 budget update in turn
+// and measures the cost impact across workload families, justifying the
+// design choices called out in DESIGN.md.
+func Ablation(quick bool) (*stats.Table, error) {
+	length := 30000
+	if quick {
+		length = 8000
+	}
+	costs := []costfn.Func{
+		costfn.Monomial{C: 1, Beta: 2},
+		costfn.Linear{W: 0.5},
+		costfn.Monomial{C: 0.5, Beta: 2},
+	}
+	workloads := map[string]func() (*trace.Trace, error){
+		"zipf-mix": func() (*trace.Trace, error) {
+			var streams []workload.TenantStream
+			for i := 0; i < 3; i++ {
+				z, err := workload.NewZipf(int64(20+i), 150, 0.9)
+				if err != nil {
+					return nil, err
+				}
+				streams = append(streams, workload.TenantStream{Tenant: trace.Tenant(i), Stream: z, Rate: 1})
+			}
+			return workload.Mix(21, streams, length)
+		},
+		"scan-vs-zipf": func() (*trace.Trace, error) {
+			sc, err := workload.NewScan(400)
+			if err != nil {
+				return nil, err
+			}
+			z, err := workload.NewZipf(31, 100, 1.0)
+			if err != nil {
+				return nil, err
+			}
+			u, err := workload.NewUniform(32, 200)
+			if err != nil {
+				return nil, err
+			}
+			return workload.Mix(33, []workload.TenantStream{
+				{Tenant: 0, Stream: z, Rate: 2},
+				{Tenant: 1, Stream: sc, Rate: 2},
+				{Tenant: 2, Stream: u, Rate: 1},
+			}, length)
+		},
+	}
+	variants := []struct {
+		name string
+		opt  func() core.Options
+	}{
+		{"full", func() core.Options { return core.Options{Costs: costs} }},
+		{"no-aging", func() core.Options { return core.Options{Costs: costs, DisableAging: true} }},
+		{"no-correction", func() core.Options { return core.Options{Costs: costs, DisableOwnerCorrection: true} }},
+		{"no-refresh", func() core.Options { return core.Options{Costs: costs, DisableHitRefresh: true} }},
+	}
+	tb := stats.NewTable("E9: budget-rule ablations (cost relative to full algorithm)",
+		"workload", "variant", "total cost", "vs full")
+	for wname, build := range workloads {
+		tr, err := build()
+		if err != nil {
+			return nil, err
+		}
+		var fullCost float64
+		for i, v := range variants {
+			res, err := sim.Run(tr, core.NewDiscrete(v.opt()), sim.Config{K: 120})
+			if err != nil {
+				return nil, err
+			}
+			c := res.Cost(costs)
+			if i == 0 {
+				fullCost = c
+			}
+			tb.AddRow(wname, v.name, c, c/fullCost)
+		}
+	}
+	return tb, nil
+}

@@ -1,0 +1,205 @@
+package fractional
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"convexcache/internal/costfn"
+	"convexcache/internal/policy"
+	"convexcache/internal/sim"
+	"convexcache/internal/trace"
+	"convexcache/internal/workload"
+)
+
+func randomTrace(seed int64, tenants, pagesPer, length int) *trace.Trace {
+	rng := rand.New(rand.NewSource(seed))
+	b := trace.NewBuilder()
+	for i := 0; i < length; i++ {
+		tn := rng.Intn(tenants)
+		b.Add(trace.Tenant(tn), trace.PageID(tn*100+rng.Intn(pagesPer)))
+	}
+	return b.MustBuild()
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Options{K: 0, Weights: []float64{1}}); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := New(Options{K: 2}); err == nil {
+		t.Error("neither weights nor costs accepted")
+	}
+	if _, err := New(Options{K: 2, Weights: []float64{1}, Costs: []costfn.Func{costfn.Linear{W: 1}}}); err == nil {
+		t.Error("both weights and costs accepted")
+	}
+}
+
+func TestFeasibilityMaintained(t *testing.T) {
+	c, err := New(Options{K: 3, Weights: []float64{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := randomTrace(1, 2, 8, 300)
+	for _, r := range tr.Requests() {
+		c.Serve(r)
+		if mass := c.InCacheMass(); mass > 3+1e-9 {
+			t.Fatalf("in-cache mass %g exceeds k", mass)
+		}
+	}
+	// The requested page is always fully in cache immediately after.
+	last := tr.At(tr.Len() - 1)
+	if y := c.Y(last.Page); y != 0 {
+		t.Errorf("requested page has y=%g, want 0", y)
+	}
+}
+
+func TestFractionsStayInUnitInterval(t *testing.T) {
+	c, err := New(Options{K: 2, Weights: []float64{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := randomTrace(2, 1, 10, 400)
+	for _, r := range tr.Requests() {
+		c.Serve(r)
+	}
+	for _, p := range tr.Pages() {
+		if y := c.Y(p); y < -1e-12 || y > 1+1e-12 {
+			t.Errorf("page %d has y=%g outside [0,1]", p, y)
+		}
+	}
+}
+
+func TestColdMissesPayFullWeight(t *testing.T) {
+	c, err := New(Options{K: 4, Weights: []float64{3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Four cold requests into an empty cache of size 4: each pays w*1.
+	total := 0.0
+	for p := 1; p <= 4; p++ {
+		total += c.Serve(trace.Request{Page: trace.PageID(p), Tenant: 0})
+	}
+	if math.Abs(total-12) > 1e-9 {
+		t.Errorf("cold cost = %g, want 12", total)
+	}
+	// Re-requests are free while everything fits.
+	if got := c.Serve(trace.Request{Page: 1, Tenant: 0}); got != 0 {
+		t.Errorf("warm hit cost = %g", got)
+	}
+}
+
+func TestFractionalNeverAboveDeterministicOnAdversary(t *testing.T) {
+	// On the Theorem 1.4 adversary the deterministic algorithm misses
+	// every request (cost ~ T for unit weights). The fractional algorithm
+	// pays only the fraction it had evicted: strictly less.
+	for _, n := range []int{4, 6, 10} {
+		adv, err := workload.NewAdversary(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := adv.CacheSize()
+		steps := 1500
+		weights := make([]float64, n)
+		for i := range weights {
+			weights[i] = 1
+		}
+		_, tr, err := sim.RunInteractive(adv, steps, policy.NewLRU(), sim.Config{K: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(tr, Options{K: k, Weights: weights})
+		if err != nil {
+			t.Fatal(err)
+		}
+		deterministic := float64(steps) // every request a miss
+		if res.FetchCost >= deterministic {
+			t.Errorf("n=%d: fractional cost %g not below deterministic %g", n, res.FetchCost, deterministic)
+		}
+		if res.FetchCost <= 0 {
+			t.Errorf("n=%d: vacuous fractional cost", n)
+		}
+	}
+}
+
+func TestFractionalGapGrowsLikeLogK(t *testing.T) {
+	// Shape check for the O(log k) vs Theta(k) separation: the ratio
+	// deterministic/fractional on the adversary should grow roughly like
+	// k/log k, so it must at least double from k=3 to k=15.
+	ratioAt := func(n int) float64 {
+		adv, err := workload.NewAdversary(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := adv.CacheSize()
+		steps := 3000
+		weights := make([]float64, n)
+		for i := range weights {
+			weights[i] = 1
+		}
+		_, tr, err := sim.RunInteractive(adv, steps, policy.NewLRU(), sim.Config{K: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(tr, Options{K: k, Weights: weights})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(steps) / res.FetchCost
+	}
+	small := ratioAt(4)
+	large := ratioAt(16)
+	if large < 2*small {
+		t.Errorf("det/frac ratio did not grow: k=3 -> %g, k=15 -> %g", small, large)
+	}
+}
+
+func TestDynamicWeightsConvexCost(t *testing.T) {
+	costs := []costfn.Func{costfn.Monomial{C: 1, Beta: 2}, costfn.Linear{W: 0.5}}
+	tr := randomTrace(5, 2, 8, 400)
+	c, err := New(Options{K: 4, Costs: costs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range tr.Requests() {
+		c.Serve(r)
+	}
+	cc, err := c.ConvexCost()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cc <= 0 {
+		t.Errorf("convex cost = %g", cc)
+	}
+	res := c.Result()
+	// Fractional miss mass per tenant is bounded by the request count.
+	stats := tr.ComputeStats()
+	for i, m := range res.Mass {
+		if m < 0 || m > float64(stats.PerTenantRequests[i])+1e-9 {
+			t.Errorf("tenant %d mass %g out of range", i, m)
+		}
+	}
+	// Static-weight cache has no ConvexCost.
+	cw, err := New(Options{K: 2, Weights: []float64{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cw.ConvexCost(); err == nil {
+		t.Error("ConvexCost on weight mode accepted")
+	}
+}
+
+func TestFractionalMassMatchesFetchCostUnitWeights(t *testing.T) {
+	// With unit weights, total fetch cost equals total fractional mass.
+	tr := randomTrace(8, 2, 9, 500)
+	res, err := Run(tr, Options{K: 4, Weights: []float64{1, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mass float64
+	for _, m := range res.Mass {
+		mass += m
+	}
+	if math.Abs(mass-res.FetchCost) > 1e-6 {
+		t.Errorf("mass %g != fetch cost %g", mass, res.FetchCost)
+	}
+}

@@ -1,0 +1,26 @@
+package hierarchy_test
+
+import (
+	"fmt"
+
+	"convexcache/internal/hierarchy"
+	"convexcache/internal/policy"
+	"convexcache/internal/trace"
+)
+
+// Example runs a private-L1 / shared-L2 hierarchy: repeated accesses hit in
+// L1, demoted pages are caught by L2.
+func Example() {
+	sys, _ := hierarchy.New(1, hierarchy.Config{
+		L1Sizes:  []int{1},
+		L2Size:   4,
+		L2Policy: policy.NewLRU(),
+	})
+	for _, p := range []trace.PageID{1, 2, 1, 2} {
+		sys.Serve(trace.Request{Page: p, Tenant: 0})
+	}
+	res, _ := sys.Run(trace.NewBuilder().Add(0, 1).MustBuild())
+	fmt.Printf("L2 hits=%d backing-store misses=%d\n", res.L2Hits[0], res.Misses[0])
+	// Output:
+	// L2 hits=3 backing-store misses=2
+}

@@ -1,0 +1,221 @@
+// Package hierarchy simulates the two-level memory layout common in
+// DaaS deployments (the paper's SQLVM setting gives each tenant a small
+// private buffer share in front of provider-managed shared memory): every
+// tenant owns a private L1 cache (LRU), and L1 misses fall through to one
+// shared L2 running a pluggable policy — the paper's convex-cost algorithm
+// or a baseline. Caching is exclusive by default: pages move up on access
+// and are demoted into L2 when evicted from L1.
+//
+// Experiment E17 measures how much private L1 a tenant needs before the
+// shared layer's cost-awareness stops mattering.
+package hierarchy
+
+import (
+	"errors"
+	"fmt"
+
+	"convexcache/internal/costfn"
+	"convexcache/internal/sim"
+	"convexcache/internal/trace"
+)
+
+// Config configures a two-level simulation.
+type Config struct {
+	// L1Sizes is each tenant's private cache capacity (0 = no L1).
+	L1Sizes []int
+	// L2Size is the shared cache capacity; must be positive.
+	L2Size int
+	// L2Policy chooses evictions in the shared level.
+	L2Policy sim.Policy
+	// Inclusive keeps pages resident in L2 while they are in L1; the
+	// default (exclusive) removes a page from L2 on promotion.
+	Inclusive bool
+}
+
+// Result summarizes a run.
+type Result struct {
+	// L1Hits, L2Hits, Misses are per-tenant counters; Misses are backing
+	// store fetches.
+	L1Hits, L2Hits, Misses []int64
+}
+
+// TotalMisses sums backing-store fetches.
+func (r Result) TotalMisses() int64 {
+	var s int64
+	for _, m := range r.Misses {
+		s += m
+	}
+	return s
+}
+
+// Cost evaluates sum_i f_i(misses_i) over backing-store fetches.
+func (r Result) Cost(fs []costfn.Func) float64 {
+	return sim.Cost(fs, r.Misses)
+}
+
+// lru is a minimal private-cache LRU (no policy interface overhead).
+type lru struct {
+	cap   int
+	order []trace.PageID // front = LRU, back = MRU
+	pos   map[trace.PageID]int
+}
+
+func newLRU(cap int) *lru {
+	return &lru{cap: cap, pos: make(map[trace.PageID]int)}
+}
+
+func (l *lru) contains(p trace.PageID) bool { _, ok := l.pos[p]; return ok }
+
+// touch moves p to MRU; inserts when absent, returning an evicted page (or
+// -1) when full.
+func (l *lru) touch(p trace.PageID) trace.PageID {
+	if i, ok := l.pos[p]; ok {
+		l.remove(i)
+	}
+	evicted := trace.PageID(-1)
+	if l.cap > 0 && len(l.order) >= l.cap {
+		evicted = l.order[0]
+		l.remove(0)
+	}
+	if l.cap > 0 {
+		l.pos[p] = len(l.order)
+		l.order = append(l.order, p)
+	}
+	return evicted
+}
+
+func (l *lru) remove(i int) {
+	p := l.order[i]
+	copy(l.order[i:], l.order[i+1:])
+	l.order = l.order[:len(l.order)-1]
+	delete(l.pos, p)
+	for j := i; j < len(l.order); j++ {
+		l.pos[l.order[j]] = j
+	}
+}
+
+// System is a running two-level hierarchy.
+type System struct {
+	cfg Config
+	l1  []*lru
+	l2  map[trace.PageID]trace.Tenant
+	res Result
+
+	step int
+}
+
+// New validates the configuration.
+func New(tenants int, cfg Config) (*System, error) {
+	if tenants <= 0 {
+		return nil, errors.New("hierarchy: tenant count must be positive")
+	}
+	if cfg.L2Size <= 0 {
+		return nil, errors.New("hierarchy: shared level must have positive size")
+	}
+	if cfg.L2Policy == nil {
+		return nil, errors.New("hierarchy: shared level needs a policy")
+	}
+	s := &System{
+		cfg: cfg,
+		l2:  make(map[trace.PageID]trace.Tenant, cfg.L2Size),
+		res: Result{
+			L1Hits: make([]int64, tenants),
+			L2Hits: make([]int64, tenants),
+			Misses: make([]int64, tenants),
+		},
+	}
+	for i := 0; i < tenants; i++ {
+		size := 0
+		if i < len(cfg.L1Sizes) {
+			size = cfg.L1Sizes[i]
+		}
+		s.l1 = append(s.l1, newLRU(size))
+	}
+	return s, nil
+}
+
+// Serve processes one request through both levels.
+func (s *System) Serve(r trace.Request) error {
+	if int(r.Tenant) >= len(s.l1) {
+		return fmt.Errorf("hierarchy: unknown tenant %d", r.Tenant)
+	}
+	s.step++
+	l1 := s.l1[r.Tenant]
+	if l1.contains(r.Page) {
+		s.res.L1Hits[r.Tenant]++
+		s.promote(r)
+		return nil
+	}
+	if _, ok := s.l2[r.Page]; ok {
+		s.res.L2Hits[r.Tenant]++
+		if !s.cfg.Inclusive {
+			// Exclusive: the page moves up.
+			delete(s.l2, r.Page)
+			s.cfg.L2Policy.OnEvict(s.step, r.Page)
+		} else {
+			s.cfg.L2Policy.OnHit(s.step, r)
+		}
+		s.promote(r)
+		return nil
+	}
+	// Full miss: fetch from backing store into L1 (exclusive) or both
+	// (inclusive).
+	s.res.Misses[r.Tenant]++
+	if s.cfg.Inclusive {
+		if err := s.insertL2(r); err != nil {
+			return err
+		}
+	}
+	s.promote(r)
+	return nil
+}
+
+// promote places the page at the tenant's L1 MRU, demoting any L1 victim
+// into L2.
+func (s *System) promote(r trace.Request) {
+	l1 := s.l1[r.Tenant]
+	if l1.cap == 0 {
+		// No private level: the page lives in L2 directly.
+		if _, ok := s.l2[r.Page]; !ok {
+			_ = s.insertL2(r)
+		} else {
+			s.cfg.L2Policy.OnHit(s.step, r)
+		}
+		return
+	}
+	if evicted := l1.touch(r.Page); evicted >= 0 {
+		// Demote the L1 victim into the shared level (unless inclusive,
+		// where it may already be there).
+		if _, ok := s.l2[evicted]; !ok {
+			_ = s.insertL2(trace.Request{Page: evicted, Tenant: r.Tenant})
+		}
+	}
+}
+
+// insertL2 inserts into the shared level, evicting via the policy if full.
+func (s *System) insertL2(r trace.Request) error {
+	if _, ok := s.l2[r.Page]; ok {
+		return nil
+	}
+	if len(s.l2) >= s.cfg.L2Size {
+		victim := s.cfg.L2Policy.Victim(s.step, r)
+		if _, ok := s.l2[victim]; !ok {
+			return fmt.Errorf("hierarchy: policy returned non-resident victim %d", victim)
+		}
+		delete(s.l2, victim)
+		s.cfg.L2Policy.OnEvict(s.step, victim)
+	}
+	s.l2[r.Page] = r.Tenant
+	s.cfg.L2Policy.OnInsert(s.step, r)
+	return nil
+}
+
+// Run replays a trace.
+func (s *System) Run(tr *trace.Trace) (Result, error) {
+	for _, r := range tr.Requests() {
+		if err := s.Serve(r); err != nil {
+			return Result{}, err
+		}
+	}
+	return s.res, nil
+}

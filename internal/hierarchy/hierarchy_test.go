@@ -1,0 +1,176 @@
+package hierarchy
+
+import (
+	"math/rand"
+	"testing"
+
+	"convexcache/internal/core"
+	"convexcache/internal/costfn"
+	"convexcache/internal/policy"
+	"convexcache/internal/sim"
+	"convexcache/internal/trace"
+	"convexcache/internal/workload"
+)
+
+func quadCosts(n int) []costfn.Func {
+	out := make([]costfn.Func, n)
+	for i := range out {
+		out[i] = costfn.Monomial{C: 1, Beta: 2}
+	}
+	return out
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, Config{L2Size: 4, L2Policy: policy.NewLRU()}); err == nil {
+		t.Error("0 tenants accepted")
+	}
+	if _, err := New(1, Config{L2Size: 0, L2Policy: policy.NewLRU()}); err == nil {
+		t.Error("L2 size 0 accepted")
+	}
+	if _, err := New(1, Config{L2Size: 4}); err == nil {
+		t.Error("nil policy accepted")
+	}
+}
+
+func TestL1HitsDoNotTouchL2(t *testing.T) {
+	sys, err := New(1, Config{L1Sizes: []int{2}, L2Size: 4, L2Policy: policy.NewLRU()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []trace.PageID{1, 2, 1, 2, 1} {
+		if err := sys.Serve(trace.Request{Page: p, Tenant: 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sys.res.L1Hits[0] != 3 {
+		t.Errorf("L1 hits = %d, want 3", sys.res.L1Hits[0])
+	}
+	if sys.res.Misses[0] != 2 {
+		t.Errorf("misses = %d, want 2 (cold)", sys.res.Misses[0])
+	}
+	if len(sys.l2) != 0 {
+		t.Errorf("L2 populated (%d pages) without demotions", len(sys.l2))
+	}
+}
+
+func TestDemotionAndL2Hit(t *testing.T) {
+	// L1 of 1 page: accessing 1 then 2 demotes 1 into L2; re-accessing 1
+	// is an L2 hit (exclusive: it moves back up, demoting 2).
+	sys, err := New(1, Config{L1Sizes: []int{1}, L2Size: 4, L2Policy: policy.NewLRU()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := []trace.PageID{1, 2, 1, 2}
+	for _, p := range seq {
+		if err := sys.Serve(trace.Request{Page: p, Tenant: 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sys.res.Misses[0] != 2 {
+		t.Errorf("misses = %d, want 2", sys.res.Misses[0])
+	}
+	if sys.res.L2Hits[0] != 2 {
+		t.Errorf("L2 hits = %d, want 2", sys.res.L2Hits[0])
+	}
+}
+
+func TestNoL1FallsThrough(t *testing.T) {
+	// Zero-size L1 behaves like a flat shared cache.
+	sys, err := New(1, Config{L1Sizes: []int{0}, L2Size: 2, L2Policy: policy.NewLRU()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := trace.NewBuilder().Add(0, 1).Add(0, 2).Add(0, 1).Add(0, 3).Add(0, 1).MustBuild()
+	res, err := sys.Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat := sim.MustRun(tr, policy.NewLRU(), sim.Config{K: 2})
+	if res.TotalMisses() != flat.TotalMisses() {
+		t.Errorf("flat-equivalent misses %d != %d", res.TotalMisses(), flat.TotalMisses())
+	}
+}
+
+func TestInclusiveModeKeepsL2Copy(t *testing.T) {
+	sys, err := New(1, Config{L1Sizes: []int{1}, L2Size: 4, L2Policy: policy.NewLRU(), Inclusive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Serve(trace.Request{Page: 1, Tenant: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := sys.l2[1]; !ok {
+		t.Error("inclusive miss did not populate L2")
+	}
+}
+
+func TestHierarchyWithConvexL2(t *testing.T) {
+	// Integration: DB tenants over private L1s with the paper's algorithm
+	// in the shared level; convex L2 must beat LRU L2 on total cost when
+	// L1s are small.
+	costs := quadCosts(2)
+	d0, err := workload.NewDB(31, 600, 0.9, 0.05, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := workload.NewUniform(32, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := workload.Mix(33, []workload.TenantStream{
+		{Tenant: 0, Stream: d0, Rate: 1},
+		{Tenant: 1, Stream: u, Rate: 2},
+	}, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	costs[1] = costfn.Linear{W: 0.05}
+	run := func(p sim.Policy) Result {
+		sys, err := New(2, Config{L1Sizes: []int{8, 8}, L2Size: 120, L2Policy: p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sys.Run(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	convex := run(core.NewFast(core.Options{Costs: costs, CountMisses: true}))
+	lruRes := run(policy.NewLRU())
+	if convex.Cost(costs) >= lruRes.Cost(costs) {
+		t.Errorf("convex L2 cost %g not below LRU L2 %g", convex.Cost(costs), lruRes.Cost(costs))
+	}
+	// Accounting identity: L1+L2 hits+misses per tenant equals requests.
+	stats := tr.ComputeStats()
+	for i := 0; i < 2; i++ {
+		total := convex.L1Hits[i] + convex.L2Hits[i] + convex.Misses[i]
+		if total != int64(stats.PerTenantRequests[i]) {
+			t.Errorf("tenant %d: accounted %d != requests %d", i, total, stats.PerTenantRequests[i])
+		}
+	}
+}
+
+func TestLargerL1ReducesSharedPressure(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	b := trace.NewBuilder()
+	for i := 0; i < 10000; i++ {
+		tn := rng.Intn(2)
+		b.Add(trace.Tenant(tn), trace.PageID(tn*1000+rng.Intn(60)))
+	}
+	tr := b.MustBuild()
+	missesWith := func(l1 int) int64 {
+		sys, err := New(2, Config{L1Sizes: []int{l1, l1}, L2Size: 40, L2Policy: policy.NewLRU()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sys.Run(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.TotalMisses()
+	}
+	if m0, m16 := missesWith(0), missesWith(16); m16 > m0 {
+		t.Errorf("adding private L1 increased misses: %d -> %d", m0, m16)
+	}
+}

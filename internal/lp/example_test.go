@@ -1,0 +1,23 @@
+package lp_test
+
+import (
+	"fmt"
+
+	"convexcache/internal/lp"
+)
+
+// Example solves a tiny production-planning LP (maximization by negation).
+func Example() {
+	sol, _ := lp.Solve(lp.Problem{
+		C: []float64{-3, -5}, // maximize 3x + 5y
+		Rows: []lp.Constraint{
+			{Coef: []float64{1, 0}, Rel: lp.LE, RHS: 4},
+			{Coef: []float64{0, 2}, Rel: lp.LE, RHS: 12},
+			{Coef: []float64{3, 2}, Rel: lp.LE, RHS: 18},
+		},
+	})
+	fmt.Printf("status=%s objective=%.0f x=%.0f y=%.0f\n",
+		sol.Status, -sol.Objective, sol.X[0], sol.X[1])
+	// Output:
+	// status=optimal objective=36 x=2 y=6
+}

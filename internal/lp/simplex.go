@@ -1,0 +1,307 @@
+// Package lp is a small dense linear programming solver (two-phase primal
+// simplex with Bland's rule) used to compute exact fractional optima of the
+// paper's convex program when the cost functions are linear — the weighted
+// caching LP of Young (1994) and Bansal-Buchbinder-Naor (2012) that Section
+// 2.1 builds on. It certifies the quality of the subgradient dual bounds in
+// internal/cp.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Relation is a constraint sense.
+type Relation int
+
+// Constraint senses.
+const (
+	LE Relation = iota // <=
+	GE                 // >=
+	EQ                 // =
+)
+
+// Constraint is one linear row: coefficients over the structural variables,
+// a sense, and a right-hand side.
+type Constraint struct {
+	// Coef[j] multiplies variable j; missing tail entries are zero.
+	Coef []float64
+	// Rel is the row sense.
+	Rel Relation
+	// RHS is the right-hand side.
+	RHS float64
+}
+
+// Problem is min C.x subject to the constraints and x >= 0.
+// Upper bounds (x <= u) must be added as explicit LE rows.
+type Problem struct {
+	// C is the objective (minimization).
+	C []float64
+	// Rows are the constraints.
+	Rows []Constraint
+}
+
+// Status reports the solver outcome.
+type Status int
+
+// Solver outcomes.
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	default:
+		return "unknown"
+	}
+}
+
+// Solution holds the solver result.
+type Solution struct {
+	// Status is the outcome; X and Objective are meaningful only when
+	// Optimal.
+	Status Status
+	// X is the optimal structural assignment.
+	X []float64
+	// Objective is C.X.
+	Objective float64
+	// Pivots counts simplex pivots across both phases.
+	Pivots int
+}
+
+const eps = 1e-9
+
+// Solve runs two-phase primal simplex. The problem must have at least one
+// variable; rows may be empty (the optimum is then x = 0 for c >= 0 or
+// unbounded).
+func Solve(p Problem) (Solution, error) {
+	n := len(p.C)
+	if n == 0 {
+		return Solution{}, errors.New("lp: no variables")
+	}
+	for _, row := range p.Rows {
+		if len(row.Coef) > n {
+			return Solution{}, fmt.Errorf("lp: row has %d coefficients, want <= %d", len(row.Coef), n)
+		}
+	}
+	m := len(p.Rows)
+	// Build the standard-form tableau: slack/surplus per inequality, then
+	// artificials where needed. Normalize RHS >= 0 first.
+	type rowSpec struct {
+		coef []float64
+		rhs  float64
+		rel  Relation
+	}
+	rows := make([]rowSpec, m)
+	for i, r := range p.Rows {
+		coef := make([]float64, n)
+		copy(coef, r.Coef)
+		rhs := r.RHS
+		rel := r.Rel
+		if rhs < 0 {
+			for j := range coef {
+				coef[j] = -coef[j]
+			}
+			rhs = -rhs
+			switch rel {
+			case LE:
+				rel = GE
+			case GE:
+				rel = LE
+			}
+		}
+		rows[i] = rowSpec{coef: coef, rhs: rhs, rel: rel}
+	}
+	// Column layout: structural [0,n), slack/surplus [n, n+s), artificial
+	// [n+s, n+s+a).
+	slackCol := make([]int, m)
+	artCol := make([]int, m)
+	cols := n
+	for i, r := range rows {
+		slackCol[i] = -1
+		if r.rel == LE || r.rel == GE {
+			slackCol[i] = cols
+			cols++
+		}
+	}
+	artStart := cols
+	for i, r := range rows {
+		artCol[i] = -1
+		needArt := r.rel == EQ || r.rel == GE
+		if r.rel == LE && r.rhs < eps {
+			// Slack basis works even at zero RHS.
+			needArt = false
+		}
+		if r.rel == LE {
+			needArt = false
+		}
+		if needArt {
+			artCol[i] = cols
+			cols++
+		}
+	}
+	// Tableau: m rows x (cols + 1); last column is RHS.
+	tab := make([][]float64, m)
+	basis := make([]int, m)
+	for i, r := range rows {
+		tab[i] = make([]float64, cols+1)
+		copy(tab[i], r.coef)
+		tab[i][cols] = r.rhs
+		switch r.rel {
+		case LE:
+			tab[i][slackCol[i]] = 1
+			basis[i] = slackCol[i]
+		case GE:
+			tab[i][slackCol[i]] = -1
+			tab[i][artCol[i]] = 1
+			basis[i] = artCol[i]
+		case EQ:
+			tab[i][artCol[i]] = 1
+			basis[i] = artCol[i]
+		}
+	}
+	sol := Solution{}
+	// Phase 1: minimize sum of artificials (skip when none).
+	if cols > artStart {
+		phase1 := make([]float64, cols)
+		for j := artStart; j < cols; j++ {
+			phase1[j] = 1
+		}
+		status, pivots := simplex(tab, basis, phase1, cols)
+		sol.Pivots += pivots
+		if status == Unbounded {
+			return Solution{}, errors.New("lp: phase 1 unbounded (internal error)")
+		}
+		// Infeasible if any artificial remains positive.
+		objective := 0.0
+		for i, b := range basis {
+			if b >= artStart {
+				objective += tab[i][cols]
+			}
+		}
+		if objective > 1e-7 {
+			sol.Status = Infeasible
+			return sol, nil
+		}
+		// Drive remaining (zero-valued) artificials out of the basis.
+		for i, b := range basis {
+			if b < artStart {
+				continue
+			}
+			pivoted := false
+			for j := 0; j < artStart; j++ {
+				if math.Abs(tab[i][j]) > eps {
+					pivot(tab, basis, i, j, cols)
+					pivoted = true
+					break
+				}
+			}
+			if !pivoted {
+				// Redundant row; leave the artificial basic at zero and
+				// neutralize the row.
+				_ = i
+			}
+		}
+	}
+	// Phase 2: original objective, artificial columns frozen at zero.
+	phase2 := make([]float64, cols)
+	copy(phase2, p.C)
+	status, pivots := simplexRestricted(tab, basis, phase2, cols, artStart)
+	sol.Pivots += pivots
+	if status == Unbounded {
+		sol.Status = Unbounded
+		return sol, nil
+	}
+	sol.Status = Optimal
+	sol.X = make([]float64, n)
+	for i, b := range basis {
+		if b < n {
+			sol.X[b] = tab[i][cols]
+		}
+	}
+	for j, x := range sol.X {
+		sol.Objective += p.C[j] * x
+	}
+	return sol, nil
+}
+
+// simplex runs primal simplex to optimality over all columns.
+func simplex(tab [][]float64, basis []int, c []float64, cols int) (Status, int) {
+	return simplexRestricted(tab, basis, c, cols, cols)
+}
+
+// simplexRestricted runs primal simplex allowing entering columns only in
+// [0, allowed). Bland's rule guarantees termination.
+func simplexRestricted(tab [][]float64, basis []int, c []float64, cols, allowed int) (Status, int) {
+	m := len(tab)
+	pivots := 0
+	// Reduced costs computed via the basic solution's multipliers each
+	// iteration (dense, fine for our sizes).
+	for iter := 0; iter < 50000; iter++ {
+		// Compute reduced cost per column: c_j - c_B . B^-1 A_j. With the
+		// tableau kept in canonical form, the basic columns are unit
+		// vectors, so reduced cost r_j = c_j - sum_i c_basis[i] * tab[i][j].
+		entering := -1
+		for j := 0; j < allowed; j++ {
+			rj := c[j]
+			for i := 0; i < m; i++ {
+				rj -= c[basis[i]] * tab[i][j]
+			}
+			if rj < -eps {
+				entering = j // Bland: first improving column
+				break
+			}
+		}
+		if entering == -1 {
+			return Optimal, pivots
+		}
+		// Ratio test with Bland tie-break on the smallest basis index.
+		leaving := -1
+		best := math.Inf(1)
+		for i := 0; i < m; i++ {
+			if tab[i][entering] > eps {
+				ratio := tab[i][cols] / tab[i][entering]
+				if ratio < best-eps || (ratio < best+eps && (leaving == -1 || basis[i] < basis[leaving])) {
+					best = ratio
+					leaving = i
+				}
+			}
+		}
+		if leaving == -1 {
+			return Unbounded, pivots
+		}
+		pivot(tab, basis, leaving, entering, cols)
+		pivots++
+	}
+	return Unbounded, pivots // iteration cap: treat as failure
+}
+
+// pivot performs a Gauss-Jordan pivot on (row, col) and updates the basis.
+func pivot(tab [][]float64, basis []int, row, col, cols int) {
+	pv := tab[row][col]
+	for j := 0; j <= cols; j++ {
+		tab[row][j] /= pv
+	}
+	for i := range tab {
+		if i == row {
+			continue
+		}
+		factor := tab[i][col]
+		if factor == 0 {
+			continue
+		}
+		for j := 0; j <= cols; j++ {
+			tab[i][j] -= factor * tab[row][j]
+		}
+	}
+	basis[row] = col
+}

@@ -1,0 +1,238 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func solveOK(t *testing.T, p Problem) Solution {
+	t.Helper()
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	return sol
+}
+
+func TestSimpleMinimization(t *testing.T) {
+	// min x + y s.t. x + y >= 2, x >= 0, y >= 0 -> objective 2.
+	sol := solveOK(t, Problem{
+		C:    []float64{1, 1},
+		Rows: []Constraint{{Coef: []float64{1, 1}, Rel: GE, RHS: 2}},
+	})
+	if math.Abs(sol.Objective-2) > 1e-7 {
+		t.Errorf("objective = %g, want 2", sol.Objective)
+	}
+}
+
+func TestMaximizationViaNegation(t *testing.T) {
+	// max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 (classic; opt 36).
+	sol := solveOK(t, Problem{
+		C: []float64{-3, -5},
+		Rows: []Constraint{
+			{Coef: []float64{1, 0}, Rel: LE, RHS: 4},
+			{Coef: []float64{0, 2}, Rel: LE, RHS: 12},
+			{Coef: []float64{3, 2}, Rel: LE, RHS: 18},
+		},
+	})
+	if math.Abs(sol.Objective+36) > 1e-7 {
+		t.Errorf("objective = %g, want -36", sol.Objective)
+	}
+	if math.Abs(sol.X[0]-2) > 1e-7 || math.Abs(sol.X[1]-6) > 1e-7 {
+		t.Errorf("x = %v, want [2 6]", sol.X)
+	}
+}
+
+func TestEqualityConstraints(t *testing.T) {
+	// min 2x + 3y s.t. x + y = 10, x - y = 2 -> x=6, y=4, obj 24.
+	sol := solveOK(t, Problem{
+		C: []float64{2, 3},
+		Rows: []Constraint{
+			{Coef: []float64{1, 1}, Rel: EQ, RHS: 10},
+			{Coef: []float64{1, -1}, Rel: EQ, RHS: 2},
+		},
+	})
+	if math.Abs(sol.Objective-24) > 1e-7 {
+		t.Errorf("objective = %g, want 24", sol.Objective)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	// x >= 5 and x <= 3.
+	sol, err := Solve(Problem{
+		C: []float64{1},
+		Rows: []Constraint{
+			{Coef: []float64{1}, Rel: GE, RHS: 5},
+			{Coef: []float64{1}, Rel: LE, RHS: 3},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Infeasible {
+		t.Errorf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	// min -x with only x >= 1.
+	sol, err := Solve(Problem{
+		C:    []float64{-1},
+		Rows: []Constraint{{Coef: []float64{1}, Rel: GE, RHS: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Unbounded {
+		t.Errorf("status = %v, want unbounded", sol.Status)
+	}
+}
+
+func TestNegativeRHSNormalization(t *testing.T) {
+	// -x <= -3 is x >= 3.
+	sol := solveOK(t, Problem{
+		C:    []float64{1},
+		Rows: []Constraint{{Coef: []float64{-1}, Rel: LE, RHS: -3}},
+	})
+	if math.Abs(sol.Objective-3) > 1e-7 {
+		t.Errorf("objective = %g, want 3", sol.Objective)
+	}
+}
+
+func TestNoRows(t *testing.T) {
+	sol := solveOK(t, Problem{C: []float64{2, 5}})
+	if sol.Objective != 0 {
+		t.Errorf("objective = %g, want 0", sol.Objective)
+	}
+	if _, err := Solve(Problem{}); err == nil {
+		t.Error("no variables accepted")
+	}
+	if _, err := Solve(Problem{C: []float64{1}, Rows: []Constraint{{Coef: []float64{1, 2}, Rel: LE, RHS: 1}}}); err == nil {
+		t.Error("over-long row accepted")
+	}
+}
+
+func TestDegenerateDoesNotCycle(t *testing.T) {
+	// Beale's classic cycling example (cycles under naive Dantzig rule);
+	// Bland's rule must terminate at objective -0.05.
+	sol := solveOK(t, Problem{
+		C: []float64{-0.75, 150, -0.02, 6},
+		Rows: []Constraint{
+			{Coef: []float64{0.25, -60, -0.04, 9}, Rel: LE, RHS: 0},
+			{Coef: []float64{0.5, -90, -0.02, 3}, Rel: LE, RHS: 0},
+			{Coef: []float64{0, 0, 1, 0}, Rel: LE, RHS: 1},
+		},
+	})
+	if math.Abs(sol.Objective+0.05) > 1e-6 {
+		t.Errorf("objective = %g, want -0.05", sol.Objective)
+	}
+}
+
+// bruteForce2D checks a 2-variable LP by scanning constraint intersections.
+func bruteForce2D(p Problem) (float64, bool) {
+	feasible := func(x, y float64) bool {
+		if x < -1e-9 || y < -1e-9 {
+			return false
+		}
+		for _, r := range p.Rows {
+			v := 0.0
+			if len(r.Coef) > 0 {
+				v += r.Coef[0] * x
+			}
+			if len(r.Coef) > 1 {
+				v += r.Coef[1] * y
+			}
+			switch r.Rel {
+			case LE:
+				if v > r.RHS+1e-7 {
+					return false
+				}
+			case GE:
+				if v < r.RHS-1e-7 {
+					return false
+				}
+			case EQ:
+				if math.Abs(v-r.RHS) > 1e-7 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	// Candidate vertices: pairwise row intersections + axis intersections.
+	type line struct{ a, b, c float64 } // a x + b y = c
+	var lines []line
+	for _, r := range p.Rows {
+		a, b := 0.0, 0.0
+		if len(r.Coef) > 0 {
+			a = r.Coef[0]
+		}
+		if len(r.Coef) > 1 {
+			b = r.Coef[1]
+		}
+		lines = append(lines, line{a, b, r.RHS})
+	}
+	lines = append(lines, line{1, 0, 0}, line{0, 1, 0})
+	best := math.Inf(1)
+	found := false
+	for i := 0; i < len(lines); i++ {
+		for j := i + 1; j < len(lines); j++ {
+			d := lines[i].a*lines[j].b - lines[j].a*lines[i].b
+			if math.Abs(d) < 1e-12 {
+				continue
+			}
+			x := (lines[i].c*lines[j].b - lines[j].c*lines[i].b) / d
+			y := (lines[i].a*lines[j].c - lines[j].a*lines[i].c) / d
+			if feasible(x, y) {
+				obj := p.C[0]*x + p.C[1]*y
+				if obj < best {
+					best = obj
+					found = true
+				}
+			}
+		}
+	}
+	return best, found
+}
+
+func TestRandomLPsAgainstVertexEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 60; trial++ {
+		p := Problem{C: []float64{rng.Float64()*4 - 2, rng.Float64()*4 - 2}}
+		rows := 2 + rng.Intn(4)
+		for r := 0; r < rows; r++ {
+			p.Rows = append(p.Rows, Constraint{
+				Coef: []float64{rng.Float64()*4 - 2, rng.Float64()*4 - 2},
+				Rel:  Relation(rng.Intn(2)), // LE or GE
+				RHS:  rng.Float64()*10 - 2,
+			})
+		}
+		// Bound the region so the LP is never unbounded.
+		p.Rows = append(p.Rows,
+			Constraint{Coef: []float64{1, 0}, Rel: LE, RHS: 50},
+			Constraint{Coef: []float64{0, 1}, Rel: LE, RHS: 50},
+		)
+		want, feas := bruteForce2D(p)
+		sol, err := Solve(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !feas {
+			if sol.Status == Optimal {
+				t.Errorf("trial %d: solver optimal %g on infeasible LP", trial, sol.Objective)
+			}
+			continue
+		}
+		if sol.Status != Optimal {
+			t.Errorf("trial %d: status %v on feasible LP (want %g)", trial, sol.Status, want)
+			continue
+		}
+		if math.Abs(sol.Objective-want) > 1e-5*(1+math.Abs(want)) {
+			t.Errorf("trial %d: objective %g != brute force %g", trial, sol.Objective, want)
+		}
+	}
+}

@@ -1,0 +1,33 @@
+package multipool_test
+
+import (
+	"fmt"
+
+	"convexcache/internal/costfn"
+	"convexcache/internal/multipool"
+	"convexcache/internal/trace"
+)
+
+// Example assigns two tenants to separate pools and migrates one,
+// illustrating the Section-5 future-work setting.
+func Example() {
+	costs := []costfn.Func{
+		costfn.Monomial{C: 1, Beta: 2},
+		costfn.Monomial{C: 1, Beta: 2},
+	}
+	sys, _ := multipool.New(multipool.Config{
+		PoolSizes:  []int{2, 2},
+		Costs:      costs,
+		Assign:     []int{0, 1},
+		SwitchCost: 5,
+	})
+	tr := trace.NewBuilder().
+		Add(0, 1).Add(0, 2).Add(1, 100).Add(0, 1).Add(1, 100).
+		MustBuild()
+	res, _ := sys.Run(tr)
+	fmt.Printf("misses: %v, migrations: %d\n", res.Misses, res.Migrations)
+	fmt.Printf("total cost: %.0f\n", res.TotalCost())
+	// Output:
+	// misses: [2 1], migrations: 0
+	// total cost: 5
+}

@@ -1,0 +1,98 @@
+package multipool
+
+import (
+	"convexcache/internal/costfn"
+	"convexcache/internal/trace"
+)
+
+// GreedyRebalancer migrates the single most cost-pressured tenant away from
+// the most loaded pool when the projected epoch saving exceeds the switching
+// cost.
+//
+// Pressure of tenant i is its marginal miss cost at the current total,
+// f_i'(total_i+1), times its epoch miss count — the first-order epoch cost
+// attributable to i. Pool load is the sum of its tenants' pressures. If the
+// top tenant sits in the most loaded pool and a pool with load below half
+// of it exists, moving the tenant is predicted to relieve contention; the
+// move is proposed when pressure * Gain exceeds SwitchCost.
+type GreedyRebalancer struct {
+	// Gain scales the predicted saving of one migration (fraction of the
+	// tenant's epoch pressure recovered); default 0.5.
+	Gain float64
+	// MaxMovesPerEpoch caps migrations per epoch; default 1.
+	MaxMovesPerEpoch int
+}
+
+// Rebalance implements Rebalancer.
+func (g *GreedyRebalancer) Rebalance(s Snapshot) []Migration {
+	gain := g.Gain
+	if gain <= 0 {
+		gain = 0.5
+	}
+	maxMoves := g.MaxMovesPerEpoch
+	if maxMoves <= 0 {
+		maxMoves = 1
+	}
+	nPools := len(s.PoolSizes)
+	if nPools < 2 {
+		return nil
+	}
+	pressure := make([]float64, len(s.Assign))
+	poolLoad := make([]float64, nPools)
+	for i := range s.Assign {
+		pressure[i] = marginal(s.Costs, i, s.TotalMisses[i]) * float64(s.EpochMisses[i])
+		poolLoad[s.Assign[i]] += pressure[i]
+	}
+	var moves []Migration
+	for moveCount := 0; moveCount < maxMoves; moveCount++ {
+		// Most and least loaded pools.
+		hot, cold := 0, 0
+		for j := 1; j < nPools; j++ {
+			if poolLoad[j] > poolLoad[hot] {
+				hot = j
+			}
+			if poolLoad[j] < poolLoad[cold] {
+				cold = j
+			}
+		}
+		if hot == cold || poolLoad[cold] >= poolLoad[hot]/2 {
+			break
+		}
+		// Heaviest tenant in the hot pool, excluding the case where it IS
+		// the whole load (moving it just moves the hotspot).
+		best, bestP := -1, 0.0
+		for i := range s.Assign {
+			if s.Assign[i] != hot {
+				continue
+			}
+			if pressure[i] > bestP && pressure[i] < poolLoad[hot] {
+				best, bestP = i, pressure[i]
+			}
+		}
+		if best < 0 || bestP*gain <= s.SwitchCost {
+			break
+		}
+		moves = append(moves, Migration{Tenant: trace.Tenant(best), ToPool: cold})
+		poolLoad[hot] -= bestP
+		poolLoad[cold] += bestP
+		pressure[best] = 0
+	}
+	return moves
+}
+
+// marginal is the tenant's current marginal miss cost.
+func marginal(costs []costfn.Func, i int, total int64) float64 {
+	if i >= len(costs) || costs[i] == nil {
+		return 1
+	}
+	return costfn.DiscreteDeriv(costs[i], float64(total))
+}
+
+// BalancedAssign spreads n tenants round-robin over the pools.
+func BalancedAssign(n, pools int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i % pools
+	}
+	return out
+}

@@ -1,0 +1,77 @@
+package offline
+
+import (
+	"errors"
+	"fmt"
+
+	"convexcache/internal/costfn"
+	"convexcache/internal/trace"
+)
+
+// BruteForce exhaustively enumerates every eviction schedule and returns the
+// optimum. It exists to validate Exact on tiny instances; complexity is
+// k^(#forced evictions), so keep traces under ~20 requests.
+func BruteForce(tr *trace.Trace, k int, costs []costfn.Func) (ExactResult, error) {
+	if k <= 0 {
+		return ExactResult{}, errors.New("offline: cache size must be positive")
+	}
+	pages := tr.Pages()
+	if len(pages) > maxExactPages {
+		return ExactResult{}, fmt.Errorf("offline: too many pages (%d)", len(pages))
+	}
+	idx := make(map[trace.PageID]int, len(pages))
+	for i, p := range pages {
+		idx[p] = i
+	}
+	n := tr.NumTenants()
+	T := tr.Len()
+	best := ExactResult{Cost: 0, Optimal: true}
+	bestSet := false
+	cost := func(m []int64) float64 {
+		total := 0.0
+		for i, f := range costs {
+			if i >= n {
+				break
+			}
+			total += f.Value(float64(m[i]))
+		}
+		return total
+	}
+	var nodes int64
+	var rec func(s int, mask uint64, size int, m []int64)
+	rec = func(s int, mask uint64, size int, m []int64) {
+		nodes++
+		if s == T {
+			c := cost(m)
+			if !bestSet || c < best.Cost {
+				best.Cost = c
+				best.Misses = append([]int64(nil), m...)
+				bestSet = true
+			}
+			return
+		}
+		r := tr.At(s)
+		pi := idx[r.Page]
+		bit := uint64(1) << uint(pi)
+		if mask&bit != 0 {
+			rec(s+1, mask, size, m)
+			return
+		}
+		m[r.Tenant]++
+		if size < k {
+			rec(s+1, mask|bit, size+1, m)
+		} else {
+			for q := 0; q < len(pages); q++ {
+				qbit := uint64(1) << uint(q)
+				if mask&qbit == 0 || q == pi {
+					continue
+				}
+				rec(s+1, (mask&^qbit)|bit, size, m)
+			}
+		}
+		m[r.Tenant]--
+	}
+	rec(0, 0, 0, make([]int64, n))
+	best.Nodes = nodes
+	return best, nil
+}

@@ -1,0 +1,340 @@
+// Package offline computes offline comparators for the multi-tenant caching
+// problem: the exact optimal solution b_i(sigma) on small instances via
+// branch-and-bound (the quantity Theorems 1.1-1.3 compare against), and a
+// brute-force reference used to validate the search.
+//
+// The objective minimized is the paper's sum_i f_i(misses_i) where misses
+// are page fetches. Under the dummy-flush convention (trace.WithFlush) this
+// coincides with the paper's eviction accounting.
+package offline
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"convexcache/internal/costfn"
+	"convexcache/internal/trace"
+)
+
+// Limits bounds the exact search.
+type Limits struct {
+	// MaxNodes caps explored decision nodes; 0 means a conservative
+	// default. When the cap is hit the result is the best incumbent and
+	// Optimal is false.
+	MaxNodes int64
+}
+
+// DefaultMaxNodes is the node budget used when Limits.MaxNodes is 0.
+const DefaultMaxNodes = 5_000_000
+
+// ExactResult is the outcome of an exact offline computation.
+type ExactResult struct {
+	// Misses is the optimal per-tenant fetch count vector.
+	Misses []int64
+	// Cost is sum_i f_i(Misses_i).
+	Cost float64
+	// Optimal is false when the node budget was exhausted before the
+	// search completed.
+	Optimal bool
+	// Nodes counts explored decision nodes.
+	Nodes int64
+	// Schedule lists the optimal eviction decisions in trace order: at
+	// step Schedule[i].Step the page Schedule[i].Page is evicted. Only
+	// forced evictions appear (cold inserts into free space do not evict).
+	Schedule []Eviction
+}
+
+// Eviction is one offline eviction decision.
+type Eviction struct {
+	// Step is the 0-based request index whose miss forced the eviction.
+	Step int
+	// Page is the evicted page.
+	Page trace.PageID
+}
+
+// maxExactPages bounds the page universe so cache states fit in a uint64
+// bitmask.
+const maxExactPages = 64
+
+// Exact computes the optimal offline eviction schedule for the trace with
+// cache size k, minimizing sum_i f_i(misses_i). It requires at most 64
+// distinct pages.
+func Exact(tr *trace.Trace, k int, costs []costfn.Func, lim Limits) (ExactResult, error) {
+	if k <= 0 {
+		return ExactResult{}, errors.New("offline: cache size must be positive")
+	}
+	pages := tr.Pages()
+	if len(pages) > maxExactPages {
+		return ExactResult{}, fmt.Errorf("offline: exact search supports at most %d pages, got %d", maxExactPages, len(pages))
+	}
+	idx := make(map[trace.PageID]int, len(pages))
+	for i, p := range pages {
+		idx[p] = i
+	}
+	owner := make([]trace.Tenant, len(pages))
+	for i, p := range pages {
+		ow, _ := tr.Owner(p)
+		owner[i] = ow
+	}
+	n := tr.NumTenants()
+	cost := func(m []int64) float64 {
+		total := 0.0
+		for i, f := range costs {
+			if i >= n {
+				break
+			}
+			total += f.Value(float64(m[i]))
+		}
+		return total
+	}
+	// Suffix cold-miss lower bound: coldAfter[s][i] counts first-ever
+	// occurrences of tenant-i pages at steps >= s.
+	T := tr.Len()
+	coldAfter := make([][]int64, T+1)
+	coldAfter[T] = make([]int64, n)
+	firstStep := make(map[trace.PageID]int, len(pages))
+	for s, r := range tr.Requests() {
+		if _, ok := firstStep[r.Page]; !ok {
+			firstStep[r.Page] = s
+		}
+	}
+	for s := T - 1; s >= 0; s-- {
+		row := append([]int64(nil), coldAfter[s+1]...)
+		r := tr.At(s)
+		if firstStep[r.Page] == s {
+			row[r.Tenant]++
+		}
+		coldAfter[s] = row
+	}
+	lowerBound := func(s int, m []int64) float64 {
+		total := 0.0
+		for i, f := range costs {
+			if i >= n {
+				break
+			}
+			total += f.Value(float64(m[i] + coldAfter[s][i]))
+		}
+		return total
+	}
+	// Next-use times for the Belady victim ordering heuristic.
+	nextUse := make([][]int, T) // nextUse[s][pi] = next request step of page pi after s, or T+1
+	{
+		next := make([]int, len(pages))
+		for i := range next {
+			next[i] = T + 1
+		}
+		for s := T - 1; s >= 0; s-- {
+			nextUse[s] = append([]int(nil), next...)
+			next[idx[tr.At(s).Page]] = s
+		}
+	}
+
+	lim.MaxNodes = max64(lim.MaxNodes, 0)
+	budget := lim.MaxNodes
+	if budget == 0 {
+		budget = DefaultMaxNodes
+	}
+
+	// Incumbent from a greedy cost-aware Belady pass (fast, good upper
+	// bound for pruning).
+	bestMisses, bestCost, bestSched := greedyIncumbent(tr, k, costs, idx, owner, nextUse)
+
+	// Dominance memo: per (step, cache mask), the Pareto set of miss
+	// vectors already explored. A new state dominated componentwise by a
+	// stored one cannot improve.
+	type stateKey struct {
+		step int
+		mask uint64
+	}
+	memo := make(map[stateKey][][]int64)
+	dominated := func(key stateKey, m []int64) bool {
+		for _, old := range memo[key] {
+			leq := true
+			for i := range m {
+				if old[i] > m[i] {
+					leq = false
+					break
+				}
+			}
+			if leq {
+				return true
+			}
+		}
+		return false
+	}
+	store := func(key stateKey, m []int64) {
+		kept := memo[key][:0]
+		for _, old := range memo[key] {
+			drop := true
+			for i := range m {
+				if old[i] < m[i] {
+					drop = false
+					break
+				}
+			}
+			if !drop {
+				kept = append(kept, old)
+			}
+		}
+		memo[key] = append(kept, append([]int64(nil), m...))
+	}
+
+	var nodes int64
+	exhausted := false
+	var curSched []Eviction
+
+	var rec func(s int, mask uint64, size int, m []int64)
+	rec = func(s int, mask uint64, size int, m []int64) {
+		if exhausted {
+			return
+		}
+		// Advance through decision-free steps.
+		for s < T {
+			r := tr.At(s)
+			pi := idx[r.Page]
+			bit := uint64(1) << uint(pi)
+			if mask&bit != 0 {
+				s++ // hit
+				continue
+			}
+			// Miss.
+			m[r.Tenant]++
+			defer func(i trace.Tenant) { m[i]-- }(r.Tenant)
+			// The current miss is already counted in m, so the unavoidable
+			// cold-miss suffix starts at s+1.
+			if lowerBound(s+1, m) >= bestCost {
+				return
+			}
+			if size < k {
+				mask |= bit
+				size++
+				s++
+				continue
+			}
+			// Full cache: decision point.
+			key := stateKey{step: s, mask: mask}
+			if dominated(key, m) {
+				return
+			}
+			store(key, m)
+			nodes++
+			if nodes > budget {
+				exhausted = true
+				return
+			}
+			// Candidate victims ordered by farthest next use (Belady
+			// heuristic) to find strong incumbents early.
+			cands := victimOrder(mask, nextUse[s], pi)
+			for _, v := range cands {
+				vbit := uint64(1) << uint(v)
+				curSched = append(curSched, Eviction{Step: s, Page: pages[v]})
+				rec(s+1, (mask&^vbit)|bit, size, m)
+				curSched = curSched[:len(curSched)-1]
+				if exhausted {
+					return
+				}
+			}
+			return
+		}
+		// Trace exhausted: candidate solution.
+		c := cost(m)
+		if c < bestCost {
+			bestCost = c
+			copy(bestMisses, m)
+			bestSched = append(bestSched[:0], curSched...)
+		}
+	}
+	m := make([]int64, n)
+	rec(0, 0, 0, m)
+
+	return ExactResult{
+		Misses:   bestMisses,
+		Cost:     bestCost,
+		Optimal:  !exhausted,
+		Nodes:    nodes,
+		Schedule: bestSched,
+	}, nil
+}
+
+// victimOrder lists the cached page indices (excluding the incoming page)
+// sorted by descending next use, never-used-again first.
+func victimOrder(mask uint64, nextUse []int, incoming int) []int {
+	var cands []int
+	for pi := 0; pi < len(nextUse); pi++ {
+		if pi == incoming {
+			continue
+		}
+		if mask&(uint64(1)<<uint(pi)) != 0 {
+			cands = append(cands, pi)
+		}
+	}
+	// Insertion sort by descending nextUse (cache sizes are small here).
+	for i := 1; i < len(cands); i++ {
+		for j := i; j > 0 && nextUse[cands[j]] > nextUse[cands[j-1]]; j-- {
+			cands[j], cands[j-1] = cands[j-1], cands[j]
+		}
+	}
+	return cands
+}
+
+// greedyIncumbent runs a cost-aware Belady pass to seed the incumbent.
+func greedyIncumbent(tr *trace.Trace, k int, costs []costfn.Func,
+	idx map[trace.PageID]int, owner []trace.Tenant, nextUse [][]int) ([]int64, float64, []Eviction) {
+	n := tr.NumTenants()
+	m := make([]int64, n)
+	pages := tr.Pages()
+	var sched []Eviction
+	mask := uint64(0)
+	size := 0
+	marginal := func(i trace.Tenant) float64 {
+		if int(i) >= len(costs) {
+			return 0
+		}
+		return costfn.DiscreteDeriv(costs[i], float64(m[i]))
+	}
+	for s := 0; s < tr.Len(); s++ {
+		r := tr.At(s)
+		pi := idx[r.Page]
+		bit := uint64(1) << uint(pi)
+		if mask&bit != 0 {
+			continue
+		}
+		m[r.Tenant]++
+		if size < k {
+			mask |= bit
+			size++
+			continue
+		}
+		// Evict the resident page minimizing marginal / distance.
+		best, bestScore := -1, math.Inf(1)
+		for q := 0; q < len(owner); q++ {
+			qbit := uint64(1) << uint(q)
+			if mask&qbit == 0 || q == pi {
+				continue
+			}
+			dist := float64(nextUse[s][q] - s)
+			score := marginal(owner[q]) / dist
+			if score < bestScore {
+				best, bestScore = q, score
+			}
+		}
+		sched = append(sched, Eviction{Step: s, Page: pages[best]})
+		mask = (mask &^ (uint64(1) << uint(best))) | bit
+	}
+	total := 0.0
+	for i, f := range costs {
+		if i >= n {
+			break
+		}
+		total += f.Value(float64(m[i]))
+	}
+	return m, total, sched
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,91 @@
+package offline
+
+import (
+	"testing"
+
+	"convexcache/internal/costfn"
+	"convexcache/internal/trace"
+)
+
+// replaySchedule simulates the trace following the given eviction schedule
+// exactly and returns per-tenant misses, failing on any inconsistency
+// (eviction of a non-resident page, overflow, or eviction at a non-miss
+// step).
+func replaySchedule(t *testing.T, tr *trace.Trace, k int, sched []Eviction) []int64 {
+	t.Helper()
+	byStep := make(map[int]trace.PageID, len(sched))
+	for _, e := range sched {
+		if _, dup := byStep[e.Step]; dup {
+			t.Fatalf("two evictions at step %d", e.Step)
+		}
+		byStep[e.Step] = e.Page
+	}
+	cache := make(map[trace.PageID]bool, k)
+	misses := make([]int64, tr.NumTenants())
+	for s, r := range tr.Requests() {
+		victim, hasEv := byStep[s]
+		if cache[r.Page] {
+			if hasEv {
+				t.Fatalf("schedule evicts at hit step %d", s)
+			}
+			continue
+		}
+		misses[r.Tenant]++
+		if hasEv {
+			if !cache[victim] {
+				t.Fatalf("step %d evicts non-resident page %d", s, victim)
+			}
+			delete(cache, victim)
+		}
+		cache[r.Page] = true
+		if len(cache) > k {
+			t.Fatalf("cache overflows at step %d", s)
+		}
+	}
+	return misses
+}
+
+func TestExactScheduleReplaysToOptimalCost(t *testing.T) {
+	costs := []costfn.Func{costfn.Monomial{C: 1, Beta: 2}, costfn.Linear{W: 2}}
+	for seed := int64(0); seed < 8; seed++ {
+		tr := randomTrace(200+seed, 2, 4, 22)
+		k := 3
+		res, err := Exact(tr, k, costs, Limits{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Optimal {
+			t.Fatal("not solved")
+		}
+		misses := replaySchedule(t, tr, k, res.Schedule)
+		for i := range misses {
+			if misses[i] != res.Misses[i] {
+				t.Fatalf("seed=%d: replayed misses %v != reported %v", seed, misses, res.Misses)
+			}
+		}
+	}
+}
+
+func TestExactScheduleStepsAreMonotone(t *testing.T) {
+	tr := randomTrace(3, 2, 4, 25)
+	res, err := Exact(tr, 2, []costfn.Func{costfn.Linear{W: 1}, costfn.Linear{W: 1}}, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.Schedule); i++ {
+		if res.Schedule[i].Step <= res.Schedule[i-1].Step {
+			t.Fatalf("schedule steps not increasing: %v", res.Schedule)
+		}
+	}
+}
+
+func TestExactScheduleEmptyWhenNoEvictions(t *testing.T) {
+	tr := trace.NewBuilder().Add(0, 1).Add(0, 2).Add(0, 1).MustBuild()
+	res, err := Exact(tr, 4, []costfn.Func{costfn.Linear{W: 1}}, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Schedule) != 0 {
+		t.Errorf("schedule = %v, want empty", res.Schedule)
+	}
+}

@@ -1,0 +1,148 @@
+package policy
+
+import (
+	"container/list"
+
+	"convexcache/internal/trace"
+)
+
+// ARC is the Adaptive Replacement Cache of Megiddo & Modha (FAST 2003), a
+// strong self-tuning cost-oblivious baseline: it balances a recency list
+// (T1) against a frequency list (T2) using ghost lists (B1, B2) to adapt
+// the target size p of T1. Included because any credible cache-policy
+// comparison fields it; like LRU it ignores tenant costs, which is exactly
+// what the paper's experiments expose.
+type ARC struct {
+	c int // capacity (set on first Victim; the engine owns the real bound)
+
+	t1, t2, b1, b2 *list.List // fronts are MRU
+	where          map[trace.PageID]*arcEntry
+	p              float64 // adaptive target size of t1
+}
+
+type arcEntry struct {
+	list *list.List
+	elem *list.Element
+}
+
+// NewARC returns an empty ARC policy; capacity adapts to the engine's k on
+// first eviction.
+func NewARC() *ARC {
+	a := &ARC{}
+	a.Reset()
+	return a
+}
+
+// Name implements sim.Policy.
+func (a *ARC) Name() string { return "arc" }
+
+// Reset implements sim.Policy.
+func (a *ARC) Reset() {
+	a.t1, a.t2, a.b1, a.b2 = list.New(), list.New(), list.New(), list.New()
+	a.where = make(map[trace.PageID]*arcEntry)
+	a.p = 0
+	a.c = 0
+}
+
+func (a *ARC) moveTo(p trace.PageID, dst *list.List) {
+	e := a.where[p]
+	if e == nil {
+		a.where[p] = &arcEntry{list: dst, elem: dst.PushFront(p)}
+		return
+	}
+	e.list.Remove(e.elem)
+	e.list = dst
+	e.elem = dst.PushFront(p)
+}
+
+func (a *ARC) drop(p trace.PageID) {
+	if e, ok := a.where[p]; ok {
+		e.list.Remove(e.elem)
+		delete(a.where, p)
+	}
+}
+
+// trimGhost keeps the ghost lists within capacity.
+func (a *ARC) trimGhost() {
+	if a.c == 0 {
+		return
+	}
+	for a.b1.Len() > a.c {
+		back := a.b1.Back()
+		a.drop(back.Value.(trace.PageID))
+	}
+	for a.b2.Len() > a.c {
+		back := a.b2.Back()
+		a.drop(back.Value.(trace.PageID))
+	}
+}
+
+// OnHit promotes the page to the frequency list.
+func (a *ARC) OnHit(step int, r trace.Request) {
+	if e, ok := a.where[r.Page]; ok && (e.list == a.t1 || e.list == a.t2) {
+		a.moveTo(r.Page, a.t2)
+	}
+}
+
+// OnInsert places the page, adapting p on ghost hits.
+func (a *ARC) OnInsert(step int, r trace.Request) {
+	e, ok := a.where[r.Page]
+	switch {
+	case ok && e.list == a.b1:
+		// Ghost hit in the recency history: grow the recency target.
+		delta := 1.0
+		if a.b1.Len() > 0 {
+			delta = max(1, float64(a.b2.Len())/float64(a.b1.Len()))
+		}
+		a.p = min(float64(a.c), a.p+delta)
+		a.moveTo(r.Page, a.t2)
+	case ok && e.list == a.b2:
+		// Ghost hit in the frequency history: shrink the recency target.
+		delta := 1.0
+		if a.b2.Len() > 0 {
+			delta = max(1, float64(a.b1.Len())/float64(a.b2.Len()))
+		}
+		a.p = max(0, a.p-delta)
+		a.moveTo(r.Page, a.t2)
+	default:
+		a.moveTo(r.Page, a.t1)
+	}
+	a.trimGhost()
+}
+
+// Victim implements the ARC REPLACE routine: evict from T1 when it exceeds
+// the target p (or on a B2 ghost hit at the boundary), else from T2.
+// Evicted pages move into the matching ghost list.
+func (a *ARC) Victim(step int, r trace.Request) trace.PageID {
+	resident := a.t1.Len() + a.t2.Len()
+	if resident > a.c {
+		a.c = resident // learn the engine's capacity
+	}
+	inB2 := false
+	if e, ok := a.where[r.Page]; ok && e.list == a.b2 {
+		inB2 = true
+	}
+	useT1 := a.t1.Len() > 0 &&
+		(float64(a.t1.Len()) > a.p || (inB2 && float64(a.t1.Len()) == a.p))
+	if !useT1 && a.t2.Len() == 0 {
+		useT1 = true
+	}
+	if useT1 {
+		return a.t1.Back().Value.(trace.PageID)
+	}
+	return a.t2.Back().Value.(trace.PageID)
+}
+
+// OnEvict moves the page into the matching ghost list.
+func (a *ARC) OnEvict(step int, p trace.PageID) {
+	e, ok := a.where[p]
+	if !ok {
+		return
+	}
+	if e.list == a.t1 {
+		a.moveTo(p, a.b1)
+	} else if e.list == a.t2 {
+		a.moveTo(p, a.b2)
+	}
+	a.trimGhost()
+}

@@ -1,0 +1,96 @@
+package policy
+
+import (
+	"math/rand"
+	"testing"
+
+	"convexcache/internal/sim"
+	"convexcache/internal/trace"
+)
+
+func TestARCBasicCaching(t *testing.T) {
+	// Fits-in-cache workload: only cold misses.
+	tr := seq(t, 1, 2, 3, 1, 2, 3, 1, 2, 3)
+	res := run(t, tr, NewARC(), 4)
+	if res.TotalMisses() != 3 {
+		t.Errorf("misses = %d, want 3 (cold only)", res.TotalMisses())
+	}
+}
+
+func TestARCScanResistance(t *testing.T) {
+	// A hot set re-referenced between long single-use scans: ARC must keep
+	// the hot set better than LRU does.
+	b := trace.NewBuilder()
+	scanPage := 1000
+	for round := 0; round < 60; round++ {
+		for h := 0; h < 4; h++ { // hot set (twice to build frequency)
+			b.Add(0, trace.PageID(h))
+		}
+		for s := 0; s < 8; s++ { // single-use scan pages
+			scanPage++
+			b.Add(0, trace.PageID(scanPage))
+		}
+	}
+	tr := b.MustBuild()
+	k := 8
+	arc := run(t, tr, NewARC(), k)
+	lru := run(t, tr, NewLRU(), k)
+	if arc.TotalMisses() >= lru.TotalMisses() {
+		t.Errorf("ARC misses %d not below LRU %d on scan-polluted workload",
+			arc.TotalMisses(), lru.TotalMisses())
+	}
+}
+
+func TestARCNeverBelowBelady(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 10; trial++ {
+		b := trace.NewBuilder()
+		for i := 0; i < 400; i++ {
+			b.Add(0, trace.PageID(rng.Intn(14)))
+		}
+		tr := b.MustBuild()
+		k := 3 + rng.Intn(4)
+		minMisses := run(t, tr, NewBelady(), k).TotalMisses()
+		got := run(t, tr, NewARC(), k).TotalMisses()
+		if got < minMisses {
+			t.Errorf("trial %d: ARC misses %d below MIN %d", trial, got, minMisses)
+		}
+	}
+}
+
+func TestARCResetReproducible(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	b := trace.NewBuilder()
+	for i := 0; i < 500; i++ {
+		tn := rng.Intn(2)
+		b.Add(trace.Tenant(tn), trace.PageID(tn*100+rng.Intn(12)))
+	}
+	tr := b.MustBuild()
+	a := NewARC()
+	first := run(t, tr, a, 5)
+	a.Reset()
+	second := run(t, tr, a, 5)
+	if first.TotalMisses() != second.TotalMisses() {
+		t.Errorf("not reproducible: %d vs %d", first.TotalMisses(), second.TotalMisses())
+	}
+}
+
+func TestARCGhostListsBounded(t *testing.T) {
+	// Long single-use stream: ghost lists must not grow without bound.
+	a := NewARC()
+	b := trace.NewBuilder()
+	for i := 0; i < 5000; i++ {
+		b.Add(0, trace.PageID(i))
+	}
+	tr := b.MustBuild()
+	if _, err := sim.Run(tr, a, sim.Config{K: 16}); err != nil {
+		t.Fatal(err)
+	}
+	if a.b1.Len() > 16 || a.b2.Len() > 16 {
+		t.Errorf("ghost lists grew beyond capacity: b1=%d b2=%d", a.b1.Len(), a.b2.Len())
+	}
+	// Total tracked entries bounded by residents + ghosts.
+	if len(a.where) > 16*3 {
+		t.Errorf("tracked entries %d unbounded", len(a.where))
+	}
+}

@@ -1,0 +1,142 @@
+package policy
+
+import (
+	"convexcache/internal/trace"
+
+	"convexcache/internal/costfn"
+)
+
+// Belady is the offline MIN algorithm (Belady 1966): evict the resident
+// page whose next request is farthest in the future (never-again pages
+// first). It is optimal for the classical single-tenant unit-cost problem
+// and a strong heuristic comparator for the convex-cost problem.
+type Belady struct {
+	ix *trace.Indexed
+	// nextPtr[p] indexes into ix.RequestTimes[p]: the first entry not yet
+	// in the past.
+	nextPtr  map[trace.PageID]int
+	resident map[trace.PageID]bool
+}
+
+// NewBelady returns the offline MIN policy; the engine will call Prepare.
+func NewBelady() *Belady {
+	return &Belady{nextPtr: make(map[trace.PageID]int), resident: make(map[trace.PageID]bool)}
+}
+
+// Name implements sim.Policy.
+func (b *Belady) Name() string { return "belady" }
+
+// Prepare implements sim.OfflinePolicy.
+func (b *Belady) Prepare(ix *trace.Indexed) { b.ix = ix }
+
+// nextUse returns the step of the first request of p strictly after step,
+// or a sentinel past the trace end when p is never requested again.
+func (b *Belady) nextUse(p trace.PageID, step int) int {
+	times := b.ix.RequestTimes[p]
+	i := b.nextPtr[p]
+	for i < len(times) && times[i] <= step {
+		i++
+	}
+	b.nextPtr[p] = i
+	if i == len(times) {
+		return b.ix.Len() + 1
+	}
+	return times[i]
+}
+
+// OnHit is a no-op; future knowledge is in the prepared index.
+func (b *Belady) OnHit(step int, r trace.Request) {}
+
+// OnInsert marks the page resident.
+func (b *Belady) OnInsert(step int, r trace.Request) { b.resident[r.Page] = true }
+
+// Victim returns the resident page with the farthest next use.
+func (b *Belady) Victim(step int, r trace.Request) trace.PageID {
+	var best trace.PageID
+	bestNext := -1
+	for p := range b.resident {
+		next := b.nextUse(p, step)
+		if next > bestNext || (next == bestNext && p < best) {
+			best, bestNext = p, next
+		}
+	}
+	return best
+}
+
+// OnEvict removes the page.
+func (b *Belady) OnEvict(step int, p trace.PageID) { delete(b.resident, p) }
+
+// Reset implements sim.Policy.
+func (b *Belady) Reset() {
+	b.nextPtr = make(map[trace.PageID]int)
+	b.resident = make(map[trace.PageID]bool)
+}
+
+// CostAwareBelady is the convex-cost variant of MIN used as an offline
+// heuristic comparator: among resident pages it evicts the one minimizing
+// marginalCost(owner) / nextUseDistance, i.e. it prefers victims that are
+// cheap to miss again and not needed soon. With linear unit costs it
+// coincides with Belady on ties-free inputs.
+type CostAwareBelady struct {
+	Belady
+	fs     []costfn.Func
+	misses map[trace.Tenant]float64
+	owner  map[trace.PageID]trace.Tenant
+}
+
+// NewCostAwareBelady builds the heuristic with the tenants' cost functions.
+func NewCostAwareBelady(fs []costfn.Func) *CostAwareBelady {
+	return &CostAwareBelady{
+		Belady: *NewBelady(),
+		fs:     fs,
+		misses: make(map[trace.Tenant]float64),
+		owner:  make(map[trace.PageID]trace.Tenant),
+	}
+}
+
+// Name implements sim.Policy.
+func (c *CostAwareBelady) Name() string { return "belady-cost" }
+
+// OnInsert tracks residency, ownership and the miss count driving the
+// marginal cost.
+func (c *CostAwareBelady) OnInsert(step int, r trace.Request) {
+	c.Belady.OnInsert(step, r)
+	c.owner[r.Page] = r.Tenant
+	c.misses[r.Tenant]++
+}
+
+func (c *CostAwareBelady) marginal(t trace.Tenant) float64 {
+	if int(t) >= len(c.fs) {
+		return 0 // dummy tenants are free to miss
+	}
+	return costfn.DiscreteDeriv(c.fs[t], c.misses[t])
+}
+
+// Victim minimizes marginal-miss-cost divided by distance to next use.
+func (c *CostAwareBelady) Victim(step int, r trace.Request) trace.PageID {
+	var best trace.PageID
+	bestScore := 0.0
+	found := false
+	for p := range c.resident {
+		next := c.nextUse(p, step)
+		dist := float64(next - step)
+		score := c.marginal(c.owner[p]) / dist
+		if !found || score < bestScore || (score == bestScore && p < best) {
+			best, bestScore, found = p, score, true
+		}
+	}
+	return best
+}
+
+// OnEvict removes the page.
+func (c *CostAwareBelady) OnEvict(step int, p trace.PageID) {
+	c.Belady.OnEvict(step, p)
+	delete(c.owner, p)
+}
+
+// Reset implements sim.Policy.
+func (c *CostAwareBelady) Reset() {
+	c.Belady.Reset()
+	c.misses = make(map[trace.Tenant]float64)
+	c.owner = make(map[trace.PageID]trace.Tenant)
+}

@@ -1,0 +1,97 @@
+package policy
+
+import (
+	"container/list"
+
+	"convexcache/internal/trace"
+)
+
+// Clock is the second-chance algorithm: pages sit on a circular list with a
+// reference bit; the hand clears bits until it finds an unreferenced page.
+// It is the classical low-overhead LRU approximation used by most operating
+// systems.
+type Clock struct {
+	ring *list.List // circular order, oldest insertion first
+	elem map[trace.PageID]*list.Element
+	bit  map[trace.PageID]bool
+	hand *list.Element
+}
+
+// NewClock returns an empty CLOCK policy.
+func NewClock() *Clock {
+	c := &Clock{}
+	c.Reset()
+	return c
+}
+
+// Name implements sim.Policy.
+func (c *Clock) Name() string { return "clock" }
+
+// Reset implements sim.Policy.
+func (c *Clock) Reset() {
+	c.ring = list.New()
+	c.elem = make(map[trace.PageID]*list.Element)
+	c.bit = make(map[trace.PageID]bool)
+	c.hand = nil
+}
+
+// next advances circularly.
+func (c *Clock) next(e *list.Element) *list.Element {
+	if n := e.Next(); n != nil {
+		return n
+	}
+	return c.ring.Front()
+}
+
+// OnHit sets the reference bit.
+func (c *Clock) OnHit(step int, r trace.Request) {
+	if _, ok := c.elem[r.Page]; ok {
+		c.bit[r.Page] = true
+	}
+}
+
+// OnInsert adds the page just before the hand (the position most recently
+// swept), with its reference bit set.
+func (c *Clock) OnInsert(step int, r trace.Request) {
+	var e *list.Element
+	if c.hand == nil {
+		e = c.ring.PushBack(r.Page)
+		c.hand = e
+	} else {
+		e = c.ring.InsertBefore(r.Page, c.hand)
+	}
+	c.elem[r.Page] = e
+	c.bit[r.Page] = true
+}
+
+// Victim sweeps the hand, clearing bits, until an unreferenced page is
+// found. The hand stays on the victim; OnEvict advances it.
+func (c *Clock) Victim(step int, r trace.Request) trace.PageID {
+	for {
+		p := c.hand.Value.(trace.PageID)
+		if c.bit[p] {
+			c.bit[p] = false
+			c.hand = c.next(c.hand)
+			continue
+		}
+		return p
+	}
+}
+
+// OnEvict removes the page, advancing the hand off it first when needed.
+func (c *Clock) OnEvict(step int, p trace.PageID) {
+	e, ok := c.elem[p]
+	if !ok {
+		return
+	}
+	if c.hand == e {
+		if c.ring.Len() == 1 {
+			c.hand = nil
+		} else {
+			c.hand = c.next(e)
+		}
+	}
+	c.ring.Remove(e)
+	delete(c.elem, p)
+	delete(c.bit, p)
+}

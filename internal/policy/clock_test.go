@@ -1,0 +1,103 @@
+package policy
+
+import (
+	"math/rand"
+	"testing"
+
+	"convexcache/internal/sim"
+	"convexcache/internal/trace"
+)
+
+func TestClockSecondChance(t *testing.T) {
+	// k=3: fill 1,2,3; hit 2; request 4 sweeps and clears all bits,
+	// evicting the first swept page. Then hit 2 again (bit set), and
+	// request 5 must give 2 its second chance and evict 3 (bit cleared by
+	// the earlier sweep, not referenced since).
+	tr := seq(t, 1, 2, 3, 2, 4, 2, 5)
+	var evictions []trace.PageID
+	_, err := sim.Run(tr, NewClock(), sim.Config{K: 3, Observer: func(ev sim.Event) {
+		if ev.Evicted >= 0 {
+			evictions = append(evictions, ev.Evicted)
+		}
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evictions) != 2 {
+		t.Fatalf("evictions = %v", evictions)
+	}
+	if evictions[1] == 2 {
+		t.Errorf("second eviction took the re-referenced page 2 (evictions %v)", evictions)
+	}
+	if evictions[1] != 3 {
+		t.Errorf("second eviction = %d, want the unreferenced page 3", evictions[1])
+	}
+}
+
+func TestClockMatchesLRUMissCountApproximately(t *testing.T) {
+	// CLOCK approximates LRU: on random traces their miss counts must stay
+	// within 20% of each other.
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 8; trial++ {
+		b := trace.NewBuilder()
+		for i := 0; i < 600; i++ {
+			b.Add(0, trace.PageID(rng.Intn(20)))
+		}
+		tr := b.MustBuild()
+		k := 4 + rng.Intn(5)
+		clock := run(t, tr, NewClock(), k).TotalMisses()
+		lru := run(t, tr, NewLRU(), k).TotalMisses()
+		if float64(clock) > 1.2*float64(lru) || float64(clock) < 0.8*float64(lru) {
+			t.Errorf("trial %d k=%d: clock %d vs lru %d diverge", trial, k, clock, lru)
+		}
+	}
+}
+
+func TestClockNeverBelowBelady(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 8; trial++ {
+		b := trace.NewBuilder()
+		for i := 0; i < 300; i++ {
+			b.Add(0, trace.PageID(rng.Intn(12)))
+		}
+		tr := b.MustBuild()
+		k := 3 + rng.Intn(3)
+		minMisses := run(t, tr, NewBelady(), k).TotalMisses()
+		if got := run(t, tr, NewClock(), k).TotalMisses(); got < minMisses {
+			t.Errorf("trial %d: clock %d below MIN %d", trial, got, minMisses)
+		}
+	}
+}
+
+func TestClockSingleFrame(t *testing.T) {
+	tr := seq(t, 1, 2, 1, 2)
+	res := run(t, tr, NewClock(), 1)
+	if res.TotalMisses() != 4 {
+		t.Errorf("misses = %d, want 4 (thrash at k=1)", res.TotalMisses())
+	}
+}
+
+func TestClockResetReproducible(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	b := trace.NewBuilder()
+	for i := 0; i < 400; i++ {
+		b.Add(0, trace.PageID(rng.Intn(15)))
+	}
+	tr := b.MustBuild()
+	c := NewClock()
+	first := run(t, tr, c, 5)
+	c.Reset()
+	second := run(t, tr, c, 5)
+	if first.TotalMisses() != second.TotalMisses() {
+		t.Errorf("not reproducible")
+	}
+	// And usable through the engine with multi-tenant traces.
+	b2 := trace.NewBuilder()
+	for i := 0; i < 200; i++ {
+		tn := rng.Intn(2)
+		b2.Add(trace.Tenant(tn), trace.PageID(tn*50+rng.Intn(9)))
+	}
+	if _, err := sim.Run(b2.MustBuild(), NewClock(), sim.Config{K: 4}); err != nil {
+		t.Fatal(err)
+	}
+}

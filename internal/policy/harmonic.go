@@ -1,0 +1,96 @@
+package policy
+
+import (
+	"math/rand"
+
+	"convexcache/internal/costfn"
+	"convexcache/internal/trace"
+)
+
+// Harmonic is the classical memoryless randomized algorithm for weighted
+// caching (Raghavan & Snir): on eviction, a resident page is chosen with
+// probability inversely proportional to its weight. With convex tenant
+// costs the weight is the owner's current marginal miss cost, making this
+// the natural randomized-memoryless counterpart of the paper's budget rule.
+type Harmonic struct {
+	seed int64
+	rng  *rand.Rand
+	fs   []costfn.Func
+
+	pages  []trace.PageID
+	pos    map[trace.PageID]int
+	owner  map[trace.PageID]trace.Tenant
+	misses map[trace.Tenant]float64
+}
+
+// NewHarmonic builds the policy with the tenants' cost functions (nil
+// entries default to unit weight).
+func NewHarmonic(seed int64, fs []costfn.Func) *Harmonic {
+	h := &Harmonic{seed: seed, fs: fs}
+	h.Reset()
+	return h
+}
+
+// Name implements sim.Policy.
+func (h *Harmonic) Name() string { return "harmonic" }
+
+// Reset implements sim.Policy.
+func (h *Harmonic) Reset() {
+	h.rng = rand.New(rand.NewSource(h.seed))
+	h.pages = nil
+	h.pos = make(map[trace.PageID]int)
+	h.owner = make(map[trace.PageID]trace.Tenant)
+	h.misses = make(map[trace.Tenant]float64)
+}
+
+// OnHit is a no-op (memoryless).
+func (h *Harmonic) OnHit(step int, r trace.Request) {}
+
+// OnInsert tracks the resident page and the owner's miss count.
+func (h *Harmonic) OnInsert(step int, r trace.Request) {
+	h.pos[r.Page] = len(h.pages)
+	h.pages = append(h.pages, r.Page)
+	h.owner[r.Page] = r.Tenant
+	h.misses[r.Tenant]++
+}
+
+func (h *Harmonic) weight(t trace.Tenant) float64 {
+	if int(t) >= len(h.fs) || h.fs[t] == nil {
+		return 1
+	}
+	w := costfn.DiscreteDeriv(h.fs[t], h.misses[t])
+	if w <= 0 {
+		w = 1e-9
+	}
+	return w
+}
+
+// Victim samples a resident page with probability proportional to 1/weight.
+func (h *Harmonic) Victim(step int, r trace.Request) trace.PageID {
+	total := 0.0
+	for _, p := range h.pages {
+		total += 1 / h.weight(h.owner[p])
+	}
+	u := h.rng.Float64() * total
+	for _, p := range h.pages {
+		u -= 1 / h.weight(h.owner[p])
+		if u <= 0 {
+			return p
+		}
+	}
+	return h.pages[len(h.pages)-1]
+}
+
+// OnEvict removes the page with a swap-delete.
+func (h *Harmonic) OnEvict(step int, p trace.PageID) {
+	i, ok := h.pos[p]
+	if !ok {
+		return
+	}
+	last := len(h.pages) - 1
+	h.pages[i] = h.pages[last]
+	h.pos[h.pages[i]] = i
+	h.pages = h.pages[:last]
+	delete(h.pos, p)
+	delete(h.owner, p)
+}

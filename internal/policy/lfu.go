@@ -1,0 +1,93 @@
+package policy
+
+import (
+	"container/heap"
+
+	"convexcache/internal/trace"
+)
+
+// LFU evicts the page with the fewest accesses since insertion, breaking
+// ties by least recent use. Frequencies are reset on eviction (no history
+// across residencies).
+type LFU struct {
+	h     lfuHeap
+	items map[trace.PageID]*lfuItem
+}
+
+type lfuItem struct {
+	page     trace.PageID
+	count    int64
+	lastUsed int // step of last access, tie-break
+	index    int // heap index
+}
+
+type lfuHeap []*lfuItem
+
+func (h lfuHeap) Len() int { return len(h) }
+func (h lfuHeap) Less(i, j int) bool {
+	if h[i].count != h[j].count {
+		return h[i].count < h[j].count
+	}
+	return h[i].lastUsed < h[j].lastUsed
+}
+func (h lfuHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *lfuHeap) Push(x any) {
+	it := x.(*lfuItem)
+	it.index = len(*h)
+	*h = append(*h, it)
+}
+func (h *lfuHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return it
+}
+
+// NewLFU returns an empty LFU policy.
+func NewLFU() *LFU {
+	return &LFU{items: make(map[trace.PageID]*lfuItem)}
+}
+
+// Name implements sim.Policy.
+func (l *LFU) Name() string { return "lfu" }
+
+// OnHit increments the page's frequency.
+func (l *LFU) OnHit(step int, r trace.Request) {
+	if it, ok := l.items[r.Page]; ok {
+		it.count++
+		it.lastUsed = step
+		heap.Fix(&l.h, it.index)
+	}
+}
+
+// OnInsert starts the page at frequency 1.
+func (l *LFU) OnInsert(step int, r trace.Request) {
+	it := &lfuItem{page: r.Page, count: 1, lastUsed: step}
+	l.items[r.Page] = it
+	heap.Push(&l.h, it)
+}
+
+// Victim returns the least-frequently-used page.
+func (l *LFU) Victim(step int, r trace.Request) trace.PageID {
+	return l.h[0].page
+}
+
+// OnEvict removes the page and forgets its frequency.
+func (l *LFU) OnEvict(step int, p trace.PageID) {
+	if it, ok := l.items[p]; ok {
+		heap.Remove(&l.h, it.index)
+		delete(l.items, p)
+	}
+}
+
+// Reset implements sim.Policy.
+func (l *LFU) Reset() {
+	l.h = nil
+	l.items = make(map[trace.PageID]*lfuItem)
+}

@@ -1,0 +1,120 @@
+package policy
+
+import (
+	"convexcache/internal/costfn"
+	"convexcache/internal/trace"
+)
+
+// Lookahead interpolates between online and offline: it sees only the next
+// L future requests. Within the window it behaves like the cost-aware
+// Belady heuristic (evict the page minimizing marginal-miss-cost divided by
+// distance to next use); pages not referenced within the window count as
+// infinitely far. L = 0 degenerates to cost-oblivious... nothing (no
+// information): ties resolve to the lowest-marginal tenant's page. As L
+// grows past the trace length it coincides with CostAwareBelady. Used by
+// experiment E18 to price the value of future information.
+type Lookahead struct {
+	l  int
+	fs []costfn.Func
+
+	ix       *trace.Indexed
+	nextPtr  map[trace.PageID]int
+	resident map[trace.PageID]bool
+	owner    map[trace.PageID]trace.Tenant
+	misses   map[trace.Tenant]float64
+}
+
+// NewLookahead builds the policy with window L >= 0 and the tenants' cost
+// functions.
+func NewLookahead(l int, fs []costfn.Func) *Lookahead {
+	p := &Lookahead{l: l, fs: fs}
+	p.Reset()
+	return p
+}
+
+// Name implements sim.Policy.
+func (p *Lookahead) Name() string { return "lookahead" }
+
+// Reset implements sim.Policy.
+func (p *Lookahead) Reset() {
+	p.nextPtr = make(map[trace.PageID]int)
+	p.resident = make(map[trace.PageID]bool)
+	p.owner = make(map[trace.PageID]trace.Tenant)
+	p.misses = make(map[trace.Tenant]float64)
+}
+
+// Prepare implements sim.OfflinePolicy (the engine supplies the future; the
+// policy truncates it to the window).
+func (p *Lookahead) Prepare(ix *trace.Indexed) { p.ix = ix }
+
+// OnHit is a no-op.
+func (p *Lookahead) OnHit(step int, r trace.Request) {}
+
+// OnInsert tracks residency, ownership and misses.
+func (p *Lookahead) OnInsert(step int, r trace.Request) {
+	p.resident[r.Page] = true
+	p.owner[r.Page] = r.Tenant
+	p.misses[r.Tenant]++
+}
+
+// nextUseWithin returns the distance (in steps) to q's next request if it
+// falls within the lookahead window, else -1.
+func (p *Lookahead) nextUseWithin(q trace.PageID, step int) int {
+	times := p.ix.RequestTimes[q]
+	i := p.nextPtr[q]
+	for i < len(times) && times[i] <= step {
+		i++
+	}
+	p.nextPtr[q] = i
+	if i == len(times) {
+		return -1
+	}
+	dist := times[i] - step
+	if dist > p.l {
+		return -1
+	}
+	return dist
+}
+
+func (p *Lookahead) marginal(t trace.Tenant) float64 {
+	if int(t) >= len(p.fs) || p.fs[t] == nil {
+		return 1
+	}
+	return costfn.DiscreteDeriv(p.fs[t], p.misses[t])
+}
+
+// Victim evicts, among pages unseen in the window, the one whose owner has
+// the smallest marginal cost; if every resident page is referenced within
+// the window, it minimizes marginal/distance.
+func (p *Lookahead) Victim(step int, r trace.Request) trace.PageID {
+	var bestOut trace.PageID
+	bestOutScore := 0.0
+	foundOut := false
+	var bestIn trace.PageID
+	bestInScore := 0.0
+	foundIn := false
+	for q := range p.resident {
+		dist := p.nextUseWithin(q, step)
+		m := p.marginal(p.owner[q])
+		if dist < 0 {
+			if !foundOut || m < bestOutScore || (m == bestOutScore && q < bestOut) {
+				bestOut, bestOutScore, foundOut = q, m, true
+			}
+			continue
+		}
+		score := m / float64(dist)
+		if !foundIn || score < bestInScore || (score == bestInScore && q < bestIn) {
+			bestIn, bestInScore, foundIn = q, score, true
+		}
+	}
+	if foundOut {
+		return bestOut
+	}
+	return bestIn
+}
+
+// OnEvict removes the page.
+func (p *Lookahead) OnEvict(step int, q trace.PageID) {
+	delete(p.resident, q)
+	delete(p.owner, q)
+}

@@ -1,0 +1,101 @@
+package policy
+
+import (
+	"math/rand"
+	"testing"
+
+	"convexcache/internal/costfn"
+	"convexcache/internal/sim"
+	"convexcache/internal/trace"
+)
+
+func unitCosts(n int) []costfn.Func {
+	out := make([]costfn.Func, n)
+	for i := range out {
+		out[i] = costfn.Linear{W: 1}
+	}
+	return out
+}
+
+func TestLookaheadZeroWindowStillServes(t *testing.T) {
+	tr := seq(t, 1, 2, 3, 1, 2, 3)
+	res := run(t, tr, NewLookahead(0, unitCosts(1)), 2)
+	if res.TotalMisses() < 4 || res.TotalMisses() > int64(tr.Len()) {
+		t.Errorf("misses = %d out of range", res.TotalMisses())
+	}
+}
+
+func TestLookaheadHugeWindowMatchesCostAwareBelady(t *testing.T) {
+	costs := []costfn.Func{costfn.Monomial{C: 1, Beta: 2}, costfn.Linear{W: 1}}
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 6; trial++ {
+		b := trace.NewBuilder()
+		for i := 0; i < 300; i++ {
+			tn := rng.Intn(2)
+			b.Add(trace.Tenant(tn), trace.PageID(tn*100+rng.Intn(8)))
+		}
+		tr := b.MustBuild()
+		k := 4
+		la := run(t, tr, NewLookahead(tr.Len()+1, costs), k)
+		cab := run(t, tr, NewCostAwareBelady(costs), k)
+		// The two full-information heuristics rank never-requested-again
+		// pages slightly differently (pure marginal vs marginal over
+		// distance-to-end); costs must agree within 1%.
+		ratio := la.Cost(costs) / cab.Cost(costs)
+		if ratio < 0.99 || ratio > 1.01 {
+			t.Errorf("trial %d: lookahead(inf) cost %g vs belady-cost %g (ratio %g)",
+				trial, la.Cost(costs), cab.Cost(costs), ratio)
+		}
+	}
+}
+
+func TestLookaheadMonotoneInWindow(t *testing.T) {
+	// More future information should not make the heuristic much worse:
+	// across windows, cost at L=trace length must be the minimum of the
+	// sampled windows (allowing heuristic noise at intermediate L).
+	costs := []costfn.Func{costfn.Monomial{C: 1, Beta: 2}, costfn.Linear{W: 0.5}}
+	rng := rand.New(rand.NewSource(4))
+	b := trace.NewBuilder()
+	for i := 0; i < 800; i++ {
+		tn := rng.Intn(2)
+		b.Add(trace.Tenant(tn), trace.PageID(tn*100+rng.Intn(12)))
+	}
+	tr := b.MustBuild()
+	k := 6
+	costAt := func(l int) float64 {
+		return run(t, tr, NewLookahead(l, costs), k).Cost(costs)
+	}
+	full := costAt(tr.Len() + 1)
+	for _, l := range []int{0, 4, 16, 64} {
+		// The window policy is a heuristic, not an optimum, so a longer
+		// window can very occasionally cost a hair more; allow 1% slack
+		// while catching real inversions.
+		if c := costAt(l); c < full*0.99 {
+			t.Errorf("window %d cost %g well below full-information cost %g", l, c, full)
+		}
+	}
+	// Informativeness: zero lookahead must be strictly worse than full.
+	if costAt(0) <= full {
+		t.Errorf("zero lookahead cost %g not above full-information %g", costAt(0), full)
+	}
+}
+
+func TestLookaheadPrefersOutOfWindowVictims(t *testing.T) {
+	// k=2: page 1 requested again soon, page 2 never again. With L=3 the
+	// victim must be page 2.
+	costs := unitCosts(1)
+	tr := seq(t, 1, 2, 3, 1)
+	var evicted trace.PageID = -1
+	la := NewLookahead(3, costs)
+	_, err := sim.Run(tr, la, sim.Config{K: 2, Observer: func(ev sim.Event) {
+		if ev.Evicted >= 0 {
+			evicted = ev.Evicted
+		}
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evicted != 2 {
+		t.Errorf("evicted %d, want 2", evicted)
+	}
+}

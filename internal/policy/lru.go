@@ -1,0 +1,99 @@
+// Package policy implements the classical eviction baselines the paper
+// positions itself against (Section 1.1 and 1.3): LRU, FIFO, LFU, Random,
+// Marking, LRU-K (O'Neil et al. 1993), Young's weighted-caching greedy-dual
+// rule, static partitioning, and Belady's offline MIN. All satisfy
+// sim.Policy; Belady additionally satisfies sim.OfflinePolicy.
+package policy
+
+import (
+	"container/list"
+
+	"convexcache/internal/trace"
+)
+
+// LRU evicts the least-recently-used page; Sleator & Tarjan (1985) proved it
+// k-competitive for the classical (single user, unit cost) problem.
+type LRU struct {
+	order *list.List // front = most recent
+	elem  map[trace.PageID]*list.Element
+}
+
+// NewLRU returns an empty LRU policy.
+func NewLRU() *LRU {
+	return &LRU{order: list.New(), elem: make(map[trace.PageID]*list.Element)}
+}
+
+// Name implements sim.Policy.
+func (l *LRU) Name() string { return "lru" }
+
+// OnHit moves the page to the most-recent position.
+func (l *LRU) OnHit(step int, r trace.Request) {
+	if e, ok := l.elem[r.Page]; ok {
+		l.order.MoveToFront(e)
+	}
+}
+
+// OnInsert records the page as most recent.
+func (l *LRU) OnInsert(step int, r trace.Request) {
+	l.elem[r.Page] = l.order.PushFront(r.Page)
+}
+
+// Victim returns the least recently used page.
+func (l *LRU) Victim(step int, r trace.Request) trace.PageID {
+	return l.order.Back().Value.(trace.PageID)
+}
+
+// OnEvict removes the page from the recency list.
+func (l *LRU) OnEvict(step int, p trace.PageID) {
+	if e, ok := l.elem[p]; ok {
+		l.order.Remove(e)
+		delete(l.elem, p)
+	}
+}
+
+// Reset implements sim.Policy.
+func (l *LRU) Reset() {
+	l.order.Init()
+	l.elem = make(map[trace.PageID]*list.Element)
+}
+
+// FIFO evicts the page resident longest, ignoring hits.
+type FIFO struct {
+	order *list.List // front = oldest
+	elem  map[trace.PageID]*list.Element
+}
+
+// NewFIFO returns an empty FIFO policy.
+func NewFIFO() *FIFO {
+	return &FIFO{order: list.New(), elem: make(map[trace.PageID]*list.Element)}
+}
+
+// Name implements sim.Policy.
+func (f *FIFO) Name() string { return "fifo" }
+
+// OnHit is a no-op: FIFO ignores recency.
+func (f *FIFO) OnHit(step int, r trace.Request) {}
+
+// OnInsert appends the page to the queue.
+func (f *FIFO) OnInsert(step int, r trace.Request) {
+	f.elem[r.Page] = f.order.PushBack(r.Page)
+}
+
+// Victim returns the oldest resident page.
+func (f *FIFO) Victim(step int, r trace.Request) trace.PageID {
+	return f.order.Front().Value.(trace.PageID)
+}
+
+// OnEvict removes the page from the queue.
+func (f *FIFO) OnEvict(step int, p trace.PageID) {
+	if e, ok := f.elem[p]; ok {
+		f.order.Remove(e)
+		delete(f.elem, p)
+	}
+}
+
+// Reset implements sim.Policy.
+func (f *FIFO) Reset() {
+	f.order.Init()
+	f.elem = make(map[trace.PageID]*list.Element)
+}

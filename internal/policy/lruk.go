@@ -1,0 +1,84 @@
+package policy
+
+import (
+	"convexcache/internal/trace"
+)
+
+// LRUK is the LRU-K algorithm of O'Neil, O'Neil & Weikum (SIGMOD 1993): the
+// victim is the page whose K-th most recent reference is oldest. Pages with
+// fewer than K references are preferred victims (their backward K-distance
+// is infinite), ordered among themselves by least recent use.
+type LRUK struct {
+	k    int
+	hist map[trace.PageID][]int // most recent first, capped at k entries
+}
+
+// NewLRUK returns an LRU-K policy; k must be >= 1 (k=1 degenerates to LRU).
+func NewLRUK(k int) *LRUK {
+	if k < 1 {
+		k = 1
+	}
+	return &LRUK{k: k, hist: make(map[trace.PageID][]int)}
+}
+
+// Name implements sim.Policy.
+func (l *LRUK) Name() string {
+	switch l.k {
+	case 2:
+		return "lru-2"
+	default:
+		return "lru-k"
+	}
+}
+
+func (l *LRUK) touch(step int, p trace.PageID) {
+	h := l.hist[p]
+	// Prepend, keep at most k timestamps.
+	h = append(h, 0)
+	copy(h[1:], h)
+	h[0] = step
+	if len(h) > l.k {
+		h = h[:l.k]
+	}
+	l.hist[p] = h
+}
+
+// OnHit records the reference.
+func (l *LRUK) OnHit(step int, r trace.Request) { l.touch(step, r.Page) }
+
+// OnInsert starts the page's reference history.
+func (l *LRUK) OnInsert(step int, r trace.Request) { l.touch(step, r.Page) }
+
+// Victim returns the page with the oldest K-th most recent reference.
+func (l *LRUK) Victim(step int, r trace.Request) trace.PageID {
+	var best trace.PageID
+	bestKDist := -1 // K-th reference step; -1 means "infinite distance"
+	bestLast := 1 << 62
+	found := false
+	infFound := false
+	for p, h := range l.hist {
+		if len(h) < l.k {
+			// Infinite backward K-distance: preferred victim; among these
+			// evict the least recently used.
+			if !infFound || h[0] < bestLast {
+				best, bestLast, infFound, found = p, h[0], true, true
+			}
+			continue
+		}
+		if infFound {
+			continue
+		}
+		kth := h[l.k-1]
+		if !found || kth < bestKDist || (kth == bestKDist && h[0] < bestLast) {
+			best, bestKDist, bestLast, found = p, kth, h[0], true
+		}
+	}
+	return best
+}
+
+// OnEvict drops the page's history (no retained information policy
+// variant).
+func (l *LRUK) OnEvict(step int, p trace.PageID) { delete(l.hist, p) }
+
+// Reset implements sim.Policy.
+func (l *LRUK) Reset() { l.hist = make(map[trace.PageID][]int) }

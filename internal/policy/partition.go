@@ -1,0 +1,120 @@
+package policy
+
+import (
+	"container/list"
+
+	"convexcache/internal/trace"
+)
+
+// StaticPartition models the "static memory allocation" strawman of the
+// paper's introduction: each tenant gets a fixed page quota and runs LRU
+// within it. When a tenant exceeds its quota the victim comes from that
+// tenant's own pages; otherwise (cache globally full but the tenant under
+// quota) the most over-quota tenant surrenders its LRU page.
+type StaticPartition struct {
+	quotas []int
+	lists  map[trace.Tenant]*list.List // front = most recent
+	elem   map[trace.PageID]*list.Element
+	owner  map[trace.PageID]trace.Tenant
+}
+
+// NewStaticPartition builds the policy from per-tenant quotas. Tenants
+// beyond the slice get quota 0 (always surrender first).
+func NewStaticPartition(quotas []int) *StaticPartition {
+	return &StaticPartition{
+		quotas: append([]int(nil), quotas...),
+		lists:  make(map[trace.Tenant]*list.List),
+		elem:   make(map[trace.PageID]*list.Element),
+		owner:  make(map[trace.PageID]trace.Tenant),
+	}
+}
+
+// EvenQuotas splits k among n tenants as evenly as possible (first tenants
+// get the remainder).
+func EvenQuotas(k, n int) []int {
+	q := make([]int, n)
+	for i := range q {
+		q[i] = k / n
+		if i < k%n {
+			q[i]++
+		}
+	}
+	return q
+}
+
+// Name implements sim.Policy.
+func (s *StaticPartition) Name() string { return "static-partition" }
+
+func (s *StaticPartition) quota(t trace.Tenant) int {
+	if int(t) < len(s.quotas) {
+		return s.quotas[t]
+	}
+	return 0
+}
+
+func (s *StaticPartition) tenantList(t trace.Tenant) *list.List {
+	l, ok := s.lists[t]
+	if !ok {
+		l = list.New()
+		s.lists[t] = l
+	}
+	return l
+}
+
+// OnHit moves the page to the front of its tenant's list.
+func (s *StaticPartition) OnHit(step int, r trace.Request) {
+	if e, ok := s.elem[r.Page]; ok {
+		s.tenantList(r.Tenant).MoveToFront(e)
+	}
+}
+
+// OnInsert records the page in its tenant's list.
+func (s *StaticPartition) OnInsert(step int, r trace.Request) {
+	s.elem[r.Page] = s.tenantList(r.Tenant).PushFront(r.Page)
+	s.owner[r.Page] = r.Tenant
+}
+
+// Victim picks per the partition rule described on the type.
+func (s *StaticPartition) Victim(step int, r trace.Request) trace.PageID {
+	// If the requesting tenant is at or above quota, it pays with its own
+	// LRU page.
+	if l := s.tenantList(r.Tenant); l.Len() >= s.quota(r.Tenant) && l.Len() > 0 {
+		return l.Back().Value.(trace.PageID)
+	}
+	// Otherwise the most over-quota tenant surrenders its LRU page.
+	var best trace.Tenant
+	bestOver := -1 << 62
+	found := false
+	for t, l := range s.lists {
+		if l.Len() == 0 || t == r.Tenant {
+			continue
+		}
+		over := l.Len() - s.quota(t)
+		if over > bestOver {
+			best, bestOver, found = t, over, true
+		}
+	}
+	if !found {
+		// Only the requester holds pages; fall back to its own LRU.
+		return s.tenantList(r.Tenant).Back().Value.(trace.PageID)
+	}
+	return s.lists[best].Back().Value.(trace.PageID)
+}
+
+// OnEvict removes the page from its tenant's list.
+func (s *StaticPartition) OnEvict(step int, p trace.PageID) {
+	e, ok := s.elem[p]
+	if !ok {
+		return
+	}
+	s.lists[s.owner[p]].Remove(e)
+	delete(s.elem, p)
+	delete(s.owner, p)
+}
+
+// Reset implements sim.Policy.
+func (s *StaticPartition) Reset() {
+	s.lists = make(map[trace.Tenant]*list.List)
+	s.elem = make(map[trace.PageID]*list.Element)
+	s.owner = make(map[trace.PageID]trace.Tenant)
+}

@@ -1,0 +1,106 @@
+package policy
+
+import (
+	"math/rand"
+	"sort"
+
+	"convexcache/internal/trace"
+)
+
+// RandomMarking is the classical randomized marking algorithm (Fiat et al.),
+// the O(log k)-competitive randomized counterpart of the deterministic
+// baselines; the paper's related work ([3], Bansal-Buchbinder-Naor) builds
+// its randomized weighted-caching results on the same phase structure.
+// Pages are marked on access; the victim is a uniformly random unmarked
+// page; when all resident pages are marked a new phase begins.
+type RandomMarking struct {
+	seed   int64
+	rng    *rand.Rand
+	marked map[trace.PageID]bool
+	// unmarked holds the currently unmarked resident pages for O(1)
+	// uniform sampling.
+	unmarked []trace.PageID
+	pos      map[trace.PageID]int
+}
+
+// NewRandomMarking returns the policy with a deterministic seed.
+func NewRandomMarking(seed int64) *RandomMarking {
+	r := &RandomMarking{seed: seed}
+	r.Reset()
+	return r
+}
+
+// Name implements sim.Policy.
+func (r *RandomMarking) Name() string { return "random-marking" }
+
+// Reset implements sim.Policy.
+func (r *RandomMarking) Reset() {
+	r.rng = rand.New(rand.NewSource(r.seed))
+	r.marked = make(map[trace.PageID]bool)
+	r.unmarked = nil
+	r.pos = make(map[trace.PageID]int)
+}
+
+func (r *RandomMarking) mark(p trace.PageID) {
+	if r.marked[p] {
+		return
+	}
+	r.marked[p] = true
+	if i, ok := r.pos[p]; ok {
+		last := len(r.unmarked) - 1
+		r.unmarked[i] = r.unmarked[last]
+		r.pos[r.unmarked[i]] = i
+		r.unmarked = r.unmarked[:last]
+		delete(r.pos, p)
+	}
+}
+
+func (r *RandomMarking) unmark(p trace.PageID) {
+	r.marked[p] = false
+	r.pos[p] = len(r.unmarked)
+	r.unmarked = append(r.unmarked, p)
+}
+
+// OnHit marks the page.
+func (r *RandomMarking) OnHit(step int, req trace.Request) { r.mark(req.Page) }
+
+// OnInsert marks the freshly inserted page.
+func (r *RandomMarking) OnInsert(step int, req trace.Request) {
+	// Ensure the page is tracked, then mark it.
+	if _, ok := r.marked[req.Page]; !ok {
+		r.unmark(req.Page)
+	}
+	r.mark(req.Page)
+}
+
+// Victim picks a uniformly random unmarked page, starting a new phase if
+// necessary.
+func (r *RandomMarking) Victim(step int, req trace.Request) trace.PageID {
+	if len(r.unmarked) == 0 {
+		// Phase change: unmark everything resident, in sorted order so the
+		// seeded sampling is reproducible (map iteration order is not).
+		var pages []trace.PageID
+		for p, marked := range r.marked {
+			if marked {
+				pages = append(pages, p)
+			}
+		}
+		sort.Slice(pages, func(a, b int) bool { return pages[a] < pages[b] })
+		for _, p := range pages {
+			r.unmark(p)
+		}
+	}
+	return r.unmarked[r.rng.Intn(len(r.unmarked))]
+}
+
+// OnEvict forgets the page entirely.
+func (r *RandomMarking) OnEvict(step int, p trace.PageID) {
+	if i, ok := r.pos[p]; ok {
+		last := len(r.unmarked) - 1
+		r.unmarked[i] = r.unmarked[last]
+		r.pos[r.unmarked[i]] = i
+		r.unmarked = r.unmarked[:last]
+		delete(r.pos, p)
+	}
+	delete(r.marked, p)
+}

@@ -1,0 +1,119 @@
+package policy
+
+import (
+	"math/rand"
+
+	"convexcache/internal/trace"
+)
+
+// Random evicts a uniformly random resident page. Seeded for deterministic
+// experiments.
+type Random struct {
+	seed  int64
+	rng   *rand.Rand
+	pages []trace.PageID
+	pos   map[trace.PageID]int
+}
+
+// NewRandom returns a Random policy with the given seed.
+func NewRandom(seed int64) *Random {
+	return &Random{
+		seed: seed,
+		rng:  rand.New(rand.NewSource(seed)),
+		pos:  make(map[trace.PageID]int),
+	}
+}
+
+// Name implements sim.Policy.
+func (rd *Random) Name() string { return "random" }
+
+// OnHit is a no-op.
+func (rd *Random) OnHit(step int, r trace.Request) {}
+
+// OnInsert tracks the resident page.
+func (rd *Random) OnInsert(step int, r trace.Request) {
+	rd.pos[r.Page] = len(rd.pages)
+	rd.pages = append(rd.pages, r.Page)
+}
+
+// Victim picks a uniformly random resident page.
+func (rd *Random) Victim(step int, r trace.Request) trace.PageID {
+	return rd.pages[rd.rng.Intn(len(rd.pages))]
+}
+
+// OnEvict removes the page with a swap-delete.
+func (rd *Random) OnEvict(step int, p trace.PageID) {
+	i, ok := rd.pos[p]
+	if !ok {
+		return
+	}
+	last := len(rd.pages) - 1
+	rd.pages[i] = rd.pages[last]
+	rd.pos[rd.pages[i]] = i
+	rd.pages = rd.pages[:last]
+	delete(rd.pos, p)
+}
+
+// Reset restores the initial seeded state.
+func (rd *Random) Reset() {
+	rd.rng = rand.New(rand.NewSource(rd.seed))
+	rd.pages = nil
+	rd.pos = make(map[trace.PageID]int)
+}
+
+// Marking implements the deterministic marking algorithm: pages are marked
+// on access; victims are chosen among unmarked pages (lowest id for
+// determinism); when every resident page is marked a new phase begins and
+// all marks are cleared.
+type Marking struct {
+	marked map[trace.PageID]bool
+}
+
+// NewMarking returns an empty Marking policy.
+func NewMarking() *Marking {
+	return &Marking{marked: make(map[trace.PageID]bool)}
+}
+
+// Name implements sim.Policy.
+func (m *Marking) Name() string { return "marking" }
+
+// OnHit marks the page.
+func (m *Marking) OnHit(step int, r trace.Request) { m.marked[r.Page] = true }
+
+// OnInsert marks the freshly inserted page.
+func (m *Marking) OnInsert(step int, r trace.Request) { m.marked[r.Page] = true }
+
+// Victim returns the lowest-id unmarked page, starting a new phase first if
+// everything is marked.
+func (m *Marking) Victim(step int, r trace.Request) trace.PageID {
+	victim, ok := m.lowestUnmarked()
+	if !ok {
+		// Phase change: clear all marks, then pick again.
+		for p := range m.marked {
+			m.marked[p] = false
+		}
+		victim, _ = m.lowestUnmarked()
+	}
+	return victim
+}
+
+func (m *Marking) lowestUnmarked() (trace.PageID, bool) {
+	var best trace.PageID
+	found := false
+	for p, marked := range m.marked {
+		if marked {
+			continue
+		}
+		if !found || p < best {
+			best = p
+			found = true
+		}
+	}
+	return best, found
+}
+
+// OnEvict forgets the page.
+func (m *Marking) OnEvict(step int, p trace.PageID) { delete(m.marked, p) }
+
+// Reset implements sim.Policy.
+func (m *Marking) Reset() { m.marked = make(map[trace.PageID]bool) }

@@ -1,0 +1,82 @@
+package policy
+
+import (
+	"fmt"
+
+	"convexcache/internal/costfn"
+	"convexcache/internal/sim"
+)
+
+// Spec carries everything baseline factories may need; unused fields are
+// ignored by policies that don't need them.
+type Spec struct {
+	// K is the cache size (for static partition quotas).
+	K int
+	// Tenants is the tenant count.
+	Tenants int
+	// Weights are per-tenant linear weights (greedy-dual).
+	Weights []float64
+	// Costs are per-tenant cost functions (cost-aware Belady).
+	Costs []costfn.Func
+	// Seed seeds randomized policies.
+	Seed int64
+}
+
+// New constructs a baseline policy by name. Names: lru, fifo, lfu, random,
+// marking, lru2, greedy-dual, static-partition, belady, belady-cost.
+func New(name string, spec Spec) (sim.Policy, error) {
+	switch name {
+	case "lru":
+		return NewLRU(), nil
+	case "fifo":
+		return NewFIFO(), nil
+	case "lfu":
+		return NewLFU(), nil
+	case "random":
+		return NewRandom(spec.Seed), nil
+	case "random-marking":
+		return NewRandomMarking(spec.Seed), nil
+	case "arc":
+		return NewARC(), nil
+	case "clock":
+		return NewClock(), nil
+	case "tinylfu":
+		return NewTinyLFU(4096, 16*int64(max(spec.K, 1))), nil
+	case "2q":
+		return NewTwoQ(0, 0), nil
+	case "harmonic":
+		return NewHarmonic(spec.Seed, spec.Costs), nil
+	case "marking":
+		return NewMarking(), nil
+	case "lru2":
+		return NewLRUK(2), nil
+	case "greedy-dual":
+		w := spec.Weights
+		if len(w) == 0 {
+			w = make([]float64, spec.Tenants)
+			for i := range w {
+				w[i] = 1
+			}
+		}
+		return NewGreedyDual(w), nil
+	case "static-partition":
+		n := spec.Tenants
+		if n <= 0 {
+			n = 1
+		}
+		return NewStaticPartition(EvenQuotas(spec.K, n)), nil
+	case "belady":
+		return NewBelady(), nil
+	case "belady-cost":
+		return NewCostAwareBelady(spec.Costs), nil
+	default:
+		return nil, fmt.Errorf("policy: unknown policy %q", name)
+	}
+}
+
+// Names lists the registered baseline policy names.
+func Names() []string {
+	return []string{"lru", "fifo", "lfu", "random", "random-marking", "marking",
+		"lru2", "arc", "clock", "tinylfu", "2q", "harmonic", "greedy-dual",
+		"static-partition", "belady", "belady-cost"}
+}

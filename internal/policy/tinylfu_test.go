@@ -1,0 +1,72 @@
+package policy
+
+import (
+	"math/rand"
+	"testing"
+
+	"convexcache/internal/trace"
+)
+
+func TestTinyLFUBasic(t *testing.T) {
+	tr := seq(t, 1, 2, 3, 1, 2, 3)
+	res := run(t, tr, NewTinyLFU(1024, 0), 3)
+	if res.TotalMisses() != 3 {
+		t.Errorf("misses = %d, want 3 (all fit)", res.TotalMisses())
+	}
+}
+
+func TestTinyLFUScanResistance(t *testing.T) {
+	// Hot set cycled between single-use scan pollution: the admission
+	// filter must protect the hot pages better than plain LRU.
+	b := trace.NewBuilder()
+	scan := 1000
+	for round := 0; round < 100; round++ {
+		for h := 0; h < 4; h++ {
+			b.Add(0, trace.PageID(h))
+		}
+		for s := 0; s < 6; s++ {
+			scan++
+			b.Add(0, trace.PageID(scan))
+		}
+	}
+	tr := b.MustBuild()
+	k := 8
+	tiny := run(t, tr, NewTinyLFU(2048, 0), k)
+	lru := run(t, tr, NewLRU(), k)
+	if tiny.TotalMisses() >= lru.TotalMisses() {
+		t.Errorf("tinylfu misses %d not below LRU %d under scan pollution",
+			tiny.TotalMisses(), lru.TotalMisses())
+	}
+}
+
+func TestTinyLFUNeverBelowBelady(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 8; trial++ {
+		b := trace.NewBuilder()
+		for i := 0; i < 300; i++ {
+			b.Add(0, trace.PageID(rng.Intn(12)))
+		}
+		tr := b.MustBuild()
+		k := 3 + rng.Intn(3)
+		minMisses := run(t, tr, NewBelady(), k).TotalMisses()
+		if got := run(t, tr, NewTinyLFU(1024, 256), k).TotalMisses(); got < minMisses {
+			t.Errorf("trial %d: tinylfu %d below MIN %d", trial, got, minMisses)
+		}
+	}
+}
+
+func TestTinyLFUResetReproducible(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	b := trace.NewBuilder()
+	for i := 0; i < 400; i++ {
+		b.Add(0, trace.PageID(rng.Intn(25)))
+	}
+	tr := b.MustBuild()
+	p := NewTinyLFU(512, 128)
+	first := run(t, tr, p, 6)
+	p.Reset()
+	second := run(t, tr, p, 6)
+	if first.TotalMisses() != second.TotalMisses() {
+		t.Errorf("not reproducible: %d vs %d", first.TotalMisses(), second.TotalMisses())
+	}
+}

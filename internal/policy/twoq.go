@@ -1,0 +1,111 @@
+package policy
+
+import (
+	"container/list"
+
+	"convexcache/internal/trace"
+)
+
+// TwoQ is the simplified 2Q algorithm of Johnson & Shasha (VLDB 1994):
+// first-time pages enter a FIFO probation queue (A1in); pages re-referenced
+// after leaving probation (tracked by the A1out ghost queue) are promoted
+// to the protected LRU main queue (Am). Evictions drain probation first.
+// Kin and Kout are fractions of the cache the queues target.
+type TwoQ struct {
+	kin, kout float64
+
+	a1in  *list.List // FIFO, front = oldest
+	am    *list.List // LRU, front = MRU
+	where map[trace.PageID]*twoqEntry
+	a1out *list.List // ghost FIFO, front = oldest
+	ghost map[trace.PageID]*list.Element
+
+	resident int
+}
+
+type twoqEntry struct {
+	list *list.List
+	elem *list.Element
+}
+
+// NewTwoQ builds the policy; kin/kout are the probation and ghost fractions
+// (defaults 0.25 and 0.5 when non-positive).
+func NewTwoQ(kin, kout float64) *TwoQ {
+	if kin <= 0 {
+		kin = 0.25
+	}
+	if kout <= 0 {
+		kout = 0.5
+	}
+	q := &TwoQ{kin: kin, kout: kout}
+	q.Reset()
+	return q
+}
+
+// Name implements sim.Policy.
+func (q *TwoQ) Name() string { return "2q" }
+
+// Reset implements sim.Policy.
+func (q *TwoQ) Reset() {
+	q.a1in = list.New()
+	q.am = list.New()
+	q.a1out = list.New()
+	q.where = make(map[trace.PageID]*twoqEntry)
+	q.ghost = make(map[trace.PageID]*list.Element)
+	q.resident = 0
+}
+
+// OnHit promotes main-queue pages to MRU; probation pages stay put (2Q's
+// "correlated reference" rule).
+func (q *TwoQ) OnHit(step int, r trace.Request) {
+	e, ok := q.where[r.Page]
+	if !ok {
+		return
+	}
+	if e.list == q.am {
+		q.am.MoveToFront(e.elem)
+	}
+}
+
+// OnInsert routes ghost-hits to the protected queue, others to probation.
+func (q *TwoQ) OnInsert(step int, r trace.Request) {
+	q.resident++
+	if ge, ok := q.ghost[r.Page]; ok {
+		q.a1out.Remove(ge)
+		delete(q.ghost, r.Page)
+		q.where[r.Page] = &twoqEntry{list: q.am, elem: q.am.PushFront(r.Page)}
+		return
+	}
+	q.where[r.Page] = &twoqEntry{list: q.a1in, elem: q.a1in.PushBack(r.Page)}
+}
+
+// Victim drains probation while it exceeds its target share, else the
+// protected LRU tail.
+func (q *TwoQ) Victim(step int, r trace.Request) trace.PageID {
+	targetIn := int(q.kin * float64(q.resident))
+	if q.a1in.Len() > 0 && (q.a1in.Len() > targetIn || q.am.Len() == 0) {
+		return q.a1in.Front().Value.(trace.PageID)
+	}
+	return q.am.Back().Value.(trace.PageID)
+}
+
+// OnEvict records probation evictions in the ghost queue.
+func (q *TwoQ) OnEvict(step int, p trace.PageID) {
+	e, ok := q.where[p]
+	if !ok {
+		return
+	}
+	fromProbation := e.list == q.a1in
+	e.list.Remove(e.elem)
+	delete(q.where, p)
+	q.resident--
+	if fromProbation {
+		q.ghost[p] = q.a1out.PushBack(p)
+		limit := int(q.kout*float64(q.resident)) + 1
+		for q.a1out.Len() > limit {
+			old := q.a1out.Front()
+			delete(q.ghost, old.Value.(trace.PageID))
+			q.a1out.Remove(old)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package policy
+
+import (
+	"math/rand"
+	"testing"
+
+	"convexcache/internal/costfn"
+	"convexcache/internal/trace"
+)
+
+func TestTwoQBasic(t *testing.T) {
+	tr := seq(t, 1, 2, 3, 1, 2, 3)
+	res := run(t, tr, NewTwoQ(0, 0), 3)
+	if res.TotalMisses() != 3 {
+		t.Errorf("misses = %d, want 3", res.TotalMisses())
+	}
+}
+
+func TestTwoQScanResistance(t *testing.T) {
+	// Hot pages cycle between long single-use scans: 2Q's probation queue
+	// absorbs the scan and the protected queue keeps the hot set.
+	b := trace.NewBuilder()
+	scan := 1000
+	for round := 0; round < 100; round++ {
+		for h := 0; h < 4; h++ {
+			b.Add(0, trace.PageID(h))
+		}
+		for s := 0; s < 6; s++ {
+			scan++
+			b.Add(0, trace.PageID(scan))
+		}
+	}
+	tr := b.MustBuild()
+	k := 8
+	twoq := run(t, tr, NewTwoQ(0, 0), k)
+	lru := run(t, tr, NewLRU(), k)
+	if twoq.TotalMisses() >= lru.TotalMisses() {
+		t.Errorf("2Q misses %d not below LRU %d under scan pollution",
+			twoq.TotalMisses(), lru.TotalMisses())
+	}
+}
+
+func TestTwoQGhostPromotion(t *testing.T) {
+	// A page evicted from probation and re-requested must enter the
+	// protected queue and survive subsequent probation churn.
+	q := NewTwoQ(0.25, 0.5)
+	b := trace.NewBuilder()
+	b.Add(0, 1) // probation
+	for i := 10; i < 14; i++ {
+		b.Add(0, trace.PageID(i)) // churn page 1 out of probation into the ghost
+	}
+	b.Add(0, 1) // ghost hit -> protected queue
+	for i := 20; i < 23; i++ {
+		b.Add(0, trace.PageID(i)) // probation churn only
+	}
+	b.Add(0, 1) // must hit: page 1 lives in the protected queue
+	tr := b.MustBuild()
+	res := run(t, tr, q, 4)
+	if res.Hits < 1 {
+		t.Errorf("hits = %d, protected page 1 was churned out", res.Hits)
+	}
+}
+
+func TestTwoQNeverBelowBelady(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	for trial := 0; trial < 8; trial++ {
+		b := trace.NewBuilder()
+		for i := 0; i < 300; i++ {
+			b.Add(0, trace.PageID(rng.Intn(12)))
+		}
+		tr := b.MustBuild()
+		k := 3 + rng.Intn(3)
+		minM := run(t, tr, NewBelady(), k).TotalMisses()
+		if got := run(t, tr, NewTwoQ(0, 0), k).TotalMisses(); got < minM {
+			t.Errorf("trial %d: 2Q %d below MIN %d", trial, got, minM)
+		}
+	}
+}
+
+func TestHarmonicDeterministicPerSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	b := trace.NewBuilder()
+	for i := 0; i < 400; i++ {
+		tn := rng.Intn(2)
+		b.Add(trace.Tenant(tn), trace.PageID(tn*100+rng.Intn(10)))
+	}
+	tr := b.MustBuild()
+	costs := []costfn.Func{costfn.Monomial{C: 1, Beta: 2}, costfn.Linear{W: 1}}
+	a := run(t, tr, NewHarmonic(4, costs), 5)
+	c := run(t, tr, NewHarmonic(4, costs), 5)
+	if a.TotalMisses() != c.TotalMisses() {
+		t.Errorf("same seed, different misses: %d vs %d", a.TotalMisses(), c.TotalMisses())
+	}
+}
+
+func TestHarmonicProtectsExpensiveTenantInExpectation(t *testing.T) {
+	// Tenant 0 has a far steeper marginal than tenant 1; across seeds,
+	// harmonic must evict tenant 1's pages much more often.
+	costs := []costfn.Func{costfn.Monomial{C: 10, Beta: 2}, costfn.Linear{W: 0.01}}
+	rng := rand.New(rand.NewSource(3))
+	b := trace.NewBuilder()
+	for i := 0; i < 2000; i++ {
+		tn := rng.Intn(2)
+		b.Add(trace.Tenant(tn), trace.PageID(tn*1000+rng.Intn(30)))
+	}
+	tr := b.MustBuild()
+	var ev0, ev1 int64
+	for seed := int64(0); seed < 5; seed++ {
+		res := run(t, tr, NewHarmonic(seed, costs), 20)
+		ev0 += res.Evictions[0]
+		ev1 += res.Evictions[1]
+	}
+	if ev0 >= ev1 {
+		t.Errorf("steep tenant evicted as often as cheap one: %d vs %d", ev0, ev1)
+	}
+}

@@ -1,0 +1,47 @@
+package server
+
+import (
+	"net/http"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentSimulateRequests hammers the handler from many goroutines;
+// every response must be independent and correct (the handler must not
+// share policy state across requests).
+func TestConcurrentSimulateRequests(t *testing.T) {
+	h := New()
+	req := SimulateRequest{
+		Trace:    sampleTrace(),
+		K:        4,
+		Policies: []string{"alg", "lru", "arc"},
+		Costs:    []string{"monomial:1,2", "linear:1"},
+	}
+	// Reference response.
+	ref := doJSON(t, h, "POST", "/v1/simulate", req)
+	if ref.Code != http.StatusOK {
+		t.Fatalf("reference status %d", ref.Code)
+	}
+	want := ref.Body.String()
+	var wg sync.WaitGroup
+	errs := make(chan string, 16)
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rec := doJSONConcurrent(h, req)
+			if rec == nil {
+				errs <- "request failed"
+				return
+			}
+			if rec.Body.String() != want {
+				errs <- "response diverged across goroutines"
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}

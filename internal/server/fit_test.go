@@ -1,0 +1,42 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+)
+
+func TestFitEndpoint(t *testing.T) {
+	h := New()
+	req := FitRequest{
+		X: []float64{2, 5, 10, 12, 20},
+		Y: []float64{2, 5, 10, 26, 90},
+	}
+	rec := doJSON(t, h, "POST", "/v1/fit", req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp FitResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Breakpoints) == 0 || len(resp.Slopes) != len(resp.Breakpoints) {
+		t.Fatalf("malformed fit: %+v", resp)
+	}
+	if resp.Alpha < 1 {
+		t.Errorf("alpha = %g, want >= 1", resp.Alpha)
+	}
+	// Slopes must be non-decreasing (convexity is structural).
+	for i := 1; i < len(resp.Slopes); i++ {
+		if resp.Slopes[i] < resp.Slopes[i-1]-1e-9 {
+			t.Fatalf("slopes decrease: %v", resp.Slopes)
+		}
+	}
+}
+
+func TestFitEndpointValidation(t *testing.T) {
+	rec := doJSON(t, New(), "POST", "/v1/fit", FitRequest{X: []float64{1}, Y: []float64{1}})
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("single sample: status %d", rec.Code)
+	}
+}

@@ -1,0 +1,23 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+)
+
+// doJSONConcurrent is a t-free variant of doJSON for use inside goroutines.
+func doJSONConcurrent(h http.Handler, body any) *httptest.ResponseRecorder {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return nil
+	}
+	req := httptest.NewRequest("POST", "/v1/simulate", bytes.NewReader(raw))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		return nil
+	}
+	return rec
+}

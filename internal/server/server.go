@@ -1,0 +1,320 @@
+// Package server exposes the simulator over HTTP with a small JSON API, so
+// the library can back a capacity-planning or SLA-what-if service:
+//
+//	GET  /healthz             liveness
+//	GET  /v1/policies         registered policy names
+//	POST /v1/simulate         replay a trace through policies
+//	POST /v1/mrc              exact LRU miss-ratio curves per tenant
+//	POST /v1/experiments/{id} run one experiment (quick mode) as JSON
+//
+// Everything is stdlib net/http; request bodies are size-capped.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"convexcache/internal/analysis"
+	"convexcache/internal/core"
+	"convexcache/internal/costfn"
+	"convexcache/internal/experiments"
+	"convexcache/internal/policy"
+	"convexcache/internal/sim"
+	"convexcache/internal/trace"
+)
+
+// MaxBodyBytes caps request bodies (traces dominate; ~16 MiB of JSON covers
+// millions of requests).
+const MaxBodyBytes = 16 << 20
+
+// New returns the service's http.Handler.
+func New() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /v1/policies", handlePolicies)
+	mux.HandleFunc("POST /v1/simulate", handleSimulate)
+	mux.HandleFunc("POST /v1/mrc", handleMRC)
+	mux.HandleFunc("POST /v1/experiments/{id}", handleExperiment)
+	mux.HandleFunc("POST /v1/fit", handleFit)
+	return mux
+}
+
+// FitRequest calibrates a convex SLA curve from (misses, penalty) samples.
+type FitRequest struct {
+	// X are miss counts, Y the observed penalties.
+	X []float64 `json:"x"`
+	Y []float64 `json:"y"`
+	// Iters bounds the fit iterations (default 2000).
+	Iters int `json:"iters"`
+}
+
+// FitResponse returns the fitted piecewise-linear curve.
+type FitResponse struct {
+	// Breakpoints and Slopes define the fitted costfn.PiecewiseLinear.
+	Breakpoints []float64 `json:"breakpoints"`
+	Slopes      []float64 `json:"slopes"`
+	// Alpha is the curvature constant of the fit (the paper's competitive
+	// exponent).
+	Alpha float64 `json:"alpha"`
+}
+
+func handleFit(w http.ResponseWriter, r *http.Request) {
+	var req FitRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	f, err := costfn.FitConvex(req.X, req.Y, req.Iters)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, FitResponse{
+		Breakpoints: f.X,
+		Slopes:      f.S,
+		Alpha:       f.Alpha(),
+	})
+}
+
+// TraceJSON is the wire form of a request sequence: rows of
+// [tenant, page].
+type TraceJSON [][2]int64
+
+func (tj TraceJSON) build() (*trace.Trace, error) {
+	b := trace.NewBuilder()
+	for _, row := range tj {
+		b.Add(trace.Tenant(row[0]), trace.PageID(row[1]))
+	}
+	return b.Build()
+}
+
+// SimulateRequest is the body of POST /v1/simulate.
+type SimulateRequest struct {
+	// Trace is the request sequence.
+	Trace TraceJSON `json:"trace"`
+	// K is the cache size.
+	K int `json:"k"`
+	// Policies are policy names; "alg" is the paper's algorithm.
+	Policies []string `json:"policies"`
+	// Costs are per-tenant costfn.Parse specs; missing tenants default to
+	// linear:1.
+	Costs []string `json:"costs"`
+	// Seed seeds randomized policies.
+	Seed int64 `json:"seed"`
+	// DiscreteDeriv and CountMisses tune the algorithm (Section 2.5 /
+	// accounting modes).
+	DiscreteDeriv bool `json:"discrete_deriv"`
+	CountMisses   bool `json:"count_misses"`
+}
+
+// PolicyResult is one row of the simulate response.
+type PolicyResult struct {
+	Policy    string  `json:"policy"`
+	Hits      int64   `json:"hits"`
+	Misses    []int64 `json:"misses"`
+	Evictions []int64 `json:"evictions"`
+	TotalCost float64 `json:"total_cost"`
+}
+
+// SimulateResponse is the body of the simulate reply.
+type SimulateResponse struct {
+	Requests int            `json:"requests"`
+	Tenants  int            `json:"tenants"`
+	K        int            `json:"k"`
+	Results  []PolicyResult `json:"results"`
+}
+
+func handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var req SimulateRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	tr, err := req.Trace.build()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.K <= 0 {
+		httpError(w, http.StatusBadRequest, errors.New("k must be positive"))
+		return
+	}
+	if len(req.Policies) == 0 {
+		req.Policies = []string{"alg", "lru"}
+	}
+	costs, err := parseCosts(req.Costs, tr.NumTenants())
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp := SimulateResponse{Requests: tr.Len(), Tenants: tr.NumTenants(), K: req.K}
+	spec := policy.Spec{K: req.K, Tenants: tr.NumTenants(), Costs: costs, Seed: req.Seed}
+	for _, name := range req.Policies {
+		var p sim.Policy
+		if name == "alg" {
+			p = core.NewFast(core.Options{
+				Costs: costs, UseDiscreteDeriv: req.DiscreteDeriv, CountMisses: req.CountMisses,
+			})
+		} else {
+			p, err = policy.New(name, spec)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, err)
+				return
+			}
+		}
+		res, err := sim.Run(tr, p, sim.Config{K: req.K})
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		resp.Results = append(resp.Results, PolicyResult{
+			Policy:    name,
+			Hits:      res.Hits,
+			Misses:    res.Misses,
+			Evictions: res.Evictions,
+			TotalCost: res.Cost(costs),
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// MRCRequest is the body of POST /v1/mrc.
+type MRCRequest struct {
+	Trace   TraceJSON `json:"trace"`
+	MaxSize int       `json:"max_size"`
+	// K, when positive, also returns the optimal static partition.
+	K     int      `json:"k"`
+	Costs []string `json:"costs"`
+}
+
+// MRCResponse is the reply of POST /v1/mrc.
+type MRCResponse struct {
+	// MissRatio[c-1] is the combined LRU miss ratio at size c.
+	MissRatio []float64 `json:"miss_ratio"`
+	// PerTenant[i][c-1] is tenant i's isolated curve.
+	PerTenant [][]float64 `json:"per_tenant"`
+	// Quotas and PredictedCost are set when K > 0.
+	Quotas        []int   `json:"quotas,omitempty"`
+	PredictedCost float64 `json:"predicted_cost,omitempty"`
+}
+
+func handleMRC(w http.ResponseWriter, r *http.Request) {
+	var req MRCRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	tr, err := req.Trace.build()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.MaxSize <= 0 {
+		req.MaxSize = 64
+	}
+	combined, err := analysis.Mattson(tr, req.MaxSize)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	perTenant, err := analysis.PerTenant(tr, req.MaxSize)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	resp := MRCResponse{MissRatio: combined.MissRatioCurve(req.MaxSize)}
+	for _, c := range perTenant {
+		if c.Requests == 0 {
+			resp.PerTenant = append(resp.PerTenant, make([]float64, req.MaxSize))
+			continue
+		}
+		resp.PerTenant = append(resp.PerTenant, c.MissRatioCurve(req.MaxSize))
+	}
+	if req.K > 0 {
+		costs, err := parseCosts(req.Costs, tr.NumTenants())
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		quotas, cost, err := analysis.OptimalStaticPartition(perTenant, costs, req.K)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		resp.Quotas = quotas
+		resp.PredictedCost = cost
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// ExperimentResponse is the reply of POST /v1/experiments/{id}.
+type ExperimentResponse struct {
+	ID     string     `json:"id"`
+	Claim  string     `json:"claim"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+}
+
+func handleExperiment(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	for _, e := range experiments.All() {
+		if !strings.EqualFold(e.ID, id) {
+			continue
+		}
+		tb, err := e.Run(true)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, ExperimentResponse{
+			ID: e.ID, Claim: e.Claim, Header: tb.Header, Rows: tb.Rows(),
+		})
+		return
+	}
+	httpError(w, http.StatusNotFound, fmt.Errorf("unknown experiment %q", id))
+}
+
+func handlePolicies(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string][]string{
+		"policies": append([]string{"alg"}, policy.Names()...),
+	})
+}
+
+func parseCosts(specs []string, tenants int) ([]costfn.Func, error) {
+	costs := make([]costfn.Func, tenants)
+	for i := range costs {
+		if i < len(specs) && specs[i] != "" {
+			f, err := costfn.Parse(specs[i])
+			if err != nil {
+				return nil, err
+			}
+			costs[i] = f
+		} else {
+			costs[i] = costfn.Linear{W: 1}
+		}
+	}
+	return costs, nil
+}
+
+func decode(w http.ResponseWriter, r *http.Request, dst any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

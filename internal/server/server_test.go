@@ -1,0 +1,177 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func doJSON(t *testing.T, h http.Handler, method, path string, body any) *httptest.ResponseRecorder {
+	t.Helper()
+	var rd *bytes.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(raw)
+	} else {
+		rd = bytes.NewReader(nil)
+	}
+	req := httptest.NewRequest(method, path, rd)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func sampleTrace() TraceJSON {
+	var tj TraceJSON
+	for i := 0; i < 200; i++ {
+		tj = append(tj, [2]int64{int64(i % 2), int64((i%2)*100 + i%7)})
+	}
+	return tj
+}
+
+func TestHealthz(t *testing.T) {
+	rec := doJSON(t, New(), "GET", "/healthz", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+}
+
+func TestPoliciesList(t *testing.T) {
+	rec := doJSON(t, New(), "GET", "/v1/policies", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var resp map[string][]string
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	names := strings.Join(resp["policies"], ",")
+	for _, want := range []string{"alg", "lru", "arc", "belady"} {
+		if !strings.Contains(names, want) {
+			t.Errorf("policies missing %q: %s", want, names)
+		}
+	}
+}
+
+func TestSimulate(t *testing.T) {
+	req := SimulateRequest{
+		Trace:    sampleTrace(),
+		K:        4,
+		Policies: []string{"alg", "lru"},
+		Costs:    []string{"monomial:1,2", "linear:1"},
+	}
+	rec := doJSON(t, New(), "POST", "/v1/simulate", req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp SimulateResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Requests != 200 || resp.Tenants != 2 || len(resp.Results) != 2 {
+		t.Fatalf("resp = %+v", resp)
+	}
+	for _, pr := range resp.Results {
+		if pr.Hits+sum(pr.Misses) != 200 {
+			t.Errorf("%s: hits+misses != requests", pr.Policy)
+		}
+		if pr.TotalCost <= 0 {
+			t.Errorf("%s: cost %g", pr.Policy, pr.TotalCost)
+		}
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	h := New()
+	// Empty trace.
+	rec := doJSON(t, h, "POST", "/v1/simulate", SimulateRequest{K: 2})
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("empty trace: status %d", rec.Code)
+	}
+	// Bad k.
+	rec = doJSON(t, h, "POST", "/v1/simulate", SimulateRequest{Trace: sampleTrace(), K: 0})
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("k=0: status %d", rec.Code)
+	}
+	// Unknown policy.
+	rec = doJSON(t, h, "POST", "/v1/simulate", SimulateRequest{Trace: sampleTrace(), K: 2, Policies: []string{"nope"}})
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("unknown policy: status %d", rec.Code)
+	}
+	// Bad cost spec.
+	rec = doJSON(t, h, "POST", "/v1/simulate", SimulateRequest{Trace: sampleTrace(), K: 2, Costs: []string{"bad:1"}})
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("bad cost: status %d", rec.Code)
+	}
+	// Unknown JSON field.
+	req := httptest.NewRequest("POST", "/v1/simulate", strings.NewReader(`{"bogus": 1}`))
+	rec2 := httptest.NewRecorder()
+	h.ServeHTTP(rec2, req)
+	if rec2.Code != http.StatusBadRequest {
+		t.Errorf("unknown field: status %d", rec2.Code)
+	}
+}
+
+func TestMRC(t *testing.T) {
+	req := MRCRequest{Trace: sampleTrace(), MaxSize: 10, K: 6, Costs: []string{"monomial:1,2", "linear:1"}}
+	rec := doJSON(t, New(), "POST", "/v1/mrc", req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp MRCResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.MissRatio) != 10 || len(resp.PerTenant) != 2 {
+		t.Fatalf("resp shape: %d curves, %d sizes", len(resp.PerTenant), len(resp.MissRatio))
+	}
+	// Monotone non-increasing curve.
+	for i := 1; i < len(resp.MissRatio); i++ {
+		if resp.MissRatio[i] > resp.MissRatio[i-1]+1e-9 {
+			t.Errorf("miss ratio increased at %d", i)
+		}
+	}
+	if len(resp.Quotas) != 2 {
+		t.Errorf("quotas = %v", resp.Quotas)
+	}
+	qsum := 0
+	for _, q := range resp.Quotas {
+		qsum += q
+	}
+	if qsum > 6 {
+		t.Errorf("quotas exceed k: %v", resp.Quotas)
+	}
+}
+
+func TestExperimentEndpoint(t *testing.T) {
+	rec := doJSON(t, New(), "POST", "/v1/experiments/E2", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp ExperimentResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.ID != "E2" || len(resp.Rows) == 0 {
+		t.Fatalf("resp = %+v", resp)
+	}
+	// Unknown experiment.
+	rec = doJSON(t, New(), "POST", "/v1/experiments/E99", nil)
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("unknown experiment: status %d", rec.Code)
+	}
+}
+
+func sum(xs []int64) int64 {
+	var s int64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}

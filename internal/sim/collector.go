@@ -1,0 +1,116 @@
+package sim
+
+import (
+	"convexcache/internal/stats"
+	"convexcache/internal/trace"
+)
+
+// Collector is a rich Observer gathering operational metrics beyond the
+// Result counters: eviction-age distribution (how long pages live in
+// cache), per-tenant hit-rate time series, and residency occupancy shares.
+// Install Collector.Observe in Config.
+type Collector struct {
+	tenants int
+	window  int
+
+	insertedAt map[trace.PageID]int
+	ages       []float64
+
+	// hitsPerWindow / reqsPerWindow drive the hit-rate series.
+	hitsPerWindow [][]int64
+	reqsPerWindow [][]int64
+
+	// residency[i] is tenant i's current cached-page count; occupancy
+	// accumulates per-step shares for the average.
+	residency []int64
+	occupancy []float64
+	steps     int
+}
+
+// NewCollector builds a collector for the given tenant count and hit-rate
+// window length.
+func NewCollector(tenants, window int) *Collector {
+	if window <= 0 {
+		window = 1
+	}
+	return &Collector{
+		tenants:    tenants,
+		window:     window,
+		insertedAt: make(map[trace.PageID]int),
+		residency:  make([]int64, tenants),
+		occupancy:  make([]float64, tenants),
+	}
+}
+
+// Observe implements the Observer contract.
+func (c *Collector) Observe(ev Event) {
+	w := ev.Step / c.window
+	for len(c.hitsPerWindow) <= w {
+		c.hitsPerWindow = append(c.hitsPerWindow, make([]int64, c.tenants))
+		c.reqsPerWindow = append(c.reqsPerWindow, make([]int64, c.tenants))
+	}
+	if int(ev.Req.Tenant) < c.tenants {
+		c.reqsPerWindow[w][ev.Req.Tenant]++
+		if !ev.Miss {
+			c.hitsPerWindow[w][ev.Req.Tenant]++
+		}
+	}
+	if ev.Evicted >= 0 {
+		if at, ok := c.insertedAt[ev.Evicted]; ok {
+			c.ages = append(c.ages, float64(ev.Step-at))
+			delete(c.insertedAt, ev.Evicted)
+		}
+		if int(ev.EvictedTenant) < c.tenants && ev.EvictedTenant >= 0 {
+			c.residency[ev.EvictedTenant]--
+		}
+	}
+	if ev.Miss {
+		c.insertedAt[ev.Req.Page] = ev.Step
+		if int(ev.Req.Tenant) < c.tenants {
+			c.residency[ev.Req.Tenant]++
+		}
+	}
+	total := int64(0)
+	for _, r := range c.residency {
+		total += r
+	}
+	if total > 0 {
+		for i, r := range c.residency {
+			c.occupancy[i] += float64(r) / float64(total)
+		}
+	}
+	c.steps++
+}
+
+// EvictionAges summarizes the lifetime (in steps) of evicted pages.
+func (c *Collector) EvictionAges() (stats.Summary, error) {
+	return stats.Summarize(c.ages)
+}
+
+// HitRate returns tenant i's hit rate in window w (0 when the tenant made
+// no requests there).
+func (c *Collector) HitRate(w int, i trace.Tenant) float64 {
+	if w < 0 || w >= len(c.reqsPerWindow) || int(i) >= c.tenants {
+		return 0
+	}
+	reqs := c.reqsPerWindow[w][i]
+	if reqs == 0 {
+		return 0
+	}
+	return float64(c.hitsPerWindow[w][i]) / float64(reqs)
+}
+
+// Windows returns the number of observed windows.
+func (c *Collector) Windows() int { return len(c.reqsPerWindow) }
+
+// AvgOccupancy returns each tenant's average share of the occupied cache.
+func (c *Collector) AvgOccupancy() []float64 {
+	out := make([]float64, c.tenants)
+	if c.steps == 0 {
+		return out
+	}
+	for i, o := range c.occupancy {
+		out[i] = o / float64(c.steps)
+	}
+	return out
+}

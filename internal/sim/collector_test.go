@@ -1,0 +1,76 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"convexcache/internal/trace"
+)
+
+func TestCollectorHitRates(t *testing.T) {
+	// Window 4: first window all misses (1,2,3,4); second window all hits.
+	tr := seqTrace(t, 1, 2, 3, 4, 1, 2, 3, 4)
+	c := NewCollector(1, 4)
+	MustRun(tr, &fifoTest{}, Config{K: 4, Observer: c.Observe})
+	if c.Windows() != 2 {
+		t.Fatalf("windows = %d", c.Windows())
+	}
+	if got := c.HitRate(0, 0); got != 0 {
+		t.Errorf("window 0 hit rate = %g, want 0", got)
+	}
+	if got := c.HitRate(1, 0); got != 1 {
+		t.Errorf("window 1 hit rate = %g, want 1", got)
+	}
+	// Out-of-range accessors return 0.
+	if c.HitRate(5, 0) != 0 || c.HitRate(0, 9) != 0 {
+		t.Error("out-of-range hit rate not zero")
+	}
+}
+
+func TestCollectorEvictionAges(t *testing.T) {
+	// k=1: each page lives exactly 1 step before eviction.
+	tr := seqTrace(t, 1, 2, 3, 4)
+	c := NewCollector(1, 10)
+	MustRun(tr, &fifoTest{}, Config{K: 1, Observer: c.Observe})
+	s, err := c.EvictionAges()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 3 {
+		t.Fatalf("eviction ages = %d, want 3", s.N)
+	}
+	if s.Mean != 1 {
+		t.Errorf("mean age = %g, want 1", s.Mean)
+	}
+}
+
+func TestCollectorOccupancy(t *testing.T) {
+	// Two tenants with equal footprints: long-run occupancy ~50/50.
+	b := trace.NewBuilder()
+	for i := 0; i < 400; i++ {
+		b.Add(trace.Tenant(i%2), trace.PageID((i%2)*100+(i/2)%3))
+	}
+	tr := b.MustBuild()
+	c := NewCollector(2, 50)
+	MustRun(tr, &fifoTest{}, Config{K: 6, Observer: c.Observe})
+	occ := c.AvgOccupancy()
+	if math.Abs(occ[0]-occ[1]) > 0.2 {
+		t.Errorf("occupancy skewed: %v", occ)
+	}
+	if math.Abs(occ[0]+occ[1]-1) > 1e-9 {
+		t.Errorf("occupancy shares do not sum to 1: %v", occ)
+	}
+}
+
+func TestCollectorEmpty(t *testing.T) {
+	c := NewCollector(1, 0) // window clamps to 1
+	if c.Windows() != 0 {
+		t.Error("fresh collector has windows")
+	}
+	if _, err := c.EvictionAges(); err == nil {
+		t.Error("empty ages summarized without error")
+	}
+	if got := c.AvgOccupancy(); got[0] != 0 {
+		t.Errorf("occupancy = %v", got)
+	}
+}

@@ -1,0 +1,71 @@
+package sim
+
+import (
+	"testing"
+
+	"convexcache/internal/trace"
+)
+
+func TestRunSingleRequest(t *testing.T) {
+	tr := seqTrace(t, 1)
+	res, err := Run(tr, &fifoTest{}, Config{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalMisses() != 1 || res.Hits != 0 || res.TotalEvictions() != 0 {
+		t.Errorf("res = %+v", res)
+	}
+}
+
+func TestRunCacheLargerThanUniverse(t *testing.T) {
+	tr := seqTrace(t, 1, 2, 3, 1, 2, 3, 1)
+	res, err := Run(tr, &fifoTest{}, Config{K: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalMisses() != 3 {
+		t.Errorf("misses = %d, want cold 3", res.TotalMisses())
+	}
+	if res.TotalEvictions() != 0 {
+		t.Errorf("evictions = %d with oversized cache", res.TotalEvictions())
+	}
+}
+
+func TestRunSamePageRepeated(t *testing.T) {
+	pages := make([]int, 100)
+	for i := range pages {
+		pages[i] = 7
+	}
+	tr := seqTrace(t, pages...)
+	res, err := Run(tr, &fifoTest{}, Config{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalMisses() != 1 || res.Hits != 99 {
+		t.Errorf("res = %+v", res)
+	}
+}
+
+func TestRunK1Thrash(t *testing.T) {
+	tr := seqTrace(t, 1, 2, 1, 2)
+	res, err := Run(tr, &fifoTest{}, Config{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalMisses() != 4 || res.TotalEvictions() != 3 {
+		t.Errorf("res = %+v", res)
+	}
+}
+
+// victimIsIncoming returns the page being inserted — never resident, so the
+// engine must reject it.
+type victimIsIncoming struct{ fifoTest }
+
+func (v *victimIsIncoming) Victim(step int, r trace.Request) trace.PageID { return r.Page }
+
+func TestRunRejectsIncomingAsVictim(t *testing.T) {
+	tr := seqTrace(t, 1, 2, 3)
+	if _, err := Run(tr, &victimIsIncoming{}, Config{K: 2}); err == nil {
+		t.Fatal("incoming page accepted as victim")
+	}
+}

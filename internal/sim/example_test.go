@@ -1,0 +1,38 @@
+package sim_test
+
+import (
+	"fmt"
+
+	"convexcache/internal/costfn"
+	"convexcache/internal/policy"
+	"convexcache/internal/sim"
+	"convexcache/internal/trace"
+)
+
+// ExampleRun replays a trace through a baseline and evaluates the convex
+// objective.
+func ExampleRun() {
+	tr := trace.NewBuilder().
+		Add(0, 1).Add(1, 100).Add(0, 1).Add(1, 101).Add(0, 2).
+		MustBuild()
+	res, _ := sim.Run(tr, policy.NewLRU(), sim.Config{K: 2})
+	costs := []costfn.Func{costfn.Monomial{C: 1, Beta: 2}, costfn.Linear{W: 1}}
+	fmt.Printf("hits=%d misses=%v cost=%.0f\n", res.Hits, res.Misses, res.Cost(costs))
+	// Output:
+	// hits=1 misses=[2 2] cost=6
+}
+
+// ExampleRunAll fans simulations out over a worker pool.
+func ExampleRunAll() {
+	tr := trace.NewBuilder().Add(0, 1).Add(0, 2).Add(0, 1).MustBuild()
+	jobs := []sim.Job{
+		{Label: "lru", Trace: tr, Policy: func() sim.Policy { return policy.NewLRU() }, Config: sim.Config{K: 2}},
+		{Label: "fifo", Trace: tr, Policy: func() sim.Policy { return policy.NewFIFO() }, Config: sim.Config{K: 2}},
+	}
+	for _, jr := range sim.RunAll(jobs, 2) {
+		fmt.Printf("%s: %d misses\n", jr.Label, jr.Result.TotalMisses())
+	}
+	// Output:
+	// lru: 2 misses
+	// fifo: 2 misses
+}

@@ -1,0 +1,103 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"convexcache/internal/trace"
+)
+
+// CacheView is the read-only view of the online algorithm's cache handed to
+// an interactive request source. The lower-bound adversary of Theorem 1.4
+// uses it to request exactly the page the algorithm does not hold.
+type CacheView interface {
+	// Contains reports whether page p is currently cached.
+	Contains(p trace.PageID) bool
+	// Len returns the number of cached pages.
+	Len() int
+	// Pages returns the cached pages in ascending id order.
+	Pages() []trace.PageID
+}
+
+// RequestSource produces the next request, possibly as a function of the
+// online algorithm's current cache contents (an adaptive online adversary).
+type RequestSource interface {
+	// Next returns the request for the given 0-based step.
+	Next(step int, cache CacheView) trace.Request
+}
+
+// cacheState implements CacheView over the engine's map.
+type cacheState struct {
+	m map[trace.PageID]trace.Tenant
+}
+
+func (c cacheState) Contains(p trace.PageID) bool { _, ok := c.m[p]; return ok }
+func (c cacheState) Len() int                     { return len(c.m) }
+func (c cacheState) Pages() []trace.PageID {
+	out := make([]trace.PageID, 0, len(c.m))
+	for p := range c.m {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// RunInteractive drives policy p for `steps` requests produced online by the
+// source, which may inspect the cache before each request. It returns the
+// run result and the materialized trace (for replay against offline
+// algorithms).
+func RunInteractive(src RequestSource, steps int, p Policy, cfg Config) (Result, *trace.Trace, error) {
+	if cfg.K <= 0 {
+		return Result{}, nil, errors.New("sim: cache size must be positive")
+	}
+	if steps <= 0 {
+		return Result{}, nil, errors.New("sim: interactive run needs positive steps")
+	}
+	cache := make(map[trace.PageID]trace.Tenant, cfg.K)
+	view := cacheState{m: cache}
+	b := trace.NewBuilder()
+	res := Result{Policy: p.Name(), K: cfg.K, Steps: steps}
+	grow := func(tenant trace.Tenant) {
+		for int(tenant) >= len(res.Misses) {
+			res.Misses = append(res.Misses, 0)
+			res.Evictions = append(res.Evictions, 0)
+		}
+	}
+	for step := 0; step < steps; step++ {
+		r := src.Next(step, view)
+		b.Add(r.Tenant, r.Page)
+		grow(r.Tenant)
+		ev := Event{Step: step, Req: r, Evicted: -1, EvictedTenant: -1}
+		if _, ok := cache[r.Page]; ok {
+			res.Hits++
+			p.OnHit(step, r)
+		} else {
+			ev.Miss = true
+			res.Misses[r.Tenant]++
+			if len(cache) >= cfg.K {
+				victim := p.Victim(step, r)
+				owner, ok := cache[victim]
+				if !ok {
+					return Result{}, nil, fmt.Errorf("sim: policy %s returned victim %d not in cache at step %d", p.Name(), victim, step)
+				}
+				delete(cache, victim)
+				grow(owner)
+				res.Evictions[owner]++
+				p.OnEvict(step, victim)
+				ev.Evicted = victim
+				ev.EvictedTenant = owner
+			}
+			cache[r.Page] = r.Tenant
+			p.OnInsert(step, r)
+		}
+		if cfg.Observer != nil {
+			cfg.Observer(ev)
+		}
+	}
+	tr, err := b.Build()
+	if err != nil {
+		return Result{}, nil, err
+	}
+	return res, tr, nil
+}

@@ -1,0 +1,100 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+
+	"convexcache/internal/trace"
+)
+
+// Job is one (trace, policy, config) triple for the batch runner. The
+// PolicyFactory must return a fresh policy instance per call so concurrent
+// jobs never share mutable state.
+type Job struct {
+	// Label tags the job in the output.
+	Label string
+	// Trace is the request sequence to replay.
+	Trace *trace.Trace
+	// Policy constructs the eviction policy for this job.
+	Policy func() Policy
+	// Config is the run configuration.
+	Config Config
+}
+
+// JobResult pairs a job label with its outcome.
+type JobResult struct {
+	// Label echoes Job.Label.
+	Label string
+	// Result is the run summary (zero when Err != nil).
+	Result Result
+	// Err reports a failed run.
+	Err error
+}
+
+// RunAll executes the jobs on a bounded worker pool and returns results in
+// job order. workers <= 0 selects GOMAXPROCS.
+func RunAll(jobs []Job, workers int) []JobResult {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	out := make([]JobResult, len(jobs))
+	if len(jobs) == 0 {
+		return out
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				job := jobs[i]
+				res, err := Run(job.Trace, job.Policy(), job.Config)
+				out[i] = JobResult{Label: job.Label, Result: res, Err: err}
+			}
+		}()
+	}
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return out
+}
+
+// WindowSeries collects per-window aggregate miss counts, used for the
+// phase-shift experiment (window cost curves). It is an Observer factory.
+type WindowSeries struct {
+	// Window is the number of steps per bucket.
+	Window int
+	// MissesPerWindow[w][i] counts tenant-i misses in window w.
+	MissesPerWindow [][]int64
+
+	tenants int
+}
+
+// NewWindowSeries creates a collector with the given window length and
+// tenant count.
+func NewWindowSeries(window, tenants int) *WindowSeries {
+	if window <= 0 {
+		window = 1
+	}
+	return &WindowSeries{Window: window, tenants: tenants}
+}
+
+// Observe is the Observer to install in Config.
+func (ws *WindowSeries) Observe(ev Event) {
+	w := ev.Step / ws.Window
+	for len(ws.MissesPerWindow) <= w {
+		ws.MissesPerWindow = append(ws.MissesPerWindow, make([]int64, ws.tenants))
+	}
+	if ev.Miss && int(ev.Req.Tenant) < ws.tenants {
+		ws.MissesPerWindow[w][ev.Req.Tenant]++
+	}
+}
+
+// Windows returns the number of complete or partial windows observed.
+func (ws *WindowSeries) Windows() int { return len(ws.MissesPerWindow) }

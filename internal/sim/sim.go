@@ -1,0 +1,223 @@
+// Package sim is the cache simulation engine of the reproduction: it owns
+// the cache content set, drives any eviction Policy over a request sequence,
+// and accounts per-tenant misses, evictions and convex costs.
+//
+// The engine is deliberately policy-agnostic: the paper's algorithm
+// (internal/core), all baselines (internal/policy) and offline comparators
+// implement the same Policy interface, so every experiment compares like
+// with like.
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"convexcache/internal/costfn"
+	"convexcache/internal/trace"
+)
+
+// Policy chooses eviction victims. The engine owns cache membership; the
+// policy only ranks pages. Calls arrive in trace order with the 0-based step
+// index.
+//
+// Contract: Victim must return a page currently in the cache (the engine
+// verifies and fails the run otherwise); OnHit/OnInsert/OnEvict must be
+// accepted in any interleaving consistent with cache semantics.
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// OnHit is invoked when the requested page is already cached.
+	OnHit(step int, r trace.Request)
+	// OnInsert is invoked after a missed page has been placed in the cache
+	// (post-eviction if one was necessary).
+	OnInsert(step int, r trace.Request)
+	// Victim returns the page to evict to make room for the request r at
+	// the given step. It is called only when the cache is full and r is
+	// absent.
+	Victim(step int, r trace.Request) trace.PageID
+	// OnEvict is invoked after the engine removed p from the cache.
+	OnEvict(step int, p trace.PageID)
+	// Reset restores the policy to its initial state so the instance can
+	// be reused for another run.
+	Reset()
+}
+
+// OfflinePolicy is implemented by policies that need the whole (indexed)
+// request sequence in advance, such as Belady's MIN. The engine calls
+// Prepare before the first request when the policy implements it.
+type OfflinePolicy interface {
+	Policy
+	// Prepare installs the full indexed trace.
+	Prepare(ix *trace.Indexed)
+}
+
+// Event is delivered to observers after each simulation step.
+type Event struct {
+	// Step is the 0-based request index.
+	Step int
+	// Req is the request served at this step.
+	Req trace.Request
+	// Miss is true when the page was not cached.
+	Miss bool
+	// Evicted is the evicted page when an eviction occurred, else -1.
+	Evicted trace.PageID
+	// EvictedTenant is the owner of Evicted, else -1.
+	EvictedTenant trace.Tenant
+	// Warmup is true for steps excluded from the Result counters.
+	Warmup bool
+}
+
+// Observer receives per-step events; used for window series and debugging.
+type Observer func(Event)
+
+// Result summarizes one simulation run.
+type Result struct {
+	// Policy is the policy name.
+	Policy string
+	// K is the cache size used.
+	K int
+	// Steps is the number of requests served.
+	Steps int
+	// Hits is the total hit count.
+	Hits int64
+	// Misses[i] counts fetches (requests not found in cache) per tenant.
+	Misses []int64
+	// Evictions[i] counts evictions per tenant.
+	Evictions []int64
+}
+
+// TotalMisses sums misses over tenants.
+func (r Result) TotalMisses() int64 {
+	var s int64
+	for _, m := range r.Misses {
+		s += m
+	}
+	return s
+}
+
+// TotalEvictions sums evictions over tenants.
+func (r Result) TotalEvictions() int64 {
+	var s int64
+	for _, e := range r.Evictions {
+		s += e
+	}
+	return s
+}
+
+// Cost evaluates the convex objective sum_i f_i(misses_i) for the run.
+// Tenants beyond len(fs) contribute zero cost; this matches the paper's
+// dummy flush tenant, which has no SLA.
+func (r Result) Cost(fs []costfn.Func) float64 {
+	return Cost(fs, r.Misses)
+}
+
+// EvictionCost evaluates sum_i f_i(evictions_i), the paper's accounting
+// (cost charged on eviction).
+func (r Result) EvictionCost(fs []costfn.Func) float64 {
+	return Cost(fs, r.Evictions)
+}
+
+// Cost computes sum_i f_i(counts_i) over the tenants that have a cost
+// function.
+func Cost(fs []costfn.Func, counts []int64) float64 {
+	total := 0.0
+	for i, f := range fs {
+		if i >= len(counts) {
+			break
+		}
+		total += f.Value(float64(counts[i]))
+	}
+	return total
+}
+
+// PerTenantCost returns f_i(counts_i) for each tenant with a cost function.
+func PerTenantCost(fs []costfn.Func, counts []int64) []float64 {
+	out := make([]float64, len(fs))
+	for i, f := range fs {
+		if i < len(counts) {
+			out[i] = f.Value(float64(counts[i]))
+		}
+	}
+	return out
+}
+
+// Config controls a simulation run.
+type Config struct {
+	// K is the cache capacity in pages; must be positive.
+	K int
+	// Observer, when non-nil, receives an Event per step.
+	Observer Observer
+	// WarmupSteps excludes the first N requests from the Result counters
+	// (the policy still sees them), for steady-state measurement. Events
+	// are delivered for warmup steps too, with Warmup set.
+	WarmupSteps int
+}
+
+// Run drives policy p over the trace with cache size cfg.K.
+//
+// Semantics follow the paper's model: a requested page must be in cache; on
+// a miss with a full cache the policy's Victim is evicted first. Misses are
+// counted per tenant on every fetch; evictions per owner of the evicted
+// page.
+func Run(tr *trace.Trace, p Policy, cfg Config) (Result, error) {
+	if cfg.K <= 0 {
+		return Result{}, errors.New("sim: cache size must be positive")
+	}
+	if op, ok := p.(OfflinePolicy); ok {
+		op.Prepare(trace.Index(tr))
+	}
+	nTenants := tr.NumTenants()
+	res := Result{
+		Policy:    p.Name(),
+		K:         cfg.K,
+		Steps:     tr.Len(),
+		Misses:    make([]int64, nTenants),
+		Evictions: make([]int64, nTenants),
+	}
+	cache := make(map[trace.PageID]trace.Tenant, cfg.K)
+	for step, r := range tr.Requests() {
+		warm := step < cfg.WarmupSteps
+		ev := Event{Step: step, Req: r, Evicted: -1, EvictedTenant: -1, Warmup: warm}
+		if _, ok := cache[r.Page]; ok {
+			if !warm {
+				res.Hits++
+			}
+			p.OnHit(step, r)
+		} else {
+			ev.Miss = true
+			if !warm {
+				res.Misses[r.Tenant]++
+			}
+			if len(cache) >= cfg.K {
+				victim := p.Victim(step, r)
+				owner, ok := cache[victim]
+				if !ok {
+					return Result{}, fmt.Errorf("sim: policy %s returned victim %d not in cache at step %d", p.Name(), victim, step)
+				}
+				delete(cache, victim)
+				if !warm {
+					res.Evictions[owner]++
+				}
+				p.OnEvict(step, victim)
+				ev.Evicted = victim
+				ev.EvictedTenant = owner
+			}
+			cache[r.Page] = r.Tenant
+			p.OnInsert(step, r)
+		}
+		if cfg.Observer != nil {
+			cfg.Observer(ev)
+		}
+	}
+	return res, nil
+}
+
+// MustRun is Run that panics on error; for tests and examples with
+// known-good configurations.
+func MustRun(tr *trace.Trace, p Policy, cfg Config) Result {
+	res, err := Run(tr, p, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}

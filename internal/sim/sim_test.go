@@ -1,0 +1,263 @@
+package sim
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"convexcache/internal/costfn"
+	"convexcache/internal/trace"
+)
+
+// fifoTest is a minimal correct policy used to exercise the engine.
+type fifoTest struct {
+	queue []trace.PageID
+}
+
+func (f *fifoTest) Name() string                       { return "fifo-test" }
+func (f *fifoTest) OnHit(step int, r trace.Request)    {}
+func (f *fifoTest) OnInsert(step int, r trace.Request) { f.queue = append(f.queue, r.Page) }
+func (f *fifoTest) Victim(step int, r trace.Request) trace.PageID {
+	return f.queue[0]
+}
+func (f *fifoTest) OnEvict(step int, p trace.PageID) {
+	for i, q := range f.queue {
+		if q == p {
+			f.queue = append(f.queue[:i], f.queue[i+1:]...)
+			return
+		}
+	}
+}
+func (f *fifoTest) Reset() { f.queue = nil }
+
+// badPolicy returns a victim that is never in the cache.
+type badPolicy struct{ fifoTest }
+
+func (b *badPolicy) Victim(step int, r trace.Request) trace.PageID { return -999 }
+
+func seqTrace(t *testing.T, pages ...int) *trace.Trace {
+	t.Helper()
+	b := trace.NewBuilder()
+	for _, p := range pages {
+		b.Add(trace.Tenant(p/100), trace.PageID(p))
+	}
+	return b.MustBuild()
+}
+
+func TestRunCountsHitsAndMisses(t *testing.T) {
+	// k=2: 1,2 miss; 1 hit; 3 miss evicts FIFO head 1; 1 miss evicts 2.
+	tr := seqTrace(t, 1, 2, 1, 3, 1)
+	res, err := Run(tr, &fifoTest{}, Config{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hits != 1 {
+		t.Errorf("hits = %d, want 1", res.Hits)
+	}
+	if got := res.TotalMisses(); got != 4 {
+		t.Errorf("misses = %d, want 4", got)
+	}
+	if got := res.TotalEvictions(); got != 2 {
+		t.Errorf("evictions = %d, want 2", got)
+	}
+}
+
+func TestRunPerTenantAccounting(t *testing.T) {
+	// Tenant 0: pages 1,2; tenant 1: pages 101.
+	tr := seqTrace(t, 1, 101, 2, 1, 101)
+	res, err := Run(tr, &fifoTest{}, Config{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sequence with k=2 FIFO: 1 miss, 101 miss, 2 miss (evict 1),
+	// 1 miss (evict 101), 101 miss (evict 2).
+	if res.Misses[0] != 3 || res.Misses[1] != 2 {
+		t.Errorf("misses = %v", res.Misses)
+	}
+	if res.Evictions[0] != 2 || res.Evictions[1] != 1 {
+		t.Errorf("evictions = %v", res.Evictions)
+	}
+}
+
+func TestRunRejectsBadVictim(t *testing.T) {
+	tr := seqTrace(t, 1, 2, 3)
+	if _, err := Run(tr, &badPolicy{}, Config{K: 2}); err == nil {
+		t.Fatal("bad victim accepted")
+	}
+}
+
+func TestRunRejectsNonPositiveK(t *testing.T) {
+	tr := seqTrace(t, 1)
+	if _, err := Run(tr, &fifoTest{}, Config{K: 0}); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+func TestObserverEvents(t *testing.T) {
+	tr := seqTrace(t, 1, 2, 1, 3)
+	var events []Event
+	_, err := Run(tr, &fifoTest{}, Config{K: 2, Observer: func(ev Event) { events = append(events, ev) }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 4 {
+		t.Fatalf("events = %d, want 4", len(events))
+	}
+	if events[2].Miss {
+		t.Error("step 2 should be a hit")
+	}
+	if !events[3].Miss || events[3].Evicted != 1 {
+		t.Errorf("step 3 = %+v, want miss evicting page 1", events[3])
+	}
+	if events[0].Evicted != -1 {
+		t.Errorf("cold miss reported eviction %d", events[0].Evicted)
+	}
+}
+
+func TestCostHelpers(t *testing.T) {
+	fs := []costfn.Func{costfn.Linear{W: 2}, costfn.Monomial{C: 1, Beta: 2}}
+	counts := []int64{3, 4}
+	if got := Cost(fs, counts); got != 6+16 {
+		t.Errorf("Cost = %g, want 22", got)
+	}
+	per := PerTenantCost(fs, counts)
+	if per[0] != 6 || per[1] != 16 {
+		t.Errorf("PerTenantCost = %v", per)
+	}
+	// More tenants than cost functions: extra tenants are free (dummy
+	// flush tenant semantics).
+	if got := Cost(fs, []int64{1, 1, 50}); got != 2+1 {
+		t.Errorf("Cost with dummy = %g", got)
+	}
+	// Fewer counts than functions: missing counts are zero cost.
+	if got := Cost(fs, []int64{2}); got != 4 {
+		t.Errorf("Cost short counts = %g", got)
+	}
+}
+
+func TestResultCostMethods(t *testing.T) {
+	tr := seqTrace(t, 1, 2, 1, 3, 1)
+	res := MustRun(tr, &fifoTest{}, Config{K: 2})
+	fs := []costfn.Func{costfn.Linear{W: 1}}
+	if got := res.Cost(fs); got != float64(res.Misses[0]) {
+		t.Errorf("Cost = %g", got)
+	}
+	if got := res.EvictionCost(fs); got != float64(res.Evictions[0]) {
+		t.Errorf("EvictionCost = %g", got)
+	}
+}
+
+// scriptedSource replays a fixed request list through the interactive API.
+type scriptedSource struct{ reqs []trace.Request }
+
+func (s *scriptedSource) Next(step int, cache CacheView) trace.Request { return s.reqs[step] }
+
+func TestRunInteractiveMatchesRun(t *testing.T) {
+	tr := seqTrace(t, 1, 2, 1, 3, 1, 2)
+	want := MustRun(tr, &fifoTest{}, Config{K: 2})
+	src := &scriptedSource{reqs: tr.Requests()}
+	got, materialized, err := RunInteractive(src, tr.Len(), &fifoTest{}, Config{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Hits != want.Hits || got.TotalMisses() != want.TotalMisses() {
+		t.Errorf("interactive %+v != batch %+v", got, want)
+	}
+	if materialized.Len() != tr.Len() {
+		t.Errorf("materialized length = %d", materialized.Len())
+	}
+	for i := 0; i < tr.Len(); i++ {
+		if materialized.At(i) != tr.At(i) {
+			t.Errorf("materialized[%d] = %+v", i, materialized.At(i))
+		}
+	}
+}
+
+// missingPageSource always requests a page the cache does not hold,
+// mimicking the Theorem 1.4 adversary.
+type missingPageSource struct{ universe []trace.PageID }
+
+func (s *missingPageSource) Next(step int, cache CacheView) trace.Request {
+	for _, p := range s.universe {
+		if !cache.Contains(p) {
+			return trace.Request{Page: p, Tenant: trace.Tenant(p % 3)}
+		}
+	}
+	panic("cache holds whole universe")
+}
+
+func TestRunInteractiveAdversaryForcesAllMisses(t *testing.T) {
+	src := &missingPageSource{universe: []trace.PageID{0, 1, 2, 3}}
+	res, _, err := RunInteractive(src, 50, &fifoTest{}, Config{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hits != 0 {
+		t.Errorf("adversary allowed %d hits", res.Hits)
+	}
+	if res.TotalMisses() != 50 {
+		t.Errorf("misses = %d, want 50", res.TotalMisses())
+	}
+}
+
+func TestRunInteractiveValidation(t *testing.T) {
+	src := &scriptedSource{reqs: []trace.Request{{Page: 1, Tenant: 0}}}
+	if _, _, err := RunInteractive(src, 0, &fifoTest{}, Config{K: 1}); err == nil {
+		t.Error("steps=0 accepted")
+	}
+	if _, _, err := RunInteractive(src, 1, &fifoTest{}, Config{K: 0}); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestRunAllParallel(t *testing.T) {
+	tr := seqTrace(t, 1, 2, 3, 1, 2, 3, 1, 2, 3)
+	var constructed atomic.Int32
+	jobs := make([]Job, 16)
+	for i := range jobs {
+		jobs[i] = Job{
+			Label: "job",
+			Trace: tr,
+			Policy: func() Policy {
+				constructed.Add(1)
+				return &fifoTest{}
+			},
+			Config: Config{K: 2},
+		}
+	}
+	results := RunAll(jobs, 4)
+	if len(results) != 16 {
+		t.Fatalf("results = %d", len(results))
+	}
+	if constructed.Load() != 16 {
+		t.Errorf("factory called %d times, want 16", constructed.Load())
+	}
+	for i, jr := range results {
+		if jr.Err != nil {
+			t.Fatalf("job %d: %v", i, jr.Err)
+		}
+		if jr.Result.TotalMisses() != results[0].Result.TotalMisses() {
+			t.Errorf("job %d mismatch", i)
+		}
+	}
+	// Zero jobs and default workers paths.
+	if out := RunAll(nil, 0); len(out) != 0 {
+		t.Errorf("RunAll(nil) = %v", out)
+	}
+}
+
+func TestWindowSeries(t *testing.T) {
+	tr := seqTrace(t, 1, 2, 3, 1, 2, 3, 1, 2)
+	ws := NewWindowSeries(4, 1)
+	MustRun(tr, &fifoTest{}, Config{K: 2, Observer: ws.Observe})
+	if ws.Windows() != 2 {
+		t.Fatalf("windows = %d, want 2", ws.Windows())
+	}
+	var total int64
+	for _, w := range ws.MissesPerWindow {
+		total += w[0]
+	}
+	res := MustRun(tr, &fifoTest{}, Config{K: 2})
+	if total != res.TotalMisses() {
+		t.Errorf("window total %d != run total %d", total, res.TotalMisses())
+	}
+}

@@ -1,0 +1,53 @@
+package sim
+
+import "testing"
+
+func TestWarmupExcludesCounters(t *testing.T) {
+	// 1,2 are warmup (cold misses excluded); then 1 hits, 3 misses.
+	tr := seqTrace(t, 1, 2, 1, 3)
+	res, err := Run(tr, &fifoTest{}, Config{K: 3, WarmupSteps: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalMisses() != 1 {
+		t.Errorf("steady-state misses = %d, want 1", res.TotalMisses())
+	}
+	if res.Hits != 1 {
+		t.Errorf("steady-state hits = %d, want 1", res.Hits)
+	}
+}
+
+func TestWarmupStillWarmsThePolicy(t *testing.T) {
+	// Without warmup exclusion, all 4 are misses; with warmup the cache is
+	// already populated when measurement starts, so the re-accesses hit.
+	tr := seqTrace(t, 1, 2, 1, 2)
+	cold := MustRun(tr, &fifoTest{}, Config{K: 2})
+	warm := MustRun(tr, &fifoTest{}, Config{K: 2, WarmupSteps: 2})
+	if cold.TotalMisses() != 2 || cold.Hits != 2 {
+		t.Errorf("cold run = %+v", cold)
+	}
+	if warm.TotalMisses() != 0 || warm.Hits != 2 {
+		t.Errorf("warm run misses=%d hits=%d, want 0/2", warm.TotalMisses(), warm.Hits)
+	}
+}
+
+func TestWarmupEventsFlagged(t *testing.T) {
+	tr := seqTrace(t, 1, 2, 3)
+	var warmCount int
+	MustRun(tr, &fifoTest{}, Config{K: 2, WarmupSteps: 2, Observer: func(ev Event) {
+		if ev.Warmup {
+			warmCount++
+		}
+	}})
+	if warmCount != 2 {
+		t.Errorf("warmup events = %d, want 2", warmCount)
+	}
+}
+
+func TestWarmupLongerThanTrace(t *testing.T) {
+	tr := seqTrace(t, 1, 2)
+	res := MustRun(tr, &fifoTest{}, Config{K: 2, WarmupSteps: 10})
+	if res.TotalMisses() != 0 && res.Hits != 0 {
+		t.Errorf("counters non-zero with all-warmup run: %+v", res)
+	}
+}

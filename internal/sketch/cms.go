@@ -1,0 +1,98 @@
+// Package sketch provides a count-min sketch with periodic halving (aging),
+// the frequency estimator behind the TinyLFU admission policy in
+// internal/policy. Stdlib-only, deterministic hashing.
+package sketch
+
+import (
+	"errors"
+)
+
+// CountMin is a conservative-update count-min sketch over 64-bit keys with
+// a doorkeeper-free aging scheme: after every Window increments all
+// counters halve, so estimates track recent popularity.
+type CountMin struct {
+	rows  int
+	width uint64
+	table [][]uint32
+	seeds []uint64
+
+	// Window triggers halving after this many Add calls (0 disables).
+	window int64
+	adds   int64
+}
+
+// NewCountMin builds a sketch with the given depth (rows) and width
+// (counters per row, rounded up to a power of two); window enables aging.
+func NewCountMin(rows, width int, window int64) (*CountMin, error) {
+	if rows <= 0 || width <= 0 {
+		return nil, errors.New("sketch: rows and width must be positive")
+	}
+	w := uint64(1)
+	for w < uint64(width) {
+		w <<= 1
+	}
+	c := &CountMin{rows: rows, width: w, window: window}
+	for r := 0; r < rows; r++ {
+		c.table = append(c.table, make([]uint32, w))
+		c.seeds = append(c.seeds, 0x9E3779B97F4A7C15*uint64(r+1)+0xD1B54A32D192ED03)
+	}
+	return c, nil
+}
+
+func (c *CountMin) index(r int, key uint64) uint64 {
+	x := key ^ c.seeds[r]
+	x = (x ^ (x >> 33)) * 0xFF51AFD7ED558CCD
+	x = (x ^ (x >> 33)) * 0xC4CEB9FE1A85EC53
+	x ^= x >> 33
+	return x & (c.width - 1)
+}
+
+// Add increments the key's counters (conservative update: only the minimal
+// counters grow), aging the sketch at window boundaries.
+func (c *CountMin) Add(key uint64) {
+	est := c.Estimate(key)
+	for r := 0; r < c.rows; r++ {
+		i := c.index(r, key)
+		if uint64(c.table[r][i]) == est {
+			c.table[r][i]++
+		}
+	}
+	c.adds++
+	if c.window > 0 && c.adds%c.window == 0 {
+		c.halve()
+	}
+}
+
+// Estimate returns the key's frequency estimate (an upper bound in the
+// non-aged sketch).
+func (c *CountMin) Estimate(key uint64) uint64 {
+	min := uint64(1<<63 - 1)
+	for r := 0; r < c.rows; r++ {
+		v := uint64(c.table[r][c.index(r, key)])
+		if v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// halve divides every counter by two (the TinyLFU reset).
+func (c *CountMin) halve() {
+	for r := range c.table {
+		row := c.table[r]
+		for i := range row {
+			row[i] >>= 1
+		}
+	}
+}
+
+// Reset clears all counters.
+func (c *CountMin) Reset() {
+	for r := range c.table {
+		row := c.table[r]
+		for i := range row {
+			row[i] = 0
+		}
+	}
+	c.adds = 0
+}

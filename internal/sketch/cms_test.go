@@ -1,0 +1,109 @@
+package sketch
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestValidation(t *testing.T) {
+	if _, err := NewCountMin(0, 16, 0); err == nil {
+		t.Error("0 rows accepted")
+	}
+	if _, err := NewCountMin(4, 0, 0); err == nil {
+		t.Error("0 width accepted")
+	}
+}
+
+func TestExactWhenSparse(t *testing.T) {
+	c, err := NewCountMin(4, 1024, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		for j := 0; j <= i; j++ {
+			c.Add(uint64(i))
+		}
+	}
+	for i := 0; i < 10; i++ {
+		if got := c.Estimate(uint64(i)); got != uint64(i+1) {
+			t.Errorf("estimate(%d) = %d, want %d", i, got, i+1)
+		}
+	}
+	if got := c.Estimate(999); got != 0 {
+		t.Errorf("unseen key estimate = %d", got)
+	}
+}
+
+func TestNeverUnderestimatesWithoutAging(t *testing.T) {
+	c, err := NewCountMin(4, 256, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	truth := make(map[uint64]uint64)
+	for i := 0; i < 20000; i++ {
+		k := uint64(rng.Intn(2000))
+		c.Add(k)
+		truth[k]++
+	}
+	for k, want := range truth {
+		if got := c.Estimate(k); got < want {
+			t.Fatalf("estimate(%d) = %d underestimates %d", k, got, want)
+		}
+	}
+}
+
+func TestHotKeysDominateUnderCollisions(t *testing.T) {
+	c, err := NewCountMin(4, 128, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 30000; i++ {
+		if rng.Intn(10) < 7 {
+			c.Add(uint64(rng.Intn(8))) // hot keys 0..7
+		} else {
+			c.Add(uint64(100 + rng.Intn(5000)))
+		}
+	}
+	// Every hot key should look hotter than a typical cold key.
+	coldSum := uint64(0)
+	for i := 0; i < 100; i++ {
+		coldSum += c.Estimate(uint64(100 + i))
+	}
+	coldAvg := coldSum / 100
+	for k := 0; k < 8; k++ {
+		if got := c.Estimate(uint64(k)); got < 10*coldAvg {
+			t.Errorf("hot key %d estimate %d not well above cold average %d", k, got, coldAvg)
+		}
+	}
+}
+
+func TestAgingHalves(t *testing.T) {
+	c, err := NewCountMin(2, 64, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 99; i++ {
+		c.Add(1)
+	}
+	if got := c.Estimate(1); got != 99 {
+		t.Fatalf("pre-age estimate = %d", got)
+	}
+	c.Add(1) // 100th add triggers halving
+	if got := c.Estimate(1); got != 50 {
+		t.Errorf("post-age estimate = %d, want 50", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	c, err := NewCountMin(2, 64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Add(5)
+	c.Reset()
+	if got := c.Estimate(5); got != 0 {
+		t.Errorf("post-reset estimate = %d", got)
+	}
+}

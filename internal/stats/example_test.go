@@ -1,0 +1,22 @@
+package stats_test
+
+import (
+	"os"
+
+	"convexcache/internal/stats"
+)
+
+// ExampleTable renders experiment rows as markdown.
+func ExampleTable() {
+	tb := stats.NewTable("Demo", "policy", "cost")
+	tb.AddRow("alg", 42.5)
+	tb.AddRow("lru", 130.0)
+	tb.WriteMarkdown(os.Stdout)
+	// Output:
+	// ### Demo
+	//
+	// | policy | cost |
+	// |--------|------|
+	// | alg    | 42.5 |
+	// | lru    | 130  |
+}

@@ -1,0 +1,134 @@
+// Package stats provides the small statistical toolkit the experiment
+// harness reports with: summary statistics, percentiles, histograms and
+// table rendering (markdown and CSV).
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// Summary holds descriptive statistics of a sample.
+type Summary struct {
+	// N is the sample size.
+	N int
+	// Mean is the arithmetic mean.
+	Mean float64
+	// Std is the sample standard deviation (n-1 denominator).
+	Std float64
+	// Min and Max bound the sample.
+	Min, Max float64
+	// Median is the 50th percentile.
+	Median float64
+}
+
+// Summarize computes a Summary; it returns an error on an empty sample.
+func Summarize(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, errors.New("stats: empty sample")
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	if len(xs) > 1 {
+		ss := 0.0
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Std = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	s.Median = Percentile(xs, 50)
+	return s, nil
+}
+
+// Percentile returns the p-th percentile (0-100) of the sample using linear
+// interpolation between closest ranks. It returns NaN on an empty sample.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// GeoMean returns the geometric mean of a positive sample, NaN if any entry
+// is non-positive or the sample is empty.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	logSum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return math.NaN()
+		}
+		logSum += math.Log(x)
+	}
+	return math.Exp(logSum / float64(len(xs)))
+}
+
+// Histogram is a fixed-width bucket histogram.
+type Histogram struct {
+	// Lo is the lower edge of the first bucket.
+	Lo float64
+	// Width is the bucket width.
+	Width float64
+	// Counts holds per-bucket counts; values below Lo land in bucket 0,
+	// values beyond the last edge in the final bucket.
+	Counts []int64
+}
+
+// NewHistogram creates a histogram covering [lo, hi) with the given number
+// of buckets.
+func NewHistogram(lo, hi float64, buckets int) (*Histogram, error) {
+	if buckets <= 0 || hi <= lo {
+		return nil, errors.New("stats: histogram needs hi > lo and positive buckets")
+	}
+	return &Histogram{Lo: lo, Width: (hi - lo) / float64(buckets), Counts: make([]int64, buckets)}, nil
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	idx := int(math.Floor((x - h.Lo) / h.Width))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(h.Counts) {
+		idx = len(h.Counts) - 1
+	}
+	h.Counts[idx]++
+}
+
+// Total returns the number of observations recorded.
+func (h *Histogram) Total() int64 {
+	var t int64
+	for _, c := range h.Counts {
+		t += c
+	}
+	return t
+}

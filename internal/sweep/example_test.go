@@ -1,0 +1,22 @@
+package sweep_test
+
+import (
+	"fmt"
+
+	"convexcache/internal/sweep"
+)
+
+// Example replicates a metric across seeds and aggregates it.
+func Example() {
+	cells := []sweep.Cell{
+		{Label: "double", Metric: func(seed int64) (float64, error) {
+			return float64(2 * seed), nil
+		}},
+	}
+	results, _ := sweep.Run(cells, []int64{1, 2, 3}, 2)
+	r := results[0]
+	fmt.Printf("%s: mean=%.0f min=%.0f max=%.0f over %d seeds\n",
+		r.Label, r.Summary.Mean, r.Summary.Min, r.Summary.Max, r.Summary.N)
+	// Output:
+	// double: mean=4 min=2 max=6 over 3 seeds
+}

@@ -1,0 +1,110 @@
+// Package sweep runs parameter sweeps with seed replication on a worker
+// pool and aggregates each cell into summary statistics — the repeatability
+// layer of the experiment harness (single-seed numbers are anecdotes; cells
+// report mean, deviation and range across seeds).
+package sweep
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+
+	"convexcache/internal/stats"
+)
+
+// Cell is one configuration of a sweep: a label and a metric evaluated at a
+// seed. The metric function must be safe for concurrent invocation with
+// distinct seeds.
+type Cell struct {
+	// Label names the cell in reports.
+	Label string
+	// Metric computes the cell's scalar at one seed.
+	Metric func(seed int64) (float64, error)
+}
+
+// CellResult aggregates one cell across seeds.
+type CellResult struct {
+	// Label echoes the cell.
+	Label string
+	// Summary aggregates the per-seed metric values.
+	Summary stats.Summary
+	// Values holds the raw per-seed values, in seed order.
+	Values []float64
+	// Err is the first error encountered, if any.
+	Err error
+}
+
+// Run evaluates every cell at every seed, fanning out on a worker pool
+// (workers <= 0 selects GOMAXPROCS). Results preserve cell order.
+func Run(cells []Cell, seeds []int64, workers int) ([]CellResult, error) {
+	if len(cells) == 0 {
+		return nil, errors.New("sweep: no cells")
+	}
+	if len(seeds) == 0 {
+		return nil, errors.New("sweep: no seeds")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	type task struct{ cell, seed int }
+	tasks := make(chan task)
+	values := make([][]float64, len(cells))
+	errs := make([][]error, len(cells))
+	for i := range cells {
+		values[i] = make([]float64, len(seeds))
+		errs[i] = make([]error, len(seeds))
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for tk := range tasks {
+				v, err := cells[tk.cell].Metric(seeds[tk.seed])
+				values[tk.cell][tk.seed] = v
+				errs[tk.cell][tk.seed] = err
+			}
+		}()
+	}
+	for c := range cells {
+		for s := range seeds {
+			tasks <- task{cell: c, seed: s}
+		}
+	}
+	close(tasks)
+	wg.Wait()
+	out := make([]CellResult, len(cells))
+	for c := range cells {
+		res := CellResult{Label: cells[c].Label, Values: values[c]}
+		for s := range seeds {
+			if errs[c][s] != nil {
+				res.Err = errs[c][s]
+				break
+			}
+		}
+		if res.Err == nil {
+			summary, err := stats.Summarize(values[c])
+			if err != nil {
+				res.Err = err
+			} else {
+				res.Summary = summary
+			}
+		}
+		out[c] = res
+	}
+	return out, nil
+}
+
+// Table renders sweep results as a stats.Table with mean/std/min/max
+// columns.
+func Table(title string, results []CellResult) *stats.Table {
+	tb := stats.NewTable(title, "cell", "seeds", "mean", "std", "min", "max")
+	for _, r := range results {
+		if r.Err != nil {
+			tb.AddRow(r.Label, len(r.Values), "error: "+r.Err.Error(), "-", "-", "-")
+			continue
+		}
+		tb.AddRow(r.Label, r.Summary.N, r.Summary.Mean, r.Summary.Std, r.Summary.Min, r.Summary.Max)
+	}
+	return tb
+}

@@ -1,0 +1,109 @@
+package sweep
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"convexcache/internal/stats"
+)
+
+func TestRunAggregates(t *testing.T) {
+	cells := []Cell{
+		{Label: "identity", Metric: func(seed int64) (float64, error) { return float64(seed), nil }},
+		{Label: "square", Metric: func(seed int64) (float64, error) { return float64(seed * seed), nil }},
+	}
+	res, err := Run(cells, []int64{1, 2, 3, 4}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("results = %d", len(res))
+	}
+	if res[0].Label != "identity" || res[0].Summary.Mean != 2.5 {
+		t.Errorf("identity summary = %+v", res[0].Summary)
+	}
+	if res[1].Summary.Mean != 7.5 { // (1+4+9+16)/4
+		t.Errorf("square mean = %g", res[1].Summary.Mean)
+	}
+	// Values preserve seed order.
+	if res[0].Values[2] != 3 {
+		t.Errorf("values out of order: %v", res[0].Values)
+	}
+}
+
+func TestRunPropagatesErrors(t *testing.T) {
+	boom := errors.New("boom")
+	cells := []Cell{
+		{Label: "ok", Metric: func(seed int64) (float64, error) { return 1, nil }},
+		{Label: "bad", Metric: func(seed int64) (float64, error) {
+			if seed == 2 {
+				return 0, boom
+			}
+			return 1, nil
+		}},
+	}
+	res, err := Run(cells, []int64{1, 2, 3}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Err != nil {
+		t.Errorf("ok cell errored: %v", res[0].Err)
+	}
+	if !errors.Is(res[1].Err, boom) {
+		t.Errorf("bad cell error = %v", res[1].Err)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(nil, []int64{1}, 1); err == nil {
+		t.Error("no cells accepted")
+	}
+	if _, err := Run([]Cell{{Label: "x", Metric: func(int64) (float64, error) { return 0, nil }}}, nil, 1); err == nil {
+		t.Error("no seeds accepted")
+	}
+}
+
+func TestRunIsParallel(t *testing.T) {
+	var calls atomic.Int32
+	cells := []Cell{{Label: "count", Metric: func(seed int64) (float64, error) {
+		calls.Add(1)
+		return 0, nil
+	}}}
+	seeds := make([]int64, 64)
+	for i := range seeds {
+		seeds[i] = int64(i)
+	}
+	if _, err := Run(cells, seeds, 8); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 64 {
+		t.Errorf("metric called %d times", calls.Load())
+	}
+}
+
+func TestTableRendersErrors(t *testing.T) {
+	tb := Table("demo", []CellResult{
+		{Label: "good", Summary: mustSummary(t, []float64{1, 2, 3}), Values: []float64{1, 2, 3}},
+		{Label: "bad", Err: errors.New("nope"), Values: []float64{0}},
+	})
+	if tb.NumRows() != 2 {
+		t.Fatalf("rows = %d", tb.NumRows())
+	}
+	rows := tb.Rows()
+	if rows[0][2] != "2" {
+		t.Errorf("mean cell = %q", rows[0][2])
+	}
+	if rows[1][2] != "error: nope" {
+		t.Errorf("error cell = %q", rows[1][2])
+	}
+}
+
+func mustSummary(t *testing.T, xs []float64) stats.Summary {
+	t.Helper()
+	s, err := stats.Summarize(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}

@@ -1,0 +1,102 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// The binary trace format is a compact varint encoding for large traces:
+// magic "CXT1", a uvarint request count, then per request a uvarint tenant
+// and a uvarint page delta encoded as zig-zag against the previous page id
+// (locality makes deltas small).
+
+var binaryMagic = [4]byte{'C', 'X', 'T', '1'}
+
+// WriteBinary serializes the trace in the binary format.
+func WriteBinary(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(binaryMagic[:]); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	writeUvarint := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	if err := writeUvarint(uint64(t.Len())); err != nil {
+		return err
+	}
+	prev := int64(0)
+	for _, r := range t.reqs {
+		if err := writeUvarint(uint64(r.Tenant)); err != nil {
+			return err
+		}
+		delta := int64(r.Page) - prev
+		if err := writeUvarint(zigzag(delta)); err != nil {
+			return err
+		}
+		prev = int64(r.Page)
+	}
+	return bw.Flush()
+}
+
+// ReadBinary parses a binary-format trace.
+func ReadBinary(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("trace: binary header: %w", err)
+	}
+	if magic != binaryMagic {
+		return nil, errors.New("trace: not a CXT1 binary trace")
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: request count: %w", err)
+	}
+	const maxRequests = 1 << 32
+	if count == 0 || count > maxRequests {
+		return nil, fmt.Errorf("trace: implausible request count %d", count)
+	}
+	b := NewBuilder()
+	prev := int64(0)
+	for i := uint64(0); i < count; i++ {
+		tn, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: request %d tenant: %w", i, err)
+		}
+		if tn > 1<<20 {
+			return nil, fmt.Errorf("trace: request %d implausible tenant %d", i, tn)
+		}
+		zz, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: request %d page: %w", i, err)
+		}
+		prev += unzigzag(zz)
+		b.Add(Tenant(tn), PageID(prev))
+	}
+	return b.Build()
+}
+
+// ReadAuto detects the trace format (binary CXT1 vs text) by peeking at the
+// magic bytes and dispatches to the matching reader.
+func ReadAuto(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	head, err := br.Peek(4)
+	if err == nil && [4]byte(head) == binaryMagic {
+		return ReadBinary(br)
+	}
+	return Read(br)
+}
+
+func zigzag(v int64) uint64 {
+	return uint64((v << 1) ^ (v >> 63))
+}
+
+func unzigzag(u uint64) int64 {
+	return int64(u>>1) ^ -int64(u&1)
+}

@@ -1,0 +1,118 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	tr := buildSimple(t)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != tr.Len() {
+		t.Fatalf("length %d != %d", back.Len(), tr.Len())
+	}
+	for i := 0; i < tr.Len(); i++ {
+		if back.At(i) != tr.At(i) {
+			t.Fatalf("request %d: %+v != %+v", i, back.At(i), tr.At(i))
+		}
+	}
+}
+
+func TestBinaryRoundTripRandom(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := NewBuilder()
+		n := 1 + rng.Intn(4)
+		for i := 0; i < 50+rng.Intn(200); i++ {
+			tn := rng.Intn(n)
+			b.Add(Tenant(tn), PageID(int64(tn)<<32|int64(rng.Intn(100))))
+		}
+		tr := b.MustBuild()
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, tr); err != nil {
+			return false
+		}
+		back, err := ReadBinary(&buf)
+		if err != nil {
+			return false
+		}
+		if back.Len() != tr.Len() {
+			return false
+		}
+		for i := 0; i < tr.Len(); i++ {
+			if back.At(i) != tr.At(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBinaryRejectsGarbage(t *testing.T) {
+	for _, data := range []string{
+		"",
+		"XY",
+		"NOPE0123456",
+		"CXT1", // magic but no count
+	} {
+		if _, err := ReadBinary(strings.NewReader(data)); err == nil {
+			t.Errorf("garbage %q accepted", data)
+		}
+	}
+	// Truncated body.
+	tr := buildSimple(t)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	truncated := buf.Bytes()[:buf.Len()-2]
+	if _, err := ReadBinary(bytes.NewReader(truncated)); err == nil {
+		t.Error("truncated trace accepted")
+	}
+}
+
+func TestBinaryIsCompact(t *testing.T) {
+	// Locality-heavy traces should compress well below text size.
+	b := NewBuilder()
+	rng := rand.New(rand.NewSource(1))
+	page := int64(1_000_000)
+	for i := 0; i < 5000; i++ {
+		page += int64(rng.Intn(7)) - 3
+		if page < 0 {
+			page = 0
+		}
+		b.Add(0, PageID(page))
+	}
+	tr := b.MustBuild()
+	var bin, txt bytes.Buffer
+	if err := WriteBinary(&bin, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&txt, tr); err != nil {
+		t.Fatal(err)
+	}
+	if bin.Len() >= txt.Len()/2 {
+		t.Errorf("binary %d bytes not well below text %d", bin.Len(), txt.Len())
+	}
+}
+
+func TestZigzag(t *testing.T) {
+	for _, v := range []int64{0, 1, -1, 63, -64, 1 << 40, -(1 << 40)} {
+		if got := unzigzag(zigzag(v)); got != v {
+			t.Errorf("zigzag round trip of %d = %d", v, got)
+		}
+	}
+}

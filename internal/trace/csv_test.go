@@ -1,0 +1,88 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleCSV = `128166372003061629,web0,0,Read,0,8192,100
+128166372003061630,web0,0,Read,4096,4096,90
+128166372003061631,db1,2,Write,1000000,4096,80
+128166372003061632,web0,0,Read,12288,4096,70
+`
+
+func TestReadBlockCSV(t *testing.T) {
+	tr, err := ReadBlockCSV(strings.NewReader(sampleCSV), CSVOptions{PageBytes: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Row 1 spans pages 0,1 (8192 bytes); row 2 page 1; row 3 is unaligned
+	// (offset 1000000) and spans pages 244,245 for tenant db1/2; row 4
+	// page 3. Total requests: 2+1+2+1 = 6.
+	if tr.Len() != 6 {
+		t.Fatalf("requests = %d, want 6", tr.Len())
+	}
+	if tr.NumTenants() != 2 {
+		t.Fatalf("tenants = %d, want 2", tr.NumTenants())
+	}
+	// web0/0 pages: 0,1,3 distinct; db1/2: 2 pages.
+	s := tr.ComputeStats()
+	if s.PerTenantPages[0] != 3 || s.PerTenantPages[1] != 2 {
+		t.Errorf("per-tenant pages = %v", s.PerTenantPages)
+	}
+	// Page 1 is requested twice by tenant 0 (rows 1 and 2).
+	if s.PerTenantRequests[0] != 4 {
+		t.Errorf("tenant 0 requests = %d, want 4", s.PerTenantRequests[0])
+	}
+}
+
+func TestReadBlockCSVHeaderAndComments(t *testing.T) {
+	in := "ts,host,disk,type,offset,size,rt\n# comment\n\n1,h,0,Read,0,4096,1\n"
+	tr, err := ReadBlockCSV(strings.NewReader(in), CSVOptions{HeaderRows: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("requests = %d", tr.Len())
+	}
+}
+
+func TestReadBlockCSVMaxRequests(t *testing.T) {
+	// One row covering many pages, capped at 3.
+	in := "1,h,0,Read,0,1048576,1\n"
+	tr, err := ReadBlockCSV(strings.NewReader(in), CSVOptions{PageBytes: 4096, MaxRequests: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("requests = %d, want 3", tr.Len())
+	}
+}
+
+func TestReadBlockCSVErrors(t *testing.T) {
+	bad := []string{
+		"1,h,0,Read,0\n",         // too few fields
+		"1,h,0,Read,x,4096,1\n",  // bad offset
+		"1,h,0,Read,0,y,1\n",     // bad size
+		"1,h,0,Read,-1,4096,1\n", // negative offset
+		"1,h,0,Read,0,0,1\n",     // zero size
+		"",                       // empty -> no requests
+	}
+	for _, in := range bad {
+		if _, err := ReadBlockCSV(strings.NewReader(in), CSVOptions{}); err == nil {
+			t.Errorf("ReadBlockCSV(%q) succeeded", in)
+		}
+	}
+}
+
+func TestReadBlockCSVDefaultPageSize(t *testing.T) {
+	in := "1,h,0,Read,8192,4096,1\n"
+	tr, err := ReadBlockCSV(strings.NewReader(in), CSVOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Page index 2 at 4K granularity, namespaced for tenant 0.
+	if got := tr.At(0).Page; got != PageID(2) {
+		t.Errorf("page = %d, want 2", got)
+	}
+}

@@ -1,0 +1,63 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadBinary feeds arbitrary bytes to the binary reader: it must never
+// panic, and anything it accepts must round-trip.
+func FuzzReadBinary(f *testing.F) {
+	tr := NewBuilder().Add(0, 1).Add(1, 5).Add(0, 1).MustBuild()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tr); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("CXT1"))
+	f.Add([]byte("garbage"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteBinary(&out, got); err != nil {
+			t.Fatalf("re-encode of accepted trace failed: %v", err)
+		}
+		back, err := ReadBinary(&out)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if back.Len() != got.Len() {
+			t.Fatalf("round trip changed length: %d vs %d", back.Len(), got.Len())
+		}
+	})
+}
+
+// FuzzReadText does the same for the text reader.
+func FuzzReadText(f *testing.F) {
+	f.Add("0 1\n1 2\n")
+	f.Add("# comment\n\n0 1\n")
+	f.Add("x y\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, data string) {
+		got, err := Read(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := Write(&out, got); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		back, err := Read(&out)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if back.Len() != got.Len() {
+			t.Fatalf("round trip changed length")
+		}
+	})
+}

@@ -1,0 +1,60 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The text trace format is one request per line: "<tenant> <page>", with
+// '#'-prefixed comment lines and blank lines ignored. It is the interchange
+// format of cmd/tracegen and cmd/convexsim.
+
+// Write serializes the trace in text format.
+func Write(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# convexcache trace: T=%d pages=%d tenants=%d\n",
+		t.Len(), t.NumPages(), t.NumTenants()); err != nil {
+		return err
+	}
+	for _, r := range t.reqs {
+		if _, err := fmt.Fprintf(bw, "%d %d\n", r.Tenant, r.Page); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a text-format trace.
+func Read(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	b := NewBuilder()
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("trace: line %d: want \"tenant page\", got %q", line, text)
+		}
+		tenant, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad tenant %q", line, fields[0])
+		}
+		page, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad page %q", line, fields[1])
+		}
+		b.Add(Tenant(tenant), PageID(page))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: read: %w", err)
+	}
+	return b.Build()
+}

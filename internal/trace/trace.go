@@ -1,0 +1,295 @@
+// Package trace defines the request-sequence model of the multi-tenant
+// caching problem: pages owned by tenants, the online sequence sigma of page
+// requests, and the derived quantities the paper's convex program is indexed
+// by — the per-page request counters r(p,t), the interval indices j(p,t) and
+// the distinct-page sets B(t).
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Tenant identifies a user i in U. Tenants are dense small integers.
+type Tenant int
+
+// PageID identifies a page p in P. Page ownership is fixed: every page
+// belongs to exactly one tenant for the lifetime of a trace.
+type PageID int64
+
+// Request is one element of the request sequence sigma.
+type Request struct {
+	// Page is the requested page p_t.
+	Page PageID
+	// Tenant is the owner i(p_t) of the page.
+	Tenant Tenant
+}
+
+// Trace is a finite request sequence together with the (fixed) page
+// ownership map. Traces are immutable once built; use Builder to construct
+// them incrementally or New to wrap pre-validated data.
+type Trace struct {
+	reqs    []Request
+	owner   map[PageID]Tenant
+	tenants int
+}
+
+// Builder accumulates requests and infers ownership, validating that a page
+// is never claimed by two tenants.
+type Builder struct {
+	reqs    []Request
+	owner   map[PageID]Tenant
+	tenants int
+	err     error
+}
+
+// NewBuilder returns an empty trace builder.
+func NewBuilder() *Builder {
+	return &Builder{owner: make(map[PageID]Tenant)}
+}
+
+// Add appends a request for page p owned by tenant i. The first Add for a
+// page fixes its owner; later conflicting owners record an error surfaced by
+// Build.
+func (b *Builder) Add(i Tenant, p PageID) *Builder {
+	if b.err != nil {
+		return b
+	}
+	if i < 0 {
+		b.err = fmt.Errorf("trace: negative tenant %d", i)
+		return b
+	}
+	if prev, ok := b.owner[p]; ok {
+		if prev != i {
+			b.err = fmt.Errorf("trace: page %d claimed by tenants %d and %d", p, prev, i)
+			return b
+		}
+	} else {
+		b.owner[p] = i
+	}
+	if int(i) >= b.tenants {
+		b.tenants = int(i) + 1
+	}
+	b.reqs = append(b.reqs, Request{Page: p, Tenant: i})
+	return b
+}
+
+// Build finalizes the trace.
+func (b *Builder) Build() (*Trace, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if len(b.reqs) == 0 {
+		return nil, errors.New("trace: empty request sequence")
+	}
+	return &Trace{reqs: b.reqs, owner: b.owner, tenants: b.tenants}, nil
+}
+
+// MustBuild is Build that panics on error; for tests and generators whose
+// inputs are validated upstream.
+func (b *Builder) MustBuild() *Trace {
+	tr, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return tr
+}
+
+// FromRequests builds a trace directly from a request slice, validating
+// ownership consistency.
+func FromRequests(reqs []Request) (*Trace, error) {
+	b := NewBuilder()
+	for _, r := range reqs {
+		b.Add(r.Tenant, r.Page)
+	}
+	return b.Build()
+}
+
+// Len returns T, the number of requests.
+func (t *Trace) Len() int { return len(t.reqs) }
+
+// At returns the request at 0-based time step idx (the paper's time
+// t = idx+1).
+func (t *Trace) At(idx int) Request { return t.reqs[idx] }
+
+// Requests returns the underlying request slice. Callers must not modify it.
+func (t *Trace) Requests() []Request { return t.reqs }
+
+// NumTenants returns n = |U|, taken as 1 + the largest tenant id seen.
+func (t *Trace) NumTenants() int { return t.tenants }
+
+// Owner returns the owning tenant of page p and whether p appears in the
+// trace.
+func (t *Trace) Owner(p PageID) (Tenant, bool) {
+	i, ok := t.owner[p]
+	return i, ok
+}
+
+// Pages returns all distinct pages in the trace in ascending id order.
+func (t *Trace) Pages() []PageID {
+	out := make([]PageID, 0, len(t.owner))
+	for p := range t.owner {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// PagesOf returns the distinct pages owned by tenant i, ascending.
+func (t *Trace) PagesOf(i Tenant) []PageID {
+	var out []PageID
+	for p, owner := range t.owner {
+		if owner == i {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// NumPages returns |P|, the number of distinct pages.
+func (t *Trace) NumPages() int { return len(t.owner) }
+
+// Concat returns a new trace consisting of t followed by u. Ownership must
+// be consistent across the two traces.
+func (t *Trace) Concat(u *Trace) (*Trace, error) {
+	b := NewBuilder()
+	for _, r := range t.reqs {
+		b.Add(r.Tenant, r.Page)
+	}
+	for _, r := range u.reqs {
+		b.Add(r.Tenant, r.Page)
+	}
+	return b.Build()
+}
+
+// Slice returns the sub-trace of requests [lo, hi).
+func (t *Trace) Slice(lo, hi int) (*Trace, error) {
+	if lo < 0 || hi > len(t.reqs) || lo >= hi {
+		return nil, fmt.Errorf("trace: bad slice [%d,%d) of length-%d trace", lo, hi, len(t.reqs))
+	}
+	return FromRequests(t.reqs[lo:hi])
+}
+
+// Stats summarizes a trace for reports and sanity checks.
+type Stats struct {
+	// Requests is T.
+	Requests int
+	// DistinctPages is |P|.
+	DistinctPages int
+	// Tenants is n.
+	Tenants int
+	// PerTenantRequests counts requests per tenant.
+	PerTenantRequests []int
+	// PerTenantPages counts distinct pages per tenant.
+	PerTenantPages []int
+	// ColdMisses is the number of first-time page requests (a lower bound
+	// on misses for every algorithm and every cache size).
+	ColdMisses int
+	// MaxWorkingSet is the largest number of distinct pages seen overall
+	// (equals DistinctPages; kept for report symmetry).
+	MaxWorkingSet int
+}
+
+// ComputeStats scans the trace once and returns its Stats.
+func (t *Trace) ComputeStats() Stats {
+	s := Stats{
+		Requests:          len(t.reqs),
+		DistinctPages:     len(t.owner),
+		Tenants:           t.tenants,
+		PerTenantRequests: make([]int, t.tenants),
+		PerTenantPages:    make([]int, t.tenants),
+	}
+	seen := make(map[PageID]bool, len(t.owner))
+	for _, r := range t.reqs {
+		s.PerTenantRequests[r.Tenant]++
+		if !seen[r.Page] {
+			seen[r.Page] = true
+			s.ColdMisses++
+			s.PerTenantPages[r.Tenant]++
+		}
+	}
+	s.MaxWorkingSet = s.DistinctPages
+	return s
+}
+
+// Indexed augments a trace with the combinatorial indices used by the convex
+// program of Figure 1: for each time step the interval index j(p_t, t) of
+// the requested page, the running distinct-page count |B(t)|, and for every
+// page its request times t(p, j).
+type Indexed struct {
+	*Trace
+	// IntervalIdx[t] is j(p_t, t+1): 0-based index of the interval that
+	// begins with the request at step t. Equivalently, the number of prior
+	// requests of the same page.
+	IntervalIdx []int
+	// DistinctCount[t] is |B(t+1)|: distinct pages seen in steps 0..t.
+	DistinctCount []int
+	// RequestTimes[p][j] is the 0-based step of the j-th (0-based) request
+	// of page p; the paper's t(p, j+1).
+	RequestTimes map[PageID][]int
+}
+
+// Index computes the derived request indices in one scan.
+func Index(t *Trace) *Indexed {
+	ix := &Indexed{
+		Trace:         t,
+		IntervalIdx:   make([]int, t.Len()),
+		DistinctCount: make([]int, t.Len()),
+		RequestTimes:  make(map[PageID][]int, t.NumPages()),
+	}
+	distinct := 0
+	for step, r := range t.reqs {
+		times := ix.RequestTimes[r.Page]
+		ix.IntervalIdx[step] = len(times)
+		if len(times) == 0 {
+			distinct++
+		}
+		ix.RequestTimes[r.Page] = append(times, step)
+		ix.DistinctCount[step] = distinct
+	}
+	return ix
+}
+
+// NumIntervals returns r(p,T): the total number of requests of page p, which
+// is also the number of (p, j) eviction variables for p in the convex
+// program.
+func (ix *Indexed) NumIntervals(p PageID) int { return len(ix.RequestTimes[p]) }
+
+// IntervalEnd returns the 0-based step of the (j+1)-th request of p (the end
+// of interval j), or the trace length if interval j is the last one.
+func (ix *Indexed) IntervalEnd(p PageID, j int) int {
+	times := ix.RequestTimes[p]
+	if j+1 < len(times) {
+		return times[j+1]
+	}
+	return ix.Len()
+}
+
+// WithFlush returns sigma extended by the paper's dummy-tenant flush: k
+// fresh pages owned by a new tenant are appended so that every real page is
+// evicted by the end, making eviction counts equal miss counts. The dummy
+// tenant id and its linear unit cost are the caller's to handle.
+func WithFlush(t *Trace, k int) (*Trace, Tenant, error) {
+	if k <= 0 {
+		return nil, 0, errors.New("trace: flush needs positive cache size")
+	}
+	dummy := Tenant(t.NumTenants())
+	// Fresh page ids beyond any existing page.
+	maxPage := PageID(-1)
+	for p := range t.owner {
+		if p > maxPage {
+			maxPage = p
+		}
+	}
+	b := NewBuilder()
+	for _, r := range t.reqs {
+		b.Add(r.Tenant, r.Page)
+	}
+	for j := 1; j <= k; j++ {
+		b.Add(dummy, maxPage+PageID(j))
+	}
+	out, err := b.Build()
+	return out, dummy, err
+}

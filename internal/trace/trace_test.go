@@ -1,0 +1,279 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func buildSimple(t *testing.T) *Trace {
+	t.Helper()
+	// Two tenants; tenant 0 owns pages 1,2; tenant 1 owns page 10.
+	tr, err := NewBuilder().
+		Add(0, 1).Add(0, 2).Add(1, 10).Add(0, 1).Add(1, 10).Add(0, 2).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestBuilderBasics(t *testing.T) {
+	tr := buildSimple(t)
+	if tr.Len() != 6 {
+		t.Fatalf("Len = %d, want 6", tr.Len())
+	}
+	if tr.NumTenants() != 2 {
+		t.Fatalf("NumTenants = %d, want 2", tr.NumTenants())
+	}
+	if tr.NumPages() != 3 {
+		t.Fatalf("NumPages = %d, want 3", tr.NumPages())
+	}
+	if got := tr.At(3); got.Page != 1 || got.Tenant != 0 {
+		t.Fatalf("At(3) = %+v", got)
+	}
+	if owner, ok := tr.Owner(10); !ok || owner != 1 {
+		t.Fatalf("Owner(10) = %d,%v", owner, ok)
+	}
+	if _, ok := tr.Owner(99); ok {
+		t.Fatal("Owner(99) found")
+	}
+}
+
+func TestBuilderRejectsOwnershipConflict(t *testing.T) {
+	_, err := NewBuilder().Add(0, 1).Add(1, 1).Build()
+	if err == nil {
+		t.Fatal("conflicting ownership accepted")
+	}
+}
+
+func TestBuilderRejectsEmptyAndNegativeTenant(t *testing.T) {
+	if _, err := NewBuilder().Build(); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+	if _, err := NewBuilder().Add(-1, 5).Build(); err == nil {
+		t.Fatal("negative tenant accepted")
+	}
+}
+
+func TestPagesSortedAndPerTenant(t *testing.T) {
+	tr := buildSimple(t)
+	pages := tr.Pages()
+	want := []PageID{1, 2, 10}
+	if len(pages) != len(want) {
+		t.Fatalf("Pages = %v", pages)
+	}
+	for i := range want {
+		if pages[i] != want[i] {
+			t.Fatalf("Pages = %v, want %v", pages, want)
+		}
+	}
+	p0 := tr.PagesOf(0)
+	if len(p0) != 2 || p0[0] != 1 || p0[1] != 2 {
+		t.Fatalf("PagesOf(0) = %v", p0)
+	}
+	p1 := tr.PagesOf(1)
+	if len(p1) != 1 || p1[0] != 10 {
+		t.Fatalf("PagesOf(1) = %v", p1)
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	tr := buildSimple(t)
+	s := tr.ComputeStats()
+	if s.Requests != 6 || s.DistinctPages != 3 || s.Tenants != 2 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.ColdMisses != 3 {
+		t.Fatalf("ColdMisses = %d, want 3", s.ColdMisses)
+	}
+	if s.PerTenantRequests[0] != 4 || s.PerTenantRequests[1] != 2 {
+		t.Fatalf("PerTenantRequests = %v", s.PerTenantRequests)
+	}
+	if s.PerTenantPages[0] != 2 || s.PerTenantPages[1] != 1 {
+		t.Fatalf("PerTenantPages = %v", s.PerTenantPages)
+	}
+}
+
+func TestIndex(t *testing.T) {
+	tr := buildSimple(t)
+	ix := Index(tr)
+	// Sequence: 1,2,10,1,10,2.
+	wantInterval := []int{0, 0, 0, 1, 1, 1}
+	for i, w := range wantInterval {
+		if ix.IntervalIdx[i] != w {
+			t.Errorf("IntervalIdx[%d] = %d, want %d", i, ix.IntervalIdx[i], w)
+		}
+	}
+	wantDistinct := []int{1, 2, 3, 3, 3, 3}
+	for i, w := range wantDistinct {
+		if ix.DistinctCount[i] != w {
+			t.Errorf("DistinctCount[%d] = %d, want %d", i, ix.DistinctCount[i], w)
+		}
+	}
+	if got := ix.NumIntervals(1); got != 2 {
+		t.Errorf("NumIntervals(1) = %d, want 2", got)
+	}
+	if got := ix.IntervalEnd(1, 0); got != 3 {
+		t.Errorf("IntervalEnd(1,0) = %d, want 3", got)
+	}
+	if got := ix.IntervalEnd(1, 1); got != tr.Len() {
+		t.Errorf("IntervalEnd(1,1) = %d, want trace end %d", got, tr.Len())
+	}
+	times := ix.RequestTimes[10]
+	if len(times) != 2 || times[0] != 2 || times[1] != 4 {
+		t.Errorf("RequestTimes[10] = %v", times)
+	}
+}
+
+func TestConcatAndSlice(t *testing.T) {
+	tr := buildSimple(t)
+	both, err := tr.Concat(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if both.Len() != 12 {
+		t.Fatalf("concat length = %d", both.Len())
+	}
+	sub, err := tr.Slice(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Len() != 3 || sub.At(0).Page != 2 {
+		t.Fatalf("slice = %+v", sub.Requests())
+	}
+	if _, err := tr.Slice(3, 3); err == nil {
+		t.Fatal("empty slice accepted")
+	}
+	if _, err := tr.Slice(-1, 2); err == nil {
+		t.Fatal("negative slice accepted")
+	}
+}
+
+func TestConcatOwnershipConflict(t *testing.T) {
+	a := NewBuilder().Add(0, 1).MustBuild()
+	b := NewBuilder().Add(1, 1).MustBuild()
+	if _, err := a.Concat(b); err == nil {
+		t.Fatal("conflicting concat accepted")
+	}
+}
+
+func TestWithFlush(t *testing.T) {
+	tr := buildSimple(t)
+	flushed, dummy, err := WithFlush(tr, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dummy != 2 {
+		t.Fatalf("dummy tenant = %d, want 2", dummy)
+	}
+	if flushed.Len() != tr.Len()+3 {
+		t.Fatalf("flushed length = %d", flushed.Len())
+	}
+	// The appended pages must be fresh and owned by the dummy tenant.
+	for i := tr.Len(); i < flushed.Len(); i++ {
+		r := flushed.At(i)
+		if r.Tenant != dummy {
+			t.Fatalf("flush request %d owned by %d", i, r.Tenant)
+		}
+		if _, ok := tr.Owner(r.Page); ok {
+			t.Fatalf("flush page %d collides with existing page", r.Page)
+		}
+	}
+	if _, _, err := WithFlush(tr, 0); err == nil {
+		t.Fatal("flush with k=0 accepted")
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	tr := buildSimple(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != tr.Len() {
+		t.Fatalf("round trip length %d != %d", back.Len(), tr.Len())
+	}
+	for i := 0; i < tr.Len(); i++ {
+		if back.At(i) != tr.At(i) {
+			t.Fatalf("request %d: %+v != %+v", i, back.At(i), tr.At(i))
+		}
+	}
+}
+
+func TestReadRejectsMalformed(t *testing.T) {
+	for _, text := range []string{
+		"0 1 2\n",    // too many fields
+		"x 1\n",      // bad tenant
+		"0 y\n",      // bad page
+		"# only\n",   // no requests at all
+		"0 1\n1 1\n", // ownership conflict
+	} {
+		if _, err := Read(strings.NewReader(text)); err == nil {
+			t.Errorf("Read(%q) succeeded", text)
+		}
+	}
+}
+
+func TestReadSkipsCommentsAndBlanks(t *testing.T) {
+	tr, err := Read(strings.NewReader("# header\n\n0 1\n  \n1 2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("length = %d, want 2", tr.Len())
+	}
+}
+
+// Property: index invariants hold on random traces.
+func TestQuickIndexInvariants(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := NewBuilder()
+		n := 2 + rng.Intn(3)
+		total := 20 + rng.Intn(80)
+		for i := 0; i < total; i++ {
+			tenant := rng.Intn(n)
+			page := PageID(tenant*100 + rng.Intn(6))
+			b.Add(Tenant(tenant), page)
+		}
+		tr := b.MustBuild()
+		ix := Index(tr)
+		// (1) DistinctCount is non-decreasing and ends at NumPages.
+		for i := 1; i < tr.Len(); i++ {
+			if ix.DistinctCount[i] < ix.DistinctCount[i-1] {
+				return false
+			}
+		}
+		if ix.DistinctCount[tr.Len()-1] != tr.NumPages() {
+			return false
+		}
+		// (2) Sum of NumIntervals over pages equals T.
+		sum := 0
+		for _, p := range tr.Pages() {
+			sum += ix.NumIntervals(p)
+		}
+		if sum != tr.Len() {
+			return false
+		}
+		// (3) IntervalIdx at step s equals the count of earlier requests of
+		// the same page.
+		counts := map[PageID]int{}
+		for s, r := range tr.Requests() {
+			if ix.IntervalIdx[s] != counts[r.Page] {
+				return false
+			}
+			counts[r.Page]++
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,121 @@
+package workload
+
+import (
+	"fmt"
+
+	"convexcache/internal/sim"
+	"convexcache/internal/trace"
+)
+
+// Adversary is the cruel request source from the proof of Theorem 1.4:
+// n single-page tenants (tenant i owns exactly page i) against a cache of
+// size k = n-1, always requesting the one page the online algorithm does not
+// hold. Every request after the first n-1 warm-up fills is a forced miss for
+// any deterministic online algorithm.
+//
+// It implements sim.RequestSource for use with sim.RunInteractive.
+type Adversary struct {
+	n int
+}
+
+// NewAdversary builds the adversary for n >= 2 tenants.
+func NewAdversary(n int) (*Adversary, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("workload: adversary needs n >= 2 tenants, got %d", n)
+	}
+	return &Adversary{n: n}, nil
+}
+
+// CacheSize returns the cache size k = n-1 the construction prescribes.
+func (a *Adversary) CacheSize() int { return a.n - 1 }
+
+// Next implements sim.RequestSource: during warm-up it requests pages
+// 0..n-2 in order; afterwards it requests the unique missing page.
+func (a *Adversary) Next(step int, cache sim.CacheView) trace.Request {
+	if step < a.n-1 {
+		return trace.Request{Page: trace.PageID(step), Tenant: trace.Tenant(step)}
+	}
+	for p := 0; p < a.n; p++ {
+		if !cache.Contains(trace.PageID(p)) {
+			return trace.Request{Page: trace.PageID(p), Tenant: trace.Tenant(p)}
+		}
+	}
+	// The cache cannot hold all n pages with k = n-1; unreachable.
+	panic("workload: adversary found no missing page")
+}
+
+// BatchedOfflineCost computes the cost achieved by the offline strategy in
+// the proof of Theorem 1.4 on the materialized adversarial trace: requests
+// are processed in batches of length (n-1)/2; at the start of each batch the
+// offline algorithm evicts one page that is not requested within the batch,
+// choosing among the candidates the page with the fewest evictions so far.
+// It returns the per-tenant eviction counts of that strategy (its misses up
+// to the initial fills).
+//
+// The trace must be an adversary-generated sequence over pages 0..n-1.
+func BatchedOfflineCost(tr *trace.Trace, n int) ([]int64, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("workload: batched offline needs n >= 3, got %d", n)
+	}
+	batch := (n - 1) / 2
+	if batch < 1 {
+		batch = 1
+	}
+	reqs := tr.Requests()
+	evictions := make([]int64, n)
+	// The offline cache also has k = n-1 slots; after warm-up it holds all
+	// pages except one. Track the missing page.
+	inCache := make([]bool, n)
+	filled := 0
+	i := 0
+	// Warm-up: serve requests while the cache is not yet full.
+	for ; i < len(reqs) && filled < n-1; i++ {
+		p := int(reqs[i].Page)
+		if p >= n {
+			return nil, fmt.Errorf("workload: page %d out of adversary universe %d", p, n)
+		}
+		if !inCache[p] {
+			inCache[p] = true
+			filled++
+		}
+	}
+	for i < len(reqs) {
+		end := i + batch
+		if end > len(reqs) {
+			end = len(reqs)
+		}
+		// Pages requested in this batch.
+		needed := make(map[int]bool, batch)
+		for j := i; j < end; j++ {
+			needed[int(reqs[j].Page)] = true
+		}
+		// If the currently missing page is requested in the batch, bring it
+		// in by evicting a page not needed in this batch with the fewest
+		// evictions so far (the proof's balancing rule).
+		missing := -1
+		for p := 0; p < n; p++ {
+			if !inCache[p] {
+				missing = p
+				break
+			}
+		}
+		if missing >= 0 && needed[missing] {
+			victim := -1
+			for p := 0; p < n; p++ {
+				if inCache[p] && !needed[p] {
+					if victim == -1 || evictions[p] < evictions[victim] {
+						victim = p
+					}
+				}
+			}
+			if victim == -1 {
+				return nil, fmt.Errorf("workload: no evictable page in batch starting at %d", i)
+			}
+			inCache[victim] = false
+			inCache[missing] = true
+			evictions[victim]++
+		}
+		i = end
+	}
+	return evictions, nil
+}

@@ -1,0 +1,118 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// DB simulates a database tenant's buffer-pool access pattern, the workload
+// family of the paper's SQLVM motivation: every logical row access walks a
+// B-tree (root, one internal level, a leaf) and then touches a heap page;
+// point queries hit Zipf-distributed keys, while occasional range scans
+// sweep consecutive leaves and heap pages. Index upper levels are tiny and
+// scorching hot — exactly the structure that makes cache partitioning
+// decisions interesting.
+type DB struct {
+	rng *rand.Rand
+
+	heapPages int64
+	leafPages int64
+	internal  int64
+
+	zipf     *Zipf
+	scanProb float64
+	scanLen  int64
+
+	// Page-id layout: [root][internal...][leaves...][heap...].
+	internalBase int64
+	leafBase     int64
+	heapBase     int64
+	total        int64
+
+	// Pending pages to emit (a row access expands to several pages).
+	pending []int64
+}
+
+// NewDB builds the generator: heapPages data pages (one per key region),
+// skew is the Zipf exponent over keys, scanProb the probability a logical
+// access is a range scan of scanLen rows.
+func NewDB(seed int64, heapPages int64, skew, scanProb float64, scanLen int64) (*DB, error) {
+	if heapPages < 4 {
+		return nil, fmt.Errorf("workload: db needs >= 4 heap pages, got %d", heapPages)
+	}
+	if scanProb < 0 || scanProb > 1 {
+		return nil, fmt.Errorf("workload: scan probability %g out of [0,1]", scanProb)
+	}
+	if scanLen <= 0 {
+		scanLen = 16
+	}
+	leaves := heapPages / 4 // ~4 heap pages per leaf's key range
+	if leaves < 1 {
+		leaves = 1
+	}
+	internal := leaves / 64
+	if internal < 1 {
+		internal = 1
+	}
+	z, err := NewZipf(seed, heapPages, skew)
+	if err != nil {
+		return nil, err
+	}
+	d := &DB{
+		rng:       rand.New(rand.NewSource(seed ^ 0x5bf0_3635)),
+		heapPages: heapPages,
+		leafPages: leaves,
+		internal:  internal,
+		zipf:      z,
+		scanProb:  scanProb,
+		scanLen:   scanLen,
+	}
+	d.internalBase = 1
+	d.leafBase = d.internalBase + internal
+	d.heapBase = d.leafBase + leaves
+	d.total = d.heapBase + heapPages
+	return d, nil
+}
+
+// Pages implements Stream.
+func (d *DB) Pages() int64 { return d.total }
+
+// Next implements Stream: emits the pending page walk, starting a new
+// logical access when drained.
+func (d *DB) Next() int64 {
+	if len(d.pending) == 0 {
+		d.startAccess()
+	}
+	p := d.pending[0]
+	d.pending = d.pending[1:]
+	return p
+}
+
+// startAccess expands one logical row access into page touches.
+func (d *DB) startAccess() {
+	key := d.zipf.Next() // hot keys cluster at low ids
+	if d.rng.Float64() < d.scanProb {
+		// Range scan: consecutive leaves + heap pages from the key on.
+		d.pending = append(d.pending, 0) // root
+		for i := int64(0); i < d.scanLen; i++ {
+			h := (key + i) % d.heapPages
+			d.pending = append(d.pending, d.leafOf(h), d.heapBase+h)
+		}
+		return
+	}
+	// Point access: root, internal, leaf, heap.
+	d.pending = append(d.pending,
+		0,
+		d.internalOf(key),
+		d.leafOf(key),
+		d.heapBase+key,
+	)
+}
+
+func (d *DB) leafOf(key int64) int64 {
+	return d.leafBase + key*d.leafPages/d.heapPages
+}
+
+func (d *DB) internalOf(key int64) int64 {
+	return d.internalBase + key*d.internal/d.heapPages
+}

@@ -1,0 +1,105 @@
+package workload
+
+import (
+	"testing"
+
+	"convexcache/internal/policy"
+	"convexcache/internal/sim"
+)
+
+func TestDBValidation(t *testing.T) {
+	if _, err := NewDB(1, 2, 0.8, 0.1, 16); err == nil {
+		t.Error("tiny heap accepted")
+	}
+	if _, err := NewDB(1, 100, 0.8, 1.5, 16); err == nil {
+		t.Error("scanProb > 1 accepted")
+	}
+}
+
+func TestDBPageLayout(t *testing.T) {
+	d, err := NewDB(3, 1000, 0.8, 0.05, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seenRoot := false
+	for i := 0; i < 20000; i++ {
+		p := d.Next()
+		if p < 0 || p >= d.Pages() {
+			t.Fatalf("page %d outside universe %d", p, d.Pages())
+		}
+		if p == 0 {
+			seenRoot = true
+		}
+	}
+	if !seenRoot {
+		t.Error("root page never touched")
+	}
+}
+
+func TestDBRootIsHottest(t *testing.T) {
+	d, err := NewDB(7, 2000, 0.9, 0.05, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[int64]int)
+	for i := 0; i < 40000; i++ {
+		counts[d.Next()]++
+	}
+	root := counts[0]
+	for p, c := range counts {
+		if p != 0 && c > root {
+			t.Fatalf("page %d (%d accesses) hotter than root (%d)", p, c, root)
+		}
+	}
+}
+
+func TestDBPointAccessShape(t *testing.T) {
+	// With scanProb 0 every logical access is exactly 4 pages:
+	// root, internal, leaf, heap in ascending id order.
+	d, err := NewDB(11, 400, 0.7, 0, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for access := 0; access < 200; access++ {
+		walk := []int64{d.Next(), d.Next(), d.Next(), d.Next()}
+		if walk[0] != 0 {
+			t.Fatalf("access %d does not start at root: %v", access, walk)
+		}
+		for i := 1; i < 4; i++ {
+			if walk[i] <= walk[i-1] {
+				t.Fatalf("access %d walk not descending the tree: %v", access, walk)
+			}
+		}
+	}
+}
+
+func TestDBWorksInMixerAndCache(t *testing.T) {
+	d0, err := NewDB(21, 800, 0.9, 0.05, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, err := NewDB(22, 800, 0.6, 0.2, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Mix(23, []TenantStream{
+		{Tenant: 0, Stream: d0, Rate: 1},
+		{Tenant: 1, Stream: d1, Rate: 1},
+	}, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(tr, policy.NewLRU(), sim.Config{K: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Index upper levels are hot: hit rate must be substantial even with a
+	// cache far below the heap size.
+	rate := float64(res.Hits) / float64(tr.Len())
+	if rate < 0.3 {
+		t.Errorf("hit rate %g suspiciously low for index-walk locality", rate)
+	}
+	if tr.NumTenants() != 2 {
+		t.Errorf("tenants = %d", tr.NumTenants())
+	}
+}

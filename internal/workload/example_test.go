@@ -1,0 +1,45 @@
+package workload_test
+
+import (
+	"fmt"
+
+	"convexcache/internal/trace"
+	"convexcache/internal/workload"
+)
+
+// ExampleMix interleaves two tenant streams into a shared trace.
+func ExampleMix() {
+	scan, _ := workload.NewScan(3)
+	loop, _ := workload.NewScan(2)
+	tr, _ := workload.Mix(1, []workload.TenantStream{
+		{Tenant: 0, Stream: scan, Rate: 1},
+		{Tenant: 1, Stream: loop, Rate: 1},
+	}, 6)
+	s := tr.ComputeStats()
+	fmt.Printf("requests=%d tenants=%d\n", s.Requests, s.Tenants)
+	// Output:
+	// requests=6 tenants=2
+}
+
+// ExampleNewAdversary shows the Theorem 1.4 construction: every request
+// targets the page the online cache is missing.
+func ExampleNewAdversary() {
+	adv, _ := workload.NewAdversary(4)
+	fmt.Printf("tenants=4 cache=%d\n", adv.CacheSize())
+	// Output:
+	// tenants=4 cache=3
+}
+
+// ExampleNewDB emits B-tree page walks: root, internal, leaf, heap.
+func ExampleNewDB() {
+	db, _ := workload.NewDB(1, 400, 0.8, 0, 16)
+	walk := []trace.PageID{
+		trace.PageID(db.Next()), trace.PageID(db.Next()),
+		trace.PageID(db.Next()), trace.PageID(db.Next()),
+	}
+	fmt.Printf("walk starts at root: %v\n", walk[0] == 0)
+	fmt.Printf("walk descends: %v\n", walk[0] < walk[1] && walk[1] < walk[2] && walk[2] < walk[3])
+	// Output:
+	// walk starts at root: true
+	// walk descends: true
+}

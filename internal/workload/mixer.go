@@ -1,0 +1,78 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"convexcache/internal/trace"
+)
+
+// TenantStream binds a page stream to a tenant with a relative request
+// rate. Page offsets are namespaced per tenant so ownership never clashes.
+type TenantStream struct {
+	// Tenant is the owner of the stream's pages.
+	Tenant trace.Tenant
+	// Stream produces page offsets within the tenant's namespace.
+	Stream Stream
+	// Rate is the tenant's relative request frequency; must be positive.
+	Rate float64
+}
+
+// pageSpace is the id stride separating tenant page namespaces.
+const pageSpace = int64(1) << 32
+
+// PageOf maps a tenant-local page offset into the global page id space.
+func PageOf(t trace.Tenant, offset int64) trace.PageID {
+	return trace.PageID(int64(t)*pageSpace + offset)
+}
+
+// Mix interleaves the tenant streams into a trace of the given length,
+// choosing the next tenant i.i.d. proportionally to the rates.
+func Mix(seed int64, streams []TenantStream, length int) (*trace.Trace, error) {
+	if len(streams) == 0 {
+		return nil, fmt.Errorf("workload: mix needs at least one stream")
+	}
+	if length <= 0 {
+		return nil, fmt.Errorf("workload: mix needs positive length, got %d", length)
+	}
+	total := 0.0
+	for _, s := range streams {
+		if s.Rate <= 0 {
+			return nil, fmt.Errorf("workload: tenant %d has non-positive rate %g", s.Tenant, s.Rate)
+		}
+		if s.Stream.Pages() >= pageSpace {
+			return nil, fmt.Errorf("workload: tenant %d page universe too large", s.Tenant)
+		}
+		total += s.Rate
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := trace.NewBuilder()
+	for i := 0; i < length; i++ {
+		u := rng.Float64() * total
+		idx := 0
+		for u > streams[idx].Rate && idx < len(streams)-1 {
+			u -= streams[idx].Rate
+			idx++
+		}
+		s := streams[idx]
+		b.Add(s.Tenant, PageOf(s.Tenant, s.Stream.Next()))
+	}
+	return b.Build()
+}
+
+// RoundRobin interleaves the tenant streams deterministically in turn
+// (ignoring rates), useful for exactly reproducible interleavings.
+func RoundRobin(streams []TenantStream, length int) (*trace.Trace, error) {
+	if len(streams) == 0 {
+		return nil, fmt.Errorf("workload: round-robin needs at least one stream")
+	}
+	if length <= 0 {
+		return nil, fmt.Errorf("workload: round-robin needs positive length, got %d", length)
+	}
+	b := trace.NewBuilder()
+	for i := 0; i < length; i++ {
+		s := streams[i%len(streams)]
+		b.Add(s.Tenant, PageOf(s.Tenant, s.Stream.Next()))
+	}
+	return b.Build()
+}

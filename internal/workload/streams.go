@@ -1,0 +1,192 @@
+// Package workload generates synthetic request sequences for the
+// experiments. The paper evaluates no traces of its own (it is a theory
+// abstract); these generators are the synthetic stand-ins covering the
+// locality regimes that drive cache-policy differences — skewed reuse
+// (Zipf/IRM), sequential scans, cyclic loops, phase-shifting hot sets and
+// Markov locality — plus the adaptive adversary of Theorem 1.4 and the
+// multi-tenant mixer that interleaves per-tenant streams.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Stream produces an infinite sequence of page offsets in [0, Pages()).
+// Streams are deterministic given their construction parameters and seed.
+type Stream interface {
+	// Next returns the next page offset.
+	Next() int64
+	// Pages returns the size of the stream's page universe.
+	Pages() int64
+}
+
+// Zipf draws pages from a Zipf(s) distribution over [0, n): the classical
+// independent reference model with skew s. Rank 0 is the hottest page.
+type Zipf struct {
+	rng *rand.Rand
+	cdf []float64
+	n   int64
+}
+
+// NewZipf builds a Zipf stream over n pages with exponent s >= 0 (s = 0 is
+// uniform) and the given seed.
+func NewZipf(seed int64, n int64, s float64) (*Zipf, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("workload: zipf needs positive page count, got %d", n)
+	}
+	if s < 0 {
+		return nil, fmt.Errorf("workload: zipf exponent must be >= 0, got %g", s)
+	}
+	cdf := make([]float64, n)
+	total := 0.0
+	for i := int64(0); i < n; i++ {
+		total += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = total
+	}
+	for i := range cdf {
+		cdf[i] /= total
+	}
+	return &Zipf{rng: rand.New(rand.NewSource(seed)), cdf: cdf, n: n}, nil
+}
+
+// Next implements Stream.
+func (z *Zipf) Next() int64 {
+	u := z.rng.Float64()
+	return int64(sort.SearchFloat64s(z.cdf, u))
+}
+
+// Pages implements Stream.
+func (z *Zipf) Pages() int64 { return z.n }
+
+// Uniform draws pages uniformly from [0, n).
+type Uniform struct {
+	rng *rand.Rand
+	n   int64
+}
+
+// NewUniform builds a uniform stream over n pages.
+func NewUniform(seed int64, n int64) (*Uniform, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("workload: uniform needs positive page count, got %d", n)
+	}
+	return &Uniform{rng: rand.New(rand.NewSource(seed)), n: n}, nil
+}
+
+// Next implements Stream.
+func (u *Uniform) Next() int64 { return u.rng.Int63n(u.n) }
+
+// Pages implements Stream.
+func (u *Uniform) Pages() int64 { return u.n }
+
+// Scan cycles through pages 0,1,...,n-1,0,1,... — the cache-hostile
+// sequential scan that defeats LRU whenever n exceeds the cache share.
+type Scan struct {
+	n, next int64
+}
+
+// NewScan builds a cyclic scan over n pages.
+func NewScan(n int64) (*Scan, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("workload: scan needs positive page count, got %d", n)
+	}
+	return &Scan{n: n}, nil
+}
+
+// Next implements Stream.
+func (s *Scan) Next() int64 {
+	p := s.next
+	s.next = (s.next + 1) % s.n
+	return p
+}
+
+// Pages implements Stream.
+func (s *Scan) Pages() int64 { return s.n }
+
+// HotSet draws from a small hot set with probability hotProb and from the
+// cold remainder otherwise; every phaseLen requests the hot set rotates to
+// the next disjoint window, modelling working-set shifts.
+type HotSet struct {
+	rng      *rand.Rand
+	n        int64
+	hot      int64
+	hotProb  float64
+	phaseLen int64
+	issued   int64
+}
+
+// NewHotSet builds the stream: n total pages, hot hot-set size, hotProb the
+// probability of a hot access, phaseLen requests per phase (0 disables
+// rotation).
+func NewHotSet(seed int64, n, hot int64, hotProb float64, phaseLen int64) (*HotSet, error) {
+	if n <= 0 || hot <= 0 || hot > n {
+		return nil, fmt.Errorf("workload: hotset needs 0 < hot <= n, got hot=%d n=%d", hot, n)
+	}
+	if hotProb < 0 || hotProb > 1 {
+		return nil, fmt.Errorf("workload: hot probability %g out of [0,1]", hotProb)
+	}
+	return &HotSet{
+		rng: rand.New(rand.NewSource(seed)), n: n, hot: hot,
+		hotProb: hotProb, phaseLen: phaseLen,
+	}, nil
+}
+
+// Next implements Stream.
+func (h *HotSet) Next() int64 {
+	phase := int64(0)
+	if h.phaseLen > 0 {
+		phase = h.issued / h.phaseLen
+	}
+	h.issued++
+	base := (phase * h.hot) % h.n
+	if h.rng.Float64() < h.hotProb {
+		return (base + h.rng.Int63n(h.hot)) % h.n
+	}
+	// Cold access: anywhere outside the current hot window.
+	off := h.rng.Int63n(h.n - h.hot)
+	p := (base + h.hot + off) % h.n
+	return p
+}
+
+// Pages implements Stream.
+func (h *HotSet) Pages() int64 { return h.n }
+
+// Markov is a random walk with locality: with probability stay it re-requests
+// the current page, otherwise it jumps within a window of +-jump pages
+// (wrapping), modelling pointer-chasing locality.
+type Markov struct {
+	rng  *rand.Rand
+	n    int64
+	stay float64
+	jump int64
+	cur  int64
+}
+
+// NewMarkov builds the stream over n pages with the given stay probability
+// and jump radius.
+func NewMarkov(seed int64, n int64, stay float64, jump int64) (*Markov, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("workload: markov needs positive page count, got %d", n)
+	}
+	if stay < 0 || stay > 1 {
+		return nil, fmt.Errorf("workload: stay probability %g out of [0,1]", stay)
+	}
+	if jump <= 0 {
+		jump = 1
+	}
+	return &Markov{rng: rand.New(rand.NewSource(seed)), n: n, stay: stay, jump: jump}, nil
+}
+
+// Next implements Stream.
+func (m *Markov) Next() int64 {
+	if m.rng.Float64() >= m.stay {
+		delta := m.rng.Int63n(2*m.jump+1) - m.jump
+		m.cur = ((m.cur+delta)%m.n + m.n) % m.n
+	}
+	return m.cur
+}
+
+// Pages implements Stream.
+func (m *Markov) Pages() int64 { return m.n }

@@ -1,0 +1,311 @@
+package workload
+
+import (
+	"testing"
+
+	"convexcache/internal/policy"
+	"convexcache/internal/sim"
+	"convexcache/internal/trace"
+)
+
+func TestZipfValidation(t *testing.T) {
+	if _, err := NewZipf(1, 0, 1); err == nil {
+		t.Error("zipf with n=0 accepted")
+	}
+	if _, err := NewZipf(1, 10, -1); err == nil {
+		t.Error("zipf with negative exponent accepted")
+	}
+}
+
+func TestZipfSkewAndRange(t *testing.T) {
+	z, err := NewZipf(42, 100, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 100)
+	for i := 0; i < 50000; i++ {
+		p := z.Next()
+		if p < 0 || p >= 100 {
+			t.Fatalf("page %d out of range", p)
+		}
+		counts[p]++
+	}
+	// Rank 0 must dominate rank 10 and rank 10 dominate rank 50 strongly.
+	if counts[0] <= counts[10] || counts[10] <= counts[50] {
+		t.Errorf("zipf not skewed: c0=%d c10=%d c50=%d", counts[0], counts[10], counts[50])
+	}
+	// Theory: p(0)/p(9) = 10^1.2 ~ 15.8; allow a loose band.
+	ratio := float64(counts[0]) / float64(counts[9]+1)
+	if ratio < 5 || ratio > 50 {
+		t.Errorf("rank0/rank9 ratio %g outside plausible band", ratio)
+	}
+}
+
+func TestZipfZeroExponentIsUniformish(t *testing.T) {
+	z, err := NewZipf(7, 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 10)
+	for i := 0; i < 20000; i++ {
+		counts[z.Next()]++
+	}
+	for p, c := range counts {
+		if c < 1500 || c > 2500 {
+			t.Errorf("page %d count %d far from uniform 2000", p, c)
+		}
+	}
+}
+
+func TestZipfDeterministic(t *testing.T) {
+	a, _ := NewZipf(5, 50, 1)
+	b, _ := NewZipf(5, 50, 1)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+}
+
+func TestUniform(t *testing.T) {
+	if _, err := NewUniform(1, 0); err == nil {
+		t.Error("uniform with n=0 accepted")
+	}
+	u, err := NewUniform(3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int64]bool)
+	for i := 0; i < 1000; i++ {
+		p := u.Next()
+		if p < 0 || p >= 8 {
+			t.Fatalf("page %d out of range", p)
+		}
+		seen[p] = true
+	}
+	if len(seen) != 8 {
+		t.Errorf("only %d of 8 pages seen", len(seen))
+	}
+}
+
+func TestScanCycles(t *testing.T) {
+	s, err := NewScan(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{0, 1, 2, 0, 1, 2, 0}
+	for i, w := range want {
+		if got := s.Next(); got != w {
+			t.Fatalf("scan step %d = %d, want %d", i, got, w)
+		}
+	}
+	if _, err := NewScan(0); err == nil {
+		t.Error("scan with n=0 accepted")
+	}
+}
+
+func TestHotSetConcentration(t *testing.T) {
+	h, err := NewHotSet(9, 100, 5, 0.9, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := 0
+	for i := 0; i < 10000; i++ {
+		if h.Next() < 5 {
+			hot++
+		}
+	}
+	if hot < 8500 || hot > 9500 {
+		t.Errorf("hot accesses %d/10000, want ~9000", hot)
+	}
+}
+
+func TestHotSetPhaseRotation(t *testing.T) {
+	h, err := NewHotSet(9, 100, 10, 1.0, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Phase 0: pages 0..9; phase 1: pages 10..19.
+	for i := 0; i < 50; i++ {
+		if p := h.Next(); p >= 10 {
+			t.Fatalf("phase 0 access %d outside first hot window", p)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		if p := h.Next(); p < 10 || p >= 20 {
+			t.Fatalf("phase 1 access %d outside second hot window", p)
+		}
+	}
+}
+
+func TestHotSetValidation(t *testing.T) {
+	if _, err := NewHotSet(1, 10, 0, 0.5, 0); err == nil {
+		t.Error("hot=0 accepted")
+	}
+	if _, err := NewHotSet(1, 10, 20, 0.5, 0); err == nil {
+		t.Error("hot>n accepted")
+	}
+	if _, err := NewHotSet(1, 10, 5, 1.5, 0); err == nil {
+		t.Error("hotProb>1 accepted")
+	}
+}
+
+func TestMarkovLocality(t *testing.T) {
+	m, err := NewMarkov(4, 1000, 0.8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := m.Next()
+	stays := 0
+	for i := 0; i < 10000; i++ {
+		cur := m.Next()
+		if cur == prev {
+			stays++
+		}
+		prev = cur
+	}
+	if stays < 7000 || stays > 9000 {
+		t.Errorf("stays = %d/10000, want ~8000", stays)
+	}
+	if _, err := NewMarkov(1, 0, 0.5, 1); err == nil {
+		t.Error("markov with n=0 accepted")
+	}
+	if _, err := NewMarkov(1, 10, 2, 1); err == nil {
+		t.Error("stay>1 accepted")
+	}
+}
+
+func TestMixOwnershipAndRates(t *testing.T) {
+	z0, _ := NewZipf(1, 20, 1)
+	z1, _ := NewZipf(2, 20, 1)
+	tr, err := Mix(3, []TenantStream{
+		{Tenant: 0, Stream: z0, Rate: 3},
+		{Tenant: 1, Stream: z1, Rate: 1},
+	}, 8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tr.ComputeStats()
+	frac := float64(s.PerTenantRequests[0]) / 8000
+	if frac < 0.70 || frac > 0.80 {
+		t.Errorf("tenant 0 got fraction %g, want ~0.75", frac)
+	}
+	// Ownership is namespaced: every page of tenant 1 lives in its slab.
+	for _, p := range tr.PagesOf(1) {
+		if p < PageOf(1, 0) || p >= PageOf(2, 0) {
+			t.Errorf("tenant 1 page %d outside namespace", p)
+		}
+	}
+}
+
+func TestMixValidation(t *testing.T) {
+	z, _ := NewZipf(1, 5, 1)
+	if _, err := Mix(1, nil, 10); err == nil {
+		t.Error("empty streams accepted")
+	}
+	if _, err := Mix(1, []TenantStream{{Tenant: 0, Stream: z, Rate: 0}}, 10); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := Mix(1, []TenantStream{{Tenant: 0, Stream: z, Rate: 1}}, 0); err == nil {
+		t.Error("zero length accepted")
+	}
+}
+
+func TestRoundRobin(t *testing.T) {
+	s0, _ := NewScan(3)
+	s1, _ := NewScan(3)
+	tr, err := RoundRobin([]TenantStream{
+		{Tenant: 0, Stream: s0, Rate: 1},
+		{Tenant: 1, Stream: s1, Rate: 1},
+	}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if got, want := tr.At(i).Tenant, trace.Tenant(i%2); got != want {
+			t.Fatalf("step %d tenant = %d, want %d", i, got, want)
+		}
+	}
+	if _, err := RoundRobin(nil, 5); err == nil {
+		t.Error("empty round-robin accepted")
+	}
+}
+
+func TestAdversaryForcesMissesOnEveryPolicy(t *testing.T) {
+	for _, n := range []int{3, 5, 8} {
+		adv, err := NewAdversary(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := adv.CacheSize()
+		for _, mk := range []func() sim.Policy{
+			func() sim.Policy { return policy.NewLRU() },
+			func() sim.Policy { return policy.NewFIFO() },
+			func() sim.Policy { return policy.NewMarking() },
+		} {
+			p := mk()
+			res, _, err := sim.RunInteractive(adv, 200, p, sim.Config{K: k})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Hits != 0 {
+				t.Errorf("n=%d %s: adversary allowed %d hits", n, p.Name(), res.Hits)
+			}
+		}
+	}
+}
+
+func TestAdversaryValidation(t *testing.T) {
+	if _, err := NewAdversary(1); err == nil {
+		t.Error("n=1 accepted")
+	}
+}
+
+func TestBatchedOfflineCostBeatsOnline(t *testing.T) {
+	// The offline strategy makes at most one eviction per batch of
+	// (n-1)/2 requests, so its total evictions are about a (n-1)/2 factor
+	// below the online algorithm's (which misses every request).
+	n := 9
+	adv, _ := NewAdversary(n)
+	steps := 2000
+	res, tr, err := sim.RunInteractive(adv, steps, policy.NewLRU(), sim.Config{K: adv.CacheSize()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := BatchedOfflineCost(tr, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var offline, online int64
+	for i := 0; i < n; i++ {
+		offline += ev[i]
+		online += res.Misses[i]
+	}
+	batch := int64((n - 1) / 2)
+	if offline > int64(steps)/batch+1 {
+		t.Errorf("offline evictions %d exceed one per batch bound %d", offline, int64(steps)/batch+1)
+	}
+	if online < int64(steps)-int64(n) {
+		t.Errorf("online misses %d suspiciously low", online)
+	}
+	// Balancing rule: max per-page evictions is within the proof's bound
+	// 2T/((n+1)/2 * (n-1)/2) + 1 up to rounding slack.
+	bound := float64(steps)/(float64((n+1)/2)*float64((n-1)/2)) + 2
+	for p, e := range ev {
+		if float64(e) > bound {
+			t.Errorf("page %d evicted %d times, bound %g", p, e, bound)
+		}
+	}
+}
+
+func TestBatchedOfflineCostValidation(t *testing.T) {
+	if _, err := BatchedOfflineCost(nil, 2); err == nil {
+		t.Error("n=2 accepted")
+	}
+	// Pages outside the universe are rejected.
+	b := trace.NewBuilder().Add(0, 99)
+	tr := b.MustBuild()
+	if _, err := BatchedOfflineCost(tr, 5); err == nil {
+		t.Error("out-of-universe page accepted")
+	}
+}
