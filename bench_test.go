@@ -88,6 +88,8 @@ func benchCosts(tenants int) []costfn.Func {
 
 func benchPolicyThroughput(b *testing.B, mk func() sim.Policy, k int) {
 	tr := benchTrace(b, 4, 4096, 200_000)
+	tr.Dense() // densify outside the measured region
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		p := mk()
@@ -119,6 +121,29 @@ func BenchmarkCoreThroughput(b *testing.B) {
 			benchPolicyThroughput(b, func() sim.Policy { return policy.NewGreedyDual([]float64{1, 2, 3, 4}) }, k)
 		})
 	}
+}
+
+// BenchmarkRequestLoopAllocs isolates the steady-state allocation behaviour
+// of the dense sim.Run request loop: the policy reuses its slices across
+// runs (PrepareDense resets in place), so allocs/op divided by the request
+// count is the per-request allocation rate, which must stay ~0.
+func BenchmarkRequestLoopAllocs(b *testing.B) {
+	tr := benchTrace(b, 4, 4096, 200_000)
+	tr.Dense()
+	costs := benchCosts(4)
+	p := core.NewFast(core.Options{Costs: costs})
+	// Prime the policy's dense state so the measured runs reuse it.
+	if _, err := sim.Run(tr, p, sim.Config{K: 4096}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(tr, p, sim.Config{K: 4096}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(tr.Len()*b.N)/b.Elapsed().Seconds(), "req/s")
 }
 
 // Micro-benchmarks of the algorithm's building blocks.

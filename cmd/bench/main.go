@@ -1,0 +1,217 @@
+// Command bench is the repeatable performance harness of the repo: it runs
+// the E10 raw-throughput suite (every policy implementation over the large
+// multi-tenant Zipf mix at several cache sizes) plus the per-experiment
+// table benchmarks, and writes a machine-readable JSON report (ns/op,
+// requests/sec, allocs/op) so successive PRs leave a perf trajectory
+// (BENCH_PR1.json, BENCH_PR2.json, ...).
+//
+// Usage:
+//
+//	bench [-out BENCH.json] [-before prior.json] [-skip-experiments]
+//
+// -before embeds a previous report under "before" (and the fresh run under
+// "after"), producing the before/after pair an optimization PR commits.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"convexcache/internal/core"
+	"convexcache/internal/costfn"
+	"convexcache/internal/experiments"
+	"convexcache/internal/policy"
+	"convexcache/internal/sim"
+	"convexcache/internal/trace"
+	"convexcache/internal/workload"
+)
+
+// Result is one benchmark's measurements.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	ReqPerSec   float64 `json:"req_per_sec,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// Report is the full harness output.
+type Report struct {
+	GeneratedAt string `json:"generated_at"`
+	GoVersion   string `json:"go_version"`
+	GOMAXPROCS  int    `json:"gomaxprocs"`
+	// Note carries free-form provenance (e.g. which engine a baseline was
+	// measured against).
+	Note       string   `json:"note,omitempty"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+// Comparison pairs a prior report with a fresh one.
+type Comparison struct {
+	Before *Report `json:"before,omitempty"`
+	After  Report  `json:"after"`
+}
+
+func main() {
+	outPath := flag.String("out", "BENCH.json", "output JSON path")
+	beforePath := flag.String("before", "", "prior report to embed under \"before\"")
+	skipExp := flag.Bool("skip-experiments", false, "run only the E10 throughput suite")
+	flag.Parse()
+
+	// Validate -before up front so a typo'd path fails before minutes of
+	// benchmarking.
+	var before *Report
+	if *beforePath != "" {
+		raw, err := os.ReadFile(*beforePath)
+		if err != nil {
+			fatal(err)
+		}
+		before = &Report{}
+		if err := json.Unmarshal(raw, before); err != nil {
+			fatal(fmt.Errorf("parse -before report: %w", err))
+		}
+	}
+
+	rep := Report{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+	}
+	rep.Benchmarks = append(rep.Benchmarks, throughputSuite()...)
+	if !*skipExp {
+		rep.Benchmarks = append(rep.Benchmarks, experimentSuite()...)
+	}
+
+	payload := Comparison{Before: before, After: rep}
+	f, err := os.Create(*outPath)
+	if err != nil {
+		fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(payload); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "bench: wrote %d results to %s\n", len(rep.Benchmarks), *outPath)
+}
+
+// benchTrace mirrors the E10 workload of bench_test.go: a 4-tenant Zipf mix
+// over 4096-page universes, 200k requests.
+func benchTrace(tenants int, pagesPer int64, length int) *trace.Trace {
+	streams := make([]workload.TenantStream, tenants)
+	for i := range streams {
+		z, err := workload.NewZipf(int64(i+1), pagesPer, 0.9)
+		if err != nil {
+			fatal(err)
+		}
+		streams[i] = workload.TenantStream{Tenant: trace.Tenant(i), Stream: z, Rate: 1}
+	}
+	tr, err := workload.Mix(42, streams, length)
+	if err != nil {
+		fatal(err)
+	}
+	return tr
+}
+
+func benchCosts(tenants int) []costfn.Func {
+	costs := make([]costfn.Func, tenants)
+	for i := range costs {
+		if i%2 == 0 {
+			costs[i] = costfn.Monomial{C: 1, Beta: 2}
+		} else {
+			costs[i] = costfn.Linear{W: float64(i + 1)}
+		}
+	}
+	return costs
+}
+
+// throughputSuite is the E10 matrix: policies x cache sizes on the shared
+// large trace, reported as requests/sec.
+func throughputSuite() []Result {
+	tr := benchTrace(4, 4096, 200_000)
+	tr.Dense() // densify once, outside every measured region
+	costs := benchCosts(4)
+	type entry struct {
+		name string
+		mk   func() sim.Policy
+		ks   []int
+	}
+	all := []int{256, 4096, 65536}
+	suite := []entry{
+		{"fast", func() sim.Policy { return core.NewFast(core.Options{Costs: costs}) }, all},
+		// The reference implementation is O(cache) per eviction; only the
+		// smallest size is tractable at benchmark scale.
+		{"discrete", func() sim.Policy { return core.NewDiscrete(core.Options{Costs: costs}) }, []int{256}},
+		{"lru", func() sim.Policy { return policy.NewLRU() }, all},
+		{"greedy-dual", func() sim.Policy { return policy.NewGreedyDual([]float64{1, 2, 3, 4}) }, all},
+	}
+	var out []Result
+	for _, e := range suite {
+		for _, k := range e.ks {
+			name := fmt.Sprintf("throughput/%s/k=%d", e.name, k)
+			r := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					p := e.mk()
+					if _, err := sim.Run(tr, p, sim.Config{K: k}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			res := toResult(name, r)
+			res.ReqPerSec = float64(tr.Len()*r.N) / r.T.Seconds()
+			out = append(out, res)
+			fmt.Fprintf(os.Stderr, "bench: %-28s %12.0f req/s %8d allocs/op\n", name, res.ReqPerSec, res.AllocsPerOp)
+		}
+	}
+	return out
+}
+
+// experimentSuite benchmarks each experiment table end to end in quick mode,
+// the same measurements as the BenchmarkExp* functions in bench_test.go.
+func experimentSuite() []Result {
+	var out []Result
+	for _, e := range experiments.All() {
+		run := e.Run
+		name := "experiment/" + e.ID
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				tb, err := run(true)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if tb.NumRows() == 0 {
+					b.Fatal("experiment produced no rows")
+				}
+			}
+		})
+		out = append(out, toResult(name, r))
+		fmt.Fprintf(os.Stderr, "bench: %-28s %12.2f ms/op\n", name, float64(r.NsPerOp())/1e6)
+	}
+	return out
+}
+
+func toResult(name string, r testing.BenchmarkResult) Result {
+	return Result{
+		Name:        name,
+		Iterations:  r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bench:", err)
+	os.Exit(1)
+}

@@ -22,6 +22,16 @@ import (
 // Because A is monotone, within a tenant the minimum-budget page is always
 // the least-recently-requested one, so a per-tenant recency list suffices
 // and an eviction costs O(#tenants).
+//
+// Fast has two interchangeable state backends. When driven through sim.Run
+// on an indexable trace it implements sim.DensePolicy: per-page state lives
+// in flat slices indexed by the dense page index, the per-tenant recency
+// list is an intrusive doubly-linked list over prev/next []int32 arrays, and
+// marginal(i, m_i) is cached per tenant and recomputed only when m_i
+// changes — so the request loop is allocation-free and Victim is a linear
+// scan over a flat tenant array. Direct drivers (the lower-bound adversary,
+// the buffer pool, the hierarchy and multipool substrates) use the original
+// map-backed sim.Policy methods; the two backends never mix within a run.
 type Fast struct {
 	opt Options
 
@@ -33,12 +43,36 @@ type Fast struct {
 	info  map[trace.PageID]*fastPage
 
 	nextSeq int
+
+	dn *fastDense
 }
 
 type fastPage struct {
 	owner    trace.Tenant
 	ageStart float64
 	seq      int
+}
+
+// fastDense is the slice-backed state of the dense path. All page-indexed
+// slices use the trace.Dense page index; -1 is the nil link.
+type fastDense struct {
+	d *trace.Dense
+
+	aging float64
+
+	// Per-tenant state, indexed by tenant id.
+	m    []float64
+	marg []float64 // cached marginal(i, m[i]); recomputed when m[i] changes
+	head []int32   // most recently requested cached page, -1 when empty
+	tail []int32   // least recently requested cached page, -1 when empty
+
+	// Per-page state; prev/next form the intrusive per-tenant LRU.
+	prev     []int32
+	next     []int32
+	ageStart []float64
+	seq      []int64
+
+	nextSeq int64
 }
 
 // NewFast returns a fresh Fast instance.
@@ -59,6 +93,141 @@ func (f *Fast) Reset() {
 	f.elem = make(map[trace.PageID]*list.Element)
 	f.info = make(map[trace.PageID]*fastPage)
 	f.nextSeq = 0
+	f.dn = nil
+}
+
+// PrepareDense implements sim.DensePolicy. It (re)initializes the dense
+// backend for trace view d, reusing the previous run's slices when the
+// shapes match so repeated runs over the same trace allocate nothing new.
+func (f *Fast) PrepareDense(d *trace.Dense, k int) bool {
+	nPages := d.NumPages()
+	nTenants := d.Tenants
+	s := f.dn
+	if s == nil || len(s.prev) < nPages || len(s.m) < nTenants {
+		s = &fastDense{
+			m:        make([]float64, nTenants),
+			marg:     make([]float64, nTenants),
+			head:     make([]int32, nTenants),
+			tail:     make([]int32, nTenants),
+			prev:     make([]int32, nPages),
+			next:     make([]int32, nPages),
+			ageStart: make([]float64, nPages),
+			seq:      make([]int64, nPages),
+		}
+		f.dn = s
+	}
+	s.d = d
+	s.aging = 0
+	s.nextSeq = 0
+	for i := 0; i < nTenants; i++ {
+		s.m[i] = 0
+		s.marg[i] = f.opt.marginal(trace.Tenant(i), 0)
+		s.head[i] = -1
+		s.tail[i] = -1
+	}
+	for p := 0; p < nPages; p++ {
+		s.prev[p] = -1
+		s.next[p] = -1
+		s.ageStart[p] = 0
+		s.seq[p] = 0
+	}
+	return true
+}
+
+// pushFront links page p at the front of its owner's recency list.
+func (s *fastDense) pushFront(i trace.Tenant, p int32) {
+	h := s.head[i]
+	s.prev[p] = -1
+	s.next[p] = h
+	if h >= 0 {
+		s.prev[h] = p
+	} else {
+		s.tail[i] = p
+	}
+	s.head[i] = p
+}
+
+// unlink removes page p from its owner's recency list.
+func (s *fastDense) unlink(i trace.Tenant, p int32) {
+	pr, nx := s.prev[p], s.next[p]
+	if pr >= 0 {
+		s.next[pr] = nx
+	} else {
+		s.head[i] = nx
+	}
+	if nx >= 0 {
+		s.prev[nx] = pr
+	} else {
+		s.tail[i] = pr
+	}
+	s.prev[p] = -1
+	s.next[p] = -1
+}
+
+// DenseHit implements sim.DensePolicy: refresh recency and the aging origin.
+func (f *Fast) DenseHit(step int, page int32) {
+	s := f.dn
+	s.nextSeq++
+	i := s.d.Owners[page]
+	s.ageStart[page] = s.aging
+	s.seq[page] = s.nextSeq
+	if s.head[i] != page {
+		s.unlink(i, page)
+		s.pushFront(i, page)
+	}
+}
+
+// DenseInsert implements sim.DensePolicy: register the page with the current
+// marginal as its budget.
+func (f *Fast) DenseInsert(step int, page int32) {
+	s := f.dn
+	s.nextSeq++
+	i := s.d.Owners[page]
+	if f.opt.CountMisses {
+		s.m[i]++
+		s.marg[i] = f.opt.marginal(i, s.m[i])
+	}
+	s.ageStart[page] = s.aging
+	s.seq[page] = s.nextSeq
+	s.pushFront(i, page)
+}
+
+// DenseVictim implements sim.DensePolicy: a linear scan over the flat tenant
+// array, comparing each tenant's least-recently-requested page using the
+// cached marginal. No map iteration, no Deriv calls.
+func (f *Fast) DenseVictim(step int, page int32) int32 {
+	s := f.dn
+	best := int32(-1)
+	bestB := 0.0
+	bestSeq := int64(0)
+	for i, t := 0, len(s.tail); i < t; i++ {
+		p := s.tail[i]
+		if p < 0 {
+			continue
+		}
+		b := s.marg[i] - (s.aging - s.ageStart[p])
+		if best < 0 || b < bestB || (b == bestB && s.seq[p] < bestSeq) {
+			best, bestB, bestSeq = p, b, s.seq[p]
+		}
+	}
+	if best < 0 {
+		panic("core: Fast.DenseVictim called with empty cache")
+	}
+	return best
+}
+
+// DenseEvict implements sim.DensePolicy: age every resident page by the
+// victim's budget (a single add to the global aging counter) and advance the
+// owner's miss counter in eviction-count mode.
+func (f *Fast) DenseEvict(step int, page int32) {
+	s := f.dn
+	i := s.d.Owners[page]
+	s.aging += s.marg[i] - (s.aging - s.ageStart[page])
+	if !f.opt.CountMisses {
+		s.m[i]++
+		s.marg[i] = f.opt.marginal(i, s.m[i])
+	}
+	s.unlink(i, page)
 }
 
 func (f *Fast) tenantList(i trace.Tenant) *list.List {
@@ -139,10 +308,26 @@ func (f *Fast) OnEvict(step int, p trace.PageID) {
 }
 
 // Misses returns the internal per-tenant counter m(i, t).
-func (f *Fast) Misses(i trace.Tenant) float64 { return f.m[i] }
+func (f *Fast) Misses(i trace.Tenant) float64 {
+	if s := f.dn; s != nil {
+		if int(i) < len(s.m) {
+			return s.m[i]
+		}
+		return 0
+	}
+	return f.m[i]
+}
 
 // Budget exposes a cached page's current effective budget for tests.
 func (f *Fast) Budget(p trace.PageID) (float64, bool) {
+	if s := f.dn; s != nil {
+		ix := s.d.IndexOf(p)
+		if ix < 0 || (s.prev[ix] < 0 && s.next[ix] < 0 && s.head[s.d.Owners[ix]] != ix) {
+			return 0, false
+		}
+		i := s.d.Owners[ix]
+		return s.marg[i] - (s.aging - s.ageStart[ix]), true
+	}
 	if _, ok := f.info[p]; !ok {
 		return 0, false
 	}

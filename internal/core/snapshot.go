@@ -38,8 +38,12 @@ type PageSnapshot struct {
 
 // Snapshot captures the current state. Cost functions are configuration,
 // not state, and are not serialized; Restore must be called on an instance
-// built with equivalent Options.
+// built with equivalent Options. Both state backends are supported: after a
+// dense sim.Run the flat-slice state is walked, otherwise the map state.
 func (f *Fast) Snapshot() FastSnapshot {
+	if f.dn != nil {
+		return f.snapshotDense()
+	}
 	s := FastSnapshot{
 		Aging:   f.aging,
 		Misses:  make(map[trace.Tenant]float64, len(f.m)),
@@ -54,6 +58,33 @@ func (f *Fast) Snapshot() FastSnapshot {
 			pg := f.info[p]
 			s.Pages = append(s.Pages, PageSnapshot{
 				Page: p, Owner: pg.owner, AgeStart: pg.ageStart, Seq: pg.seq,
+			})
+		}
+	}
+	return s
+}
+
+// snapshotDense materializes the dense backend's state in the same
+// most-recent-first per-tenant order the map backend produces.
+func (f *Fast) snapshotDense() FastSnapshot {
+	dn := f.dn
+	s := FastSnapshot{
+		Aging:   dn.aging,
+		Misses:  make(map[trace.Tenant]float64, len(dn.m)),
+		NextSeq: int(dn.nextSeq),
+	}
+	for i, m := range dn.m {
+		if m != 0 {
+			s.Misses[trace.Tenant(i)] = m
+		}
+	}
+	for i := range dn.head {
+		for p := dn.head[i]; p >= 0; p = dn.next[p] {
+			s.Pages = append(s.Pages, PageSnapshot{
+				Page:     dn.d.Pages[p],
+				Owner:    trace.Tenant(i),
+				AgeStart: dn.ageStart[p],
+				Seq:      int(dn.seq[p]),
 			})
 		}
 	}

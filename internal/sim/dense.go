@@ -1,0 +1,113 @@
+package sim
+
+import (
+	"fmt"
+
+	"convexcache/internal/trace"
+)
+
+// DensePolicy is the allocation-free fast path of the engine. A policy that
+// implements it is driven with dense page indices (see trace.Dense) instead
+// of raw PageIDs, so both the engine and the policy can keep all per-page
+// state in flat slices. The sparse Policy methods remain the fallback for
+// interactive runs and direct drivers.
+//
+// Contract mirrors Policy: DenseVictim must return a resident dense index;
+// the engine verifies and fails the run otherwise.
+type DensePolicy interface {
+	Policy
+	// PrepareDense installs the dense trace view and the cache capacity
+	// before the first request of a dense run. Returning false declines the
+	// dense path and the engine falls back to the map-based loop.
+	PrepareDense(d *trace.Dense, k int) bool
+	// DenseHit is OnHit with the page's dense index.
+	DenseHit(step int, page int32)
+	// DenseInsert is OnInsert with the page's dense index.
+	DenseInsert(step int, page int32)
+	// DenseVictim is Victim with the requested page's dense index; it
+	// returns the dense index of the page to evict.
+	DenseVictim(step int, page int32) int32
+	// DenseEvict is OnEvict with the evicted page's dense index.
+	DenseEvict(step int, page int32)
+}
+
+// runDense is the dense engine: residency is a slot table (page -> slot, or
+// -1) plus its reverse index (slot -> page), counters live in the Result
+// slices, and the Event struct is reused across steps. The request loop
+// performs no steady-state allocations.
+func runDense(tr *trace.Trace, p DensePolicy, cfg Config) (Result, bool, error) {
+	d := tr.Dense()
+	if !p.PrepareDense(d, cfg.K) {
+		return Result{}, false, nil
+	}
+	nTenants := tr.NumTenants()
+	res := Result{
+		Policy:         p.Name(),
+		K:              cfg.K,
+		Steps:          tr.Len(),
+		EffectiveSteps: effectiveSteps(tr.Len(), cfg.WarmupSteps),
+		Misses:         make([]int64, nTenants),
+		Evictions:      make([]int64, nTenants),
+	}
+	nPages := d.NumPages()
+	slotOf := make([]int32, nPages) // dense page -> slot, -1 when absent
+	for i := range slotOf {
+		slotOf[i] = -1
+	}
+	slotCap := cfg.K
+	if slotCap > nPages {
+		slotCap = nPages
+	}
+	slots := make([]int32, slotCap) // slot -> dense page (reverse index)
+	used := 0
+	var ev Event
+	for step, pg := range d.Reqs {
+		warm := step < cfg.WarmupSteps
+		tenant := d.Owners[pg]
+		if slotOf[pg] >= 0 {
+			if !warm {
+				res.Hits++
+			}
+			p.DenseHit(step, pg)
+			if cfg.Observer != nil {
+				ev = Event{Step: step, Req: trace.Request{Page: d.Pages[pg], Tenant: tenant}, Evicted: -1, EvictedTenant: -1, Warmup: warm}
+				cfg.Observer(ev)
+			}
+			continue
+		}
+		if !warm {
+			res.Misses[tenant]++
+		}
+		evicted := int32(-1)
+		var evictedOwner trace.Tenant = -1
+		var slot int32
+		if used >= cfg.K {
+			victim := p.DenseVictim(step, pg)
+			if victim < 0 || int(victim) >= nPages || slotOf[victim] < 0 {
+				return Result{}, true, fmt.Errorf("sim: policy %s returned victim %d not in cache at step %d", p.Name(), victim, step)
+			}
+			slot = slotOf[victim]
+			slotOf[victim] = -1
+			evicted = victim
+			evictedOwner = d.Owners[victim]
+			if !warm {
+				res.Evictions[evictedOwner]++
+			}
+			p.DenseEvict(step, victim)
+		} else {
+			slot = int32(used)
+			used++
+		}
+		slotOf[pg] = slot
+		slots[slot] = pg
+		p.DenseInsert(step, pg)
+		if cfg.Observer != nil {
+			ev = Event{Step: step, Req: trace.Request{Page: d.Pages[pg], Tenant: tenant}, Miss: true, Evicted: -1, EvictedTenant: evictedOwner, Warmup: warm}
+			if evicted >= 0 {
+				ev.Evicted = d.Pages[evicted]
+			}
+			cfg.Observer(ev)
+		}
+	}
+	return res, true, nil
+}

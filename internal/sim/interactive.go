@@ -57,7 +57,7 @@ func RunInteractive(src RequestSource, steps int, p Policy, cfg Config) (Result,
 	cache := make(map[trace.PageID]trace.Tenant, cfg.K)
 	view := cacheState{m: cache}
 	b := trace.NewBuilder()
-	res := Result{Policy: p.Name(), K: cfg.K, Steps: steps}
+	res := Result{Policy: p.Name(), K: cfg.K, Steps: steps, EffectiveSteps: steps}
 	grow := func(tenant trace.Tenant) {
 		for int(tenant) >= len(res.Misses) {
 			res.Misses = append(res.Misses, 0)

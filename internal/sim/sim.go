@@ -76,8 +76,12 @@ type Result struct {
 	Policy string
 	// K is the cache size used.
 	K int
-	// Steps is the number of requests served.
+	// Steps is the number of requests served, including warmup.
 	Steps int
+	// EffectiveSteps is the number of measured requests: Steps minus the
+	// warmup steps excluded from the counters. Hit-rate math over a Result
+	// must divide by EffectiveSteps, not Steps.
+	EffectiveSteps int
 	// Hits is the total hit count.
 	Hits int64
 	// Misses[i] counts fetches (requests not found in cache) per tenant.
@@ -166,13 +170,36 @@ func Run(tr *trace.Trace, p Policy, cfg Config) (Result, error) {
 	if op, ok := p.(OfflinePolicy); ok {
 		op.Prepare(trace.Index(tr))
 	}
+	if dp, ok := p.(DensePolicy); ok {
+		if res, handled, err := runDense(tr, dp, cfg); handled {
+			return res, err
+		}
+	}
+	return runMap(tr, p, cfg)
+}
+
+// effectiveSteps returns the number of measured (non-warmup) steps.
+func effectiveSteps(total, warmup int) int {
+	if warmup <= 0 {
+		return total
+	}
+	if warmup >= total {
+		return 0
+	}
+	return total - warmup
+}
+
+// runMap is the original map-backed engine, kept as the fallback for
+// policies without a dense fast path.
+func runMap(tr *trace.Trace, p Policy, cfg Config) (Result, error) {
 	nTenants := tr.NumTenants()
 	res := Result{
-		Policy:    p.Name(),
-		K:         cfg.K,
-		Steps:     tr.Len(),
-		Misses:    make([]int64, nTenants),
-		Evictions: make([]int64, nTenants),
+		Policy:         p.Name(),
+		K:              cfg.K,
+		Steps:          tr.Len(),
+		EffectiveSteps: effectiveSteps(tr.Len(), cfg.WarmupSteps),
+		Misses:         make([]int64, nTenants),
+		Evictions:      make([]int64, nTenants),
 	}
 	cache := make(map[trace.PageID]trace.Tenant, cfg.K)
 	for step, r := range tr.Requests() {

@@ -50,4 +50,26 @@ func TestWarmupLongerThanTrace(t *testing.T) {
 	if res.TotalMisses() != 0 && res.Hits != 0 {
 		t.Errorf("counters non-zero with all-warmup run: %+v", res)
 	}
+	if res.EffectiveSteps != 0 {
+		t.Errorf("EffectiveSteps = %d, want 0 when warmup covers the trace", res.EffectiveSteps)
+	}
+}
+
+func TestEffectiveStepsAccounting(t *testing.T) {
+	// Steps keeps reporting the full trace length; EffectiveSteps is the
+	// measured-request count that hit-rate math must divide by, and the
+	// counters must sum to it exactly.
+	tr := seqTrace(t, 1, 2, 1, 3, 1, 2)
+	for _, warmup := range []int{0, 2, 4} {
+		res := MustRun(tr, &fifoTest{}, Config{K: 3, WarmupSteps: warmup})
+		if res.Steps != tr.Len() {
+			t.Errorf("warmup=%d: Steps = %d, want %d", warmup, res.Steps, tr.Len())
+		}
+		if want := tr.Len() - warmup; res.EffectiveSteps != want {
+			t.Errorf("warmup=%d: EffectiveSteps = %d, want %d", warmup, res.EffectiveSteps, want)
+		}
+		if got := res.Hits + res.TotalMisses(); got != int64(res.EffectiveSteps) {
+			t.Errorf("warmup=%d: hits+misses = %d, want EffectiveSteps = %d", warmup, got, res.EffectiveSteps)
+		}
+	}
 }

@@ -1,0 +1,110 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestDenseRemap(t *testing.T) {
+	b := NewBuilder()
+	// Sparse, out-of-order page ids across two tenants.
+	b.Add(0, 1<<40)
+	b.Add(1, 7)
+	b.Add(0, 1<<40)
+	b.Add(0, 42)
+	b.Add(1, 7)
+	tr := b.MustBuild()
+	d := tr.Dense()
+	if d.NumPages() != 3 {
+		t.Fatalf("NumPages = %d, want 3", d.NumPages())
+	}
+	if d.Len() != tr.Len() {
+		t.Fatalf("Len = %d, want %d", d.Len(), tr.Len())
+	}
+	// First-appearance order: 1<<40, 7, 42.
+	wantPages := []PageID{1 << 40, 7, 42}
+	for i, p := range wantPages {
+		if d.Pages[i] != p {
+			t.Errorf("Pages[%d] = %d, want %d", i, d.Pages[i], p)
+		}
+		if d.IndexOf(p) != int32(i) {
+			t.Errorf("IndexOf(%d) = %d, want %d", p, d.IndexOf(p), i)
+		}
+	}
+	wantOwners := []Tenant{0, 1, 0}
+	for i, o := range wantOwners {
+		if d.Owners[i] != o {
+			t.Errorf("Owners[%d] = %d, want %d", i, d.Owners[i], o)
+		}
+	}
+	wantReqs := []int32{0, 1, 0, 2, 1}
+	for i, ix := range wantReqs {
+		if d.Reqs[i] != ix {
+			t.Errorf("Reqs[%d] = %d, want %d", i, d.Reqs[i], ix)
+		}
+	}
+	if d.IndexOf(999) != -1 {
+		t.Errorf("IndexOf(absent) = %d, want -1", d.IndexOf(999))
+	}
+	if d.Tenants != tr.NumTenants() {
+		t.Errorf("Tenants = %d, want %d", d.Tenants, tr.NumTenants())
+	}
+}
+
+func TestDenseRoundTripAgainstOwner(t *testing.T) {
+	// Every request's dense index must map back to the original page and
+	// the slice owner table must agree with the map owner table.
+	tr := mustRandomTrace(t)
+	d := tr.Dense()
+	for step, r := range tr.Requests() {
+		ix := d.Reqs[step]
+		if d.Pages[ix] != r.Page {
+			t.Fatalf("step %d: dense %d -> page %d, want %d", step, ix, d.Pages[ix], r.Page)
+		}
+		if d.Owners[ix] != r.Tenant {
+			t.Fatalf("step %d: owner %d, want %d", step, d.Owners[ix], r.Tenant)
+		}
+	}
+	for p, want := range tr.owner {
+		ix := d.IndexOf(p)
+		if ix < 0 || d.Owners[ix] != want {
+			t.Fatalf("page %d: dense owner mismatch", p)
+		}
+	}
+}
+
+func mustRandomTrace(t *testing.T) *Trace {
+	t.Helper()
+	b := NewBuilder()
+	for i := 0; i < 500; i++ {
+		tn := Tenant(i % 3)
+		b.Add(tn, PageID(int64(tn)*1000+int64(i*i%37)))
+	}
+	return b.MustBuild()
+}
+
+func TestDenseCachedOncePerTrace(t *testing.T) {
+	tr := mustRandomTrace(t)
+	if tr.Dense() != tr.Dense() {
+		t.Fatal("Dense not cached: two calls returned different views")
+	}
+}
+
+func TestDenseConcurrentAccess(t *testing.T) {
+	tr := mustRandomTrace(t)
+	var wg sync.WaitGroup
+	views := make([]*Dense, 8)
+	for i := range views {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			views[i] = tr.Dense()
+		}(i)
+	}
+	wg.Wait()
+	for _, d := range views {
+		if d == nil || d.NumPages() != tr.NumPages() {
+			t.Fatal("concurrent Dense returned inconsistent view")
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
 
 // Tenant identifies a user i in U. Tenants are dense small integers.
@@ -33,6 +34,10 @@ type Trace struct {
 	reqs    []Request
 	owner   map[PageID]Tenant
 	tenants int
+
+	// dense caches the compacted remap (see Dense); built lazily, at most
+	// once per trace.
+	dense atomic.Pointer[Dense]
 }
 
 // Builder accumulates requests and infers ownership, validating that a page
