@@ -1,0 +1,84 @@
+// Command check runs the full correctness-oracle matrix from internal/check:
+// every policy x engine pair (dense vs map engine, core.Fast vs the Figure-3
+// Discrete reference, snapshot round trips, Reset reuse, full invariant
+// suites for every registry baseline) over every workload shape and cache
+// size, plus the Theorem 1.1 bound against exact offline OPT on small
+// instances.
+//
+// Usage:
+//
+//	check [-steps N] [-seed S] [-ks 4,64,256] [-theorem N] [-q]
+//
+// The process exits non-zero on the first violated cell, printing the
+// oracle, workload, cache size, diverging step and — for differential
+// failures — a minimized repro trace in the text trace format (replayable
+// with cmd/convexsim or a new testdata regression file).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"convexcache/internal/check"
+)
+
+func main() {
+	steps := flag.Int("steps", 20000, "per-workload trace length")
+	seed := flag.Int64("seed", 1, "workload generator seed")
+	ksFlag := flag.String("ks", "4,64,256", "comma-separated cache sizes")
+	theorem := flag.Int("theorem", 4, "number of small Theorem 1.1 instances (0 disables)")
+	quiet := flag.Bool("q", false, "only print failures and the summary")
+	flag.Parse()
+
+	ks, err := parseKs(*ksFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "check:", err)
+		os.Exit(2)
+	}
+
+	cfg := check.MatrixConfig{Steps: *steps, Seed: *seed, Ks: ks, TheoremInstances: *theorem}
+	start := time.Now()
+	cells := 0
+	report := func(r check.MatrixResult) {
+		cells++
+		if r.Err != nil {
+			fmt.Printf("FAIL %-34s %-14s k=%-4d %v\n", r.Oracle, r.Workload, r.K, r.Err)
+			if d, ok := r.Err.(*check.Divergence); ok && d.Repro != nil {
+				fmt.Printf("minimized repro (%d requests):\n%s", d.Repro.Len(), d.ReproString())
+			}
+			return
+		}
+		if !*quiet {
+			fmt.Printf("ok   %-34s %-14s k=%d\n", r.Oracle, r.Workload, r.K)
+		}
+	}
+	if err := check.RunMatrix(cfg, report); err != nil {
+		fmt.Fprintf(os.Stderr, "check: FAILED after %d cells in %v: %v\n", cells, time.Since(start).Round(time.Millisecond), err)
+		os.Exit(1)
+	}
+	fmt.Printf("check: all %d cells passed in %v\n", cells, time.Since(start).Round(time.Millisecond))
+}
+
+// parseKs parses the -ks flag.
+func parseKs(s string) ([]int, error) {
+	var ks []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		k, err := strconv.Atoi(part)
+		if err != nil || k <= 0 {
+			return nil, fmt.Errorf("invalid cache size %q", part)
+		}
+		ks = append(ks, k)
+	}
+	if len(ks) == 0 {
+		return nil, fmt.Errorf("no cache sizes in %q", s)
+	}
+	return ks, nil
+}

@@ -1,0 +1,270 @@
+package check
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+
+	"convexcache/internal/core"
+	"convexcache/internal/sim"
+	"convexcache/internal/trace"
+)
+
+// StepRecord is the observable outcome of one simulation step, the unit the
+// differential oracles compare. Two implementations "agree" when their
+// per-step records are identical over the whole trace.
+type StepRecord struct {
+	// Page is the requested page.
+	Page trace.PageID
+	// Miss is true when the page was fetched.
+	Miss bool
+	// Evicted is the evicted page, -1 when none.
+	Evicted trace.PageID
+}
+
+// Divergence describes the first step at which two runs disagreed.
+type Divergence struct {
+	// Step is the 0-based request index of the first disagreement; -1 when
+	// the disagreement is in the aggregate results only.
+	Step int
+	// A and B describe each side's behavior at Step.
+	A, B string
+	// Repro is the ddmin-minimized trace still exhibiting the divergence;
+	// nil when minimization was not run.
+	Repro *trace.Trace
+}
+
+func (d *Divergence) Error() string {
+	msg := fmt.Sprintf("check: first divergence at step %d: A %s, B %s", d.Step, d.A, d.B)
+	if d.Repro != nil {
+		msg += fmt.Sprintf(" (minimized repro: %d requests)", d.Repro.Len())
+	}
+	return msg
+}
+
+// ReproString renders the minimized repro in the text trace format, ready to
+// be committed under testdata/ as a regression input.
+func (d *Divergence) ReproString() string {
+	if d.Repro == nil {
+		return ""
+	}
+	var b strings.Builder
+	if err := trace.Write(&b, d.Repro); err != nil {
+		return ""
+	}
+	return b.String()
+}
+
+// record runs p over tr and captures the per-step records.
+func record(tr *trace.Trace, p sim.Policy, cfg sim.Config) ([]StepRecord, sim.Result, error) {
+	recs := make([]StepRecord, 0, tr.Len())
+	user := cfg.Observer
+	cfg.Observer = func(ev sim.Event) {
+		recs = append(recs, StepRecord{Page: ev.Req.Page, Miss: ev.Miss, Evicted: ev.Evicted})
+		if user != nil {
+			user(ev)
+		}
+	}
+	res, err := sim.Run(tr, p, cfg)
+	return recs, res, err
+}
+
+// firstDivergence compares two record streams and the aggregate results.
+func firstDivergence(ra, rb []StepRecord, resA, resB sim.Result) *Divergence {
+	n := len(ra)
+	if len(rb) < n {
+		n = len(rb)
+	}
+	for i := 0; i < n; i++ {
+		if ra[i] != rb[i] {
+			return &Divergence{Step: i, A: describeRecord(ra[i]), B: describeRecord(rb[i])}
+		}
+	}
+	if len(ra) != len(rb) {
+		return &Divergence{Step: n, A: fmt.Sprintf("%d steps", len(ra)), B: fmt.Sprintf("%d steps", len(rb))}
+	}
+	if resA.Hits != resB.Hits ||
+		!reflect.DeepEqual(resA.Misses, resB.Misses) ||
+		!reflect.DeepEqual(resA.Evictions, resB.Evictions) ||
+		resA.EffectiveSteps != resB.EffectiveSteps {
+		return &Divergence{
+			Step: -1,
+			A:    fmt.Sprintf("hits=%d misses=%v evictions=%v", resA.Hits, resA.Misses, resA.Evictions),
+			B:    fmt.Sprintf("hits=%d misses=%v evictions=%v", resB.Hits, resB.Misses, resB.Evictions),
+		}
+	}
+	return nil
+}
+
+func describeRecord(r StepRecord) string {
+	if !r.Miss {
+		return fmt.Sprintf("hit page %d", r.Page)
+	}
+	if r.Evicted < 0 {
+		return fmt.Sprintf("miss page %d, no eviction", r.Page)
+	}
+	return fmt.Sprintf("miss page %d, evict page %d", r.Page, r.Evicted)
+}
+
+// DiffPolicies replays the trace through two independently constructed
+// policies under the same engine configuration and returns the first
+// diverging step, or nil when the runs agree bit-for-bit. The factories are
+// re-invoked during minimization, so they must return fresh instances.
+func DiffPolicies(tr *trace.Trace, k int, mkA, mkB func() sim.Policy, engA, engB sim.Engine) (*Divergence, error) {
+	div, err := diffOnce(tr, k, mkA, mkB, engA, engB)
+	if err != nil || div == nil {
+		return div, err
+	}
+	div.Repro = MinimizeTrace(tr, func(t *trace.Trace) bool {
+		d, err := diffOnce(t, k, mkA, mkB, engA, engB)
+		return err == nil && d != nil
+	})
+	// Re-derive the step/description on the minimized trace so the report
+	// matches the committed repro.
+	if div.Repro != nil {
+		if d2, err := diffOnce(div.Repro, k, mkA, mkB, engA, engB); err == nil && d2 != nil {
+			d2.Repro = div.Repro
+			return d2, nil
+		}
+	}
+	return div, nil
+}
+
+func diffOnce(tr *trace.Trace, k int, mkA, mkB func() sim.Policy, engA, engB sim.Engine) (*Divergence, error) {
+	ra, resA, err := record(tr, mkA(), sim.Config{K: k, Engine: engA})
+	if err != nil {
+		return nil, fmt.Errorf("check: side A failed: %w", err)
+	}
+	rb, resB, err := record(tr, mkB(), sim.Config{K: k, Engine: engB})
+	if err != nil {
+		return nil, fmt.Errorf("check: side B failed: %w", err)
+	}
+	return firstDivergence(ra, rb, resA, resB), nil
+}
+
+// DiffEngines replays the trace through one dense-capable policy twice —
+// once on the dense engine, once forced onto the map engine — and reports
+// the first diverging step. This is the oracle guarding the PR-1 fast path:
+// the two loops must be observably identical for every DensePolicy.
+func DiffEngines(tr *trace.Trace, k int, mk func() sim.Policy) (*Divergence, error) {
+	return DiffPolicies(tr, k, mk, mk, sim.EngineDense, sim.EngineMap)
+}
+
+// SnapshotRoundTrip checks core.Fast's checkpointing against itself: the
+// trace is split at every boundary in splits (fractions of the trace
+// length); the prefix is run, a snapshot is taken, restored into a fresh
+// instance, and the suffix is driven manually on both the original and the
+// restored instance. Both must evict identically, and Snapshot after
+// Restore must reproduce the checkpoint exactly.
+func SnapshotRoundTrip(tr *trace.Trace, k int, opt core.Options, splits []float64) error {
+	for _, frac := range splits {
+		cut := int(frac * float64(tr.Len()))
+		if cut < 1 || cut >= tr.Len() {
+			continue
+		}
+		if err := snapshotRoundTripAt(tr, k, opt, cut); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func snapshotRoundTripAt(tr *trace.Trace, k int, opt core.Options, cut int) error {
+	orig := newManualDriver(k, core.NewFast(opt))
+	for _, r := range tr.Requests()[:cut] {
+		orig.serve(r)
+	}
+	snap := orig.alg.(*core.Fast).Snapshot()
+
+	restored := core.NewFast(opt)
+	if err := restored.Restore(snap); err != nil {
+		return fmt.Errorf("check: restore at step %d failed: %w", cut, err)
+	}
+	back := restored.Snapshot()
+	if !reflect.DeepEqual(normalizeSnapshot(snap), normalizeSnapshot(back)) {
+		return fmt.Errorf("check: snapshot round trip at step %d not identical:\n  before: %+v\n  after:  %+v", cut, snap, back)
+	}
+
+	// Resume both and require identical evictions on the suffix.
+	cont := newManualDriver(k, restored)
+	cont.cache = orig.cloneCache()
+	for step, r := range tr.Requests()[cut:] {
+		ea := orig.serve(r)
+		eb := cont.serve(r)
+		if ea != eb {
+			return &Divergence{
+				Step: cut + step,
+				A:    fmt.Sprintf("uninterrupted evicts %d", ea),
+				B:    fmt.Sprintf("restored evicts %d", eb),
+			}
+		}
+	}
+	return nil
+}
+
+// normalizeSnapshot clears empty-vs-nil distinctions that DeepEqual would
+// flag but that carry no state.
+func normalizeSnapshot(s core.FastSnapshot) core.FastSnapshot {
+	if len(s.Misses) == 0 {
+		s.Misses = nil
+	}
+	if len(s.Pages) == 0 {
+		s.Pages = nil
+	}
+	return s
+}
+
+// manualDriver drives a policy directly (the snapshot-resume path used by
+// the server), owning cache membership like the engine does.
+type manualDriver struct {
+	k     int
+	alg   sim.Policy
+	cache map[trace.PageID]bool
+	step  int
+}
+
+func newManualDriver(k int, alg sim.Policy) *manualDriver {
+	return &manualDriver{k: k, alg: alg, cache: make(map[trace.PageID]bool)}
+}
+
+func (m *manualDriver) cloneCache() map[trace.PageID]bool {
+	out := make(map[trace.PageID]bool, len(m.cache))
+	for p, v := range m.cache {
+		out[p] = v
+	}
+	return out
+}
+
+// serve plays one request and returns the evicted page (-1 when none).
+func (m *manualDriver) serve(r trace.Request) trace.PageID {
+	m.step++
+	if m.cache[r.Page] {
+		m.alg.OnHit(m.step, r)
+		return -1
+	}
+	evicted := trace.PageID(-1)
+	if len(m.cache) >= m.k {
+		v := m.alg.Victim(m.step, r)
+		delete(m.cache, v)
+		m.alg.OnEvict(m.step, v)
+		evicted = v
+	}
+	m.cache[r.Page] = true
+	m.alg.OnInsert(m.step, r)
+	return evicted
+}
+
+// ResetReuse checks that Reset fully restores a policy's initial state: a
+// fresh instance and a reset-after-use instance must behave identically.
+// This guards the registry contract every sweep and experiment relies on
+// when reusing policy instances across runs.
+func ResetReuse(tr *trace.Trace, k int, mk func() sim.Policy) (*Divergence, error) {
+	reused := mk()
+	if _, _, err := record(tr, reused, sim.Config{K: k}); err != nil {
+		return nil, err
+	}
+	// The B factory resets before every (re-)run so minimization attempts
+	// do not leak state between each other.
+	mkB := func() sim.Policy { reused.Reset(); return reused }
+	return DiffPolicies(tr, k, mk, mkB, sim.EngineAuto, sim.EngineAuto)
+}

@@ -1,0 +1,106 @@
+package check
+
+import (
+	"testing"
+
+	"convexcache/internal/core"
+	"convexcache/internal/policy"
+	"convexcache/internal/sim"
+	"convexcache/internal/trace"
+)
+
+// fuzzTrace decodes a fuzz input into (trace, k). The first byte picks the
+// cache size (1..8), the second the tenant count (1..3); every remaining
+// byte is one request over a deliberately tiny page universe so eviction
+// pressure stays high. Returns nil when the input is too short to mean
+// anything.
+func fuzzTrace(data []byte) (*trace.Trace, int) {
+	if len(data) < 4 {
+		return nil, 0
+	}
+	k := int(data[0]%8) + 1
+	tenants := int(data[1]%3) + 1
+	b := trace.NewBuilder()
+	body := data[2:]
+	if len(body) > 512 {
+		body = body[:512]
+	}
+	for _, c := range body {
+		tn := trace.Tenant(int(c) % tenants)
+		pg := trace.PageID(int(c)/tenants%11 + 1 + 100*int(tn))
+		b.Add(tn, pg)
+	}
+	return b.MustBuild(), k
+}
+
+// FuzzDifferential feeds arbitrary traces through the cross-engine and
+// cross-implementation oracles: the dense and map engines must agree on
+// core.Fast, and core.Fast must agree with the Figure-3 Discrete reference.
+func FuzzDifferential(f *testing.F) {
+	for _, seed := range fuzzSeeds() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, k := fuzzTrace(data)
+		if tr == nil || tr.Len() == 0 {
+			return
+		}
+		costs := oracleCosts(tr.NumTenants())
+		mkFast := func() sim.Policy { return core.NewFast(core.Options{Costs: costs}) }
+		div, err := DiffEngines(tr, k, mkFast)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if div != nil {
+			t.Fatalf("dense vs map: %v\nrepro:\n%s", div, div.ReproString())
+		}
+		mkDisc := func() sim.Policy { return core.NewDiscrete(core.Options{Costs: costs}) }
+		div, err = DiffPolicies(tr, k, mkFast, mkDisc, sim.EngineAuto, sim.EngineAuto)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if div != nil {
+			t.Fatalf("fast vs discrete: %v\nrepro:\n%s", div, div.ReproString())
+		}
+	})
+}
+
+// FuzzInvariants replays arbitrary traces through every registered baseline
+// under the full invariant checker: occupancy, residency, ownership,
+// accounting and cost monotonicity must hold for any input whatsoever.
+func FuzzInvariants(f *testing.F) {
+	for _, seed := range fuzzSeeds() {
+		f.Add(seed)
+	}
+	names := policy.Names()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, k := fuzzTrace(data)
+		if tr == nil || tr.Len() == 0 {
+			return
+		}
+		// One byte of the input selects the policy so the fuzzer explores
+		// the whole registry rather than one baseline per run.
+		name := names[int(data[2])%len(names)]
+		costs := oracleCosts(tr.NumTenants())
+		p, err := policy.New(name, policy.Spec{K: k, Tenants: tr.NumTenants(),
+			Seed: int64(data[1]), Costs: costs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := MustPass(tr, p, sim.Config{K: k}, costs); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	})
+}
+
+// fuzzSeeds returns the in-code seed inputs shared by both fuzz targets;
+// the committed corpus under testdata/fuzz/ extends these with regression
+// inputs (including the encoded snapshot tenant-order repro shape).
+func fuzzSeeds() [][]byte {
+	return [][]byte{
+		{2, 1, 'a', 'b', 'c', 'a', 'd', 'a'},             // hit-reorders-recency shape
+		{3, 2, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}, // round-robin tenants
+		{1, 1, 'z', 'z', 'z', 'z'},                       // k=2 degenerate repeats
+		{7, 3, 'A', 'q', '7', 0xff, 0x00, 'm', 'm', 'q'}, // mixed tenants, large k
+	}
+}

@@ -1,0 +1,196 @@
+package check
+
+import (
+	"fmt"
+
+	"convexcache/internal/costfn"
+	"convexcache/internal/sim"
+	"convexcache/internal/trace"
+)
+
+// costTolerance absorbs floating-point noise in the monotone-cost check.
+const costTolerance = 1e-9
+
+// invariantObserver rebuilds cache state from the engine's event stream and
+// asserts the per-step invariants of the simulation model.
+type invariantObserver struct {
+	k     int
+	tr    *trace.Trace
+	costs []costfn.Func
+
+	resident map[trace.PageID]trace.Tenant
+
+	// Shadow counters over non-warmup events, reconciled against the
+	// engine's Result after the run.
+	hits      int64
+	misses    []int64
+	evictions []int64
+	effective int
+	steps     int
+
+	// prevCost tracks the cumulative convex objective sum_i f_i(m_i) over
+	// *all* misses (warmup included): miss counters only grow, so with
+	// non-decreasing f the cumulative cost must be monotone.
+	prevCost  float64
+	costMiss  []int64
+	costDirty bool
+
+	violations []Violation
+}
+
+func newInvariantObserver(tr *trace.Trace, k int, costs []costfn.Func) *invariantObserver {
+	n := tr.NumTenants()
+	return &invariantObserver{
+		k:         k,
+		tr:        tr,
+		costs:     costs,
+		resident:  make(map[trace.PageID]trace.Tenant, k),
+		misses:    make([]int64, n),
+		evictions: make([]int64, n),
+		costMiss:  make([]int64, n),
+	}
+}
+
+func (o *invariantObserver) violate(step int, kind, format string, args ...any) {
+	o.violations = append(o.violations, Violation{Step: step, Kind: kind, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (o *invariantObserver) observe(ev sim.Event) {
+	o.steps++
+	if !ev.Warmup {
+		o.effective++
+	}
+	r := ev.Req
+	if owner, ok := o.tr.Owner(r.Page); !ok {
+		o.violate(ev.Step, "event", "event for page %d not in the trace", r.Page)
+	} else if owner != r.Tenant {
+		o.violate(ev.Step, "ownership", "event says page %d belongs to tenant %d, trace says %d", r.Page, r.Tenant, owner)
+	}
+	if ev.Miss {
+		if _, ok := o.resident[r.Page]; ok {
+			o.violate(ev.Step, "residency", "miss reported for resident page %d", r.Page)
+		}
+		if !ev.Warmup && int(r.Tenant) < len(o.misses) {
+			o.misses[r.Tenant]++
+		}
+		if int(r.Tenant) < len(o.costMiss) {
+			o.costMiss[r.Tenant]++
+			o.costDirty = true
+		}
+		if ev.Evicted >= 0 {
+			owner, ok := o.resident[ev.Evicted]
+			if !ok {
+				o.violate(ev.Step, "residency", "eviction of page %d which was not resident", ev.Evicted)
+			} else {
+				if owner != ev.EvictedTenant {
+					o.violate(ev.Step, "ownership", "evicted page %d owned by tenant %d, event says %d",
+						ev.Evicted, owner, ev.EvictedTenant)
+				}
+				delete(o.resident, ev.Evicted)
+			}
+			if !ev.Warmup && int(ev.EvictedTenant) >= 0 && int(ev.EvictedTenant) < len(o.evictions) {
+				o.evictions[ev.EvictedTenant]++
+			}
+		}
+		o.resident[r.Page] = r.Tenant
+		if len(o.resident) > o.k {
+			o.violate(ev.Step, "occupancy", "cache holds %d pages, capacity is %d", len(o.resident), o.k)
+		}
+	} else {
+		if ev.Evicted >= 0 {
+			o.violate(ev.Step, "event", "hit event carries eviction of page %d", ev.Evicted)
+		}
+		if owner, ok := o.resident[r.Page]; !ok {
+			o.violate(ev.Step, "residency", "hit reported for absent page %d", r.Page)
+		} else if owner != r.Tenant {
+			o.violate(ev.Step, "ownership", "hit on page %d under tenant %d, resident under %d", r.Page, r.Tenant, owner)
+		}
+		if !ev.Warmup {
+			o.hits++
+		}
+	}
+	if len(o.costs) > 0 && o.costDirty {
+		cost := sim.Cost(o.costs, o.costMiss)
+		if cost < o.prevCost-costTolerance {
+			o.violate(ev.Step, "monotone-cost", "cumulative cost decreased from %g to %g", o.prevCost, cost)
+		}
+		o.prevCost = cost
+		o.costDirty = false
+	}
+}
+
+// reconcile compares the shadow counters against the engine's Result.
+func (o *invariantObserver) reconcile(res sim.Result) {
+	last := o.steps - 1
+	if res.Steps != o.steps {
+		o.violate(last, "accounting", "Result.Steps = %d, observed %d events", res.Steps, o.steps)
+	}
+	if res.EffectiveSteps != o.effective {
+		o.violate(last, "accounting", "Result.EffectiveSteps = %d, observed %d non-warmup events", res.EffectiveSteps, o.effective)
+	}
+	if res.Hits != o.hits {
+		o.violate(last, "accounting", "Result.Hits = %d, events say %d", res.Hits, o.hits)
+	}
+	if res.Hits+res.TotalMisses() != int64(res.EffectiveSteps) {
+		o.violate(last, "accounting", "hits %d + misses %d != effective steps %d",
+			res.Hits, res.TotalMisses(), res.EffectiveSteps)
+	}
+	for i := range o.misses {
+		var rm, re int64
+		if i < len(res.Misses) {
+			rm = res.Misses[i]
+		}
+		if i < len(res.Evictions) {
+			re = res.Evictions[i]
+		}
+		if rm != o.misses[i] {
+			o.violate(last, "accounting", "tenant %d: Result.Misses = %d, events say %d", i, rm, o.misses[i])
+		}
+		if re != o.evictions[i] {
+			o.violate(last, "accounting", "tenant %d: Result.Evictions = %d, events say %d", i, re, o.evictions[i])
+		}
+		if o.evictions[i] > o.misses[i] {
+			// Evictions of tenant i require prior fetches of its pages; any
+			// excess means the engine double-counted. Warmup can hide the
+			// fetch, so only enforce on warmup-free runs.
+			if o.effective == o.steps {
+				o.violate(last, "accounting", "tenant %d: %d evictions exceed %d misses", i, o.evictions[i], o.misses[i])
+			}
+		}
+	}
+}
+
+// Run executes policy p over the trace under full per-step invariant
+// checking: the policy is wrapped with the shadow-model contract checks and
+// the engine's event stream is replayed into a residency model asserting
+// occupancy <= k, residency/ownership consistency, monotone cumulative
+// convex cost (when costs are given) and hit/miss/eviction accounting that
+// matches the returned Result. Any configured cfg.Observer still receives
+// every event.
+func Run(tr *trace.Trace, p sim.Policy, cfg sim.Config, costs []costfn.Func) (sim.Result, []Violation, error) {
+	obs := newInvariantObserver(tr, cfg.K, costs)
+	user := cfg.Observer
+	cfg.Observer = func(ev sim.Event) {
+		obs.observe(ev)
+		if user != nil {
+			user(ev)
+		}
+	}
+	wrapped := Wrap(p)
+	res, err := sim.Run(tr, wrapped, cfg)
+	if err != nil {
+		return res, obs.violations, err
+	}
+	obs.reconcile(res)
+	vs := append(wrapped.Violations(), obs.violations...)
+	return res, vs, nil
+}
+
+// MustPass runs Run and converts violations into an error.
+func MustPass(tr *trace.Trace, p sim.Policy, cfg sim.Config, costs []costfn.Func) (sim.Result, error) {
+	res, vs, err := Run(tr, p, cfg, costs)
+	if err != nil {
+		return res, err
+	}
+	return res, AsError(vs)
+}

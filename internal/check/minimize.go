@@ -1,0 +1,84 @@
+package check
+
+import (
+	"convexcache/internal/trace"
+)
+
+// minimizeBudget caps the number of candidate runs a minimization may spend;
+// oracle traces are cheap to replay but fuzzing shrinks under a deadline.
+const minimizeBudget = 2000
+
+// MinimizeTrace returns a small sub-trace of tr on which fails still holds,
+// using delta debugging (ddmin) over the request sequence: first the
+// shortest still-failing prefix is found, then progressively smaller chunks
+// of requests are deleted while the failure persists. fails(tr) must be true
+// on entry; the result is always non-empty and failing.
+//
+// Removing requests from a valid trace keeps ownership consistent, so every
+// candidate is a well-formed trace.
+func MinimizeTrace(tr *trace.Trace, fails func(*trace.Trace) bool) *trace.Trace {
+	reqs := append([]trace.Request(nil), tr.Requests()...)
+	budget := minimizeBudget
+	try := func(cand []trace.Request) (*trace.Trace, bool) {
+		if len(cand) == 0 || budget <= 0 {
+			return nil, false
+		}
+		budget--
+		t, err := trace.FromRequests(cand)
+		if err != nil {
+			return nil, false
+		}
+		return t, fails(t)
+	}
+
+	// Phase 1: binary-search the shortest failing prefix. Failure is not
+	// guaranteed monotone in the prefix length, so verify the final prefix
+	// and fall back to the full sequence if the heuristic overshot.
+	lo, hi := 1, len(reqs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if _, ok := try(reqs[:mid]); ok {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	if _, ok := try(reqs[:hi]); ok {
+		reqs = append([]trace.Request(nil), reqs[:hi]...)
+	}
+
+	// Phase 2: ddmin chunk deletion. Start with halves, shrink the chunk
+	// size after a full fruitless pass, restart the pass after any success.
+	for chunk := len(reqs) / 2; chunk >= 1; {
+		removedAny := false
+		for start := 0; start < len(reqs) && budget > 0; {
+			end := start + chunk
+			if end > len(reqs) {
+				end = len(reqs)
+			}
+			cand := make([]trace.Request, 0, len(reqs)-(end-start))
+			cand = append(cand, reqs[:start]...)
+			cand = append(cand, reqs[end:]...)
+			if _, ok := try(cand); ok {
+				reqs = cand
+				removedAny = true
+				// Keep start in place: the next chunk slid into it.
+			} else {
+				start = end
+			}
+		}
+		if !removedAny {
+			chunk /= 2
+		} else if chunk > len(reqs)/2 && len(reqs) > 1 {
+			chunk = len(reqs) / 2
+		}
+		if budget <= 0 {
+			break
+		}
+	}
+	out, err := trace.FromRequests(reqs)
+	if err != nil {
+		return tr
+	}
+	return out
+}

@@ -1,0 +1,91 @@
+package check
+
+import (
+	"fmt"
+
+	"convexcache/internal/core"
+	"convexcache/internal/costfn"
+	"convexcache/internal/offline"
+	"convexcache/internal/sim"
+	"convexcache/internal/trace"
+)
+
+// boundTolerance absorbs floating-point slack in the Theorem 1.1 comparison.
+const boundTolerance = 1e-9
+
+// BoundReport is the outcome of one Theorem 1.1 compliance check.
+type BoundReport struct {
+	// AlgMisses is the online algorithm's per-tenant fetch vector a_i.
+	AlgMisses []int64
+	// OptMisses is the exact offline optimum's fetch vector b_i.
+	OptMisses []int64
+	// AlgCost is sum_i f_i(a_i).
+	AlgCost float64
+	// Bound is sum_i f_i(alpha * k * b_i), the theorem's right-hand side.
+	Bound float64
+	// Alpha is the curvature constant used.
+	Alpha float64
+	// Holds is AlgCost <= Bound (within tolerance).
+	Holds bool
+}
+
+// Theorem11 checks the paper's headline guarantee
+//
+//	sum_i f_i(a_i) <= sum_i f_i(alpha * k * b_i)
+//
+// on one instance small enough for the exact offline search: the paper's
+// algorithm (core.Fast) is run online, the branch-and-bound optimum b_i is
+// computed offline, and the two sides of Theorem 1.1 are compared. Fetch
+// counts are used on both sides, which dominates the paper's eviction
+// accounting and keeps the check conservative. A non-nil error means the
+// instance could not be decided (too large, search budget exhausted); a
+// report with Holds == false is a genuine theorem violation.
+func Theorem11(tr *trace.Trace, k int, costs []costfn.Func) (BoundReport, error) {
+	alg, err := sim.Run(tr, core.NewFast(core.Options{Costs: costs}), sim.Config{K: k})
+	if err != nil {
+		return BoundReport{}, fmt.Errorf("check: theorem 1.1 online run failed: %w", err)
+	}
+	opt, err := offline.Exact(tr, k, costs, offline.Limits{})
+	if err != nil {
+		return BoundReport{}, fmt.Errorf("check: theorem 1.1 offline search failed: %w", err)
+	}
+	if !opt.Optimal {
+		return BoundReport{}, fmt.Errorf("check: theorem 1.1 instance too large for exact search (%d nodes)", opt.Nodes)
+	}
+	alpha := 1.0
+	for _, f := range costs {
+		if a := costfn.EffectiveAlpha(f, float64(tr.Len())); a > alpha {
+			alpha = a
+		}
+	}
+	bound := 0.0
+	for i, f := range costs {
+		if i >= len(opt.Misses) {
+			break
+		}
+		bound += f.Value(alpha * float64(k) * float64(opt.Misses[i]))
+	}
+	algCost := alg.Cost(costs)
+	return BoundReport{
+		AlgMisses: alg.Misses,
+		OptMisses: opt.Misses,
+		AlgCost:   algCost,
+		Bound:     bound,
+		Alpha:     alpha,
+		Holds:     algCost <= bound+boundTolerance,
+	}, nil
+}
+
+// Theorem11Violation converts a failed report into a check violation; nil
+// when the bound holds.
+func Theorem11Violation(r BoundReport) error {
+	if r.Holds {
+		return nil
+	}
+	return AsError([]Violation{{
+		Step: -1,
+		Kind: "bound",
+		Msg: fmt.Sprintf("Theorem 1.1 violated: ALG cost %g > bound %g (alpha=%g, ALG misses %v, OPT misses %v)",
+			r.AlgCost, r.Bound, r.Alpha, r.AlgMisses, r.OptMisses),
+	}})
+}

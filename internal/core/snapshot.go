@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 
 	"convexcache/internal/trace"
 )
@@ -52,7 +53,17 @@ func (f *Fast) Snapshot() FastSnapshot {
 	for i, m := range f.m {
 		s.Misses[i] = m
 	}
-	for _, l := range f.lists {
+	// Walk tenants in ascending id order so the serialized page list is
+	// deterministic and identical to the dense backend's; map iteration
+	// order here broke snapshot round-trip idempotence (found by the
+	// internal/check differential oracle).
+	tenants := make([]trace.Tenant, 0, len(f.lists))
+	for i := range f.lists {
+		tenants = append(tenants, i)
+	}
+	sort.Slice(tenants, func(a, b int) bool { return tenants[a] < tenants[b] })
+	for _, i := range tenants {
+		l := f.lists[i]
 		for e := l.Front(); e != nil; e = e.Next() {
 			p := e.Value.(trace.PageID)
 			pg := f.info[p]

@@ -128,3 +128,48 @@ func TestReadSnapshotRejectsGarbage(t *testing.T) {
 		t.Error("garbage snapshot accepted")
 	}
 }
+
+// TestSnapshotDeterministicTenantOrder is the regression for the snapshot
+// nondeterminism found by the internal/check differential oracle: the
+// map-backed Snapshot used to walk f.lists in Go map iteration order, so a
+// multi-tenant checkpoint serialized its pages in a different order on every
+// process run and snapshot -> restore -> snapshot was not idempotent.
+// Tenants must be walked in ascending id order, matching the dense backend.
+func TestSnapshotDeterministicTenantOrder(t *testing.T) {
+	opt := Options{Costs: []costfn.Func{costfn.Linear{W: 1}, costfn.Linear{W: 2}, costfn.Linear{W: 3}}}
+	mk := func() FastSnapshot {
+		h := newResumeHarness(4, NewFast(opt))
+		for _, r := range []trace.Request{
+			{Tenant: 2, Page: 201}, {Tenant: 0, Page: 1}, {Tenant: 1, Page: 101}, {Tenant: 2, Page: 202},
+		} {
+			h.serve(r)
+		}
+		return h.alg.Snapshot()
+	}
+	want := mk()
+	for round := 0; round < 20; round++ {
+		got := mk()
+		for i := range want.Pages {
+			if got.Pages[i] != want.Pages[i] {
+				t.Fatalf("round %d: page order nondeterministic at %d: %+v vs %+v",
+					round, i, got.Pages[i], want.Pages[i])
+			}
+		}
+	}
+	for i := 1; i < len(want.Pages); i++ {
+		if want.Pages[i].Owner < want.Pages[i-1].Owner {
+			t.Fatalf("pages not grouped by ascending tenant: %+v", want.Pages)
+		}
+	}
+	// Round trip must reproduce the checkpoint exactly.
+	g := NewFast(opt)
+	if err := g.Restore(want); err != nil {
+		t.Fatal(err)
+	}
+	back := g.Snapshot()
+	for i := range want.Pages {
+		if back.Pages[i] != want.Pages[i] {
+			t.Fatalf("round trip reordered page %d: %+v vs %+v", i, back.Pages[i], want.Pages[i])
+		}
+	}
+}

@@ -1,0 +1,215 @@
+package policy
+
+import (
+	"testing"
+
+	"convexcache/internal/costfn"
+	"convexcache/internal/sim"
+	"convexcache/internal/trace"
+)
+
+// evictionOrder replays tr through p and returns the victims in order.
+func evictionOrder(t *testing.T, tr *trace.Trace, p sim.Policy, k int) []trace.PageID {
+	t.Helper()
+	var out []trace.PageID
+	_, err := sim.Run(tr, p, sim.Config{K: k, Observer: func(ev sim.Event) {
+		if ev.Evicted >= 0 {
+			out = append(out, ev.Evicted)
+		}
+	}})
+	if err != nil {
+		t.Fatalf("%s: %v", p.Name(), err)
+	}
+	return out
+}
+
+// TestEvictionOrderTable pins the exact victim sequence of every
+// deterministic baseline on hand-worked instances; any change to eviction
+// order is a behavior change and must show up here.
+func TestEvictionOrderTable(t *testing.T) {
+	cases := []struct {
+		name string
+		mk   func() sim.Policy
+		tr   func(t *testing.T) *trace.Trace
+		k    int
+		want []trace.PageID
+	}{
+		{
+			// 1 reaches count 2 via the hit; 2 and then 3 are the coldest.
+			name: "lfu/frequency-order",
+			mk:   func() sim.Policy { return NewLFU() },
+			tr:   func(t *testing.T) *trace.Trace { return seq(t, 1, 1, 2, 3, 4) },
+			k:    2,
+			want: []trace.PageID{2, 3},
+		},
+		{
+			// All counts equal: the least recently used page loses.
+			name: "lfu/tie-break-recency",
+			mk:   func() sim.Policy { return NewLFU() },
+			tr:   func(t *testing.T) *trace.Trace { return seq(t, 1, 2, 3) },
+			k:    2,
+			want: []trace.PageID{1},
+		},
+		{
+			// At the miss on 3: next(1)=3 < next(2)=4, so 2 goes; at the
+			// final miss neither resident recurs, ties break by lowest id.
+			name: "belady/farthest-next-use",
+			mk:   func() sim.Policy { return NewBelady() },
+			tr:   func(t *testing.T) *trace.Trace { return seq(t, 1, 2, 3, 1, 2) },
+			k:    2,
+			want: []trace.PageID{2, 1},
+		},
+		{
+			// A never-requested-again page is always the first victim.
+			name: "belady/never-again-first",
+			mk:   func() sim.Policy { return NewBelady() },
+			tr:   func(t *testing.T) *trace.Trace { return seq(t, 1, 2, 3, 1, 3) },
+			k:    2,
+			want: []trace.PageID{2},
+		},
+		{
+			// Tenant 0 weight 10 vs tenant 1 weight 1: the light tenant's
+			// pages run out of credit first, in insertion order.
+			name: "greedy-dual/weight-order",
+			mk:   func() sim.Policy { return NewGreedyDual([]float64{10, 1}) },
+			tr: func(t *testing.T) *trace.Trace {
+				return multiSeq(t, [2]int{0, 1}, [2]int{1, 100}, [2]int{1, 101}, [2]int{1, 102})
+			},
+			k:    2,
+			want: []trace.PageID{100, 101},
+		},
+		{
+			// Equal weights: credits tie, seq breaks ties, giving FIFO.
+			name: "greedy-dual/equal-weights-fifo",
+			mk:   func() sim.Policy { return NewGreedyDual([]float64{1}) },
+			tr:   func(t *testing.T) *trace.Trace { return seq(t, 1, 2, 3, 4) },
+			k:    2,
+			want: []trace.PageID{1, 2},
+		},
+		{
+			// Requester under quota: the most over-quota tenant surrenders
+			// its LRU page (tenant 0 holds 2 with quota 1).
+			name: "static-partition/over-quota-surrenders",
+			mk:   func() sim.Policy { return NewStaticPartition([]int{1, 3}) },
+			tr: func(t *testing.T) *trace.Trace {
+				return multiSeq(t, [2]int{0, 1}, [2]int{0, 2}, [2]int{1, 100})
+			},
+			k:    2,
+			want: []trace.PageID{1},
+		},
+		{
+			// Requester at quota: it pays with its own LRU page even though
+			// another tenant holds pages.
+			name: "static-partition/self-pay-at-quota",
+			mk:   func() sim.Policy { return NewStaticPartition([]int{1, 1}) },
+			tr: func(t *testing.T) *trace.Trace {
+				return multiSeq(t, [2]int{0, 1}, [2]int{1, 100}, [2]int{0, 2})
+			},
+			k:    2,
+			want: []trace.PageID{1},
+		},
+		{
+			// Marking: phase ends when all residents are marked; the lowest
+			// unmarked id goes first in the new phase.
+			name: "marking/phase-reset-lowest-id",
+			mk:   func() sim.Policy { return NewMarking() },
+			tr:   func(t *testing.T) *trace.Trace { return seq(t, 1, 2, 3, 4) },
+			k:    2,
+			want: []trace.PageID{1, 2},
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			got := evictionOrder(t, tc.tr(t), tc.mk(), tc.k)
+			if len(got) != len(tc.want) {
+				t.Fatalf("evictions = %v, want %v", got, tc.want)
+			}
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Fatalf("evictions = %v, want %v", got, tc.want)
+				}
+			}
+		})
+	}
+}
+
+// TestHarmonicSamplesInverseToWeight pins the defining property of the
+// Harmonic rule: victims are drawn with probability inversely proportional
+// to the owner's marginal cost. With linear costs 9 vs 1 the cheap tenant's
+// page must be sampled ~90% of the time.
+func TestHarmonicSamplesInverseToWeight(t *testing.T) {
+	h := NewHarmonic(1, []costfn.Func{costfn.Linear{W: 9}, costfn.Linear{W: 1}})
+	h.OnInsert(0, trace.Request{Tenant: 0, Page: 1})
+	h.OnInsert(1, trace.Request{Tenant: 1, Page: 2})
+	const samples = 2000
+	cheap := 0
+	for i := 0; i < samples; i++ {
+		if h.Victim(2, trace.Request{Tenant: 0, Page: 3}) == 2 {
+			cheap++
+		}
+	}
+	// Expected 1800; the seeded rng makes the count deterministic, the wide
+	// band just documents the intent.
+	if cheap < 1600 || cheap > 1950 {
+		t.Errorf("cheap page sampled %d/%d times, want ~90%%", cheap, samples)
+	}
+}
+
+// TestHarmonicSeedDeterminism: same seed, same trace, same outcome — the
+// property sweeps and the check oracles rely on.
+func TestHarmonicSeedDeterminism(t *testing.T) {
+	tr := multiSeq(t,
+		[2]int{0, 1}, [2]int{1, 100}, [2]int{0, 2}, [2]int{1, 101},
+		[2]int{0, 3}, [2]int{1, 102}, [2]int{0, 1}, [2]int{1, 100})
+	fs := []costfn.Func{costfn.Monomial{C: 1, Beta: 2}, costfn.Linear{W: 2}}
+	a := evictionOrder(t, tr, NewHarmonic(7, fs), 2)
+	b := evictionOrder(t, tr, NewHarmonic(7, fs), 2)
+	if len(a) != len(b) {
+		t.Fatalf("same seed diverged: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged: %v vs %v", a, b)
+		}
+	}
+}
+
+// TestRandomResetRestoresSeed: after Reset the rng rewinds, so the victim
+// sequence replays exactly.
+func TestRandomResetRestoresSeed(t *testing.T) {
+	tr := seq(t, 1, 2, 3, 4, 5, 6, 7, 8, 1, 3, 5, 7, 2, 4, 6, 8)
+	p := NewRandom(11)
+	first := evictionOrder(t, tr, p, 3)
+	p.Reset()
+	second := evictionOrder(t, tr, p, 3)
+	if len(first) != len(second) {
+		t.Fatalf("Reset changed eviction count: %v vs %v", first, second)
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("Reset changed victims: %v vs %v", first, second)
+		}
+	}
+}
+
+// TestRegistryConstructsTestedBaselines pins that the registry names map to
+// the policies the eviction-order table exercises.
+func TestRegistryConstructsTestedBaselines(t *testing.T) {
+	spec := Spec{K: 4, Tenants: 2, Seed: 3,
+		Costs: []costfn.Func{costfn.Linear{W: 1}, costfn.Linear{W: 2}}}
+	for name, want := range map[string]string{
+		"lfu":              "lfu",
+		"belady":           "belady",
+		"belady-cost":      "belady-cost",
+		"greedy-dual":      "greedy-dual",
+		"harmonic":         "harmonic",
+		"random":           "random",
+		"marking":          "marking",
+		"static-partition": "static-partition",
+	} {
+		if got := MustNew(name, spec).Name(); got != want {
+			t.Errorf("MustNew(%q).Name() = %q, want %q", name, got, want)
+		}
+	}
+}

@@ -74,6 +74,16 @@ func New(name string, spec Spec) (sim.Policy, error) {
 	}
 }
 
+// MustNew is New that panics on an unknown name; for tests and static
+// tables whose names are known good.
+func MustNew(name string, spec Spec) sim.Policy {
+	p, err := New(name, spec)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
 // Names lists the registered baseline policy names.
 func Names() []string {
 	return []string{"lru", "fifo", "lfu", "random", "random-marking", "marking",

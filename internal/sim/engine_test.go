@@ -1,0 +1,46 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestEngineForcedMap drives a dense-capable policy through the map loop:
+// PrepareDense must never be consulted and results must match the auto run.
+func TestEngineForcedMap(t *testing.T) {
+	tr := seqTrace(t, 1, 101, 2, 1, 101, 3, 2, 1, 202, 3, 1, 101)
+	for _, k := range []int{1, 2, 3} {
+		spy := &denseFIFO{}
+		forced, err := Run(tr, spy, Config{K: k, Engine: EngineMap})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if spy.d != nil {
+			t.Fatalf("k=%d: EngineMap consulted PrepareDense", k)
+		}
+		auto, err := Run(tr, &denseFIFO{}, Config{K: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if forced.Hits != auto.Hits || forced.TotalMisses() != auto.TotalMisses() ||
+			forced.TotalEvictions() != auto.TotalEvictions() {
+			t.Fatalf("k=%d: forced map run diverges from auto: %+v vs %+v", k, forced, auto)
+		}
+	}
+}
+
+func TestEngineForcedDenseRejectsMapOnlyPolicy(t *testing.T) {
+	tr := seqTrace(t, 1, 2, 3)
+	if _, err := Run(tr, &fifoTest{}, Config{K: 2, Engine: EngineDense}); err == nil {
+		t.Fatal("EngineDense accepted a policy without a dense path")
+	} else if !strings.Contains(err.Error(), "dense engine") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestEngineForcedDenseRejectsDecliningPolicy(t *testing.T) {
+	tr := seqTrace(t, 1, 2, 3)
+	if _, err := Run(tr, &decliningDense{}, Config{K: 2, Engine: EngineDense}); err == nil {
+		t.Fatal("EngineDense accepted a declining policy")
+	}
+}

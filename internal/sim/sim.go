@@ -145,6 +145,21 @@ func PerTenantCost(fs []costfn.Func, counts []int64) []float64 {
 	return out
 }
 
+// Engine selects which request loop drives the run.
+type Engine int
+
+const (
+	// EngineAuto (the default) uses the dense engine when the policy
+	// implements DensePolicy and accepts the trace, else the map engine.
+	EngineAuto Engine = iota
+	// EngineMap forces the map-backed engine even for dense-capable
+	// policies; used by differential tests that compare the two loops.
+	EngineMap
+	// EngineDense requires the dense engine and fails the run when the
+	// policy does not implement DensePolicy or declines the trace.
+	EngineDense
+)
+
 // Config controls a simulation run.
 type Config struct {
 	// K is the cache capacity in pages; must be positive.
@@ -155,6 +170,8 @@ type Config struct {
 	// (the policy still sees them), for steady-state measurement. Events
 	// are delivered for warmup steps too, with Warmup set.
 	WarmupSteps int
+	// Engine pins the run to one of the two request loops; see EngineAuto.
+	Engine Engine
 }
 
 // Run drives policy p over the trace with cache size cfg.K.
@@ -170,9 +187,14 @@ func Run(tr *trace.Trace, p Policy, cfg Config) (Result, error) {
 	if op, ok := p.(OfflinePolicy); ok {
 		op.Prepare(trace.Index(tr))
 	}
-	if dp, ok := p.(DensePolicy); ok {
-		if res, handled, err := runDense(tr, dp, cfg); handled {
-			return res, err
+	if cfg.Engine != EngineMap {
+		if dp, ok := p.(DensePolicy); ok {
+			if res, handled, err := runDense(tr, dp, cfg); handled {
+				return res, err
+			}
+		}
+		if cfg.Engine == EngineDense {
+			return Result{}, fmt.Errorf("sim: policy %s does not support the dense engine", p.Name())
 		}
 	}
 	return runMap(tr, p, cfg)

@@ -37,15 +37,19 @@ func (d *Dense) IndexOf(p PageID) int32 {
 }
 
 // Dense returns the compacted remap of the trace, computing it on first use
-// and caching it for subsequent calls. Safe for concurrent use: the build is
-// idempotent, so a rare duplicate computation under contention is harmless.
+// and caching it for subsequent calls. Safe for concurrent use: racing first
+// callers may build the remap redundantly, but the compare-and-swap ensures
+// every caller — including the losers of the race — returns the one pointer
+// that won, so slices handed out by Dense can be compared by identity.
 func (t *Trace) Dense() *Dense {
 	if d := t.dense.Load(); d != nil {
 		return d
 	}
 	d := buildDense(t)
-	t.dense.Store(d)
-	return d
+	if t.dense.CompareAndSwap(nil, d) {
+		return d
+	}
+	return t.dense.Load()
 }
 
 func buildDense(t *Trace) *Dense {

@@ -108,3 +108,40 @@ func TestDenseConcurrentAccess(t *testing.T) {
 		}
 	}
 }
+
+// TestDenseConcurrentFirstCallsShareRemap guards the compare-and-swap in
+// Dense(): when many goroutines race the *first* densification of a trace,
+// every one of them must get the identical cached remap pointer, not a
+// private redundant build. Run with -race in CI.
+func TestDenseConcurrentFirstCallsShareRemap(t *testing.T) {
+	const goroutines = 16
+	for round := 0; round < 50; round++ {
+		b := NewBuilder()
+		for i := 0; i < 64; i++ {
+			tn := Tenant(i % 3)
+			b.Add(tn, PageID(int64(tn)*1000+int64((i*7)%13)))
+		}
+		tr := b.MustBuild()
+		start := make(chan struct{})
+		views := make([]*Dense, goroutines)
+		var wg sync.WaitGroup
+		for i := range views {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				<-start
+				views[i] = tr.Dense()
+			}(i)
+		}
+		close(start)
+		wg.Wait()
+		for i, d := range views {
+			if d != views[0] {
+				t.Fatalf("round %d: goroutine %d got a different remap pointer", round, i)
+			}
+		}
+		if views[0] != tr.Dense() {
+			t.Fatalf("round %d: later call disagrees with racing first calls", round)
+		}
+	}
+}
