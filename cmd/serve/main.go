@@ -1,30 +1,122 @@
 // Command serve runs the convexcache HTTP service (see internal/server for
-// the API).
+// the API) with production lifecycle behavior: structured logs, Prometheus
+// metrics on /metrics, an optional pprof debug listener, and graceful
+// shutdown — SIGINT/SIGTERM stops accepting connections, drains in-flight
+// requests for up to -shutdown-grace, then exits 0.
 //
 // Usage:
 //
-//	serve -addr :8080
+//	serve -addr :8080 [-pprof 127.0.0.1:6060] [-log-format text|json]
+//	      [-read-timeout 1m] [-write-timeout 2m] [-idle-timeout 2m]
+//	      [-shutdown-grace 30s] [-max-body 16777216]
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
-	"log"
+	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
+	"convexcache/internal/obs"
 	"convexcache/internal/server"
 )
 
 func main() {
-	addr := flag.String("addr", ":8080", "listen address")
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		addr          = flag.String("addr", ":8080", "listen address")
+		pprofAddr     = flag.String("pprof", "", "pprof debug listen address (e.g. 127.0.0.1:6060); empty disables")
+		logFormat     = flag.String("log-format", "text", "log format: text or json")
+		readTimeout   = flag.Duration("read-timeout", time.Minute, "max duration for reading a request")
+		writeTimeout  = flag.Duration("write-timeout", 2*time.Minute, "max duration for writing a response")
+		idleTimeout   = flag.Duration("idle-timeout", 2*time.Minute, "max keep-alive idle time")
+		headerTimeout = flag.Duration("read-header-timeout", 10*time.Second, "max duration for reading request headers")
+		shutdownGrace = flag.Duration("shutdown-grace", 30*time.Second, "in-flight request drain budget on SIGINT/SIGTERM")
+		maxBody       = flag.Int64("max-body", server.MaxBodyBytes, "request body cap in bytes")
+	)
 	flag.Parse()
+
+	var handler slog.Handler
+	switch *logFormat {
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -log-format %q (want text or json)\n", *logFormat)
+		return 2
+	}
+	logger := slog.New(handler)
+
+	reg := obs.NewRegistry()
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           server.New(),
-		ReadHeaderTimeout: 10 * time.Second,
-		ReadTimeout:       time.Minute,
-		WriteTimeout:      2 * time.Minute,
+		Handler:           server.NewWithConfig(server.Config{Logger: logger, Registry: reg, MaxBodyBytes: *maxBody}),
+		ReadHeaderTimeout: *headerTimeout,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
+		ErrorLog:          slog.NewLogLogger(handler, slog.LevelWarn),
 	}
-	log.Printf("convexcache API listening on %s", *addr)
-	log.Fatal(srv.ListenAndServe())
+
+	// The debug listener is separate from the API listener so pprof is
+	// never exposed on the public port.
+	var debugSrv *http.Server
+	if *pprofAddr != "" {
+		dm := http.NewServeMux()
+		dm.HandleFunc("/debug/pprof/", pprof.Index)
+		dm.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dm.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dm.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dm.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		debugSrv = &http.Server{Addr: *pprofAddr, Handler: dm, ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			logger.Info("pprof listening", "addr", *pprofAddr)
+			if err := debugSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("pprof listener failed", "err", err)
+			}
+		}()
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		logger.Info("convexcache API listening", "addr", *addr)
+		errCh <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		logger.Error("listener failed", "err", err)
+		return 1
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills the process the default way
+
+	logger.Info("shutting down, draining in-flight requests", "grace", shutdownGrace.String())
+	drainCtx, cancel := context.WithTimeout(context.Background(), *shutdownGrace)
+	defer cancel()
+	code := 0
+	if err := srv.Shutdown(drainCtx); err != nil {
+		logger.Error("drain incomplete, forcing close", "err", err)
+		_ = srv.Close()
+		code = 1
+	}
+	if debugSrv != nil {
+		_ = debugSrv.Close()
+	}
+	logger.Info("shutdown complete")
+	return code
 }

@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"runtime/debug"
+	"sync/atomic"
+	"time"
+)
+
+type ctxKey int
+
+const (
+	ridKey ctxKey = iota
+	loggerKey
+)
+
+// ridSeq and ridBase make request IDs unique within a process and unlikely
+// to collide across restarts (the base mixes the start time and the PID).
+var (
+	ridSeq  atomic.Int64
+	ridBase = fmt.Sprintf("%x-%x", time.Now().UnixNano()&0xffffff, os.Getpid()&0xffff)
+)
+
+// NewRequestID returns a fresh process-unique request ID.
+func NewRequestID() string {
+	return fmt.Sprintf("%s-%06d", ridBase, ridSeq.Add(1))
+}
+
+// RequestIDFrom returns the request ID installed by Middleware.Wrap, or ""
+// outside an instrumented request.
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(ridKey).(string)
+	return id
+}
+
+// LoggerFrom returns the per-request logger (already tagged with the
+// request ID) installed by Middleware.Wrap, or fallback when absent.
+// A nil fallback resolves to slog.Default().
+func LoggerFrom(ctx context.Context, fallback *slog.Logger) *slog.Logger {
+	if l, ok := ctx.Value(loggerKey).(*slog.Logger); ok {
+		return l
+	}
+	if fallback != nil {
+		return fallback
+	}
+	return slog.Default()
+}
+
+// respWriter records status and bytes written so the middleware can log and
+// label metrics after the handler returns.
+type respWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+	wrote  bool
+}
+
+func (rw *respWriter) WriteHeader(status int) {
+	if rw.wrote {
+		return
+	}
+	rw.wrote = true
+	rw.status = status
+	rw.ResponseWriter.WriteHeader(status)
+}
+
+func (rw *respWriter) Write(p []byte) (int, error) {
+	if !rw.wrote {
+		rw.WriteHeader(http.StatusOK)
+	}
+	n, err := rw.ResponseWriter.Write(p)
+	rw.bytes += int64(n)
+	return n, err
+}
+
+func (rw *respWriter) Flush() {
+	if f, ok := rw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Middleware is the request-lifecycle stack: request IDs, per-request
+// structured logs, per-route counters and latency histograms, in-flight
+// gauge, and panic recovery that answers a JSON 500 instead of killing the
+// connection.
+type Middleware struct {
+	// Reg receives the metrics; nil disables instrumentation.
+	Reg *Registry
+	// Log is the base structured logger; nil selects slog.Default().
+	Log *slog.Logger
+	// Route maps a request to a bounded-cardinality route label for
+	// metrics; nil uses the raw URL path (fine only for static routes).
+	Route func(*http.Request) string
+}
+
+// Wrap applies the stack to next. Order (outermost first): request ID +
+// logger injection, panic recovery, metrics + access log.
+func (m Middleware) Wrap(next http.Handler) http.Handler {
+	base := m.Log
+	if base == nil {
+		base = slog.Default()
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rid := r.Header.Get("X-Request-ID")
+		if rid == "" {
+			rid = NewRequestID()
+		}
+		w.Header().Set("X-Request-ID", rid)
+		reqLog := base.With("request_id", rid)
+		ctx := context.WithValue(r.Context(), ridKey, rid)
+		ctx = context.WithValue(ctx, loggerKey, reqLog)
+		r = r.WithContext(ctx)
+
+		route := r.URL.Path
+		if m.Route != nil {
+			route = m.Route(r)
+		}
+		var inflight *Gauge
+		if m.Reg != nil {
+			inflight = m.Reg.Gauge("http_inflight_requests")
+			inflight.Add(1)
+		}
+		rw := &respWriter{ResponseWriter: w, status: http.StatusOK}
+
+		defer func() {
+			panicked := recover()
+			if panicked != nil {
+				if m.Reg != nil {
+					m.Reg.Counter("http_panics_total").Inc()
+				}
+				reqLog.Error("panic in handler",
+					"method", r.Method, "route", route,
+					"panic", fmt.Sprint(panicked), "stack", string(debug.Stack()))
+				if !rw.wrote {
+					rw.Header().Set("Content-Type", "application/json")
+					rw.WriteHeader(http.StatusInternalServerError)
+					fmt.Fprintf(rw, "{\"error\":\"internal server error\",\"request_id\":%q}\n", rid)
+				}
+			}
+			elapsed := time.Since(start)
+			if m.Reg != nil {
+				inflight.Add(-1)
+				m.Reg.Counter(fmt.Sprintf("http_requests_total{route=%q,code=\"%d\"}", route, rw.status)).Inc()
+				m.Reg.Histogram(fmt.Sprintf("http_request_duration_seconds{route=%q}", route), nil).
+					Observe(elapsed.Seconds())
+			}
+			reqLog.Info("request",
+				"method", r.Method, "route", route, "path", r.URL.Path,
+				"status", rw.status, "bytes", rw.bytes,
+				"duration_ms", float64(elapsed.Microseconds())/1000,
+				"remote", r.RemoteAddr)
+		}()
+
+		next.ServeHTTP(rw, r)
+	})
+}

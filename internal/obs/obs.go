@@ -1,0 +1,284 @@
+// Package obs is the observability subsystem of the HTTP service: a small
+// dependency-free metrics registry (atomic counters, gauges and bounded
+// latency histograms) with Prometheus text exposition, plus the HTTP
+// middleware stack (request IDs, structured request logs, panic recovery,
+// per-route instrumentation) that internal/server wraps around every route.
+//
+// The registry is deliberately tiny compared to a real client library: names
+// carry their label set preformatted (`http_requests_total{route="/healthz",code="200"}`),
+// metric values are lock-free atomics, and the only lock is the map guarding
+// first registration. That keeps the per-request hot path to a couple of
+// atomic adds, which matters for a service whose north star is heavy traffic.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefBuckets are the default latency histogram upper bounds in seconds,
+// spanning sub-millisecond handler hits to multi-minute trace replays.
+var DefBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+	0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be non-negative for Prometheus semantics; the registry
+// does not enforce it).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomic value that can go up and down (in-flight requests,
+// cache occupancy, ...).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adds n (may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a bounded-bucket histogram with atomic counters. Bounds are
+// upper bucket edges; observations above the last bound land in the implicit
+// +Inf bucket. The sum is kept as atomic float bits (CAS loop), so Observe
+// is lock-free.
+type Histogram struct {
+	bounds  []float64
+	buckets []atomic.Int64 // len(bounds)+1, last is +Inf
+	count   atomic.Int64
+	sumBits atomic.Uint64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, buckets: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Snapshot returns cumulative bucket counts aligned with Bounds plus the
+// trailing +Inf bucket; for tests and custom exporters.
+func (h *Histogram) Snapshot() (bounds []float64, cumulative []int64) {
+	cumulative = make([]int64, len(h.buckets))
+	var run int64
+	for i := range h.buckets {
+		run += h.buckets[i].Load()
+		cumulative[i] = run
+	}
+	return h.bounds, cumulative
+}
+
+// Registry holds named metrics and renders them in the Prometheus text
+// exposition format. Metric names may embed a preformatted label set:
+// `http_requests_total{route="/healthz",code="200"}`. All metrics sharing
+// the family (the part before '{') get one # TYPE header.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	start    time.Time
+}
+
+// NewRegistry returns an empty registry; its uptime clock starts now.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+		start:    time.Now(),
+	}
+}
+
+// Counter returns the counter registered under name, creating it on first
+// use. Safe for concurrent use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c, ok := r.counters[name]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok = r.counters[name]; ok {
+		return c
+	}
+	c = &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g, ok := r.gauges[name]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok = r.gauges[name]; ok {
+		return g
+	}
+	g = &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it with
+// the given bounds on first use (nil bounds selects DefBuckets). Bounds are
+// fixed at first registration; later calls ignore the argument.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r.mu.RLock()
+	h, ok := r.hists[name]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok = r.hists[name]; ok {
+		return h
+	}
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	h = newHistogram(bounds)
+	r.hists[name] = h
+	return h
+}
+
+// family splits a metric name into its family (text before '{') and the
+// label block including braces ("" when unlabeled).
+func family(name string) (fam, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i], name[i:]
+	}
+	return name, ""
+}
+
+// withLabel appends key="val" to an existing label block (or starts one).
+func withLabel(labels, key, val string) string {
+	pair := key + `="` + val + `"`
+	if labels == "" {
+		return "{" + pair + "}"
+	}
+	return labels[:len(labels)-1] + "," + pair + "}"
+}
+
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteProm renders every registered metric in the Prometheus text format,
+// families sorted and each preceded by a # TYPE line. It also emits
+// process_uptime_seconds from the registry's start time.
+func (r *Registry) WriteProm(w io.Writer) error {
+	r.mu.RLock()
+	type sample struct{ name, line string }
+	families := make(map[string]string) // family -> type
+	var lines []sample
+	for name, c := range r.counters {
+		fam, _ := family(name)
+		families[fam] = "counter"
+		lines = append(lines, sample{name, fmt.Sprintf("%s %d\n", name, c.Value())})
+	}
+	for name, g := range r.gauges {
+		fam, _ := family(name)
+		families[fam] = "gauge"
+		lines = append(lines, sample{name, fmt.Sprintf("%s %d\n", name, g.Value())})
+	}
+	for name, h := range r.hists {
+		fam, labels := family(name)
+		families[fam] = "histogram"
+		bounds, cum := h.Snapshot()
+		var b strings.Builder
+		for i, ub := range bounds {
+			fmt.Fprintf(&b, "%s_bucket%s %d\n", fam, withLabel(labels, "le", formatFloat(ub)), cum[i])
+		}
+		fmt.Fprintf(&b, "%s_bucket%s %d\n", fam, withLabel(labels, "le", "+Inf"), cum[len(cum)-1])
+		fmt.Fprintf(&b, "%s_sum%s %s\n", fam, labels, formatFloat(h.Sum()))
+		fmt.Fprintf(&b, "%s_count%s %d\n", fam, labels, h.Count())
+		lines = append(lines, sample{name, b.String()})
+	}
+	uptime := time.Since(r.start).Seconds()
+	r.mu.RUnlock()
+
+	families["process_uptime_seconds"] = "gauge"
+	lines = append(lines, sample{
+		"process_uptime_seconds",
+		fmt.Sprintf("process_uptime_seconds %s\n", formatFloat(uptime)),
+	})
+
+	sort.Slice(lines, func(i, j int) bool { return lines[i].name < lines[j].name })
+	written := make(map[string]bool)
+	for _, s := range lines {
+		fam, _ := family(s.name)
+		if !written[fam] {
+			written[fam] = true
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", fam, families[fam]); err != nil {
+				return err
+			}
+		}
+		if _, err := io.WriteString(w, s.line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Handler serves the registry as a Prometheus-text /metrics endpoint.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WriteProm(w)
+	})
+}

@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Counter() on every iteration exercises the registration
+			// fast path under contention, not just the atomic add.
+			for i := 0; i < 1000; i++ {
+				reg.Counter("c").Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := reg.Counter("c").Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	reg := NewRegistry()
+	g := reg.Gauge("g")
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("h", []float64{1, 5, 10})
+	for _, v := range []float64{0.5, 1, 2, 7, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if math.Abs(h.Sum()-110.5) > 1e-9 {
+		t.Fatalf("sum = %g", h.Sum())
+	}
+	bounds, cum := h.Snapshot()
+	if len(bounds) != 3 || len(cum) != 4 {
+		t.Fatalf("snapshot shape: %v %v", bounds, cum)
+	}
+	// le=1: {0.5, 1}; le=5: +{2}; le=10: +{7}; +Inf: +{100}.
+	want := []int64{2, 3, 4, 5}
+	for i, w := range want {
+		if cum[i] != w {
+			t.Errorf("cum[%d] = %d, want %d", i, cum[i], w)
+		}
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("h", []float64{0.5})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 || math.Abs(h.Sum()-8000) > 1e-9 {
+		t.Fatalf("count = %d, sum = %g", h.Count(), h.Sum())
+	}
+}
+
+func TestWritePromFormat(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter(`http_requests_total{route="/healthz",code="200"}`).Add(3)
+	reg.Gauge("http_inflight_requests").Set(1)
+	reg.Histogram(`http_request_duration_seconds{route="/healthz"}`, []float64{0.1, 1}).Observe(0.05)
+
+	var b strings.Builder
+	if err := reg.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE http_requests_total counter",
+		`http_requests_total{route="/healthz",code="200"} 3`,
+		"# TYPE http_inflight_requests gauge",
+		"http_inflight_requests 1",
+		"# TYPE http_request_duration_seconds histogram",
+		`http_request_duration_seconds_bucket{route="/healthz",le="0.1"} 1`,
+		`http_request_duration_seconds_bucket{route="/healthz",le="+Inf"} 1`,
+		`http_request_duration_seconds_sum{route="/healthz"} 0.05`,
+		`http_request_duration_seconds_count{route="/healthz"} 1`,
+		"# TYPE process_uptime_seconds gauge",
+		"process_uptime_seconds ",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in exposition:\n%s", want, out)
+		}
+	}
+	// Each TYPE header must appear exactly once per family.
+	if strings.Count(out, "# TYPE http_requests_total ") != 1 {
+		t.Errorf("duplicate TYPE header:\n%s", out)
+	}
+}
+
+func TestRequestIDsUnique(t *testing.T) {
+	a, b := NewRequestID(), NewRequestID()
+	if a == "" || a == b {
+		t.Fatalf("ids not unique: %q %q", a, b)
+	}
+}

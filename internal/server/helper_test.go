@@ -3,9 +3,20 @@ package server
 import (
 	"bytes"
 	"encoding/json"
+	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"testing"
 )
+
+// TestMain silences the default structured logger: every instrumented
+// request would otherwise write an access-log line to stderr.
+func TestMain(m *testing.M) {
+	slog.SetDefault(slog.New(slog.NewTextHandler(io.Discard, nil)))
+	os.Exit(m.Run())
+}
 
 // doJSONConcurrent is a t-free variant of doJSON for use inside goroutines.
 func doJSONConcurrent(h http.Handler, body any) *httptest.ResponseRecorder {

@@ -2,46 +2,128 @@
 // the library can back a capacity-planning or SLA-what-if service:
 //
 //	GET  /healthz             liveness
+//	GET  /metrics             Prometheus-text metrics (internal/obs)
 //	GET  /v1/policies         registered policy names
 //	POST /v1/simulate         replay a trace through policies
 //	POST /v1/mrc              exact LRU miss-ratio curves per tenant
 //	POST /v1/experiments/{id} run one experiment (quick mode) as JSON
 //
-// Everything is stdlib net/http; request bodies are size-capped.
+// Everything is stdlib net/http; request bodies are size-capped. Every route
+// is wrapped by the obs middleware stack: request IDs, structured access
+// logs, per-route counters and latency histograms, and panic recovery that
+// answers a JSON 500 instead of killing the connection. Trace replays run
+// under the request context (sim.RunContext), so a client disconnect or
+// deadline stops the simulation instead of burning CPU for a caller that is
+// already gone.
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strings"
+	"time"
 
 	"convexcache/internal/analysis"
 	"convexcache/internal/core"
 	"convexcache/internal/costfn"
 	"convexcache/internal/experiments"
+	"convexcache/internal/obs"
 	"convexcache/internal/policy"
 	"convexcache/internal/sim"
 	"convexcache/internal/trace"
 )
 
-// MaxBodyBytes caps request bodies (traces dominate; ~16 MiB of JSON covers
-// millions of requests).
+// MaxBodyBytes is the default request-body cap (traces dominate; ~16 MiB of
+// JSON covers millions of requests). Override via Config.MaxBodyBytes.
 const MaxBodyBytes = 16 << 20
 
-// New returns the service's http.Handler.
+// MaxMRCSize caps MRCRequest.MaxSize: each unit allocates O(tenants)
+// float64s of curve, so an unbounded value lets one request OOM the
+// process.
+const MaxMRCSize = 1 << 16
+
+// StatusClientClosedRequest is nginx's 499: the client went away before the
+// response was ready. Nothing reads the reply, but the status keeps access
+// logs and metrics honest about why the request ended.
+const StatusClientClosedRequest = 499
+
+// Config tunes the service; the zero value is production-usable.
+type Config struct {
+	// MaxBodyBytes caps request bodies; <= 0 selects MaxBodyBytes.
+	MaxBodyBytes int64
+	// Logger receives the structured request logs; nil selects
+	// slog.Default().
+	Logger *slog.Logger
+	// Registry receives the service metrics and backs /metrics; nil
+	// creates a fresh registry.
+	Registry *obs.Registry
+}
+
+// service carries the per-instance state shared by all handlers.
+type service struct {
+	maxBody int64
+	log     *slog.Logger
+	reg     *obs.Registry
+	// policyHook, when non-nil, is consulted before the policy registry;
+	// tests use it to inject misbehaving (e.g. panicking) policies.
+	policyHook func(name string) sim.Policy
+}
+
+func newService(cfg Config) *service {
+	s := &service{maxBody: cfg.MaxBodyBytes, log: cfg.Logger, reg: cfg.Registry}
+	if s.maxBody <= 0 {
+		s.maxBody = MaxBodyBytes
+	}
+	if s.log == nil {
+		s.log = slog.Default()
+	}
+	if s.reg == nil {
+		s.reg = obs.NewRegistry()
+	}
+	return s
+}
+
+// New returns the service's http.Handler with default configuration.
 func New() http.Handler {
+	return NewWithConfig(Config{})
+}
+
+// NewWithConfig returns the service's http.Handler for the given Config.
+func NewWithConfig(cfg Config) http.Handler {
+	return newService(cfg).handler()
+}
+
+func (s *service) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+		s.writeJSON(w, r, http.StatusOK, map[string]string{"status": "ok"})
 	})
-	mux.HandleFunc("GET /v1/policies", handlePolicies)
-	mux.HandleFunc("POST /v1/simulate", handleSimulate)
-	mux.HandleFunc("POST /v1/mrc", handleMRC)
-	mux.HandleFunc("POST /v1/experiments/{id}", handleExperiment)
-	mux.HandleFunc("POST /v1/fit", handleFit)
-	return mux
+	mux.Handle("GET /metrics", s.reg.Handler())
+	mux.HandleFunc("GET /v1/policies", s.handlePolicies)
+	mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	mux.HandleFunc("POST /v1/mrc", s.handleMRC)
+	mux.HandleFunc("POST /v1/experiments/{id}", s.handleExperiment)
+	mux.HandleFunc("POST /v1/fit", s.handleFit)
+	mw := obs.Middleware{Reg: s.reg, Log: s.log, Route: routeLabel}
+	return mw.Wrap(mux)
+}
+
+// routeLabel maps a request to a bounded-cardinality metrics label: the
+// mux patterns with the experiment id collapsed, everything else "other".
+func routeLabel(r *http.Request) string {
+	p := r.URL.Path
+	switch p {
+	case "/healthz", "/metrics", "/v1/policies", "/v1/simulate", "/v1/mrc", "/v1/fit":
+		return p
+	}
+	if strings.HasPrefix(p, "/v1/experiments/") {
+		return "/v1/experiments/{id}"
+	}
+	return "other"
 }
 
 // FitRequest calibrates a convex SLA curve from (misses, penalty) samples.
@@ -63,17 +145,17 @@ type FitResponse struct {
 	Alpha float64 `json:"alpha"`
 }
 
-func handleFit(w http.ResponseWriter, r *http.Request) {
+func (s *service) handleFit(w http.ResponseWriter, r *http.Request) {
 	var req FitRequest
-	if !decode(w, r, &req) {
+	if !s.decode(w, r, &req) {
 		return
 	}
 	f, err := costfn.FitConvex(req.X, req.Y, req.Iters)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		s.httpError(w, r, http.StatusBadRequest, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, FitResponse{
+	s.writeJSON(w, r, http.StatusOK, FitResponse{
 		Breakpoints: f.X,
 		Slopes:      f.S,
 		Alpha:       f.Alpha(),
@@ -128,18 +210,33 @@ type SimulateResponse struct {
 	Results  []PolicyResult `json:"results"`
 }
 
-func handleSimulate(w http.ResponseWriter, r *http.Request) {
+// newPolicy resolves a policy name, consulting the test hook first.
+func (s *service) newPolicy(name string, spec policy.Spec, req SimulateRequest) (sim.Policy, error) {
+	if s.policyHook != nil {
+		if p := s.policyHook(name); p != nil {
+			return p, nil
+		}
+	}
+	if name == "alg" {
+		return core.NewFast(core.Options{
+			Costs: spec.Costs, UseDiscreteDeriv: req.DiscreteDeriv, CountMisses: req.CountMisses,
+		}), nil
+	}
+	return policy.New(name, spec)
+}
+
+func (s *service) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	var req SimulateRequest
-	if !decode(w, r, &req) {
+	if !s.decode(w, r, &req) {
 		return
 	}
 	tr, err := req.Trace.build()
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		s.httpError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	if req.K <= 0 {
-		httpError(w, http.StatusBadRequest, errors.New("k must be positive"))
+		s.httpError(w, r, http.StatusBadRequest, errors.New("k must be positive"))
 		return
 	}
 	if len(req.Policies) == 0 {
@@ -147,28 +244,46 @@ func handleSimulate(w http.ResponseWriter, r *http.Request) {
 	}
 	costs, err := parseCosts(req.Costs, tr.NumTenants())
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		s.httpError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	resp := SimulateResponse{Requests: tr.Len(), Tenants: tr.NumTenants(), K: req.K}
 	spec := policy.Spec{K: req.K, Tenants: tr.NumTenants(), Costs: costs, Seed: req.Seed}
+	stepsTotal := s.reg.Counter("sim_steps_total")
+	simCfg := sim.Config{
+		K:        req.K,
+		Progress: func(delta int) { stepsTotal.Add(int64(delta)) },
+	}
 	for _, name := range req.Policies {
-		var p sim.Policy
-		if name == "alg" {
-			p = core.NewFast(core.Options{
-				Costs: costs, UseDiscreteDeriv: req.DiscreteDeriv, CountMisses: req.CountMisses,
-			})
-		} else {
-			p, err = policy.New(name, spec)
-			if err != nil {
-				httpError(w, http.StatusBadRequest, err)
-				return
-			}
-		}
-		res, err := sim.Run(tr, p, sim.Config{K: req.K})
+		p, err := s.newPolicy(name, spec, req)
 		if err != nil {
-			httpError(w, http.StatusInternalServerError, err)
+			s.httpError(w, r, http.StatusBadRequest, err)
 			return
+		}
+		start := time.Now()
+		res, err := sim.RunContext(r.Context(), tr, p, simCfg)
+		if err != nil {
+			switch {
+			case errors.Is(err, context.Canceled):
+				// Client disconnected mid-replay; nothing reads the
+				// reply, but record why the request ended.
+				s.reg.Counter("sim_cancelled_total").Inc()
+				obs.LoggerFrom(r.Context(), s.log).Warn("simulation cancelled",
+					"policy", name, "err", err)
+				s.httpError(w, r, StatusClientClosedRequest, err)
+			case errors.Is(err, context.DeadlineExceeded):
+				s.reg.Counter("sim_deadline_total").Inc()
+				s.httpError(w, r, http.StatusServiceUnavailable, err)
+			default:
+				s.httpError(w, r, http.StatusInternalServerError, err)
+			}
+			return
+		}
+		s.reg.Counter("sim_runs_total").Inc()
+		s.reg.Counter("sim_evictions_total").Add(res.TotalEvictions())
+		if el := time.Since(start).Seconds(); el > 0 {
+			s.reg.Histogram("sim_steps_per_second", stepsRateBuckets).
+				Observe(float64(res.Steps) / el)
 		}
 		resp.Results = append(resp.Results, PolicyResult{
 			Policy:    name,
@@ -178,8 +293,12 @@ func handleSimulate(w http.ResponseWriter, r *http.Request) {
 			TotalCost: res.Cost(costs),
 		})
 	}
-	writeJSON(w, http.StatusOK, resp)
+	s.writeJSON(w, r, http.StatusOK, resp)
 }
+
+// stepsRateBuckets spans the observed engine range: ~1e4 req/s (tiny traces
+// dominated by setup) to a few 1e7 req/s (dense hot path).
+var stepsRateBuckets = []float64{1e4, 3e4, 1e5, 3e5, 1e6, 3e6, 1e7, 3e7, 1e8}
 
 // MRCRequest is the body of POST /v1/mrc.
 type MRCRequest struct {
@@ -201,27 +320,32 @@ type MRCResponse struct {
 	PredictedCost float64 `json:"predicted_cost,omitempty"`
 }
 
-func handleMRC(w http.ResponseWriter, r *http.Request) {
+func (s *service) handleMRC(w http.ResponseWriter, r *http.Request) {
 	var req MRCRequest
-	if !decode(w, r, &req) {
+	if !s.decode(w, r, &req) {
 		return
 	}
 	tr, err := req.Trace.build()
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		s.httpError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	if req.MaxSize <= 0 {
 		req.MaxSize = 64
 	}
+	if req.MaxSize > MaxMRCSize {
+		s.httpError(w, r, http.StatusBadRequest,
+			fmt.Errorf("max_size %d exceeds limit %d", req.MaxSize, MaxMRCSize))
+		return
+	}
 	combined, err := analysis.Mattson(tr, req.MaxSize)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		s.httpError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	perTenant, err := analysis.PerTenant(tr, req.MaxSize)
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, err)
+		s.httpError(w, r, http.StatusInternalServerError, err)
 		return
 	}
 	resp := MRCResponse{MissRatio: combined.MissRatioCurve(req.MaxSize)}
@@ -235,18 +359,18 @@ func handleMRC(w http.ResponseWriter, r *http.Request) {
 	if req.K > 0 {
 		costs, err := parseCosts(req.Costs, tr.NumTenants())
 		if err != nil {
-			httpError(w, http.StatusBadRequest, err)
+			s.httpError(w, r, http.StatusBadRequest, err)
 			return
 		}
 		quotas, cost, err := analysis.OptimalStaticPartition(perTenant, costs, req.K)
 		if err != nil {
-			httpError(w, http.StatusInternalServerError, err)
+			s.httpError(w, r, http.StatusInternalServerError, err)
 			return
 		}
 		resp.Quotas = quotas
 		resp.PredictedCost = cost
 	}
-	writeJSON(w, http.StatusOK, resp)
+	s.writeJSON(w, r, http.StatusOK, resp)
 }
 
 // ExperimentResponse is the reply of POST /v1/experiments/{id}.
@@ -257,7 +381,7 @@ type ExperimentResponse struct {
 	Rows   [][]string `json:"rows"`
 }
 
-func handleExperiment(w http.ResponseWriter, r *http.Request) {
+func (s *service) handleExperiment(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	for _, e := range experiments.All() {
 		if !strings.EqualFold(e.ID, id) {
@@ -265,24 +389,31 @@ func handleExperiment(w http.ResponseWriter, r *http.Request) {
 		}
 		tb, err := e.Run(true)
 		if err != nil {
-			httpError(w, http.StatusInternalServerError, err)
+			s.httpError(w, r, http.StatusInternalServerError, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, ExperimentResponse{
+		s.writeJSON(w, r, http.StatusOK, ExperimentResponse{
 			ID: e.ID, Claim: e.Claim, Header: tb.Header, Rows: tb.Rows(),
 		})
 		return
 	}
-	httpError(w, http.StatusNotFound, fmt.Errorf("unknown experiment %q", id))
+	s.httpError(w, r, http.StatusNotFound, fmt.Errorf("unknown experiment %q", id))
 }
 
-func handlePolicies(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string][]string{
+func (s *service) handlePolicies(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, r, http.StatusOK, map[string][]string{
 		"policies": append([]string{"alg"}, policy.Names()...),
 	})
 }
 
+// parseCosts maps per-tenant cost specs to costfn.Funcs. Surplus specs
+// (more than the trace has tenants) are an error: they would otherwise be
+// silently dropped, masking caller typos such as costs keyed to a tenant
+// that never appears in the trace.
 func parseCosts(specs []string, tenants int) ([]costfn.Func, error) {
+	if len(specs) > tenants {
+		return nil, fmt.Errorf("%d cost specs for %d tenants; surplus specs would be ignored", len(specs), tenants)
+	}
 	costs := make([]costfn.Func, tenants)
 	for i := range costs {
 		if i < len(specs) && specs[i] != "" {
@@ -298,23 +429,40 @@ func parseCosts(specs []string, tenants int) ([]costfn.Func, error) {
 	return costs, nil
 }
 
-func decode(w http.ResponseWriter, r *http.Request, dst any) bool {
-	r.Body = http.MaxBytesReader(w, r.Body, MaxBodyBytes)
+// decode parses the size-capped JSON body into dst, rejecting unknown
+// fields and trailing garbage (`{}{"x":1}` must not parse as `{}`).
+func (s *service) decode(w http.ResponseWriter, r *http.Request, dst any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(dst); err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		s.httpError(w, r, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return false
+	}
+	if dec.More() {
+		s.httpError(w, r, http.StatusBadRequest, errors.New("decode request: trailing data after JSON body"))
 		return false
 	}
 	return true
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// writeJSON writes v; an encoder failure mid-stream means the client gets a
+// truncated 200, so the failure is at least logged with the request ID and
+// counted rather than swallowed.
+func (s *service) writeJSON(w http.ResponseWriter, r *http.Request, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.reg.Counter("http_response_encode_errors_total").Inc()
+		obs.LoggerFrom(r.Context(), s.log).Error("encode response",
+			"status", status, "err", err)
+	}
 }
 
-func httpError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+func (s *service) httpError(w http.ResponseWriter, r *http.Request, status int, err error) {
+	body := map[string]string{"error": err.Error()}
+	if rid := obs.RequestIDFrom(r.Context()); rid != "" {
+		body["request_id"] = rid
+	}
+	s.writeJSON(w, r, status, body)
 }

@@ -1,0 +1,115 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"convexcache/internal/trace"
+)
+
+// bigTrace builds a trace long enough to cross several cancellation-check
+// boundaries (multiples of CheckEverySteps).
+func bigTrace(t *testing.T, n int) *trace.Trace {
+	t.Helper()
+	b := trace.NewBuilder()
+	for i := 0; i < n; i++ {
+		b.Add(trace.Tenant(i%2), trace.PageID(i%1024))
+	}
+	return b.MustBuild()
+}
+
+func TestRunContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunContext(ctx, bigTrace(t, 10), &fifoTest{}, Config{K: 4})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRunContextCancelMidRun(t *testing.T) {
+	// Cancel from inside the first Progress callback: the engine must stop
+	// at the next check instead of replaying all n steps.
+	n := 50 * CheckEverySteps
+	for _, tc := range []struct {
+		name   string
+		policy Policy
+		engine Engine
+	}{
+		{"map", &fifoTest{}, EngineMap},
+		{"dense", &denseFIFO{}, EngineDense},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			progressed := 0
+			_, err := RunContext(ctx, bigTrace(t, n), tc.policy, Config{
+				K:      16,
+				Engine: tc.engine,
+				Progress: func(delta int) {
+					progressed += delta
+					cancel()
+				},
+			})
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v, want context.Canceled", err)
+			}
+			if progressed >= n {
+				t.Fatalf("run completed all %d steps despite cancellation", n)
+			}
+			if progressed > 3*CheckEverySteps {
+				t.Errorf("run continued for %d steps after cancel (check cadence %d)", progressed, CheckEverySteps)
+			}
+		})
+	}
+}
+
+func TestRunContextMatchesRun(t *testing.T) {
+	tr := bigTrace(t, 3*CheckEverySteps)
+	want, err := Run(tr, &fifoTest{}, Config{K: 8, Engine: EngineMap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunContext(context.Background(), tr, &fifoTest{}, Config{K: 8, Engine: EngineMap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Hits != want.Hits || got.TotalMisses() != want.TotalMisses() || got.TotalEvictions() != want.TotalEvictions() {
+		t.Fatalf("RunContext diverged from Run: %+v vs %+v", got, want)
+	}
+}
+
+func TestProgressDeltasSumToTraceLength(t *testing.T) {
+	// Both engines, lengths straddling the check cadence (including 0-delta
+	// edge at exact multiples and short traces below one check interval).
+	for _, n := range []int{1, 100, CheckEverySteps, CheckEverySteps + 1, 3*CheckEverySteps - 7} {
+		for _, tc := range []struct {
+			name   string
+			policy Policy
+			engine Engine
+		}{
+			{"map", &fifoTest{}, EngineMap},
+			{"dense", &denseFIFO{}, EngineDense},
+		} {
+			total, calls := 0, 0
+			_, err := RunContext(context.Background(), bigTrace(t, n), tc.policy, Config{
+				K:      16,
+				Engine: tc.engine,
+				Progress: func(delta int) {
+					total += delta
+					calls++
+				},
+			})
+			if err != nil {
+				t.Fatalf("n=%d %s: %v", n, tc.name, err)
+			}
+			if total != n {
+				t.Errorf("n=%d %s: progress deltas sum to %d", n, tc.name, total)
+			}
+			if calls == 0 {
+				t.Errorf("n=%d %s: Progress never called", n, tc.name)
+			}
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"convexcache/internal/trace"
@@ -35,7 +36,7 @@ type DensePolicy interface {
 // -1) plus its reverse index (slot -> page), counters live in the Result
 // slices, and the Event struct is reused across steps. The request loop
 // performs no steady-state allocations.
-func runDense(tr *trace.Trace, p DensePolicy, cfg Config) (Result, bool, error) {
+func runDense(ctx context.Context, tr *trace.Trace, p DensePolicy, cfg Config) (Result, bool, error) {
 	d := tr.Dense()
 	if !p.PrepareDense(d, cfg.K) {
 		return Result{}, false, nil
@@ -60,8 +61,23 @@ func runDense(tr *trace.Trace, p DensePolicy, cfg Config) (Result, bool, error) 
 	}
 	slots := make([]int32, slotCap) // slot -> dense page (reverse index)
 	used := 0
+	done := ctx.Done()
+	reported := 0
 	var ev Event
 	for step, pg := range d.Reqs {
+		if step&checkMask == checkMask {
+			if done != nil {
+				select {
+				case <-done:
+					return Result{}, true, cancelErr(ctx, step)
+				default:
+				}
+			}
+			if cfg.Progress != nil {
+				cfg.Progress(step + 1 - reported)
+				reported = step + 1
+			}
+		}
 		warm := step < cfg.WarmupSteps
 		tenant := d.Owners[pg]
 		if slotOf[pg] >= 0 {
@@ -108,6 +124,9 @@ func runDense(tr *trace.Trace, p DensePolicy, cfg Config) (Result, bool, error) 
 			}
 			cfg.Observer(ev)
 		}
+	}
+	if cfg.Progress != nil && tr.Len() > reported {
+		cfg.Progress(tr.Len() - reported)
 	}
 	return res, true, nil
 }

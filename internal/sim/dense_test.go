@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"testing"
 
 	"convexcache/internal/trace"
@@ -54,7 +55,7 @@ func TestDenseEngineMatchesMapEngine(t *testing.T) {
 	tr := seqTrace(t, 1, 101, 2, 1, 101, 3, 2, 1, 202, 3, 1, 101)
 	for _, k := range []int{1, 2, 3, 5} {
 		var mapEvents, denseEvents []Event
-		mapRes, err := runMap(tr, &fifoTest{}, Config{K: k, Observer: func(ev Event) { mapEvents = append(mapEvents, ev) }})
+		mapRes, err := runMap(context.Background(), tr, &fifoTest{}, Config{K: k, Observer: func(ev Event) { mapEvents = append(mapEvents, ev) }})
 		if err != nil {
 			t.Fatal(err)
 		}

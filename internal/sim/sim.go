@@ -9,6 +9,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -172,6 +173,25 @@ type Config struct {
 	WarmupSteps int
 	// Engine pins the run to one of the two request loops; see EngineAuto.
 	Engine Engine
+	// Progress, when non-nil, is invoked roughly every CheckEverySteps
+	// steps with the number of steps completed since the previous call,
+	// and once more after the last request with the remainder. The deltas
+	// sum to the trace length. It shares the cancellation-check cadence,
+	// so live metrics (steps/sec feeds) cost nothing per step.
+	Progress func(delta int)
+}
+
+// CheckEverySteps is the cadence (in steps) at which both engines check
+// context cancellation and report Progress. It is a power of two so the
+// in-loop test compiles to a mask.
+const CheckEverySteps = 8192
+
+const checkMask = CheckEverySteps - 1
+
+// cancelErr wraps the context's cause so errors.Is(err, context.Canceled)
+// (or DeadlineExceeded) holds for callers deciding how to report the abort.
+func cancelErr(ctx context.Context, step int) error {
+	return fmt.Errorf("sim: run aborted at step %d: %w", step, context.Cause(ctx))
 }
 
 // Run drives policy p over the trace with cache size cfg.K.
@@ -180,16 +200,31 @@ type Config struct {
 // a miss with a full cache the policy's Victim is evicted first. Misses are
 // counted per tenant on every fetch; evictions per owner of the evicted
 // page.
+//
+// Run never aborts early; use RunContext to bound a run by cancellation or
+// deadline.
 func Run(tr *trace.Trace, p Policy, cfg Config) (Result, error) {
+	return RunContext(context.Background(), tr, p, cfg)
+}
+
+// RunContext is Run bounded by ctx: both engines check ctx every
+// CheckEverySteps steps (and once before the first request), so a client
+// disconnect or per-request deadline stops a multi-million-step replay
+// within a few microseconds of work instead of burning CPU to completion.
+// On abort it returns a zero Result and an error wrapping context.Cause(ctx).
+func RunContext(ctx context.Context, tr *trace.Trace, p Policy, cfg Config) (Result, error) {
 	if cfg.K <= 0 {
 		return Result{}, errors.New("sim: cache size must be positive")
+	}
+	if ctx.Err() != nil {
+		return Result{}, cancelErr(ctx, 0)
 	}
 	if op, ok := p.(OfflinePolicy); ok {
 		op.Prepare(trace.Index(tr))
 	}
 	if cfg.Engine != EngineMap {
 		if dp, ok := p.(DensePolicy); ok {
-			if res, handled, err := runDense(tr, dp, cfg); handled {
+			if res, handled, err := runDense(ctx, tr, dp, cfg); handled {
 				return res, err
 			}
 		}
@@ -197,7 +232,7 @@ func Run(tr *trace.Trace, p Policy, cfg Config) (Result, error) {
 			return Result{}, fmt.Errorf("sim: policy %s does not support the dense engine", p.Name())
 		}
 	}
-	return runMap(tr, p, cfg)
+	return runMap(ctx, tr, p, cfg)
 }
 
 // effectiveSteps returns the number of measured (non-warmup) steps.
@@ -213,7 +248,7 @@ func effectiveSteps(total, warmup int) int {
 
 // runMap is the original map-backed engine, kept as the fallback for
 // policies without a dense fast path.
-func runMap(tr *trace.Trace, p Policy, cfg Config) (Result, error) {
+func runMap(ctx context.Context, tr *trace.Trace, p Policy, cfg Config) (Result, error) {
 	nTenants := tr.NumTenants()
 	res := Result{
 		Policy:         p.Name(),
@@ -223,8 +258,23 @@ func runMap(tr *trace.Trace, p Policy, cfg Config) (Result, error) {
 		Misses:         make([]int64, nTenants),
 		Evictions:      make([]int64, nTenants),
 	}
+	done := ctx.Done()
+	reported := 0
 	cache := make(map[trace.PageID]trace.Tenant, cfg.K)
 	for step, r := range tr.Requests() {
+		if step&checkMask == checkMask {
+			if done != nil {
+				select {
+				case <-done:
+					return Result{}, cancelErr(ctx, step)
+				default:
+				}
+			}
+			if cfg.Progress != nil {
+				cfg.Progress(step + 1 - reported)
+				reported = step + 1
+			}
+		}
 		warm := step < cfg.WarmupSteps
 		ev := Event{Step: step, Req: r, Evicted: -1, EvictedTenant: -1, Warmup: warm}
 		if _, ok := cache[r.Page]; ok {
@@ -257,6 +307,9 @@ func runMap(tr *trace.Trace, p Policy, cfg Config) (Result, error) {
 		if cfg.Observer != nil {
 			cfg.Observer(ev)
 		}
+	}
+	if cfg.Progress != nil && tr.Len() > reported {
+		cfg.Progress(tr.Len() - reported)
 	}
 	return res, nil
 }
