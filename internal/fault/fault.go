@@ -1,0 +1,220 @@
+// Package fault is deterministic, seed-driven fault injection for chaos
+// testing the serving path: added latency, injected errors and forced
+// panics, exposed both as HTTP middleware (internal/server wires it between
+// the observability stack and the router, so injected panics exercise the
+// real panic-recovery path) and as a sim.Observer hook (so the batch runner
+// and job subsystem can be crashed on purpose).
+//
+// All randomness flows from one seeded PRNG behind a mutex: a given seed
+// produces the same decision sequence in the same arrival order, which
+// makes chaos-test failures replayable.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"convexcache/internal/obs"
+	"convexcache/internal/sim"
+)
+
+// Config describes the fault mix. Probabilities are per decision (one HTTP
+// request or one simulation step); zero probabilities disable that fault.
+type Config struct {
+	// Seed seeds the decision PRNG; the zero seed is replaced by 1 so a
+	// zero-value Config is still deterministic.
+	Seed int64
+	// LatencyProb is the probability of sleeping Latency before the work.
+	LatencyProb float64
+	// Latency is the injected delay.
+	Latency time.Duration
+	// ErrorProb is the probability of failing with an injected 500
+	// (middleware only; a simulation step has no error channel).
+	ErrorProb float64
+	// PanicProb is the probability of panicking.
+	PanicProb float64
+}
+
+// Enabled reports whether any fault can fire.
+func (c Config) Enabled() bool {
+	return c.LatencyProb > 0 || c.ErrorProb > 0 || c.PanicProb > 0
+}
+
+// ParseSpec parses a comma-separated fault spec, e.g.
+//
+//	"seed=7,latency=50ms,latency_p=0.3,error_p=0.2,panic_p=0.05"
+//
+// Unknown keys are an error so typos cannot silently disable a chaos run.
+func ParseSpec(spec string) (Config, error) {
+	var cfg Config
+	if strings.TrimSpace(spec) == "" {
+		return cfg, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return Config{}, fmt.Errorf("fault: malformed spec entry %q (want key=value)", part)
+		}
+		var err error
+		switch k {
+		case "seed":
+			cfg.Seed, err = strconv.ParseInt(v, 10, 64)
+		case "latency":
+			cfg.Latency, err = time.ParseDuration(v)
+		case "latency_p":
+			cfg.LatencyProb, err = parseProb(v)
+		case "error_p":
+			cfg.ErrorProb, err = parseProb(v)
+		case "panic_p":
+			cfg.PanicProb, err = parseProb(v)
+		default:
+			return Config{}, fmt.Errorf("fault: unknown spec key %q", k)
+		}
+		if err != nil {
+			return Config{}, fmt.Errorf("fault: spec entry %q: %w", part, err)
+		}
+	}
+	if cfg.LatencyProb > 0 && cfg.Latency <= 0 {
+		return Config{}, fmt.Errorf("fault: latency_p set without a latency duration")
+	}
+	return cfg, nil
+}
+
+func parseProb(v string) (float64, error) {
+	p, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, err
+	}
+	if p < 0 || p > 1 {
+		return 0, fmt.Errorf("probability %v outside [0, 1]", p)
+	}
+	return p, nil
+}
+
+// decision is one draw's outcome.
+type decision struct {
+	delay    time.Duration
+	fail     bool
+	panicNow bool
+}
+
+// Injector draws fault decisions from a seeded PRNG.
+type Injector struct {
+	cfg Config
+
+	mu  sync.Mutex
+	rng *rand.Rand
+	n   int64 // decisions drawn, for panic messages
+
+	latencyC *obs.Counter
+	errorC   *obs.Counter
+	panicC   *obs.Counter
+}
+
+// New builds an Injector; reg may be nil to disable metrics.
+func New(cfg Config, reg *obs.Registry) *Injector {
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	in := &Injector{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+	if reg != nil {
+		in.latencyC = reg.Counter(`fault_injected_total{kind="latency"}`)
+		in.errorC = reg.Counter(`fault_injected_total{kind="error"}`)
+		in.panicC = reg.Counter(`fault_injected_total{kind="panic"}`)
+	}
+	return in
+}
+
+// draw produces the next decision in the seeded sequence. Exactly three
+// uniforms are consumed per decision regardless of configuration, so the
+// sequence for a seed is stable as probabilities are tuned.
+func (in *Injector) draw() decision {
+	in.mu.Lock()
+	u1, u2, u3 := in.rng.Float64(), in.rng.Float64(), in.rng.Float64()
+	in.n++
+	in.mu.Unlock()
+	var d decision
+	if u1 < in.cfg.LatencyProb {
+		d.delay = in.cfg.Latency
+	}
+	if u2 < in.cfg.PanicProb {
+		d.panicNow = true
+	} else if u3 < in.cfg.ErrorProb {
+		d.fail = true
+	}
+	return d
+}
+
+// Middleware wraps next with the injector: a share of requests is delayed,
+// failed with a JSON 500 (reason "fault_injected"), or crashed with a
+// panic. Mount it inside a panic-recovery middleware; the whole point of
+// the injected panic is proving that recovery holds.
+func (in *Injector) Middleware(next http.Handler) http.Handler {
+	if !in.cfg.Enabled() {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		d := in.draw()
+		if d.delay > 0 {
+			if in.latencyC != nil {
+				in.latencyC.Inc()
+			}
+			time.Sleep(d.delay)
+		}
+		if d.panicNow {
+			if in.panicC != nil {
+				in.panicC.Inc()
+			}
+			panic(fmt.Sprintf("fault: injected panic (decision %d)", in.count()))
+		}
+		if d.fail {
+			if in.errorC != nil {
+				in.errorC.Inc()
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusInternalServerError)
+			fmt.Fprintf(w, "{\"error\":\"injected fault\",\"reason\":\"fault_injected\"}\n")
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// Observer returns a sim.Observer that injects per-step latency and panics
+// into a simulation run — the sim.Config hook used by chaos tests to crash
+// workers on purpose (error injection has no per-step channel and is
+// middleware-only). Compose with an existing observer via sim.Config:
+//
+//	cfg.Observer = inj.Observer()
+func (in *Injector) Observer() sim.Observer {
+	if !in.cfg.Enabled() {
+		return func(sim.Event) {}
+	}
+	return func(ev sim.Event) {
+		d := in.draw()
+		if d.delay > 0 {
+			if in.latencyC != nil {
+				in.latencyC.Inc()
+			}
+			time.Sleep(d.delay)
+		}
+		if d.panicNow {
+			if in.panicC != nil {
+				in.panicC.Inc()
+			}
+			panic(fmt.Sprintf("fault: injected simulation panic at step %d", ev.Step))
+		}
+	}
+}
+
+func (in *Injector) count() int64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.n
+}

@@ -1,0 +1,140 @@
+package fault
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"convexcache/internal/obs"
+	"convexcache/internal/policy"
+	"convexcache/internal/sim"
+	"convexcache/internal/trace"
+)
+
+func TestParseSpec(t *testing.T) {
+	cfg, err := ParseSpec("seed=7,latency=50ms,latency_p=0.3,error_p=0.2,panic_p=0.05")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Config{Seed: 7, Latency: 50 * time.Millisecond, LatencyProb: 0.3, ErrorProb: 0.2, PanicProb: 0.05}
+	if cfg != want {
+		t.Fatalf("cfg = %+v, want %+v", cfg, want)
+	}
+	if c, err := ParseSpec(""); err != nil || c.Enabled() {
+		t.Fatalf("empty spec: %+v, %v", c, err)
+	}
+	for _, bad := range []string{
+		"latency=50ms,typo_p=0.1", // unknown key
+		"error_p=1.5",             // probability out of range
+		"latency_p=0.5",           // latency_p without latency
+		"seed",                    // not key=value
+	} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted, want error", bad)
+		}
+	}
+}
+
+func TestDeterministicDecisions(t *testing.T) {
+	cfg := Config{Seed: 99, LatencyProb: 0.2, Latency: time.Nanosecond, ErrorProb: 0.3, PanicProb: 0.1}
+	a, b := New(cfg, nil), New(cfg, nil)
+	for i := 0; i < 1000; i++ {
+		if da, db := a.draw(), b.draw(); da != db {
+			t.Fatalf("decision %d diverged for equal seeds: %+v vs %+v", i, da, db)
+		}
+	}
+}
+
+func TestMiddlewareInjectsErrorsAndPanics(t *testing.T) {
+	reg := obs.NewRegistry()
+	in := New(Config{Seed: 3, ErrorProb: 0.5, PanicProb: 0.2}, reg)
+	var served int
+	h := in.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served++
+		w.WriteHeader(http.StatusOK)
+	}))
+
+	var errors500, panics int
+	for i := 0; i < 200; i++ {
+		rec := httptest.NewRecorder()
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					if !strings.Contains(p.(string), "injected panic") {
+						t.Fatalf("unexpected panic %v", p)
+					}
+					panics++
+				}
+			}()
+			h.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/x", nil))
+			if rec.Code == http.StatusInternalServerError {
+				if !strings.Contains(rec.Body.String(), "fault_injected") {
+					t.Fatalf("injected error body = %q", rec.Body.String())
+				}
+				errors500++
+			}
+		}()
+	}
+	if errors500 == 0 || panics == 0 || served == 0 {
+		t.Fatalf("fault mix not exercised: errors=%d panics=%d served=%d", errors500, panics, served)
+	}
+	if got := reg.Counter(`fault_injected_total{kind="error"}`).Value(); got != int64(errors500) {
+		t.Errorf("error counter = %d, want %d", got, errors500)
+	}
+	if got := reg.Counter(`fault_injected_total{kind="panic"}`).Value(); got != int64(panics) {
+		t.Errorf("panic counter = %d, want %d", got, panics)
+	}
+}
+
+func TestMiddlewareDisabledPassesThrough(t *testing.T) {
+	in := New(Config{}, nil)
+	base := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {})
+	if got := in.Middleware(base); got == nil {
+		t.Fatal("nil handler")
+	}
+}
+
+// chaosTrace is a small sequence for observer-driven crashes.
+func chaosTrace(t *testing.T) *trace.Trace {
+	t.Helper()
+	b := trace.NewBuilder()
+	for i := 0; i < 256; i++ {
+		b.Add(0, trace.PageID(i%16))
+	}
+	tr, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestObserverPanicIsRecoveredByRunAll(t *testing.T) {
+	tr := chaosTrace(t)
+	in := New(Config{Seed: 5, PanicProb: 0.05}, nil)
+	jobs := []sim.Job{
+		{
+			Label:  "chaos",
+			Trace:  tr,
+			Policy: func() sim.Policy { return policy.MustNew("lru", policy.Spec{K: 16, Tenants: 1}) },
+			Config: sim.Config{K: 16, Observer: in.Observer()},
+		},
+		{
+			Label:  "clean",
+			Trace:  tr,
+			Policy: func() sim.Policy { return policy.MustNew("lru", policy.Spec{K: 16, Tenants: 1}) },
+			Config: sim.Config{K: 16},
+		},
+	}
+	out := sim.RunAll(jobs, 2)
+	if out[0].Err == nil || !strings.Contains(out[0].Err.Error(), "panicked") {
+		t.Fatalf("chaos job err = %v, want recovered panic", out[0].Err)
+	}
+	if out[1].Err != nil {
+		t.Fatalf("clean job err = %v", out[1].Err)
+	}
+	if out[1].Result.Hits == 0 {
+		t.Fatal("clean job produced no hits")
+	}
+}

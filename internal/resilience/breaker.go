@@ -1,0 +1,236 @@
+package resilience
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"convexcache/internal/obs"
+)
+
+// BreakerState is the circuit state machine position.
+type BreakerState int
+
+const (
+	// Closed: traffic flows; consecutive failures are counted.
+	Closed BreakerState = iota
+	// HalfOpen: a bounded number of probes flow; the rest is shed.
+	HalfOpen
+	// Open: everything is shed until the cooldown elapses.
+	Open
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case HalfOpen:
+		return "half-open"
+	case Open:
+		return "open"
+	}
+	return fmt.Sprintf("BreakerState(%d)", int(s))
+}
+
+// Outcome classifies a finished call for the breaker.
+type Outcome int
+
+const (
+	// Success: the call completed acceptably.
+	Success Outcome = iota
+	// Failure: the call failed (5xx, engine error, panic, over-latency).
+	Failure
+	// Ignored: the call never reached the guarded work (e.g. it was shed by
+	// the limiter); it must not move the state machine either way.
+	Ignored
+)
+
+// BreakerConfig tunes a Breaker; the zero value selects the defaults.
+type BreakerConfig struct {
+	// FailureThreshold is the number of consecutive failures that trips the
+	// breaker open; <= 0 selects 5.
+	FailureThreshold int
+	// LatencyThreshold, when > 0, counts a successful call slower than this
+	// as a failure (sustained latency is how an overloaded backend looks
+	// before it starts erroring).
+	LatencyThreshold time.Duration
+	// OpenFor is the cooldown before an open breaker half-opens; <= 0
+	// selects 10s.
+	OpenFor time.Duration
+	// HalfOpenProbes bounds concurrent probe calls while half-open; <= 0
+	// selects 1.
+	HalfOpenProbes int
+	// SuccessesToClose is the number of consecutive probe successes that
+	// closes a half-open breaker; <= 0 selects 2.
+	SuccessesToClose int
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 5
+	}
+	if c.OpenFor <= 0 {
+		c.OpenFor = 10 * time.Second
+	}
+	if c.HalfOpenProbes <= 0 {
+		c.HalfOpenProbes = 1
+	}
+	if c.SuccessesToClose <= 0 {
+		c.SuccessesToClose = 2
+	}
+	return c
+}
+
+// Breaker is a consecutive-failure circuit breaker with latency accounting
+// and half-open probing. One Breaker guards one endpoint.
+type Breaker struct {
+	cfg  BreakerConfig
+	name string
+
+	mu        sync.Mutex
+	state     BreakerState
+	fails     int // consecutive failures while closed
+	successes int // consecutive probe successes while half-open
+	probes    int // in-flight probes while half-open
+	openedAt  time.Time
+
+	now func() time.Time // injectable clock for tests
+
+	reg    *obs.Registry
+	stateG *obs.Gauge
+	trips  *obs.Counter
+}
+
+// NewBreaker builds a Breaker guarding the named endpoint; reg may be nil.
+func NewBreaker(name string, cfg BreakerConfig, reg *obs.Registry) *Breaker {
+	b := &Breaker{cfg: cfg.withDefaults(), name: name, now: time.Now, reg: reg}
+	if reg != nil {
+		b.stateG = reg.Gauge(fmt.Sprintf("resilience_breaker_state{endpoint=%q}", name))
+		b.trips = reg.Counter(fmt.Sprintf("resilience_breaker_trips_total{endpoint=%q}", name))
+	}
+	return b
+}
+
+// State reports the current state (advancing Open to HalfOpen when the
+// cooldown has elapsed).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.maybeHalfOpenLocked()
+	return b.state
+}
+
+// Call is one admitted request's handle; Record must be called exactly once
+// when the work finishes (extra calls are ignored).
+type Call struct {
+	b        *Breaker
+	probe    bool
+	recorded bool
+}
+
+// Allow asks the breaker to admit a call. On admission it returns a *Call;
+// on rejection a *Shed with ReasonCircuitOpen and a RetryAfter covering the
+// remaining cooldown.
+func (b *Breaker) Allow() (*Call, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.maybeHalfOpenLocked()
+	switch b.state {
+	case Closed:
+		return &Call{b: b}, nil
+	case HalfOpen:
+		if b.probes < b.cfg.HalfOpenProbes {
+			b.probes++
+			return &Call{b: b, probe: true}, nil
+		}
+	}
+	retry := b.cfg.OpenFor
+	if b.state == Open {
+		if rem := b.openedAt.Add(b.cfg.OpenFor).Sub(b.now()); rem > 0 {
+			retry = rem
+		}
+	}
+	countShed(b.reg, ReasonCircuitOpen)
+	return nil, &Shed{
+		Reason:     ReasonCircuitOpen,
+		RetryAfter: retry,
+		Detail:     fmt.Sprintf("circuit breaker for %s is %s", b.name, b.state),
+	}
+}
+
+// Record reports the call's outcome and latency and advances the state
+// machine.
+func (c *Call) Record(o Outcome, latency time.Duration) {
+	if c == nil || c.recorded {
+		return
+	}
+	c.recorded = true
+	c.b.record(c, o, latency)
+}
+
+func (b *Breaker) record(c *Call, o Outcome, latency time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if c.probe {
+		b.probes--
+	}
+	if o == Ignored {
+		return
+	}
+	failed := o == Failure ||
+		(b.cfg.LatencyThreshold > 0 && latency > b.cfg.LatencyThreshold)
+	switch b.state {
+	case Closed:
+		if failed {
+			b.fails++
+			if b.fails >= b.cfg.FailureThreshold {
+				b.tripLocked()
+			}
+		} else {
+			b.fails = 0
+		}
+	case HalfOpen:
+		if !c.probe {
+			// A call admitted before the trip finishing now; it already
+			// contributed to the trip decision, so only probes count here.
+			return
+		}
+		if failed {
+			b.tripLocked()
+		} else {
+			b.successes++
+			if b.successes >= b.cfg.SuccessesToClose {
+				b.toLocked(Closed)
+				b.fails = 0
+			}
+		}
+	case Open:
+		// Stale completions from before the trip; nothing to do.
+	}
+}
+
+// maybeHalfOpenLocked advances Open to HalfOpen once the cooldown elapses.
+func (b *Breaker) maybeHalfOpenLocked() {
+	if b.state == Open && !b.now().Before(b.openedAt.Add(b.cfg.OpenFor)) {
+		b.toLocked(HalfOpen)
+		b.probes = 0
+		b.successes = 0
+	}
+}
+
+func (b *Breaker) tripLocked() {
+	b.toLocked(Open)
+	b.openedAt = b.now()
+	b.fails = 0
+	b.successes = 0
+	if b.trips != nil {
+		b.trips.Inc()
+	}
+}
+
+func (b *Breaker) toLocked(s BreakerState) {
+	b.state = s
+	if b.stateG != nil {
+		b.stateG.Set(int64(s))
+	}
+}

@@ -1,0 +1,137 @@
+package resilience
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"convexcache/internal/obs"
+)
+
+// fakeClock drives the breaker's cooldown deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newTestBreaker(cfg BreakerConfig, reg *obs.Registry) (*Breaker, *fakeClock) {
+	b := NewBreaker("test", cfg, reg)
+	c := &fakeClock{t: time.Unix(1_000_000, 0)}
+	b.now = c.now
+	return b, c
+}
+
+func mustAllow(t *testing.T, b *Breaker) *Call {
+	t.Helper()
+	c, err := b.Allow()
+	if err != nil {
+		t.Fatalf("Allow: %v (state %s)", err, b.State())
+	}
+	return c
+}
+
+func TestBreakerTripsOnConsecutiveFailures(t *testing.T) {
+	reg := obs.NewRegistry()
+	b, _ := newTestBreaker(BreakerConfig{FailureThreshold: 3, OpenFor: 10 * time.Second}, reg)
+
+	// A success in between resets the streak.
+	mustAllow(t, b).Record(Failure, 0)
+	mustAllow(t, b).Record(Failure, 0)
+	mustAllow(t, b).Record(Success, 0)
+	mustAllow(t, b).Record(Failure, 0)
+	mustAllow(t, b).Record(Failure, 0)
+	if b.State() != Closed {
+		t.Fatalf("state = %s before threshold, want closed", b.State())
+	}
+	mustAllow(t, b).Record(Failure, 0)
+	if b.State() != Open {
+		t.Fatalf("state = %s after 3 consecutive failures, want open", b.State())
+	}
+	_, err := b.Allow()
+	var shed *Shed
+	if !errors.As(err, &shed) || shed.Reason != ReasonCircuitOpen {
+		t.Fatalf("err = %v, want circuit_open shed", err)
+	}
+	if shed.RetryAfter <= 0 || shed.RetryAfter > 10*time.Second {
+		t.Errorf("RetryAfter = %v, want (0, 10s]", shed.RetryAfter)
+	}
+	if got := reg.Counter(`resilience_breaker_trips_total{endpoint="test"}`).Value(); got != 1 {
+		t.Errorf("trips = %d, want 1", got)
+	}
+}
+
+func TestBreakerHalfOpenProbeAndClose(t *testing.T) {
+	b, clk := newTestBreaker(BreakerConfig{
+		FailureThreshold: 1, OpenFor: 5 * time.Second,
+		HalfOpenProbes: 1, SuccessesToClose: 2,
+	}, nil)
+	mustAllow(t, b).Record(Failure, 0)
+	if b.State() != Open {
+		t.Fatalf("state = %s, want open", b.State())
+	}
+
+	clk.advance(5 * time.Second)
+	if b.State() != HalfOpen {
+		t.Fatalf("state = %s after cooldown, want half-open", b.State())
+	}
+	// Only one concurrent probe is admitted.
+	probe := mustAllow(t, b)
+	if _, err := b.Allow(); err == nil {
+		t.Fatal("second concurrent probe admitted, want shed")
+	}
+	probe.Record(Success, 0)
+	if b.State() != HalfOpen {
+		t.Fatalf("state = %s after 1/2 successes, want half-open", b.State())
+	}
+	mustAllow(t, b).Record(Success, 0)
+	if b.State() != Closed {
+		t.Fatalf("state = %s after 2/2 successes, want closed", b.State())
+	}
+}
+
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	b, clk := newTestBreaker(BreakerConfig{FailureThreshold: 1, OpenFor: time.Second}, nil)
+	mustAllow(t, b).Record(Failure, 0)
+	clk.advance(time.Second)
+	mustAllow(t, b).Record(Failure, 0) // failed probe
+	if b.State() != Open {
+		t.Fatalf("state = %s after failed probe, want open", b.State())
+	}
+	// The cooldown restarts from the probe failure.
+	clk.advance(time.Second)
+	if b.State() != HalfOpen {
+		t.Fatalf("state = %s after second cooldown, want half-open", b.State())
+	}
+}
+
+func TestBreakerLatencyCountsAsFailure(t *testing.T) {
+	b, _ := newTestBreaker(BreakerConfig{
+		FailureThreshold: 2, LatencyThreshold: 100 * time.Millisecond,
+	}, nil)
+	mustAllow(t, b).Record(Success, 200*time.Millisecond)
+	mustAllow(t, b).Record(Success, 300*time.Millisecond)
+	if b.State() != Open {
+		t.Fatalf("state = %s after sustained over-latency, want open", b.State())
+	}
+}
+
+func TestBreakerIgnoredOutcomeIsNeutral(t *testing.T) {
+	b, _ := newTestBreaker(BreakerConfig{FailureThreshold: 2}, nil)
+	mustAllow(t, b).Record(Failure, 0)
+	mustAllow(t, b).Record(Ignored, 0) // e.g. shed by the limiter
+	mustAllow(t, b).Record(Failure, 0)
+	if b.State() != Open {
+		t.Fatalf("Ignored must not reset the failure streak; state = %s", b.State())
+	}
+}
+
+func TestBreakerRecordIsIdempotent(t *testing.T) {
+	b, clk := newTestBreaker(BreakerConfig{FailureThreshold: 1, OpenFor: time.Second, HalfOpenProbes: 1}, nil)
+	mustAllow(t, b).Record(Failure, 0)
+	clk.advance(time.Second)
+	probe := mustAllow(t, b)
+	probe.Record(Success, 0)
+	probe.Record(Success, 0) // must not double-count the probe slot
+	if _, err := b.Allow(); err != nil {
+		t.Fatalf("probe slot leaked: %v", err)
+	}
+}

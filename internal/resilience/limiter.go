@@ -1,0 +1,245 @@
+package resilience
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"time"
+
+	"convexcache/internal/obs"
+)
+
+// LimiterConfig tunes the admission controller; the zero value selects the
+// documented defaults.
+type LimiterConfig struct {
+	// MaxConcurrent is the number of requests allowed to execute at once;
+	// <= 0 selects GOMAXPROCS.
+	MaxConcurrent int
+	// MaxQueue bounds the FIFO wait queue behind the concurrency slots;
+	// <= 0 selects max(64, 8*MaxConcurrent). A request arriving with the
+	// queue full is shed immediately.
+	MaxQueue int
+	// MaxWait caps how long a queued request waits for a slot even when its
+	// context has no deadline; <= 0 selects 10s.
+	MaxWait time.Duration
+}
+
+func (c LimiterConfig) withDefaults() LimiterConfig {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 8 * c.MaxConcurrent
+		if c.MaxQueue < 64 {
+			c.MaxQueue = 64
+		}
+	}
+	if c.MaxWait <= 0 {
+		c.MaxWait = 10 * time.Second
+	}
+	return c
+}
+
+// waiter is one queued Acquire call. The slot is handed over by setting
+// granted under the limiter lock and closing ch; an abandoning waiter that
+// finds granted set owns a slot and must put it back.
+type waiter struct {
+	ch      chan struct{}
+	granted bool
+}
+
+// Limiter is a server-wide concurrency limiter with a bounded FIFO wait
+// queue. Admission order among queued requests is strictly first-come
+// first-served (unlike a bare buffered-channel semaphore, whose wakeups are
+// randomized), which keeps tail latency predictable under overload.
+type Limiter struct {
+	cfg LimiterConfig
+
+	mu       sync.Mutex
+	inflight int
+	queue    []*waiter
+
+	reg       *obs.Registry
+	inflightG *obs.Gauge
+	queueG    *obs.Gauge
+	admitted  *obs.Counter
+	waitHist  *obs.Histogram
+}
+
+// queueWaitBuckets span sub-millisecond token handoffs to the default
+// 10s MaxWait.
+var queueWaitBuckets = []float64{0.001, 0.005, 0.025, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
+// NewLimiter builds a Limiter; reg may be nil to disable metrics.
+func NewLimiter(cfg LimiterConfig, reg *obs.Registry) *Limiter {
+	l := &Limiter{cfg: cfg.withDefaults(), reg: reg}
+	if reg != nil {
+		l.inflightG = reg.Gauge("resilience_inflight")
+		l.queueG = reg.Gauge("resilience_queue_depth")
+		l.admitted = reg.Counter("resilience_admitted_total")
+		l.waitHist = reg.Histogram("resilience_queue_wait_seconds", queueWaitBuckets)
+	}
+	return l
+}
+
+// Config reports the effective (defaulted) configuration.
+func (l *Limiter) Config() LimiterConfig { return l.cfg }
+
+// Inflight reports the number of currently admitted requests.
+func (l *Limiter) Inflight() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inflight
+}
+
+// QueueDepth reports the number of requests waiting for a slot.
+func (l *Limiter) QueueDepth() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.queue)
+}
+
+// Acquire admits the caller or blocks in the FIFO queue until a slot frees,
+// the context is done, or MaxWait elapses. On success it returns an
+// idempotent release func that must be called when the work finishes. On
+// rejection it returns a *Shed describing why and how long to back off.
+//
+// Deadline awareness: a context whose deadline leaves no time to wait is
+// shed immediately with ReasonDeadline instead of occupying a queue slot it
+// can never convert.
+func (l *Limiter) Acquire(ctx context.Context) (release func(), err error) {
+	l.mu.Lock()
+	if l.inflight < l.cfg.MaxConcurrent {
+		l.inflight++
+		l.setGauges()
+		l.mu.Unlock()
+		if l.admitted != nil {
+			l.admitted.Inc()
+		}
+		return l.releaseOnce(), nil
+	}
+	if len(l.queue) >= l.cfg.MaxQueue {
+		l.mu.Unlock()
+		countShed(l.reg, ReasonQueueFull)
+		return nil, &Shed{
+			Reason:     ReasonQueueFull,
+			RetryAfter: l.cfg.MaxWait,
+			Detail:     "concurrency limit reached and wait queue full",
+		}
+	}
+	// Budget the wait: the configured cap, tightened by the caller's
+	// deadline when it is sooner.
+	wait := l.cfg.MaxWait
+	deadlineBound := false
+	if dl, ok := ctx.Deadline(); ok {
+		if rem := time.Until(dl); rem < wait {
+			wait = rem
+			deadlineBound = true
+		}
+	}
+	if wait <= 0 {
+		l.mu.Unlock()
+		countShed(l.reg, ReasonDeadline)
+		return nil, &Shed{
+			Reason:     ReasonDeadline,
+			RetryAfter: time.Second,
+			Detail:     "request deadline leaves no time to queue",
+		}
+	}
+	w := &waiter{ch: make(chan struct{})}
+	l.queue = append(l.queue, w)
+	l.setGauges()
+	l.mu.Unlock()
+
+	timer := time.NewTimer(wait)
+	defer timer.Stop()
+	start := time.Now()
+	select {
+	case <-w.ch:
+		if l.waitHist != nil {
+			l.waitHist.Observe(time.Since(start).Seconds())
+		}
+		if l.admitted != nil {
+			l.admitted.Inc()
+		}
+		return l.releaseOnce(), nil
+	case <-ctx.Done():
+		l.abandon(w)
+		countShed(l.reg, ReasonDeadline)
+		return nil, &Shed{
+			Reason:     ReasonDeadline,
+			RetryAfter: time.Second,
+			Detail:     "request context done while queued: " + ctx.Err().Error(),
+		}
+	case <-timer.C:
+		l.abandon(w)
+		reason := ReasonQueueTimeout
+		if deadlineBound {
+			reason = ReasonDeadline
+		}
+		countShed(l.reg, reason)
+		return nil, &Shed{
+			Reason:     reason,
+			RetryAfter: l.cfg.MaxWait,
+			Detail:     "no slot freed within the wait budget",
+		}
+	}
+}
+
+// releaseOnce wraps release so double calls (e.g. a deferred release racing
+// a panic path) cannot corrupt the slot count.
+func (l *Limiter) releaseOnce() func() {
+	var once sync.Once
+	return func() { once.Do(l.release) }
+}
+
+// release returns a slot: the longest-waiting queued request inherits it,
+// otherwise the inflight count drops.
+func (l *Limiter) release() {
+	l.mu.Lock()
+	l.releaseLocked()
+	l.setGauges()
+	l.mu.Unlock()
+}
+
+func (l *Limiter) releaseLocked() {
+	if len(l.queue) > 0 {
+		w := l.queue[0]
+		l.queue = l.queue[1:]
+		w.granted = true
+		close(w.ch)
+		return // slot transferred; inflight unchanged
+	}
+	l.inflight--
+}
+
+// abandon removes a timed-out or cancelled waiter. If a slot was granted
+// concurrently with the abandonment, the slot is put back (possibly waking
+// the next waiter), so no capacity leaks.
+func (l *Limiter) abandon(w *waiter) {
+	l.mu.Lock()
+	if w.granted {
+		l.releaseLocked()
+		l.setGauges()
+		l.mu.Unlock()
+		return
+	}
+	for i, q := range l.queue {
+		if q == w {
+			l.queue = append(l.queue[:i], l.queue[i+1:]...)
+			break
+		}
+	}
+	l.setGauges()
+	l.mu.Unlock()
+}
+
+// setGauges publishes inflight and queue depth; called under l.mu.
+func (l *Limiter) setGauges() {
+	if l.inflightG != nil {
+		l.inflightG.Set(int64(l.inflight))
+	}
+	if l.queueG != nil {
+		l.queueG.Set(int64(len(l.queue)))
+	}
+}

@@ -1,0 +1,200 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"convexcache/internal/obs"
+)
+
+func TestLimiterAdmitsUpToCap(t *testing.T) {
+	l := NewLimiter(LimiterConfig{MaxConcurrent: 3, MaxQueue: 1, MaxWait: time.Second}, nil)
+	var rels []func()
+	for i := 0; i < 3; i++ {
+		rel, err := l.Acquire(context.Background())
+		if err != nil {
+			t.Fatalf("acquire %d: %v", i, err)
+		}
+		rels = append(rels, rel)
+	}
+	if got := l.Inflight(); got != 3 {
+		t.Fatalf("inflight = %d, want 3", got)
+	}
+	for _, rel := range rels {
+		rel()
+	}
+	if got := l.Inflight(); got != 0 {
+		t.Fatalf("inflight after release = %d, want 0", got)
+	}
+}
+
+func TestLimiterShedsOnFullQueue(t *testing.T) {
+	reg := obs.NewRegistry()
+	l := NewLimiter(LimiterConfig{MaxConcurrent: 1, MaxQueue: 1, MaxWait: 5 * time.Second}, reg)
+	rel, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+
+	// Occupy the single queue slot.
+	queued := make(chan struct{})
+	go func() {
+		close(queued)
+		rel2, err := l.Acquire(context.Background())
+		if err == nil {
+			rel2()
+		}
+	}()
+	<-queued
+	waitFor(t, func() bool { return l.QueueDepth() == 1 })
+
+	_, err = l.Acquire(context.Background())
+	var shed *Shed
+	if !errors.As(err, &shed) {
+		t.Fatalf("err = %v, want *Shed", err)
+	}
+	if shed.Reason != ReasonQueueFull {
+		t.Errorf("reason = %q, want %q", shed.Reason, ReasonQueueFull)
+	}
+	if shed.RetryAfter <= 0 {
+		t.Errorf("RetryAfter = %v, want > 0", shed.RetryAfter)
+	}
+	if got := reg.Counter(`resilience_shed_total{reason="queue_full"}`).Value(); got != 1 {
+		t.Errorf("shed counter = %d, want 1", got)
+	}
+}
+
+func TestLimiterDeadlineAware(t *testing.T) {
+	l := NewLimiter(LimiterConfig{MaxConcurrent: 1, MaxQueue: 4, MaxWait: time.Minute}, nil)
+	rel, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+
+	// Already-expired deadline: shed immediately, no queue slot consumed.
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	_, err = l.Acquire(ctx)
+	var shed *Shed
+	if !errors.As(err, &shed) || shed.Reason != ReasonDeadline {
+		t.Fatalf("expired deadline: err = %v, want deadline shed", err)
+	}
+	if got := l.QueueDepth(); got != 0 {
+		t.Fatalf("queue depth = %d after immediate shed, want 0", got)
+	}
+
+	// Short deadline while the slot stays held: shed when it fires.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel2()
+	start := time.Now()
+	_, err = l.Acquire(ctx2)
+	if !errors.As(err, &shed) || shed.Reason != ReasonDeadline {
+		t.Fatalf("short deadline: err = %v, want deadline shed", err)
+	}
+	if el := time.Since(start); el > 2*time.Second {
+		t.Errorf("shed took %v, want ~20ms", el)
+	}
+	waitFor(t, func() bool { return l.QueueDepth() == 0 })
+}
+
+func TestLimiterQueueTimeout(t *testing.T) {
+	l := NewLimiter(LimiterConfig{MaxConcurrent: 1, MaxQueue: 4, MaxWait: 20 * time.Millisecond}, nil)
+	rel, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	_, err = l.Acquire(context.Background())
+	var shed *Shed
+	if !errors.As(err, &shed) || shed.Reason != ReasonQueueTimeout {
+		t.Fatalf("err = %v, want queue_timeout shed", err)
+	}
+}
+
+func TestLimiterFIFOOrder(t *testing.T) {
+	l := NewLimiter(LimiterConfig{MaxConcurrent: 1, MaxQueue: 8, MaxWait: 5 * time.Second}, nil)
+	rel, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 5
+	var mu sync.Mutex
+	var order []int
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rel, err := l.Acquire(context.Background())
+			if err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+				return
+			}
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			rel()
+		}(i)
+		// Serialize enqueue order so FIFO has a defined expectation.
+		waitFor(t, func() bool { return l.QueueDepth() == i+1 })
+	}
+	rel() // hand the slot down the queue
+	wg.Wait()
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("admission order = %v, want FIFO", order)
+		}
+	}
+}
+
+func TestLimiterConcurrentStress(t *testing.T) {
+	l := NewLimiter(LimiterConfig{MaxConcurrent: 4, MaxQueue: 64, MaxWait: 5 * time.Second}, obs.NewRegistry())
+	var cur, peak atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rel, err := l.Acquire(context.Background())
+			if err != nil {
+				return // shed is a legal outcome under stress
+			}
+			c := cur.Add(1)
+			for {
+				p := peak.Load()
+				if c <= p || peak.CompareAndSwap(p, c) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			cur.Add(-1)
+			rel()
+		}()
+	}
+	wg.Wait()
+	if peak.Load() > 4 {
+		t.Fatalf("observed %d concurrent holders, cap is 4", peak.Load())
+	}
+	if l.Inflight() != 0 || l.QueueDepth() != 0 {
+		t.Fatalf("leaked capacity: inflight=%d queue=%d", l.Inflight(), l.QueueDepth())
+	}
+}
+
+// waitFor polls cond for up to ~2s.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	for i := 0; i < 2000; i++ {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition never became true")
+}

@@ -1,0 +1,138 @@
+package resilience
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"convexcache/internal/obs"
+)
+
+// RateLimiterConfig tunes the per-client token buckets. RPS <= 0 means the
+// limiter admits everything (construction is still cheap, so callers can
+// wire it unconditionally).
+type RateLimiterConfig struct {
+	// RPS is the sustained per-client request rate.
+	RPS float64
+	// Burst is the bucket capacity; <= 0 selects max(1, 2*RPS).
+	Burst float64
+	// MaxKeys bounds the number of tracked clients; <= 0 selects 4096.
+	// When the table is full, fully-refilled (idle) buckets are swept, then
+	// the least-recently-seen bucket is evicted.
+	MaxKeys int
+}
+
+func (c RateLimiterConfig) withDefaults() RateLimiterConfig {
+	if c.Burst <= 0 {
+		c.Burst = 2 * c.RPS
+		if c.Burst < 1 {
+			c.Burst = 1
+		}
+	}
+	if c.MaxKeys <= 0 {
+		c.MaxKeys = 4096
+	}
+	return c
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// RateLimiter is a keyed token-bucket limiter protecting tenants from each
+// other: each client identity gets its own bucket, so one misbehaving
+// caller exhausts its own budget, not the shared wait queue.
+type RateLimiter struct {
+	cfg RateLimiterConfig
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+
+	now func() time.Time
+
+	reg   *obs.Registry
+	keysG *obs.Gauge
+}
+
+// NewRateLimiter builds a RateLimiter; reg may be nil.
+func NewRateLimiter(cfg RateLimiterConfig, reg *obs.Registry) *RateLimiter {
+	rl := &RateLimiter{
+		cfg:     cfg.withDefaults(),
+		buckets: make(map[string]*bucket),
+		now:     time.Now,
+		reg:     reg,
+	}
+	if reg != nil {
+		rl.keysG = reg.Gauge("resilience_ratelimit_keys")
+	}
+	return rl
+}
+
+// Enabled reports whether the limiter actually limits.
+func (rl *RateLimiter) Enabled() bool { return rl.cfg.RPS > 0 }
+
+// Allow consumes one token from key's bucket. When the bucket is empty it
+// returns a *Shed with ReasonRateLimited and the time until the next token.
+func (rl *RateLimiter) Allow(key string) error {
+	if !rl.Enabled() {
+		return nil
+	}
+	now := rl.now()
+	rl.mu.Lock()
+	b, ok := rl.buckets[key]
+	if !ok {
+		if len(rl.buckets) >= rl.cfg.MaxKeys {
+			rl.evictLocked(now)
+		}
+		b = &bucket{tokens: rl.cfg.Burst, last: now}
+		rl.buckets[key] = b
+		if rl.keysG != nil {
+			rl.keysG.Set(int64(len(rl.buckets)))
+		}
+	}
+	if el := now.Sub(b.last).Seconds(); el > 0 {
+		b.tokens += el * rl.cfg.RPS
+		if b.tokens > rl.cfg.Burst {
+			b.tokens = rl.cfg.Burst
+		}
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		rl.mu.Unlock()
+		return nil
+	}
+	need := (1 - b.tokens) / rl.cfg.RPS
+	rl.mu.Unlock()
+	countShed(rl.reg, ReasonRateLimited)
+	return &Shed{
+		Reason:     ReasonRateLimited,
+		RetryAfter: time.Duration(need * float64(time.Second)),
+		Detail:     fmt.Sprintf("client %q exceeded %.3g req/s", key, rl.cfg.RPS),
+	}
+}
+
+// evictLocked frees table space: first drop every fully-refilled bucket
+// (an idle client is indistinguishable from a new one), then, if nothing
+// was idle, the least-recently-seen bucket.
+func (rl *RateLimiter) evictLocked(now time.Time) {
+	var oldestKey string
+	var oldest time.Time
+	for k, b := range rl.buckets {
+		refilled := b.tokens + now.Sub(b.last).Seconds()*rl.cfg.RPS
+		if refilled >= rl.cfg.Burst {
+			delete(rl.buckets, k)
+			continue
+		}
+		if oldestKey == "" || b.last.Before(oldest) {
+			oldestKey, oldest = k, b.last
+		}
+	}
+	if len(rl.buckets) >= rl.cfg.MaxKeys && oldestKey != "" {
+		delete(rl.buckets, oldestKey)
+	}
+	if rl.keysG != nil {
+		rl.keysG.Set(int64(len(rl.buckets)))
+	}
+}

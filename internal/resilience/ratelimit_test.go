@@ -1,0 +1,76 @@
+package resilience
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func newTestRateLimiter(cfg RateLimiterConfig) (*RateLimiter, *fakeClock) {
+	rl := NewRateLimiter(cfg, nil)
+	c := &fakeClock{t: time.Unix(1_000_000, 0)}
+	rl.now = c.now
+	return rl, c
+}
+
+func TestRateLimiterBurstThenRefill(t *testing.T) {
+	rl, clk := newTestRateLimiter(RateLimiterConfig{RPS: 2, Burst: 2})
+	if err := rl.Allow("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := rl.Allow("a"); err != nil {
+		t.Fatal(err)
+	}
+	err := rl.Allow("a")
+	var shed *Shed
+	if !errors.As(err, &shed) || shed.Reason != ReasonRateLimited {
+		t.Fatalf("err = %v, want rate_limited shed", err)
+	}
+	if shed.RetryAfter <= 0 || shed.RetryAfter > time.Second {
+		t.Errorf("RetryAfter = %v, want (0, 500ms-ish]", shed.RetryAfter)
+	}
+	clk.advance(time.Second) // refills 2 tokens
+	if err := rl.Allow("a"); err != nil {
+		t.Fatalf("after refill: %v", err)
+	}
+}
+
+func TestRateLimiterIsolatesClients(t *testing.T) {
+	rl, _ := newTestRateLimiter(RateLimiterConfig{RPS: 1, Burst: 1})
+	if err := rl.Allow("noisy"); err != nil {
+		t.Fatal(err)
+	}
+	if err := rl.Allow("noisy"); err == nil {
+		t.Fatal("noisy client not limited")
+	}
+	if err := rl.Allow("quiet"); err != nil {
+		t.Fatalf("quiet client limited by noisy one: %v", err)
+	}
+}
+
+func TestRateLimiterDisabled(t *testing.T) {
+	rl := NewRateLimiter(RateLimiterConfig{}, nil)
+	if rl.Enabled() {
+		t.Fatal("zero config must disable limiting")
+	}
+	for i := 0; i < 100; i++ {
+		if err := rl.Allow("x"); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestRateLimiterBoundsKeyTable(t *testing.T) {
+	rl, clk := newTestRateLimiter(RateLimiterConfig{RPS: 1, Burst: 1, MaxKeys: 8})
+	for i := 0; i < 100; i++ {
+		_ = rl.Allow(fmt.Sprintf("client-%d", i))
+		clk.advance(10 * time.Millisecond)
+	}
+	rl.mu.Lock()
+	n := len(rl.buckets)
+	rl.mu.Unlock()
+	if n > 8 {
+		t.Fatalf("key table grew to %d, cap is 8", n)
+	}
+}

@@ -1,0 +1,152 @@
+// Async job API: long replays run on the resilience worker pool instead of
+// holding an HTTP connection. The paper's algorithm ("alg") runs under the
+// checkpointed runner, so a cancelled or crashed job resumes from its last
+// core.Fast snapshot; other policies re-run from scratch on resume.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+
+	"convexcache/internal/core"
+	"convexcache/internal/policy"
+	"convexcache/internal/resilience"
+	"convexcache/internal/sim"
+)
+
+// JobRequest is the body of POST /v1/jobs: one trace, one policy.
+type JobRequest struct {
+	// Trace is the request sequence.
+	Trace TraceJSON `json:"trace"`
+	// K is the cache size.
+	K int `json:"k"`
+	// Policy is a single policy name; "alg" (the default) is checkpointable.
+	Policy string `json:"policy"`
+	// Costs are per-tenant costfn.Parse specs.
+	Costs []string `json:"costs"`
+	// Seed seeds randomized policies.
+	Seed int64 `json:"seed"`
+	// DiscreteDeriv and CountMisses tune the algorithm.
+	DiscreteDeriv bool `json:"discrete_deriv"`
+	CountMisses   bool `json:"count_misses"`
+}
+
+// JobResultResponse is the body of GET /v1/jobs/{id}/result.
+type JobResultResponse struct {
+	Status resilience.JobStatus `json:"status"`
+	Result PolicyResult         `json:"result"`
+}
+
+func (s *service) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if s.rate.Enabled() {
+		if err := s.rate.Allow(clientKey(r)); err != nil {
+			s.shedError(w, r, err)
+			return
+		}
+	}
+	tr, err := req.Trace.build()
+	if err != nil {
+		s.httpError(w, r, http.StatusBadRequest, err)
+		return
+	}
+	if req.K <= 0 {
+		s.httpError(w, r, http.StatusBadRequest, errors.New("k must be positive"))
+		return
+	}
+	if req.Policy == "" {
+		req.Policy = "alg"
+	}
+	costs, err := parseCosts(req.Costs, tr.NumTenants())
+	if err != nil {
+		s.httpError(w, r, http.StatusBadRequest, err)
+		return
+	}
+	spec := resilience.JobSpec{Label: req.Policy, Trace: tr, K: req.K, Costs: costs}
+	simReq := SimulateRequest{Seed: req.Seed, DiscreteDeriv: req.DiscreteDeriv, CountMisses: req.CountMisses}
+	pSpec := policy.Spec{K: req.K, Tenants: tr.NumTenants(), Costs: costs, Seed: req.Seed}
+	if req.Policy == "alg" && (s.policyHook == nil || s.policyHook("alg") == nil) {
+		opts := core.Options{Costs: costs, UseDiscreteDeriv: req.DiscreteDeriv, CountMisses: req.CountMisses}
+		spec.NewFast = func() *core.Fast { return core.NewFast(opts) }
+	} else {
+		// Validate the name now so a typo answers 400, not an async failure.
+		if _, err := s.newPolicy(req.Policy, pSpec, simReq); err != nil {
+			s.httpError(w, r, http.StatusBadRequest, err)
+			return
+		}
+		spec.NewPolicy = func() sim.Policy {
+			p, _ := s.newPolicy(req.Policy, pSpec, simReq)
+			return p
+		}
+	}
+	st, err := s.jobs.Submit(spec)
+	if err != nil {
+		var sh *resilience.Shed
+		if errors.As(err, &sh) {
+			s.shedError(w, r, err)
+			return
+		}
+		s.httpError(w, r, http.StatusBadRequest, err)
+		return
+	}
+	s.writeJSON(w, r, http.StatusAccepted, st)
+}
+
+// jobID resolves {id} and converts ErrUnknownJob into a 404; every other
+// error is the caller's state machine misuse (409).
+func (s *service) jobCall(w http.ResponseWriter, r *http.Request, call func(id string) (resilience.JobStatus, error), status int) {
+	st, err := call(r.PathValue("id"))
+	if err != nil {
+		if errors.Is(err, resilience.ErrUnknownJob) {
+			s.httpError(w, r, http.StatusNotFound, err)
+			return
+		}
+		s.httpError(w, r, http.StatusConflict, err)
+		return
+	}
+	s.writeJSON(w, r, status, st)
+}
+
+func (s *service) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	s.jobCall(w, r, s.jobs.Status, http.StatusOK)
+}
+
+func (s *service) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	s.jobCall(w, r, s.jobs.Cancel, http.StatusOK)
+}
+
+func (s *service) handleJobResume(w http.ResponseWriter, r *http.Request) {
+	s.jobCall(w, r, s.jobs.Resume, http.StatusAccepted)
+}
+
+func (s *service) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	res, costs, done, err := s.jobs.Result(id)
+	if err != nil {
+		s.httpError(w, r, http.StatusNotFound, err)
+		return
+	}
+	if !done {
+		st, _ := s.jobs.Status(id)
+		s.httpError(w, r, http.StatusConflict,
+			fmt.Errorf("job %s is %s, not done", id, st.State))
+		return
+	}
+	st, _ := s.jobs.Status(id)
+	s.writeJSON(w, r, http.StatusOK, JobResultResponse{
+		Status: st,
+		Result: PolicyResult{
+			// The requested name, matching /v1/simulate's labels; the
+			// engine's own Name() may differ (e.g. "alg-fast" for "alg").
+			Policy:    st.Policy,
+			Hits:      res.Hits,
+			Misses:    res.Misses,
+			Evictions: res.Evictions,
+			TotalCost: res.Cost(costs),
+		},
+	})
+}

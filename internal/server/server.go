@@ -1,12 +1,17 @@
 // Package server exposes the simulator over HTTP with a small JSON API, so
 // the library can back a capacity-planning or SLA-what-if service:
 //
-//	GET  /healthz             liveness
-//	GET  /metrics             Prometheus-text metrics (internal/obs)
-//	GET  /v1/policies         registered policy names
-//	POST /v1/simulate         replay a trace through policies
-//	POST /v1/mrc              exact LRU miss-ratio curves per tenant
-//	POST /v1/experiments/{id} run one experiment (quick mode) as JSON
+//	GET  /healthz              liveness
+//	GET  /metrics              Prometheus-text metrics (internal/obs)
+//	GET  /v1/policies          registered policy names
+//	POST /v1/simulate          replay a trace through policies
+//	POST /v1/mrc               exact LRU miss-ratio curves per tenant
+//	POST /v1/experiments/{id}  run one experiment (quick mode) as JSON
+//	POST /v1/jobs              submit an async replay job (202)
+//	GET  /v1/jobs/{id}         job status
+//	GET  /v1/jobs/{id}/result  job result (409 until done)
+//	DELETE /v1/jobs/{id}       cancel a job (checkpoint retained)
+//	POST /v1/jobs/{id}/resume  re-queue a cancelled/failed job
 //
 // Everything is stdlib net/http; request bodies are size-capped. Every route
 // is wrapped by the obs middleware stack: request IDs, structured access
@@ -15,6 +20,14 @@
 // under the request context (sim.RunContext), so a client disconnect or
 // deadline stops the simulation instead of burning CPU for a caller that is
 // already gone.
+//
+// The expensive synchronous endpoints (/v1/simulate, /v1/mrc,
+// /v1/experiments/{id}) additionally sit behind the internal/resilience
+// admission stack: per-client token-bucket rate limiting (429), a per-route
+// circuit breaker (503), and the server-wide concurrency limiter with its
+// bounded FIFO wait queue (503). Every rejection uses one JSON envelope with
+// a machine-readable "reason" and, for shed work, a Retry-After hint in both
+// the header and the body.
 package server
 
 import (
@@ -23,7 +36,9 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"net"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -33,6 +48,7 @@ import (
 	"convexcache/internal/experiments"
 	"convexcache/internal/obs"
 	"convexcache/internal/policy"
+	"convexcache/internal/resilience"
 	"convexcache/internal/sim"
 	"convexcache/internal/trace"
 )
@@ -61,6 +77,22 @@ type Config struct {
 	// Registry receives the service metrics and backs /metrics; nil
 	// creates a fresh registry.
 	Registry *obs.Registry
+	// Limiter tunes the server-wide concurrency limiter guarding the
+	// expensive endpoints; the zero value selects the package defaults.
+	Limiter resilience.LimiterConfig
+	// RateLimit tunes per-client token buckets; RPS <= 0 disables rate
+	// limiting entirely.
+	RateLimit resilience.RateLimiterConfig
+	// Breaker tunes the per-endpoint circuit breakers; the zero value
+	// selects the package defaults.
+	Breaker resilience.BreakerConfig
+	// Jobs tunes the async job subsystem; the zero value selects the
+	// package defaults.
+	Jobs resilience.JobsConfig
+	// Fault, when non-nil, wraps the router with a fault-injection
+	// middleware (internal/fault). It is mounted inside the obs panic
+	// recovery so injected panics exercise the real recovery path.
+	Fault func(http.Handler) http.Handler
 }
 
 // service carries the per-instance state shared by all handlers.
@@ -68,13 +100,20 @@ type service struct {
 	maxBody int64
 	log     *slog.Logger
 	reg     *obs.Registry
+	fault   func(http.Handler) http.Handler
+
+	limiter  *resilience.Limiter
+	rate     *resilience.RateLimiter
+	breakers map[string]*resilience.Breaker
+	jobs     *resilience.Jobs
+
 	// policyHook, when non-nil, is consulted before the policy registry;
 	// tests use it to inject misbehaving (e.g. panicking) policies.
 	policyHook func(name string) sim.Policy
 }
 
 func newService(cfg Config) *service {
-	s := &service{maxBody: cfg.MaxBodyBytes, log: cfg.Logger, reg: cfg.Registry}
+	s := &service{maxBody: cfg.MaxBodyBytes, log: cfg.Logger, reg: cfg.Registry, fault: cfg.Fault}
 	if s.maxBody <= 0 {
 		s.maxBody = MaxBodyBytes
 	}
@@ -84,8 +123,41 @@ func newService(cfg Config) *service {
 	if s.reg == nil {
 		s.reg = obs.NewRegistry()
 	}
+	s.limiter = resilience.NewLimiter(cfg.Limiter, s.reg)
+	s.rate = resilience.NewRateLimiter(cfg.RateLimit, s.reg)
+	s.jobs = resilience.NewJobs(cfg.Jobs, s.reg)
+	s.breakers = make(map[string]*resilience.Breaker)
+	for _, ep := range protectedEndpoints {
+		s.breakers[ep] = resilience.NewBreaker(ep, cfg.Breaker, s.reg)
+	}
 	return s
 }
+
+// protectedEndpoints are the expensive synchronous routes guarded by the
+// full admission stack (rate limit -> breaker -> limiter). Each gets its own
+// circuit breaker so a broken experiment cannot open the simulate circuit.
+var protectedEndpoints = []string{"/v1/simulate", "/v1/mrc", "/v1/experiments/{id}"}
+
+// Service is the HTTP service plus the background state (job workers) that
+// outlives individual requests. Close it on shutdown.
+type Service struct {
+	svc *service
+	h   http.Handler
+}
+
+// NewService builds the service for the given Config.
+func NewService(cfg Config) *Service {
+	s := newService(cfg)
+	return &Service{svc: s, h: s.handler()}
+}
+
+// Handler returns the root http.Handler.
+func (sv *Service) Handler() http.Handler { return sv.h }
+
+// Close stops the job workers, cancelling any running job (checkpoints are
+// retained in memory until the process exits, so tests can still inspect
+// them). Safe to call more than once.
+func (sv *Service) Close() { sv.svc.jobs.Close() }
 
 // New returns the service's http.Handler with default configuration.
 func New() http.Handler {
@@ -93,8 +165,10 @@ func New() http.Handler {
 }
 
 // NewWithConfig returns the service's http.Handler for the given Config.
+// Callers that use the async job API should prefer NewService so they can
+// Close the worker pool on shutdown.
 func NewWithConfig(cfg Config) http.Handler {
-	return newService(cfg).handler()
+	return NewService(cfg).Handler()
 }
 
 func (s *service) handler() http.Handler {
@@ -104,26 +178,137 @@ func (s *service) handler() http.Handler {
 	})
 	mux.Handle("GET /metrics", s.reg.Handler())
 	mux.HandleFunc("GET /v1/policies", s.handlePolicies)
-	mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
-	mux.HandleFunc("POST /v1/mrc", s.handleMRC)
-	mux.HandleFunc("POST /v1/experiments/{id}", s.handleExperiment)
+	mux.HandleFunc("POST /v1/simulate", s.protect("/v1/simulate", s.handleSimulate))
+	mux.HandleFunc("POST /v1/mrc", s.protect("/v1/mrc", s.handleMRC))
+	mux.HandleFunc("POST /v1/experiments/{id}", s.protect("/v1/experiments/{id}", s.handleExperiment))
 	mux.HandleFunc("POST /v1/fit", s.handleFit)
+	mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	mux.HandleFunc("POST /v1/jobs/{id}/resume", s.handleJobResume)
+	var inner http.Handler = mux
+	if s.fault != nil {
+		// Inside obs.Middleware's panic recovery, outside the per-route
+		// admission stack: an injected panic must exercise the real
+		// recovery path, not count as an endpoint failure. Only /v1/
+		// routes are faulted — /healthz and /metrics must stay reliable
+		// or a chaos drill blinds the very probes watching it.
+		faulted, clean := s.fault(inner), inner
+		inner = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if strings.HasPrefix(r.URL.Path, "/v1/") {
+				faulted.ServeHTTP(w, r)
+				return
+			}
+			clean.ServeHTTP(w, r)
+		})
+	}
 	mw := obs.Middleware{Reg: s.reg, Log: s.log, Route: routeLabel}
-	return mw.Wrap(mux)
+	return mw.Wrap(inner)
 }
 
 // routeLabel maps a request to a bounded-cardinality metrics label: the
-// mux patterns with the experiment id collapsed, everything else "other".
+// mux patterns with the experiment/job id collapsed, everything else
+// "other".
 func routeLabel(r *http.Request) string {
 	p := r.URL.Path
 	switch p {
-	case "/healthz", "/metrics", "/v1/policies", "/v1/simulate", "/v1/mrc", "/v1/fit":
+	case "/healthz", "/metrics", "/v1/policies", "/v1/simulate", "/v1/mrc", "/v1/fit", "/v1/jobs":
 		return p
 	}
 	if strings.HasPrefix(p, "/v1/experiments/") {
 		return "/v1/experiments/{id}"
 	}
+	if strings.HasPrefix(p, "/v1/jobs/") {
+		switch {
+		case strings.HasSuffix(p, "/result"):
+			return "/v1/jobs/{id}/result"
+		case strings.HasSuffix(p, "/resume"):
+			return "/v1/jobs/{id}/resume"
+		default:
+			return "/v1/jobs/{id}"
+		}
+	}
 	return "other"
+}
+
+// clientKey identifies the caller for rate limiting: the X-Client-ID header
+// when present (trusted deployments put a tenant id there), else the remote
+// host without the ephemeral port.
+func clientKey(r *http.Request) string {
+	if id := r.Header.Get("X-Client-ID"); id != "" {
+		return id
+	}
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		return host
+	}
+	return r.RemoteAddr
+}
+
+// statusWriter captures the status code so protect can classify the
+// response for the circuit breaker.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// protect wraps an expensive handler with the admission stack, outermost
+// first: per-client rate limit (429), the endpoint's circuit breaker (503),
+// then the server-wide concurrency limiter with its FIFO wait queue (503).
+// The handler's own 5xx responses — and panics, which propagate to the obs
+// recovery middleware — count as breaker failures; limiter sheds are
+// recorded as Ignored so overload cannot trip a healthy endpoint's circuit.
+func (s *service) protect(endpoint string, next http.HandlerFunc) http.HandlerFunc {
+	br := s.breakers[endpoint]
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.rate.Enabled() {
+			if err := s.rate.Allow(clientKey(r)); err != nil {
+				s.shedError(w, r, err)
+				return
+			}
+		}
+		call, err := br.Allow()
+		if err != nil {
+			s.shedError(w, r, err)
+			return
+		}
+		release, err := s.limiter.Acquire(r.Context())
+		if err != nil {
+			call.Record(resilience.Ignored, 0)
+			s.shedError(w, r, err)
+			return
+		}
+		defer release()
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		completed := false
+		defer func() {
+			// No recover: a panic still records a Failure here and then
+			// propagates to obs.Middleware's recovery, which owns the 500.
+			switch {
+			case !completed || sw.status >= http.StatusInternalServerError:
+				call.Record(resilience.Failure, time.Since(start))
+			default:
+				call.Record(resilience.Success, time.Since(start))
+			}
+		}()
+		next(sw, r)
+		completed = true
+	}
 }
 
 // FitRequest calibrates a convex SLA curve from (misses, penalty) samples.
@@ -273,7 +458,8 @@ func (s *service) handleSimulate(w http.ResponseWriter, r *http.Request) {
 				s.httpError(w, r, StatusClientClosedRequest, err)
 			case errors.Is(err, context.DeadlineExceeded):
 				s.reg.Counter("sim_deadline_total").Inc()
-				s.httpError(w, r, http.StatusServiceUnavailable, err)
+				s.writeError(w, r, http.StatusServiceUnavailable,
+					resilience.ReasonDeadline, time.Second, err)
 			default:
 				s.httpError(w, r, http.StatusInternalServerError, err)
 			}
@@ -459,10 +645,74 @@ func (s *service) writeJSON(w http.ResponseWriter, r *http.Request, status int, 
 	}
 }
 
-func (s *service) httpError(w http.ResponseWriter, r *http.Request, status int, err error) {
-	body := map[string]string{"error": err.Error()}
-	if rid := obs.RequestIDFrom(r.Context()); rid != "" {
-		body["request_id"] = rid
+// errorBody is the single JSON error envelope every rejection uses: a
+// human-readable message, a machine-readable reason, the request ID for log
+// correlation, and (for shed work only) the back-off hint mirrored from the
+// Retry-After header.
+type errorBody struct {
+	Error             string  `json:"error"`
+	Reason            string  `json:"reason,omitempty"`
+	RequestID         string  `json:"request_id,omitempty"`
+	RetryAfterSeconds float64 `json:"retry_after_seconds,omitempty"`
+}
+
+// writeError writes the envelope; retryAfter > 0 also sets the Retry-After
+// header (whole seconds, rounded up, never below 1).
+func (s *service) writeError(w http.ResponseWriter, r *http.Request, status int, reason string, retryAfter time.Duration, err error) {
+	body := errorBody{
+		Error:     err.Error(),
+		Reason:    reason,
+		RequestID: obs.RequestIDFrom(r.Context()),
+	}
+	if retryAfter > 0 {
+		secs := int((retryAfter + time.Second - 1) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		body.RetryAfterSeconds = retryAfter.Seconds()
 	}
 	s.writeJSON(w, r, status, body)
+}
+
+// shedError maps a resilience rejection onto the envelope: rate-limited
+// callers get 429, every other shed is 503, and the Shed's typed reason and
+// Retry-After hint flow straight through.
+func (s *service) shedError(w http.ResponseWriter, r *http.Request, err error) {
+	var sh *resilience.Shed
+	if !errors.As(err, &sh) {
+		s.writeError(w, r, http.StatusServiceUnavailable, "unavailable", 0, err)
+		return
+	}
+	status := http.StatusServiceUnavailable
+	if sh.Reason == resilience.ReasonRateLimited {
+		status = http.StatusTooManyRequests
+	}
+	s.writeError(w, r, status, sh.Reason, sh.RetryAfter, err)
+}
+
+// httpError is the legacy helper for non-shed failures; the reason is
+// derived from the status so every error response carries one.
+func (s *service) httpError(w http.ResponseWriter, r *http.Request, status int, err error) {
+	s.writeError(w, r, status, reasonForStatus(status), 0, err)
+}
+
+func reasonForStatus(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return "bad_request"
+	case http.StatusNotFound:
+		return "not_found"
+	case http.StatusConflict:
+		return "conflict"
+	case StatusClientClosedRequest:
+		return "client_closed_request"
+	case http.StatusServiceUnavailable:
+		return "unavailable"
+	default:
+		if status >= 500 {
+			return "internal"
+		}
+		return ""
+	}
 }

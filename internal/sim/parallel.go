@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+	"fmt"
 	"runtime"
 	"sync"
 
@@ -34,6 +36,17 @@ type JobResult struct {
 // RunAll executes the jobs on a bounded worker pool and returns results in
 // job order. workers <= 0 selects GOMAXPROCS.
 func RunAll(jobs []Job, workers int) []JobResult {
+	return RunAllContext(context.Background(), jobs, workers)
+}
+
+// RunAllContext is RunAll bounded by ctx. A panicking job (a buggy policy,
+// an injected fault) is recovered into its JobResult.Err instead of killing
+// the process, so one bad cell cannot take a whole experiment batch down.
+// Once ctx is done, in-flight jobs abort via RunContext and the remaining
+// undispatched jobs are returned unrun with ctx's cause as their error —
+// cancelling a failed batch stops the dispatch instead of burning CPU on
+// results nobody will read.
+func RunAllContext(ctx context.Context, jobs []Job, workers int) []JobResult {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -51,18 +64,51 @@ func RunAll(jobs []Job, workers int) []JobResult {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				job := jobs[i]
-				res, err := Run(job.Trace, job.Policy(), job.Config)
-				out[i] = JobResult{Label: job.Label, Result: res, Err: err}
+				out[i] = runJob(ctx, jobs[i])
 			}
 		}()
 	}
+	done := ctx.Done()
+dispatch:
 	for i := range jobs {
-		idx <- i
+		// Check cancellation before offering the index: a worker ready to
+		// receive would otherwise race the done branch and could keep
+		// draining a batch the caller has already abandoned.
+		cancelled := ctx.Err() != nil
+		if !cancelled {
+			select {
+			case idx <- i:
+				continue
+			case <-done:
+				cancelled = true
+			}
+		}
+		if cancelled {
+			for ; i < len(jobs); i++ {
+				out[i] = JobResult{
+					Label: jobs[i].Label,
+					Err:   fmt.Errorf("sim: job not run: %w", context.Cause(ctx)),
+				}
+			}
+			break dispatch
+		}
 	}
 	close(idx)
 	wg.Wait()
 	return out
+}
+
+// runJob executes one job, converting a panic into an error.
+func runJob(ctx context.Context, job Job) (jr JobResult) {
+	jr.Label = job.Label
+	defer func() {
+		if p := recover(); p != nil {
+			jr.Result = Result{}
+			jr.Err = fmt.Errorf("sim: job %q panicked: %v", job.Label, p)
+		}
+	}()
+	jr.Result, jr.Err = RunContext(ctx, job.Trace, job.Policy(), job.Config)
+	return jr
 }
 
 // WindowSeries collects per-window aggregate miss counts, used for the

@@ -1,0 +1,140 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"convexcache/internal/trace"
+)
+
+// loopTrace returns a single-tenant trace cycling over pages.
+func loopTrace(t *testing.T, n, pages int) *trace.Trace {
+	t.Helper()
+	b := trace.NewBuilder()
+	for i := 0; i < n; i++ {
+		b.Add(0, trace.PageID(i%pages))
+	}
+	tr, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// panicAtPolicy is an LRU-free stand-in that panics on its first insert.
+type panicAtPolicy struct{}
+
+func (panicAtPolicy) Name() string                                  { return "panic-at" }
+func (panicAtPolicy) OnHit(step int, r trace.Request)               {}
+func (panicAtPolicy) OnInsert(step int, r trace.Request)            { panic("boom at insert") }
+func (panicAtPolicy) Victim(step int, r trace.Request) trace.PageID { return -1 }
+func (panicAtPolicy) OnEvict(step int, p trace.PageID)              {}
+func (panicAtPolicy) Reset()                                        {}
+
+// fifoPolicy is a minimal well-behaved policy for the happy path.
+type fifoPolicy struct{ order []trace.PageID }
+
+func (f *fifoPolicy) Name() string                    { return "fifo-test" }
+func (f *fifoPolicy) OnHit(step int, r trace.Request) {}
+func (f *fifoPolicy) OnInsert(step int, r trace.Request) {
+	f.order = append(f.order, r.Page)
+}
+func (f *fifoPolicy) Victim(step int, r trace.Request) trace.PageID { return f.order[0] }
+func (f *fifoPolicy) OnEvict(step int, p trace.PageID) {
+	for i, q := range f.order {
+		if q == p {
+			f.order = append(f.order[:i], f.order[i+1:]...)
+			return
+		}
+	}
+}
+func (f *fifoPolicy) Reset() { f.order = nil }
+
+func TestRunAllRecoversWorkerPanic(t *testing.T) {
+	tr := loopTrace(t, 64, 16)
+	jobs := []Job{
+		{Label: "bad", Trace: tr, Policy: func() Policy { return panicAtPolicy{} }, Config: Config{K: 8}},
+		{Label: "good", Trace: tr, Policy: func() Policy { return &fifoPolicy{} }, Config: Config{K: 16}},
+	}
+	out := RunAll(jobs, 2)
+	if out[0].Err == nil || !strings.Contains(out[0].Err.Error(), `job "bad" panicked`) {
+		t.Fatalf("bad job err = %v, want recovered panic", out[0].Err)
+	}
+	if out[1].Err != nil {
+		t.Fatalf("good job err = %v", out[1].Err)
+	}
+	if out[1].Result.Hits == 0 {
+		t.Fatal("good job produced no hits; recovery must not disturb other jobs")
+	}
+}
+
+func TestRunAllContextPreCancelledRunsNothing(t *testing.T) {
+	tr := loopTrace(t, 64, 16)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	var started atomic.Int64
+	jobs := make([]Job, 4)
+	for i := range jobs {
+		jobs[i] = Job{
+			Label: "j",
+			Trace: tr,
+			Policy: func() Policy {
+				started.Add(1)
+				return &fifoPolicy{}
+			},
+			Config: Config{K: 8},
+		}
+	}
+	out := RunAllContext(ctx, jobs, 2)
+	if got := started.Load(); got != 0 {
+		t.Fatalf("%d jobs started on a pre-cancelled batch, want 0", got)
+	}
+	for i, jr := range out {
+		if !errors.Is(jr.Err, context.Canceled) {
+			t.Fatalf("job %d err = %v, want context.Canceled", i, jr.Err)
+		}
+	}
+}
+
+func TestRunAllContextStopsDispatch(t *testing.T) {
+	tr := loopTrace(t, 64, 16)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var started atomic.Int64
+	const n = 64
+	jobs := make([]Job, n)
+	for i := range jobs {
+		first := i == 0
+		jobs[i] = Job{
+			Label: "j",
+			Trace: tr,
+			Policy: func() Policy {
+				started.Add(1)
+				if first {
+					cancel() // the first job fails the batch
+				}
+				return &fifoPolicy{}
+			},
+			Config: Config{K: 8},
+		}
+	}
+	out := RunAllContext(ctx, jobs, 1)
+
+	var notRun int
+	for _, jr := range out {
+		if jr.Err != nil && errors.Is(jr.Err, context.Canceled) {
+			notRun++
+		}
+	}
+	if notRun == 0 {
+		t.Fatalf("no job reported the cancellation: %+v", out)
+	}
+	if got := started.Load(); got >= n {
+		t.Fatalf("all %d jobs started despite cancellation", got)
+	}
+}
