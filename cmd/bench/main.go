@@ -26,9 +26,9 @@ import (
 	"convexcache/internal/costfn"
 	"convexcache/internal/experiments"
 	"convexcache/internal/policy"
+	"convexcache/internal/runspec"
 	"convexcache/internal/sim"
 	"convexcache/internal/trace"
-	"convexcache/internal/workload"
 )
 
 // Result is one benchmark's measurements.
@@ -105,17 +105,17 @@ func main() {
 }
 
 // benchTrace mirrors the E10 workload of bench_test.go: a 4-tenant Zipf mix
-// over 4096-page universes, 200k requests.
+// over 4096-page universes, 200k requests. The per-tenant seeds are pinned
+// to the historical i+1 so the workload is bit-identical across reports.
 func benchTrace(tenants int, pagesPer int64, length int) *trace.Trace {
-	streams := make([]workload.TenantStream, tenants)
-	for i := range streams {
-		z, err := workload.NewZipf(int64(i+1), pagesPer, 0.9)
-		if err != nil {
-			fatal(err)
-		}
-		streams[i] = workload.TenantStream{Tenant: trace.Tenant(i), Stream: z, Rate: 1}
+	w := &runspec.WorkloadSpec{Length: length, Seed: 42}
+	for i := 0; i < tenants; i++ {
+		seed := int64(i + 1)
+		w.Tenants = append(w.Tenants, runspec.TenantSpec{
+			Stream: fmt.Sprintf("zipf:%d,0.9", pagesPer), Seed: &seed,
+		})
 	}
-	tr, err := workload.Mix(42, streams, length)
+	tr, err := (&runspec.Scenario{Trace: runspec.TraceSpec{Workload: w}}).BuildTrace()
 	if err != nil {
 		fatal(err)
 	}
@@ -162,7 +162,7 @@ func throughputSuite() []Result {
 				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					p := e.mk()
-					if _, err := sim.Run(tr, p, sim.Config{K: k}); err != nil {
+					if _, err := runspec.Run(tr, p, k); err != nil {
 						b.Fatal(err)
 					}
 				}

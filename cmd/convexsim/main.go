@@ -1,29 +1,33 @@
 // Command convexsim replays a trace through one or more eviction policies
 // and reports per-tenant misses and convex costs.
 //
-// Cost functions are given per tenant with repeated -cost flags using the
-// costfn.Parse syntax (e.g. -cost monomial:1,2 -cost linear:3). Tenants
-// beyond the provided list default to linear:1.
+// Runs are described by the shared run-spec layer (internal/runspec): pass
+// a full scenario file with -scenario, or assemble one from the classic
+// flags. Cost functions are given per tenant with repeated -cost flags
+// using the costfn.Parse syntax (e.g. -cost monomial:1,2 -cost linear:3).
+// Tenants beyond the provided list default to linear:1.
 //
 // Usage:
 //
 //	convexsim -trace t.txt -k 64 -policy alg,lru,greedy-dual \
 //	          -cost monomial:1,2 -cost linear:1
+//	convexsim -scenario scenario.json
 //
-// "alg" is the paper's algorithm (Fast implementation); the remaining names
-// come from internal/policy (lru, fifo, lfu, random, marking, lru2,
-// greedy-dual, static-partition, belady, belady-cost).
+// "alg" is the paper's algorithm (Fast implementation), "alg-ref" the
+// Figure-3 reference; the remaining names come from internal/policy (lru,
+// fifo, lfu, random, marking, lru2, greedy-dual, static-partition, belady,
+// belady-cost).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
-	"convexcache/internal/core"
-	"convexcache/internal/costfn"
-	"convexcache/internal/policy"
+	"convexcache/internal/runspec"
 	"convexcache/internal/sim"
 	"convexcache/internal/stats"
 	"convexcache/internal/trace"
@@ -38,111 +42,110 @@ func (c *costFlags) Set(v string) error {
 }
 
 func main() {
-	tracePath := flag.String("trace", "", "trace file (text format); '-' for stdin")
-	k := flag.Int("k", 64, "cache size in pages")
-	policies := flag.String("policy", "alg,lru", "comma-separated policy list")
-	var costSpecs costFlags
-	flag.Var(&costSpecs, "cost", "per-tenant cost function spec (repeatable)")
-	seed := flag.Int64("seed", 1, "seed for randomized policies")
-	discreteDeriv := flag.Bool("discrete-deriv", false, "use finite differences in the algorithm (arbitrary cost functions)")
-	countMisses := flag.Bool("count-misses", false, "drive the algorithm by fetch counts instead of eviction counts")
-	flush := flag.Bool("flush", false, "append the paper's dummy-tenant flush so eviction counts equal miss counts")
-	metrics := flag.Bool("metrics", false, "print eviction-age and occupancy metrics per policy")
-	blockCSV := flag.Bool("block-csv", false, "parse the trace as MSR-style block-I/O CSV instead of the native formats")
-	pageBytes := flag.Int64("page-bytes", 4096, "page size for -block-csv")
-	flag.Parse()
-
-	if *tracePath == "" {
-		fatal(fmt.Errorf("-trace is required"))
-	}
-	var in *os.File
-	if *tracePath == "-" {
-		in = os.Stdin
-	} else {
-		f, err := os.Open(*tracePath)
-		if err != nil {
-			fatal(err)
-		}
-		defer f.Close()
-		in = f
-	}
-	var tr *trace.Trace
-	var err error
-	if *blockCSV {
-		tr, err = trace.ReadBlockCSV(in, trace.CSVOptions{PageBytes: *pageBytes})
-	} else {
-		tr, err = trace.ReadAuto(in)
-	}
-	if err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fatal(err)
 	}
-	realTenants := tr.NumTenants()
-	if *flush {
-		flushed, dummy, err := trace.WithFlush(tr, *k)
-		if err != nil {
-			fatal(err)
-		}
-		tr = flushed
-		_ = dummy
-	}
-	costs := make([]costfn.Func, tr.NumTenants())
-	for i := range costs {
-		switch {
-		case i < len(costSpecs):
-			f, err := costfn.Parse(costSpecs[i])
-			if err != nil {
-				fatal(err)
-			}
-			costs[i] = f
-		case i >= realTenants:
-			costs[i] = core.FlushCost() // dummy flush tenant
-		default:
-			costs[i] = costfn.Linear{W: 1}
-		}
-	}
-	opt := core.Options{Costs: costs, UseDiscreteDeriv: *discreteDeriv, CountMisses: *countMisses}
-	spec := policy.Spec{K: *k, Tenants: tr.NumTenants(), Costs: costs, Seed: *seed}
+}
 
-	tb := stats.NewTable(fmt.Sprintf("convexsim: T=%d tenants=%d k=%d", tr.Len(), tr.NumTenants(), *k),
+// run is main behind a testable seam: the scenario-golden tests drive it
+// with testdata arguments and capture stdout.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("convexsim", flag.ContinueOnError)
+	scenarioPath := fs.String("scenario", "", "run-spec scenario file (JSON); overrides the flags below")
+	tracePath := fs.String("trace", "", "trace file (text format); '-' for stdin")
+	k := fs.Int("k", 64, "cache size in pages")
+	policies := fs.String("policy", "alg,lru", "comma-separated policy list")
+	var costSpecs costFlags
+	fs.Var(&costSpecs, "cost", "per-tenant cost function spec (repeatable)")
+	seed := fs.Int64("seed", 1, "seed for randomized policies")
+	discreteDeriv := fs.Bool("discrete-deriv", false, "use finite differences in the algorithm (arbitrary cost functions)")
+	countMisses := fs.Bool("count-misses", false, "drive the algorithm by fetch counts instead of eviction counts")
+	flush := fs.Bool("flush", false, "append the paper's dummy-tenant flush so eviction counts equal miss counts")
+	metrics := fs.Bool("metrics", false, "print eviction-age and occupancy metrics per policy")
+	blockCSV := fs.Bool("block-csv", false, "parse the trace as MSR-style block-I/O CSV instead of the native formats")
+	pageBytes := fs.Int64("page-bytes", 4096, "page size for -block-csv")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var sc *runspec.Scenario
+	if *scenarioPath != "" {
+		var err error
+		if sc, err = runspec.ParseScenarioFile(*scenarioPath); err != nil {
+			return err
+		}
+	} else {
+		if *tracePath == "" {
+			return fmt.Errorf("-trace or -scenario is required")
+		}
+		sc = &runspec.Scenario{
+			Trace: runspec.TraceSpec{File: *tracePath},
+			Costs: costSpecs,
+			K:     *k,
+			Seed:  *seed,
+			Flush: *flush,
+		}
+		if *blockCSV {
+			sc.Trace.Format = "block-csv"
+			sc.Trace.PageBytes = *pageBytes
+		}
+		for _, name := range strings.Split(*policies, ",") {
+			ps := runspec.PolicySpec{Name: strings.TrimSpace(name)}
+			if ps.Name == "alg" || ps.Name == "alg-ref" {
+				ps.DiscreteDeriv = *discreteDeriv
+				ps.CountMisses = *countMisses
+			}
+			sc.Policies = append(sc.Policies, ps)
+		}
+	}
+
+	var collectors map[string]*sim.Collector
+	if *metrics {
+		collectors = make(map[string]*sim.Collector)
+		sc.RowObserver = func(policy string, k int, tr *trace.Trace) sim.Observer {
+			c := sim.NewCollector(tr.NumTenants(), max(tr.Len()/20, 1))
+			collectors[fmt.Sprintf("%s@%d", policy, k)] = c
+			return c.Observe
+		}
+	}
+
+	out, err := sc.Execute(context.Background())
+	if err != nil {
+		return err
+	}
+	tb := stats.NewTable(
+		fmt.Sprintf("convexsim: T=%d tenants=%d k=%d", out.Trace.Len(), out.Trace.NumTenants(), firstK(sc)),
 		"policy", "hits", "misses", "evictions", "total cost", "per-tenant misses")
-	for _, name := range strings.Split(*policies, ",") {
-		name = strings.TrimSpace(name)
-		var p sim.Policy
-		if name == "alg" {
-			p = core.NewFast(opt)
-		} else {
-			var err error
-			p, err = policy.New(name, spec)
-			if err != nil {
-				fatal(err)
+	for _, row := range out.Rows {
+		if row.Err != nil {
+			return row.Err
+		}
+		if c := collectors[fmt.Sprintf("%s@%d", row.Policy, row.K)]; c != nil {
+			if ages, err := c.EvictionAges(); err == nil {
+				fmt.Fprintf(stdout, "%s: eviction age mean=%.1f median=%.1f max=%.0f; occupancy=%v\n",
+					row.Policy, ages.Mean, ages.Median, ages.Max, fmtShares(c.AvgOccupancy()))
 			}
 		}
-		var collector *sim.Collector
-		cfg := sim.Config{K: *k}
-		if *metrics {
-			collector = sim.NewCollector(tr.NumTenants(), max(tr.Len()/20, 1))
-			cfg.Observer = collector.Observe
-		}
-		res, err := sim.Run(tr, p, cfg)
-		if err != nil {
-			fatal(err)
-		}
-		if collector != nil {
-			if ages, err := collector.EvictionAges(); err == nil {
-				fmt.Printf("%s: eviction age mean=%.1f median=%.1f max=%.0f; occupancy=%v\n",
-					name, ages.Mean, ages.Median, ages.Max, fmtShares(collector.AvgOccupancy()))
-			}
-		}
-		perTenant := make([]string, len(res.Misses))
-		for i, m := range res.Misses {
+		perTenant := make([]string, len(row.Result.Misses))
+		for i, m := range row.Result.Misses {
 			perTenant[i] = fmt.Sprintf("%d", m)
 		}
-		tb.AddRow(name, res.Hits, res.TotalMisses(), res.TotalEvictions(),
-			res.Cost(costs[:realTenants]), strings.Join(perTenant, "/"))
+		label := row.Policy
+		if len(sc.KSweep) > 0 {
+			label = fmt.Sprintf("%s@k=%d", row.Policy, row.K)
+		}
+		tb.AddRow(label, row.Result.Hits, row.Result.TotalMisses(), row.Result.TotalEvictions(),
+			row.Cost, strings.Join(perTenant, "/"))
 	}
-	if err := tb.WriteMarkdown(os.Stdout); err != nil {
-		fatal(err)
+	return tb.WriteMarkdown(stdout)
+}
+
+// firstK labels the table header: the single k, or the first sweep entry.
+func firstK(sc *runspec.Scenario) int {
+	if len(sc.KSweep) > 0 {
+		return sc.KSweep[0]
 	}
+	return sc.K
 }
 
 // fmtShares renders occupancy fractions compactly.

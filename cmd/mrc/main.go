@@ -16,9 +16,8 @@ import (
 	"strings"
 
 	"convexcache/internal/analysis"
-	"convexcache/internal/costfn"
+	"convexcache/internal/runspec"
 	"convexcache/internal/stats"
-	"convexcache/internal/trace"
 )
 
 type costFlags []string
@@ -41,16 +40,7 @@ func main() {
 	if *tracePath == "" {
 		fatal(fmt.Errorf("-trace is required"))
 	}
-	in := os.Stdin
-	if *tracePath != "-" {
-		f, err := os.Open(*tracePath)
-		if err != nil {
-			fatal(err)
-		}
-		defer f.Close()
-		in = f
-	}
-	tr, err := trace.ReadAuto(in)
+	tr, err := (&runspec.Scenario{Trace: runspec.TraceSpec{File: *tracePath}}).BuildTrace()
 	if err != nil {
 		fatal(err)
 	}
@@ -83,17 +73,9 @@ func main() {
 	}
 
 	if *k > 0 {
-		costs := make([]costfn.Func, tr.NumTenants())
-		for i := range costs {
-			if i < len(costSpecs) {
-				f, err := costfn.Parse(costSpecs[i])
-				if err != nil {
-					fatal(err)
-				}
-				costs[i] = f
-			} else {
-				costs[i] = costfn.Linear{W: 1}
-			}
+		costs, err := runspec.Costs(costSpecs, tr.NumTenants())
+		if err != nil {
+			fatal(err)
 		}
 		quotas, cost, err := analysis.OptimalStaticPartition(perTenant, costs, *k)
 		if err != nil {

@@ -11,7 +11,9 @@
 //	markov:N,P,J      random walk over N pages, stay prob P, jump radius J
 //	db:H,S,P,L        DB tenant: H heap pages, key skew S, scan prob P, scan len L
 //
-// and RATE (default 1) is the tenant's relative request rate.
+// and RATE (default 1) is the tenant's relative request rate. The spec
+// syntax is the run-spec layer's workload syntax (workload.ParseStream), so
+// a tenant list tried here drops verbatim into a scenario file.
 //
 // Usage:
 //
@@ -22,11 +24,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
 	"strings"
 
+	"convexcache/internal/runspec"
 	"convexcache/internal/trace"
-	"convexcache/internal/workload"
 )
 
 type tenantFlags []string
@@ -50,17 +51,11 @@ func main() {
 	if len(tenants) == 0 {
 		fatal(fmt.Errorf("at least one -tenant spec is required"))
 	}
-	streams := make([]workload.TenantStream, 0, len(tenants))
-	for i, spec := range tenants {
-		s, rate, err := parseStream(spec, *seed+int64(i)*1001)
-		if err != nil {
-			fatal(err)
-		}
-		streams = append(streams, workload.TenantStream{
-			Tenant: trace.Tenant(i), Stream: s, Rate: rate,
-		})
+	w := &runspec.WorkloadSpec{Length: *length, Seed: *seed}
+	for _, spec := range tenants {
+		w.Tenants = append(w.Tenants, runspec.TenantSpec{Stream: spec})
 	}
-	tr, err := workload.Mix(*seed, streams, *length)
+	tr, err := (&runspec.Scenario{Trace: runspec.TraceSpec{Workload: w}}).BuildTrace()
 	if err != nil {
 		fatal(err)
 	}
@@ -70,127 +65,21 @@ func main() {
 	if *statsOnly {
 		return
 	}
-	w := os.Stdout
+	f := os.Stdout
 	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
+		var err error
+		if f, err = os.Create(*out); err != nil {
 			fatal(err)
 		}
 		defer f.Close()
-		w = f
 	}
 	if *binaryOut {
-		err = trace.WriteBinary(w, tr)
+		err = trace.WriteBinary(f, tr)
 	} else {
-		err = trace.Write(w, tr)
+		err = trace.Write(f, tr)
 	}
 	if err != nil {
 		fatal(err)
-	}
-}
-
-// parseStream builds one stream from KIND:PARAMS[:RATE].
-func parseStream(spec string, seed int64) (workload.Stream, float64, error) {
-	parts := strings.Split(spec, ":")
-	if len(parts) < 2 || len(parts) > 3 {
-		return nil, 0, fmt.Errorf("tracegen: bad spec %q, want KIND:PARAMS[:RATE]", spec)
-	}
-	rate := 1.0
-	if len(parts) == 3 {
-		r, err := strconv.ParseFloat(parts[2], 64)
-		if err != nil || r <= 0 {
-			return nil, 0, fmt.Errorf("tracegen: bad rate in %q", spec)
-		}
-		rate = r
-	}
-	nums := strings.Split(parts[1], ",")
-	arg := func(i int) (float64, error) {
-		if i >= len(nums) {
-			return 0, fmt.Errorf("tracegen: spec %q missing parameter %d", spec, i+1)
-		}
-		return strconv.ParseFloat(nums[i], 64)
-	}
-	switch parts[0] {
-	case "zipf":
-		n, err := arg(0)
-		if err != nil {
-			return nil, 0, err
-		}
-		s, err := arg(1)
-		if err != nil {
-			return nil, 0, err
-		}
-		st, err := workload.NewZipf(seed, int64(n), s)
-		return st, rate, err
-	case "uniform":
-		n, err := arg(0)
-		if err != nil {
-			return nil, 0, err
-		}
-		st, err := workload.NewUniform(seed, int64(n))
-		return st, rate, err
-	case "scan":
-		n, err := arg(0)
-		if err != nil {
-			return nil, 0, err
-		}
-		st, err := workload.NewScan(int64(n))
-		return st, rate, err
-	case "hotset":
-		n, err := arg(0)
-		if err != nil {
-			return nil, 0, err
-		}
-		h, err := arg(1)
-		if err != nil {
-			return nil, 0, err
-		}
-		p, err := arg(2)
-		if err != nil {
-			return nil, 0, err
-		}
-		l, err := arg(3)
-		if err != nil {
-			return nil, 0, err
-		}
-		st, err := workload.NewHotSet(seed, int64(n), int64(h), p, int64(l))
-		return st, rate, err
-	case "db":
-		h, err := arg(0)
-		if err != nil {
-			return nil, 0, err
-		}
-		sk, err := arg(1)
-		if err != nil {
-			return nil, 0, err
-		}
-		sp, err := arg(2)
-		if err != nil {
-			return nil, 0, err
-		}
-		sl, err := arg(3)
-		if err != nil {
-			return nil, 0, err
-		}
-		st, err := workload.NewDB(seed, int64(h), sk, sp, int64(sl))
-		return st, rate, err
-	case "markov":
-		n, err := arg(0)
-		if err != nil {
-			return nil, 0, err
-		}
-		p, err := arg(1)
-		if err != nil {
-			return nil, 0, err
-		}
-		j, err := arg(2)
-		if err != nil {
-			return nil, 0, err
-		}
-		st, err := workload.NewMarkov(seed, int64(n), p, int64(j))
-		return st, rate, err
-	default:
-		return nil, 0, fmt.Errorf("tracegen: unknown stream kind %q", parts[0])
 	}
 }
 

@@ -1,52 +1,65 @@
 package main
 
-import "testing"
+import (
+	"testing"
 
-func TestParseStreamValid(t *testing.T) {
-	cases := []struct {
-		spec     string
-		pages    int64
-		wantRate float64
-	}{
-		{"zipf:100,1.0", 100, 1},
-		{"zipf:100,0.5:2.5", 100, 2.5},
-		{"uniform:64", 64, 1},
-		{"scan:10:3", 10, 3},
-		{"hotset:100,5,0.9,50", 100, 1},
-		{"markov:40,0.8,2", 40, 1},
+	"convexcache/internal/runspec"
+)
+
+// buildFor assembles the workload exactly the way main does.
+func buildFor(t *testing.T, specs []string, length int, seed int64) *runspec.Scenario {
+	t.Helper()
+	w := &runspec.WorkloadSpec{Length: length, Seed: seed}
+	for _, spec := range specs {
+		w.Tenants = append(w.Tenants, runspec.TenantSpec{Stream: spec})
 	}
-	for _, tc := range cases {
-		s, rate, err := parseStream(tc.spec, 1)
-		if err != nil {
-			t.Errorf("parseStream(%q): %v", tc.spec, err)
-			continue
+	return &runspec.Scenario{Trace: runspec.TraceSpec{Workload: w}}
+}
+
+// TestGenerateDeterministic pins the tracegen contract after the move onto
+// the run-spec layer: same specs + seed produce the identical trace, and a
+// different seed a different one.
+func TestGenerateDeterministic(t *testing.T) {
+	specs := []string{"zipf:100,1.0", "scan:50:2", "hotset:100,5,0.9,50"}
+	a, err := buildFor(t, specs, 4000, 7).BuildTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := buildFor(t, specs, 4000, 7).BuildTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != 4000 || a.NumTenants() != 3 {
+		t.Fatalf("trace shape: len=%d tenants=%d", a.Len(), a.NumTenants())
+	}
+	for i := 0; i < a.Len(); i++ {
+		if a.At(i) != b.At(i) {
+			t.Fatalf("step %d differs across identical builds: %v vs %v", i, a.At(i), b.At(i))
 		}
-		if s.Pages() != tc.pages {
-			t.Errorf("parseStream(%q): pages = %d, want %d", tc.spec, s.Pages(), tc.pages)
+	}
+	c, err := buildFor(t, specs, 4000, 8).BuildTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := 0; i < a.Len(); i++ {
+		if a.At(i) != c.At(i) {
+			same = false
+			break
 		}
-		if rate != tc.wantRate {
-			t.Errorf("parseStream(%q): rate = %g, want %g", tc.spec, rate, tc.wantRate)
-		}
+	}
+	if same {
+		t.Fatal("different seeds produced an identical trace")
 	}
 }
 
-func TestParseStreamInvalid(t *testing.T) {
-	bad := []string{
-		"",
-		"zipf",          // no params
-		"zipf:100",      // missing exponent
-		"zipf:100,1:0",  // zero rate
-		"zipf:100,1:x",  // bad rate
-		"zipf:0,1",      // zero pages
-		"scan:abc",      // non-numeric
-		"hotset:100,5",  // missing params
-		"markov:40,2,1", // stay > 1
-		"bogus:1,2",     // unknown kind
-		"zipf:1,2:3:4",  // too many colons
-	}
+// TestBadSpecsRejected keeps CLI error behavior: a bad spec must surface
+// from BuildTrace (the grammar itself is tested in internal/workload).
+func TestBadSpecsRejected(t *testing.T) {
+	bad := []string{"", "zipf", "zipf:100", "zipf:100,1:0", "bogus:1,2", "zipf:1,2:3:4"}
 	for _, spec := range bad {
-		if _, _, err := parseStream(spec, 1); err == nil {
-			t.Errorf("parseStream(%q) unexpectedly succeeded", spec)
+		if _, err := buildFor(t, []string{spec}, 100, 1).BuildTrace(); err == nil {
+			t.Errorf("spec %q unexpectedly accepted", spec)
 		}
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"convexcache/internal/core"
 	"convexcache/internal/costfn"
 	"convexcache/internal/policy"
+	"convexcache/internal/runspec"
 	"convexcache/internal/sim"
 	"convexcache/internal/workload"
 )
@@ -44,7 +45,7 @@ func main() {
 		{"lru", policy.NewLRU()},
 		{"marking", policy.NewMarking()},
 	} {
-		res, tr, err := sim.RunInteractive(adv, steps, entry.p, sim.Config{K: k})
+		res, tr, err := runspec.Interactive(adv, steps, entry.p, k)
 		if err != nil {
 			log.Fatal(err)
 		}

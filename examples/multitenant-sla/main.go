@@ -4,74 +4,71 @@
 // against the cost-oblivious baselines, and verifies the Theorem 1.1 style
 // bound against a certified lower bound from the convex-program dual.
 //
+// The whole comparison is one declarative runspec.Scenario: workload,
+// SLA cost curves, cache size and policy list in a single value that could
+// as well be a JSON file fed to convexsim -scenario.
+//
 //	go run ./examples/multitenant-sla
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"convexcache/internal/core"
-	"convexcache/internal/costfn"
-	"convexcache/internal/policy"
-	"convexcache/internal/sim"
-	"convexcache/internal/trace"
-	"convexcache/internal/workload"
+	"convexcache/internal/runspec"
 )
 
 func main() {
 	// SLA shapes: within tolerance a miss is nearly free; beyond it the
-	// refund slope jumps (premium tenants jump hardest).
-	mustSLA := func(m0, cheap, steep float64) costfn.Func {
-		f, err := costfn.SLARefund(m0, cheap, steep)
-		if err != nil {
-			log.Fatal(err)
-		}
-		return f
-	}
-	costs := []costfn.Func{
-		mustSLA(150, 0.05, 25), // premium
-		mustSLA(600, 0.05, 6),  // standard
-		mustSLA(2000, 0.02, 1), // economy
-		costfn.Linear{W: 0.02}, // best effort
+	// refund slope jumps (premium tenants jump hardest). Skewed Zipf mixes
+	// with imbalanced rates; the stream seeds are pinned for repeatability.
+	seeds := []int64{10, 11, 12, 13}
+	sc := runspec.Scenario{
+		Trace: runspec.TraceSpec{Workload: &runspec.WorkloadSpec{
+			Tenants: []runspec.TenantSpec{
+				{Stream: "zipf:300,1.0:1", Seed: &seeds[0]},
+				{Stream: "zipf:300,0.9:2", Seed: &seeds[1]},
+				{Stream: "zipf:300,0.8:3", Seed: &seeds[2]},
+				{Stream: "zipf:300,0.6:4", Seed: &seeds[3]},
+			},
+			Length: 40000,
+			Seed:   99,
+		}},
+		Policies: []runspec.PolicySpec{
+			{Name: "alg", DiscreteDeriv: true, CountMisses: true},
+			{Name: "lru"},
+			{Name: "lfu"},
+			{Name: "static-partition"},
+			{Name: "belady-cost"},
+		},
+		Costs: []string{
+			"sla:150,0.05,25", // premium
+			"sla:600,0.05,6",  // standard
+			"sla:2000,0.02,1", // economy
+			"linear:0.02",     // best effort
+		},
+		K: 180,
 	}
 
-	// Skewed Zipf mixes with imbalanced rates.
-	streams := make([]workload.TenantStream, 4)
-	for i := range streams {
-		z, err := workload.NewZipf(int64(10+i), 300, []float64{1.0, 0.9, 0.8, 0.6}[i])
-		if err != nil {
-			log.Fatal(err)
-		}
-		streams[i] = workload.TenantStream{
-			Tenant: trace.Tenant(i),
-			Stream: z,
-			Rate:   []float64{1, 2, 3, 4}[i],
-		}
-	}
-	tr, err := workload.Mix(99, streams, 40000)
+	out, err := sc.Execute(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
-	const k = 180
-
-	fmt.Printf("4 tenants, %d requests, cache %d pages\n", tr.Len(), k)
+	fmt.Printf("4 tenants, %d requests, cache %d pages\n", out.Trace.Len(), sc.K)
 	fmt.Printf("%-18s %12s   %s\n", "policy", "total refund", "per-tenant misses")
-	run := func(name string, p sim.Policy) float64 {
-		res, err := sim.Run(tr, p, sim.Config{K: k})
-		if err != nil {
-			log.Fatal(err)
+	byName := map[string]float64{}
+	for _, row := range out.Rows {
+		if row.Err != nil {
+			log.Fatal(row.Err)
 		}
-		c := res.Cost(costs)
-		fmt.Printf("%-18s %12.1f   %v\n", name, c, res.Misses)
-		return c
+		label := row.Policy
+		if label == "belady-cost" {
+			label += "*" // offline reference
+		}
+		fmt.Printf("%-18s %12.1f   %v\n", label, row.Cost, row.Result.Misses)
+		byName[row.Policy] = row.Cost
 	}
-	algOpt := core.Options{Costs: costs, UseDiscreteDeriv: true, CountMisses: true}
-	algCost := run("alg-discrete", core.NewFast(algOpt))
-	lruCost := run("lru", policy.NewLRU())
-	run("lfu", policy.NewLFU())
-	run("static-partition", policy.NewStaticPartition(policy.EvenQuotas(k, 4)))
-	run("belady-cost*", policy.NewCostAwareBelady(costs))
 	fmt.Printf("\n(*offline reference)\ncost-aware saves %.1f%% of the refund vs LRU\n",
-		100*(1-algCost/lruCost))
+		100*(1-byName["alg"]/byName["lru"]))
 }

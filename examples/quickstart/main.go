@@ -1,76 +1,74 @@
 // Quickstart: run the paper's convex-cost caching algorithm on a two-tenant
-// workload and compare it with LRU.
+// workload and compare it with LRU, using the declarative run-spec layer —
+// the same Scenario type the CLIs and the HTTP API execute.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"convexcache/internal/core"
-	"convexcache/internal/costfn"
 	"convexcache/internal/policy"
+	"convexcache/internal/runspec"
 	"convexcache/internal/sim"
-	"convexcache/internal/workload"
 )
 
 func main() {
-	// Tenant 0 pays quadratically for misses (each extra miss hurts more);
-	// tenant 1 pays a small flat price per miss.
-	costs := []costfn.Func{
-		costfn.Monomial{C: 1, Beta: 2},
-		costfn.Linear{W: 0.1},
+	// Tenant 0 re-reads a skewed working set and pays quadratically for
+	// misses (each extra miss hurts more); tenant 1 floods with a uniform
+	// scan over many pages and pays a small flat price per miss. The whole
+	// run is one declarative scenario.
+	seed0, seed1 := int64(1), int64(2)
+	sc := runspec.Scenario{
+		Trace: runspec.TraceSpec{Workload: &runspec.WorkloadSpec{
+			Tenants: []runspec.TenantSpec{
+				{Stream: "zipf:50,1.1", Seed: &seed0},
+				{Stream: "uniform:2000:3", Seed: &seed1},
+			},
+			Length: 20000,
+			Seed:   3,
+		}},
+		Policies: []runspec.PolicySpec{{Name: "alg"}, {Name: "lru"}, {Name: "greedy-dual"}},
+		Costs:    []string{"monomial:1,2", "linear:0.1"},
+		K:        64,
+	}
+	// The hook swaps in a custom policy instance — here greedy-dual with
+	// explicit per-tenant weights instead of the registry default.
+	sc.PolicyHook = func(name string) sim.Policy {
+		if name == "greedy-dual" {
+			return policy.NewGreedyDual([]float64{1, 0.1})
+		}
+		return nil
 	}
 
-	// Tenant 0 re-reads a skewed working set; tenant 1 floods with a
-	// uniform scan over many pages.
-	hot, err := workload.NewZipf(1, 50, 1.1)
+	out, err := sc.Execute(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
-	flood, err := workload.NewUniform(2, 2000)
-	if err != nil {
-		log.Fatal(err)
-	}
-	tr, err := workload.Mix(3, []workload.TenantStream{
-		{Tenant: 0, Stream: hot, Rate: 1},
-		{Tenant: 1, Stream: flood, Rate: 3},
-	}, 20000)
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	const k = 64
-	run := func(name string, p sim.Policy) {
-		res, err := sim.Run(tr, p, sim.Config{K: k})
-		if err != nil {
-			log.Fatal(err)
+	fmt.Printf("shared cache of %d pages, %d requests, 2 tenants\n\n", sc.K, out.Trace.Len())
+	for _, row := range out.Rows {
+		if row.Err != nil {
+			log.Fatal(row.Err)
 		}
 		fmt.Printf("%-14s misses per tenant = %v  total convex cost = %.1f\n",
-			name, res.Misses, res.Cost(costs))
+			row.Policy, row.Result.Misses, row.Cost)
 	}
-
-	fmt.Printf("shared cache of %d pages, %d requests, 2 tenants\n\n", k, tr.Len())
-	run("alg-discrete", core.NewFast(core.Options{Costs: costs}))
-	run("lru", policy.NewLRU())
-	run("greedy-dual", policy.NewGreedyDual([]float64{1, 0.1}))
 
 	// The same algorithm also runs with arbitrary (non-differentiable)
-	// cost functions via finite differences (paper Section 2.5).
-	sla, err := costfn.SLARefund(100, 0.05, 5)
+	// cost functions via finite differences (paper Section 2.5): give
+	// tenant 0 an SLA refund curve and flip the algorithm options.
+	sc.Policies = []runspec.PolicySpec{{Name: "alg", DiscreteDeriv: true, CountMisses: true}}
+	sc.Costs = []string{"sla:100,0.05,5", "linear:0.1"}
+	out, err = sc.Execute(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
-	slaCosts := []costfn.Func{sla, costfn.Linear{W: 0.1}}
-	res, err := sim.Run(tr, core.NewFast(core.Options{
-		Costs:            slaCosts,
-		UseDiscreteDeriv: true,
-		CountMisses:      true,
-	}), sim.Config{K: k})
-	if err != nil {
-		log.Fatal(err)
+	row := out.Rows[0]
+	if row.Err != nil {
+		log.Fatal(row.Err)
 	}
 	fmt.Printf("\nwith an SLA refund curve for tenant 0: misses %v, refund %.1f\n",
-		res.Misses, res.Cost(slaCosts))
+		row.Result.Misses, row.Cost)
 }

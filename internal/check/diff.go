@@ -131,11 +131,11 @@ func DiffPolicies(tr *trace.Trace, k int, mkA, mkB func() sim.Policy, engA, engB
 }
 
 func diffOnce(tr *trace.Trace, k int, mkA, mkB func() sim.Policy, engA, engB sim.Engine) (*Divergence, error) {
-	ra, resA, err := record(tr, mkA(), sim.Config{K: k, Engine: engA})
+	ra, resA, err := record(tr, mkA(), sim.ConfigAt(k).WithEngine(engA))
 	if err != nil {
 		return nil, fmt.Errorf("check: side A failed: %w", err)
 	}
-	rb, resB, err := record(tr, mkB(), sim.Config{K: k, Engine: engB})
+	rb, resB, err := record(tr, mkB(), sim.ConfigAt(k).WithEngine(engB))
 	if err != nil {
 		return nil, fmt.Errorf("check: side B failed: %w", err)
 	}
@@ -260,7 +260,7 @@ func (m *manualDriver) serve(r trace.Request) trace.PageID {
 // when reusing policy instances across runs.
 func ResetReuse(tr *trace.Trace, k int, mk func() sim.Policy) (*Divergence, error) {
 	reused := mk()
-	if _, _, err := record(tr, reused, sim.Config{K: k}); err != nil {
+	if _, _, err := record(tr, reused, sim.ConfigAt(k)); err != nil {
 		return nil, err
 	}
 	// The B factory resets before every (re-)run so minimization attempts

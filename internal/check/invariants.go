@@ -160,6 +160,20 @@ func (o *invariantObserver) reconcile(res sim.Result) {
 	}
 }
 
+// InvariantObserver exposes the per-step invariant model as a composable
+// observer: the returned sim.Observer replays the engine's event stream
+// into a fresh residency model, and the finish func reconciles the run's
+// Result against the shadow counters and returns every violation found.
+// This is the building block layers with their own observer chains (the
+// run-spec planner) compose; Run remains the all-in-one entry point.
+func InvariantObserver(tr *trace.Trace, k int, costs []costfn.Func) (sim.Observer, func(sim.Result) []Violation) {
+	obs := newInvariantObserver(tr, k, costs)
+	return obs.observe, func(res sim.Result) []Violation {
+		obs.reconcile(res)
+		return obs.violations
+	}
+}
+
 // Run executes policy p over the trace under full per-step invariant
 // checking: the policy is wrapped with the shadow-model contract checks and
 // the engine's event stream is replayed into a residency model asserting

@@ -199,18 +199,18 @@ func Oracles() []Oracle {
 		}})
 		out = append(out, Oracle{Name: "invariants/" + name, Run: func(tr *trace.Trace, k int) error {
 			mk := registryFactory(name, tr, k)
-			_, err := MustPass(tr, mk(), sim.Config{K: k}, oracleCosts(tr.NumTenants()))
+			_, err := MustPass(tr, mk(), sim.ConfigAt(k), oracleCosts(tr.NumTenants()))
 			return err
 		}})
 	}
 	out = append(out, Oracle{Name: "invariants/alg-fast", Run: func(tr *trace.Trace, k int) error {
 		opt := core.Options{Costs: oracleCosts(tr.NumTenants())}
-		_, err := MustPass(tr, core.NewFast(opt), sim.Config{K: k}, opt.Costs)
+		_, err := MustPass(tr, core.NewFast(opt), sim.ConfigAt(k), opt.Costs)
 		return err
 	}})
 	out = append(out, Oracle{Name: "invariants/alg-discrete", Run: func(tr *trace.Trace, k int) error {
 		opt := core.Options{Costs: oracleCosts(tr.NumTenants())}
-		_, err := MustPass(tr, core.NewDiscrete(opt), sim.Config{K: k}, opt.Costs)
+		_, err := MustPass(tr, core.NewDiscrete(opt), sim.ConfigAt(k), opt.Costs)
 		return err
 	}})
 

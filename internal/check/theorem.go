@@ -41,7 +41,7 @@ type BoundReport struct {
 // instance could not be decided (too large, search budget exhausted); a
 // report with Holds == false is a genuine theorem violation.
 func Theorem11(tr *trace.Trace, k int, costs []costfn.Func) (BoundReport, error) {
-	alg, err := sim.Run(tr, core.NewFast(core.Options{Costs: costs}), sim.Config{K: k})
+	alg, err := sim.Run(tr, core.NewFast(core.Options{Costs: costs}), sim.ConfigAt(k))
 	if err != nil {
 		return BoundReport{}, fmt.Errorf("check: theorem 1.1 online run failed: %w", err)
 	}

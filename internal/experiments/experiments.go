@@ -21,6 +21,7 @@ import (
 
 	"convexcache/internal/core"
 	"convexcache/internal/costfn"
+	"convexcache/internal/runspec"
 	"convexcache/internal/sim"
 	"convexcache/internal/stats"
 	"convexcache/internal/trace"
@@ -76,7 +77,7 @@ func randomSmallTrace(seed int64, tenants, pagesPer, length int) *trace.Trace {
 // runALG executes the paper's algorithm (Fast implementation) and returns
 // the result.
 func runALG(tr *trace.Trace, k int, costs []costfn.Func) (sim.Result, error) {
-	return sim.Run(tr, core.NewFast(core.Options{Costs: costs}), sim.Config{K: k})
+	return runspec.Run(tr, core.NewFast(core.Options{Costs: costs}), k)
 }
 
 // boundCost evaluates sum_i f_i(factor * b_i), the right-hand side of

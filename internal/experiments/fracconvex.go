@@ -3,7 +3,7 @@ package experiments
 import (
 	"convexcache/internal/core"
 	"convexcache/internal/fractional"
-	"convexcache/internal/sim"
+	"convexcache/internal/runspec"
 	"convexcache/internal/stats"
 )
 
@@ -22,8 +22,7 @@ func FractionalConvex(quick bool) (*stats.Table, error) {
 	tb := stats.NewTable("E19: fractional (marginal-weight) relaxation vs integral ALG",
 		"workload", "fractional cost", "integral ALG cost", "integral/fractional")
 	runPair := func(label string) error {
-		alg, err := sim.Run(tr, core.NewFast(core.Options{Costs: costs, UseDiscreteDeriv: true, CountMisses: true}),
-			sim.Config{K: k})
+		alg, err := runspec.Run(tr, core.NewFast(core.Options{Costs: costs, UseDiscreteDeriv: true, CountMisses: true}), k)
 		if err != nil {
 			return err
 		}

@@ -8,7 +8,7 @@ import (
 	"convexcache/internal/fractional"
 	"convexcache/internal/offline"
 	"convexcache/internal/policy"
-	"convexcache/internal/sim"
+	"convexcache/internal/runspec"
 	"convexcache/internal/stats"
 	"convexcache/internal/workload"
 )
@@ -52,7 +52,7 @@ func adversaryFractionalGap(n, steps int) (det, frac float64, err error) {
 		return 0, 0, err
 	}
 	k := n - 1
-	_, tr, err := sim.RunInteractive(adv, steps, policy.NewLRU(), sim.Config{K: k})
+	_, tr, err := runspec.Interactive(adv, steps, policy.NewLRU(), k)
 	if err != nil {
 		return 0, 0, err
 	}

@@ -7,6 +7,7 @@ import (
 	"convexcache/internal/costfn"
 	"convexcache/internal/hierarchy"
 	"convexcache/internal/policy"
+	"convexcache/internal/runspec"
 	"convexcache/internal/sim"
 	"convexcache/internal/stats"
 	"convexcache/internal/workload"
@@ -104,13 +105,13 @@ func Lookahead(quick bool) (*stats.Table, error) {
 	k := 100
 	tb := stats.NewTable("E18: value of lookahead (cost vs window, online ALG as reference)",
 		"window L", "cost", "vs online ALG", "vs full info")
-	alg, err := sim.Run(tr, core.NewFast(core.Options{Costs: costs}), sim.Config{K: k})
+	alg, err := runspec.Run(tr, core.NewFast(core.Options{Costs: costs}), k)
 	if err != nil {
 		return nil, err
 	}
 	algCost := alg.Cost(costs)
 	costAt := func(l int) (float64, error) {
-		res, err := sim.Run(tr, policy.NewLookahead(l, costs), sim.Config{K: k})
+		res, err := runspec.Run(tr, policy.NewLookahead(l, costs), k)
 		if err != nil {
 			return 0, err
 		}

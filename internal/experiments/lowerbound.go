@@ -6,6 +6,7 @@ import (
 	"convexcache/internal/core"
 	"convexcache/internal/costfn"
 	"convexcache/internal/policy"
+	"convexcache/internal/runspec"
 	"convexcache/internal/sim"
 	"convexcache/internal/stats"
 	"convexcache/internal/workload"
@@ -18,7 +19,7 @@ func adversaryRatio(n, steps int, beta float64, mk func() sim.Policy) (online, o
 	if err != nil {
 		return 0, 0, 0, err
 	}
-	res, tr, err := sim.RunInteractive(adv, steps, mk(), sim.Config{K: adv.CacheSize()})
+	res, tr, err := runspec.Interactive(adv, steps, mk(), adv.CacheSize())
 	if err != nil {
 		return 0, 0, 0, err
 	}
@@ -139,7 +140,7 @@ func RatioVsK(quick bool) (*stats.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		ref, err := sim.Run(tr, policy.NewCostAwareBelady(zipfCosts), sim.Config{K: kz})
+		ref, err := runspec.Run(tr, policy.NewCostAwareBelady(zipfCosts), kz)
 		if err != nil {
 			return nil, err
 		}

@@ -8,7 +8,7 @@ import (
 	"convexcache/internal/costfn"
 	"convexcache/internal/multipool"
 	"convexcache/internal/policy"
-	"convexcache/internal/sim"
+	"convexcache/internal/runspec"
 	"convexcache/internal/stats"
 	"convexcache/internal/trace"
 	"convexcache/internal/workload"
@@ -163,20 +163,19 @@ func StaticVsDynamic(quick bool) (*stats.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		alg, err := sim.Run(sc.tr, core.NewFast(core.Options{Costs: sc.costs, UseDiscreteDeriv: true, CountMisses: true}),
-			sim.Config{K: sc.k})
+		alg, err := runspec.Run(sc.tr, core.NewFast(core.Options{Costs: sc.costs, UseDiscreteDeriv: true, CountMisses: true}), sc.k)
 		if err != nil {
 			return nil, err
 		}
 		algCost := alg.Cost(sc.costs)
 		tb.AddRow(sc.name, "alg-discrete (dynamic)", "-", algCost, 1.0)
-		even, err := sim.Run(sc.tr, policy.NewStaticPartition(policy.EvenQuotas(sc.k, len(sc.costs))), sim.Config{K: sc.k})
+		even, err := runspec.Run(sc.tr, policy.NewStaticPartition(policy.EvenQuotas(sc.k, len(sc.costs))), sc.k)
 		if err != nil {
 			return nil, err
 		}
 		tb.AddRow(sc.name, "static even quotas", fmtInts(policy.EvenQuotas(sc.k, len(sc.costs))),
 			even.Cost(sc.costs), even.Cost(sc.costs)/algCost)
-		opt, err := sim.Run(sc.tr, policy.NewStaticPartition(quotas), sim.Config{K: sc.k})
+		opt, err := runspec.Run(sc.tr, policy.NewStaticPartition(quotas), sc.k)
 		if err != nil {
 			return nil, err
 		}

@@ -6,7 +6,7 @@ import (
 	"convexcache/internal/core"
 	"convexcache/internal/costfn"
 	"convexcache/internal/policy"
-	"convexcache/internal/sim"
+	"convexcache/internal/runspec"
 	"convexcache/internal/stats"
 	"convexcache/internal/sweep"
 	"convexcache/internal/trace"
@@ -39,11 +39,11 @@ func Robustness(quick bool) (*stats.Table, error) {
 			if err != nil {
 				return 0, err
 			}
-			alg, err := sim.Run(tr, core.NewFast(core.Options{Costs: costs}), sim.Config{K: k})
+			alg, err := runspec.Run(tr, core.NewFast(core.Options{Costs: costs}), k)
 			if err != nil {
 				return 0, err
 			}
-			lru, err := sim.Run(tr, policy.NewLRU(), sim.Config{K: k})
+			lru, err := runspec.Run(tr, policy.NewLRU(), k)
 			if err != nil {
 				return 0, err
 			}

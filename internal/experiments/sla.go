@@ -6,6 +6,7 @@ import (
 	"convexcache/internal/core"
 	"convexcache/internal/costfn"
 	"convexcache/internal/policy"
+	"convexcache/internal/runspec"
 	"convexcache/internal/sim"
 	"convexcache/internal/stats"
 	"convexcache/internal/trace"
@@ -91,7 +92,7 @@ func SLAComparison(quick bool) (*stats.Table, error) {
 	var algCost float64
 	results := make([]sim.Result, len(entries))
 	for i, e := range entries {
-		res, err := sim.Run(tr, e.mk(), sim.Config{K: k})
+		res, err := runspec.Run(tr, e.mk(), k)
 		if err != nil {
 			return nil, err
 		}
@@ -145,7 +146,7 @@ func Phases(quick bool) (*stats.Table, error) {
 		"window", "ALG t0 misses", "LRU t0 misses")
 	collect := func(p sim.Policy) (*sim.WindowSeries, error) {
 		ws := sim.NewWindowSeries(window, 2)
-		_, err := sim.Run(tr, p, sim.Config{K: k, Observer: ws.Observe})
+		_, err := runspec.Run(tr, p, k, runspec.WithObserver(ws.Observe))
 		return ws, err
 	}
 	algWS, err := collect(core.NewFast(core.Options{Costs: costs}))
@@ -225,7 +226,7 @@ func Ablation(quick bool) (*stats.Table, error) {
 		}
 		var fullCost float64
 		for i, v := range variants {
-			res, err := sim.Run(tr, core.NewDiscrete(v.opt()), sim.Config{K: 120})
+			res, err := runspec.Run(tr, core.NewDiscrete(v.opt()), 120)
 			if err != nil {
 				return nil, err
 			}

@@ -393,14 +393,12 @@ func (js *Jobs) run(j *job) {
 			},
 		)
 	} else {
-		res, err = sim.RunContext(ctx, j.spec.Trace, j.spec.NewPolicy(), sim.Config{
-			K: j.spec.K,
-			Progress: func(delta int) {
+		res, err = sim.RunContext(ctx, j.spec.Trace, j.spec.NewPolicy(),
+			sim.ConfigAt(j.spec.K).WithProgress(func(delta int) {
 				j.mu.Lock()
 				j.step += delta
 				j.mu.Unlock()
-			},
-		})
+			}))
 	}
 	switch {
 	case err == nil:

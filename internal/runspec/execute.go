@@ -1,0 +1,209 @@
+package runspec
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"convexcache/internal/check"
+	"convexcache/internal/costfn"
+	"convexcache/internal/sim"
+	"convexcache/internal/trace"
+)
+
+// Row is one (policy, cache size) cell of an executed scenario.
+type Row struct {
+	// Policy is the requested policy name.
+	Policy string
+	// K is the cache size the row ran at.
+	K int
+	// Result is the engine's run summary (zero when Err != nil).
+	Result sim.Result
+	// Cost is the convex objective over the real tenants (the dummy flush
+	// tenant, when present, is excluded).
+	Cost float64
+	// Duration is the wall time of the run.
+	Duration time.Duration
+	// Windows holds the per-window miss series when Observers.Window > 0.
+	Windows *sim.WindowSeries
+	// Violations lists invariant and contract breaches when Observers.Check
+	// is set; any violation also surfaces as Err.
+	Violations []check.Violation
+	// Err reports a failed row (engine error, panic, cancellation, or
+	// check violations).
+	Err error
+}
+
+// Output is the result of Scenario.Execute.
+type Output struct {
+	// Trace is the replayed trace (flush rows included when Flush is set
+	// and the scenario runs at a single cache size).
+	Trace *trace.Trace
+	// RealTenants is the tenant count before the dummy flush tenant.
+	RealTenants int
+	// Costs are the resolved per-tenant cost functions (flush tenant last
+	// when present).
+	Costs []costfn.Func
+	// Rows holds one entry per (k, policy) pair, k-major, in spec order.
+	Rows []Row
+}
+
+// Row returns the row for the given policy and cache size, or nil.
+func (o *Output) Row(policy string, k int) *Row {
+	for i := range o.Rows {
+		if o.Rows[i].Policy == policy && o.Rows[i].K == k {
+			return &o.Rows[i]
+		}
+	}
+	return nil
+}
+
+// Err returns the first row error in execution order, or nil.
+func (o *Output) Err() error {
+	for i := range o.Rows {
+		if o.Rows[i].Err != nil {
+			return o.Rows[i].Err
+		}
+	}
+	return nil
+}
+
+// Execute validates the scenario, materializes the trace and cost
+// functions, compiles the policy list and observer chain, and fans every
+// (cache size, policy) pair through sim.RunAllContext. Setup mistakes come
+// back as a *SpecError and no simulation runs; per-row failures land in
+// Row.Err so one bad cell cannot hide the rest of a sweep.
+func (sc *Scenario) Execute(ctx context.Context) (*Output, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	tr, err := sc.BuildTrace()
+	if err != nil {
+		return nil, err
+	}
+	realTenants := tr.NumTenants()
+	tenants := realTenants
+	if sc.Flush {
+		tenants++
+	}
+	costs, err := sc.BuildCosts(tenants, realTenants)
+	if err != nil {
+		return nil, err
+	}
+	observers, err := sc.compileObservers()
+	if err != nil {
+		return nil, err
+	}
+
+	out := &Output{Trace: tr, RealTenants: realTenants, Costs: costs}
+	var jobs []sim.Job
+	var rowObs []*rowObservers
+	for _, k := range sc.Ks() {
+		// The flush suffix depends on k (k dummy requests drain the cache),
+		// so a sweep re-derives it per size from the shared base trace.
+		rtr := tr
+		if sc.Flush {
+			flushed, _, err := trace.WithFlush(tr, k)
+			if err != nil {
+				return nil, &SpecError{msg: err.Error()}
+			}
+			rtr = flushed
+		}
+		policies, err := sc.CompilePolicies(k, tenants, costs)
+		if err != nil {
+			return nil, err
+		}
+		for _, cp := range policies {
+			ro := observers(rtr, k, costs)
+			if sc.RowObserver != nil {
+				ro.chain = sim.MultiObserver(ro.chain, sc.RowObserver(cp.Label, k, rtr))
+			}
+			cfg := sim.Config{
+				K:           k,
+				Observer:    ro.chain,
+				WarmupSteps: sc.Warmup,
+				Engine:      engines[sc.Engine],
+				Progress:    sc.Progress,
+			}
+			newPolicy := cp.New
+			jobs = append(jobs, sim.Job{
+				Label:  fmt.Sprintf("%s@k=%d", cp.Label, k),
+				Trace:  rtr,
+				Policy: func() sim.Policy { return ro.wrap(newPolicy()) },
+				Config: cfg,
+			})
+			rowObs = append(rowObs, ro)
+			out.Rows = append(out.Rows, Row{Policy: cp.Label, K: k})
+		}
+		if sc.Flush && len(sc.KSweep) == 0 {
+			out.Trace = rtr
+		}
+	}
+
+	workers := sc.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	for i, jr := range sim.RunAllContext(ctx, jobs, workers) {
+		row := &out.Rows[i]
+		row.Result = jr.Result
+		row.Duration = jr.Duration
+		row.Windows = rowObs[i].windows
+		row.Err = jr.Err
+		if jr.Err == nil {
+			row.Cost = jr.Result.Cost(costs[:realTenants])
+			row.Violations = rowObs[i].violations(jr.Result)
+			row.Err = check.AsError(row.Violations)
+		}
+	}
+	return out, nil
+}
+
+// Option tweaks the sim.Config of the imperative helpers below.
+type Option func(*sim.Config)
+
+// WithEngine pins the request loop.
+func WithEngine(e sim.Engine) Option { return func(c *sim.Config) { c.Engine = e } }
+
+// WithObserver appends an observer to the run's chain.
+func WithObserver(o sim.Observer) Option {
+	return func(c *sim.Config) { c.Observer = sim.MultiObserver(c.Observer, o) }
+}
+
+// WithWarmup excludes the first n requests from the result counters.
+func WithWarmup(n int) Option { return func(c *sim.Config) { c.WarmupSteps = n } }
+
+// WithProgress installs a step-progress hook.
+func WithProgress(f func(delta int)) Option { return func(c *sim.Config) { c.Progress = f } }
+
+// config assembles a sim.Config from a cache size and options.
+func config(k int, opts []Option) sim.Config {
+	cfg := sim.ConfigAt(k)
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg
+}
+
+// Run replays the trace through policy p at cache size k. It is the
+// imperative substrate under Execute for callers that already hold a built
+// trace and policy (experiments, examples, benchmarks).
+func Run(tr *trace.Trace, p sim.Policy, k int, opts ...Option) (sim.Result, error) {
+	return sim.Run(tr, p, config(k, opts))
+}
+
+// RunContext is Run bounded by ctx.
+func RunContext(ctx context.Context, tr *trace.Trace, p sim.Policy, k int, opts ...Option) (sim.Result, error) {
+	return sim.RunContext(ctx, tr, p, config(k, opts))
+}
+
+// MustRun is Run for known-good inputs; it panics on error.
+func MustRun(tr *trace.Trace, p sim.Policy, k int, opts ...Option) sim.Result {
+	return sim.MustRun(tr, p, config(k, opts))
+}
+
+// Interactive drives policy p from a live request source for the given
+// number of steps, returning the result and the materialized trace.
+func Interactive(src sim.RequestSource, steps int, p sim.Policy, k int, opts ...Option) (sim.Result, *trace.Trace, error) {
+	return sim.RunInteractive(src, steps, p, config(k, opts))
+}

@@ -1,0 +1,68 @@
+package runspec
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// fuzzSeeds is the seed corpus: canonical scenarios covering every trace
+// source kind (inline, file in each format, stdin, workload in both tenant
+// forms), both policy spec forms, k vs k_sweep, and the observer chain.
+var fuzzSeeds = []string{
+	// Inline trace, bare-string policies.
+	`{"trace": {"inline": [[0, 1], [0, 2], [1, 10]]}, "policies": ["alg", "lru"], "k": 4}`,
+	// File trace, auto-detected format.
+	`{"trace": {"file": "traces/prod.trace"}, "k": 128, "seed": 7}`,
+	// File trace, explicit binary format.
+	`{"trace": {"file": "t.cxt", "format": "binary"}, "policies": ["lfu"], "k": 32}`,
+	// Block-I/O CSV with a page size.
+	`{"trace": {"file": "msr.csv", "format": "block-csv", "page_bytes": 512}, "k": 1024}`,
+	// Stdin source.
+	`{"trace": {"file": "-"}, "k": 8, "warmup": 100}`,
+	// Workload, bare-string tenants, scenario-level seed.
+	`{"trace": {"workload": {"tenants": ["zipf:100,0.9:2", "uniform:500"], "length": 10000}}, "k": 64, "seed": 3}`,
+	// Workload, object tenants with pinned seeds, option-bearing policies.
+	`{"name": "pinned", "trace": {"workload": {"tenants": [{"stream": "hotset:200,20,0.9,500", "seed": 5}], "length": 2000, "seed": 9}}, "policies": [{"name": "alg", "discrete_deriv": true, "count_misses": true}], "k": 16}`,
+	// k-sweep with engine pin, flush and the full observer chain.
+	`{"trace": {"inline": [[0, 1]]}, "k_sweep": [8, 16, 32], "engine": "map", "flush": true, "observers": {"check": true, "fault": "seed=1,panic_p=0.01", "window": 50}}`,
+	// Costs incl. SLA curves.
+	`{"trace": {"inline": [[0, 1], [1, 2]]}, "k": 2, "costs": ["sla:100,0.05,5", "monomial:1,2"]}`,
+	// Structurally valid JSON the validator must reject, not crash on.
+	`{"trace": {"inline": [[0, 1]], "file": "x"}, "k": -4, "engine": "gpu"}`,
+}
+
+// FuzzScenario asserts the wire form is a fixed point: any input that
+// strictly decodes must re-marshal to JSON that decodes to the same value
+// and marshals identically (so golden files and round trips through the
+// HTTP API never drift), and Validate must terminate without panicking on
+// anything the decoder admits.
+func FuzzScenario(f *testing.F) {
+	for _, seed := range fuzzSeeds {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sc, err := ParseScenario(data)
+		if err != nil {
+			return
+		}
+		out, err := json.Marshal(sc)
+		if err != nil {
+			t.Fatalf("decoded scenario does not marshal: %v", err)
+		}
+		back, err := ParseScenario(out)
+		if err != nil {
+			t.Fatalf("marshaled form does not re-decode: %v\n%s", err, out)
+		}
+		// Struct equality is too strict (nil vs empty slices marshal the
+		// same); the wire-form fixed point is the property golden files and
+		// the HTTP API rely on.
+		out2, err := json.Marshal(back)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(out) != string(out2) {
+			t.Fatalf("marshal not a fixed point:\n%s\n%s", out, out2)
+		}
+		_ = sc.Validate() // must not panic; errors are fine
+	})
+}

@@ -1,0 +1,59 @@
+package runspec
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestScenarioGoldenFiles pins the canonical wire form: every scenario in
+// testdata/scenarios must strictly decode, validate, and marshal to exactly
+// its committed .golden twin. A diff here means the wire format changed —
+// deliberate changes regenerate with -update and show up in review.
+func TestScenarioGoldenFiles(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("testdata", "scenarios", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no scenario corpus files")
+	}
+	for _, path := range paths {
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			sc, err := ParseScenarioFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sc.Validate(); err != nil {
+				t.Fatalf("corpus scenario invalid: %v", err)
+			}
+			sc.BaseDir = "" // runtime-only; not part of the wire form
+			var buf bytes.Buffer
+			enc := json.NewEncoder(&buf)
+			enc.SetIndent("", "    ")
+			if err := enc.Encode(sc); err != nil {
+				t.Fatal(err)
+			}
+			golden := strings.TrimSuffix(path, ".json") + ".golden"
+			if *update {
+				if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("%v (run with -update to create)", err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Fatalf("canonical form drifted from %s:\n got:\n%s\n want:\n%s", golden, buf.Bytes(), want)
+			}
+		})
+	}
+}

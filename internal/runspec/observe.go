@@ -1,0 +1,75 @@
+package runspec
+
+import (
+	"convexcache/internal/check"
+	"convexcache/internal/costfn"
+	"convexcache/internal/fault"
+	"convexcache/internal/sim"
+	"convexcache/internal/trace"
+)
+
+// rowObservers is the per-run instantiation of the observer chain: the
+// stateful pieces (invariant model, window collector) are rebuilt for every
+// row, while the fault injector is shared so one seeded decision sequence
+// spans the whole scenario.
+type rowObservers struct {
+	chain   sim.Observer
+	windows *sim.WindowSeries
+	// finish reconciles the invariant model against the run result and
+	// returns any violations; nil when checking is off.
+	finish func(sim.Result) []check.Violation
+	// wrap is the policy contract wrapper; identity when checking is off.
+	wrap func(sim.Policy) sim.Policy
+	// wrapped records the checked policy so violations can be collected.
+	wrapped *check.Checked
+}
+
+// compileObservers builds the scenario-wide observer state and returns the
+// per-row chain factory. sim.MultiObserver composes the elements in a
+// fixed order (windows, invariants, injected faults, then the caller's
+// runtime observer) so event ordering is deterministic.
+func (sc *Scenario) compileObservers() (func(tr *trace.Trace, k int, costs []costfn.Func) *rowObservers, error) {
+	var injected sim.Observer
+	if sc.Observers.Fault != "" {
+		fcfg, err := fault.ParseSpec(sc.Observers.Fault)
+		if err != nil {
+			return nil, &SpecError{msg: err.Error()}
+		}
+		injected = fault.New(fcfg, nil).Observer()
+	}
+	spec := sc.Observers
+	runtime := sc.Observer
+	return func(tr *trace.Trace, k int, costs []costfn.Func) *rowObservers {
+		ro := &rowObservers{wrap: func(p sim.Policy) sim.Policy { return p }}
+		var parts []sim.Observer
+		if spec.Window > 0 {
+			ro.windows = sim.NewWindowSeries(spec.Window, tr.NumTenants())
+			parts = append(parts, ro.windows.Observe)
+		}
+		if spec.Check {
+			obs, finish := check.InvariantObserver(tr, k, costs)
+			ro.finish = finish
+			parts = append(parts, obs)
+			ro.wrap = func(p sim.Policy) sim.Policy {
+				ro.wrapped = check.Wrap(p)
+				return ro.wrapped
+			}
+		}
+		parts = append(parts, injected, runtime)
+		ro.chain = sim.MultiObserver(parts...)
+		return ro
+	}, nil
+}
+
+// violations collects the contract-wrapper and invariant-model violations
+// after a finished run.
+func (ro *rowObservers) violations(res sim.Result) []check.Violation {
+	var vs []check.Violation
+	if ro.wrapped != nil {
+		vs = append(vs, ro.wrapped.Violations()...)
+	}
+	if ro.finish != nil {
+		vs = append(vs, ro.finish(res)...)
+	}
+	return vs
+}

@@ -1,0 +1,57 @@
+package runspec
+
+import (
+	"context"
+
+	"convexcache/internal/sweep"
+)
+
+// Cell adapts the scenario to one sweep.Cell for seed-replicated parameter
+// sweeps: each seed invocation executes a private copy of the scenario with
+// Scenario.Seed replaced by the sweep seed — and, unless a tenant stream
+// pins its own seed, the workload seed re-derived from it — then reduces
+// the Output to a scalar via metric. The copy makes the cell safe for
+// sweep.Run's concurrent invocations.
+func (sc Scenario) Cell(label string, metric func(*Output) (float64, error)) sweep.Cell {
+	return sweep.Cell{
+		Label: label,
+		Metric: func(seed int64) (float64, error) {
+			run := sc
+			if run.Trace.Workload != nil {
+				w := *run.Trace.Workload
+				w.Seed = 0 // re-derive from the sweep seed in Validate
+				run.Trace.Workload = &w
+			}
+			run.Seed = seed
+			out, err := run.Execute(context.Background())
+			if err != nil {
+				return 0, err
+			}
+			if err := out.Err(); err != nil {
+				return 0, err
+			}
+			return metric(out)
+		},
+	}
+}
+
+// CostRatio is a ready-made sweep metric: the total-cost ratio of policy a
+// over policy b at the scenario's single cache size (the headline
+// LRU-over-ALG robustness number). It errors when either row is missing or
+// the denominator cost is zero (a vacuous run).
+func CostRatio(a, b string) func(*Output) (float64, error) {
+	return func(out *Output) (float64, error) {
+		k := 0
+		if len(out.Rows) > 0 {
+			k = out.Rows[0].K
+		}
+		ra, rb := out.Row(a, k), out.Row(b, k)
+		if ra == nil || rb == nil {
+			return 0, specErrf("runspec: cost ratio needs rows %q and %q", a, b)
+		}
+		if rb.Cost == 0 {
+			return 0, specErrf("runspec: vacuous run: policy %q has zero cost", b)
+		}
+		return ra.Cost / rb.Cost, nil
+	}
+}

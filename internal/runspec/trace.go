@@ -1,0 +1,167 @@
+package runspec
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"convexcache/internal/core"
+	"convexcache/internal/costfn"
+	"convexcache/internal/trace"
+	"convexcache/internal/workload"
+)
+
+// ParseScenarioFile reads and strictly decodes a scenario file, setting
+// BaseDir to the file's directory so relative trace paths resolve next to
+// the scenario rather than the process working directory.
+func ParseScenarioFile(path string) (*Scenario, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	sc, err := ParseScenario(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	sc.BaseDir = filepath.Dir(path)
+	return sc, nil
+}
+
+// Stdin is the reader behind the "-" file source; tests substitute it.
+// The CLIs read os.Stdin exactly once per process, so a package variable
+// is safe there.
+var Stdin io.Reader = os.Stdin
+
+// BuildTrace materializes the scenario's request sequence: the prebuilt
+// trace when injected, else the inline rows, the trace file or the
+// workload generator. File paths resolve against BaseDir when relative.
+func (sc *Scenario) BuildTrace() (*trace.Trace, error) {
+	if sc.PrebuiltTrace != nil {
+		return sc.PrebuiltTrace, nil
+	}
+	t := &sc.Trace
+	switch {
+	case len(t.Inline) > 0:
+		b := trace.NewBuilder()
+		for _, row := range t.Inline {
+			b.Add(trace.Tenant(row[0]), trace.PageID(row[1]))
+		}
+		tr, err := b.Build()
+		if err != nil {
+			return nil, &SpecError{msg: err.Error()}
+		}
+		return tr, nil
+	case t.File != "":
+		return sc.readFile(t)
+	case t.Workload != nil:
+		return buildWorkload(t.Workload)
+	}
+	return nil, specErrf("runspec: trace source required (inline, file or workload)")
+}
+
+// readFile opens and parses the file source.
+func (sc *Scenario) readFile(t *TraceSpec) (*trace.Trace, error) {
+	var in io.Reader
+	if t.File == "-" {
+		in = Stdin
+	} else {
+		path := t.File
+		if sc.BaseDir != "" && !filepath.IsAbs(path) {
+			path = filepath.Join(sc.BaseDir, path)
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		in = f
+	}
+	switch t.Format {
+	case "block-csv":
+		return trace.ReadBlockCSV(in, trace.CSVOptions{PageBytes: t.PageBytes})
+	case "text":
+		return trace.Read(in)
+	case "binary":
+		return trace.ReadBinary(in)
+	default: // "", "auto"
+		return trace.ReadAuto(in)
+	}
+}
+
+// buildWorkload generates the synthetic trace: per-tenant streams from the
+// shared spec syntax, mixed by relative rate. Per-tenant stream seeds
+// default to seed + index*1001 (the tracegen rule) unless pinned.
+func buildWorkload(w *WorkloadSpec) (*trace.Trace, error) {
+	streams := make([]workload.TenantStream, 0, len(w.Tenants))
+	for i, ts := range w.Tenants {
+		seed := w.Seed + int64(i)*1001
+		if ts.Seed != nil {
+			seed = *ts.Seed
+		}
+		s, rate, err := workload.ParseStream(ts.Stream, seed)
+		if err != nil {
+			return nil, &SpecError{msg: err.Error()}
+		}
+		streams = append(streams, workload.TenantStream{
+			Tenant: trace.Tenant(i), Stream: s, Rate: rate,
+		})
+	}
+	tr, err := workload.Mix(w.Seed, streams, w.Length)
+	if err != nil {
+		return nil, &SpecError{msg: err.Error()}
+	}
+	return tr, nil
+}
+
+// BuildCosts parses the per-tenant cost specs for a trace with the given
+// tenant count (post-flush): explicit specs first, linear:1 for the rest,
+// and the paper's flush cost for dummy tenants beyond realTenants. Surplus
+// specs are an error — they would otherwise be silently dropped, masking
+// caller typos such as costs keyed to a tenant that never appears.
+func (sc *Scenario) BuildCosts(tenants, realTenants int) ([]costfn.Func, error) {
+	if sc.CostFuncs != nil {
+		if len(sc.CostFuncs) > tenants {
+			return nil, specErrf("runspec: %d cost functions for %d tenants", len(sc.CostFuncs), tenants)
+		}
+		out := make([]costfn.Func, tenants)
+		copy(out, sc.CostFuncs)
+		for i := len(sc.CostFuncs); i < tenants; i++ {
+			out[i] = defaultCost(i, realTenants)
+		}
+		return out, nil
+	}
+	if len(sc.Costs) > tenants {
+		return nil, specErrf("%d cost specs for %d tenants; surplus specs would be ignored", len(sc.Costs), tenants)
+	}
+	out := make([]costfn.Func, tenants)
+	for i := range out {
+		if i < len(sc.Costs) && sc.Costs[i] != "" {
+			f, err := costfn.Parse(sc.Costs[i])
+			if err != nil {
+				return nil, &SpecError{msg: err.Error()}
+			}
+			out[i] = f
+			continue
+		}
+		out[i] = defaultCost(i, realTenants)
+	}
+	return out, nil
+}
+
+// defaultCost is the shared default: linear:1 for real tenants, the flush
+// cost for the dummy flush tenant.
+func defaultCost(i, realTenants int) costfn.Func {
+	if i >= realTenants {
+		return core.FlushCost()
+	}
+	return costfn.Linear{W: 1}
+}
+
+// Costs parses a bare per-tenant cost-spec list outside a Scenario — the
+// shared helper for endpoints (like /v1/mrc's partition mode) that need
+// cost functions without a full run.
+func Costs(specs []string, tenants int) ([]costfn.Func, error) {
+	sc := Scenario{Costs: specs}
+	return sc.BuildCosts(tenants, tenants)
+}

@@ -9,10 +9,8 @@ import (
 	"fmt"
 	"net/http"
 
-	"convexcache/internal/core"
-	"convexcache/internal/policy"
 	"convexcache/internal/resilience"
-	"convexcache/internal/sim"
+	"convexcache/internal/runspec"
 )
 
 // JobRequest is the body of POST /v1/jobs: one trace, one policy.
@@ -49,39 +47,49 @@ func (s *service) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	tr, err := req.Trace.build()
+	// One policy per job; the single-policy default stays here because it
+	// differs from the scenario default pair.
+	if req.Policy == "" {
+		req.Policy = "alg"
+	}
+	sc := runspec.Scenario{
+		Trace:      runspec.TraceSpec{Inline: req.Trace},
+		Policies:   []runspec.PolicySpec{{Name: req.Policy, DiscreteDeriv: req.DiscreteDeriv, CountMisses: req.CountMisses}},
+		K:          req.K,
+		Costs:      req.Costs,
+		Seed:       req.Seed,
+		PolicyHook: s.policyHook,
+	}
+	if req.Policy != "alg" && req.Policy != "alg-ref" {
+		sc.Policies[0].DiscreteDeriv = false
+		sc.Policies[0].CountMisses = false
+	}
+	if err := sc.Validate(); err != nil {
+		s.httpError(w, r, http.StatusBadRequest, err)
+		return
+	}
+	tr, err := sc.BuildTrace()
 	if err != nil {
 		s.httpError(w, r, http.StatusBadRequest, err)
 		return
 	}
-	if req.K <= 0 {
-		s.httpError(w, r, http.StatusBadRequest, errors.New("k must be positive"))
+	costs, err := sc.BuildCosts(tr.NumTenants(), tr.NumTenants())
+	if err != nil {
+		s.httpError(w, r, http.StatusBadRequest, err)
 		return
 	}
-	if req.Policy == "" {
-		req.Policy = "alg"
-	}
-	costs, err := parseCosts(req.Costs, tr.NumTenants())
+	// Resolve the policy now so a typo answers 400, not an async failure.
+	compiled, err := sc.CompilePolicies(req.K, tr.NumTenants(), costs)
 	if err != nil {
 		s.httpError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	spec := resilience.JobSpec{Label: req.Policy, Trace: tr, K: req.K, Costs: costs}
-	simReq := SimulateRequest{Seed: req.Seed, DiscreteDeriv: req.DiscreteDeriv, CountMisses: req.CountMisses}
-	pSpec := policy.Spec{K: req.K, Tenants: tr.NumTenants(), Costs: costs, Seed: req.Seed}
-	if req.Policy == "alg" && (s.policyHook == nil || s.policyHook("alg") == nil) {
-		opts := core.Options{Costs: costs, UseDiscreteDeriv: req.DiscreteDeriv, CountMisses: req.CountMisses}
-		spec.NewFast = func() *core.Fast { return core.NewFast(opts) }
+	if cp := compiled[0]; cp.NewFast != nil {
+		// The paper's algorithm runs under the checkpointed runner.
+		spec.NewFast = cp.NewFast
 	} else {
-		// Validate the name now so a typo answers 400, not an async failure.
-		if _, err := s.newPolicy(req.Policy, pSpec, simReq); err != nil {
-			s.httpError(w, r, http.StatusBadRequest, err)
-			return
-		}
-		spec.NewPolicy = func() sim.Policy {
-			p, _ := s.newPolicy(req.Policy, pSpec, simReq)
-			return p
-		}
+		spec.NewPolicy = cp.New
 	}
 	st, err := s.jobs.Submit(spec)
 	if err != nil {

@@ -43,14 +43,12 @@ import (
 	"time"
 
 	"convexcache/internal/analysis"
-	"convexcache/internal/core"
 	"convexcache/internal/costfn"
 	"convexcache/internal/experiments"
 	"convexcache/internal/obs"
-	"convexcache/internal/policy"
 	"convexcache/internal/resilience"
+	"convexcache/internal/runspec"
 	"convexcache/internal/sim"
-	"convexcache/internal/trace"
 )
 
 // MaxBodyBytes is the default request-body cap (traces dominate; ~16 MiB of
@@ -348,16 +346,9 @@ func (s *service) handleFit(w http.ResponseWriter, r *http.Request) {
 }
 
 // TraceJSON is the wire form of a request sequence: rows of
-// [tenant, page].
-type TraceJSON [][2]int64
-
-func (tj TraceJSON) build() (*trace.Trace, error) {
-	b := trace.NewBuilder()
-	for _, row := range tj {
-		b.Add(trace.Tenant(row[0]), trace.PageID(row[1]))
-	}
-	return b.Build()
-}
+// [tenant, page]. It is the runspec inline-trace shape, so requests decode
+// straight into a Scenario.
+type TraceJSON = [][2]int64
 
 // SimulateRequest is the body of POST /v1/simulate.
 type SimulateRequest struct {
@@ -395,19 +386,26 @@ type SimulateResponse struct {
 	Results  []PolicyResult `json:"results"`
 }
 
-// newPolicy resolves a policy name, consulting the test hook first.
-func (s *service) newPolicy(name string, spec policy.Spec, req SimulateRequest) (sim.Policy, error) {
-	if s.policyHook != nil {
-		if p := s.policyHook(name); p != nil {
-			return p, nil
+// scenario converts the wire request into the shared run spec. Defaults
+// (the canonical policy pair, cost fill) live in runspec.Validate, not
+// here, so the CLIs and the HTTP API cannot drift apart. The algorithm
+// options ride on the algorithm rows only.
+func (req SimulateRequest) scenario() *runspec.Scenario {
+	sc := &runspec.Scenario{
+		Trace: runspec.TraceSpec{Inline: req.Trace},
+		K:     req.K,
+		Costs: req.Costs,
+		Seed:  req.Seed,
+	}
+	for _, name := range req.Policies {
+		ps := runspec.PolicySpec{Name: name}
+		if name == "alg" || name == "alg-ref" {
+			ps.DiscreteDeriv = req.DiscreteDeriv
+			ps.CountMisses = req.CountMisses
 		}
+		sc.Policies = append(sc.Policies, ps)
 	}
-	if name == "alg" {
-		return core.NewFast(core.Options{
-			Costs: spec.Costs, UseDiscreteDeriv: req.DiscreteDeriv, CountMisses: req.CountMisses,
-		}), nil
-	}
-	return policy.New(name, spec)
+	return sc
 }
 
 func (s *service) handleSimulate(w http.ResponseWriter, r *http.Request) {
@@ -415,71 +413,64 @@ func (s *service) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
-	tr, err := req.Trace.build()
-	if err != nil {
-		s.httpError(w, r, http.StatusBadRequest, err)
-		return
-	}
-	if req.K <= 0 {
-		s.httpError(w, r, http.StatusBadRequest, errors.New("k must be positive"))
-		return
-	}
-	if len(req.Policies) == 0 {
-		req.Policies = []string{"alg", "lru"}
-	}
-	costs, err := parseCosts(req.Costs, tr.NumTenants())
-	if err != nil {
-		s.httpError(w, r, http.StatusBadRequest, err)
-		return
-	}
-	resp := SimulateResponse{Requests: tr.Len(), Tenants: tr.NumTenants(), K: req.K}
-	spec := policy.Spec{K: req.K, Tenants: tr.NumTenants(), Costs: costs, Seed: req.Seed}
+	sc := req.scenario()
+	sc.PolicyHook = s.policyHook
 	stepsTotal := s.reg.Counter("sim_steps_total")
-	simCfg := sim.Config{
-		K:        req.K,
-		Progress: func(delta int) { stepsTotal.Add(int64(delta)) },
+	sc.Progress = func(delta int) { stepsTotal.Add(int64(delta)) }
+	out, err := sc.Execute(r.Context())
+	if err != nil {
+		// Execute fails before any run only: spec mistakes and unbuildable
+		// traces are the caller's.
+		s.httpError(w, r, http.StatusBadRequest, err)
+		return
 	}
-	for _, name := range req.Policies {
-		p, err := s.newPolicy(name, spec, req)
-		if err != nil {
-			s.httpError(w, r, http.StatusBadRequest, err)
-			return
-		}
-		start := time.Now()
-		res, err := sim.RunContext(r.Context(), tr, p, simCfg)
-		if err != nil {
-			switch {
-			case errors.Is(err, context.Canceled):
-				// Client disconnected mid-replay; nothing reads the
-				// reply, but record why the request ended.
-				s.reg.Counter("sim_cancelled_total").Inc()
-				obs.LoggerFrom(r.Context(), s.log).Warn("simulation cancelled",
-					"policy", name, "err", err)
-				s.httpError(w, r, StatusClientClosedRequest, err)
-			case errors.Is(err, context.DeadlineExceeded):
-				s.reg.Counter("sim_deadline_total").Inc()
-				s.writeError(w, r, http.StatusServiceUnavailable,
-					resilience.ReasonDeadline, time.Second, err)
-			default:
-				s.httpError(w, r, http.StatusInternalServerError, err)
-			}
+	resp := SimulateResponse{Requests: out.Trace.Len(), Tenants: out.Trace.NumTenants(), K: req.K}
+	for i := range out.Rows {
+		row := &out.Rows[i]
+		if row.Err != nil {
+			s.simError(w, r, row.Policy, row.Err)
 			return
 		}
 		s.reg.Counter("sim_runs_total").Inc()
-		s.reg.Counter("sim_evictions_total").Add(res.TotalEvictions())
-		if el := time.Since(start).Seconds(); el > 0 {
+		s.reg.Counter("sim_evictions_total").Add(row.Result.TotalEvictions())
+		if el := row.Duration.Seconds(); el > 0 {
 			s.reg.Histogram("sim_steps_per_second", stepsRateBuckets).
-				Observe(float64(res.Steps) / el)
+				Observe(float64(row.Result.Steps) / el)
 		}
 		resp.Results = append(resp.Results, PolicyResult{
-			Policy:    name,
-			Hits:      res.Hits,
-			Misses:    res.Misses,
-			Evictions: res.Evictions,
-			TotalCost: res.Cost(costs),
+			Policy:    row.Policy,
+			Hits:      row.Result.Hits,
+			Misses:    row.Result.Misses,
+			Evictions: row.Result.Evictions,
+			TotalCost: row.Cost,
 		})
 	}
 	s.writeJSON(w, r, http.StatusOK, resp)
+}
+
+// simError maps a failed simulation row onto the wire: client-abandoned
+// runs answer 499, deadline overruns 503, and a panicking policy re-raises
+// into the recovery middleware so panic accounting and logging stay in one
+// place. Anything else is a plain 500.
+func (s *service) simError(w http.ResponseWriter, r *http.Request, policy string, err error) {
+	var pe *sim.PanicError
+	switch {
+	case errors.As(err, &pe):
+		panic(pe.Value)
+	case errors.Is(err, context.Canceled):
+		// Client disconnected mid-replay; nothing reads the reply, but
+		// record why the request ended.
+		s.reg.Counter("sim_cancelled_total").Inc()
+		obs.LoggerFrom(r.Context(), s.log).Warn("simulation cancelled",
+			"policy", policy, "err", err)
+		s.httpError(w, r, StatusClientClosedRequest, err)
+	case errors.Is(err, context.DeadlineExceeded):
+		s.reg.Counter("sim_deadline_total").Inc()
+		s.writeError(w, r, http.StatusServiceUnavailable,
+			resilience.ReasonDeadline, time.Second, err)
+	default:
+		s.httpError(w, r, http.StatusInternalServerError, err)
+	}
 }
 
 // stepsRateBuckets spans the observed engine range: ~1e4 req/s (tiny traces
@@ -511,7 +502,7 @@ func (s *service) handleMRC(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
-	tr, err := req.Trace.build()
+	tr, err := (&runspec.Scenario{Trace: runspec.TraceSpec{Inline: req.Trace}}).BuildTrace()
 	if err != nil {
 		s.httpError(w, r, http.StatusBadRequest, err)
 		return
@@ -543,7 +534,7 @@ func (s *service) handleMRC(w http.ResponseWriter, r *http.Request) {
 		resp.PerTenant = append(resp.PerTenant, c.MissRatioCurve(req.MaxSize))
 	}
 	if req.K > 0 {
-		costs, err := parseCosts(req.Costs, tr.NumTenants())
+		costs, err := runspec.Costs(req.Costs, tr.NumTenants())
 		if err != nil {
 			s.httpError(w, r, http.StatusBadRequest, err)
 			return
@@ -588,31 +579,8 @@ func (s *service) handleExperiment(w http.ResponseWriter, r *http.Request) {
 
 func (s *service) handlePolicies(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, r, http.StatusOK, map[string][]string{
-		"policies": append([]string{"alg"}, policy.Names()...),
+		"policies": runspec.PolicyNames(),
 	})
-}
-
-// parseCosts maps per-tenant cost specs to costfn.Funcs. Surplus specs
-// (more than the trace has tenants) are an error: they would otherwise be
-// silently dropped, masking caller typos such as costs keyed to a tenant
-// that never appears in the trace.
-func parseCosts(specs []string, tenants int) ([]costfn.Func, error) {
-	if len(specs) > tenants {
-		return nil, fmt.Errorf("%d cost specs for %d tenants; surplus specs would be ignored", len(specs), tenants)
-	}
-	costs := make([]costfn.Func, tenants)
-	for i := range costs {
-		if i < len(specs) && specs[i] != "" {
-			f, err := costfn.Parse(specs[i])
-			if err != nil {
-				return nil, err
-			}
-			costs[i] = f
-		} else {
-			costs[i] = costfn.Linear{W: 1}
-		}
-	}
-	return costs, nil
 }
 
 // decode parses the size-capped JSON body into dst, rejecting unknown

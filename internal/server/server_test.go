@@ -118,6 +118,22 @@ func TestSimulateValidation(t *testing.T) {
 	}
 }
 
+// Regression: a duplicated policy name used to run (and bill) the same
+// simulation twice under one label; it must be rejected up front.
+func TestSimulateDuplicatePolicy(t *testing.T) {
+	rec := doJSON(t, New(), "POST", "/v1/simulate", SimulateRequest{
+		Trace:    sampleTrace(),
+		K:        4,
+		Policies: []string{"alg", "lru", "alg"},
+	})
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("duplicate policy: status %d, body %s", rec.Code, rec.Body.String())
+	}
+	if !strings.Contains(rec.Body.String(), `duplicate policy \"alg\"`) {
+		t.Fatalf("error body does not name the duplicate: %s", rec.Body.String())
+	}
+}
+
 func TestMRC(t *testing.T) {
 	req := MRCRequest{Trace: sampleTrace(), MaxSize: 10, K: 6, Costs: []string{"monomial:1,2", "linear:1"}}
 	rec := doJSON(t, New(), "POST", "/v1/mrc", req)

@@ -1,0 +1,53 @@
+package sim
+
+// MultiObserver composes observers into one that delivers every event to
+// each non-nil observer in argument order. It is the composition primitive
+// of the run-spec observer chain (internal/runspec): invariant checkers,
+// fault injectors, window collectors and metrics hooks stack without any of
+// them knowing about the others.
+//
+// Nil entries are skipped, so callers can pass optional observers without
+// guarding each one. When no non-nil observer remains, MultiObserver
+// returns nil — the engines then skip event construction entirely, keeping
+// the observer-free hot path allocation-free.
+func MultiObserver(obs ...Observer) Observer {
+	live := make([]Observer, 0, len(obs))
+	for _, o := range obs {
+		if o != nil {
+			live = append(live, o)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return func(ev Event) {
+		for _, o := range live {
+			o(ev)
+		}
+	}
+}
+
+// ConfigAt returns the Config for a run at cache size k. Together with the
+// With* methods it is the construction path for layers below the run-spec
+// layer (internal/check, internal/resilience): everything user-facing
+// assembles runs through internal/runspec instead of hand-rolling a Config.
+func ConfigAt(k int) Config { return Config{K: k} }
+
+// WithEngine pins the run to one of the request loops.
+func (c Config) WithEngine(e Engine) Config { c.Engine = e; return c }
+
+// WithObserver appends o to the config's observer chain, preserving any
+// observer already installed (events reach the existing chain first).
+func (c Config) WithObserver(o Observer) Config {
+	c.Observer = MultiObserver(c.Observer, o)
+	return c
+}
+
+// WithWarmup excludes the first n steps from the Result counters.
+func (c Config) WithWarmup(n int) Config { c.WarmupSteps = n; return c }
+
+// WithProgress installs the step-progress hook.
+func (c Config) WithProgress(f func(delta int)) Config { c.Progress = f; return c }

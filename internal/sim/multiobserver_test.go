@@ -1,0 +1,77 @@
+package sim
+
+import (
+	"testing"
+
+	"convexcache/internal/trace"
+)
+
+func TestMultiObserverNilSafety(t *testing.T) {
+	if got := MultiObserver(); got != nil {
+		t.Error("MultiObserver() should be nil")
+	}
+	if got := MultiObserver(nil, nil); got != nil {
+		t.Error("MultiObserver(nil, nil) should be nil")
+	}
+	var hits int
+	one := func(Event) { hits++ }
+	obs := MultiObserver(nil, one, nil)
+	if obs == nil {
+		t.Fatal("single live observer must survive composition")
+	}
+	obs(Event{})
+	if hits != 1 {
+		t.Errorf("hits = %d, want 1", hits)
+	}
+}
+
+func TestMultiObserverPreservesOrder(t *testing.T) {
+	var order []string
+	mk := func(name string) Observer {
+		return func(ev Event) { order = append(order, name) }
+	}
+	obs := MultiObserver(mk("a"), nil, mk("b"), mk("c"))
+	obs(Event{})
+	obs(Event{})
+	want := []string{"a", "b", "c", "a", "b", "c"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestMultiObserverSeesEveryEngineEvent(t *testing.T) {
+	tr := trace.NewBuilder().
+		Add(0, 1).Add(0, 2).Add(0, 3).Add(0, 1).Add(0, 4).
+		MustBuild()
+	var a, b []Event
+	cfg := ConfigAt(2).
+		WithObserver(func(ev Event) { a = append(a, ev) }).
+		WithObserver(func(ev Event) { b = append(b, ev) })
+	if _, err := Run(tr, &fifoPolicy{}, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != tr.Len() || len(b) != tr.Len() {
+		t.Fatalf("observers saw %d / %d events, want %d", len(a), len(b), tr.Len())
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs between chained observers: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestConfigWithHelpers(t *testing.T) {
+	called := 0
+	cfg := ConfigAt(7).
+		WithEngine(EngineMap).
+		WithWarmup(3).
+		WithProgress(func(int) { called++ })
+	if cfg.K != 7 || cfg.Engine != EngineMap || cfg.WarmupSteps != 3 || cfg.Progress == nil {
+		t.Fatalf("config not assembled: %+v", cfg)
+	}
+}

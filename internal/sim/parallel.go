@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"convexcache/internal/trace"
 )
@@ -29,6 +30,8 @@ type JobResult struct {
 	Label string
 	// Result is the run summary (zero when Err != nil).
 	Result Result
+	// Duration is the wall time of the run, zero for jobs never dispatched.
+	Duration time.Duration
 	// Err reports a failed run.
 	Err error
 }
@@ -98,13 +101,29 @@ dispatch:
 	return out
 }
 
+// PanicError is the JobResult.Err of a job that panicked. It preserves the
+// recovered value so callers with their own panic handling (the HTTP
+// layer's recovery middleware and its panic metrics) can re-raise it.
+type PanicError struct {
+	// Label is the panicking job's label.
+	Label string
+	// Value is the recovered panic value.
+	Value any
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("sim: job %q panicked: %v", e.Label, e.Value)
+}
+
 // runJob executes one job, converting a panic into an error.
 func runJob(ctx context.Context, job Job) (jr JobResult) {
 	jr.Label = job.Label
+	start := time.Now()
 	defer func() {
+		jr.Duration = time.Since(start)
 		if p := recover(); p != nil {
 			jr.Result = Result{}
-			jr.Err = fmt.Errorf("sim: job %q panicked: %v", job.Label, p)
+			jr.Err = &PanicError{Label: job.Label, Value: p}
 		}
 	}()
 	jr.Result, jr.Err = RunContext(ctx, job.Trace, job.Policy(), job.Config)

@@ -3,6 +3,7 @@ package sweep_test
 import (
 	"fmt"
 
+	"convexcache/internal/runspec"
 	"convexcache/internal/sweep"
 )
 
@@ -19,4 +20,26 @@ func Example() {
 		r.Label, r.Summary.Mean, r.Summary.Min, r.Summary.Max, r.Summary.N)
 	// Output:
 	// double: mean=4 min=2 max=6 over 3 seeds
+}
+
+// Example_scenario replicates a whole declarative scenario across seeds via
+// the run-spec bridge: each seed generates a fresh workload and reports the
+// LRU-over-ALG total-cost ratio.
+func Example_scenario() {
+	sc := runspec.Scenario{
+		Trace: runspec.TraceSpec{Workload: &runspec.WorkloadSpec{
+			Tenants: []runspec.TenantSpec{{Stream: "zipf:60,1.0"}, {Stream: "uniform:300:2"}},
+			Length:  4000,
+		}},
+		Policies: []runspec.PolicySpec{{Name: "alg"}, {Name: "lru"}},
+		Costs:    []string{"monomial:1,2", "linear:0.5"},
+		K:        32,
+	}
+	cells := []sweep.Cell{sc.Cell("lru/alg", runspec.CostRatio("lru", "alg"))}
+	results, _ := sweep.Run(cells, []int64{1, 2, 3, 4}, 0)
+	r := results[0]
+	fmt.Printf("%s over %d seeds: every ratio >= 1: %v\n",
+		r.Label, r.Summary.N, r.Summary.Min >= 1)
+	// Output:
+	// lru/alg over 4 seeds: every ratio >= 1: true
 }

@@ -1,0 +1,109 @@
+package workload
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseStream builds one stream from the compact spec syntax shared by
+// cmd/tracegen and the run-spec layer (internal/runspec):
+//
+//	KIND:PARAMS[:RATE]
+//
+// where KIND is one of
+//
+//	zipf:N,S          Zipf over N pages with exponent S
+//	uniform:N         uniform over N pages
+//	scan:N            cyclic scan over N pages
+//	hotset:N,H,P,L    hot set of H in N pages, hot prob P, phase length L
+//	markov:N,P,J      random walk over N pages, stay prob P, jump radius J
+//	db:H,S,P,L        DB tenant: H heap pages, key skew S, scan prob P, scan len L
+//
+// and RATE (default 1) is the tenant's relative request rate. The seed
+// drives the stream's private PRNG (deterministic kinds ignore it).
+func ParseStream(spec string, seed int64) (Stream, float64, error) {
+	parts := strings.Split(spec, ":")
+	if len(parts) < 2 || len(parts) > 3 {
+		return nil, 0, fmt.Errorf("workload: bad stream spec %q, want KIND:PARAMS[:RATE]", spec)
+	}
+	rate := 1.0
+	if len(parts) == 3 {
+		r, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil || r <= 0 {
+			return nil, 0, fmt.Errorf("workload: bad rate in stream spec %q", spec)
+		}
+		rate = r
+	}
+	nums := strings.Split(parts[1], ",")
+	arg := func(i int) (float64, error) {
+		if i >= len(nums) {
+			return 0, fmt.Errorf("workload: stream spec %q missing parameter %d", spec, i+1)
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(nums[i]), 64)
+		if err != nil {
+			return 0, fmt.Errorf("workload: bad number %q in stream spec %q", nums[i], spec)
+		}
+		return v, nil
+	}
+	args := func(n int) ([]float64, error) {
+		if len(nums) != n {
+			return nil, fmt.Errorf("workload: stream spec %q wants %d parameters, got %d", spec, n, len(nums))
+		}
+		out := make([]float64, n)
+		for i := range out {
+			v, err := arg(i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	switch parts[0] {
+	case "zipf":
+		v, err := args(2)
+		if err != nil {
+			return nil, 0, err
+		}
+		st, err := NewZipf(seed, int64(v[0]), v[1])
+		return st, rate, err
+	case "uniform":
+		v, err := args(1)
+		if err != nil {
+			return nil, 0, err
+		}
+		st, err := NewUniform(seed, int64(v[0]))
+		return st, rate, err
+	case "scan":
+		v, err := args(1)
+		if err != nil {
+			return nil, 0, err
+		}
+		st, err := NewScan(int64(v[0]))
+		return st, rate, err
+	case "hotset":
+		v, err := args(4)
+		if err != nil {
+			return nil, 0, err
+		}
+		st, err := NewHotSet(seed, int64(v[0]), int64(v[1]), v[2], int64(v[3]))
+		return st, rate, err
+	case "db":
+		v, err := args(4)
+		if err != nil {
+			return nil, 0, err
+		}
+		st, err := NewDB(seed, int64(v[0]), v[1], v[2], int64(v[3]))
+		return st, rate, err
+	case "markov":
+		v, err := args(3)
+		if err != nil {
+			return nil, 0, err
+		}
+		st, err := NewMarkov(seed, int64(v[0]), v[1], int64(v[2]))
+		return st, rate, err
+	default:
+		return nil, 0, fmt.Errorf("workload: unknown stream kind %q in spec %q", parts[0], spec)
+	}
+}

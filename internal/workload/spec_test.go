@@ -1,0 +1,92 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseStreamKinds(t *testing.T) {
+	cases := []struct {
+		spec     string
+		pages    int64
+		wantRate float64
+	}{
+		{"zipf:100,1.0", 100, 1},
+		{"zipf:100,1.0:2.5", 100, 2.5},
+		{"uniform:64", 64, 1},
+		{"scan:50:2", 50, 2},
+		{"hotset:200,25,0.95,500", 200, 1},
+		{"markov:400,0.7,5", 400, 1},
+		{"db:600,0.95,0.02,12:3", 0, 3}, // db derives its own page total
+	}
+	for _, tc := range cases {
+		st, rate, err := ParseStream(tc.spec, 7)
+		if err != nil {
+			t.Errorf("ParseStream(%q): %v", tc.spec, err)
+			continue
+		}
+		if rate != tc.wantRate {
+			t.Errorf("ParseStream(%q) rate = %g, want %g", tc.spec, rate, tc.wantRate)
+		}
+		if tc.pages > 0 && st.Pages() != tc.pages {
+			t.Errorf("ParseStream(%q) pages = %d, want %d", tc.spec, st.Pages(), tc.pages)
+		}
+	}
+}
+
+func TestParseStreamErrors(t *testing.T) {
+	cases := []struct {
+		spec string
+		want string
+	}{
+		{"zipf", "want KIND:PARAMS"},
+		{"zipf:100,1.0:2:9", "want KIND:PARAMS"},
+		{"warp:100", "unknown stream kind"},
+		{"zipf:100", "wants 2 parameters"},
+		{"zipf:100,1.0,9", "wants 2 parameters"},
+		{"scan:50:-1", "bad rate"},
+		{"scan:50:x", "bad rate"},
+		{"uniform:abc", "bad number"},
+	}
+	for _, tc := range cases {
+		_, _, err := ParseStream(tc.spec, 1)
+		if err == nil {
+			t.Errorf("ParseStream(%q) succeeded, want error containing %q", tc.spec, tc.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("ParseStream(%q) error %q, want substring %q", tc.spec, err, tc.want)
+		}
+	}
+}
+
+func TestParseStreamDeterministicPerSeed(t *testing.T) {
+	draw := func(seed int64) []int64 {
+		st, _, err := ParseStream("zipf:500,0.9", seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]int64, 32)
+		for i := range out {
+			out[i] = st.Next()
+		}
+		return out
+	}
+	a, b, c := draw(7), draw(7), draw(8)
+	same := true
+	diff := false
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+		}
+		if a[i] != c[i] {
+			diff = true
+		}
+	}
+	if !same {
+		t.Error("same seed produced different streams")
+	}
+	if !diff {
+		t.Error("different seeds produced identical streams")
+	}
+}
