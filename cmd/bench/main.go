@@ -1,24 +1,41 @@
 // Command bench is the repeatable performance harness of the repo: it runs
 // the E10 raw-throughput suite (every policy implementation over the large
-// multi-tenant Zipf mix at several cache sizes) plus the per-experiment
-// table benchmarks, and writes a machine-readable JSON report (ns/op,
-// requests/sec, allocs/op) so successive PRs leave a perf trajectory
-// (BENCH_PR1.json, BENCH_PR2.json, ...).
+// multi-tenant Zipf mix at several cache sizes), the sharded-replay
+// aggregate suite, and the per-experiment table benchmarks, and writes a
+// machine-readable JSON report (ns/op, requests/sec, allocs/op) so
+// successive PRs leave a perf trajectory (BENCH_PR1.json, BENCH_PR2.json,
+// ...). Reports are self-describing: they record the Go version,
+// GOMAXPROCS, the git commit, the engine batch size and the shard counts
+// measured, so a number can always be traced back to its machine shape.
 //
 // Usage:
 //
 //	bench [-out BENCH.json] [-before prior.json] [-skip-experiments]
+//	      [-benchtime 1s] [-cpuprofile cpu.prof] [-memprofile mem.prof]
+//	bench -compare BENCH_PRn.json [-threshold 10]
 //
 // -before embeds a previous report under "before" (and the fresh run under
 // "after"), producing the before/after pair an optimization PR commits.
+//
+// -compare is the regression gate's engine: it runs the fresh suite,
+// matches benchmarks by name against the given report (a bare report or
+// the "after" half of a before/after pair), prints the per-benchmark delta
+// %, and exits non-zero when any benchmark regressed by more than
+// -threshold percent (throughput drop for req/s benchmarks, time increase
+// for the rest). Compare two runs from the same machine: absolute numbers
+// do not transfer across hosts.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"runtime"
+	"runtime/pprof"
+	"strings"
 	"testing"
 	"time"
 
@@ -46,6 +63,13 @@ type Report struct {
 	GeneratedAt string `json:"generated_at"`
 	GoVersion   string `json:"go_version"`
 	GOMAXPROCS  int    `json:"gomaxprocs"`
+	// Commit is the git HEAD the binary was run from ("" outside a repo).
+	Commit string `json:"commit,omitempty"`
+	// BatchSize is the dense engine's StepBatch run length.
+	BatchSize int `json:"batch_size,omitempty"`
+	// ShardCounts lists the RunSharded worker counts the sharded suite
+	// measured.
+	ShardCounts []int `json:"shard_counts,omitempty"`
 	// Note carries free-form provenance (e.g. which engine a baseline was
 	// measured against).
 	Note       string   `json:"note,omitempty"`
@@ -58,34 +82,118 @@ type Comparison struct {
 	After  Report  `json:"after"`
 }
 
+var shardCounts = []int{8}
+
+// repeats is how many times each benchmark is measured; the fastest run is
+// reported. Scheduling noise only ever slows a benchmark down, so best-of-N
+// is the stable estimate of capability — the regression gate uses -repeat 3
+// to keep noisy runners from flapping.
+var repeats = 1
+
+// measure runs fn through testing.Benchmark `repeats` times and keeps the
+// fastest run.
+func measure(fn func(b *testing.B)) testing.BenchmarkResult {
+	best := testing.Benchmark(fn)
+	for i := 1; i < repeats; i++ {
+		r := testing.Benchmark(fn)
+		if float64(r.T.Nanoseconds())/float64(r.N) < float64(best.T.Nanoseconds())/float64(best.N) {
+			best = r
+		}
+	}
+	return best
+}
+
 func main() {
+	testing.Init()
 	outPath := flag.String("out", "BENCH.json", "output JSON path")
 	beforePath := flag.String("before", "", "prior report to embed under \"before\"")
-	skipExp := flag.Bool("skip-experiments", false, "run only the E10 throughput suite")
+	comparePath := flag.String("compare", "", "prior report to gate against: print per-benchmark deltas, exit non-zero past -threshold")
+	threshold := flag.Float64("threshold", 10, "regression threshold in percent for -compare")
+	skipExp := flag.Bool("skip-experiments", false, "run only the throughput suites")
+	benchtime := flag.String("benchtime", "", "per-benchmark measuring time (passed to testing, e.g. 200ms)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the benchmark run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile at the end of the run to this file")
+	note := flag.String("note", "", "free-form provenance recorded in the report")
+	repeat := flag.Int("repeat", 1, "measure each benchmark n times and report the fastest run")
 	flag.Parse()
+	if *repeat > 0 {
+		repeats = *repeat
+	}
 
-	// Validate -before up front so a typo'd path fails before minutes of
-	// benchmarking.
+	if *benchtime != "" {
+		if err := flag.Set("test.benchtime", *benchtime); err != nil {
+			fatal(fmt.Errorf("-benchtime: %w", err))
+		}
+	}
+
+	// Validate file arguments up front so a typo'd path fails before
+	// minutes of benchmarking.
 	var before *Report
 	if *beforePath != "" {
-		raw, err := os.ReadFile(*beforePath)
+		var err error
+		if before, err = loadReport(*beforePath); err != nil {
+			fatal(err)
+		}
+	}
+	var baseline *Report
+	if *comparePath != "" {
+		var err error
+		if baseline, err = loadReport(*comparePath); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
 		if err != nil {
 			fatal(err)
 		}
-		before = &Report{}
-		if err := json.Unmarshal(raw, before); err != nil {
-			fatal(fmt.Errorf("parse -before report: %w", err))
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
 		}
+		defer pprof.StopCPUProfile()
 	}
 
 	rep := Report{
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		GoVersion:   runtime.Version(),
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Commit:      gitCommit(),
+		BatchSize:   sim.BatchSize,
+		ShardCounts: shardCounts,
+		Note:        *note,
 	}
 	rep.Benchmarks = append(rep.Benchmarks, throughputSuite()...)
+	rep.Benchmarks = append(rep.Benchmarks, shardedSuite()...)
 	if !*skipExp {
 		rep.Benchmarks = append(rep.Benchmarks, experimentSuite()...)
+	}
+
+	if *cpuProfile != "" {
+		pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fatal(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+
+	if baseline != nil {
+		regressions := compare(baseline, &rep, *threshold)
+		if regressions > 0 {
+			fmt.Fprintf(os.Stderr, "bench: %d benchmark(s) regressed more than %.0f%%\n", regressions, *threshold)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "bench: no regression beyond %.0f%%\n", *threshold)
+		return
 	}
 
 	payload := Comparison{Before: before, After: rep}
@@ -102,6 +210,82 @@ func main() {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "bench: wrote %d results to %s\n", len(rep.Benchmarks), *outPath)
+}
+
+// loadReport reads a report file, accepting either a bare Report or a
+// before/after Comparison (the "after" half is used).
+func loadReport(path string) (*Report, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var cmp Comparison
+	if err := json.Unmarshal(raw, &cmp); err != nil {
+		return nil, fmt.Errorf("parse report %s: %w", path, err)
+	}
+	if len(cmp.After.Benchmarks) > 0 {
+		return &cmp.After, nil
+	}
+	var rep Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return nil, fmt.Errorf("parse report %s: %w", path, err)
+	}
+	if len(rep.Benchmarks) == 0 {
+		return nil, fmt.Errorf("report %s contains no benchmarks", path)
+	}
+	return &rep, nil
+}
+
+// compare prints the per-benchmark delta of fresh against base and returns
+// how many benchmarks regressed beyond the threshold (percent). Throughput
+// benchmarks gate on req/s drops, the rest on ns/op increases; benchmarks
+// present on only one side are reported but never gate.
+func compare(base, fresh *Report, threshold float64) int {
+	byName := make(map[string]Result, len(base.Benchmarks))
+	for _, r := range base.Benchmarks {
+		byName[r.Name] = r
+	}
+	regressions := 0
+	for _, now := range fresh.Benchmarks {
+		was, ok := byName[now.Name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "bench: %-34s (new, no baseline)\n", now.Name)
+			continue
+		}
+		delete(byName, now.Name)
+		var delta float64
+		var unit string
+		if was.ReqPerSec > 0 && now.ReqPerSec > 0 {
+			// Positive delta = faster.
+			delta = (now.ReqPerSec - was.ReqPerSec) / was.ReqPerSec * 100
+			unit = "req/s"
+		} else if was.NsPerOp > 0 {
+			// Negate so positive still means faster.
+			delta = -(now.NsPerOp - was.NsPerOp) / was.NsPerOp * 100
+			unit = "ns/op"
+		} else {
+			continue
+		}
+		marker := ""
+		if delta < -threshold {
+			marker = "  REGRESSION"
+			regressions++
+		}
+		fmt.Fprintf(os.Stderr, "bench: %-34s %+7.1f%% (%s)%s\n", now.Name, delta, unit, marker)
+	}
+	for name := range byName {
+		fmt.Fprintf(os.Stderr, "bench: %-34s (baseline only, not run)\n", name)
+	}
+	return regressions
+}
+
+// gitCommit resolves the current HEAD for report provenance; best-effort.
+func gitCommit() string {
+	out, err := exec.Command("git", "rev-parse", "--short=12", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
 }
 
 // benchTrace mirrors the E10 workload of bench_test.go: a 4-tenant Zipf mix
@@ -135,34 +319,79 @@ func benchCosts(tenants int) []costfn.Func {
 }
 
 // throughputSuite is the E10 matrix: policies x cache sizes on the shared
-// large trace, reported as requests/sec.
+// large trace, reported as requests/sec. The fast policy is measured twice:
+// on the batched dense loop (its production path) and with NoBatch pinning
+// the per-step loop, so every report carries its own batching speedup.
 func throughputSuite() []Result {
 	tr := benchTrace(4, 4096, 200_000)
 	tr.Dense() // densify once, outside every measured region
 	costs := benchCosts(4)
 	type entry struct {
-		name string
-		mk   func() sim.Policy
-		ks   []int
+		name    string
+		mk      func() sim.Policy
+		ks      []int
+		noBatch bool
 	}
 	all := []int{256, 4096, 65536}
 	suite := []entry{
-		{"fast", func() sim.Policy { return core.NewFast(core.Options{Costs: costs}) }, all},
+		{"fast", func() sim.Policy { return core.NewFast(core.Options{Costs: costs}) }, all, false},
+		{"fast-per-step", func() sim.Policy { return core.NewFast(core.Options{Costs: costs}) }, all, true},
 		// The reference implementation is O(cache) per eviction; only the
 		// smallest size is tractable at benchmark scale.
-		{"discrete", func() sim.Policy { return core.NewDiscrete(core.Options{Costs: costs}) }, []int{256}},
-		{"lru", func() sim.Policy { return policy.NewLRU() }, all},
-		{"greedy-dual", func() sim.Policy { return policy.NewGreedyDual([]float64{1, 2, 3, 4}) }, all},
+		{"discrete", func() sim.Policy { return core.NewDiscrete(core.Options{Costs: costs}) }, []int{256}, false},
+		{"lru", func() sim.Policy { return policy.NewLRU() }, all, false},
+		{"greedy-dual", func() sim.Policy { return policy.NewGreedyDual([]float64{1, 2, 3, 4}) }, all, false},
 	}
 	var out []Result
 	for _, e := range suite {
 		for _, k := range e.ks {
 			name := fmt.Sprintf("throughput/%s/k=%d", e.name, k)
-			r := testing.Benchmark(func(b *testing.B) {
+			cfg := sim.Config{K: k, NoBatch: e.noBatch}
+			r := measure(func(b *testing.B) {
 				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					p := e.mk()
-					if _, err := runspec.Run(tr, p, k); err != nil {
+					if _, err := sim.Run(tr, p, cfg); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			res := toResult(name, r)
+			res.ReqPerSec = float64(tr.Len()*r.N) / r.T.Seconds()
+			out = append(out, res)
+			fmt.Fprintf(os.Stderr, "bench: %-28s %12.0f req/s %8d allocs/op\n", name, res.ReqPerSec, res.AllocsPerOp)
+		}
+	}
+	return out
+}
+
+// shardedSuite measures deterministic sharded replay: the same trace
+// partitioned across n single-writer dense engines replayed concurrently.
+// The shard plan is built once outside the measured region, like the dense
+// remap. Aggregate req/s scales with cores; the report's gomaxprocs field
+// says how many this run had.
+func shardedSuite() []Result {
+	tr := benchTrace(4, 4096, 200_000)
+	tr.Dense()
+	costs := benchCosts(4)
+	mk := func() sim.Policy { return core.NewFast(core.Options{Costs: costs}) }
+	ctx := context.Background()
+	var out []Result
+	for _, n := range shardCounts {
+		pl, err := sim.BuildShards(tr, n)
+		if err != nil {
+			fatal(err)
+		}
+		for _, k := range []int{256, 4096, 65536} {
+			if k < n {
+				continue
+			}
+			name := fmt.Sprintf("throughput/fast-sharded/n=%d/k=%d", n, k)
+			cfg := sim.Config{K: k}
+			r := measure(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := pl.Run(ctx, mk, cfg, n); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -183,7 +412,7 @@ func experimentSuite() []Result {
 	for _, e := range experiments.All() {
 		run := e.Run
 		name := "experiment/" + e.ID
-		r := testing.Benchmark(func(b *testing.B) {
+		r := measure(func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				tb, err := run(true)

@@ -64,6 +64,7 @@ func run(args []string, stdout io.Writer) error {
 	metrics := fs.Bool("metrics", false, "print eviction-age and occupancy metrics per policy")
 	blockCSV := fs.Bool("block-csv", false, "parse the trace as MSR-style block-I/O CSV instead of the native formats")
 	pageBytes := fs.Int64("page-bytes", 4096, "page size for -block-csv")
+	shards := fs.Int("shards", 0, "replay each policy via deterministic sharded replay with this many workers (dense engine, no -metrics)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -79,11 +80,12 @@ func run(args []string, stdout io.Writer) error {
 			return fmt.Errorf("-trace or -scenario is required")
 		}
 		sc = &runspec.Scenario{
-			Trace: runspec.TraceSpec{File: *tracePath},
-			Costs: costSpecs,
-			K:     *k,
-			Seed:  *seed,
-			Flush: *flush,
+			Trace:  runspec.TraceSpec{File: *tracePath},
+			Costs:  costSpecs,
+			K:      *k,
+			Seed:   *seed,
+			Flush:  *flush,
+			Shards: *shards,
 		}
 		if *blockCSV {
 			sc.Trace.Format = "block-csv"

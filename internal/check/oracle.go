@@ -155,6 +155,16 @@ func Oracles() []Oracle {
 			opt := v.opt(tr.NumTenants())
 			return divergeErr(DiffEngines(tr, k, func() sim.Policy { return core.NewFast(opt) }))
 		}})
+		// The batched loop against the per-step dense loop, and sharded
+		// replay against sequential replay, under the same cost regimes.
+		out = append(out, Oracle{Name: "batched/" + v.name[len("engines/"):], Run: func(tr *trace.Trace, k int) error {
+			opt := v.opt(tr.NumTenants())
+			return divergeErr(DiffBatched(tr, k, func() sim.Policy { return core.NewFast(opt) }))
+		}})
+		out = append(out, Oracle{Name: "sharded/" + v.name[len("engines/"):], Run: func(tr *trace.Trace, k int) error {
+			opt := v.opt(tr.NumTenants())
+			return divergeErr(DiffSharded(tr, k, func() sim.Policy { return core.NewFast(opt) }, []int{1, 2, 3, 4, 8}))
+		}})
 	}
 
 	// core.Fast vs the Figure-3 reference: the reformulated production

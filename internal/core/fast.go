@@ -2,7 +2,10 @@ package core
 
 import (
 	"container/list"
+	"fmt"
 
+	"convexcache/internal/costfn"
+	"convexcache/internal/sim"
 	"convexcache/internal/trace"
 )
 
@@ -24,14 +27,15 @@ import (
 // and an eviction costs O(#tenants).
 //
 // Fast has two interchangeable state backends. When driven through sim.Run
-// on an indexable trace it implements sim.DensePolicy: per-page state lives
-// in flat slices indexed by the dense page index, the per-tenant recency
-// list is an intrusive doubly-linked list over prev/next []int32 arrays, and
-// marginal(i, m_i) is cached per tenant and recomputed only when m_i
-// changes — so the request loop is allocation-free and Victim is a linear
-// scan over a flat tenant array. Direct drivers (the lower-bound adversary,
-// the buffer pool, the hierarchy and multipool substrates) use the original
-// map-backed sim.Policy methods; the two backends never mix within a run.
+// on an indexable trace it implements sim.BatchPolicy: the engine hands it
+// runs of sim.BatchSize requests and the whole hit/miss/evict/insert loop
+// runs here with concrete types over the shared slot table. Per-page and
+// per-tenant state is laid out hot/cold (see fastDense) so the hit path
+// touches two cache lines and the victim scan one line per tenant; the
+// request loop is allocation-free. Direct drivers (the lower-bound
+// adversary, the buffer pool, the hierarchy and multipool substrates) use
+// the original map-backed sim.Policy methods; the two backends never mix
+// within a run.
 type Fast struct {
 	opt Options
 
@@ -53,26 +57,116 @@ type fastPage struct {
 	seq      int
 }
 
-// fastDense is the slice-backed state of the dense path. All page-indexed
-// slices use the trace.Dense page index; -1 is the nil link.
+// tenantHot packs the per-tenant state the hit path and the victim scan
+// touch into one 40-byte record: the cached marginal(i, m[i]), a mirror of
+// the tail page's aging origin so the victim scan never chases a pointer
+// into the page array, the precomputed victim-scan key (see below), the
+// recency-list endpoints, a mirror of the tail's predecessor so an eviction
+// never reads the victim's (cold, by definition least-recently-touched)
+// page record, and whether the tenant's marginal is constant (linear cost,
+// recompute skipped entirely).
+//
+// key caches marg + tailAge. Budgets are compared, never consumed, by the
+// victim scan, and for any two tenants
+//
+//	marg_i - (A - tailAge_i) < marg_j - (A - tailAge_j)
+//	  <=>  marg_i + tailAge_i < marg_j + tailAge_j
+//
+// in exact arithmetic: the shared aging term cancels. Comparing the cached
+// key therefore selects the same victim while making the scan pure compares
+// of precomputed values with no dependence on the aging counter — which
+// matters because the aging update is a serial FP chain across evictions,
+// and with the key the scan no longer waits on it. The key is recomputed
+// (one add) wherever marg or tailAge changes. All victim paths (batched,
+// per-step, map) compare the same fl(marg + tailAge) so the backends stay
+// bit-identical; when A grows so large that ulp-level rounding makes keys
+// collide, the sequence tie-break (global LRU order) decides, identically
+// everywhere.
+type tenantHot struct {
+	marg       float64
+	tailAge    float64 // pr[tail].ageStart mirror, valid while tail >= 0
+	key        float64 // marg + tailAge, the victim-scan comparison key
+	head, tail int32   // most/least recently requested cached page, -1 empty
+	tailPrev   int32   // pr[tail].prev mirror, valid while tail >= 0
+	constMarg  bool
+}
+
+// pageRec packs all per-page state — the aging origin, the tie-break
+// sequence, the intrusive LRU links, the owner, and the residency flag of
+// the batched path — into exactly 32 bytes, two per cache line. The batched
+// request loop therefore resolves a probe (resident?), the owner lookup and
+// the insert bookkeeping for a page with a single random cache line, where
+// the first cut of the dense path touched three arrays (page->slot, owners,
+// ages+links) per request.
+type pageRec struct {
+	ageStart float64
+	seq      int64
+	// prev/next are the intrusive per-tenant LRU links, -1 = nil.
+	prev, next int32
+	// owner is the page's tenant, mirrored from trace.Dense.Owners.
+	owner int32
+	// resident is 1 while the page is cached; maintained only by the
+	// batched loop, which owns residency (the per-step loop keeps it in the
+	// engine's sim.SlotTable).
+	resident int32
+}
+
+// fastDense is the struct-of-arrays state of the dense path, split hot/cold:
+// th holds everything the victim scan reads (one line per two tenants), pr
+// holds the per-page records the hit and insert paths write, and the
+// per-tenant miss counters m stay cold — they are read only when a marginal
+// is recomputed. All page-indexed state uses the trace.Dense page index.
 type fastDense struct {
 	d *trace.Dense
 
 	aging float64
 
-	// Per-tenant state, indexed by tenant id.
-	m    []float64
-	marg []float64 // cached marginal(i, m[i]); recomputed when m[i] changes
-	head []int32   // most recently requested cached page, -1 when empty
-	tail []int32   // least recently requested cached page, -1 when empty
+	// Hot per-tenant state, indexed by tenant id.
+	th []tenantHot
+	// Cold per-tenant state: the miss counter m(i) and the resolved cost
+	// functions, read only when a marginal is recomputed.
+	m  []float64
+	fs []costfn.Func
+	// cb devirtualizes the dominant marginal recompute: for a true-derivative
+	// Monomial with Beta == 2 it holds C*Beta, and margAt evaluates
+	// cb*(m+1) directly — bit-identical to Monomial.Deriv's quadratic fast
+	// path, which multiplies (C*Beta)*x left to right — skipping the
+	// interface dispatch an eviction would otherwise pay. Zero selects the
+	// generic path (a C == 0 monomial has a zero marginal either way).
+	cb []float64
 
-	// Per-page state; prev/next form the intrusive per-tenant LRU.
-	prev     []int32
-	next     []int32
-	ageStart []float64
-	seq      []int64
+	// Per-page state.
+	pr []pageRec
+
+	// Residency bookkeeping of the batched path: occupied page count and
+	// capacity (the per-step path reads neither; the engine's slot table
+	// tracks them there).
+	used, k int
 
 	nextSeq int64
+
+	// Option flags hoisted out of Options so the hot loop never copies the
+	// Options struct.
+	discrete    bool
+	countMisses bool
+
+	// prefetchSink absorbs the batched loop's prefetch pass so it is not
+	// dead-code-eliminated; the value is meaningless.
+	prefetchSink int32
+}
+
+// margAt recomputes tenant i's marginal from its current miss counter. The
+// arithmetic is identical to Options.marginal, but the cost function is
+// pre-resolved and the mode branch pre-hoisted, so an eviction pays one
+// interface dispatch instead of an Options copy plus default resolution.
+func (s *fastDense) margAt(i trace.Tenant) float64 {
+	if cb := s.cb[i]; cb != 0 {
+		return cb * (s.m[i] + 1)
+	}
+	if s.discrete {
+		return costfn.DiscreteDeriv(s.fs[i], s.m[i])
+	}
+	return s.fs[i].Deriv(s.m[i] + 1)
 }
 
 // NewFast returns a fresh Fast instance.
@@ -103,65 +197,125 @@ func (f *Fast) PrepareDense(d *trace.Dense, k int) bool {
 	nPages := d.NumPages()
 	nTenants := d.Tenants
 	s := f.dn
-	if s == nil || len(s.prev) < nPages || len(s.m) < nTenants {
+	if s == nil || len(s.pr) < nPages || len(s.th) < nTenants {
 		s = &fastDense{
-			m:        make([]float64, nTenants),
-			marg:     make([]float64, nTenants),
-			head:     make([]int32, nTenants),
-			tail:     make([]int32, nTenants),
-			prev:     make([]int32, nPages),
-			next:     make([]int32, nPages),
-			ageStart: make([]float64, nPages),
-			seq:      make([]int64, nPages),
+			th: make([]tenantHot, nTenants),
+			m:  make([]float64, nTenants),
+			fs: make([]costfn.Func, nTenants),
+			cb: make([]float64, nTenants),
+			pr: make([]pageRec, nPages),
 		}
 		f.dn = s
 	}
 	s.d = d
 	s.aging = 0
 	s.nextSeq = 0
+	s.used = 0
+	s.k = k
+	s.discrete = f.opt.UseDiscreteDeriv
+	s.countMisses = f.opt.CountMisses
 	for i := 0; i < nTenants; i++ {
 		s.m[i] = 0
-		s.marg[i] = f.opt.marginal(trace.Tenant(i), 0)
-		s.head[i] = -1
-		s.tail[i] = -1
+		s.fs[i] = f.opt.cost(trace.Tenant(i))
+		// A linear tenant's derivative never moves, so its marginal is
+		// computed once here and the per-eviction recompute skipped. (The
+		// discrete finite difference of a linear cost is not bit-stable for
+		// large counters, so the shortcut applies to true derivatives only.)
+		_, lin := s.fs[i].(costfn.Linear)
+		s.cb[i] = 0
+		if mono, ok := s.fs[i].(costfn.Monomial); ok && !s.discrete && mono.Beta == 2 {
+			s.cb[i] = mono.C * mono.Beta
+		}
+		marg := f.opt.marginal(trace.Tenant(i), 0)
+		s.th[i] = tenantHot{
+			marg:      marg,
+			key:       marg, // tailAge is zero until the first insert
+			head:      -1,
+			tail:      -1,
+			tailPrev:  -1,
+			constMarg: lin && !s.discrete,
+		}
 	}
 	for p := 0; p < nPages; p++ {
-		s.prev[p] = -1
-		s.next[p] = -1
-		s.ageStart[p] = 0
-		s.seq[p] = 0
+		s.pr[p] = pageRec{prev: -1, next: -1, owner: int32(d.Owners[p])}
 	}
 	return true
 }
 
-// pushFront links page p at the front of its owner's recency list.
+// pushFront links page p at the front of its owner's recency list. It must
+// run after p's pageRec age fields are current, so the tailAge mirror picks
+// up the fresh aging origin when p becomes the tail of an empty list.
 func (s *fastDense) pushFront(i trace.Tenant, p int32) {
-	h := s.head[i]
-	s.prev[p] = -1
-	s.next[p] = h
+	t := &s.th[i]
+	h := t.head
+	s.pr[p].prev = -1
+	s.pr[p].next = h
 	if h >= 0 {
-		s.prev[h] = p
+		s.pr[h].prev = p
+		if h == t.tail {
+			// Two-element list now: p is the tail's predecessor.
+			t.tailPrev = p
+		}
 	} else {
-		s.tail[i] = p
+		t.tail = p
+		t.tailAge = s.pr[p].ageStart
+		t.key = t.marg + t.tailAge
+		t.tailPrev = -1
 	}
-	s.head[i] = p
+	t.head = p
 }
 
-// unlink removes page p from its owner's recency list.
+// unlink removes page p from its owner's recency list, refreshing the
+// tailAge/tailPrev mirrors when the tail or its predecessor moves.
+//
+// Tail next pointers may be stale: popTail retires a tail without clearing
+// its predecessor's next link, so a page that is currently the tail must be
+// treated as having no successor regardless of what its record says.
 func (s *fastDense) unlink(i trace.Tenant, p int32) {
-	pr, nx := s.prev[p], s.next[p]
+	t := &s.th[i]
+	pr, nx := s.pr[p].prev, s.pr[p].next
+	if p == t.tail {
+		nx = -1
+	}
 	if pr >= 0 {
-		s.next[pr] = nx
+		s.pr[pr].next = nx
 	} else {
-		s.head[i] = nx
+		t.head = nx
 	}
 	if nx >= 0 {
-		s.prev[nx] = pr
+		s.pr[nx].prev = pr
+		if p == t.tailPrev {
+			t.tailPrev = pr
+		}
 	} else {
-		s.tail[i] = pr
+		t.tail = pr
+		if pr >= 0 {
+			t.tailAge = s.pr[pr].ageStart
+			t.key = t.marg + t.tailAge
+			t.tailPrev = s.pr[pr].prev
+		}
 	}
-	s.prev[p] = -1
-	s.next[p] = -1
+	s.pr[p].prev = -1
+	s.pr[p].next = -1
+}
+
+// popTail is unlink specialized for the eviction path, where the page being
+// removed is by construction its owner's tail (the victim scan only ever
+// nominates tails). The new tail is the mirrored tailPrev, so the victim's
+// cold page record is never read, and the single read of the new tail's
+// record refreshes both mirrors — its stale next link is left in place and
+// neutralized by unlink's tail guard.
+func (s *fastDense) popTail(i trace.Tenant, p int32) {
+	t := &s.th[i]
+	nt := t.tailPrev
+	t.tail = nt
+	if nt >= 0 {
+		t.tailAge = s.pr[nt].ageStart
+		t.key = t.marg + t.tailAge
+		t.tailPrev = s.pr[nt].prev
+	} else {
+		t.head = -1
+	}
 }
 
 // DenseHit implements sim.DensePolicy: refresh recency and the aging origin.
@@ -169,11 +323,15 @@ func (f *Fast) DenseHit(step int, page int32) {
 	s := f.dn
 	s.nextSeq++
 	i := s.d.Owners[page]
-	s.ageStart[page] = s.aging
-	s.seq[page] = s.nextSeq
-	if s.head[i] != page {
+	s.pr[page].ageStart = s.aging
+	s.pr[page].seq = s.nextSeq
+	if s.th[i].head != page {
 		s.unlink(i, page)
 		s.pushFront(i, page)
+	} else if s.th[i].tail == page {
+		// Single-page list: the tail's aging origin just moved.
+		s.th[i].tailAge = s.aging
+		s.th[i].key = s.th[i].marg + s.aging
 	}
 }
 
@@ -183,37 +341,63 @@ func (f *Fast) DenseInsert(step int, page int32) {
 	s := f.dn
 	s.nextSeq++
 	i := s.d.Owners[page]
-	if f.opt.CountMisses {
+	if s.countMisses {
 		s.m[i]++
-		s.marg[i] = f.opt.marginal(i, s.m[i])
+		if !s.th[i].constMarg {
+			s.th[i].marg = s.margAt(i)
+			// The key tracks the marginal; pushFront refreshes it again if
+			// this insert lands in an empty list and moves the tail.
+			s.th[i].key = s.th[i].marg + s.th[i].tailAge
+		}
 	}
-	s.ageStart[page] = s.aging
-	s.seq[page] = s.nextSeq
+	s.pr[page].ageStart = s.aging
+	s.pr[page].seq = s.nextSeq
+	s.pr[page].resident = 1
 	s.pushFront(i, page)
 }
 
-// DenseVictim implements sim.DensePolicy: a linear scan over the flat tenant
-// array, comparing each tenant's least-recently-requested page using the
-// cached marginal. No map iteration, no Deriv calls.
-func (f *Fast) DenseVictim(step int, page int32) int32 {
+// denseVictim is the victim scan of the per-step path: a linear pass over
+// the flat tenant array comparing each tenant's least-recently-requested
+// page by the precomputed key (see tenantHot) — no map iteration, no Deriv
+// calls, no arithmetic, and no dependent load into the page array except on
+// exact key ties, where the sequence tie-break is resolved lazily. Returns
+// -1 when every tenant list is empty.
+func (f *Fast) denseVictim() int32 {
 	s := f.dn
 	best := int32(-1)
-	bestB := 0.0
+	bestK := 0.0
 	bestSeq := int64(0)
-	for i, t := 0, len(s.tail); i < t; i++ {
-		p := s.tail[i]
+	haveSeq := false
+	for i := range s.th {
+		t := &s.th[i]
+		p := t.tail
 		if p < 0 {
 			continue
 		}
-		b := s.marg[i] - (s.aging - s.ageStart[p])
-		if best < 0 || b < bestB || (b == bestB && s.seq[p] < bestSeq) {
-			best, bestB, bestSeq = p, b, s.seq[p]
+		k := t.key
+		if best < 0 || k < bestK {
+			best, bestK = p, k
+			haveSeq = false
+		} else if k == bestK {
+			if !haveSeq {
+				bestSeq = s.pr[best].seq
+				haveSeq = true
+			}
+			if s.pr[p].seq < bestSeq {
+				best, bestSeq = p, s.pr[p].seq
+			}
 		}
 	}
-	if best < 0 {
+	return best
+}
+
+// DenseVictim implements sim.DensePolicy.
+func (f *Fast) DenseVictim(step int, page int32) int32 {
+	v := f.denseVictim()
+	if v < 0 {
 		panic("core: Fast.DenseVictim called with empty cache")
 	}
-	return best
+	return v
 }
 
 // DenseEvict implements sim.DensePolicy: age every resident page by the
@@ -222,12 +406,146 @@ func (f *Fast) DenseVictim(step int, page int32) int32 {
 func (f *Fast) DenseEvict(step int, page int32) {
 	s := f.dn
 	i := s.d.Owners[page]
-	s.aging += s.marg[i] - (s.aging - s.ageStart[page])
-	if !f.opt.CountMisses {
+	s.aging += s.th[i].marg - (s.aging - s.pr[page].ageStart)
+	if !s.countMisses {
 		s.m[i]++
-		s.marg[i] = f.opt.marginal(i, s.m[i])
+		if !s.th[i].constMarg {
+			s.th[i].marg = s.margAt(i)
+		}
 	}
 	s.unlink(i, page)
+	s.pr[page].resident = 0
+}
+
+// StepBatch implements sim.BatchPolicy: the whole hit/miss/evict/insert loop
+// for a run of requests, with the per-step Dense* bodies inlined so the
+// engine pays one interface dispatch per sim.BatchSize requests instead of
+// one per event. Residency lives in the pageRec resident flag, so the probe,
+// the owner lookup and the insert bookkeeping share one cache line per
+// request. The arithmetic and its order are identical to the per-step path,
+// so the two loops stay bit-exact (enforced by the internal/check batched
+// oracle).
+func (f *Fast) StepBatch(base int, pages []int32, bc *sim.BatchCounters, warm bool) error {
+	s := f.dn
+	prs := s.pr
+	ths := s.th
+	countMisses := s.countMisses
+	// aging, nextSeq and used live in locals for the whole batch: none of
+	// the helpers below read them, and keeping them out of memory removes a
+	// load+store pair from every event's dependency chain.
+	aging := s.aging
+	nextSeq := s.nextSeq
+	used := s.used
+	defer func() {
+		s.aging = aging
+		s.nextSeq = nextSeq
+		s.used = used
+	}()
+	// Prefetch pass: touch every record the batch will probe before serving
+	// any request. The loads are independent, so the memory system overlaps
+	// them, where the serving loop — whose branches depend on each probe —
+	// would take the misses one at a time. This is the batched contract's
+	// structural advantage: a per-step engine cannot see the next 63 pages.
+	// The sink store keeps the compiler from discarding the pass.
+	var sink int32
+	for _, pg := range pages {
+		sink += prs[pg].owner
+	}
+	s.prefetchSink = sink
+	for _, pg := range pages {
+		r := &prs[pg]
+		i := trace.Tenant(r.owner)
+		if r.resident != 0 {
+			// Hit: refresh recency and the aging origin.
+			nextSeq++
+			r.ageStart = aging
+			r.seq = nextSeq
+			if ths[i].head != pg {
+				s.unlink(i, pg)
+				s.pushFront(i, pg)
+			} else if ths[i].tail == pg {
+				// Single-page list: the tail's aging origin just moved.
+				ths[i].tailAge = aging
+				ths[i].key = ths[i].marg + aging
+			}
+			if !warm {
+				bc.Hits++
+			}
+			continue
+		}
+		if !warm {
+			bc.Misses[i]++
+		}
+		if used >= s.k {
+			// Victim scan, inlined from denseVictim (which the compiler will
+			// not inline because of its loop); comparison and selection order
+			// are identical, which the batched-vs-per-step oracle enforces.
+			// Comparing precomputed keys keeps the scan off the aging chain:
+			// the FP adds of consecutive evictions pipeline across iterations
+			// instead of serializing through the next scan.
+			best := int32(-1)
+			bestK := 0.0
+			bestSeq := int64(0)
+			haveSeq := false
+			var bestT trace.Tenant
+			for t := range ths {
+				th := &ths[t]
+				p := th.tail
+				if p < 0 {
+					continue
+				}
+				k := th.key
+				if k < bestK || best < 0 {
+					best, bestK, bestT = p, k, trace.Tenant(t)
+					haveSeq = false
+				} else if k == bestK {
+					if !haveSeq {
+						bestSeq = prs[best].seq
+						haveSeq = true
+					}
+					if prs[p].seq < bestSeq {
+						best, bestSeq, bestT = p, prs[p].seq, trace.Tenant(t)
+					}
+				}
+			}
+			if best < 0 {
+				return fmt.Errorf("core: alg-fast found no victim at step %d", base)
+			}
+			// Evict: age everyone by the victim's budget — the victim is its
+			// owner's tail, so tailAge is its ageStart and the whole update
+			// stays inside the tenantHot line — then advance the owner's
+			// counter in eviction-count mode, unlink, and mark it absent.
+			vo := bestT
+			aging += ths[vo].marg - (aging - ths[vo].tailAge)
+			if !countMisses {
+				s.m[vo]++
+				if !ths[vo].constMarg {
+					ths[vo].marg = s.margAt(vo)
+				}
+			}
+			s.popTail(vo, best)
+			prs[best].resident = 0
+			if !warm {
+				bc.Evictions[vo]++
+			}
+		} else {
+			used++
+		}
+		// Insert: register the page with the current marginal as its budget.
+		nextSeq++
+		if countMisses {
+			s.m[i]++
+			if !ths[i].constMarg {
+				ths[i].marg = s.margAt(i)
+				ths[i].key = ths[i].marg + ths[i].tailAge
+			}
+		}
+		r.ageStart = aging
+		r.seq = nextSeq
+		r.resident = 1
+		s.pushFront(i, pg)
+	}
+	return nil
 }
 
 func (f *Fast) tenantList(i trace.Tenant) *list.List {
@@ -267,10 +585,14 @@ func (f *Fast) OnInsert(step int, r trace.Request) {
 	f.elem[r.Page] = f.tenantList(r.Tenant).PushFront(r.Page)
 }
 
-// Victim scans the per-tenant LRU candidates for the minimum budget.
+// Victim scans the per-tenant LRU candidates for the minimum budget. The
+// candidates are compared by marginal + ageStart — the budget ordering with
+// the shared aging term cancelled (see tenantHot.key); the dense backends
+// compare the same fl(marg + tailAge), so all three victim paths pick
+// identical victims.
 func (f *Fast) Victim(step int, r trace.Request) trace.PageID {
 	var best trace.PageID
-	bestB := 0.0
+	bestK := 0.0
 	bestSeq := 0
 	found := false
 	for i, l := range f.lists {
@@ -280,9 +602,9 @@ func (f *Fast) Victim(step int, r trace.Request) trace.PageID {
 		}
 		p := back.Value.(trace.PageID)
 		pg := f.info[p]
-		b := f.opt.marginal(i, f.m[i]) - (f.aging - pg.ageStart)
-		if !found || b < bestB || (b == bestB && pg.seq < bestSeq) {
-			best, bestB, bestSeq, found = p, b, pg.seq, true
+		k := f.opt.marginal(i, f.m[i]) + pg.ageStart
+		if !found || k < bestK || (k == bestK && pg.seq < bestSeq) {
+			best, bestK, bestSeq, found = p, k, pg.seq, true
 		}
 	}
 	if !found {
@@ -322,11 +644,11 @@ func (f *Fast) Misses(i trace.Tenant) float64 {
 func (f *Fast) Budget(p trace.PageID) (float64, bool) {
 	if s := f.dn; s != nil {
 		ix := s.d.IndexOf(p)
-		if ix < 0 || (s.prev[ix] < 0 && s.next[ix] < 0 && s.head[s.d.Owners[ix]] != ix) {
+		if ix < 0 || s.pr[ix].resident == 0 {
 			return 0, false
 		}
 		i := s.d.Owners[ix]
-		return s.marg[i] - (s.aging - s.ageStart[ix]), true
+		return s.th[i].marg - (s.aging - s.pr[ix].ageStart), true
 	}
 	if _, ok := f.info[p]; !ok {
 		return 0, false

@@ -89,14 +89,22 @@ func (f *Fast) snapshotDense() FastSnapshot {
 			s.Misses[trace.Tenant(i)] = m
 		}
 	}
-	for i := range dn.head {
-		for p := dn.head[i]; p >= 0; p = dn.next[p] {
+	for i := range dn.th {
+		// The walk must stop at the recorded tail rather than on a -1 next
+		// link: the batched eviction path retires tails without rewriting
+		// the new tail's next pointer, so the last resident record's next
+		// may point at an evicted page.
+		for p := dn.th[i].head; p >= 0; {
 			s.Pages = append(s.Pages, PageSnapshot{
 				Page:     dn.d.Pages[p],
 				Owner:    trace.Tenant(i),
-				AgeStart: dn.ageStart[p],
-				Seq:      int(dn.seq[p]),
+				AgeStart: dn.pr[p].ageStart,
+				Seq:      int(dn.pr[p].seq),
 			})
+			if p == dn.th[i].tail {
+				break
+			}
+			p = dn.pr[p].next
 		}
 	}
 	return s

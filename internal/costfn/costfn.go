@@ -97,6 +97,12 @@ func (m Monomial) Deriv(x float64) float64 {
 		}
 		return 0
 	}
+	if m.Beta == 2 {
+		// math.Pow(x, 1) == x exactly (a documented special case), so the
+		// quadratic family — the common SLA shape on the eviction hot path —
+		// skips the Pow call without changing a single bit of the result.
+		return m.C * m.Beta * x
+	}
 	return m.C * m.Beta * math.Pow(x, m.Beta-1)
 }
 

@@ -131,6 +131,7 @@ func (sc *Scenario) Execute(ctx context.Context) (*Output, error) {
 				Trace:  rtr,
 				Policy: func() sim.Policy { return ro.wrap(newPolicy()) },
 				Config: cfg,
+				Shards: sc.Shards,
 			})
 			rowObs = append(rowObs, ro)
 			out.Rows = append(out.Rows, Row{Policy: cp.Label, K: k})

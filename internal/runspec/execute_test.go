@@ -405,3 +405,97 @@ func TestScenarioSweepCell(t *testing.T) {
 		t.Fatalf("template mutated: workload seed %d, scenario seed %d", sc.Trace.Workload.Seed, sc.Seed)
 	}
 }
+
+// TestExecuteSharded drives the sharded branch of the planner: a sharded
+// row must produce the same per-tenant accounting as the identical
+// scenario replayed sequentially when shards=1, must be deterministic at
+// higher shard counts, and the incompatible-spec combinations must be
+// rejected at validation time.
+func TestExecuteSharded(t *testing.T) {
+	base := func() *Scenario {
+		return &Scenario{
+			Trace: TraceSpec{Workload: &WorkloadSpec{
+				Tenants: []TenantSpec{{Stream: "zipf:300,0.9"}, {Stream: "uniform:200"}},
+				Length:  5000,
+			}},
+			Policies: []PolicySpec{{Name: "alg"}},
+			Costs:    []string{"monomial:1,2", "linear:3"},
+			K:        64,
+			Seed:     9,
+		}
+	}
+
+	seq, err := base().Execute(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := seq.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	one := base()
+	one.Shards = 1
+	outOne, err := one.Execute(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := outOne.Err(); err != nil {
+		t.Fatal(err)
+	}
+	// Shards <= 1 runs the ordinary engine; identical numbers expected.
+	if !reflect.DeepEqual(seq.Rows[0].Result.Misses, outOne.Rows[0].Result.Misses) {
+		t.Fatalf("shards=1 misses %v != sequential %v", outOne.Rows[0].Result.Misses, seq.Rows[0].Result.Misses)
+	}
+
+	four := base()
+	four.Shards = 4
+	outA, err := four.Execute(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := outA.Err(); err != nil {
+		t.Fatal(err)
+	}
+	outB, err := four.Execute(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, rb := outA.Rows[0].Result, outB.Rows[0].Result
+	if ra.Hits != rb.Hits || !reflect.DeepEqual(ra.Misses, rb.Misses) || !reflect.DeepEqual(ra.Evictions, rb.Evictions) {
+		t.Fatalf("sharded replay not deterministic:\n  a: %+v\n  b: %+v", ra, rb)
+	}
+	if ra.Steps != 5000 {
+		t.Fatalf("sharded Steps = %d, want 5000", ra.Steps)
+	}
+	if got := ra.Hits + ra.TotalMisses(); got != 5000 {
+		t.Fatalf("sharded hits+misses = %d, want 5000", got)
+	}
+
+	for name, mut := range map[string]func(*Scenario){
+		"map-engine":  func(sc *Scenario) { sc.Engine = "map" },
+		"k-too-small": func(sc *Scenario) { sc.K = 3; sc.Shards = 8 },
+		"window":      func(sc *Scenario) { sc.Observers.Window = 100 },
+		"check":       func(sc *Scenario) { sc.Observers.Check = true },
+		"negative":    func(sc *Scenario) { sc.Shards = -1 },
+	} {
+		sc := base()
+		sc.Shards = 4
+		mut(sc)
+		var spec *SpecError
+		if _, err := sc.Execute(context.Background()); !errors.As(err, &spec) {
+			t.Fatalf("%s: got %v, want *SpecError", name, err)
+		}
+	}
+}
+
+// TestScenarioShardsWire checks the strict JSON wire form round-trips the
+// shards field.
+func TestScenarioShardsWire(t *testing.T) {
+	sc, err := ParseScenario([]byte(`{"trace":{"inline":[[0,1],[0,2]]},"k":4,"shards":2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Shards != 2 {
+		t.Fatalf("Shards = %d, want 2", sc.Shards)
+	}
+}

@@ -56,6 +56,11 @@ type Scenario struct {
 	Warmup int `json:"warmup,omitempty"`
 	// Engine pins the request loop: "auto" (default), "map" or "dense".
 	Engine string `json:"engine,omitempty"`
+	// Shards, when > 1, replays every row via deterministic sharded replay
+	// (sim.RunSharded): pages are partitioned across this many single-writer
+	// dense engines and the per-tenant accounting merged exactly. Requires
+	// the dense engine, no observers, and every cache size >= Shards.
+	Shards int `json:"shards,omitempty"`
 	// Flush appends the paper's dummy-tenant flush so eviction counts
 	// equal miss counts (trace.WithFlush).
 	Flush bool `json:"flush,omitempty"`
@@ -260,6 +265,24 @@ func (sc *Scenario) Validate() error {
 	}
 	if sc.Observers.Window < 0 {
 		return specErrf("runspec: observer window must be non-negative")
+	}
+	if sc.Shards < 0 {
+		return specErrf("runspec: shards must be non-negative")
+	}
+	if sc.Shards > 1 {
+		// Sharded replay is dense-only and delivers no per-step events:
+		// concurrent shards would interleave them nondeterministically.
+		if sc.Engine == "map" {
+			return specErrf("runspec: shards require the dense engine, not %q", sc.Engine)
+		}
+		if sc.Observers.Check || sc.Observers.Fault != "" || sc.Observers.Window > 0 || sc.Observer != nil || sc.RowObserver != nil {
+			return specErrf("runspec: shards and observers are mutually exclusive")
+		}
+		for _, k := range sc.Ks() {
+			if k < sc.Shards {
+				return specErrf("runspec: every cache size must be >= shards (k=%d < shards=%d)", k, sc.Shards)
+			}
+		}
 	}
 	if sc.Trace.Workload != nil && sc.Trace.Workload.Seed == 0 {
 		sc.Trace.Workload.Seed = sc.Seed

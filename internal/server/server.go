@@ -367,6 +367,9 @@ type SimulateRequest struct {
 	// accounting modes).
 	DiscreteDeriv bool `json:"discrete_deriv"`
 	CountMisses   bool `json:"count_misses"`
+	// Shards > 1 replays each policy via deterministic sharded replay
+	// (see sim.RunSharded); runspec.Validate enforces its restrictions.
+	Shards int `json:"shards"`
 }
 
 // PolicyResult is one row of the simulate response.
@@ -392,10 +395,11 @@ type SimulateResponse struct {
 // options ride on the algorithm rows only.
 func (req SimulateRequest) scenario() *runspec.Scenario {
 	sc := &runspec.Scenario{
-		Trace: runspec.TraceSpec{Inline: req.Trace},
-		K:     req.K,
-		Costs: req.Costs,
-		Seed:  req.Seed,
+		Trace:  runspec.TraceSpec{Inline: req.Trace},
+		K:      req.K,
+		Costs:  req.Costs,
+		Seed:   req.Seed,
+		Shards: req.Shards,
 	}
 	for _, name := range req.Policies {
 		ps := runspec.PolicySpec{Name: name}

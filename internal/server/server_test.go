@@ -118,6 +118,42 @@ func TestSimulateValidation(t *testing.T) {
 	}
 }
 
+// The simulate endpoint reaches deterministic sharded replay through the
+// run-spec layer: shards > 1 must work, be deterministic, conserve
+// hits+misses, and reject k < shards as a 400.
+func TestSimulateSharded(t *testing.T) {
+	h := New()
+	req := SimulateRequest{
+		Trace:    sampleTrace(),
+		K:        8,
+		Policies: []string{"alg"},
+		Costs:    []string{"monomial:1,2", "linear:1"},
+		Shards:   2,
+	}
+	var runs [2]SimulateResponse
+	for i := range runs {
+		rec := doJSON(t, h, "POST", "/v1/simulate", req)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &runs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pr := runs[0].Results[0]
+	if pr.Hits+sum(pr.Misses) != 200 {
+		t.Errorf("sharded: hits+misses != requests: %+v", pr)
+	}
+	if a, b := runs[0].Results[0], runs[1].Results[0]; a.Hits != b.Hits || a.TotalCost != b.TotalCost {
+		t.Errorf("sharded replay not deterministic: %+v vs %+v", a, b)
+	}
+	req.K = 1
+	rec := doJSON(t, h, "POST", "/v1/simulate", req)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("k < shards: status %d, body %s", rec.Code, rec.Body.String())
+	}
+}
+
 // Regression: a duplicated policy name used to run (and bill) the same
 // simulation twice under one label; it must be rejected up front.
 func TestSimulateDuplicatePolicy(t *testing.T) {

@@ -15,6 +15,9 @@ import (
 //
 // Contract mirrors Policy: DenseVictim must return a resident dense index;
 // the engine verifies and fails the run otherwise.
+//
+// A DensePolicy that additionally implements BatchPolicy is driven in runs
+// of up to BatchSize requests per call on observer-free runs; see soa.go.
 type DensePolicy interface {
 	Policy
 	// PrepareDense installs the dense trace view and the cache capacity
@@ -32,35 +35,44 @@ type DensePolicy interface {
 	DenseEvict(step int, page int32)
 }
 
-// runDense is the dense engine: residency is a slot table (page -> slot, or
-// -1) plus its reverse index (slot -> page), counters live in the Result
-// slices, and the Event struct is reused across steps. The request loop
-// performs no steady-state allocations.
+// runDense is the dense engine entry point: residency is a SlotTable
+// (struct-of-arrays page->slot, slot->page, slot->tenant), counters live in
+// the Result slices, and the Event struct is reused across steps. The
+// request loop performs no steady-state allocations.
 func runDense(ctx context.Context, tr *trace.Trace, p DensePolicy, cfg Config) (Result, bool, error) {
-	d := tr.Dense()
+	return runDenseView(ctx, tr.Dense(), p, cfg)
+}
+
+// runDenseView drives the dense engine over an explicit trace view. The
+// sharded runner calls it directly with per-shard request subsequences that
+// share one global dense remap.
+func runDenseView(ctx context.Context, d *trace.Dense, p DensePolicy, cfg Config) (Result, bool, error) {
 	if !p.PrepareDense(d, cfg.K) {
 		return Result{}, false, nil
 	}
-	nTenants := tr.NumTenants()
 	res := Result{
 		Policy:         p.Name(),
 		K:              cfg.K,
-		Steps:          tr.Len(),
-		EffectiveSteps: effectiveSteps(tr.Len(), cfg.WarmupSteps),
-		Misses:         make([]int64, nTenants),
-		Evictions:      make([]int64, nTenants),
+		Steps:          d.Len(),
+		EffectiveSteps: effectiveSteps(d.Len(), cfg.WarmupSteps),
+		Misses:         make([]int64, d.Tenants),
+		Evictions:      make([]int64, d.Tenants),
+	}
+	// The batched loop requires observer-free runs: per-step events can only
+	// come out of the per-step loop. It owns residency itself, so the slot
+	// table is only built for the per-step loop below.
+	if bp, ok := p.(BatchPolicy); ok && cfg.Observer == nil && !cfg.NoBatch {
+		if err := runDenseBatched(ctx, d, bp, cfg, &res); err != nil {
+			return Result{}, true, err
+		}
+		return res, true, nil
 	}
 	nPages := d.NumPages()
-	slotOf := make([]int32, nPages) // dense page -> slot, -1 when absent
-	for i := range slotOf {
-		slotOf[i] = -1
-	}
 	slotCap := cfg.K
 	if slotCap > nPages {
 		slotCap = nPages
 	}
-	slots := make([]int32, slotCap) // slot -> dense page (reverse index)
-	used := 0
+	st := NewSlotTable(nPages, slotCap)
 	done := ctx.Done()
 	reported := 0
 	var ev Event
@@ -80,7 +92,7 @@ func runDense(ctx context.Context, tr *trace.Trace, p DensePolicy, cfg Config) (
 		}
 		warm := step < cfg.WarmupSteps
 		tenant := d.Owners[pg]
-		if slotOf[pg] >= 0 {
+		if st.PageSlot[pg] >= 0 {
 			if !warm {
 				res.Hits++
 			}
@@ -96,26 +108,21 @@ func runDense(ctx context.Context, tr *trace.Trace, p DensePolicy, cfg Config) (
 		}
 		evicted := int32(-1)
 		var evictedOwner trace.Tenant = -1
-		var slot int32
-		if used >= cfg.K {
+		if st.Full() {
 			victim := p.DenseVictim(step, pg)
-			if victim < 0 || int(victim) >= nPages || slotOf[victim] < 0 {
+			owner, ok := st.Replace(victim, pg, tenant)
+			if !ok {
 				return Result{}, true, fmt.Errorf("sim: policy %s returned victim %d not in cache at step %d", p.Name(), victim, step)
 			}
-			slot = slotOf[victim]
-			slotOf[victim] = -1
 			evicted = victim
-			evictedOwner = d.Owners[victim]
+			evictedOwner = owner
 			if !warm {
 				res.Evictions[evictedOwner]++
 			}
 			p.DenseEvict(step, victim)
 		} else {
-			slot = int32(used)
-			used++
+			st.Append(pg, tenant)
 		}
-		slotOf[pg] = slot
-		slots[slot] = pg
 		p.DenseInsert(step, pg)
 		if cfg.Observer != nil {
 			ev = Event{Step: step, Req: trace.Request{Page: d.Pages[pg], Tenant: tenant}, Miss: true, Evicted: -1, EvictedTenant: evictedOwner, Warmup: warm}
@@ -125,8 +132,56 @@ func runDense(ctx context.Context, tr *trace.Trace, p DensePolicy, cfg Config) (
 			cfg.Observer(ev)
 		}
 	}
-	if cfg.Progress != nil && tr.Len() > reported {
-		cfg.Progress(tr.Len() - reported)
+	if cfg.Progress != nil && d.Len() > reported {
+		cfg.Progress(d.Len() - reported)
 	}
 	return res, true, nil
+}
+
+// runDenseBatched is the batched dense loop: the policy serves runs of up to
+// BatchSize requests per StepBatch call, and the engine probes context
+// cancellation and progress only at batch boundaries on the CheckEverySteps
+// cadence. Batches are split at the warmup boundary so every call is either
+// fully warm or fully measured; counters land directly in res via the
+// aliased BatchCounters. On cancellation the run aborts at the next batch
+// boundary (mid-batch work completes first).
+func runDenseBatched(ctx context.Context, d *trace.Dense, p BatchPolicy, cfg Config, res *Result) error {
+	bc := BatchCounters{Misses: res.Misses, Evictions: res.Evictions}
+	reqs := d.Reqs
+	done := ctx.Done()
+	reported := 0
+	next := CheckEverySteps
+	for base := 0; base < len(reqs); {
+		end := base + BatchSize
+		if end > len(reqs) {
+			end = len(reqs)
+		}
+		warm := base < cfg.WarmupSteps
+		if warm && end > cfg.WarmupSteps {
+			end = cfg.WarmupSteps
+		}
+		if err := p.StepBatch(base, reqs[base:end], &bc, warm); err != nil {
+			return err
+		}
+		base = end
+		if base >= next {
+			next += CheckEverySteps
+			if done != nil {
+				select {
+				case <-done:
+					return cancelErr(ctx, base)
+				default:
+				}
+			}
+			if cfg.Progress != nil {
+				cfg.Progress(base - reported)
+				reported = base
+			}
+		}
+	}
+	res.Hits = bc.Hits
+	if cfg.Progress != nil && len(reqs) > reported {
+		cfg.Progress(len(reqs) - reported)
+	}
+	return nil
 }

@@ -22,6 +22,11 @@ type Job struct {
 	Policy func() Policy
 	// Config is the run configuration.
 	Config Config
+	// Shards, when > 1, replays the trace via sharded replay (RunSharded)
+	// with this many shards and concurrent shard workers; the Policy
+	// factory is invoked once per shard. See ShardPlan.Run for the model
+	// and its restrictions.
+	Shards int
 }
 
 // JobResult pairs a job label with its outcome.
@@ -126,7 +131,11 @@ func runJob(ctx context.Context, job Job) (jr JobResult) {
 			jr.Err = &PanicError{Label: job.Label, Value: p}
 		}
 	}()
-	jr.Result, jr.Err = RunContext(ctx, job.Trace, job.Policy(), job.Config)
+	if job.Shards > 1 {
+		jr.Result, jr.Err = RunSharded(ctx, job.Trace, job.Policy, job.Config, job.Shards)
+	} else {
+		jr.Result, jr.Err = RunContext(ctx, job.Trace, job.Policy(), job.Config)
+	}
 	return jr
 }
 

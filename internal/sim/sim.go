@@ -173,6 +173,10 @@ type Config struct {
 	WarmupSteps int
 	// Engine pins the run to one of the two request loops; see EngineAuto.
 	Engine Engine
+	// NoBatch forces the per-step dense loop even for policies implementing
+	// BatchPolicy. Used by the differential oracles and tests that compare
+	// the batched loop against the per-step reference.
+	NoBatch bool
 	// Progress, when non-nil, is invoked roughly every CheckEverySteps
 	// steps with the number of steps completed since the previous call,
 	// and once more after the last request with the remainder. The deltas

@@ -1,0 +1,115 @@
+package sim
+
+import "convexcache/internal/trace"
+
+// BatchSize is the run length the dense engine hands to a BatchPolicy per
+// StepBatch call. One interface dispatch, one bounds-check region and one
+// cancellation/progress probe are amortized over this many requests; batches
+// are split (never merged) at the warmup boundary so a StepBatch call is
+// always entirely warm or entirely measured.
+const BatchSize = 64
+
+// SlotTable is the struct-of-arrays residency index of the dense engine:
+// three parallel flat slices replacing the page->slot map of the original
+// loop. The hit probe reads a single int32 from PageSlot; the eviction path
+// reads the victim's owner from SlotTenant without touching the trace's
+// owner table. Slots are allocated in increasing order until the table is
+// full, after which Replace recycles the victim's slot.
+type SlotTable struct {
+	// PageSlot maps dense page index -> slot, -1 when the page is absent.
+	PageSlot []int32
+	// SlotPage maps slot -> resident dense page index (the reverse index).
+	SlotPage []int32
+	// SlotTenant maps slot -> owner of SlotPage[slot], so eviction
+	// accounting never leaves the slot table.
+	SlotTenant []int32
+	// Used is the number of occupied slots; the first Used slots are the
+	// occupied ones.
+	Used int
+	// K is the capacity in slots.
+	K int
+}
+
+// NewSlotTable returns an empty table over nPages dense pages with k slots.
+func NewSlotTable(nPages, k int) *SlotTable {
+	st := &SlotTable{
+		PageSlot:   make([]int32, nPages),
+		SlotPage:   make([]int32, k),
+		SlotTenant: make([]int32, k),
+		K:          k,
+	}
+	for i := range st.PageSlot {
+		st.PageSlot[i] = -1
+	}
+	return st
+}
+
+// Full reports whether every slot is occupied.
+func (st *SlotTable) Full() bool { return st.Used >= st.K }
+
+// Append installs page pg (owned by tenant i) in the next free slot. The
+// caller must have checked !Full().
+func (st *SlotTable) Append(pg int32, i trace.Tenant) {
+	s := int32(st.Used)
+	st.Used++
+	st.PageSlot[pg] = s
+	st.SlotPage[s] = pg
+	st.SlotTenant[s] = int32(i)
+}
+
+// Replace evicts victim and installs page pg (owned by tenant i) in its
+// slot, returning the victim's recorded owner. ok is false — and the table
+// unchanged — when victim is out of range or not resident, which is how a
+// policy bug surfaces instead of corrupting residency.
+func (st *SlotTable) Replace(victim, pg int32, i trace.Tenant) (evictedOwner trace.Tenant, ok bool) {
+	if victim < 0 || int(victim) >= len(st.PageSlot) {
+		return -1, false
+	}
+	s := st.PageSlot[victim]
+	if s < 0 {
+		return -1, false
+	}
+	evictedOwner = trace.Tenant(st.SlotTenant[s])
+	st.PageSlot[victim] = -1
+	st.PageSlot[pg] = s
+	st.SlotPage[s] = pg
+	st.SlotTenant[s] = int32(i)
+	return evictedOwner, true
+}
+
+// BatchCounters is the accounting a StepBatch call updates in place. The
+// Misses and Evictions slices alias the run's Result counters, so the policy
+// increments them directly; Hits is folded into the Result after the loop.
+type BatchCounters struct {
+	// Hits counts measured (non-warmup) cache hits.
+	Hits int64
+	// Misses counts measured fetches per tenant.
+	Misses []int64
+	// Evictions counts measured evictions per owner.
+	Evictions []int64
+}
+
+// BatchPolicy is the batched fast path of the dense engine. A DensePolicy
+// that also implements it is driven in runs of up to BatchSize requests per
+// call: the policy owns the whole hit/miss/evict/insert loop — including
+// residency, which it keeps in its own per-page records so the probe, the
+// owner lookup and the insert all land on one cache line — and the engine
+// only intervenes at batch boundaries (context cancellation, progress). The
+// SlotTable above remains the residency layer of the per-step dense loop;
+// the batched loop deliberately does not maintain one, because a separate
+// page->slot array would add a random cache line to every probe and every
+// eviction. The engine uses this path only when no Observer is installed
+// (per-step events require the per-step loop) and Config.NoBatch is unset.
+//
+// Contract: a StepBatch call must be observably identical to driving the
+// per-step DenseHit/DenseVictim/DenseEvict/DenseInsert methods over the same
+// pages — the internal/check differential oracle enforces this bit-for-bit
+// on the per-tenant accounting.
+type BatchPolicy interface {
+	DensePolicy
+	// StepBatch serves pages (dense indices) starting at global step base.
+	// When warm is true the batch lies inside the warmup prefix and bc must
+	// not be updated. A non-nil error aborts the run (an internal invariant
+	// broke, e.g. no victim available).
+	StepBatch(base int, pages []int32, bc *BatchCounters, warm bool) error
+}

@@ -72,3 +72,21 @@ func buildDense(t *Trace) *Dense {
 	}
 	return d
 }
+
+// Subsequence returns a view over the same dense remap whose request
+// sequence is reqs (dense indices into this view's Pages). The page table,
+// owner table and index are shared with the receiver, so per-page state
+// sized by NumPages is interchangeable between the views; only the request
+// sequence differs. This is how the sharded replay runner hands each worker
+// its page-partition of one trace without re-remapping: every shard sees
+// the full page universe under the global dense numbering and a disjoint
+// subsequence of the requests.
+func (d *Dense) Subsequence(reqs []int32) *Dense {
+	return &Dense{
+		Pages:   d.Pages,
+		Owners:  d.Owners,
+		Reqs:    reqs,
+		Tenants: d.Tenants,
+		index:   d.index,
+	}
+}
