@@ -1,0 +1,348 @@
+// Command cached runs the live sharded cache service (internal/cached): the
+// paper's online algorithm applied to live GET/PUT traffic instead of a
+// recorded trace, with every shard keeping a deterministic request log so
+// the whole run is differentially checkable against the offline simulator.
+//
+// Two modes:
+//
+//	cached [serve] -addr :8090 -k 4096 -shards 4 -tenants 8 \
+//	       -policy alg -costs monomial:1,2 -costs linear:1
+//
+// serves the HTTP API (POST /v1/cache wire batches, GET /v1/cache/stats,
+// POST /v1/cache/verify, /healthz, /metrics). On SIGINT/SIGTERM it drains
+// in-flight requests, freezes the shards, and — with -verify-on-shutdown
+// (default true) — replays the merged request log through the simulator and
+// exits nonzero on any per-tenant counter divergence: a crash-free exit is a
+// correctness certificate for the whole serving session.
+//
+//	cached drive -target http://127.0.0.1:8090 -requests 500000 \
+//	       -clients 8 -stream zipf:4000,1.2 -stream uniform:2000
+//
+// is the load generator: it reuses the runspec/tracegen stream-spec syntax
+// (one -stream per tenant, KIND:PARAMS[:RATE]) to synthesize a seeded
+// multi-tenant workload, drives it in concurrent batches against a running
+// server, then hits /v1/cache/verify and exits nonzero unless the
+// live-vs-replay diff is clean. The CI cached-smoke job is exactly this
+// pair.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"convexcache/internal/cached"
+	"convexcache/internal/obs"
+	"convexcache/internal/resilience"
+	"convexcache/internal/runspec"
+	"convexcache/internal/trace"
+	"convexcache/internal/workload"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	if len(args) > 0 && args[0] == "drive" {
+		return runDrive(args[1:])
+	}
+	if len(args) > 0 && args[0] == "serve" {
+		args = args[1:]
+	}
+	return runServe(args)
+}
+
+// stringList is a repeatable string flag.
+type stringList []string
+
+func (s *stringList) String() string     { return strings.Join(*s, ",") }
+func (s *stringList) Set(v string) error { *s = append(*s, v); return nil }
+
+func runServe(args []string) int {
+	fs := flag.NewFlagSet("cached serve", flag.ContinueOnError)
+	var (
+		addr          = fs.String("addr", ":8090", "listen address")
+		k             = fs.Int("k", 4096, "total cache capacity in pages (split across shards)")
+		shards        = fs.Int("shards", 4, "shard count")
+		tenants       = fs.Int("tenants", 8, "tenant universe size")
+		policyName    = fs.String("policy", "alg", "eviction policy (runspec registry name)")
+		seed          = fs.Int64("seed", 1, "seed for randomized policies")
+		logFormat     = fs.String("log-format", "text", "log format: text or json")
+		shutdownGrace = fs.Duration("shutdown-grace", 30*time.Second, "in-flight request drain budget on SIGINT/SIGTERM")
+		verifyOnExit  = fs.Bool("verify-on-shutdown", true, "replay the request log on shutdown and fail on divergence")
+		maxBody       = fs.Int64("max-body", cached.MaxBodyBytes, "request body cap in bytes")
+		maxConcurrent = fs.Int("max-concurrent", 0, "concurrent cache requests (0 = GOMAXPROCS)")
+		rateRPS       = fs.Float64("rate-rps", 0, "per-client sustained requests/second (0 disables)")
+		rateBurst     = fs.Float64("rate-burst", 0, "per-client burst allowance (0 = 2x rate-rps)")
+		breakFails    = fs.Int("breaker-failures", 0, "consecutive failures that open a circuit (0 = default)")
+		breakOpenFor  = fs.Duration("breaker-open-for", 0, "cooldown before an open circuit half-opens (0 = default)")
+		costSpecs     stringList
+	)
+	fs.Var(&costSpecs, "costs", "per-tenant convex cost spec (repeatable; default linear:1 per tenant)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	var handler slog.Handler
+	switch *logFormat {
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -log-format %q (want text or json)\n", *logFormat)
+		return 2
+	}
+	logger := slog.New(handler)
+
+	// Resolve the policy through the run-spec registry so serve and
+	// simulate agree on names, options and cost parsing.
+	costs, err := runspec.Costs(costSpecs, *tenants)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	sc := runspec.Scenario{Policies: []runspec.PolicySpec{{Name: *policyName}}, Seed: *seed}
+	compiled, err := sc.CompilePolicies(*k, *tenants, costs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+
+	reg := obs.NewRegistry()
+	svc, err := cached.New(cached.Config{
+		K:         *k,
+		Shards:    *shards,
+		Tenants:   *tenants,
+		NewPolicy: compiled[0].New,
+		Registry:  reg,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+
+	h := svc.Handler(cached.HTTPConfig{
+		Logger:       logger,
+		MaxBodyBytes: *maxBody,
+		Limiter:      resilience.LimiterConfig{MaxConcurrent: *maxConcurrent},
+		RateLimit:    resilience.RateLimiterConfig{RPS: *rateRPS, Burst: *rateBurst},
+		Breaker:      resilience.BreakerConfig{FailureThreshold: *breakFails, OpenFor: *breakOpenFor},
+	})
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           h,
+		ReadHeaderTimeout: 10 * time.Second,
+		ErrorLog:          slog.NewLogLogger(handler, slog.LevelWarn),
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		logger.Info("cached listening", "addr", *addr, "k", *k, "shards", *shards,
+			"tenants", *tenants, "policy", *policyName)
+		errCh <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		logger.Error("listener failed", "err", err)
+		return 1
+	case <-ctx.Done():
+	}
+	stop()
+
+	logger.Info("shutting down, draining in-flight requests", "grace", shutdownGrace.String())
+	drainCtx, cancel := context.WithTimeout(context.Background(), *shutdownGrace)
+	defer cancel()
+	code := 0
+	if err := srv.Shutdown(drainCtx); err != nil {
+		logger.Error("drain incomplete, forcing close", "err", err)
+		_ = srv.Close()
+		code = 1
+	}
+	svc.Close()
+
+	if *verifyOnExit {
+		rep, err := svc.Verify(context.Background())
+		if err != nil {
+			logger.Error("shutdown verify failed", "err", err)
+			return 1
+		}
+		logger.Info("shutdown verify", "requests", rep.Requests, "clean", rep.Clean,
+			"hits", rep.Live.TotalHits, "misses", rep.Live.TotalMisses,
+			"replay", rep.ReplayDur.String())
+		if !rep.Clean {
+			for _, d := range rep.Diffs {
+				logger.Error("live-vs-replay divergence", "diff", d)
+			}
+			return 1
+		}
+	}
+	logger.Info("shutdown complete")
+	return code
+}
+
+func runDrive(args []string) int {
+	fs := flag.NewFlagSet("cached drive", flag.ContinueOnError)
+	var (
+		target   = fs.String("target", "http://127.0.0.1:8090", "base URL of the cached server")
+		requests = fs.Int("requests", 100_000, "total requests to drive")
+		clients  = fs.Int("clients", 8, "concurrent client connections")
+		batch    = fs.Int("batch", 1024, "requests per POST /v1/cache batch")
+		seed     = fs.Int64("seed", 1, "workload seed")
+		putFrac  = fs.Float64("put-frac", 0.25, "fraction of PUT requests")
+		verify   = fs.Bool("verify", true, "hit /v1/cache/verify after the run and require a clean diff")
+		timeout  = fs.Duration("timeout", 2*time.Minute, "per-request HTTP timeout")
+		streams  stringList
+	)
+	fs.Var(&streams, "stream", "tenant stream spec KIND:PARAMS[:RATE] (repeatable, one per tenant)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if len(streams) == 0 {
+		streams = stringList{"zipf:4000,1.2", "uniform:2000", "hotset:3000,64,0.9,5000"}
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+
+	// Synthesize the workload up front with the tracegen/runspec stream
+	// syntax: tenant t's pages come from its own stream, the next tenant is
+	// picked i.i.d. by rate, keys are the tenant-local page numbers.
+	type tstream struct {
+		s    workload.Stream
+		rate float64
+	}
+	ts := make([]tstream, len(streams))
+	total := 0.0
+	for t, spec := range streams {
+		s, rate, err := workload.ParseStream(spec, *seed+int64(t)*1001)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		ts[t] = tstream{s: s, rate: rate}
+		total += rate
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	batches := make([][]byte, 0, (*requests+*batch-1) / *batch)
+	var buf []byte
+	for i := 0; i < *requests; i++ {
+		u := rng.Float64() * total
+		t := 0
+		for u > ts[t].rate && t < len(ts)-1 {
+			u -= ts[t].rate
+			t++
+		}
+		op := cached.OpGet
+		if rng.Float64() < *putFrac {
+			op = cached.OpPut
+		}
+		buf = cached.FormatRequest(buf, cached.Request{
+			Op:     op,
+			Tenant: trace.Tenant(t),
+			Key:    fmt.Appendf(nil, "p%d", ts[t].s.Next()),
+		})
+		if (i+1)%*batch == 0 || i == *requests-1 {
+			batches = append(batches, buf)
+			buf = nil
+		}
+	}
+
+	client := &http.Client{Timeout: *timeout}
+	var hits, misses, failed atomic.Int64
+	next := make(chan []byte, len(batches))
+	for _, b := range batches {
+		next <- b
+	}
+	close(next)
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for b := range next {
+				resp, err := client.Post(*target+"/v1/cache", "text/plain", bytes.NewReader(b))
+				if err != nil {
+					logger.Error("post batch", "err", err)
+					failed.Add(1)
+					continue
+				}
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					logger.Error("batch rejected", "status", resp.StatusCode, "body", clip(body))
+					failed.Add(1)
+					continue
+				}
+				var cr cached.CacheResponse
+				if err := json.Unmarshal(body, &cr); err != nil {
+					logger.Error("decode batch response", "err", err)
+					failed.Add(1)
+					continue
+				}
+				hits.Add(int64(cr.Hits))
+				misses.Add(int64(cr.Misses))
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	served := hits.Load() + misses.Load()
+	logger.Info("drive complete",
+		"requests", served, "hits", hits.Load(), "misses", misses.Load(),
+		"failed_batches", failed.Load(), "elapsed", elapsed.String(),
+		"rps", fmt.Sprintf("%.0f", float64(served)/elapsed.Seconds()))
+	if failed.Load() > 0 {
+		return 1
+	}
+
+	if *verify {
+		resp, err := client.Post(*target+"/v1/cache/verify", "text/plain", nil)
+		if err != nil {
+			logger.Error("verify request", "err", err)
+			return 1
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		var rep cached.VerifyReport
+		if err := json.Unmarshal(body, &rep); err != nil {
+			logger.Error("decode verify report", "status", resp.StatusCode, "err", err, "body", clip(body))
+			return 1
+		}
+		logger.Info("verify", "requests", rep.Requests, "shards", rep.Shards,
+			"clean", rep.Clean, "replay", rep.ReplayDur.String())
+		if resp.StatusCode != http.StatusOK || !rep.Clean {
+			for _, d := range rep.Diffs {
+				logger.Error("live-vs-replay divergence", "diff", d)
+			}
+			return 1
+		}
+	}
+	return 0
+}
+
+func clip(b []byte) string {
+	if len(b) > 256 {
+		return string(b[:256]) + "…"
+	}
+	return string(bytes.TrimSpace(b))
+}

@@ -7,6 +7,9 @@ package convexcache
 
 import (
 	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
 	"testing"
 
 	"convexcache/internal/analysis"
@@ -15,6 +18,7 @@ import (
 	"convexcache/internal/cp"
 	"convexcache/internal/offline"
 	"convexcache/internal/policy"
+	"convexcache/internal/server"
 	"convexcache/internal/sim"
 	"convexcache/internal/trace"
 	"convexcache/internal/workload"
@@ -172,6 +176,71 @@ func TestEndToEndInvariantPipeline(t *testing.T) {
 		}
 		t.Fatalf("%d invariant violations", len(rep.Violations))
 	}
+}
+
+// TestEndToEndShardedSimulate exercises runspec.Scenario.Shards through the
+// HTTP surface: POST /v1/simulate with shards set must reach deterministic
+// sharded replay and, on an eviction-free instance, return a response
+// byte-for-byte identical to the unsharded one. The instance is built so the
+// partitioned and shared models coincide exactly: 24 distinct pages with
+// k = 24 means no cache — whole or partitioned into shard shares that divide
+// evenly — ever evicts, so misses are the cold misses on both sides. Any
+// byte of divergence (counters, costs, response shape) is a real bug in the
+// shards plumbing, not model noise.
+func TestEndToEndShardedSimulate(t *testing.T) {
+	const distinctPages, k = 24, 24
+	var tj server.TraceJSON
+	for i := 0; i < 600; i++ {
+		tenant := int64(i % 2)
+		// Alternating tenants, each cyclically scanning its 12 pages: every
+		// page is touched early and re-touched often, no evictions at k=24.
+		page := tenant*1000 + int64((i/2)%(distinctPages/2))
+		tj = append(tj, [2]int64{tenant, page})
+	}
+	post := func(shards int) []byte {
+		t.Helper()
+		raw, err := json.Marshal(server.SimulateRequest{
+			Trace:    tj,
+			K:        k,
+			Policies: []string{"alg"},
+			Costs:    []string{"monomial:1,2", "linear:3"},
+			Shards:   shards,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		req := httptest.NewRequest("POST", "/v1/simulate", bytes.NewReader(raw))
+		rec := httptest.NewRecorder()
+		server.New().ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("shards=%d: status %d: %s", shards, rec.Code, rec.Body.String())
+		}
+		return rec.Body.Bytes()
+	}
+	unsharded := post(0)
+	var base server.SimulateResponse
+	if err := json.Unmarshal(unsharded, &base); err != nil {
+		t.Fatal(err)
+	}
+	if base.Results[0].Hits+sumInt64(base.Results[0].Misses) != int64(len(tj)) {
+		t.Fatalf("unsharded accounting broken: %+v", base.Results[0])
+	}
+	if sumInt64(base.Results[0].Misses) != distinctPages {
+		t.Fatalf("instance not eviction-free: %d misses, want %d cold misses", sumInt64(base.Results[0].Misses), distinctPages)
+	}
+	for _, shards := range []int{2, 3, 4} {
+		if got := post(shards); !bytes.Equal(got, unsharded) {
+			t.Errorf("shards=%d response differs from unsharded:\n  sharded:   %s\n  unsharded: %s", shards, got, unsharded)
+		}
+	}
+}
+
+func sumInt64(xs []int64) int64 {
+	var s int64
+	for _, x := range xs {
+		s += x
+	}
+	return s
 }
 
 // TestEndToEndMattsonGuidesPartition checks the analysis chain: miss-ratio

@@ -1,0 +1,366 @@
+// Package cached is the live cache service of the repo: it applies the
+// paper's online algorithm (or any deterministic eviction policy) to live
+// GET/PUT traffic instead of replaying a recorded trace.
+//
+// Architecture: N shards, each a single-writer goroutine owning a private
+// engine — residency map, policy instance, per-tenant counters and an
+// append-only request log. Requests are hash-routed to shards over per-shard
+// mailbox channels, so the hot path takes no locks: the only shared state a
+// request touches is its shard's mailbox and one global atomic sequence
+// counter. Capacity K is split across shards with sim.ShardShare, the same
+// split the offline sharded replay uses.
+//
+// The service is differentially checkable against the simulator: every shard
+// logs the requests it admitted (in processing order, stamped with a global
+// sequence number), and Verify replays the merged log through sim.Run (one
+// shard) or sim.BuildShardsBy + ShardPlan.Run (N shards, with the live
+// router's exact page partition) and diffs the per-tenant hit/miss/eviction
+// counters bit for bit. Because the convex objective Σ f_i(misses_i) is
+// separable per tenant and every page lives on exactly one shard, the live
+// partitioned cache and the offline partitioned replay must agree exactly —
+// any divergence is a bug, not noise. See DESIGN.md §6h for the full
+// correctness argument.
+package cached
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"convexcache/internal/obs"
+	"convexcache/internal/sim"
+	"convexcache/internal/trace"
+)
+
+// Op is the request verb. GET and PUT have identical residency semantics
+// (write-allocate: both demand the page resident, missing fetches it); they
+// differ only in intent and metrics, so the request log needs no op column
+// and replay is op-agnostic.
+type Op byte
+
+const (
+	// OpGet reads a key.
+	OpGet Op = 'G'
+	// OpPut writes a key.
+	OpPut Op = 'P'
+)
+
+// Request is one live cache operation.
+type Request struct {
+	// Op is the verb.
+	Op Op
+	// Tenant is the requesting tenant; must be in [0, Config.Tenants).
+	Tenant trace.Tenant
+	// Key is the tenant-scoped cache key (two tenants may use the same key
+	// for distinct pages). Must be non-empty.
+	Key []byte
+}
+
+// Result bytes of Apply, one per request.
+const (
+	// ResultHit: the key was resident.
+	ResultHit = 'H'
+	// ResultMiss: the key was fetched (and inserted, evicting if needed).
+	ResultMiss = 'M'
+	// ResultError: the request's shard is failed (see Service.Err).
+	ResultError = 'E'
+)
+
+// Config sizes the service.
+type Config struct {
+	// K is the total cache capacity in pages; split across shards with
+	// sim.ShardShare. Must be >= Shards.
+	K int
+	// Shards is the shard count; <= 0 selects 1.
+	Shards int
+	// Tenants is the tenant universe size; requests for tenants outside
+	// [0, Tenants) are rejected at ingress.
+	Tenants int
+	// NewPolicy builds a fresh eviction-policy instance. Instances must be
+	// deterministic and mutually independent: each shard gets one at
+	// startup, and Verify builds fresh ones for the offline replay. With
+	// Shards > 1 the policy must support the dense engine
+	// (sim.DensePolicy), because the replay runs sharded.
+	NewPolicy func() sim.Policy
+	// MailboxDepth is the per-shard channel buffer; <= 0 selects 64.
+	MailboxDepth int
+	// Registry receives the per-shard metrics; nil creates a private one.
+	Registry *obs.Registry
+}
+
+// ErrClosed is returned by Apply after Close.
+var ErrClosed = errors.New("cached: service closed")
+
+// Service is the live sharded cache. Create with New, drive with Apply (or
+// the HTTP handler), check with Verify, stop with Close.
+type Service struct {
+	cfg    Config
+	reg    *obs.Registry
+	shards []*shard
+	// seq stamps every admitted request with a globally unique, per-shard
+	// monotone sequence number; Verify merges the shard logs by it.
+	seq atomic.Int64
+
+	// mu guards closed against concurrent Apply/Verify/Close; shard state
+	// itself is single-writer and never locked.
+	mu     sync.RWMutex
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// New validates the configuration, starts the shard goroutines and returns
+// the service.
+func New(cfg Config) (*Service, error) {
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+	}
+	if cfg.K <= 0 {
+		return nil, errors.New("cached: cache size must be positive")
+	}
+	if cfg.K < cfg.Shards {
+		return nil, fmt.Errorf("cached: need k >= shards, got k=%d shards=%d", cfg.K, cfg.Shards)
+	}
+	if cfg.Tenants <= 0 {
+		return nil, errors.New("cached: tenant count must be positive")
+	}
+	if cfg.NewPolicy == nil {
+		return nil, errors.New("cached: NewPolicy is required")
+	}
+	if cfg.MailboxDepth <= 0 {
+		cfg.MailboxDepth = 64
+	}
+	probe := cfg.NewPolicy()
+	if probe == nil {
+		return nil, errors.New("cached: NewPolicy returned nil")
+	}
+	if _, offline := probe.(sim.OfflinePolicy); offline {
+		return nil, fmt.Errorf("cached: policy %s needs the full trace in advance and cannot serve live traffic", probe.Name())
+	}
+	if cfg.Shards > 1 {
+		if _, dense := probe.(sim.DensePolicy); !dense {
+			return nil, fmt.Errorf("cached: policy %s does not support the dense engine required for sharded verify", probe.Name())
+		}
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	s := &Service{cfg: cfg, reg: reg, shards: make([]*shard, cfg.Shards)}
+	for i := range s.shards {
+		s.shards[i] = newShard(s, i, sim.ShardShare(cfg.K, cfg.Shards, i))
+		s.wg.Add(1)
+		go s.shards[i].loop()
+	}
+	return s, nil
+}
+
+// Shards returns the shard count.
+func (s *Service) Shards() int { return len(s.shards) }
+
+// K returns the total capacity.
+func (s *Service) K() int { return s.cfg.K }
+
+// Registry returns the metrics registry the shards report into.
+func (s *Service) Registry() *obs.Registry { return s.reg }
+
+// route hashes (tenant, key) onto a shard: FNV-1a over the tenant id and the
+// key bytes, finalized with a 64-bit mix so the low bits taken by the modulo
+// are well distributed. Pure function — the same (tenant, key) always lands
+// on the same shard, which is what makes per-shard page ownership stable.
+func (s *Service) route(t trace.Tenant, key []byte) int {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	h = (h ^ uint64(t)) * prime64
+	for _, c := range key {
+		h = (h ^ uint64(c)) * prime64
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return int(h % uint64(len(s.shards)))
+}
+
+// shardOfPage is the replay-side routing function: shard s assigns page ids
+// from the residue class {s, s+n, s+2n, ...}, so the owning shard of any
+// logged page is recoverable as page mod n. Verify hands this to
+// sim.BuildShardsBy so the offline partition reproduces the live one
+// exactly.
+func (s *Service) shardOfPage(p trace.PageID) int {
+	return int(p) % len(s.shards)
+}
+
+// Apply serves a batch of requests and returns one result byte per request
+// (ResultHit/ResultMiss/ResultError), in request order. Requests are
+// validated, grouped per shard (preserving batch order within each shard)
+// and dispatched to the shard mailboxes; the call returns when every shard
+// has processed its part. Safe for concurrent use.
+func (s *Service) Apply(reqs []Request) ([]byte, error) {
+	if len(reqs) == 0 {
+		return nil, nil
+	}
+	results := make([]byte, len(reqs))
+	buckets := make([][]shardReq, len(s.shards))
+	for i, r := range reqs {
+		if r.Op != OpGet && r.Op != OpPut {
+			return nil, fmt.Errorf("cached: request %d: unknown op %q", i, r.Op)
+		}
+		if r.Tenant < 0 || int(r.Tenant) >= s.cfg.Tenants {
+			return nil, fmt.Errorf("cached: request %d: tenant %d out of range [0,%d)", i, r.Tenant, s.cfg.Tenants)
+		}
+		if len(r.Key) == 0 {
+			return nil, fmt.Errorf("cached: request %d: empty key", i)
+		}
+		sh := s.route(r.Tenant, r.Key)
+		buckets[sh] = append(buckets[sh], shardReq{idx: i, op: r.Op, tenant: r.Tenant, key: r.Key})
+	}
+	var wg sync.WaitGroup
+	// The RLock pins closed=false while the sends happen: Close closes the
+	// mailboxes only under the write lock, so a send here can never hit a
+	// closed channel. A blocked send cannot deadlock Close either — shards
+	// keep draining their mailboxes until Close (which is still waiting for
+	// this RLock) closes them.
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return nil, ErrClosed
+	}
+	for sh, b := range buckets {
+		if len(b) == 0 {
+			continue
+		}
+		wg.Add(1)
+		s.shards[sh].in <- shardMsg{batch: b, results: results, done: &wg}
+	}
+	s.mu.RUnlock()
+	wg.Wait()
+	for _, c := range results {
+		if c == ResultError {
+			return results, s.Err()
+		}
+	}
+	return results, nil
+}
+
+// Err returns the first shard failure (a policy contract violation), or nil.
+// A failed shard answers ResultError to every subsequent request; the
+// service stays up so the operator can inspect state and logs.
+func (s *Service) Err() error {
+	for _, snap := range s.snapshotAll(false) {
+		if snap.Err != nil {
+			return snap.Err
+		}
+	}
+	return nil
+}
+
+// Close drains the shard mailboxes and stops the shard goroutines. Apply
+// returns ErrClosed afterwards; Verify and Stats keep working on the frozen
+// state (the shutdown hook of cmd/cached relies on that). Safe to call more
+// than once.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		for _, sh := range s.shards {
+			close(sh.in)
+		}
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// snapshotAll collects a consistent snapshot from every shard: through the
+// mailboxes while serving (so each snapshot sits on a batch boundary), or by
+// direct read once the shard goroutines have exited.
+func (s *Service) snapshotAll(withLog bool) []*ShardSnapshot {
+	s.mu.RLock()
+	if !s.closed {
+		chs := make([]chan *ShardSnapshot, len(s.shards))
+		for i, sh := range s.shards {
+			chs[i] = make(chan *ShardSnapshot, 1)
+			sh.in <- shardMsg{snap: chs[i], withLog: withLog}
+		}
+		s.mu.RUnlock()
+		out := make([]*ShardSnapshot, len(s.shards))
+		for i := range chs {
+			out[i] = <-chs[i]
+		}
+		return out
+	}
+	s.mu.RUnlock()
+	// Closed: wg.Wait establishes happens-before with every shard loop
+	// exit, after which the single-writer state is safe to read directly.
+	s.wg.Wait()
+	out := make([]*ShardSnapshot, len(s.shards))
+	for i, sh := range s.shards {
+		out[i] = sh.snapshot(withLog)
+	}
+	return out
+}
+
+// TenantStats is the per-tenant slice of a Stats report.
+type TenantStats struct {
+	Tenant    int   `json:"tenant"`
+	Requests  int64 `json:"requests"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+}
+
+// ShardStats is the per-shard slice of a Stats report.
+type ShardStats struct {
+	Shard     int   `json:"shard"`
+	K         int   `json:"k"`
+	Requests  int64 `json:"requests"`
+	Occupancy int   `json:"occupancy"`
+	LogLen    int   `json:"log_len"`
+	Pages     int   `json:"pages"`
+	Failed    bool  `json:"failed,omitempty"`
+}
+
+// Stats is the live accounting of the service.
+type Stats struct {
+	Requests  int64         `json:"requests"`
+	Hits      int64         `json:"hits"`
+	Misses    int64         `json:"misses"`
+	Evictions int64         `json:"evictions"`
+	PerTenant []TenantStats `json:"per_tenant"`
+	Shards    []ShardStats  `json:"shards"`
+}
+
+// Stats aggregates a consistent per-shard snapshot into the live counters.
+func (s *Service) Stats() Stats {
+	snaps := s.snapshotAll(false)
+	st := Stats{PerTenant: make([]TenantStats, s.cfg.Tenants)}
+	for i := range st.PerTenant {
+		st.PerTenant[i].Tenant = i
+	}
+	for _, snap := range snaps {
+		st.Shards = append(st.Shards, ShardStats{
+			Shard:     snap.Shard,
+			K:         snap.K,
+			Requests:  snap.Requests,
+			Occupancy: snap.Occupancy,
+			LogLen:    snap.LogLen,
+			Pages:     snap.Pages,
+			Failed:    snap.Err != nil,
+		})
+		for t := 0; t < s.cfg.Tenants; t++ {
+			st.PerTenant[t].Hits += snap.Hits[t]
+			st.PerTenant[t].Misses += snap.Misses[t]
+			st.PerTenant[t].Evictions += snap.Evictions[t]
+			st.PerTenant[t].Requests += snap.Hits[t] + snap.Misses[t]
+		}
+	}
+	for _, ts := range st.PerTenant {
+		st.Requests += ts.Requests
+		st.Hits += ts.Hits
+		st.Misses += ts.Misses
+		st.Evictions += ts.Evictions
+	}
+	return st
+}

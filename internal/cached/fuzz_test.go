@@ -1,0 +1,104 @@
+package cached
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzCachedRequest fuzzes the wire request parser. Properties:
+//
+//   - no panic on any input (the parser faces the network);
+//   - an accepted line round-trips byte-identically through FormatRequest
+//     (the grammar is canonical), and re-parses to the same request;
+//   - every accepted request satisfies the documented invariants (known op,
+//     tenant in range, key length and charset bounds).
+func FuzzCachedRequest(f *testing.F) {
+	seeds := [][]byte{
+		[]byte("GET 0 key"),
+		[]byte("PUT 1 t1-key-42"),
+		[]byte("GET 7 a"),
+		[]byte("PUT 0 " + string(bytes.Repeat([]byte("x"), MaxKeyLen))),
+		[]byte("GET 12345678 deep-tenant"),
+		[]byte("get 0 lowercase-op"),
+		[]byte("GET  0 double-space"),
+		[]byte("GET 0"),
+		[]byte("GET 01 leading-zero"),
+		[]byte("GET -1 negative"),
+		[]byte("PUT 0 key with space"),
+		[]byte("PUT 0 bad\x7fbyte"),
+		[]byte("DEL 0 unknown-op"),
+		[]byte(""),
+		[]byte("GET 999999999999 overflow"),
+	}
+	for _, s := range seeds {
+		f.Add(s, 8)
+	}
+	f.Fuzz(func(t *testing.T, line []byte, tenants int) {
+		r, err := ParseRequest(line, tenants)
+		if err != nil {
+			return
+		}
+		if r.Op != OpGet && r.Op != OpPut {
+			t.Fatalf("accepted unknown op %q from %q", r.Op, line)
+		}
+		if tenants > 0 && (r.Tenant < 0 || int(r.Tenant) >= tenants) {
+			t.Fatalf("accepted out-of-range tenant %d from %q (tenants=%d)", r.Tenant, line, tenants)
+		}
+		if r.Tenant < 0 {
+			t.Fatalf("accepted negative tenant %d from %q", r.Tenant, line)
+		}
+		if len(r.Key) == 0 || len(r.Key) > MaxKeyLen {
+			t.Fatalf("accepted key of length %d from %q", len(r.Key), line)
+		}
+		for _, c := range r.Key {
+			if c < 0x21 || c > 0x7e {
+				t.Fatalf("accepted key byte %#02x from %q", c, line)
+			}
+		}
+		// Canonical round-trip: format, strip the newline, byte-compare.
+		wire := FormatRequest(nil, r)
+		if !bytes.Equal(wire[:len(wire)-1], line) {
+			t.Fatalf("round-trip mismatch: parsed %q, formatted %q", line, wire[:len(wire)-1])
+		}
+		r2, err := ParseRequest(wire[:len(wire)-1], tenants)
+		if err != nil {
+			t.Fatalf("re-parse of formatted %q failed: %v", wire, err)
+		}
+		if r2.Op != r.Op || r2.Tenant != r.Tenant || !bytes.Equal(r2.Key, r.Key) {
+			t.Fatalf("re-parse mismatch: %+v vs %+v", r, r2)
+		}
+	})
+}
+
+// FuzzCachedBatch fuzzes the batch splitter around the line parser: no
+// panic, every returned request is individually valid, and a batch of
+// formatted requests always re-parses to the same sequence.
+func FuzzCachedBatch(f *testing.F) {
+	f.Add([]byte("GET 0 a\nPUT 1 b\n"), 4)
+	f.Add([]byte("GET 0 a\r\nPUT 1 b\r\n"), 4)
+	f.Add([]byte("\n\nGET 0 a\n\n"), 4)
+	f.Add([]byte("GET 0 a\nbogus\n"), 4)
+	f.Add([]byte("GET 0 trailing-no-newline"), 4)
+	f.Fuzz(func(t *testing.T, body []byte, tenants int) {
+		reqs, err := ParseBatch(body, tenants)
+		if err != nil {
+			return
+		}
+		var wire []byte
+		for _, r := range reqs {
+			wire = FormatRequest(wire, r)
+		}
+		again, err := ParseBatch(wire, tenants)
+		if err != nil {
+			t.Fatalf("re-parse of formatted batch failed: %v", err)
+		}
+		if len(again) != len(reqs) {
+			t.Fatalf("batch round-trip length: %d vs %d", len(again), len(reqs))
+		}
+		for i := range reqs {
+			if again[i].Op != reqs[i].Op || again[i].Tenant != reqs[i].Tenant || !bytes.Equal(again[i].Key, reqs[i].Key) {
+				t.Fatalf("batch round-trip mismatch at %d: %+v vs %+v", i, reqs[i], again[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,205 @@
+package cached
+
+import (
+	"fmt"
+	"sync"
+
+	"convexcache/internal/obs"
+	"convexcache/internal/sim"
+	"convexcache/internal/trace"
+)
+
+// LogEntry is one admitted request in a shard's deterministic request log.
+// Seq is the global admission order (strictly increasing within a shard);
+// Page is the shard-assigned page id; Tenant the requesting tenant. The op
+// is deliberately absent — GET and PUT are both write-allocate, so residency
+// evolution and therefore replay depend only on (page, tenant) order.
+type LogEntry struct {
+	Seq    int64
+	Page   trace.PageID
+	Tenant trace.Tenant
+}
+
+// shardReq is one request after ingress validation, routed to its shard.
+type shardReq struct {
+	idx    int
+	op     Op
+	tenant trace.Tenant
+	key    []byte
+}
+
+// shardMsg is a mailbox message: either a batch to apply (batch/results/done
+// set) or a snapshot request (snap set).
+type shardMsg struct {
+	batch   []shardReq
+	results []byte
+	done    *sync.WaitGroup
+
+	snap    chan *ShardSnapshot
+	withLog bool
+}
+
+// ShardSnapshot is a consistent copy of one shard's accounting, taken on a
+// batch boundary.
+type ShardSnapshot struct {
+	Shard     int
+	K         int
+	Requests  int64
+	Occupancy int
+	LogLen    int
+	Pages     int
+	// Hits/Misses/Evictions are per-tenant, length Config.Tenants.
+	Hits      []int64
+	Misses    []int64
+	Evictions []int64
+	// Log is the shard's request log; nil unless requested.
+	Log []LogEntry
+	// Err is the shard's failure state (policy contract violation), if any.
+	Err error
+}
+
+// shard is one single-writer cache partition. All fields below the mailbox
+// are owned exclusively by the loop goroutine — no locks anywhere on the
+// request path. The engine step mirrors sim.runMap exactly (hit → OnHit;
+// miss → optional Victim/OnEvict → OnInsert), so per-shard live counters are
+// bit-identical to a per-shard offline replay of the same log.
+type shard struct {
+	svc *Service
+	id  int
+	k   int
+	in  chan shardMsg
+
+	policy sim.Policy
+	// keys maps tenant-scoped keys to page ids. Shard s assigns ids from
+	// the residue class {s, s+n, s+2n, ...} (nextPage starts at s, steps by
+	// n), so page ownership is recoverable as page mod n at replay time.
+	keys     []map[string]trace.PageID
+	nextPage trace.PageID
+	pages    int
+	// cache maps resident pages to their owning tenant, exactly like the
+	// simulator's map engine.
+	cache     map[trace.PageID]trace.Tenant
+	log       []LogEntry
+	hits      []int64
+	misses    []int64
+	evictions []int64
+	failed    error
+
+	mReqs, mHits, mMisses, mEvictions *obs.Counter
+	mOccupancy, mLog                  *obs.Gauge
+}
+
+func newShard(svc *Service, id, k int) *shard {
+	lbl := fmt.Sprintf(`{shard="%d"}`, id)
+	sh := &shard{
+		svc:       svc,
+		id:        id,
+		k:         k,
+		in:        make(chan shardMsg, svc.cfg.MailboxDepth),
+		policy:    svc.cfg.NewPolicy(),
+		keys:      make([]map[string]trace.PageID, svc.cfg.Tenants),
+		nextPage:  trace.PageID(id),
+		cache:     make(map[trace.PageID]trace.Tenant, k),
+		hits:      make([]int64, svc.cfg.Tenants),
+		misses:    make([]int64, svc.cfg.Tenants),
+		evictions: make([]int64, svc.cfg.Tenants),
+
+		mReqs:      svc.reg.Counter("cached_requests_total" + lbl),
+		mHits:      svc.reg.Counter("cached_hits_total" + lbl),
+		mMisses:    svc.reg.Counter("cached_misses_total" + lbl),
+		mEvictions: svc.reg.Counter("cached_evictions_total" + lbl),
+		mOccupancy: svc.reg.Gauge("cached_occupancy_pages" + lbl),
+		mLog:       svc.reg.Gauge("cached_log_entries" + lbl),
+	}
+	for t := range sh.keys {
+		sh.keys[t] = make(map[string]trace.PageID)
+	}
+	return sh
+}
+
+// loop is the shard's single-writer goroutine: it drains the mailbox until
+// Close closes it, applying batches in arrival order and answering snapshot
+// requests between batches.
+func (sh *shard) loop() {
+	defer sh.svc.wg.Done()
+	for m := range sh.in {
+		if m.snap != nil {
+			m.snap <- sh.snapshot(m.withLog)
+			continue
+		}
+		for _, r := range m.batch {
+			m.results[r.idx] = sh.apply(r)
+		}
+		m.done.Done()
+	}
+}
+
+// apply runs one request through the shard engine. The body after the log
+// append is sim.runMap's step verbatim: that equivalence is what makes the
+// live counters replayable.
+func (sh *shard) apply(r shardReq) byte {
+	if sh.failed != nil {
+		return ResultError
+	}
+	km := sh.keys[r.tenant]
+	page, seen := km[string(r.key)]
+	if !seen {
+		page = sh.nextPage
+		sh.nextPage += trace.PageID(len(sh.svc.shards))
+		sh.pages++
+		km[string(r.key)] = page
+	}
+	seq := sh.svc.seq.Add(1)
+	sh.log = append(sh.log, LogEntry{Seq: seq, Page: page, Tenant: r.tenant})
+	sh.mLog.Set(int64(len(sh.log)))
+	sh.mReqs.Inc()
+	step := len(sh.log) - 1
+	req := trace.Request{Page: page, Tenant: r.tenant}
+
+	if _, resident := sh.cache[page]; resident {
+		sh.hits[r.tenant]++
+		sh.mHits.Inc()
+		sh.policy.OnHit(step, req)
+		return ResultHit
+	}
+	sh.misses[r.tenant]++
+	sh.mMisses.Inc()
+	if len(sh.cache) >= sh.k {
+		victim := sh.policy.Victim(step, req)
+		owner, resident := sh.cache[victim]
+		if !resident {
+			sh.failed = fmt.Errorf("cached: shard %d: policy %s evicted non-resident page %d at step %d",
+				sh.id, sh.policy.Name(), victim, step)
+			return ResultError
+		}
+		delete(sh.cache, victim)
+		sh.evictions[owner]++
+		sh.mEvictions.Inc()
+		sh.policy.OnEvict(step, victim)
+	}
+	sh.cache[page] = r.tenant
+	sh.policy.OnInsert(step, req)
+	sh.mOccupancy.Set(int64(len(sh.cache)))
+	return ResultMiss
+}
+
+// snapshot copies the shard's accounting. Called from the loop goroutine
+// while serving, or from snapshotAll after the loop has exited.
+func (sh *shard) snapshot(withLog bool) *ShardSnapshot {
+	snap := &ShardSnapshot{
+		Shard:     sh.id,
+		K:         sh.k,
+		Requests:  int64(len(sh.log)),
+		Occupancy: len(sh.cache),
+		LogLen:    len(sh.log),
+		Pages:     sh.pages,
+		Hits:      append([]int64(nil), sh.hits...),
+		Misses:    append([]int64(nil), sh.misses...),
+		Evictions: append([]int64(nil), sh.evictions...),
+		Err:       sh.failed,
+	}
+	if withLog {
+		snap.Log = append([]LogEntry(nil), sh.log...)
+	}
+	return snap
+}

@@ -1,0 +1,201 @@
+package cached
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"convexcache/internal/sim"
+	"convexcache/internal/trace"
+)
+
+// Counters is one side (live or replay) of a verify report: per-tenant
+// accounting plus totals. Slices have length Config.Tenants.
+type Counters struct {
+	Requests  []int64 `json:"requests"`
+	Hits      []int64 `json:"hits"`
+	Misses    []int64 `json:"misses"`
+	Evictions []int64 `json:"evictions"`
+
+	TotalHits      int64 `json:"total_hits"`
+	TotalMisses    int64 `json:"total_misses"`
+	TotalEvictions int64 `json:"total_evictions"`
+}
+
+// VerifyReport is the outcome of one live-vs-replay differential: the merged
+// request log replayed offline against the live counters. Clean means every
+// per-tenant counter matched exactly; Diffs lists each mismatch.
+type VerifyReport struct {
+	Policy    string        `json:"policy"`
+	K         int           `json:"k"`
+	Shards    int           `json:"shards"`
+	Requests  int           `json:"requests"`
+	Live      Counters      `json:"live"`
+	Replay    Counters      `json:"replay"`
+	Diffs     []string      `json:"diffs,omitempty"`
+	Clean     bool          `json:"clean"`
+	ReplayDur time.Duration `json:"replay_ns"`
+}
+
+// Verify snapshots every shard (on a batch boundary — safe under live
+// traffic), merges the per-shard request logs by global sequence number into
+// one trace, replays it offline and diffs the per-tenant counters exactly.
+//
+// The replay uses the same partitioned model as the live service: with one
+// shard it is sim.Run on the merged log; with n shards it is a
+// sim.BuildShardsBy plan routed by page mod n — precisely the partition the
+// live shards produced, since shard s only ever assigns page ids ≡ s (mod
+// n). Any nonzero diff is a bug in the live path (or the simulator), never
+// an artifact of concurrency: per-shard logs are the ground truth of what
+// each single-writer engine saw, in order.
+func (s *Service) Verify(ctx context.Context) (*VerifyReport, error) {
+	snaps := s.snapshotAll(true)
+	for _, snap := range snaps {
+		if snap.Err != nil {
+			return nil, fmt.Errorf("cached: shard %d failed, log unreliable: %w", snap.Shard, snap.Err)
+		}
+	}
+	n := len(s.shards)
+	rep := &VerifyReport{
+		Policy: s.shards[0].policy.Name(),
+		K:      s.cfg.K,
+		Shards: n,
+	}
+
+	merged := mergeLogs(snaps)
+	rep.Requests = len(merged)
+	rep.Live = liveCounters(snaps, s.cfg.Tenants)
+	if len(merged) == 0 {
+		rep.Replay = emptyCounters(s.cfg.Tenants)
+		rep.Clean = true
+		return rep, nil
+	}
+
+	b := trace.NewBuilder()
+	for _, e := range merged {
+		b.Add(e.Tenant, e.Page)
+	}
+	tr, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("cached: rebuilding trace from request log: %w", err)
+	}
+
+	start := time.Now()
+	var res sim.Result
+	if n == 1 {
+		res, err = sim.Run(tr, s.cfg.NewPolicy(), sim.Config{K: s.cfg.K})
+	} else {
+		var pl *sim.ShardPlan
+		pl, err = sim.BuildShardsBy(tr, n, s.shardOfPage)
+		if err == nil {
+			res, err = pl.Run(ctx, s.cfg.NewPolicy, sim.Config{K: s.cfg.K, Engine: sim.EngineDense}, n)
+		}
+	}
+	if err != nil {
+		return nil, fmt.Errorf("cached: replaying request log: %w", err)
+	}
+	rep.ReplayDur = time.Since(start)
+
+	rep.Replay = replayCounters(merged, res, s.cfg.Tenants)
+	rep.Diffs = diffCounters(rep.Live, rep.Replay, s.cfg.Tenants)
+	rep.Clean = len(rep.Diffs) == 0
+	return rep, nil
+}
+
+// mergeLogs k-way-merges the per-shard logs by sequence number. Each shard's
+// log is strictly increasing in Seq (sequence numbers are drawn from the
+// global atomic inside the single-writer loop), so the merge reconstructs a
+// valid global admission order.
+func mergeLogs(snaps []*ShardSnapshot) []LogEntry {
+	total := 0
+	for _, snap := range snaps {
+		total += len(snap.Log)
+	}
+	merged := make([]LogEntry, 0, total)
+	heads := make([]int, len(snaps))
+	for len(merged) < total {
+		best := -1
+		for i, snap := range snaps {
+			if heads[i] >= len(snap.Log) {
+				continue
+			}
+			if best < 0 || snap.Log[heads[i]].Seq < snaps[best].Log[heads[best]].Seq {
+				best = i
+			}
+		}
+		merged = append(merged, snaps[best].Log[heads[best]])
+		heads[best]++
+	}
+	return merged
+}
+
+func emptyCounters(tenants int) Counters {
+	return Counters{
+		Requests:  make([]int64, tenants),
+		Hits:      make([]int64, tenants),
+		Misses:    make([]int64, tenants),
+		Evictions: make([]int64, tenants),
+	}
+}
+
+// liveCounters sums the per-shard snapshots.
+func liveCounters(snaps []*ShardSnapshot, tenants int) Counters {
+	c := emptyCounters(tenants)
+	for _, snap := range snaps {
+		for t := 0; t < tenants; t++ {
+			c.Hits[t] += snap.Hits[t]
+			c.Misses[t] += snap.Misses[t]
+			c.Evictions[t] += snap.Evictions[t]
+			c.Requests[t] += snap.Hits[t] + snap.Misses[t]
+		}
+	}
+	c.total()
+	return c
+}
+
+// replayCounters shapes a sim.Result into Counters. The simulator reports
+// per-tenant misses and evictions plus total hits; per-tenant hits follow as
+// requests − misses. Result slices are sized by the log's tenant universe,
+// which may be narrower than the configured one if some tenants never sent
+// a request — the tail stays zero.
+func replayCounters(merged []LogEntry, res sim.Result, tenants int) Counters {
+	c := emptyCounters(tenants)
+	for _, e := range merged {
+		c.Requests[e.Tenant]++
+	}
+	for t, m := range res.Misses {
+		c.Misses[t] = m
+		c.Hits[t] = c.Requests[t] - m
+	}
+	for t, ev := range res.Evictions {
+		c.Evictions[t] = ev
+	}
+	c.total()
+	return c
+}
+
+func (c *Counters) total() {
+	c.TotalHits, c.TotalMisses, c.TotalEvictions = 0, 0, 0
+	for t := range c.Hits {
+		c.TotalHits += c.Hits[t]
+		c.TotalMisses += c.Misses[t]
+		c.TotalEvictions += c.Evictions[t]
+	}
+}
+
+// diffCounters reports every per-tenant mismatch between live and replay.
+func diffCounters(live, replay Counters, tenants int) []string {
+	var diffs []string
+	add := func(t int, what string, l, r int64) {
+		if l != r {
+			diffs = append(diffs, fmt.Sprintf("tenant %d: %s live=%d replay=%d", t, what, l, r))
+		}
+	}
+	for t := 0; t < tenants; t++ {
+		add(t, "requests", live.Requests[t], replay.Requests[t])
+		add(t, "hits", live.Hits[t], replay.Hits[t])
+		add(t, "misses", live.Misses[t], replay.Misses[t])
+		add(t, "evictions", live.Evictions[t], replay.Evictions[t])
+	}
+	return diffs
+}

@@ -1,0 +1,150 @@
+package cached
+
+import (
+	"bytes"
+	"fmt"
+
+	"convexcache/internal/trace"
+)
+
+// Wire grammar of the cache endpoint — one request per line, fields joined
+// by exactly one space:
+//
+//	line   := op " " tenant " " key
+//	op     := "GET" | "PUT"
+//	tenant := decimal integer, no sign, no leading zeros (except "0")
+//	key    := 1..MaxKeyLen printable non-space ASCII bytes (0x21..0x7e)
+//
+// The grammar is strict on purpose: a deterministic parse/format round-trip
+// (FormatRequest(ParseRequest(x)) == x) keeps the fuzz target honest and the
+// request logs reproducible. Lines end in "\n"; a trailing "\r" is stripped
+// so CRLF clients work. Blank lines are ignored.
+
+// MaxKeyLen bounds the key length accepted on the wire.
+const MaxKeyLen = 256
+
+// maxBatchLines bounds how many request lines one body may carry.
+const maxBatchLines = 1 << 20
+
+// ParseRequest parses one line (without the trailing newline). tenants > 0
+// bounds the accepted tenant range; tenants <= 0 skips the range check
+// (used by the fuzz target, which has no configured universe).
+func ParseRequest(line []byte, tenants int) (Request, error) {
+	var r Request
+	sp := bytes.IndexByte(line, ' ')
+	if sp < 0 {
+		return r, fmt.Errorf("cached: missing op separator in %q", clip(line))
+	}
+	switch {
+	case bytes.Equal(line[:sp], []byte("GET")):
+		r.Op = OpGet
+	case bytes.Equal(line[:sp], []byte("PUT")):
+		r.Op = OpPut
+	default:
+		return r, fmt.Errorf("cached: unknown op %q", clip(line[:sp]))
+	}
+	rest := line[sp+1:]
+	sp = bytes.IndexByte(rest, ' ')
+	if sp < 0 {
+		return r, fmt.Errorf("cached: missing tenant separator in %q", clip(line))
+	}
+	tenant, err := parseTenant(rest[:sp])
+	if err != nil {
+		return r, err
+	}
+	if tenants > 0 && int(tenant) >= tenants {
+		return r, fmt.Errorf("cached: tenant %d out of range [0,%d)", tenant, tenants)
+	}
+	r.Tenant = tenant
+	key := rest[sp+1:]
+	if len(key) == 0 {
+		return r, fmt.Errorf("cached: empty key in %q", clip(line))
+	}
+	if len(key) > MaxKeyLen {
+		return r, fmt.Errorf("cached: key longer than %d bytes", MaxKeyLen)
+	}
+	for _, c := range key {
+		if c < 0x21 || c > 0x7e {
+			return r, fmt.Errorf("cached: key byte %#02x outside printable ASCII", c)
+		}
+	}
+	r.Key = key
+	return r, nil
+}
+
+// parseTenant parses a canonical non-negative decimal: digits only, no
+// leading zeros unless the value is exactly "0", bounded well below
+// overflow.
+func parseTenant(b []byte) (trace.Tenant, error) {
+	if len(b) == 0 {
+		return 0, fmt.Errorf("cached: empty tenant")
+	}
+	if len(b) > 9 {
+		return 0, fmt.Errorf("cached: tenant %q too long", clip(b))
+	}
+	if b[0] == '0' && len(b) > 1 {
+		return 0, fmt.Errorf("cached: tenant %q has a leading zero", clip(b))
+	}
+	var v int
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return 0, fmt.Errorf("cached: tenant %q is not a decimal integer", clip(b))
+		}
+		v = v*10 + int(c-'0')
+	}
+	return trace.Tenant(v), nil
+}
+
+// ParseBatch parses a newline-separated request body. Errors name the
+// offending 1-based line. The returned requests alias body — callers must
+// keep body alive until the batch is applied (Apply copies keys it retains).
+func ParseBatch(body []byte, tenants int) ([]Request, error) {
+	var reqs []Request
+	lineNo := 0
+	for len(body) > 0 {
+		lineNo++
+		if lineNo > maxBatchLines {
+			return nil, fmt.Errorf("cached: batch exceeds %d lines", maxBatchLines)
+		}
+		line := body
+		if nl := bytes.IndexByte(body, '\n'); nl >= 0 {
+			line = body[:nl]
+			body = body[nl+1:]
+		} else {
+			body = nil
+		}
+		line = bytes.TrimSuffix(line, []byte("\r"))
+		if len(line) == 0 {
+			continue
+		}
+		r, err := ParseRequest(line, tenants)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		reqs = append(reqs, r)
+	}
+	return reqs, nil
+}
+
+// FormatRequest appends the canonical wire form of r (with trailing newline)
+// to dst. It is the inverse of ParseRequest for every request ParseRequest
+// accepts.
+func FormatRequest(dst []byte, r Request) []byte {
+	if r.Op == OpPut {
+		dst = append(dst, "PUT "...)
+	} else {
+		dst = append(dst, "GET "...)
+	}
+	dst = fmt.Appendf(dst, "%d ", r.Tenant)
+	dst = append(dst, r.Key...)
+	return append(dst, '\n')
+}
+
+// clip bounds error-message echoes of untrusted input.
+func clip(b []byte) string {
+	const max = 32
+	if len(b) > max {
+		return string(b[:max]) + "…"
+	}
+	return string(b)
+}

@@ -165,6 +165,12 @@ func Oracles() []Oracle {
 			opt := v.opt(tr.NumTenants())
 			return divergeErr(DiffSharded(tr, k, func() sim.Policy { return core.NewFast(opt) }, []int{1, 2, 3, 4, 8}))
 		}})
+		// The live cache service against the offline replay of its own
+		// request log, same cost regimes, shard counts 1/2/4.
+		out = append(out, Oracle{Name: "live/" + v.name[len("engines/"):], Run: func(tr *trace.Trace, k int) error {
+			opt := v.opt(tr.NumTenants())
+			return divergeErr(DiffLive(tr, k, func() sim.Policy { return core.NewFast(opt) }, []int{1, 2, 4}))
+		}})
 	}
 
 	// core.Fast vs the Figure-3 reference: the reformulated production

@@ -1,4 +1,7 @@
-package resilience
+// External test package: these tests pull in the internal/check oracles,
+// which since PR 7 transitively import internal/cached and hence
+// internal/resilience itself — legal only from outside the package.
+package resilience_test
 
 import (
 	"context"
@@ -8,11 +11,13 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+	"time"
 
 	"convexcache/internal/check"
 	"convexcache/internal/core"
 	"convexcache/internal/costfn"
 	"convexcache/internal/obs"
+	"convexcache/internal/resilience"
 	"convexcache/internal/sim"
 	"convexcache/internal/trace"
 )
@@ -42,6 +47,17 @@ func testOptions() core.Options {
 	}}
 }
 
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	for i := 0; i < 2000; i++ {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition never became true")
+}
+
 func TestRunCheckpointedMatchesSimRun(t *testing.T) {
 	tr := testTrace(t, 20_000)
 	const k = 64
@@ -49,7 +65,7 @@ func TestRunCheckpointedMatchesSimRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := RunCheckpointed(context.Background(), tr, core.NewFast(testOptions()), k, 1000, nil, nil, nil)
+	got, err := resilience.RunCheckpointed(context.Background(), tr, core.NewFast(testOptions()), k, 1000, nil, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,9 +98,9 @@ func TestRunCheckpointedResumeBitIdentical(t *testing.T) {
 	// The next cancellation check (every sim.CheckEverySteps steps) aborts.
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	var cp *Checkpoint
-	_, err = RunCheckpointed(ctx, tr, core.NewFast(testOptions()), k, every, nil,
-		func(c Checkpoint) {
+	var cp *resilience.Checkpoint
+	_, err = resilience.RunCheckpointed(ctx, tr, core.NewFast(testOptions()), k, every, nil,
+		func(c resilience.Checkpoint) {
 			if c.Step >= 5000 && cp == nil {
 				cp = &c
 				cancel()
@@ -100,7 +116,7 @@ func TestRunCheckpointedResumeBitIdentical(t *testing.T) {
 	// Resume from the checkpoint with a fresh policy instance, as a process
 	// restart would.
 	resumedFast := core.NewFast(testOptions())
-	got, err := RunCheckpointed(context.Background(), tr, resumedFast, k, every, cp, nil, nil)
+	got, err := resilience.RunCheckpointed(context.Background(), tr, resumedFast, k, every, cp, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +134,7 @@ func TestRunCheckpointedResumeBitIdentical(t *testing.T) {
 
 func TestJobsLifecycle(t *testing.T) {
 	reg := obs.NewRegistry()
-	js := NewJobs(JobsConfig{Workers: 2, MaxJobs: 8, CheckpointEvery: 1000}, reg)
+	js := resilience.NewJobs(resilience.JobsConfig{Workers: 2, MaxJobs: 8, CheckpointEvery: 1000}, reg)
 	defer js.Close()
 	tr := testTrace(t, 20_000)
 	const k = 64
@@ -128,7 +144,7 @@ func TestJobsLifecycle(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	st, err := js.Submit(JobSpec{
+	st, err := js.Submit(resilience.JobSpec{
 		Label: "alg", Trace: tr, K: k,
 		NewFast: func() *core.Fast { return core.NewFast(testOptions()) },
 	})
@@ -137,7 +153,7 @@ func TestJobsLifecycle(t *testing.T) {
 	}
 	waitFor(t, func() bool {
 		s, err := js.Status(st.ID)
-		return err == nil && s.State == JobDone
+		return err == nil && s.State == resilience.JobDone
 	})
 	res, _, ok, err := js.Result(st.ID)
 	if err != nil || !ok {
@@ -173,7 +189,7 @@ func (g *gatedPolicy) OnEvict(step int, p trace.PageID)              {}
 func (g *gatedPolicy) Reset()                                        {}
 
 func TestJobsCancelQueuedAndResume(t *testing.T) {
-	js := NewJobs(JobsConfig{Workers: 1, MaxJobs: 8}, nil)
+	js := resilience.NewJobs(resilience.JobsConfig{Workers: 1, MaxJobs: 8}, nil)
 	defer js.Close()
 	tr := testTrace(t, 64)
 
@@ -181,7 +197,7 @@ func TestJobsCancelQueuedAndResume(t *testing.T) {
 	blocked := make(chan struct{})
 	// K = trace length: the cache never fills, so the gated policy's Victim
 	// is never consulted and the job completes cleanly.
-	blocker, err := js.Submit(JobSpec{
+	blocker, err := js.Submit(resilience.JobSpec{
 		Label: "gated", Trace: tr, K: 64,
 		NewPolicy: func() sim.Policy { return &gatedPolicy{gate: gate, blocked: blocked} },
 	})
@@ -190,14 +206,14 @@ func TestJobsCancelQueuedAndResume(t *testing.T) {
 	}
 	<-blocked // the single worker is now busy
 
-	queued, err := js.Submit(JobSpec{
+	queued, err := js.Submit(resilience.JobSpec{
 		Label: "lru-ish", Trace: tr, K: 64,
 		NewFast: func() *core.Fast { return core.NewFast(core.Options{}) },
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if st, err := js.Cancel(queued.ID); err != nil || st.State != JobCancelled {
+	if st, err := js.Cancel(queued.ID); err != nil || st.State != resilience.JobCancelled {
 		t.Fatalf("cancel queued: %+v, %v", st, err)
 	}
 	if _, err := js.Resume(queued.ID); err != nil {
@@ -206,7 +222,7 @@ func TestJobsCancelQueuedAndResume(t *testing.T) {
 	close(gate)
 	waitFor(t, func() bool {
 		s, err := js.Status(queued.ID)
-		return err == nil && s.State == JobDone
+		return err == nil && s.State == resilience.JobDone
 	})
 	s, _ := js.Status(queued.ID)
 	if s.Resumes != 1 {
@@ -214,7 +230,7 @@ func TestJobsCancelQueuedAndResume(t *testing.T) {
 	}
 	waitFor(t, func() bool {
 		s, err := js.Status(blocker.ID)
-		return err == nil && s.State == JobDone
+		return err == nil && s.State == resilience.JobDone
 	})
 }
 
@@ -230,11 +246,11 @@ func (panicPolicy) Reset()                                        {}
 
 func TestJobsPanicBecomesFailedJob(t *testing.T) {
 	reg := obs.NewRegistry()
-	js := NewJobs(JobsConfig{Workers: 1, MaxJobs: 4}, reg)
+	js := resilience.NewJobs(resilience.JobsConfig{Workers: 1, MaxJobs: 4}, reg)
 	defer js.Close()
 	tr := testTrace(t, 64)
 
-	st, err := js.Submit(JobSpec{
+	st, err := js.Submit(resilience.JobSpec{
 		Label: "panic", Trace: tr, K: 8,
 		NewPolicy: func() sim.Policy { return panicPolicy{} },
 	})
@@ -243,7 +259,7 @@ func TestJobsPanicBecomesFailedJob(t *testing.T) {
 	}
 	waitFor(t, func() bool {
 		s, err := js.Status(st.ID)
-		return err == nil && s.State == JobFailed
+		return err == nil && s.State == resilience.JobFailed
 	})
 	s, _ := js.Status(st.ID)
 	if !strings.Contains(s.Error, "job crashed") {
@@ -254,7 +270,7 @@ func TestJobsPanicBecomesFailedJob(t *testing.T) {
 	}
 
 	// The worker must survive the crash and serve the next job.
-	ok, err := js.Submit(JobSpec{
+	ok, err := js.Submit(resilience.JobSpec{
 		Label: "alg", Trace: tr, K: 8,
 		NewFast: func() *core.Fast { return core.NewFast(core.Options{}) },
 	})
@@ -263,12 +279,12 @@ func TestJobsPanicBecomesFailedJob(t *testing.T) {
 	}
 	waitFor(t, func() bool {
 		s, err := js.Status(ok.ID)
-		return err == nil && s.State == JobDone
+		return err == nil && s.State == resilience.JobDone
 	})
 }
 
 func TestJobsStoreBoundSheds(t *testing.T) {
-	js := NewJobs(JobsConfig{Workers: 1, MaxJobs: 2}, nil)
+	js := resilience.NewJobs(resilience.JobsConfig{Workers: 1, MaxJobs: 2}, nil)
 	defer js.Close()
 	tr := testTrace(t, 64)
 
@@ -280,9 +296,9 @@ func TestJobsStoreBoundSheds(t *testing.T) {
 			close(gate)
 		}
 	}()
-	mk := func() (JobStatus, error) {
+	mk := func() (resilience.JobStatus, error) {
 		blocked := make(chan struct{})
-		return js.Submit(JobSpec{
+		return js.Submit(resilience.JobSpec{
 			Label: "gated", Trace: tr, K: 64,
 			NewPolicy: func() sim.Policy { return &gatedPolicy{gate: gate, blocked: blocked} },
 		})
@@ -294,8 +310,8 @@ func TestJobsStoreBoundSheds(t *testing.T) {
 		t.Fatal(err)
 	}
 	_, err := mk()
-	var shed *Shed
-	if !errors.As(err, &shed) || shed.Reason != ReasonJobStoreFull {
+	var shed *resilience.Shed
+	if !errors.As(err, &shed) || shed.Reason != resilience.ReasonJobStoreFull {
 		t.Fatalf("err = %v, want job_store_full shed", err)
 	}
 	close(gate)

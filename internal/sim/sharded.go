@@ -44,6 +44,19 @@ type ShardPlan struct {
 	shards []shardSeq
 }
 
+// ShardShare returns shard s's capacity share of a k-page cache split
+// across n shards: k/n pages, with the remainder distributed one page each
+// to the lowest-numbered shards so the shares sum to exactly k. It is the
+// split both the offline sharded replay and the live cache service use, so
+// the two sides of a live-vs-replay differential agree by construction.
+func ShardShare(k, n, s int) int {
+	share := k / n
+	if s < k%n {
+		share++
+	}
+	return share
+}
+
 type shardSeq struct {
 	reqs  []int32
 	steps []int32
@@ -59,6 +72,17 @@ func (pl *ShardPlan) ShardLen(s int) int { return len(pl.shards[s].reqs) }
 // The routing is a pure function of the trace's dense remap (first
 // appearance order), so the same trace always yields the same partition.
 func BuildShards(tr *trace.Trace, n int) (*ShardPlan, error) {
+	return BuildShardsBy(tr, n, nil)
+}
+
+// BuildShardsBy is BuildShards with an explicit routing function over the
+// original PageIDs: page p goes to shard shardOf(p), which must return a
+// value in [0, n). A nil shardOf selects the default dense-index-mod-n
+// partition. Callers that replay the request log of a live hash-routed
+// cache pass the live router's function here, so the offline replay
+// partitions pages exactly the way the serving path did — the precondition
+// for an exact live-vs-replay differential.
+func BuildShardsBy(tr *trace.Trace, n int, shardOf func(trace.PageID) int) (*ShardPlan, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("sim: shard count must be positive, got %d", n)
 	}
@@ -66,34 +90,41 @@ func BuildShards(tr *trace.Trace, n int) (*ShardPlan, error) {
 		return nil, fmt.Errorf("sim: trace too long to shard (%d steps)", tr.Len())
 	}
 	d := tr.Dense()
+	// Route every distinct page once; the request passes below are table
+	// lookups regardless of how expensive shardOf is.
+	pageShard := make([]int32, d.NumPages())
+	for ix := range pageShard {
+		s := ix % n
+		if shardOf != nil {
+			s = shardOf(d.Pages[ix])
+			if s < 0 || s >= n {
+				return nil, fmt.Errorf("sim: shardOf(%d) = %d out of range [0,%d)", d.Pages[ix], s, n)
+			}
+		}
+		pageShard[ix] = int32(s)
+	}
 	pl := &ShardPlan{d: d, n: n, shards: make([]shardSeq, n)}
 	// Pre-size each shard from a counting pass so the routing pass does not
 	// re-grow n slices.
 	counts := make([]int, n)
 	for _, pg := range d.Reqs {
-		counts[int(pg)%n]++
+		counts[pageShard[pg]]++
 	}
 	for s := range pl.shards {
 		pl.shards[s].reqs = make([]int32, 0, counts[s])
 		pl.shards[s].steps = make([]int32, 0, counts[s])
 	}
 	for step, pg := range d.Reqs {
-		s := int(pg) % n
+		s := pageShard[pg]
 		pl.shards[s].reqs = append(pl.shards[s].reqs, pg)
 		pl.shards[s].steps = append(pl.shards[s].steps, int32(step))
 	}
 	return pl, nil
 }
 
-// kShare returns shard s's capacity share: k/n pages, with the remainder
-// distributed one page each to the lowest-numbered shards so the shares sum
-// to exactly k.
+// kShare returns shard s's capacity share; see ShardShare.
 func (pl *ShardPlan) kShare(k, s int) int {
-	share := k / pl.n
-	if s < k%pl.n {
-		share++
-	}
-	return share
+	return ShardShare(k, pl.n, s)
 }
 
 // warmupAt returns how many of shard s's requests fall inside the global
