@@ -9,7 +9,14 @@
 //	       -policy alg -costs monomial:1,2 -costs linear:1
 //
 // serves the HTTP API (POST /v1/cache wire batches, GET /v1/cache/stats,
-// POST /v1/cache/verify, /healthz, /metrics). On SIGINT/SIGTERM it drains
+// POST /v1/cache/verify, /healthz, /metrics). With -adaptive the policy is
+// replaced by the quota-partition engine: per-tenant quotas seeded by an
+// even split, a streaming MRC estimator on every shard (GET /v1/mrc/live),
+// and a capacity controller that re-splits k across tenants by marginal
+// convex cost — every -rebalance-every period and on demand via
+// POST /v1/cache/rebalance; -reserve pages per tenant are never reclaimed.
+// -mrc enables the estimator alone under a classic policy. On SIGINT/SIGTERM
+// the server drains
 // in-flight requests, freezes the shards, and — with -verify-on-shutdown
 // (default true) — replays the merged request log through the simulator and
 // exits nonzero on any per-tenant counter divergence: a crash-free exit is a
@@ -45,6 +52,7 @@ import (
 	"time"
 
 	"convexcache/internal/cached"
+	"convexcache/internal/mrclive"
 	"convexcache/internal/obs"
 	"convexcache/internal/resilience"
 	"convexcache/internal/runspec"
@@ -90,6 +98,14 @@ func runServe(args []string) int {
 		rateBurst     = fs.Float64("rate-burst", 0, "per-client burst allowance (0 = 2x rate-rps)")
 		breakFails    = fs.Int("breaker-failures", 0, "consecutive failures that open a circuit (0 = default)")
 		breakOpenFor  = fs.Duration("breaker-open-for", 0, "cooldown before an open circuit half-opens (0 = default)")
+		adaptive      = fs.Bool("adaptive", false, "partition mode: per-tenant quotas steered by the live MRC controller (replaces -policy)")
+		mrcOn         = fs.Bool("mrc", false, "enable the streaming MRC estimator (implied by -adaptive)")
+		mrcWindow     = fs.Int("mrc-window", 8, "estimator sliding window length in epochs")
+		mrcEpoch      = fs.Int("mrc-epoch", 4096, "requests per estimator epoch (per shard)")
+		mrcRate       = fs.Float64("mrc-rate", 1.0, "SHARDS sampling rate in (0,1]")
+		mrcMaxSize    = fs.Int("mrc-max-size", 0, "largest estimated capacity in pages (0 = k)")
+		rebalanceTick = fs.Duration("rebalance-every", 0, "capacity controller period (0 = only on POST /v1/cache/rebalance)")
+		reserve       = fs.Int("reserve", 1, "per-tenant reserve floor in pages the controller never reclaims")
 		costSpecs     stringList
 	)
 	fs.Var(&costSpecs, "costs", "per-tenant convex cost spec (repeatable; default linear:1 per tenant)")
@@ -116,21 +132,49 @@ func runServe(args []string) int {
 		fmt.Fprintln(os.Stderr, err)
 		return 2
 	}
-	sc := runspec.Scenario{Policies: []runspec.PolicySpec{{Name: *policyName}}, Seed: *seed}
-	compiled, err := sc.CompilePolicies(*k, *tenants, costs)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		return 2
+	cfg := cached.Config{
+		K:        *k,
+		Shards:   *shards,
+		Tenants:  *tenants,
+		Registry: obs.NewRegistry(),
 	}
-
-	reg := obs.NewRegistry()
-	svc, err := cached.New(cached.Config{
-		K:         *k,
-		Shards:    *shards,
-		Tenants:   *tenants,
-		NewPolicy: compiled[0].New,
-		Registry:  reg,
-	})
+	if *adaptive {
+		// Partition mode: an even static split seeds the quota vector; the
+		// controller (ticker below and POST /v1/cache/rebalance) re-splits
+		// it from the live curves and the per-tenant marginal costs.
+		quotas := make([]int, *tenants)
+		for t := range quotas {
+			quotas[t] = *k / *tenants
+			if t < *k%*tenants {
+				quotas[t]++
+			}
+		}
+		cfg.Quotas = quotas
+		cfg.Costs = costs
+		cfg.ReserveFloor = *reserve
+	} else {
+		sc := runspec.Scenario{Policies: []runspec.PolicySpec{{Name: *policyName}}, Seed: *seed}
+		compiled, err := sc.CompilePolicies(*k, *tenants, costs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		cfg.NewPolicy = compiled[0].New
+	}
+	if *adaptive || *mrcOn {
+		maxSize := *mrcMaxSize
+		if maxSize <= 0 {
+			maxSize = *k
+		}
+		cfg.MRC = &mrclive.Config{
+			MaxSize:       maxSize,
+			Rate:          *mrcRate,
+			Seed:          uint64(*seed),
+			WindowEpochs:  *mrcWindow,
+			EpochRequests: *mrcEpoch,
+		}
+	}
+	svc, err := cached.New(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 2
@@ -153,10 +197,40 @@ func runServe(args []string) int {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// The capacity controller ticker: every period, merge the live curves
+	// and re-split k across tenants by marginal cost, installing the new
+	// quota vector only when it differs.
+	var rebWG sync.WaitGroup
+	if *adaptive && *rebalanceTick > 0 {
+		rebWG.Add(1)
+		go func() {
+			defer rebWG.Done()
+			tick := time.NewTicker(*rebalanceTick)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+					quotas, changed, err := svc.RebalanceOnce()
+					if err != nil {
+						logger.Warn("rebalance failed", "err", err)
+					} else if changed {
+						logger.Info("rebalanced", "quotas", fmt.Sprint(quotas))
+					}
+				}
+			}
+		}()
+	}
+
 	errCh := make(chan error, 1)
 	go func() {
+		engine := *policyName
+		if *adaptive {
+			engine = "adaptive-partition"
+		}
 		logger.Info("cached listening", "addr", *addr, "k", *k, "shards", *shards,
-			"tenants", *tenants, "policy", *policyName)
+			"tenants", *tenants, "policy", engine)
 		errCh <- srv.ListenAndServe()
 	}()
 
@@ -167,6 +241,7 @@ func runServe(args []string) int {
 	case <-ctx.Done():
 	}
 	stop()
+	rebWG.Wait()
 
 	logger.Info("shutting down, draining in-flight requests", "grace", shutdownGrace.String())
 	drainCtx, cancel := context.WithTimeout(context.Background(), *shutdownGrace)

@@ -17,7 +17,8 @@ type ApproxResult struct {
 	Rate float64
 	// SampledRequests counts the requests that survived sampling.
 	SampledRequests int64
-	// HitsAt[c] estimates LRU hits at cache size c+1, rescaled.
+	// HitsAt[c] estimates LRU hits at cache size c+1: the integer sampled
+	// hit count rescaled once by 1/Rate and clamped to Requests.
 	HitsAt []float64
 	// Requests is the full trace length.
 	Requests int64
@@ -50,23 +51,51 @@ func hashPage(p trace.PageID, seed uint64) uint64 {
 	return x ^ (x >> 31)
 }
 
+// SampleFilter is the SHARDS spatial-sampling predicate: a page is kept
+// when its 64-bit hash falls under rate * 2^63 (the threshold lives in the
+// top 63 bits so rate 1.0 needs no float->uint64 overflow special case).
+// The filter is a pure function of (page, seed), so every consumer that
+// shares a seed — the offline ApproxMattson pass, the live per-shard
+// samplers of internal/mrclive — samples exactly the same page population.
+type SampleFilter struct {
+	// Rate is the sampling rate in (0, 1].
+	Rate float64
+	// Seed perturbs the page hash; distinct seeds give independent samples.
+	Seed uint64
+
+	threshold uint64
+}
+
+// NewSampleFilter validates the rate and builds the filter.
+func NewSampleFilter(rate float64, seed uint64) (SampleFilter, error) {
+	if rate <= 0 || rate > 1 {
+		return SampleFilter{}, errors.New("analysis: sampling rate must be in (0, 1]")
+	}
+	return SampleFilter{Rate: rate, Seed: seed, threshold: uint64(rate * float64(uint64(1)<<63))}, nil
+}
+
+// Keep reports whether the page survives sampling.
+func (f SampleFilter) Keep(p trace.PageID) bool {
+	if f.Rate >= 1 {
+		return true
+	}
+	return hashPage(p, f.Seed)>>1 < f.threshold
+}
+
 // ApproxMattson runs spatially sampled stack-distance analysis: pages are
 // kept when hash(page) < rate * 2^64; measured distances are scaled by
-// 1/rate, and hit counts are likewise rescaled.
+// 1/rate at bucketing time. Hit counts accumulate as exact integers per
+// sampled request and are rescaled by 1/rate once at the end, with a clamp
+// at Requests — so the estimate can never exceed the trace length and, at
+// rate 1.0, is bit-identical to exact Mattson (no float drift from summing
+// T copies of 1/rate).
 func ApproxMattson(tr *trace.Trace, maxSize int, rate float64, seed uint64) (ApproxResult, error) {
 	if maxSize <= 0 {
 		return ApproxResult{}, errors.New("analysis: maxSize must be positive")
 	}
-	if rate <= 0 || rate > 1 {
-		return ApproxResult{}, errors.New("analysis: sampling rate must be in (0, 1]")
-	}
-	// Threshold on the top 63 bits avoids float->uint64 overflow at rate 1.
-	threshold := uint64(rate * float64(uint64(1)<<63))
-	keep := func(p trace.PageID) bool {
-		if rate >= 1 {
-			return true
-		}
-		return hashPage(p, seed)>>1 < threshold
+	filter, err := NewSampleFilter(rate, seed)
+	if err != nil {
+		return ApproxResult{}, err
 	}
 	T := tr.Len()
 	res := ApproxResult{
@@ -76,9 +105,9 @@ func ApproxMattson(tr *trace.Trace, maxSize int, rate float64, seed uint64) (App
 	}
 	ft := newFenwick(T)
 	lastPos := make(map[trace.PageID]int)
-	hitsAtDistance := make([]float64, maxSize)
+	hitsAtDistance := make([]int64, maxSize)
 	for t, r := range tr.Requests() {
-		if !keep(r.Page) {
+		if !filter.Keep(r.Page) {
 			continue
 		}
 		res.SampledRequests++
@@ -87,17 +116,21 @@ func ApproxMattson(tr *trace.Trace, maxSize int, rate float64, seed uint64) (App
 			// Rescale: each sampled distinct page stands for 1/rate pages.
 			dist := int(float64(sampledDist) / rate)
 			if dist < maxSize {
-				hitsAtDistance[dist] += 1 / rate
+				hitsAtDistance[dist]++
 			}
 			ft.add(prev, -1)
 		}
 		ft.add(t, 1)
 		lastPos[r.Page] = t
 	}
-	cum := 0.0
+	var cum int64
 	for c := 0; c < maxSize; c++ {
 		cum += hitsAtDistance[c]
-		res.HitsAt[c] = cum
+		est := float64(cum) / rate
+		if est > float64(res.Requests) {
+			est = float64(res.Requests)
+		}
+		res.HitsAt[c] = est
 	}
 	return res, nil
 }

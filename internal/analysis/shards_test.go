@@ -43,6 +43,86 @@ func TestApproxMattsonFullRateMatchesExact(t *testing.T) {
 	}
 }
 
+// TestApproxMattsonFullRateBitIdentical pins the integer-scaled accumulation:
+// at rate 1.0 every request is sampled, the 1/rate rescale is exact, and the
+// approximate HitsAt must equal exact Mattson's integer hit counts bit for
+// bit — not merely within epsilon. The old float accumulation (summing T
+// copies of 1/rate) drifted across platforms and could exceed Requests.
+func TestApproxMattsonFullRateBitIdentical(t *testing.T) {
+	tr := randomTrace(11, 3, 40, 20000)
+	maxSize := 64
+	exact, err := Mattson(tr, maxSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx, err := ApproxMattson(tr, maxSize, 1.0, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < maxSize; c++ {
+		if approx.HitsAt[c] != float64(exact.HitsAt[c]) {
+			t.Fatalf("c=%d: approx HitsAt %v not bit-identical to exact %d",
+				c+1, approx.HitsAt[c], exact.HitsAt[c])
+		}
+	}
+}
+
+// TestApproxMattsonNeverExceedsRequests pins the final clamp: under heavy
+// rescale (tiny rate) the estimated hit count must stay <= the trace length
+// at every size, so miss ratios stay in [0, 1] by construction.
+func TestApproxMattsonNeverExceedsRequests(t *testing.T) {
+	// Tight reuse loop: nearly every sampled request is a hit at small
+	// distances, maximizing the rescaled count.
+	b := trace.NewBuilder()
+	for i := 0; i < 5000; i++ {
+		b.Add(0, trace.PageID(i%7))
+	}
+	tr := b.MustBuild()
+	for _, rate := range []float64{0.01, 0.05, 0.33, 0.7} {
+		approx, err := ApproxMattson(tr, 32, rate, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for c := 0; c < 32; c++ {
+			if approx.HitsAt[c] > float64(approx.Requests) {
+				t.Fatalf("rate=%g c=%d: HitsAt %v exceeds requests %d",
+					rate, c+1, approx.HitsAt[c], approx.Requests)
+			}
+		}
+	}
+}
+
+func TestSampleFilterMatchesApproxPopulation(t *testing.T) {
+	f, err := NewSampleFilter(0.25, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSampleFilter(0, 1); err == nil {
+		t.Error("rate 0 accepted")
+	}
+	if _, err := NewSampleFilter(1.1, 1); err == nil {
+		t.Error("rate > 1 accepted")
+	}
+	kept := 0
+	for p := 0; p < 8000; p++ {
+		if f.Keep(trace.PageID(p)) {
+			kept++
+		}
+	}
+	if kept < 1600 || kept > 2400 {
+		t.Errorf("filter kept %d/8000 at rate 0.25", kept)
+	}
+	full, err := NewSampleFilter(1.0, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < 100; p++ {
+		if !full.Keep(trace.PageID(p)) {
+			t.Fatalf("rate 1.0 dropped page %d", p)
+		}
+	}
+}
+
 func TestApproxMattsonSampledAccuracySymmetric(t *testing.T) {
 	// Spatial sampling concentrates when pages are exchangeable; use a
 	// Markov-locality workload over a symmetric universe.

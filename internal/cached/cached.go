@@ -28,6 +28,8 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"convexcache/internal/costfn"
+	"convexcache/internal/mrclive"
 	"convexcache/internal/obs"
 	"convexcache/internal/sim"
 	"convexcache/internal/trace"
@@ -87,6 +89,22 @@ type Config struct {
 	MailboxDepth int
 	// Registry receives the per-shard metrics; nil creates a private one.
 	Registry *obs.Registry
+
+	// Quotas switches the service to partition mode: each tenant gets a
+	// dedicated LRU quota (shard-local share via sim.ShardShare, summing to
+	// the global quota exactly), adjustable at runtime with SetQuotas. Must
+	// have length Tenants and sum to K; NewPolicy is ignored. Nil keeps the
+	// classic single-policy mode.
+	Quotas []int
+	// MRC enables the streaming per-tenant miss-ratio estimator: every
+	// shard runs an mrclive.Sampler inline (Tenants and Scale are filled in
+	// from this config). Nil disables estimation.
+	MRC *mrclive.Config
+	// Costs holds per-tenant convex cost functions for the capacity
+	// controller's marginal weights; nil or short entries weight linearly.
+	Costs []costfn.Func
+	// ReserveFloor is the per-tenant page floor RebalanceOnce respects.
+	ReserveFloor int
 }
 
 // ErrClosed is returned by Apply after Close.
@@ -103,10 +121,20 @@ type Service struct {
 	seq atomic.Int64
 
 	// mu guards closed against concurrent Apply/Verify/Close; shard state
-	// itself is single-writer and never locked.
+	// itself is single-writer and never locked. snapshotAll additionally
+	// takes the write side as a sequencing barrier (see there).
 	mu     sync.RWMutex
 	closed bool
 	wg     sync.WaitGroup
+
+	// quotaMu serializes SetQuotas dispatches and guards quotas, the
+	// current global per-tenant quota vector (partition mode only).
+	quotaMu sync.Mutex
+	quotas  []int
+
+	// Per-tenant controller/estimator gauges (nil slices when disabled).
+	mQuota, mWindowReqs, mMissRatioBP []*obs.Gauge
+	mRebalances                       *obs.Counter
 }
 
 // New validates the configuration, starts the shard goroutines and returns
@@ -124,22 +152,47 @@ func New(cfg Config) (*Service, error) {
 	if cfg.Tenants <= 0 {
 		return nil, errors.New("cached: tenant count must be positive")
 	}
-	if cfg.NewPolicy == nil {
-		return nil, errors.New("cached: NewPolicy is required")
-	}
 	if cfg.MailboxDepth <= 0 {
 		cfg.MailboxDepth = 64
 	}
-	probe := cfg.NewPolicy()
-	if probe == nil {
-		return nil, errors.New("cached: NewPolicy returned nil")
+	if cfg.Quotas != nil {
+		if len(cfg.Quotas) != cfg.Tenants {
+			return nil, fmt.Errorf("cached: quota vector has %d entries for %d tenants", len(cfg.Quotas), cfg.Tenants)
+		}
+		sum := 0
+		for t, q := range cfg.Quotas {
+			if q < 0 {
+				return nil, fmt.Errorf("cached: tenant %d has negative quota %d", t, q)
+			}
+			sum += q
+		}
+		if sum != cfg.K {
+			return nil, fmt.Errorf("cached: quotas sum to %d, want K=%d", sum, cfg.K)
+		}
+		cfg.Quotas = append([]int(nil), cfg.Quotas...)
+	} else {
+		if cfg.NewPolicy == nil {
+			return nil, errors.New("cached: NewPolicy is required")
+		}
+		probe := cfg.NewPolicy()
+		if probe == nil {
+			return nil, errors.New("cached: NewPolicy returned nil")
+		}
+		if _, offline := probe.(sim.OfflinePolicy); offline {
+			return nil, fmt.Errorf("cached: policy %s needs the full trace in advance and cannot serve live traffic", probe.Name())
+		}
+		if cfg.Shards > 1 {
+			if _, dense := probe.(sim.DensePolicy); !dense {
+				return nil, fmt.Errorf("cached: policy %s does not support the dense engine required for sharded verify", probe.Name())
+			}
+		}
 	}
-	if _, offline := probe.(sim.OfflinePolicy); offline {
-		return nil, fmt.Errorf("cached: policy %s needs the full trace in advance and cannot serve live traffic", probe.Name())
-	}
-	if cfg.Shards > 1 {
-		if _, dense := probe.(sim.DensePolicy); !dense {
-			return nil, fmt.Errorf("cached: policy %s does not support the dense engine required for sharded verify", probe.Name())
+	if cfg.MRC != nil {
+		mc := *cfg.MRC
+		mc.Tenants = cfg.Tenants
+		mc.Scale = cfg.Shards
+		if _, err := mrclive.NewSampler(mc); err != nil {
+			return nil, fmt.Errorf("cached: mrc config: %w", err)
 		}
 	}
 	reg := cfg.Registry
@@ -147,6 +200,23 @@ func New(cfg Config) (*Service, error) {
 		reg = obs.NewRegistry()
 	}
 	s := &Service{cfg: cfg, reg: reg, shards: make([]*shard, cfg.Shards)}
+	if cfg.Quotas != nil {
+		s.quotas = append([]int(nil), cfg.Quotas...)
+		s.mQuota = make([]*obs.Gauge, cfg.Tenants)
+		for t := range s.mQuota {
+			s.mQuota[t] = reg.Gauge(fmt.Sprintf(`cached_quota_pages{tenant="%d"}`, t))
+			s.mQuota[t].Set(int64(s.quotas[t]))
+		}
+		s.mRebalances = reg.Counter("cached_rebalances_total")
+	}
+	if cfg.MRC != nil {
+		s.mWindowReqs = make([]*obs.Gauge, cfg.Tenants)
+		s.mMissRatioBP = make([]*obs.Gauge, cfg.Tenants)
+		for t := range s.mWindowReqs {
+			s.mWindowReqs[t] = reg.Gauge(fmt.Sprintf(`cached_mrc_window_requests{tenant="%d"}`, t))
+			s.mMissRatioBP[t] = reg.Gauge(fmt.Sprintf(`cached_mrc_miss_ratio_bp{tenant="%d"}`, t))
+		}
+	}
 	for i := range s.shards {
 		s.shards[i] = newShard(s, i, sim.ShardShare(cfg.K, cfg.Shards, i))
 		s.wg.Add(1)
@@ -249,7 +319,7 @@ func (s *Service) Apply(reqs []Request) ([]byte, error) {
 // A failed shard answers ResultError to every subsequent request; the
 // service stays up so the operator can inspect state and logs.
 func (s *Service) Err() error {
-	for _, snap := range s.snapshotAll(false) {
+	for _, snap := range s.snapshotAll(false, false) {
 		if snap.Err != nil {
 			return snap.Err
 		}
@@ -276,28 +346,41 @@ func (s *Service) Close() {
 // snapshotAll collects a consistent snapshot from every shard: through the
 // mailboxes while serving (so each snapshot sits on a batch boundary), or by
 // direct read once the shard goroutines have exited.
-func (s *Service) snapshotAll(withLog bool) []*ShardSnapshot {
-	s.mu.RLock()
+//
+// The live path takes the WRITE lock while enqueuing the snapshot messages.
+// That is the sequencing barrier that makes a multi-shard snapshot atomic
+// with respect to in-flight Apply calls: Apply holds the read lock across
+// ALL of its per-shard mailbox sends, so under the write lock every
+// concurrent batch is either fully enqueued ahead of the snapshot message
+// in every shard's mailbox, or fully behind it in every shard's mailbox.
+// Without the exclusive section a batch could land before the snapshot on
+// one shard and after it on another, and a stats read racing a batch would
+// report hits+misses ≠ requests for that batch's tenant. The lock covers
+// only the enqueues — the snapshots themselves are produced by the shard
+// loops afterwards, and mailbox sends cannot deadlock because shards drain
+// independently of the service lock.
+func (s *Service) snapshotAll(withLog, withMRC bool) []*ShardSnapshot {
+	s.mu.Lock()
 	if !s.closed {
 		chs := make([]chan *ShardSnapshot, len(s.shards))
 		for i, sh := range s.shards {
 			chs[i] = make(chan *ShardSnapshot, 1)
-			sh.in <- shardMsg{snap: chs[i], withLog: withLog}
+			sh.in <- shardMsg{snap: chs[i], withLog: withLog, withMRC: withMRC}
 		}
-		s.mu.RUnlock()
+		s.mu.Unlock()
 		out := make([]*ShardSnapshot, len(s.shards))
 		for i := range chs {
 			out[i] = <-chs[i]
 		}
 		return out
 	}
-	s.mu.RUnlock()
+	s.mu.Unlock()
 	// Closed: wg.Wait establishes happens-before with every shard loop
 	// exit, after which the single-writer state is safe to read directly.
 	s.wg.Wait()
 	out := make([]*ShardSnapshot, len(s.shards))
 	for i, sh := range s.shards {
-		out[i] = sh.snapshot(withLog)
+		out[i] = sh.snapshot(withLog, withMRC)
 	}
 	return out
 }
@@ -330,12 +413,15 @@ type Stats struct {
 	Evictions int64         `json:"evictions"`
 	PerTenant []TenantStats `json:"per_tenant"`
 	Shards    []ShardStats  `json:"shards"`
+	// Quotas is the current global per-tenant quota vector; nil outside
+	// partition mode.
+	Quotas []int `json:"quotas,omitempty"`
 }
 
 // Stats aggregates a consistent per-shard snapshot into the live counters.
 func (s *Service) Stats() Stats {
-	snaps := s.snapshotAll(false)
-	st := Stats{PerTenant: make([]TenantStats, s.cfg.Tenants)}
+	snaps := s.snapshotAll(false, false)
+	st := Stats{PerTenant: make([]TenantStats, s.cfg.Tenants), Quotas: s.Quotas()}
 	for i := range st.PerTenant {
 		st.PerTenant[i].Tenant = i
 	}
@@ -363,4 +449,157 @@ func (s *Service) Stats() Stats {
 		st.Evictions += ts.Evictions
 	}
 	return st
+}
+
+// Quotas returns the current global per-tenant quota vector, or nil outside
+// partition mode.
+func (s *Service) Quotas() []int {
+	s.quotaMu.Lock()
+	defer s.quotaMu.Unlock()
+	if s.quotas == nil {
+		return nil
+	}
+	return append([]int(nil), s.quotas...)
+}
+
+// SetQuotas installs a new global quota vector (partition mode only): each
+// shard receives a control message, logs it at its own sequence position
+// and re-derives its local shares, trimming shrinking tenants. The call
+// returns once every shard has applied the change. Quota installation is
+// not atomic across shards — each shard switches at its own log position —
+// but per-shard replay exactness is unaffected, because each shard logs
+// exactly where it switched.
+func (s *Service) SetQuotas(quotas []int) error {
+	if s.cfg.Quotas == nil {
+		return errors.New("cached: SetQuotas requires partition mode (Config.Quotas)")
+	}
+	if len(quotas) != s.cfg.Tenants {
+		return fmt.Errorf("cached: quota vector has %d entries for %d tenants", len(quotas), s.cfg.Tenants)
+	}
+	sum := 0
+	for t, q := range quotas {
+		if q < 0 {
+			return fmt.Errorf("cached: tenant %d has negative quota %d", t, q)
+		}
+		sum += q
+	}
+	if sum != s.cfg.K {
+		return fmt.Errorf("cached: quotas sum to %d, want K=%d", sum, s.cfg.K)
+	}
+	// quotaMu serializes concurrent quota dispatches so every shard sees
+	// the same sequence of control messages.
+	s.quotaMu.Lock()
+	defer s.quotaMu.Unlock()
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return ErrClosed
+	}
+	var wg sync.WaitGroup
+	q := append([]int(nil), quotas...)
+	for _, sh := range s.shards {
+		wg.Add(1)
+		sh.in <- shardMsg{quotas: q, quotasDone: &wg}
+	}
+	s.mu.RUnlock()
+	wg.Wait()
+	s.quotas = q
+	for t, g := range s.mQuota {
+		g.Set(int64(q[t]))
+	}
+	return nil
+}
+
+// MRCLive is the merged streaming estimator state: per-tenant window
+// miss-ratio curves plus the quota vector they inform.
+type MRCLive struct {
+	// MaxSize is the largest estimated capacity; curves cover 1..MaxSize.
+	MaxSize int `json:"max_size"`
+	// Rate is the SHARDS sampling rate.
+	Rate float64 `json:"rate"`
+	// WindowRequests counts all tenants' window requests.
+	WindowRequests int64 `json:"window_requests"`
+	// Quotas is the current per-tenant split; nil outside partition mode.
+	Quotas []int `json:"quotas,omitempty"`
+	// Tenants holds one merged curve per tenant.
+	Tenants []mrclive.TenantCurve `json:"tenants"`
+}
+
+// MRCLive snapshots every shard's sampler on a batch boundary and merges
+// the windows into per-tenant curves (the /v1/mrc/live payload). Also
+// refreshes the estimator gauges: window requests and the predicted miss
+// ratio at each tenant's current capacity share.
+func (s *Service) MRCLive() (*MRCLive, error) {
+	if s.cfg.MRC == nil {
+		return nil, errors.New("cached: MRC estimator not configured")
+	}
+	mc := s.shards[0].sampler.Config()
+	snaps := s.snapshotAll(false, true)
+	wins := make([][]mrclive.TenantWindow, 0, len(snaps))
+	for _, snap := range snaps {
+		if snap.MRC != nil {
+			wins = append(wins, snap.MRC)
+		}
+	}
+	out := &MRCLive{
+		MaxSize: mc.MaxSize,
+		Rate:    mc.Rate,
+		Quotas:  s.Quotas(),
+		Tenants: mrclive.Merge(wins, s.cfg.Tenants, mc.MaxSize, mc.Rate, mc.Scale),
+	}
+	for t := range out.Tenants {
+		out.WindowRequests += out.Tenants[t].Requests
+	}
+	if s.mWindowReqs != nil {
+		for t, c := range out.Tenants {
+			share := s.cfg.K / s.cfg.Tenants
+			if out.Quotas != nil {
+				share = out.Quotas[t]
+			}
+			s.mWindowReqs[t].Set(c.Requests)
+			s.mMissRatioBP[t].Set(int64(c.MissRatioAt(share) * 10000))
+		}
+	}
+	return out, nil
+}
+
+// RebalanceOnce runs one controller step: merge the live curves, weight
+// each tenant by its marginal cost at the current total misses, plan a new
+// split with mrclive.Controller (floors from Config.ReserveFloor) and
+// install it if it differs from the current one. Returns the (possibly
+// unchanged) split and whether it changed.
+func (s *Service) RebalanceOnce() ([]int, bool, error) {
+	if s.cfg.Quotas == nil {
+		return nil, false, errors.New("cached: rebalancing requires partition mode (Config.Quotas)")
+	}
+	live, err := s.MRCLive()
+	if err != nil {
+		return nil, false, err
+	}
+	st := s.Stats()
+	totalMisses := make([]int64, s.cfg.Tenants)
+	for t := range st.PerTenant {
+		totalMisses[t] = st.PerTenant[t].Misses
+	}
+	cur := s.Quotas()
+	ctl := mrclive.Controller{K: s.cfg.K, Costs: s.cfg.Costs, Floor: s.cfg.ReserveFloor}
+	plan, err := ctl.Plan(cur, live.Tenants, totalMisses)
+	if err != nil {
+		return nil, false, err
+	}
+	changed := false
+	for t := range plan {
+		if plan[t] != cur[t] {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		return plan, false, nil
+	}
+	if err := s.SetQuotas(plan); err != nil {
+		return nil, false, err
+	}
+	s.mRebalances.Inc()
+	return plan, true, nil
 }

@@ -81,13 +81,16 @@ func (s *Service) Handler(cfg HTTPConfig) http.Handler {
 	mux.HandleFunc("POST /v1/cache", st.protect("/v1/cache", st.handleCache))
 	mux.HandleFunc("GET /v1/cache/stats", st.handleStats)
 	mux.HandleFunc("POST /v1/cache/verify", st.protect("/v1/cache/verify", st.handleVerify))
+	mux.HandleFunc("GET /v1/mrc/live", st.handleMRCLive)
+	mux.HandleFunc("POST /v1/cache/rebalance", st.handleRebalance)
 	mw := obs.Middleware{Reg: s.reg, Log: st.log, Route: cacheRouteLabel}
 	return mw.Wrap(mux)
 }
 
 func cacheRouteLabel(r *http.Request) string {
 	switch r.URL.Path {
-	case "/healthz", "/metrics", "/v1/cache", "/v1/cache/stats", "/v1/cache/verify":
+	case "/healthz", "/metrics", "/v1/cache", "/v1/cache/stats", "/v1/cache/verify",
+		"/v1/mrc/live", "/v1/cache/rebalance":
 		return r.URL.Path
 	}
 	return "other"
@@ -139,6 +142,24 @@ func (st *handlerState) handleCache(w http.ResponseWriter, r *http.Request) {
 
 func (st *handlerState) handleStats(w http.ResponseWriter, r *http.Request) {
 	st.writeJSON(w, r, http.StatusOK, st.svc.Stats())
+}
+
+func (st *handlerState) handleMRCLive(w http.ResponseWriter, r *http.Request) {
+	live, err := st.svc.MRCLive()
+	if err != nil {
+		st.writeError(w, r, http.StatusNotFound, "mrc_disabled", 0, err)
+		return
+	}
+	st.writeJSON(w, r, http.StatusOK, live)
+}
+
+func (st *handlerState) handleRebalance(w http.ResponseWriter, r *http.Request) {
+	quotas, changed, err := st.svc.RebalanceOnce()
+	if err != nil {
+		st.writeError(w, r, http.StatusConflict, "rebalance_unavailable", 0, err)
+		return
+	}
+	st.writeJSON(w, r, http.StatusOK, map[string]any{"quotas": quotas, "changed": changed})
 }
 
 func (st *handlerState) handleVerify(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,127 @@
+package cached
+
+import (
+	"convexcache/internal/trace"
+)
+
+// quotaLRU is the partition-mode shard engine: per-tenant LRU lists under
+// per-tenant page quotas. It exists because adaptive capacity needs quotas
+// that change at runtime AND bit-exact live-vs-replay verification: the
+// same code runs in the live shard loop and in the offline replay, and
+// every operation is deterministic (intrusive linked lists, no map
+// iteration anywhere), so replaying a shard's log through a fresh instance
+// reproduces the live counters exactly.
+//
+// Semantics per access: a resident page moves to its tenant's MRU position;
+// a miss with a zero quota is counted but not inserted (the tenant holds no
+// capacity); otherwise the tenant at quota evicts its own LRU tail first.
+// Tenants only ever evict their own pages — cross-tenant pressure is
+// mediated entirely by quota changes, which trim the shrinking tenant's LRU
+// tail immediately.
+type quotaLRU struct {
+	quotas []int
+	size   []int
+	nodes  map[trace.PageID]*qnode
+	// head[t] is tenant t's MRU page, tail[t] its LRU page; nil when empty.
+	head, tail []*qnode
+}
+
+type qnode struct {
+	page       trace.PageID
+	tenant     trace.Tenant
+	prev, next *qnode // prev = toward MRU, next = toward LRU
+}
+
+func newQuotaLRU(quotas []int) *quotaLRU {
+	q := &quotaLRU{
+		quotas: append([]int(nil), quotas...),
+		size:   make([]int, len(quotas)),
+		nodes:  make(map[trace.PageID]*qnode),
+		head:   make([]*qnode, len(quotas)),
+		tail:   make([]*qnode, len(quotas)),
+	}
+	return q
+}
+
+// unlink removes n from its tenant's list (does not touch q.nodes).
+func (q *quotaLRU) unlink(n *qnode) {
+	t := n.tenant
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		q.head[t] = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		q.tail[t] = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+// pushFront makes n its tenant's MRU.
+func (q *quotaLRU) pushFront(n *qnode) {
+	t := n.tenant
+	n.next = q.head[t]
+	n.prev = nil
+	if q.head[t] != nil {
+		q.head[t].prev = n
+	}
+	q.head[t] = n
+	if q.tail[t] == nil {
+		q.tail[t] = n
+	}
+}
+
+// evictTail removes tenant t's LRU page and returns it.
+func (q *quotaLRU) evictTail(t trace.Tenant) trace.PageID {
+	n := q.tail[t]
+	q.unlink(n)
+	delete(q.nodes, n.page)
+	q.size[t]--
+	return n.page
+}
+
+// Access serves one request. Returns whether it hit and whether an eviction
+// occurred (evictions are always of the requesting tenant's own LRU tail).
+func (q *quotaLRU) Access(t trace.Tenant, p trace.PageID) (hit, evicted bool) {
+	if n, ok := q.nodes[p]; ok {
+		q.unlink(n)
+		q.pushFront(n)
+		return true, false
+	}
+	if q.quotas[t] <= 0 {
+		// No capacity: the miss is served but the page is not admitted.
+		return false, false
+	}
+	if q.size[t] >= q.quotas[t] {
+		q.evictTail(t)
+		evicted = true
+	}
+	n := &qnode{page: p, tenant: t}
+	q.nodes[p] = n
+	q.pushFront(n)
+	q.size[t]++
+	return false, evicted
+}
+
+// SetQuotas installs a new quota vector, trimming each shrinking tenant's
+// LRU tail to fit. Returns the number of pages evicted per tenant.
+func (q *quotaLRU) SetQuotas(quotas []int) []int {
+	evictions := make([]int, len(q.quotas))
+	for t := range q.quotas {
+		nq := 0
+		if t < len(quotas) {
+			nq = quotas[t]
+		}
+		q.quotas[t] = nq
+		for q.size[t] > nq {
+			q.evictTail(trace.Tenant(t))
+			evictions[t]++
+		}
+	}
+	return evictions
+}
+
+// Occupancy is the total resident page count.
+func (q *quotaLRU) Occupancy() int { return len(q.nodes) }

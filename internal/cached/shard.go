@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"convexcache/internal/mrclive"
 	"convexcache/internal/obs"
 	"convexcache/internal/sim"
 	"convexcache/internal/trace"
@@ -14,10 +15,16 @@ import (
 // Page is the shard-assigned page id; Tenant the requesting tenant. The op
 // is deliberately absent — GET and PUT are both write-allocate, so residency
 // evolution and therefore replay depend only on (page, tenant) order.
+//
+// Entries with a non-nil Quotas are control entries (partition mode only):
+// they record the installation of a new global quota vector at this shard's
+// sequence position, so the per-shard replay re-applies quota changes at
+// exactly the step the live engine did. Control entries carry no page.
 type LogEntry struct {
 	Seq    int64
 	Page   trace.PageID
 	Tenant trace.Tenant
+	Quotas []int
 }
 
 // shardReq is one request after ingress validation, routed to its shard.
@@ -28,8 +35,9 @@ type shardReq struct {
 	key    []byte
 }
 
-// shardMsg is a mailbox message: either a batch to apply (batch/results/done
-// set) or a snapshot request (snap set).
+// shardMsg is a mailbox message: a batch to apply (batch/results/done set),
+// a snapshot request (snap set), or a quota-change control message (quotas
+// set, partition mode only).
 type shardMsg struct {
 	batch   []shardReq
 	results []byte
@@ -37,6 +45,10 @@ type shardMsg struct {
 
 	snap    chan *ShardSnapshot
 	withLog bool
+	withMRC bool
+
+	quotas     []int
+	quotasDone *sync.WaitGroup
 }
 
 // ShardSnapshot is a consistent copy of one shard's accounting, taken on a
@@ -54,6 +66,9 @@ type ShardSnapshot struct {
 	Evictions []int64
 	// Log is the shard's request log; nil unless requested.
 	Log []LogEntry
+	// MRC is the shard sampler's window accounting; nil unless requested
+	// (or the service runs without an estimator).
+	MRC []mrclive.TenantWindow
 	// Err is the shard's failure state (policy contract violation), if any.
 	Err error
 }
@@ -69,7 +84,14 @@ type shard struct {
 	k   int
 	in  chan shardMsg
 
+	// Exactly one engine is active: policy (classic mode) or qlru
+	// (partition mode, adaptive per-tenant quotas).
 	policy sim.Policy
+	qlru   *quotaLRU
+	// sampler is the shard's streaming MRC estimator (nil when disabled);
+	// owned by the loop goroutine like all other state, so Observe runs
+	// lock-free on the request path.
+	sampler *mrclive.Sampler
 	// keys maps tenant-scoped keys to page ids. Shard s assigns ids from
 	// the residue class {s, s+n, s+2n, ...} (nextPage starts at s, steps by
 	// n), so page ownership is recoverable as page mod n at replay time.
@@ -78,8 +100,10 @@ type shard struct {
 	pages    int
 	// cache maps resident pages to their owning tenant, exactly like the
 	// simulator's map engine.
-	cache     map[trace.PageID]trace.Tenant
-	log       []LogEntry
+	cache map[trace.PageID]trace.Tenant
+	log   []LogEntry
+	// reqs counts admitted requests (log entries minus quota controls).
+	reqs      int64
 	hits      []int64
 	misses    []int64
 	evictions []int64
@@ -96,7 +120,6 @@ func newShard(svc *Service, id, k int) *shard {
 		id:        id,
 		k:         k,
 		in:        make(chan shardMsg, svc.cfg.MailboxDepth),
-		policy:    svc.cfg.NewPolicy(),
 		keys:      make([]map[string]trace.PageID, svc.cfg.Tenants),
 		nextPage:  trace.PageID(id),
 		cache:     make(map[trace.PageID]trace.Tenant, k),
@@ -114,7 +137,31 @@ func newShard(svc *Service, id, k int) *shard {
 	for t := range sh.keys {
 		sh.keys[t] = make(map[string]trace.PageID)
 	}
+	if svc.cfg.Quotas != nil {
+		sh.qlru = newQuotaLRU(localQuotas(svc.cfg.Quotas, svc.cfg.Shards, id))
+	} else {
+		sh.policy = svc.cfg.NewPolicy()
+	}
+	if svc.cfg.MRC != nil {
+		mc := *svc.cfg.MRC
+		mc.Tenants = svc.cfg.Tenants
+		mc.Scale = svc.cfg.Shards
+		// Config was validated in New; a fresh sampler cannot fail here.
+		sh.sampler, _ = mrclive.NewSampler(mc)
+	}
 	return sh
+}
+
+// localQuotas derives shard id's slice of a global per-tenant quota vector:
+// tenant t gets sim.ShardShare(q[t], n, id) pages, so summing local quotas
+// over all shards reproduces each global quota (and therefore K) exactly —
+// the same split rule the shard capacities themselves use.
+func localQuotas(global []int, n, id int) []int {
+	local := make([]int, len(global))
+	for t, q := range global {
+		local[t] = sim.ShardShare(q, n, id)
+	}
+	return local
 }
 
 // loop is the shard's single-writer goroutine: it drains the mailbox until
@@ -124,7 +171,12 @@ func (sh *shard) loop() {
 	defer sh.svc.wg.Done()
 	for m := range sh.in {
 		if m.snap != nil {
-			m.snap <- sh.snapshot(m.withLog)
+			m.snap <- sh.snapshot(m.withLog, m.withMRC)
+			continue
+		}
+		if m.quotas != nil {
+			sh.applyQuotas(m.quotas)
+			m.quotasDone.Done()
 			continue
 		}
 		for _, r := range m.batch {
@@ -132,6 +184,28 @@ func (sh *shard) loop() {
 		}
 		m.done.Done()
 	}
+}
+
+// applyQuotas installs a new global quota vector (partition mode): the
+// change is logged as a control entry at this shard's next sequence number,
+// then the shard-local quotas are derived and applied, trimming shrinking
+// tenants' LRU tails. Because the entry sits in the log at the exact step
+// the live engine switched quotas, the offline replay switches at the same
+// step and stays bit-identical.
+func (sh *shard) applyQuotas(global []int) {
+	if sh.qlru == nil || sh.failed != nil {
+		return
+	}
+	seq := sh.svc.seq.Add(1)
+	sh.log = append(sh.log, LogEntry{Seq: seq, Page: -1, Tenant: -1, Quotas: append([]int(nil), global...)})
+	sh.mLog.Set(int64(len(sh.log)))
+	for t, n := range sh.qlru.SetQuotas(localQuotas(global, sh.svc.cfg.Shards, sh.id)) {
+		if n > 0 {
+			sh.evictions[t] += int64(n)
+			sh.mEvictions.Add(int64(n))
+		}
+	}
+	sh.mOccupancy.Set(int64(sh.qlru.Occupancy()))
 }
 
 // apply runs one request through the shard engine. The body after the log
@@ -152,7 +226,14 @@ func (sh *shard) apply(r shardReq) byte {
 	seq := sh.svc.seq.Add(1)
 	sh.log = append(sh.log, LogEntry{Seq: seq, Page: page, Tenant: r.tenant})
 	sh.mLog.Set(int64(len(sh.log)))
+	sh.reqs++
 	sh.mReqs.Inc()
+	if sh.sampler != nil {
+		sh.sampler.Observe(r.tenant, page)
+	}
+	if sh.qlru != nil {
+		return sh.applyQuota(r.tenant, page)
+	}
 	step := len(sh.log) - 1
 	req := trace.Request{Page: page, Tenant: r.tenant}
 
@@ -183,13 +264,33 @@ func (sh *shard) apply(r shardReq) byte {
 	return ResultMiss
 }
 
+// applyQuota is the partition-mode engine step: the deterministic quotaLRU
+// serves the access, and the counters mirror the classic path (evictions
+// are always of the requesting tenant's own pages).
+func (sh *shard) applyQuota(t trace.Tenant, page trace.PageID) byte {
+	hit, evicted := sh.qlru.Access(t, page)
+	if hit {
+		sh.hits[t]++
+		sh.mHits.Inc()
+		return ResultHit
+	}
+	sh.misses[t]++
+	sh.mMisses.Inc()
+	if evicted {
+		sh.evictions[t]++
+		sh.mEvictions.Inc()
+	}
+	sh.mOccupancy.Set(int64(sh.qlru.Occupancy()))
+	return ResultMiss
+}
+
 // snapshot copies the shard's accounting. Called from the loop goroutine
 // while serving, or from snapshotAll after the loop has exited.
-func (sh *shard) snapshot(withLog bool) *ShardSnapshot {
+func (sh *shard) snapshot(withLog, withMRC bool) *ShardSnapshot {
 	snap := &ShardSnapshot{
 		Shard:     sh.id,
 		K:         sh.k,
-		Requests:  int64(len(sh.log)),
+		Requests:  sh.reqs,
 		Occupancy: len(sh.cache),
 		LogLen:    len(sh.log),
 		Pages:     sh.pages,
@@ -198,8 +299,14 @@ func (sh *shard) snapshot(withLog bool) *ShardSnapshot {
 		Evictions: append([]int64(nil), sh.evictions...),
 		Err:       sh.failed,
 	}
+	if sh.qlru != nil {
+		snap.Occupancy = sh.qlru.Occupancy()
+	}
 	if withLog {
 		snap.Log = append([]LogEntry(nil), sh.log...)
+	}
+	if withMRC && sh.sampler != nil {
+		snap.MRC = sh.sampler.Snapshot()
 	}
 	return snap
 }

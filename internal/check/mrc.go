@@ -1,0 +1,161 @@
+package check
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"convexcache/internal/analysis"
+	"convexcache/internal/cached"
+	"convexcache/internal/mrclive"
+	"convexcache/internal/sim"
+	"convexcache/internal/trace"
+)
+
+// This file holds the PR-8 estimator oracle: the streaming per-tenant MRC
+// estimator embedded in the live cache service (internal/mrclive via
+// internal/cached) against the offline Mattson analysis. Only invariants
+// that hold EXACTLY on arbitrary traces are asserted here — the sharded
+// estimator's 5% statistical tolerance is pinned in controlled unit tests
+// and the CI smoke job, where the workload shape is chosen, not swept.
+
+// DiffMRC drives tr through a partition-mode live cached.Service with the
+// streaming MRC estimator enabled, at each shard count, and checks:
+//
+//  1. Verify is clean at every count: partition mode replays each shard's
+//     log through a fresh quotaLRU and must reproduce the live counters bit
+//     for bit.
+//  2. Conservation: merged window request counts equal the trace's
+//     per-tenant request counts exactly (every request is observed by
+//     exactly one shard, and the window never expires here — the epoch
+//     length exceeds the trace).
+//  3. Shape: every curve's HitsAt is non-decreasing in capacity and never
+//     exceeds the tenant's window requests.
+//  4. Degeneracy: at one shard with rate 1 the estimator IS incremental
+//     Mattson, so its HitsAt must bit-equal analysis.PerTenant on tr. The
+//     live service renames pages to first-appearance ids, but Mattson
+//     distances depend only on the equality pattern of each tenant's page
+//     sequence, which injective renaming preserves.
+//
+// Requests are keyed "p<page>" and driven sequentially, so each tenant's
+// live page sequence is an injective image of its trace sequence. Shard
+// counts exceeding k are skipped (the service rejects them by contract).
+func DiffMRC(tr *trace.Trace, k int, shardCounts []int) (*Divergence, error) {
+	tenants := tr.NumTenants()
+	maxSize := 2 * k
+	if maxSize > 512 {
+		maxSize = 512
+	}
+	ref, err := analysis.PerTenant(tr, maxSize)
+	if err != nil {
+		return nil, fmt.Errorf("check: offline Mattson failed: %w", err)
+	}
+	wantReqs := make([]int64, tenants)
+	for _, r := range tr.Requests() {
+		wantReqs[r.Tenant]++
+	}
+
+	reqs := make([]cached.Request, tr.Len())
+	for i, r := range tr.Requests() {
+		op := cached.OpGet
+		if i%4 == 3 {
+			op = cached.OpPut
+		}
+		reqs[i] = cached.Request{Op: op, Tenant: r.Tenant, Key: fmt.Appendf(nil, "p%d", r.Page)}
+	}
+	// Even static split; the estimator is capacity-independent, the quotas
+	// only shape the partition engine the Verify leg replays.
+	quotas := make([]int, tenants)
+	for t := range quotas {
+		quotas[t] = sim.ShardShare(k, tenants, t)
+	}
+
+	for _, n := range shardCounts {
+		if n > k {
+			continue
+		}
+		svc, err := cached.New(cached.Config{
+			K: k, Shards: n, Tenants: tenants,
+			Quotas: quotas,
+			MRC: &mrclive.Config{
+				MaxSize:       maxSize,
+				Rate:          1,
+				WindowEpochs:  2,
+				EpochRequests: tr.Len() + 1, // window outlives the trace
+			},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("check: live service n=%d: %w", n, err)
+		}
+		div, err := diffMRCOne(svc, reqs, n, ref, wantReqs, maxSize)
+		svc.Close()
+		if err != nil || div != nil {
+			return div, err
+		}
+	}
+	return nil, nil
+}
+
+func diffMRCOne(svc *cached.Service, reqs []cached.Request, n int, ref []analysis.StackResult, wantReqs []int64, maxSize int) (*Divergence, error) {
+	const batch = 512
+	for lo := 0; lo < len(reqs); lo += batch {
+		hi := lo + batch
+		if hi > len(reqs) {
+			hi = len(reqs)
+		}
+		if _, err := svc.Apply(reqs[lo:hi]); err != nil {
+			return nil, fmt.Errorf("check: live apply n=%d at %d: %w", n, lo, err)
+		}
+	}
+	rep, err := svc.Verify(context.Background())
+	if err != nil {
+		return nil, fmt.Errorf("check: partition verify n=%d: %w", n, err)
+	}
+	if !rep.Clean {
+		return &Divergence{
+			Step: -1,
+			A:    fmt.Sprintf("live n=%d: hits=%d misses=%d evictions=%d", n, rep.Live.TotalHits, rep.Live.TotalMisses, rep.Live.TotalEvictions),
+			B:    "partition replay: " + strings.Join(rep.Diffs, "; "),
+		}, nil
+	}
+	live, err := svc.MRCLive()
+	if err != nil {
+		return nil, fmt.Errorf("check: live MRC n=%d: %w", n, err)
+	}
+	if live.MaxSize != maxSize {
+		return &Divergence{Step: -1,
+			A: fmt.Sprintf("live n=%d curve max size %d", n, live.MaxSize),
+			B: fmt.Sprintf("configured %d", maxSize)}, nil
+	}
+	for t, c := range live.Tenants {
+		if c.Requests != wantReqs[t] {
+			return &Divergence{Step: -1,
+				A: fmt.Sprintf("live n=%d tenant %d window requests %d", n, t, c.Requests),
+				B: fmt.Sprintf("trace has %d", wantReqs[t])}, nil
+		}
+		prev := 0.0
+		for cap, h := range c.HitsAt {
+			if h < prev {
+				return &Divergence{Step: cap,
+					A: fmt.Sprintf("live n=%d tenant %d HitsAt[%d]=%g", n, t, cap, h),
+					B: fmt.Sprintf("HitsAt[%d]=%g (curve must be non-decreasing)", cap-1, prev)}, nil
+			}
+			if h > float64(c.Requests) {
+				return &Divergence{Step: cap,
+					A: fmt.Sprintf("live n=%d tenant %d HitsAt[%d]=%g", n, t, cap, h),
+					B: fmt.Sprintf("only %d window requests", c.Requests)}, nil
+			}
+			prev = h
+		}
+		if n == 1 {
+			for cap, h := range c.HitsAt {
+				if want := float64(ref[t].HitsAt[cap]); h != want {
+					return &Divergence{Step: cap,
+						A: fmt.Sprintf("live n=1 tenant %d HitsAt[%d]=%g", t, cap, h),
+						B: fmt.Sprintf("offline Mattson %g", want)}, nil
+				}
+			}
+		}
+	}
+	return nil, nil
+}

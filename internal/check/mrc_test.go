@@ -1,0 +1,60 @@
+package check
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDiffMRCCleanOnWorkloads runs the estimator oracle over the shared
+// workload suite: every seeded trace driven through the partition-mode live
+// service at shard counts 1, 2 and 4 must verify bit-exactly, conserve
+// per-tenant window request counts, produce non-decreasing curves, and at
+// one shard bit-equal the offline Mattson analysis.
+func TestDiffMRCCleanOnWorkloads(t *testing.T) {
+	for _, w := range Workloads() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			tr, err := w.Gen(7, 6000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, k := range []int{4, 64} {
+				div, err := DiffMRC(tr, k, []int{1, 2, 4})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if div != nil {
+					t.Fatalf("k=%d: %v", k, div)
+				}
+			}
+		})
+	}
+}
+
+// TestDiffMRCRandom drives the estimator oracle on a dense random trace —
+// small page universe, heavy reuse — where stack distances spread widely
+// across the curve.
+func TestDiffMRCRandom(t *testing.T) {
+	tr := smallRandomTrace(11, 3, 40, 5000)
+	div, err := DiffMRC(tr, 24, []int{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if div != nil {
+		t.Fatal(div)
+	}
+}
+
+// TestMRCOracleRegistered pins the mrc/* family into the oracle matrix so
+// cmd/check and the oracle-matrix CI job pick it up automatically.
+func TestMRCOracleRegistered(t *testing.T) {
+	found := 0
+	for _, o := range Oracles() {
+		if strings.HasPrefix(o.Name, "mrc/") {
+			found++
+		}
+	}
+	if found < 1 {
+		t.Fatalf("mrc/* oracles registered: %d, want >= 1", found)
+	}
+}

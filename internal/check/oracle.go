@@ -173,6 +173,13 @@ func Oracles() []Oracle {
 		}})
 	}
 
+	// The streaming MRC estimator against the offline Mattson analysis,
+	// through the full live service (partition engine + per-shard samplers).
+	// The estimator is cost-independent, so one oracle covers all regimes.
+	out = append(out, Oracle{Name: "mrc/live-vs-mattson", Run: func(tr *trace.Trace, k int) error {
+		return divergeErr(DiffMRC(tr, k, []int{1, 2, 4}))
+	}})
+
 	// core.Fast vs the Figure-3 reference: the reformulated production
 	// algorithm must stay bit-exact with the literal paper transcription.
 	implVariants := []struct {

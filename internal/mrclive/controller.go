@@ -1,0 +1,80 @@
+package mrclive
+
+import (
+	"errors"
+	"fmt"
+
+	"convexcache/internal/costfn"
+	"convexcache/internal/multipool"
+)
+
+// Controller turns merged window curves into a per-tenant capacity split
+// that minimizes the predicted weighted miss cost Σ f_i'(total_i) ·
+// M_i^window(q_i), the first-order surrogate of the paper's objective
+// Σ f_i(misses_i). The marginal weight couples the window prediction to the
+// convex cost exactly as GreedyRebalancer's pressure does; a tenant with no
+// window activity gets weight zero (activity decay, the satellite-2 fix) and
+// drains to its reserve floor, never holding capacity on history alone. The
+// per-tenant Floor is the "Caching with Reserves" guarantee: a returning
+// tenant always finds at least Floor pages, bounding the cost of the
+// controller being wrong about a dead tenant.
+type Controller struct {
+	// K is the total capacity to split.
+	K int
+	// Costs holds per-tenant cost functions; missing or nil entries weight
+	// misses linearly (weight 1).
+	Costs []costfn.Func
+	// Floor is the per-tenant reserve in pages; the split never drops a
+	// tenant below it (unless Tenants*Floor > K, in which case floors are
+	// scaled back deterministically).
+	Floor int
+}
+
+// Plan re-splits K across tenants from the current split cur, using the
+// merged window curves for demand and totalMisses for the marginal weights.
+// The result sums to exactly K; it equals a projection of cur onto the
+// floor simplex when no transfer strictly reduces predicted cost, so an
+// all-idle window leaves a settled split alone.
+func (c Controller) Plan(cur []int, curves []TenantCurve, totalMisses []int64) ([]int, error) {
+	if c.K <= 0 {
+		return nil, errors.New("mrclive: controller needs positive K")
+	}
+	if len(curves) == 0 {
+		return nil, errors.New("mrclive: controller needs at least one tenant curve")
+	}
+	floor := c.Floor
+	if floor < 0 {
+		floor = 0
+	}
+	demands := make([]multipool.CapacityDemand, len(curves))
+	for i := range curves {
+		curve := curves[i]
+		d := multipool.CapacityDemand{Floor: floor}
+		if curve.Requests > 0 {
+			var total int64
+			if i < len(totalMisses) {
+				total = totalMisses[i]
+			}
+			d.Weight = marginalWeight(c.Costs, i, total)
+			d.Misses = curve.MissesAt
+		}
+		demands[i] = d
+	}
+	q := multipool.SplitCapacity(cur, c.K, demands)
+	sum := 0
+	for _, v := range q {
+		sum += v
+	}
+	if sum != c.K {
+		return nil, fmt.Errorf("mrclive: planned split sums to %d, want %d", sum, c.K)
+	}
+	return q, nil
+}
+
+// marginalWeight is the tenant's marginal miss cost at its current total.
+func marginalWeight(costs []costfn.Func, i int, total int64) float64 {
+	if i >= len(costs) || costs[i] == nil {
+		return 1
+	}
+	return costfn.DiscreteDeriv(costs[i], float64(total))
+}

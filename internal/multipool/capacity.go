@@ -1,0 +1,119 @@
+package multipool
+
+// CapacityDemand describes one tenant's claim on shared cache capacity for
+// SplitCapacity: a predicted miss curve over candidate quotas, a marginal
+// cost weight, and a reserve floor (Caching with Reserves: every tenant is
+// guaranteed a minimum allocation regardless of demand).
+type CapacityDemand struct {
+	// Misses predicts the tenant's window misses at quota q pages. Must be
+	// non-increasing in q for the greedy transfer to be exact; nil means the
+	// tenant exerts no demand (treated as constant zero misses).
+	Misses func(q int) float64
+	// Weight scales predicted misses into cost — typically the tenant's
+	// current marginal miss cost f'(total). Zero weight (e.g. no window
+	// activity) makes the tenant a pure donor down to its floor.
+	Weight float64
+	// Floor is the minimum quota the split must respect.
+	Floor int
+}
+
+// predictedCost is the weighted predicted miss cost of tenant d at quota q.
+func (d CapacityDemand) predictedCost(q int) float64 {
+	if d.Misses == nil || d.Weight <= 0 {
+		return 0
+	}
+	return d.Weight * d.Misses(q)
+}
+
+// SplitCapacity re-splits k pages across tenants to reduce the predicted
+// weighted miss cost Σ Weight_i · Misses_i(q_i), starting from the current
+// split cur. The result always sums to exactly k and respects every floor
+// (floors are satisfied first; if floors alone exceed k they are scaled
+// back deterministically from the highest tenant id). From the projected
+// start it performs single-page greedy transfers: the donor is the tenant
+// whose last page carries the smallest weighted cost increase when taken,
+// the recipient the tenant whose next page buys the largest decrease, and a
+// page moves only while the recipient's gain strictly exceeds the donor's
+// loss. Ties break on lowest tenant id, so the split is deterministic. With
+// concave-decreasing miss curves (true of any MRC) the greedy walk reaches
+// the weighted optimum; with arbitrary curves it still terminates within k
+// transfers and never increases predicted cost.
+func SplitCapacity(cur []int, k int, demands []CapacityDemand) []int {
+	n := len(demands)
+	if n == 0 || k < 0 {
+		return nil
+	}
+	q := make([]int, n)
+	total := 0
+	for i := range q {
+		if i < len(cur) && cur[i] > 0 {
+			q[i] = cur[i]
+		}
+		if q[i] < demands[i].Floor {
+			q[i] = demands[i].Floor
+		}
+		total += q[i]
+	}
+	// Project the start point onto the simplex {Σq = k, q_i ≥ floor_i}:
+	// excess is trimmed from the highest ids first, shortfall granted to the
+	// lowest ids first — arbitrary but fixed, so the walk is deterministic.
+	for total > k {
+		trimmed := false
+		for i := n - 1; i >= 0 && total > k; i-- {
+			if q[i] > demands[i].Floor {
+				q[i]--
+				total--
+				trimmed = true
+			}
+		}
+		if !trimmed {
+			// Floors alone exceed k: shave floors from the highest ids.
+			for i := n - 1; i >= 0 && total > k; i-- {
+				for q[i] > 0 && total > k {
+					q[i]--
+					total--
+				}
+			}
+		}
+	}
+	for i := 0; total < k; i = (i + 1) % n {
+		q[i]++
+		total++
+	}
+	// Greedy single-page transfers. Each iteration moves one page from the
+	// cheapest donor to the most valuable recipient; at most k moves.
+	for iter := 0; iter < k; iter++ {
+		donor, donorLoss := -1, 0.0
+		for i := range q {
+			if q[i] <= demands[i].Floor || q[i] <= 0 {
+				continue
+			}
+			loss := demands[i].predictedCost(q[i]-1) - demands[i].predictedCost(q[i])
+			if loss < 0 {
+				loss = 0
+			}
+			if donor < 0 || loss < donorLoss {
+				donor, donorLoss = i, loss
+			}
+		}
+		if donor < 0 {
+			break
+		}
+		recip, recipGain := -1, 0.0
+		for j := range q {
+			if j == donor {
+				continue
+			}
+			gain := demands[j].predictedCost(q[j]) - demands[j].predictedCost(q[j]+1)
+			if gain > recipGain {
+				recip, recipGain = j, gain
+			}
+		}
+		if recip < 0 || recipGain <= donorLoss {
+			break
+		}
+		q[donor]--
+		q[recip]++
+	}
+	return q
+}

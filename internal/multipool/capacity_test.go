@@ -1,0 +1,236 @@
+package multipool
+
+import (
+	"testing"
+
+	"convexcache/internal/costfn"
+	"convexcache/internal/trace"
+	"convexcache/internal/workload"
+)
+
+// curveOf builds a simple non-increasing miss curve: base misses that decay
+// linearly with quota until satisfied at sat pages.
+func curveOf(base float64, sat int) func(int) float64 {
+	return func(q int) float64 {
+		if q >= sat {
+			return 0
+		}
+		return base * float64(sat-q) / float64(sat)
+	}
+}
+
+func sumInts(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+func TestSplitCapacitySumsToKAndRespectsFloors(t *testing.T) {
+	d := []CapacityDemand{
+		{Misses: curveOf(1000, 50), Weight: 1, Floor: 4},
+		{Misses: curveOf(10, 50), Weight: 1, Floor: 4},
+		{Misses: nil, Weight: 0, Floor: 4},
+	}
+	q := SplitCapacity([]int{10, 10, 10}, 30, d)
+	if sumInts(q) != 30 {
+		t.Fatalf("split %v sums to %d, want 30", q, sumInts(q))
+	}
+	for i, v := range q {
+		if v < d[i].Floor {
+			t.Fatalf("split %v violates floor %d for tenant %d", q, d[i].Floor, i)
+		}
+	}
+	if q[0] <= q[1] {
+		t.Errorf("split %v: heavy tenant 0 should out-rank light tenant 1", q)
+	}
+	if q[2] != 4 {
+		t.Errorf("split %v: zero-demand tenant should drain to floor 4", q)
+	}
+}
+
+func TestSplitCapacityDeadTenantDrainsToFloor(t *testing.T) {
+	// Tenant 1 had a large historical share but zero weight now (no window
+	// activity): everything above its floor flows to the active tenant.
+	d := []CapacityDemand{
+		{Misses: curveOf(500, 100), Weight: 2, Floor: 2},
+		{Misses: curveOf(500, 100), Weight: 0, Floor: 2},
+	}
+	q := SplitCapacity([]int{8, 56}, 64, d)
+	if q[1] != 2 || q[0] != 62 {
+		t.Fatalf("split %v, want dead tenant at floor [62 2]", q)
+	}
+}
+
+func TestSplitCapacityDeterministicTies(t *testing.T) {
+	d := []CapacityDemand{
+		{Misses: curveOf(100, 40), Weight: 1},
+		{Misses: curveOf(100, 40), Weight: 1},
+		{Misses: curveOf(100, 40), Weight: 1},
+	}
+	first := SplitCapacity([]int{5, 20, 5}, 30, d)
+	for i := 0; i < 10; i++ {
+		again := SplitCapacity([]int{5, 20, 5}, 30, d)
+		for j := range first {
+			if first[j] != again[j] {
+				t.Fatalf("run %d: split %v != first %v", i, again, first)
+			}
+		}
+	}
+	if sumInts(first) != 30 {
+		t.Fatalf("split %v sums to %d", first, sumInts(first))
+	}
+}
+
+func TestSplitCapacityFloorsExceedK(t *testing.T) {
+	d := []CapacityDemand{
+		{Misses: curveOf(10, 10), Weight: 1, Floor: 6},
+		{Misses: curveOf(10, 10), Weight: 1, Floor: 6},
+	}
+	q := SplitCapacity(nil, 8, d)
+	if sumInts(q) != 8 {
+		t.Fatalf("split %v sums to %d, want 8 (floors scaled back)", q, sumInts(q))
+	}
+	for _, v := range q {
+		if v < 0 {
+			t.Fatalf("split %v has negative quota", q)
+		}
+	}
+}
+
+func TestSplitCapacityNeverIncreasesPredictedCost(t *testing.T) {
+	d := []CapacityDemand{
+		{Misses: curveOf(300, 64), Weight: 3, Floor: 1},
+		{Misses: curveOf(150, 32), Weight: 1, Floor: 1},
+		{Misses: curveOf(40, 16), Weight: 5, Floor: 1},
+	}
+	cost := func(q []int) float64 {
+		total := 0.0
+		for i := range q {
+			total += d[i].predictedCost(q[i])
+		}
+		return total
+	}
+	cur := []int{16, 16, 16}
+	q := SplitCapacity(cur, 48, d)
+	if sumInts(q) != 48 {
+		t.Fatalf("split %v sums to %d", q, sumInts(q))
+	}
+	if cost(q) > cost(cur)+1e-9 {
+		t.Fatalf("split %v cost %g exceeds start cost %g", q, cost(q), cost(cur))
+	}
+}
+
+// TestGreedyRebalancerDeadTenantZeroPressure pins the activity-decay fix: a
+// tenant with a huge cumulative total but zero epoch misses must exert zero
+// pressure, so it can never hold the hot pool hot by history alone.
+func TestGreedyRebalancerDeadTenantZeroPressure(t *testing.T) {
+	g := &GreedyRebalancer{}
+	// Tenant 0: enormous history, silent this epoch. Tenant 1: modest live
+	// load in pool 1. Without decay, tenant 0's stale pressure would mark
+	// pool 0 hot and block any sensible decision.
+	s := snap([]int{0, 1, 1, 1},
+		[]int64{0, 5, 4, 3},
+		[]int64{1_000_000, 50, 40, 30},
+		1e9)
+	moves := g.Rebalance(s)
+	for _, m := range moves {
+		if m.Tenant == 0 && m.ToPool == 0 {
+			t.Fatalf("dead tenant attracted capacity: %v", moves)
+		}
+	}
+}
+
+// TestGreedyRebalancerReleasesDeadTenant pins the drift release: a tenant
+// with history but no epoch activity sitting in the hot pool is migrated
+// out so its pages stop occupying contested capacity.
+func TestGreedyRebalancerReleasesDeadTenant(t *testing.T) {
+	g := &GreedyRebalancer{MaxMovesPerEpoch: 2}
+	// Pool 0 is hot (tenants 1,2 active); tenant 0 is dead weight parked
+	// there. Pool 1 is cold.
+	s := snap([]int{0, 0, 0, 1},
+		[]int64{0, 100, 80, 1},
+		[]int64{5000, 1000, 800, 10},
+		1)
+	moves := g.Rebalance(s)
+	released := false
+	for _, m := range moves {
+		if m.Tenant == 0 {
+			if m.ToPool != 1 {
+				t.Fatalf("dead tenant released to pool %d, want cold pool 1", m.ToPool)
+			}
+			released = true
+		}
+	}
+	if !released {
+		t.Fatalf("dead tenant not released from hot pool: %v", moves)
+	}
+}
+
+// TestSystemDeadTenantReleasesPagesWithinTwoEpochs is the end-to-end drift
+// regression from the issue: tenant 1 floods pool 0 during phase one, then
+// goes silent; within two rebalance epochs the system must migrate it off
+// pool 0 (dropping its cached pages there) so tenant 0 can use the space.
+func TestSystemDeadTenantReleasesPagesWithinTwoEpochs(t *testing.T) {
+	const epoch = 2000
+	z0, err := workload.NewZipf(3, 400, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z1, err := workload.NewZipf(4, 400, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Phase one: both tenants flood pool 0. The prohibitive switch cost
+	// keeps the pressure-driven loop from migrating anyone, so both stay
+	// where they started — the release path is the only mover.
+	phase1, err := workload.Mix(7, []workload.TenantStream{
+		{Tenant: 0, Stream: z0, Rate: 1},
+		{Tenant: 1, Stream: z1, Rate: 1},
+	}, 2*epoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := New(Config{
+		PoolSizes:  []int{64, 64},
+		Costs:      []costfn.Func{costfn.Monomial{C: 1, Beta: 2}, costfn.Monomial{C: 1, Beta: 2}},
+		Assign:     []int{0, 0},
+		SwitchCost: 1e18,
+		Rebalancer: &GreedyRebalancer{},
+		EpochLen:   epoch,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range phase1.Requests() {
+		if err := sys.Serve(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a := sys.Assignment(); a[0] != 0 || a[1] != 0 {
+		t.Fatalf("phase-one migrations should be blocked by switch cost, got %v", a)
+	}
+	// Phase two: tenant 1 goes completely silent; tenant 0 keeps missing on
+	// pool 0, so pool 0 stays hot while pool 1 is idle. Two epochs of
+	// silence must release tenant 1's claim on pool 0.
+	b := trace.NewBuilder()
+	z2, err := workload.NewZipf(9, 4000, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2*epoch; i++ {
+		b.Add(0, workload.PageOf(0, z2.Next()))
+	}
+	for _, r := range b.MustBuild().Requests() {
+		if err := sys.Serve(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := sys.Assignment()[1]; got == 0 {
+		t.Fatalf("dead tenant 1 still assigned to pool 0 after two silent epochs (assignment %v)", sys.Assignment())
+	}
+	if sys.Assignment()[0] != 0 {
+		t.Fatalf("active tenant 0 should stay on pool 0, got %v", sys.Assignment())
+	}
+}

@@ -11,10 +11,19 @@ import (
 //
 // Pressure of tenant i is its marginal miss cost at the current total,
 // f_i'(total_i+1), times its epoch miss count — the first-order epoch cost
-// attributable to i. Pool load is the sum of its tenants' pressures. If the
-// top tenant sits in the most loaded pool and a pool with load below half
-// of it exists, moving the tenant is predicted to relieve contention; the
-// move is proposed when pressure * Gain exceeds SwitchCost.
+// attributable to i. Pressure therefore decays with activity: a tenant with
+// zero misses in the closing epoch exerts zero pressure no matter how large
+// its cumulative total is, so stale history can never keep attracting
+// capacity. Pool load is the sum of its tenants' pressures. If the top
+// tenant sits in the most loaded pool and a pool with load below half of it
+// exists, moving the tenant is predicted to relieve contention; the move is
+// proposed when pressure * Gain exceeds SwitchCost.
+//
+// Zero-pressure tenants are also actively drained: a tenant with history
+// (TotalMisses > 0) but no epoch activity that sits in the hot pool is
+// migrated to the cold pool, dropping its cold pages there — without this,
+// a tenant whose traffic stopped entirely would hold hot-pool capacity
+// forever, since the pressure-driven loop only ever moves active tenants.
 type GreedyRebalancer struct {
 	// Gain scales the predicted saving of one migration (fraction of the
 	// tenant's epoch pressure recovered); default 0.5.
@@ -40,9 +49,15 @@ func (g *GreedyRebalancer) Rebalance(s Snapshot) []Migration {
 	pressure := make([]float64, len(s.Assign))
 	poolLoad := make([]float64, nPools)
 	for i := range s.Assign {
+		if s.EpochMisses[i] == 0 {
+			// Activity decay: no epoch misses, no pressure — the cumulative
+			// total must not let an idle tenant keep weight.
+			continue
+		}
 		pressure[i] = marginal(s.Costs, i, s.TotalMisses[i]) * float64(s.EpochMisses[i])
 		poolLoad[s.Assign[i]] += pressure[i]
 	}
+	epochLoad := append([]float64(nil), poolLoad...)
 	var moves []Migration
 	for moveCount := 0; moveCount < maxMoves; moveCount++ {
 		// Most and least loaded pools.
@@ -76,6 +91,36 @@ func (g *GreedyRebalancer) Rebalance(s Snapshot) []Migration {
 		poolLoad[hot] -= bestP
 		poolLoad[cold] += bestP
 		pressure[best] = 0
+	}
+	// Drift release: while the epoch's hot/cold imbalance gate holds, dead
+	// tenants (history but no epoch activity) parked in the hot pool
+	// surrender their spot — the migration drops their cached pages,
+	// returning the capacity to the tenants that still generate pressure.
+	// Judged on the epoch's measured loads (not the loads as adjusted by the
+	// speculative moves above) and NOT gated on SwitchCost: a dead tenant
+	// holding hot capacity forever costs more than any one-time switch
+	// charge. Bounded by maxMoves per epoch so a mass die-off drains over a
+	// few epochs instead of migrating everything at once.
+	hot, cold := 0, 0
+	for j := 1; j < nPools; j++ {
+		if epochLoad[j] > epochLoad[hot] {
+			hot = j
+		}
+		if epochLoad[j] < epochLoad[cold] {
+			cold = j
+		}
+	}
+	if hot != cold && epochLoad[cold] < epochLoad[hot]/2 {
+		released := 0
+		for i := range s.Assign {
+			if released >= maxMoves {
+				break
+			}
+			if s.Assign[i] == hot && s.EpochMisses[i] == 0 && s.TotalMisses[i] > 0 {
+				moves = append(moves, Migration{Tenant: trace.Tenant(i), ToPool: cold})
+				released++
+			}
+		}
 	}
 	return moves
 }

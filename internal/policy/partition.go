@@ -81,7 +81,10 @@ func (s *StaticPartition) Victim(step int, r trace.Request) trace.PageID {
 	if l := s.tenantList(r.Tenant); l.Len() >= s.quota(r.Tenant) && l.Len() > 0 {
 		return l.Back().Value.(trace.PageID)
 	}
-	// Otherwise the most over-quota tenant surrenders its LRU page.
+	// Otherwise the most over-quota tenant surrenders its LRU page. Ties
+	// break toward the lowest tenant ID so the choice is independent of
+	// map iteration order — the replay oracles require victim selection
+	// to be a pure function of the request history.
 	var best trace.Tenant
 	bestOver := -1 << 62
 	found := false
@@ -90,7 +93,7 @@ func (s *StaticPartition) Victim(step int, r trace.Request) trace.PageID {
 			continue
 		}
 		over := l.Len() - s.quota(t)
-		if over > bestOver {
+		if over > bestOver || (over == bestOver && t < best) {
 			best, bestOver, found = t, over, true
 		}
 	}

@@ -231,6 +231,44 @@ func TestStaticPartitionOverQuotaSurrenders(t *testing.T) {
 	}
 }
 
+func TestStaticPartitionSurrenderTieBreakDeterministic(t *testing.T) {
+	// Tenants 1..3 each hold one page at exactly their quota (over = 0,
+	// a three-way tie); tenant 0 is under quota and inserts into a full
+	// cache. The surrendering tenant must be the lowest tenant ID, and
+	// the whole eviction sequence must be identical across fresh policy
+	// instances (map iteration order must not leak into victim choice).
+	quotas := []int{2, 1, 1, 1}
+	tr := multiSeq(t, [2]int{1, 101}, [2]int{2, 201}, [2]int{3, 301},
+		[2]int{0, 1}, [2]int{0, 2})
+	var want []trace.Tenant
+	for i := 0; i < 20; i++ {
+		var got []trace.Tenant
+		_, err := sim.Run(tr, NewStaticPartition(quotas), sim.Config{K: 4, Observer: func(ev sim.Event) {
+			if ev.Evicted >= 0 {
+				got = append(got, ev.EvictedTenant)
+			}
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) == 0 || got[0] != 1 {
+			t.Fatalf("run %d: eviction tenants = %v, want first surrender by tenant 1", i, got)
+		}
+		if i == 0 {
+			want = got
+			continue
+		}
+		if len(got) != len(want) {
+			t.Fatalf("run %d: %d evictions, run 0 had %d", i, len(got), len(want))
+		}
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("run %d eviction %d: tenant %d, run 0 evicted %d", i, j, got[j], want[j])
+			}
+		}
+	}
+}
+
 func TestBeladyHandExample(t *testing.T) {
 	// k=2, sequence 1 2 3 1 2: MIN evicts 3's... at request 3 cache {1,2};
 	// victim = page with farthest next use: 2 (next at step 4) vs 1 (step
