@@ -37,6 +37,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -45,6 +46,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -52,6 +54,7 @@ import (
 	"time"
 
 	"convexcache/internal/cached"
+	"convexcache/internal/fault"
 	"convexcache/internal/mrclive"
 	"convexcache/internal/obs"
 	"convexcache/internal/resilience"
@@ -106,6 +109,15 @@ func runServe(args []string) int {
 		mrcMaxSize    = fs.Int("mrc-max-size", 0, "largest estimated capacity in pages (0 = k)")
 		rebalanceTick = fs.Duration("rebalance-every", 0, "capacity controller period (0 = only on POST /v1/cache/rebalance)")
 		reserve       = fs.Int("reserve", 1, "per-tenant reserve floor in pages the controller never reclaims")
+		walDir        = fs.String("wal", "", "write-ahead-log directory; enables crash-fault tolerance (empty = in-memory only)")
+		walRecover    = fs.Bool("recover", false, "recover existing state from the -wal directory instead of refusing it")
+		fsyncMode     = fs.String("fsync", "interval", "WAL fsync policy: always, interval or off")
+		fsyncEvery    = fs.Duration("fsync-interval", 0, "max unsynced window under -fsync interval (0 = 50ms)")
+		segBytes      = fs.Int64("segment-bytes", 0, "WAL segment rotation size in bytes (0 = 8MiB)")
+		ckptEvery     = fs.Int("checkpoint-every", 0, "checkpoint every N log entries per shard (0 = default, negative disables)")
+		walFault      = fs.String("wal-fault", "", "deterministic WAL fault spec, e.g. seed=1,write_err_p=0.01,crash_at=5000 (chaos testing)")
+		crashAfter    = fs.Duration("crash-after", 0, "chaos: SIGKILL this process after the given duration (simulated kill -9)")
+		verifyTimeout = fs.Duration("verify-timeout", 0, "shutdown-verify deadline; exceeding it exits with code 3 (0 = no deadline)")
 		costSpecs     stringList
 	)
 	fs.Var(&costSpecs, "costs", "per-tenant convex cost spec (repeatable; default linear:1 per tenant)")
@@ -174,10 +186,49 @@ func runServe(args []string) int {
 			EpochRequests: *mrcEpoch,
 		}
 	}
+	if *walDir != "" {
+		w := &cached.WALConfig{
+			Dir:             *walDir,
+			Fsync:           cached.FsyncPolicy(*fsyncMode),
+			FsyncInterval:   *fsyncEvery,
+			SegmentBytes:    *segBytes,
+			CheckpointEvery: *ckptEvery,
+			Recover:         *walRecover,
+		}
+		if *walFault != "" {
+			fcfg, err := fault.ParseFSSpec(*walFault)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 2
+			}
+			w.FS = fault.NewFS(fault.OSFS, fcfg, cfg.Registry)
+			logger.Warn("WAL fault injection armed", "spec", *walFault)
+		}
+		cfg.WAL = w
+	} else if *walRecover {
+		fmt.Fprintln(os.Stderr, "-recover requires -wal")
+		return 2
+	}
 	svc, err := cached.New(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 2
+	}
+	if rep := svc.Recovery(); rep != nil {
+		logger.Info("recovered from WAL", "wal", *walDir,
+			"shards", rep.Shards, "entries", rep.Entries, "requests", rep.Requests,
+			"replayed", rep.Replayed, "checkpoints", rep.Checkpoints,
+			"truncations", rep.Truncations, "last_seq", rep.LastSeq)
+	}
+
+	// Chaos mode for the crash-smoke CI job: after the fuse burns down, die
+	// the hard way — SIGKILL skips every deferred cleanup, exactly like a
+	// machine losing power mid-load. Recovery must still be bit-exact.
+	if *crashAfter > 0 {
+		time.AfterFunc(*crashAfter, func() {
+			logger.Error("chaos fuse expired, sending SIGKILL to self", "after", crashAfter.String())
+			_ = syscall.Kill(os.Getpid(), syscall.SIGKILL)
+		})
 	}
 
 	h := svc.Handler(cached.HTTPConfig{
@@ -255,8 +306,18 @@ func runServe(args []string) int {
 	svc.Close()
 
 	if *verifyOnExit {
-		rep, err := svc.Verify(context.Background())
+		vctx := context.Background()
+		if *verifyTimeout > 0 {
+			var vcancel context.CancelFunc
+			vctx, vcancel = context.WithTimeout(vctx, *verifyTimeout)
+			defer vcancel()
+		}
+		rep, err := svc.Verify(vctx)
 		if err != nil {
+			if errors.Is(err, context.DeadlineExceeded) {
+				logger.Error("shutdown verify timed out", "timeout", verifyTimeout.String(), "err", err)
+				return 3
+			}
 			logger.Error("shutdown verify failed", "err", err)
 			return 1
 		}
@@ -285,6 +346,8 @@ func runDrive(args []string) int {
 		putFrac  = fs.Float64("put-frac", 0.25, "fraction of PUT requests")
 		verify   = fs.Bool("verify", true, "hit /v1/cache/verify after the run and require a clean diff")
 		timeout  = fs.Duration("timeout", 2*time.Minute, "per-request HTTP timeout")
+		retries  = fs.Int("max-retries", 8, "retry budget per batch on 503/429 (0 disables retry)")
+		backoff  = fs.Duration("retry-base", 50*time.Millisecond, "base delay for capped exponential backoff between retries")
 		streams  stringList
 	)
 	fs.Var(&streams, "stream", "tenant stream spec KIND:PARAMS[:RATE] (repeatable, one per tenant)")
@@ -340,7 +403,7 @@ func runDrive(args []string) int {
 	}
 
 	client := &http.Client{Timeout: *timeout}
-	var hits, misses, failed atomic.Int64
+	var hits, misses, failed, retried atomic.Int64
 	next := make(chan []byte, len(batches))
 	for _, b := range batches {
 		next <- b
@@ -354,22 +417,41 @@ func runDrive(args []string) int {
 		go func() {
 			defer wg.Done()
 			for b := range next {
-				resp, err := client.Post(*target+"/v1/cache", "text/plain", bytes.NewReader(b))
-				if err != nil {
-					logger.Error("post batch", "err", err)
-					failed.Add(1)
-					continue
-				}
-				body, _ := io.ReadAll(resp.Body)
-				resp.Body.Close()
-				if resp.StatusCode != http.StatusOK {
-					logger.Error("batch rejected", "status", resp.StatusCode, "body", clip(body))
-					failed.Add(1)
-					continue
-				}
 				var cr cached.CacheResponse
-				if err := json.Unmarshal(body, &cr); err != nil {
-					logger.Error("decode batch response", "err", err)
+				ok := false
+				for attempt := 0; ; attempt++ {
+					resp, err := client.Post(*target+"/v1/cache", "text/plain", bytes.NewReader(b))
+					if err != nil {
+						logger.Error("post batch", "err", err)
+						break
+					}
+					body, _ := io.ReadAll(resp.Body)
+					resp.Body.Close()
+					if retryable(resp.StatusCode) {
+						if attempt >= *retries {
+							logger.Error("batch shed, retries exhausted",
+								"status", resp.StatusCode, "attempts", attempt+1, "body", clip(body))
+							break
+						}
+						d := retryDelay(attempt, *backoff, resp.Header.Get("Retry-After"))
+						logger.Warn("batch shed, backing off",
+							"status", resp.StatusCode, "attempt", attempt+1, "delay", d.String())
+						retried.Add(1)
+						time.Sleep(d)
+						continue
+					}
+					if resp.StatusCode != http.StatusOK {
+						logger.Error("batch rejected", "status", resp.StatusCode, "body", clip(body))
+						break
+					}
+					if err := json.Unmarshal(body, &cr); err != nil {
+						logger.Error("decode batch response", "err", err)
+						break
+					}
+					ok = true
+					break
+				}
+				if !ok {
 					failed.Add(1)
 					continue
 				}
@@ -384,7 +466,8 @@ func runDrive(args []string) int {
 	served := hits.Load() + misses.Load()
 	logger.Info("drive complete",
 		"requests", served, "hits", hits.Load(), "misses", misses.Load(),
-		"failed_batches", failed.Load(), "elapsed", elapsed.String(),
+		"failed_batches", failed.Load(), "retries", retried.Load(),
+		"elapsed", elapsed.String(),
 		"rps", fmt.Sprintf("%.0f", float64(served)/elapsed.Seconds()))
 	if failed.Load() > 0 {
 		return 1
@@ -413,6 +496,31 @@ func runDrive(args []string) int {
 		}
 	}
 	return 0
+}
+
+// retryable reports whether a status is transient load-shedding — a down
+// shard rebuilding from its WAL (503) or admission control (429) — rather
+// than a real rejection.
+func retryable(status int) bool {
+	return status == http.StatusServiceUnavailable || status == http.StatusTooManyRequests
+}
+
+// retryDelay picks the wait before re-posting a shed batch: the server's
+// Retry-After hint when present, else capped exponential backoff from base,
+// with ±25% jitter either way so clients don't re-converge in lockstep.
+func retryDelay(attempt int, base time.Duration, retryAfter string) time.Duration {
+	d := time.Duration(0)
+	if secs, err := strconv.Atoi(strings.TrimSpace(retryAfter)); err == nil && secs >= 0 {
+		d = time.Duration(secs) * time.Second
+	}
+	if d == 0 {
+		d = base << uint(min(attempt, 6))
+	}
+	if max := 5 * time.Second; d > max {
+		d = max
+	}
+	jitter := time.Duration(rand.Int63n(int64(d)/2+1)) - d/4
+	return d + jitter
 }
 
 func clip(b []byte) string {

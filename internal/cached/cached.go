@@ -67,6 +67,10 @@ const (
 	ResultMiss = 'M'
 	// ResultError: the request's shard is failed (see Service.Err).
 	ResultError = 'E'
+	// ResultShed: the request's shard is down (rebuilding after a panic) or
+	// the service crashed mid-flight; the request was NOT applied and is
+	// safe to retry (Apply returns ErrShardDown alongside).
+	ResultShed = 'S'
 )
 
 // Config sizes the service.
@@ -105,10 +109,20 @@ type Config struct {
 	Costs []costfn.Func
 	// ReserveFloor is the per-tenant page floor RebalanceOnce respects.
 	ReserveFloor int
+
+	// WAL enables crash-fault tolerance: every shard journals its log to
+	// segment files and recovers bit-exactly on restart (see wal.go /
+	// recover.go). Nil keeps the service purely in-memory.
+	WAL *WALConfig
 }
 
 // ErrClosed is returned by Apply after Close.
 var ErrClosed = errors.New("cached: service closed")
+
+// ErrShardDown is returned by Apply when at least one request was shed
+// because its shard is down (rebuilding after a panic) — a transient
+// condition; the HTTP layer maps it to 503 + Retry-After.
+var ErrShardDown = errors.New("cached: shard down, retry later")
 
 // Service is the live sharded cache. Create with New, drive with Apply (or
 // the HTTP handler), check with Verify, stop with Close.
@@ -132,9 +146,21 @@ type Service struct {
 	quotaMu sync.Mutex
 	quotas  []int
 
+	// walCfg is the normalized WAL configuration (nil when durability is
+	// off); crashed simulates kill -9 (Crash): queued work is shed and the
+	// final flush/checkpoint skipped. recovery summarizes the startup
+	// recovery, if one ran.
+	walCfg   *WALConfig
+	crashed  atomic.Bool
+	recovery *RecoveryReport
+
 	// Per-tenant controller/estimator gauges (nil slices when disabled).
 	mQuota, mWindowReqs, mMissRatioBP []*obs.Gauge
 	mRebalances                       *obs.Counter
+	// Robustness counters: shards taken down by panics, successful
+	// restarts, shed requests, WAL/checkpoint activity.
+	mShardDown, mShardRestarts, mShed *obs.Counter
+	mWALErrors, mCheckpoints          *obs.Counter
 }
 
 // New validates the configuration, starts the shard goroutines and returns
@@ -200,6 +226,38 @@ func New(cfg Config) (*Service, error) {
 		reg = obs.NewRegistry()
 	}
 	s := &Service{cfg: cfg, reg: reg, shards: make([]*shard, cfg.Shards)}
+	s.mShardDown = reg.Counter("cached_shard_down_total")
+	s.mShardRestarts = reg.Counter("cached_shard_restarts_total")
+	s.mShed = reg.Counter("cached_shed_total")
+	s.mWALErrors = reg.Counter("cached_wal_errors_total")
+	s.mCheckpoints = reg.Counter("cached_checkpoints_total")
+	var hasState bool
+	if cfg.WAL != nil {
+		w := *cfg.WAL
+		if err := w.normalize(); err != nil {
+			return nil, err
+		}
+		s.walCfg = &w
+		if err := w.FS.MkdirAll(w.Dir); err != nil {
+			return nil, fmt.Errorf("cached: create wal dir: %w", err)
+		}
+		for i := 0; i < cfg.Shards; i++ {
+			dir := shardDirName(w.Dir, i)
+			if err := w.FS.MkdirAll(dir); err != nil {
+				return nil, fmt.Errorf("cached: create wal dir: %w", err)
+			}
+			segs, err := listSegments(w.FS, dir)
+			if err != nil {
+				return nil, fmt.Errorf("cached: list wal dir: %w", err)
+			}
+			if len(segs) > 0 {
+				hasState = true
+			}
+		}
+		if hasState && !w.Recover {
+			return nil, fmt.Errorf("cached: wal directory %s holds existing state; enable Recover (-recover) to load it, or point at an empty directory", w.Dir)
+		}
+	}
 	if cfg.Quotas != nil {
 		s.quotas = append([]int(nil), cfg.Quotas...)
 		s.mQuota = make([]*obs.Gauge, cfg.Tenants)
@@ -219,10 +277,49 @@ func New(cfg Config) (*Service, error) {
 	}
 	for i := range s.shards {
 		s.shards[i] = newShard(s, i, sim.ShardShare(cfg.K, cfg.Shards, i))
+	}
+	if s.walCfg != nil {
+		if hasState {
+			rep := &RecoveryReport{Shards: cfg.Shards}
+			for _, sh := range s.shards {
+				if err := sh.recoverWAL(rep); err != nil {
+					return nil, err
+				}
+			}
+			s.seq.Store(rep.LastSeq)
+			if cfg.Quotas != nil {
+				if err := s.reconcileQuotas(); err != nil {
+					return nil, err
+				}
+			}
+			s.recovery = rep
+		} else {
+			for _, sh := range s.shards {
+				if err := sh.wal.openFresh(); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	for i := range s.shards {
 		s.wg.Add(1)
 		go s.shards[i].loop()
 	}
 	return s, nil
+}
+
+// Recovery reports the startup recovery that produced this service's
+// initial state, or nil when it started fresh.
+func (s *Service) Recovery() *RecoveryReport { return s.recovery }
+
+// Crash simulates kill -9 for tests and chaos drills: queued and future
+// work is shed, shard loops exit WITHOUT the final WAL flush, fsync or
+// checkpoint — whatever the OS already has is what recovery gets. Verify
+// and Stats keep working on the frozen in-memory state, so tests can
+// compare it against the recovered service.
+func (s *Service) Crash() {
+	s.crashed.Store(true)
+	s.Close()
 }
 
 // Shards returns the shard count.
@@ -285,6 +382,13 @@ func (s *Service) Apply(reqs []Request) ([]byte, error) {
 			return nil, fmt.Errorf("cached: request %d: empty key", i)
 		}
 		sh := s.route(r.Tenant, r.Key)
+		if s.shards[sh].down.Load() {
+			// The shard is rebuilding after a panic: shed instead of queuing
+			// behind a replay that can take seconds. The caller sees
+			// ErrShardDown and retries with backoff.
+			results[i] = ResultShed
+			continue
+		}
 		buckets[sh] = append(buckets[sh], shardReq{idx: i, op: r.Op, tenant: r.Tenant, key: r.Key})
 	}
 	var wg sync.WaitGroup
@@ -307,10 +411,27 @@ func (s *Service) Apply(reqs []Request) ([]byte, error) {
 	}
 	s.mu.RUnlock()
 	wg.Wait()
+	shed := int64(0)
+	failed := false
 	for _, c := range results {
-		if c == ResultError {
-			return results, s.Err()
+		switch c {
+		case ResultError:
+			failed = true
+		case ResultShed:
+			shed++
 		}
+	}
+	if shed > 0 {
+		s.mShed.Add(shed)
+	}
+	if failed {
+		if err := s.Err(); err != nil {
+			return results, err
+		}
+		return results, errors.New("cached: request failed")
+	}
+	if shed > 0 {
+		return results, ErrShardDown
 	}
 	return results, nil
 }
@@ -400,9 +521,15 @@ type ShardStats struct {
 	K         int   `json:"k"`
 	Requests  int64 `json:"requests"`
 	Occupancy int   `json:"occupancy"`
-	LogLen    int   `json:"log_len"`
-	Pages     int   `json:"pages"`
-	Failed    bool  `json:"failed,omitempty"`
+	// LogStart is the sealed (on-disk) log prefix length; LogLen the
+	// in-memory tail. LogStart+LogLen is the full history.
+	LogStart int `json:"log_start,omitempty"`
+	LogLen   int `json:"log_len"`
+	// Seg is the active WAL segment index (0 without a WAL).
+	Seg    int  `json:"wal_segment,omitempty"`
+	Pages  int  `json:"pages"`
+	Down   bool `json:"down,omitempty"`
+	Failed bool `json:"failed,omitempty"`
 }
 
 // Stats is the live accounting of the service.
@@ -431,8 +558,11 @@ func (s *Service) Stats() Stats {
 			K:         snap.K,
 			Requests:  snap.Requests,
 			Occupancy: snap.Occupancy,
+			LogStart:  snap.LogStart,
 			LogLen:    snap.LogLen,
+			Seg:       snap.Seg,
 			Pages:     snap.Pages,
+			Down:      snap.Down,
 			Failed:    snap.Err != nil,
 		})
 		for t := 0; t < s.cfg.Tenants; t++ {

@@ -101,7 +101,11 @@ type CacheResponse struct {
 	Requests int `json:"requests"`
 	Hits     int `json:"hits"`
 	Misses   int `json:"misses"`
-	// Results is one byte per request, 'H' or 'M', in request order.
+	// Shed counts requests dropped because their shard was down; they are
+	// marked 'S' in Results and safe to retry.
+	Shed int `json:"shed,omitempty"`
+	// Results is one byte per request ('H' hit, 'M' miss, 'S' shed), in
+	// request order.
 	Results string `json:"results"`
 }
 
@@ -123,17 +127,28 @@ func (st *handlerState) handleCache(w http.ResponseWriter, r *http.Request) {
 	results, err := st.svc.Apply(reqs)
 	if err != nil {
 		status, reason := http.StatusInternalServerError, "internal"
-		if errors.Is(err, ErrClosed) {
+		var retryAfter time.Duration
+		switch {
+		case errors.Is(err, ErrClosed):
 			status, reason = http.StatusServiceUnavailable, "draining"
+		case errors.Is(err, ErrShardDown):
+			// Degraded mode: only the down shard's keys were shed (those
+			// requests carry 'S' in Results); the batch is safe to retry
+			// after the shard finishes rebuilding.
+			status, reason = http.StatusServiceUnavailable, "shard_down"
+			retryAfter = time.Second
 		}
-		st.writeError(w, r, status, reason, 0, err)
+		st.writeError(w, r, status, reason, retryAfter, err)
 		return
 	}
 	resp := CacheResponse{Requests: len(reqs), Results: string(results)}
 	for _, c := range results {
-		if c == ResultHit {
+		switch c {
+		case ResultHit:
 			resp.Hits++
-		} else {
+		case ResultShed:
+			resp.Shed++
+		default:
 			resp.Misses++
 		}
 	}

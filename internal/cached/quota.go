@@ -1,6 +1,8 @@
 package cached
 
 import (
+	"fmt"
+
 	"convexcache/internal/trace"
 )
 
@@ -125,3 +127,45 @@ func (q *quotaLRU) SetQuotas(quotas []int) []int {
 
 // Occupancy is the total resident page count.
 func (q *quotaLRU) Occupancy() int { return len(q.nodes) }
+
+// dump serializes residency for a checkpoint: per tenant, resident pages in
+// MRU→LRU order. Deterministic — it walks the intrusive lists, never a map.
+func (q *quotaLRU) dump() [][]int64 {
+	out := make([][]int64, len(q.quotas))
+	for t := range q.quotas {
+		pages := make([]int64, 0, q.size[t])
+		for n := q.head[t]; n != nil; n = n.next {
+			pages = append(pages, int64(n.page))
+		}
+		out[t] = pages
+	}
+	return out
+}
+
+// restore rebuilds residency from a dump on a freshly constructed instance.
+// The quotas must already be the ones in force at checkpoint time.
+func (q *quotaLRU) restore(pages [][]int64) error {
+	if len(pages) > len(q.quotas) {
+		return fmt.Errorf("quota image has %d tenants, engine has %d", len(pages), len(q.quotas))
+	}
+	if len(q.nodes) != 0 {
+		return fmt.Errorf("restore on a non-empty engine")
+	}
+	for t, ps := range pages {
+		if len(ps) > q.quotas[t] {
+			return fmt.Errorf("tenant %d image holds %d pages over quota %d", t, len(ps), q.quotas[t])
+		}
+		// The dump is MRU→LRU; pushing front in reverse rebuilds the order.
+		for i := len(ps) - 1; i >= 0; i-- {
+			p := trace.PageID(ps[i])
+			if _, dup := q.nodes[p]; dup {
+				return fmt.Errorf("page %d resident twice in quota image", p)
+			}
+			n := &qnode{page: p, tenant: trace.Tenant(t)}
+			q.nodes[p] = n
+			q.pushFront(n)
+			q.size[t]++
+		}
+	}
+	return nil
+}

@@ -2,7 +2,10 @@ package cached
 
 import (
 	"fmt"
+	"path"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"convexcache/internal/mrclive"
 	"convexcache/internal/obs"
@@ -51,6 +54,17 @@ type shardMsg struct {
 	quotasDone *sync.WaitGroup
 }
 
+// inflight tracks the message the shard loop is currently serving, so a
+// panic inside the engine can still answer the waiting Apply / SetQuotas /
+// snapshot caller instead of deadlocking it.
+type inflight struct {
+	batch   []shardReq
+	results []byte
+	pos     int
+	wg      *sync.WaitGroup
+	snap    chan *ShardSnapshot
+}
+
 // ShardSnapshot is a consistent copy of one shard's accounting, taken on a
 // batch boundary.
 type ShardSnapshot struct {
@@ -58,31 +72,51 @@ type ShardSnapshot struct {
 	K         int
 	Requests  int64
 	Occupancy int
-	LogLen    int
-	Pages     int
+	// LogStart is the logical index of the first in-memory log entry; the
+	// sealed prefix [0, LogStart) lives in WAL segments on disk.
+	LogStart int
+	LogLen   int
+	// Seg is the active WAL segment index (0 without a WAL); segments below
+	// it are sealed and immutable.
+	Seg   int
+	Pages int
+	// Down reports the shard is shedding while it rebuilds after a panic.
+	Down bool
 	// Hits/Misses/Evictions are per-tenant, length Config.Tenants.
 	Hits      []int64
 	Misses    []int64
 	Evictions []int64
-	// Log is the shard's request log; nil unless requested.
+	// Log is the shard's in-memory log tail (the active segment); nil unless
+	// requested.
 	Log []LogEntry
 	// MRC is the shard sampler's window accounting; nil unless requested
 	// (or the service runs without an estimator).
 	MRC []mrclive.TenantWindow
-	// Err is the shard's failure state (policy contract violation), if any.
+	// Err is the shard's failure state (policy contract violation or WAL
+	// write failure), if any.
 	Err error
 }
 
 // shard is one single-writer cache partition. All fields below the mailbox
 // are owned exclusively by the loop goroutine — no locks anywhere on the
-// request path. The engine step mirrors sim.runMap exactly (hit → OnHit;
-// miss → optional Victim/OnEvict → OnInsert), so per-shard live counters are
-// bit-identical to a per-shard offline replay of the same log.
+// request path (down is the one atomic, read by ingress to shed early). The
+// engine step mirrors sim.runMap exactly (hit → OnHit; miss → optional
+// Victim/OnEvict → OnInsert), so per-shard live counters are bit-identical
+// to a per-shard offline replay of the same log — the property both Verify
+// and crash recovery are built on.
 type shard struct {
 	svc *Service
 	id  int
 	k   int
 	in  chan shardMsg
+
+	// down is set while the shard rebuilds after an engine panic: ingress
+	// sheds requests for this shard (503 + Retry-After) instead of queuing
+	// behind the rebuild.
+	down atomic.Bool
+
+	// wal is the shard's write-ahead log; nil when durability is disabled.
+	wal *shardWAL
 
 	// Exactly one engine is active: policy (classic mode) or qlru
 	// (partition mode, adaptive per-tenant quotas).
@@ -101,13 +135,33 @@ type shard struct {
 	// cache maps resident pages to their owning tenant, exactly like the
 	// simulator's map engine.
 	cache map[trace.PageID]trace.Tenant
-	log   []LogEntry
+	// log holds the entries of the active WAL segment only (the whole
+	// history without a WAL); logStart is the logical index of log[0], and
+	// steps = logStart + len(log) is the total logical entry count — also
+	// the policy step counter.
+	log      []LogEntry
+	logStart int
+	steps    int
+	// lastSeq is the newest global sequence number this shard admitted;
+	// lastQuotaSeq the newest quota-control entry's (for quota reconcile
+	// after recovery). quotasNow is the global quota vector as of this
+	// shard's log position (partition mode).
+	lastSeq      int64
+	lastQuotaSeq int64
+	quotasNow    []int
+	// lastCkpt is the steps value at the last checkpoint attempt.
+	lastCkpt int
 	// reqs counts admitted requests (log entries minus quota controls).
 	reqs      int64
 	hits      []int64
 	misses    []int64
 	evictions []int64
 	failed    error
+	// panicErr records the most recent engine panic; cur the in-flight
+	// message (loop-goroutine-owned, read by the recover handler on the
+	// same goroutine).
+	panicErr error
+	cur      *inflight
 
 	mReqs, mHits, mMisses, mEvictions *obs.Counter
 	mOccupancy, mLog                  *obs.Gauge
@@ -139,6 +193,7 @@ func newShard(svc *Service, id, k int) *shard {
 	}
 	if svc.cfg.Quotas != nil {
 		sh.qlru = newQuotaLRU(localQuotas(svc.cfg.Quotas, svc.cfg.Shards, id))
+		sh.quotasNow = append([]int(nil), svc.cfg.Quotas...)
 	} else {
 		sh.policy = svc.cfg.NewPolicy()
 	}
@@ -148,6 +203,9 @@ func newShard(svc *Service, id, k int) *shard {
 		mc.Scale = svc.cfg.Shards
 		// Config was validated in New; a fresh sampler cannot fail here.
 		sh.sampler, _ = mrclive.NewSampler(mc)
+	}
+	if svc.walCfg != nil {
+		sh.wal = newShardWAL(svc.walCfg, id, svc.cfg.Shards)
 	}
 	return sh
 }
@@ -164,25 +222,190 @@ func localQuotas(global []int, n, id int) []int {
 	return local
 }
 
-// loop is the shard's single-writer goroutine: it drains the mailbox until
-// Close closes it, applying batches in arrival order and answering snapshot
-// requests between batches.
+// loop is the shard's goroutine: serve the mailbox until Close closes it,
+// and on an engine panic isolate the failure — mark the shard down, rebuild
+// it from its own durable history while the other shards keep serving, then
+// resume. A clean shutdown seals the WAL (final flush + checkpoint); a
+// simulated kill -9 (Service.Crash) skips that on purpose.
 func (sh *shard) loop() {
 	defer sh.svc.wg.Done()
+	for {
+		if sh.serve() {
+			if sh.wal != nil {
+				if sh.failed == nil && !sh.svc.crashed.Load() {
+					sh.sealWAL()
+				} else if sh.wal.f != nil {
+					// Crashed or failed: drop the handle without flushing —
+					// buffered frames are lost exactly as a killed process
+					// would lose them.
+					sh.wal.f.Close()
+				}
+			}
+			return
+		}
+		sh.svc.mShardDown.Inc()
+		sh.rebuild()
+		if sh.failed == nil {
+			sh.svc.mShardRestarts.Inc()
+		}
+		sh.down.Store(false)
+	}
+}
+
+// serve drains the mailbox; returns true when the mailbox closed (shutdown)
+// and false when a panic escaped the engine (the caller rebuilds).
+func (sh *shard) serve() (closed bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			sh.panicErr = fmt.Errorf("cached: shard %d panicked: %v", sh.id, r)
+			sh.down.Store(true)
+			sh.abortInflight()
+		}
+	}()
 	for m := range sh.in {
-		if m.snap != nil {
-			m.snap <- sh.snapshot(m.withLog, m.withMRC)
-			continue
+		sh.handle(m)
+	}
+	return true
+}
+
+// abortInflight answers the message interrupted by a panic: remaining batch
+// slots are shed, waiting callers released. Runs on the loop goroutine
+// inside the recover handler.
+func (sh *shard) abortInflight() {
+	cur := sh.cur
+	sh.cur = nil
+	if cur == nil {
+		return
+	}
+	if cur.snap != nil {
+		t := sh.svc.cfg.Tenants
+		cur.snap <- &ShardSnapshot{
+			Shard: sh.id, K: sh.k, Down: true, Err: sh.panicErr,
+			Hits: make([]int64, t), Misses: make([]int64, t), Evictions: make([]int64, t),
 		}
-		if m.quotas != nil {
+		return
+	}
+	for _, r := range cur.batch[cur.pos:] {
+		if cur.results[r.idx] == 0 {
+			cur.results[r.idx] = ResultShed
+		}
+	}
+	if cur.wg != nil {
+		cur.wg.Done()
+	}
+}
+
+// handle serves one mailbox message. After a Service.Crash every queued
+// batch is shed instead of applied — the process is pretending to be dead.
+func (sh *shard) handle(m shardMsg) {
+	if m.snap != nil {
+		sh.cur = &inflight{snap: m.snap}
+		m.snap <- sh.snapshot(m.withLog, m.withMRC)
+		sh.cur = nil
+		return
+	}
+	if m.quotas != nil {
+		sh.cur = &inflight{wg: m.quotasDone}
+		if !sh.svc.crashed.Load() {
 			sh.applyQuotas(m.quotas)
-			m.quotasDone.Done()
+			sh.afterBatch(nil)
+		}
+		sh.cur = nil
+		m.quotasDone.Done()
+		return
+	}
+	cur := &inflight{batch: m.batch, results: m.results, wg: m.done}
+	sh.cur = cur
+	for i, r := range m.batch {
+		cur.pos = i
+		if sh.svc.crashed.Load() {
+			m.results[r.idx] = ResultShed
 			continue
 		}
-		for _, r := range m.batch {
-			m.results[r.idx] = sh.apply(r)
+		m.results[r.idx] = sh.apply(r)
+	}
+	cur.pos = len(m.batch)
+	if !sh.svc.crashed.Load() {
+		sh.afterBatch(cur)
+	}
+	sh.cur = nil
+	m.done.Done()
+}
+
+// appendEntry admits one log entry: in-memory log, WAL buffer (group
+// commit — flushed in afterBatch), sequence bookkeeping.
+func (sh *shard) appendEntry(e LogEntry, newKey []byte) {
+	sh.log = append(sh.log, e)
+	sh.steps++
+	sh.lastSeq = e.Seq
+	if e.Quotas != nil {
+		sh.lastQuotaSeq = e.Seq
+	}
+	if sh.wal != nil {
+		if e.Quotas != nil {
+			sh.wal.appendQuotas(e.Seq, e.Quotas)
+		} else {
+			sh.wal.appendRequest(e.Seq, e.Page, e.Tenant, newKey)
 		}
-		m.done.Done()
+	}
+	sh.mLog.Set(int64(sh.steps))
+}
+
+// afterBatch runs the durability work riding each mailbox batch: group
+// commit (one write + fsync per policy), segment rotation (which bounds the
+// in-memory log to the active segment) and periodic checkpoints. A WAL
+// write failure fails the shard — the batch cannot be acknowledged as
+// applied when its entries may not survive a restart.
+func (sh *shard) afterBatch(cur *inflight) {
+	if sh.wal == nil || sh.failed != nil {
+		return
+	}
+	if err := sh.wal.flush(time.Now()); err != nil {
+		sh.walFail(err, cur)
+		return
+	}
+	if sh.wal.shouldRotate() {
+		if err := sh.wal.rotate(sh.steps); err != nil {
+			sh.walFail(err, cur)
+			return
+		}
+		sh.logStart = sh.steps
+		sh.log = sh.log[:0]
+	}
+	if sh.wal.ckptEvery > 0 && sh.steps-sh.lastCkpt >= sh.wal.ckptEvery {
+		// Advance lastCkpt even on failure so a broken disk is not hammered
+		// every batch; the WAL still holds everything a checkpoint would.
+		sh.lastCkpt = sh.steps
+		if err := sh.writeCheckpoint(); err != nil {
+			sh.svc.mWALErrors.Inc()
+		}
+	}
+}
+
+// walFail marks the shard failed and retracts the current batch's results:
+// the entries were applied in memory but are not durable, so acknowledging
+// them would break the recovery contract.
+func (sh *shard) walFail(err error, cur *inflight) {
+	sh.failed = fmt.Errorf("cached: shard %d wal: %w", sh.id, err)
+	sh.svc.mWALErrors.Inc()
+	if cur != nil {
+		for _, r := range cur.batch {
+			cur.results[r.idx] = ResultError
+		}
+	}
+}
+
+// sealWAL is the clean-shutdown path: final checkpoint (if the engine is
+// checkpointable) plus flush/sync/close, so the next start recovers
+// instantly and bit-exactly.
+func (sh *shard) sealWAL() {
+	if sh.wal.ckptEvery > 0 && sh.steps > sh.lastCkpt {
+		if err := sh.writeCheckpoint(); err != nil {
+			sh.svc.mWALErrors.Inc()
+		}
+	}
+	if err := sh.wal.closeSync(); err != nil {
+		sh.svc.mWALErrors.Inc()
 	}
 }
 
@@ -197,91 +420,247 @@ func (sh *shard) applyQuotas(global []int) {
 		return
 	}
 	seq := sh.svc.seq.Add(1)
-	sh.log = append(sh.log, LogEntry{Seq: seq, Page: -1, Tenant: -1, Quotas: append([]int(nil), global...)})
-	sh.mLog.Set(int64(len(sh.log)))
-	for t, n := range sh.qlru.SetQuotas(localQuotas(global, sh.svc.cfg.Shards, sh.id)) {
-		if n > 0 {
-			sh.evictions[t] += int64(n)
-			sh.mEvictions.Add(int64(n))
-		}
+	sh.appendEntry(LogEntry{Seq: seq, Page: -1, Tenant: -1, Quotas: append([]int(nil), global...)}, nil)
+	if ev := sh.stepQuotas(global); ev > 0 {
+		sh.mEvictions.Add(int64(ev))
 	}
 	sh.mOccupancy.Set(int64(sh.qlru.Occupancy()))
 }
 
-// apply runs one request through the shard engine. The body after the log
-// append is sim.runMap's step verbatim: that equivalence is what makes the
-// live counters replayable.
+// stepQuotas is the engine side of a quota switch, shared verbatim by the
+// live path and recovery replay: derive local shares, trim, count.
+func (sh *shard) stepQuotas(global []int) int {
+	total := 0
+	for t, n := range sh.qlru.SetQuotas(localQuotas(global, sh.svc.cfg.Shards, sh.id)) {
+		if n > 0 {
+			sh.evictions[t] += int64(n)
+			total += n
+		}
+	}
+	sh.quotasNow = append(sh.quotasNow[:0], global...)
+	return total
+}
+
+// apply runs one live request through the shard: key interning, sequence
+// draw, log + WAL append, then the engine step. Only this live wrapper
+// touches obs metrics — the step itself is shared with recovery replay.
 func (sh *shard) apply(r shardReq) byte {
 	if sh.failed != nil {
 		return ResultError
 	}
 	km := sh.keys[r.tenant]
 	page, seen := km[string(r.key)]
+	var newKey []byte
 	if !seen {
 		page = sh.nextPage
 		sh.nextPage += trace.PageID(len(sh.svc.shards))
 		sh.pages++
 		km[string(r.key)] = page
+		newKey = r.key
 	}
 	seq := sh.svc.seq.Add(1)
-	sh.log = append(sh.log, LogEntry{Seq: seq, Page: page, Tenant: r.tenant})
-	sh.mLog.Set(int64(len(sh.log)))
-	sh.reqs++
+	sh.appendEntry(LogEntry{Seq: seq, Page: page, Tenant: r.tenant}, newKey)
 	sh.mReqs.Inc()
 	if sh.sampler != nil {
 		sh.sampler.Observe(r.tenant, page)
 	}
-	if sh.qlru != nil {
-		return sh.applyQuota(r.tenant, page)
-	}
-	step := len(sh.log) - 1
-	req := trace.Request{Page: page, Tenant: r.tenant}
-
-	if _, resident := sh.cache[page]; resident {
-		sh.hits[r.tenant]++
+	res, ev := sh.stepRequest(page, r.tenant)
+	switch res {
+	case ResultHit:
 		sh.mHits.Inc()
-		sh.policy.OnHit(step, req)
-		return ResultHit
+	case ResultMiss:
+		sh.mMisses.Inc()
 	}
-	sh.misses[r.tenant]++
-	sh.mMisses.Inc()
+	if ev > 0 {
+		sh.mEvictions.Add(int64(ev))
+	}
+	occ := len(sh.cache)
+	if sh.qlru != nil {
+		occ = sh.qlru.Occupancy()
+	}
+	sh.mOccupancy.Set(int64(occ))
+	return res
+}
+
+// stepRequest is the engine step for the already-logged request at logical
+// index steps-1 — sim.runMap's step verbatim. It is the single function
+// both the live path and recovery/rebuild replay run, which is what makes
+// recovered state provably bit-identical. Returns the result byte and the
+// eviction count (0 or 1).
+func (sh *shard) stepRequest(page trace.PageID, t trace.Tenant) (byte, int) {
+	sh.reqs++
+	if sh.qlru != nil {
+		hit, evicted := sh.qlru.Access(t, page)
+		if hit {
+			sh.hits[t]++
+			return ResultHit, 0
+		}
+		sh.misses[t]++
+		if evicted {
+			sh.evictions[t]++
+			return ResultMiss, 1
+		}
+		return ResultMiss, 0
+	}
+	step := sh.steps - 1
+	req := trace.Request{Page: page, Tenant: t}
+	if _, resident := sh.cache[page]; resident {
+		sh.hits[t]++
+		sh.policy.OnHit(step, req)
+		return ResultHit, 0
+	}
+	sh.misses[t]++
 	if len(sh.cache) >= sh.k {
 		victim := sh.policy.Victim(step, req)
 		owner, resident := sh.cache[victim]
 		if !resident {
 			sh.failed = fmt.Errorf("cached: shard %d: policy %s evicted non-resident page %d at step %d",
 				sh.id, sh.policy.Name(), victim, step)
-			return ResultError
+			return ResultError, 0
 		}
 		delete(sh.cache, victim)
 		sh.evictions[owner]++
-		sh.mEvictions.Inc()
 		sh.policy.OnEvict(step, victim)
+		sh.cache[page] = t
+		sh.policy.OnInsert(step, req)
+		return ResultMiss, 1
 	}
-	sh.cache[page] = r.tenant
+	sh.cache[page] = t
 	sh.policy.OnInsert(step, req)
-	sh.mOccupancy.Set(int64(len(sh.cache)))
-	return ResultMiss
+	return ResultMiss, 0
 }
 
-// applyQuota is the partition-mode engine step: the deterministic quotaLRU
-// serves the access, and the counters mirror the classic path (evictions
-// are always of the requesting tenant's own pages).
-func (sh *shard) applyQuota(t trace.Tenant, page trace.PageID) byte {
-	hit, evicted := sh.qlru.Access(t, page)
-	if hit {
-		sh.hits[t]++
-		sh.mHits.Inc()
-		return ResultHit
+// replayEntry re-applies one logged entry during recovery or rebuild. key,
+// when non-nil, is the wire key carried by a first-appearance WAL record;
+// entries replayed from memory pass nil (the key table survived). The
+// engine mutations are exactly the live path's — same functions, same
+// order.
+func (sh *shard) replayEntry(e LogEntry, key []byte) error {
+	if e.Quotas != nil {
+		if sh.qlru == nil {
+			return fmt.Errorf("cached: shard %d: quota control entry (seq %d) outside partition mode", sh.id, e.Seq)
+		}
+		sh.steps++
+		sh.lastSeq = e.Seq
+		sh.lastQuotaSeq = e.Seq
+		sh.stepQuotas(e.Quotas)
+		return nil
 	}
-	sh.misses[t]++
-	sh.mMisses.Inc()
-	if evicted {
-		sh.evictions[t]++
-		sh.mEvictions.Inc()
+	if key != nil {
+		km := sh.keys[e.Tenant]
+		if _, seen := km[string(key)]; !seen {
+			km[string(key)] = e.Page
+			sh.pages++
+			if next := e.Page + trace.PageID(len(sh.svc.shards)); next > sh.nextPage {
+				sh.nextPage = next
+			}
+		}
 	}
-	sh.mOccupancy.Set(int64(sh.qlru.Occupancy()))
-	return ResultMiss
+	sh.steps++
+	sh.lastSeq = e.Seq
+	sh.stepRequest(e.Page, e.Tenant)
+	return sh.failed
+}
+
+// resetEngine rebuilds a fresh engine and zeroes the replay-derived state
+// (counters, step/sequence bookkeeping). Identity state — key table,
+// nextPage, pages, logs — is left alone; rebuild relies on that.
+func (sh *shard) resetEngine() {
+	cfg := sh.svc.cfg
+	if cfg.Quotas != nil {
+		sh.qlru = newQuotaLRU(localQuotas(cfg.Quotas, cfg.Shards, sh.id))
+		sh.quotasNow = append(sh.quotasNow[:0], cfg.Quotas...)
+	} else {
+		sh.policy = cfg.NewPolicy()
+		sh.cache = make(map[trace.PageID]trace.Tenant, sh.k)
+	}
+	sh.reqs = 0
+	for t := range sh.hits {
+		sh.hits[t], sh.misses[t], sh.evictions[t] = 0, 0, 0
+	}
+	sh.steps, sh.lastSeq, sh.lastQuotaSeq = 0, 0, 0
+	sh.failed = nil
+}
+
+// rebuild restores the shard after an engine panic by replaying its own
+// history — sealed WAL segments from disk plus the in-memory tail — through
+// a fresh engine. The key table, page allocator and in-memory log survive
+// panics intact (they are plain data mutated before any engine call), so
+// only the engine and counters are rederived. A second panic during the
+// replay is deterministic and marks the shard permanently failed.
+func (sh *shard) rebuild() {
+	defer func() {
+		if r := recover(); r != nil {
+			sh.failed = fmt.Errorf("cached: shard %d: repeated panic during rebuild: %v (first: %v)", sh.id, r, sh.panicErr)
+		}
+	}()
+	tail := sh.log
+	logStart := sh.logStart
+	sh.resetEngine()
+	if sh.wal != nil && logStart > 0 {
+		if err := sh.replaySealed(); err != nil {
+			sh.failed = fmt.Errorf("cached: shard %d: rebuild from wal after panic (%v): %w", sh.id, sh.panicErr, err)
+			return
+		}
+		if sh.steps != logStart {
+			sh.failed = fmt.Errorf("cached: shard %d: sealed wal replay produced %d entries, in-memory tail starts at %d", sh.id, sh.steps, logStart)
+			return
+		}
+	}
+	for _, e := range tail {
+		if err := sh.replayEntry(e, nil); err != nil {
+			sh.failed = err
+			return
+		}
+	}
+}
+
+// replaySealed streams every sealed segment (index < active) through
+// replayEntry. Sealed segments are immutable and were validated at write or
+// recovery time, so corruption here is a hard error, never a truncation.
+func (sh *shard) replaySealed() error {
+	w := sh.wal
+	for idx := 0; idx < w.segIndex; idx++ {
+		rc, err := w.fs.Open(path.Join(w.dir, segName(idx)))
+		if err != nil {
+			return err
+		}
+		_, torn, serr := scanSegment(rc, func(rec walRecord) error {
+			if rec.kind == recHeader {
+				return nil
+			}
+			return sh.replayEntry(rec.entry, rec.key)
+		})
+		rc.Close()
+		if serr != nil {
+			return fmt.Errorf("sealed segment %d: %w", idx, serr)
+		}
+		if torn {
+			return fmt.Errorf("sealed segment %d has a torn tail", idx)
+		}
+	}
+	return nil
+}
+
+// syncMetrics brings the obs counters and gauges up to the shard's current
+// accounting — used once after recovery, when the registry starts from zero.
+func (sh *shard) syncMetrics() {
+	sh.mReqs.Add(sh.reqs)
+	var h, m, e int64
+	for t := range sh.hits {
+		h += sh.hits[t]
+		m += sh.misses[t]
+		e += sh.evictions[t]
+	}
+	sh.mHits.Add(h)
+	sh.mMisses.Add(m)
+	sh.mEvictions.Add(e)
+	occ := len(sh.cache)
+	if sh.qlru != nil {
+		occ = sh.qlru.Occupancy()
+	}
+	sh.mOccupancy.Set(int64(occ))
+	sh.mLog.Set(int64(sh.steps))
 }
 
 // snapshot copies the shard's accounting. Called from the loop goroutine
@@ -292,12 +671,17 @@ func (sh *shard) snapshot(withLog, withMRC bool) *ShardSnapshot {
 		K:         sh.k,
 		Requests:  sh.reqs,
 		Occupancy: len(sh.cache),
+		LogStart:  sh.logStart,
 		LogLen:    len(sh.log),
 		Pages:     sh.pages,
+		Down:      sh.down.Load(),
 		Hits:      append([]int64(nil), sh.hits...),
 		Misses:    append([]int64(nil), sh.misses...),
 		Evictions: append([]int64(nil), sh.evictions...),
 		Err:       sh.failed,
+	}
+	if sh.wal != nil {
+		snap.Seg = sh.wal.segIndex
 	}
 	if sh.qlru != nil {
 		snap.Occupancy = sh.qlru.Occupancy()

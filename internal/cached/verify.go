@@ -3,6 +3,7 @@ package cached
 import (
 	"context"
 	"fmt"
+	"path"
 	"time"
 
 	"convexcache/internal/sim"
@@ -63,10 +64,13 @@ func (s *Service) Verify(ctx context.Context) (*VerifyReport, error) {
 	}
 	rep.Live = liveCounters(snaps, s.cfg.Tenants)
 	if s.cfg.Quotas != nil {
-		return s.verifyPartition(snaps, rep)
+		return s.verifyPartition(ctx, snaps, rep)
 	}
 
-	merged := mergeLogs(snaps)
+	merged, err := s.mergeFullLogs(ctx, snaps)
+	if err != nil {
+		return nil, err
+	}
 	rep.Requests = len(merged)
 	if len(merged) == 0 {
 		rep.Replay = emptyCounters(s.cfg.Tenants)
@@ -86,7 +90,7 @@ func (s *Service) Verify(ctx context.Context) (*VerifyReport, error) {
 	start := time.Now()
 	var res sim.Result
 	if n == 1 {
-		res, err = sim.Run(tr, s.cfg.NewPolicy(), sim.Config{K: s.cfg.K})
+		res, err = sim.RunContext(ctx, tr, s.cfg.NewPolicy(), sim.Config{K: s.cfg.K})
 	} else {
 		var pl *sim.ShardPlan
 		pl, err = sim.BuildShardsBy(tr, n, s.shardOfPage)
@@ -95,6 +99,9 @@ func (s *Service) Verify(ctx context.Context) (*VerifyReport, error) {
 		}
 	}
 	if err != nil {
+		if ctx.Err() != nil {
+			return nil, fmt.Errorf("cached: verify aborted: %w", ctx.Err())
+		}
 		return nil, fmt.Errorf("cached: replaying request log: %w", err)
 	}
 	rep.ReplayDur = time.Since(start)
@@ -120,24 +127,29 @@ func (s *Service) engineName() string {
 // entries re-applied at their logged positions. The replay must reproduce
 // the live counters bit for bit; no cross-shard merge is needed (the merge
 // would only interleave independent sub-histories).
-func (s *Service) verifyPartition(snaps []*ShardSnapshot, rep *VerifyReport) (*VerifyReport, error) {
+func (s *Service) verifyPartition(ctx context.Context, snaps []*ShardSnapshot, rep *VerifyReport) (*VerifyReport, error) {
 	start := time.Now()
 	replay := emptyCounters(s.cfg.Tenants)
 	n := len(s.shards)
 	for _, snap := range snaps {
 		q := newQuotaLRU(localQuotas(s.cfg.Quotas, n, snap.Shard))
 		lastSeq := int64(-1)
-		for i, e := range snap.Log {
+		i := 0
+		step := func(e LogEntry) error {
+			if i%65536 == 0 && ctx.Err() != nil {
+				return fmt.Errorf("cached: verify aborted: %w", ctx.Err())
+			}
 			if e.Seq <= lastSeq {
-				return nil, fmt.Errorf("cached: shard %d log entry %d: seq %d not increasing (prev %d)",
+				return fmt.Errorf("cached: shard %d log entry %d: seq %d not increasing (prev %d)",
 					snap.Shard, i, e.Seq, lastSeq)
 			}
 			lastSeq = e.Seq
+			i++
 			if e.Quotas != nil {
 				for t, ev := range q.SetQuotas(localQuotas(e.Quotas, n, snap.Shard)) {
 					replay.Evictions[t] += int64(ev)
 				}
-				continue
+				return nil
 			}
 			rep.Requests++
 			replay.Requests[e.Tenant]++
@@ -150,6 +162,18 @@ func (s *Service) verifyPartition(snaps []*ShardSnapshot, rep *VerifyReport) (*V
 			if evicted {
 				replay.Evictions[e.Tenant]++
 			}
+			return nil
+		}
+		// Sealed WAL segments stream from disk (they are immutable once
+		// rotated, so this is safe under live traffic), then the in-memory
+		// tail — together the shard's complete history.
+		if err := s.sealedEntries(ctx, snap, step); err != nil {
+			return nil, err
+		}
+		for _, e := range snap.Log {
+			if err := step(e); err != nil {
+				return nil, err
+			}
 		}
 	}
 	replay.total()
@@ -158,6 +182,74 @@ func (s *Service) verifyPartition(snaps []*ShardSnapshot, rep *VerifyReport) (*V
 	rep.Diffs = diffCounters(rep.Live, replay, s.cfg.Tenants)
 	rep.Clean = len(rep.Diffs) == 0
 	return rep, nil
+}
+
+// sealedEntries streams the sealed (pre-tail) portion of one shard's log
+// from its WAL segments, in order, invoking fn per entry. Segments below
+// the snapshot's active index are sealed and immutable, so reading them
+// concurrently with live writes is safe; the entry count must come out at
+// exactly snap.LogStart or the history is incomplete.
+func (s *Service) sealedEntries(ctx context.Context, snap *ShardSnapshot, fn func(LogEntry) error) error {
+	if snap.LogStart == 0 {
+		return nil
+	}
+	if s.walCfg == nil {
+		return fmt.Errorf("cached: shard %d log starts at %d with no WAL to stream the prefix from", snap.Shard, snap.LogStart)
+	}
+	dir := shardDirName(s.walCfg.Dir, snap.Shard)
+	count := 0
+	for idx := 0; idx < snap.Seg; idx++ {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("cached: verify aborted: %w", err)
+		}
+		rc, err := s.walCfg.FS.Open(path.Join(dir, segName(idx)))
+		if err != nil {
+			return fmt.Errorf("cached: shard %d: open sealed segment %d: %w", snap.Shard, idx, err)
+		}
+		_, torn, serr := scanSegment(rc, func(rec walRecord) error {
+			if rec.kind == recHeader {
+				return nil
+			}
+			if count >= snap.LogStart {
+				return fmt.Errorf("cached: shard %d: sealed segments hold more than %d entries", snap.Shard, snap.LogStart)
+			}
+			count++
+			return fn(rec.entry)
+		})
+		rc.Close()
+		if serr != nil {
+			return serr
+		}
+		if torn {
+			return fmt.Errorf("cached: shard %d: sealed segment %d has a torn tail", snap.Shard, idx)
+		}
+	}
+	if count != snap.LogStart {
+		return fmt.Errorf("cached: shard %d: sealed segments hold %d entries, snapshot expects %d", snap.Shard, count, snap.LogStart)
+	}
+	return nil
+}
+
+// mergeFullLogs reconstructs every shard's complete log (sealed prefix from
+// disk plus in-memory tail) and k-way merges them by sequence number.
+func (s *Service) mergeFullLogs(ctx context.Context, snaps []*ShardSnapshot) ([]LogEntry, error) {
+	full := make([]*ShardSnapshot, len(snaps))
+	for i, snap := range snaps {
+		if snap.LogStart == 0 {
+			full[i] = snap
+			continue
+		}
+		entries := make([]LogEntry, 0, snap.LogStart+len(snap.Log))
+		if err := s.sealedEntries(ctx, snap, func(e LogEntry) error {
+			entries = append(entries, e)
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		entries = append(entries, snap.Log...)
+		full[i] = &ShardSnapshot{Shard: snap.Shard, Log: entries}
+	}
+	return mergeLogs(full), nil
 }
 
 // mergeLogs k-way-merges the per-shard logs by sequence number. Each shard's

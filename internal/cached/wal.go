@@ -1,0 +1,530 @@
+package cached
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"path"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"convexcache/internal/fault"
+	"convexcache/internal/trace"
+)
+
+// This file is the durability layer of the live cache service: a per-shard
+// write-ahead log carrying the exact LogEntry stream the shard admits
+// (requests plus quota-control entries), in CRC32-framed records across
+// size-rotated segment files. The WAL is written by the shard's single-writer
+// loop with group commit — one buffered write (and at most one fsync) per
+// mailbox batch — so the hot path stays lock-free. Because the shard step is
+// a deterministic function of this stream, replaying the WAL through the
+// verbatim step reconstructs the shard bit for bit; recover.go builds on
+// that.
+//
+// On-disk layout, per shard, under <dir>/shard-<id>/:
+//
+//	wal-00000000.seg, wal-00000001.seg, ...   segment files
+//	ckpt-000000000123.ck                      checkpoints (see recover.go)
+//
+// Segment format: a stream of frames, each
+//
+//	u32le payload_len | u32le crc32(IEEE, payload) | payload
+//
+// The first frame of every segment is a header record ('H': version, shard
+// id, shard count, logical index of the segment's first entry); subsequent
+// frames are request records ('R': seq, page, tenant, and — on the page's
+// first appearance — the wire key, so recovery can rebuild the key-interning
+// table) or quota-control records ('Q': seq, quota vector). A frame is valid
+// only if fully present with a matching CRC; recovery truncates the final
+// segment at the first bad frame (a torn tail) and refuses corruption
+// anywhere earlier (a gap would silently drop admitted requests).
+type shardWAL struct {
+	fs    fault.FS
+	dir   string
+	shard int
+	n     int // shard count, stamped into headers
+
+	fsync     FsyncPolicy
+	syncEvery time.Duration
+	segBytes  int64
+	ckptEvery int
+
+	f        fault.File
+	segIndex int
+	segStart int   // logical entry index of the active segment's first entry
+	size     int64 // bytes in the active segment (durable + buffered)
+
+	buf         []byte // group-commit buffer, flushed once per mailbox batch
+	payload     []byte // scratch for encoding one record before framing
+	lastSync    time.Time
+	dirty       bool // written-but-unsynced bytes exist
+	sinceCkpt   int
+	truncations int // torn tails cut during recovery, for the report
+}
+
+// FsyncPolicy picks when the WAL calls fsync.
+type FsyncPolicy string
+
+const (
+	// FsyncAlways syncs once per applied batch (group commit): an
+	// acknowledged request is durable before the response is sent.
+	FsyncAlways FsyncPolicy = "always"
+	// FsyncInterval syncs at most once per WALConfig.FsyncInterval, plus on
+	// segment rotation and clean shutdown: bounded data loss on power
+	// failure, near-zero overhead. Kill -9 loses nothing either way —
+	// written bytes survive process death; fsync only defends against the
+	// machine dying.
+	FsyncInterval FsyncPolicy = "interval"
+	// FsyncOff never syncs (the OS flushes on its own schedule).
+	FsyncOff FsyncPolicy = "off"
+)
+
+// WALConfig enables crash-fault tolerance for the service: every shard
+// journals its log entries to segment files under Dir and bounds its
+// in-memory log to the active segment.
+type WALConfig struct {
+	// Dir is the WAL root; each shard uses <Dir>/shard-<id>/.
+	Dir string
+	// Fsync picks the durability/latency trade; empty selects FsyncInterval.
+	Fsync FsyncPolicy
+	// FsyncInterval is the max unsynced window under FsyncInterval; <= 0
+	// selects 50ms.
+	FsyncInterval time.Duration
+	// SegmentBytes rotates the active segment past this size; <= 0 selects
+	// 8 MiB (floor 4 KiB).
+	SegmentBytes int64
+	// CheckpointEvery writes a recovery checkpoint every N log entries per
+	// shard; 0 selects 1<<18, negative disables checkpoints (recovery then
+	// replays the whole WAL).
+	CheckpointEvery int
+	// FS is the filesystem the WAL writes through; nil selects fault.OSFS.
+	// Tests inject a fault.FaultFS here.
+	FS fault.FS
+	// Recover loads existing WAL state from Dir instead of failing when Dir
+	// is non-empty: snapshots are restored, segments replayed, torn tails
+	// truncated, and the global sequence re-derived from the shard maxima.
+	Recover bool
+}
+
+// normalize validates and defaults the config in place.
+func (w *WALConfig) normalize() error {
+	if w.Dir == "" {
+		return errors.New("cached: WAL requires a directory")
+	}
+	switch w.Fsync {
+	case "":
+		w.Fsync = FsyncInterval
+	case FsyncAlways, FsyncInterval, FsyncOff:
+	default:
+		return fmt.Errorf("cached: unknown fsync policy %q (want always, interval or off)", w.Fsync)
+	}
+	if w.FsyncInterval <= 0 {
+		w.FsyncInterval = 50 * time.Millisecond
+	}
+	if w.SegmentBytes <= 0 {
+		w.SegmentBytes = 8 << 20
+	}
+	if w.SegmentBytes < 4096 {
+		w.SegmentBytes = 4096
+	}
+	if w.CheckpointEvery == 0 {
+		w.CheckpointEvery = 1 << 18
+	}
+	if w.FS == nil {
+		w.FS = fault.OSFS
+	}
+	return nil
+}
+
+// Record kinds.
+const (
+	recHeader  = 'H'
+	recRequest = 'R'
+	recQuotas  = 'Q'
+)
+
+// walVersion is the on-disk format version stamped into segment headers.
+const walVersion = 1
+
+// maxRecordBytes bounds a single frame's payload; anything larger in a
+// length field is corruption (real records are tens of bytes — the largest
+// legitimate payload is a quota vector or a MaxKeyLen key).
+const maxRecordBytes = 1 << 20
+
+const frameHeaderBytes = 8 // u32 len + u32 crc
+
+// appendFrame wraps payload in a length+CRC frame.
+func appendFrame(dst, payload []byte) []byte {
+	var hdr [frameHeaderBytes]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// encodeHeader builds the 'H' payload opening a segment.
+func encodeHeader(shard, n, startEntry int) []byte {
+	p := []byte{recHeader}
+	p = binary.AppendUvarint(p, walVersion)
+	p = binary.AppendUvarint(p, uint64(shard))
+	p = binary.AppendUvarint(p, uint64(n))
+	p = binary.AppendUvarint(p, uint64(startEntry))
+	return p
+}
+
+// encodeRequest builds the 'R' payload for one admitted request. key is
+// non-nil exactly when this request interned a new page, so replay can
+// rebuild the key table; repeats carry no key.
+func encodeRequest(dst []byte, seq int64, page trace.PageID, tenant trace.Tenant, key []byte) []byte {
+	dst = append(dst, recRequest)
+	dst = binary.AppendUvarint(dst, uint64(seq))
+	dst = binary.AppendUvarint(dst, uint64(page))
+	dst = binary.AppendUvarint(dst, uint64(tenant))
+	dst = binary.AppendUvarint(dst, uint64(len(key)))
+	return append(dst, key...)
+}
+
+// encodeQuotas builds the 'Q' payload for a quota-control entry.
+func encodeQuotas(dst []byte, seq int64, quotas []int) []byte {
+	dst = append(dst, recQuotas)
+	dst = binary.AppendUvarint(dst, uint64(seq))
+	dst = binary.AppendUvarint(dst, uint64(len(quotas)))
+	for _, q := range quotas {
+		dst = binary.AppendUvarint(dst, uint64(q))
+	}
+	return dst
+}
+
+// walRecord is one decoded frame.
+type walRecord struct {
+	kind byte
+	// Header fields (kind 'H').
+	version, shard, shards, startEntry int
+	// Entry fields (kinds 'R' and 'Q'). For 'Q', entry.Quotas is non-nil.
+	entry LogEntry
+	// key is the interned wire key carried by a first-appearance 'R'
+	// record; nil otherwise.
+	key []byte
+}
+
+// errBadRecord marks a frame that failed structural decoding despite a
+// matching CRC — corruption the frame layer cannot repair, reported loudly
+// rather than truncated silently.
+var errBadRecord = errors.New("cached: wal record decodes invalid")
+
+// decodeRecord parses a CRC-validated payload.
+func decodeRecord(p []byte) (walRecord, error) {
+	var r walRecord
+	if len(p) == 0 {
+		return r, errBadRecord
+	}
+	r.kind = p[0]
+	rest := p[1:]
+	u := func() (uint64, bool) {
+		v, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return 0, false
+		}
+		rest = rest[n:]
+		return v, true
+	}
+	switch r.kind {
+	case recHeader:
+		ver, ok1 := u()
+		shard, ok2 := u()
+		n, ok3 := u()
+		start, ok4 := u()
+		if !ok1 || !ok2 || !ok3 || !ok4 || len(rest) != 0 {
+			return r, errBadRecord
+		}
+		r.version, r.shard, r.shards, r.startEntry = int(ver), int(shard), int(n), int(start)
+		return r, nil
+	case recRequest:
+		seq, ok1 := u()
+		page, ok2 := u()
+		tenant, ok3 := u()
+		klen, ok4 := u()
+		if !ok1 || !ok2 || !ok3 || !ok4 || uint64(len(rest)) != klen || klen > MaxKeyLen {
+			return r, errBadRecord
+		}
+		r.entry = LogEntry{Seq: int64(seq), Page: trace.PageID(page), Tenant: trace.Tenant(tenant)}
+		if klen > 0 {
+			r.key = append([]byte(nil), rest...)
+		}
+		return r, nil
+	case recQuotas:
+		seq, ok1 := u()
+		cnt, ok2 := u()
+		if !ok1 || !ok2 || cnt > 1<<20 {
+			return r, errBadRecord
+		}
+		quotas := make([]int, cnt)
+		for i := range quotas {
+			q, ok := u()
+			if !ok {
+				return r, errBadRecord
+			}
+			quotas[i] = int(q)
+		}
+		if len(rest) != 0 {
+			return r, errBadRecord
+		}
+		r.entry = LogEntry{Seq: int64(seq), Page: -1, Tenant: -1, Quotas: quotas}
+		return r, nil
+	default:
+		return r, errBadRecord
+	}
+}
+
+// scanSegment reads frames from rd, invoking fn per decoded record, and
+// returns the byte length of the valid prefix. torn is true when the stream
+// ended in a partial or CRC-failing frame (everything before it is intact);
+// a CRC-valid but undecodable record, or an fn error, is returned as a hard
+// error instead.
+func scanSegment(rd io.Reader, fn func(walRecord) error) (valid int64, torn bool, err error) {
+	br := bufio.NewReaderSize(rd, 64<<10)
+	var hdr [frameHeaderBytes]byte
+	var payload []byte
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			if errors.Is(err, io.EOF) {
+				return valid, false, nil // clean end
+			}
+			return valid, true, nil // partial frame header
+		}
+		plen := binary.LittleEndian.Uint32(hdr[0:4])
+		crc := binary.LittleEndian.Uint32(hdr[4:8])
+		if plen > maxRecordBytes {
+			return valid, true, nil // corrupt length field
+		}
+		if cap(payload) < int(plen) {
+			payload = make([]byte, plen)
+		}
+		payload = payload[:plen]
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return valid, true, nil // torn payload
+		}
+		if crc32.ChecksumIEEE(payload) != crc {
+			return valid, true, nil // bit rot or torn write inside the frame
+		}
+		rec, err := decodeRecord(payload)
+		if err != nil {
+			return valid, false, fmt.Errorf("%w (frame at byte %d)", err, valid)
+		}
+		if err := fn(rec); err != nil {
+			return valid, false, err
+		}
+		valid += frameHeaderBytes + int64(plen)
+	}
+}
+
+// Segment / checkpoint file naming.
+
+func segName(index int) string { return fmt.Sprintf("wal-%08d.seg", index) }
+
+func ckptName(entries int) string { return fmt.Sprintf("ckpt-%012d.ck", entries) }
+
+// shardDirName returns the per-shard subdirectory under the WAL root.
+func shardDirName(root string, shard int) string {
+	return path.Join(root, fmt.Sprintf("shard-%03d", shard))
+}
+
+// parseSegName extracts the index from a segment file name, or -1.
+func parseSegName(name string) int {
+	if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".seg") {
+		return -1
+	}
+	n, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".seg"))
+	if err != nil || n < 0 {
+		return -1
+	}
+	return n
+}
+
+// parseCkptName extracts the covered-entry count from a checkpoint file
+// name, or -1.
+func parseCkptName(name string) int {
+	if !strings.HasPrefix(name, "ckpt-") || !strings.HasSuffix(name, ".ck") {
+		return -1
+	}
+	n, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, "ckpt-"), ".ck"))
+	if err != nil || n < 0 {
+		return -1
+	}
+	return n
+}
+
+// listSegments returns the shard dir's segment indices, ascending.
+func listSegments(fs fault.FS, dir string) ([]int, error) {
+	names, err := fs.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []int
+	for _, name := range names {
+		if idx := parseSegName(name); idx >= 0 {
+			out = append(out, idx)
+		}
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// listCheckpoints returns the shard dir's checkpoint entry counts,
+// descending (newest first).
+func listCheckpoints(fs fault.FS, dir string) ([]int, error) {
+	names, err := fs.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []int
+	for _, name := range names {
+		if n := parseCkptName(name); n >= 0 {
+			out = append(out, n)
+		}
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(out)))
+	return out, nil
+}
+
+// newShardWAL builds the writer; the caller then either opens a fresh
+// segment (openFresh) or recovers existing state (recover.go) before the
+// shard loop starts.
+func newShardWAL(cfg *WALConfig, shard, n int) *shardWAL {
+	return &shardWAL{
+		fs:        cfg.FS,
+		dir:       shardDirName(cfg.Dir, shard),
+		shard:     shard,
+		n:         n,
+		fsync:     cfg.Fsync,
+		syncEvery: cfg.FsyncInterval,
+		segBytes:  cfg.SegmentBytes,
+		ckptEvery: cfg.CheckpointEvery,
+	}
+}
+
+// openFresh starts segment 0 of an empty shard dir.
+func (w *shardWAL) openFresh() error {
+	return w.openSegment(0, 0, true)
+}
+
+// openSegment makes segment index the active one. When writeHeader is set a
+// header frame is written (and synced unless fsync is off) so the segment is
+// self-describing even if the process dies before the first batch.
+func (w *shardWAL) openSegment(index, startEntry int, writeHeader bool) error {
+	f, err := w.fs.Append(path.Join(w.dir, segName(index)))
+	if err != nil {
+		return fmt.Errorf("cached: shard %d: open wal segment %d: %w", w.shard, index, err)
+	}
+	w.f = f
+	w.segIndex = index
+	w.segStart = startEntry
+	w.size = 0
+	w.dirty = false
+	if writeHeader {
+		frame := appendFrame(nil, encodeHeader(w.shard, w.n, startEntry))
+		if _, err := f.Write(frame); err != nil {
+			return fmt.Errorf("cached: shard %d: write wal header: %w", w.shard, err)
+		}
+		w.size = int64(len(frame))
+		if w.fsync != FsyncOff {
+			if err := f.Sync(); err != nil {
+				return fmt.Errorf("cached: shard %d: sync wal header: %w", w.shard, err)
+			}
+		}
+	}
+	return nil
+}
+
+// appendRequest buffers one request record for the next group commit.
+func (w *shardWAL) appendRequest(seq int64, page trace.PageID, tenant trace.Tenant, key []byte) {
+	payload := encodeRequest(w.scratch(), seq, page, tenant, key)
+	w.buf = appendFrame(w.buf, payload)
+}
+
+// appendQuotas buffers one quota-control record.
+func (w *shardWAL) appendQuotas(seq int64, quotas []int) {
+	payload := encodeQuotas(w.scratch(), seq, quotas)
+	w.buf = appendFrame(w.buf, payload)
+}
+
+// scratch returns a reusable payload buffer (distinct from w.buf, which
+// holds framed bytes). Each shardWAL is owned by one goroutine.
+func (w *shardWAL) scratch() []byte {
+	if w.payload == nil {
+		w.payload = make([]byte, 0, 512)
+	}
+	return w.payload[:0]
+}
+
+// flush writes the group-commit buffer to the active segment and applies the
+// fsync policy. Returns whether the batch is durably synced.
+func (w *shardWAL) flush(now time.Time) error {
+	if len(w.buf) > 0 {
+		n, err := w.f.Write(w.buf)
+		w.size += int64(n)
+		if err != nil {
+			return fmt.Errorf("cached: shard %d: wal write: %w", w.shard, err)
+		}
+		w.buf = w.buf[:0]
+		w.dirty = true
+	}
+	switch w.fsync {
+	case FsyncAlways:
+		if w.dirty {
+			if err := w.f.Sync(); err != nil {
+				return fmt.Errorf("cached: shard %d: wal fsync: %w", w.shard, err)
+			}
+			w.dirty = false
+			w.lastSync = now
+		}
+	case FsyncInterval:
+		if w.dirty && now.Sub(w.lastSync) >= w.syncEvery {
+			if err := w.f.Sync(); err != nil {
+				return fmt.Errorf("cached: shard %d: wal fsync: %w", w.shard, err)
+			}
+			w.dirty = false
+			w.lastSync = now
+		}
+	}
+	return nil
+}
+
+// shouldRotate reports whether the active segment is full.
+func (w *shardWAL) shouldRotate() bool { return w.size >= w.segBytes }
+
+// rotate seals the active segment (sync + close) and opens the next one
+// starting at logical entry index startEntry.
+func (w *shardWAL) rotate(startEntry int) error {
+	if w.fsync != FsyncOff {
+		if err := w.f.Sync(); err != nil {
+			return fmt.Errorf("cached: shard %d: seal wal segment %d: %w", w.shard, w.segIndex, err)
+		}
+	}
+	w.dirty = false
+	if err := w.f.Close(); err != nil {
+		return fmt.Errorf("cached: shard %d: close wal segment %d: %w", w.shard, w.segIndex, err)
+	}
+	return w.openSegment(w.segIndex+1, startEntry, true)
+}
+
+// closeSync flushes, syncs (unless fsync is off) and closes the active
+// segment — the clean-shutdown path. Crash() skips this on purpose.
+func (w *shardWAL) closeSync() error {
+	if err := w.flush(time.Now()); err != nil {
+		return err
+	}
+	if w.fsync != FsyncOff && w.dirty {
+		if err := w.f.Sync(); err != nil {
+			return err
+		}
+		w.dirty = false
+	}
+	return w.f.Close()
+}

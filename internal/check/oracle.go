@@ -173,6 +173,16 @@ func Oracles() []Oracle {
 		}})
 	}
 
+	// Crash-and-recover: kill the WAL-backed service at several points (clean
+	// crash, mid-rebalance, torn mid-batch write), recover, and require the
+	// resurrected state — and the completed run — to be bit-identical to a
+	// run that never crashed. One cost regime suffices: recovery replays the
+	// same engine step the live path ran, whatever the costs.
+	out = append(out, Oracle{Name: "recovery/crash-replay", Run: func(tr *trace.Trace, k int) error {
+		opt := core.Options{Costs: oracleCosts(tr.NumTenants())}
+		return divergeErr(DiffRecovery(tr, k, func() sim.Policy { return core.NewFast(opt) }, []int{1, 2, 4}))
+	}})
+
 	// The streaming MRC estimator against the offline Mattson analysis,
 	// through the full live service (partition engine + per-shard samplers).
 	// The estimator is cost-independent, so one oracle covers all regimes.

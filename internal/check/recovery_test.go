@@ -1,0 +1,46 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"convexcache/internal/core"
+	"convexcache/internal/sim"
+)
+
+// TestDiffRecoveryCleanOnWorkloads runs the crash-and-recover oracle over the
+// shared workload suite at shard counts 1, 2 and 4: every crash point must
+// resurrect bit-exactly, verify clean, and finish the trace with exactly the
+// counters of an uninterrupted run.
+func TestDiffRecoveryCleanOnWorkloads(t *testing.T) {
+	for _, w := range Workloads() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			tr, err := w.Gen(11, 6000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, k := range []int{4, 64} {
+				opt := core.Options{Costs: oracleCosts(tr.NumTenants())}
+				div, err := DiffRecovery(tr, k, func() sim.Policy { return core.NewFast(opt) }, []int{1, 2, 4})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if div != nil {
+					t.Fatalf("k=%d: %v", k, div)
+				}
+			}
+		})
+	}
+}
+
+// TestRecoveryOracleRegistered pins the recovery oracle into the matrix so
+// cmd/check and the oracle-matrix CI job pick it up automatically.
+func TestRecoveryOracleRegistered(t *testing.T) {
+	for _, o := range Oracles() {
+		if strings.HasPrefix(o.Name, "recovery/") {
+			return
+		}
+	}
+	t.Fatal("no recovery/* oracle registered")
+}
