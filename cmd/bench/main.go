@@ -39,6 +39,7 @@ import (
 	"testing"
 	"time"
 
+	"convexcache/internal/cached"
 	"convexcache/internal/core"
 	"convexcache/internal/costfn"
 	"convexcache/internal/experiments"
@@ -165,6 +166,7 @@ func main() {
 	}
 	rep.Benchmarks = append(rep.Benchmarks, throughputSuite()...)
 	rep.Benchmarks = append(rep.Benchmarks, shardedSuite()...)
+	rep.Benchmarks = append(rep.Benchmarks, liveSuite()...)
 	if !*skipExp {
 		rep.Benchmarks = append(rep.Benchmarks, experimentSuite()...)
 	}
@@ -401,6 +403,69 @@ func shardedSuite() []Result {
 			out = append(out, res)
 			fmt.Fprintf(os.Stderr, "bench: %-28s %12.0f req/s %8d allocs/op\n", name, res.ReqPerSec, res.AllocsPerOp)
 		}
+	}
+	return out
+}
+
+// liveSuite measures the live cache service end to end: a single-shard
+// cached.Service fed the shared trace as wire-shaped requests through Apply
+// in mailbox-sized batches, once on the dense shard core (the production
+// path) and once on the map-mode reference step (Config.MapStep) — so every
+// report carries the live fast-path speedup next to the replay numbers it
+// chases. Each iteration builds a fresh service, so interning and routing
+// overhead is measured, not amortized away; both modes pay it identically.
+func liveSuite() []Result {
+	tr := benchTrace(4, 4096, 200_000)
+	costs := benchCosts(4)
+	tenants := tr.NumTenants()
+	reqs := make([]cached.Request, tr.Len())
+	// One arena backs every key so the request set is a handful of heap
+	// objects, not tr.Len() of them — the benchmark should weigh the
+	// service, not the collector marking its input.
+	arena := make([]byte, 0, 10*tr.Len())
+	for i, r := range tr.Requests() {
+		base := len(arena)
+		arena = fmt.Appendf(arena, "p%d", r.Page)
+		reqs[i] = cached.Request{Op: cached.OpGet, Tenant: r.Tenant, Key: arena[base:len(arena):len(arena)]}
+	}
+	const k = 4096
+	const batch = 512
+	modes := []struct {
+		name    string
+		mapStep bool
+	}{
+		{"live/fast-dense/n=1/k=4096", false},
+		{"live/fast-map/n=1/k=4096", true},
+	}
+	var out []Result
+	for _, m := range modes {
+		r := measure(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				svc, err := cached.New(cached.Config{
+					K: k, Shards: 1, Tenants: tenants, MapStep: m.mapStep,
+					NewPolicy: func() sim.Policy { return core.NewFast(core.Options{Costs: costs}) },
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for lo := 0; lo < len(reqs); lo += batch {
+					hi := lo + batch
+					if hi > len(reqs) {
+						hi = len(reqs)
+					}
+					if _, err := svc.Apply(reqs[lo:hi]); err != nil {
+						svc.Close()
+						b.Fatal(err)
+					}
+				}
+				svc.Close()
+			}
+		})
+		res := toResult(m.name, r)
+		res.ReqPerSec = float64(tr.Len()*r.N) / r.T.Seconds()
+		out = append(out, res)
+		fmt.Fprintf(os.Stderr, "bench: %-28s %12.0f req/s %8d allocs/op\n", m.name, res.ReqPerSec, res.AllocsPerOp)
 	}
 	return out
 }

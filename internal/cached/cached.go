@@ -91,6 +91,13 @@ type Config struct {
 	NewPolicy func() sim.Policy
 	// MailboxDepth is the per-shard channel buffer; <= 0 selects 64.
 	MailboxDepth int
+	// MapStep keeps the map-mode reference step in the shard loop instead of
+	// the dense shard core. Classic mode with a core.Fast policy normally
+	// runs the same SoA denseCore the replay engine uses (the fast path);
+	// this switch retains the original map-backed step, which survives as a
+	// check-only reference — the live/dense-vs-map oracle replays identical
+	// logs through both and demands bit-equal results.
+	MapStep bool
 	// Registry receives the per-shard metrics; nil creates a private one.
 	Registry *obs.Registry
 
@@ -370,26 +377,73 @@ func (s *Service) Apply(reqs []Request) ([]byte, error) {
 		return nil, nil
 	}
 	results := make([]byte, len(reqs))
-	buckets := make([][]shardReq, len(s.shards))
-	for i, r := range reqs {
-		if r.Op != OpGet && r.Op != OpPut {
-			return nil, fmt.Errorf("cached: request %d: unknown op %q", i, r.Op)
+	n := len(s.shards)
+	tenants := s.cfg.Tenants
+	buckets := make([][]int32, n)
+	if n == 1 {
+		// Single shard: routing is the identity, and down (rebuilding after
+		// a panic — shed instead of queuing behind a replay that can take
+		// seconds; the caller sees ErrShardDown and retries with backoff)
+		// is checked once for the batch, keeping the loop to validation and
+		// an index append.
+		down := s.shards[0].down.Load()
+		idxs := make([]int32, 0, len(reqs))
+		for i, r := range reqs {
+			if r.Op != OpGet && r.Op != OpPut {
+				return nil, fmt.Errorf("cached: request %d: unknown op %q", i, r.Op)
+			}
+			if r.Tenant < 0 || int(r.Tenant) >= tenants {
+				return nil, fmt.Errorf("cached: request %d: tenant %d out of range [0,%d)", i, r.Tenant, tenants)
+			}
+			if len(r.Key) == 0 {
+				return nil, fmt.Errorf("cached: request %d: empty key", i)
+			}
+			if down {
+				results[i] = ResultShed
+			} else {
+				idxs = append(idxs, int32(i))
+			}
 		}
-		if r.Tenant < 0 || int(r.Tenant) >= s.cfg.Tenants {
-			return nil, fmt.Errorf("cached: request %d: tenant %d out of range [0,%d)", i, r.Tenant, s.cfg.Tenants)
+		buckets[0] = idxs
+	} else {
+		// Route in a first pass, then carve per-shard buckets out of one
+		// backing array sized exactly — growing each bucket by append
+		// reallocated several times per batch and dominated the allocation
+		// profile of the live path.
+		shardOf := make([]int32, len(reqs))
+		counts := make([]int, n)
+		for i, r := range reqs {
+			if r.Op != OpGet && r.Op != OpPut {
+				return nil, fmt.Errorf("cached: request %d: unknown op %q", i, r.Op)
+			}
+			if r.Tenant < 0 || int(r.Tenant) >= tenants {
+				return nil, fmt.Errorf("cached: request %d: tenant %d out of range [0,%d)", i, r.Tenant, tenants)
+			}
+			if len(r.Key) == 0 {
+				return nil, fmt.Errorf("cached: request %d: empty key", i)
+			}
+			sh := s.route(r.Tenant, r.Key)
+			if s.shards[sh].down.Load() {
+				results[i] = ResultShed
+				shardOf[i] = -1
+				continue
+			}
+			shardOf[i] = int32(sh)
+			counts[sh]++
 		}
-		if len(r.Key) == 0 {
-			return nil, fmt.Errorf("cached: request %d: empty key", i)
+		backing := make([]int32, 0, len(reqs))
+		off := 0
+		for sh, c := range counts {
+			if c > 0 {
+				buckets[sh] = backing[off : off : off+c]
+				off += c
+			}
 		}
-		sh := s.route(r.Tenant, r.Key)
-		if s.shards[sh].down.Load() {
-			// The shard is rebuilding after a panic: shed instead of queuing
-			// behind a replay that can take seconds. The caller sees
-			// ErrShardDown and retries with backoff.
-			results[i] = ResultShed
-			continue
+		for i := range reqs {
+			if sh := shardOf[i]; sh >= 0 {
+				buckets[sh] = append(buckets[sh], int32(i))
+			}
 		}
-		buckets[sh] = append(buckets[sh], shardReq{idx: i, op: r.Op, tenant: r.Tenant, key: r.Key})
 	}
 	var wg sync.WaitGroup
 	// The RLock pins closed=false while the sends happen: Close closes the
@@ -407,7 +461,7 @@ func (s *Service) Apply(reqs []Request) ([]byte, error) {
 			continue
 		}
 		wg.Add(1)
-		s.shards[sh].in <- shardMsg{batch: b, results: results, done: &wg}
+		s.shards[sh].in <- shardMsg{reqs: reqs, idxs: b, results: results, done: &wg}
 	}
 	s.mu.RUnlock()
 	wg.Wait()

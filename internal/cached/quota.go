@@ -3,6 +3,7 @@ package cached
 import (
 	"fmt"
 
+	"convexcache/internal/core"
 	"convexcache/internal/trace"
 )
 
@@ -10,9 +11,15 @@ import (
 // per-tenant page quotas. It exists because adaptive capacity needs quotas
 // that change at runtime AND bit-exact live-vs-replay verification: the
 // same code runs in the live shard loop and in the offline replay, and
-// every operation is deterministic (intrusive linked lists, no map
-// iteration anywhere), so replaying a shard's log through a fresh instance
-// reproduces the live counters exactly.
+// every operation is deterministic (intrusive linked lists over the dense
+// core's record table, no map iteration anywhere), so replaying a shard's
+// log through a fresh instance reproduces the live counters exactly.
+//
+// The recency machinery is core.LRUTable — the same intrusive per-tenant
+// lists, 32-byte page records and residue-class slot mapping the dense
+// budget engine runs on — so partition mode and budget mode share one
+// list implementation and differ only in the victim rule (own-tail under
+// quota vs global budget argmin).
 //
 // Semantics per access: a resident page moves to its tenant's MRU position;
 // a miss with a zero quota is counted but not inserted (the tenant holds no
@@ -22,88 +29,48 @@ import (
 // tail immediately.
 type quotaLRU struct {
 	quotas []int
-	size   []int
-	nodes  map[trace.PageID]*qnode
-	// head[t] is tenant t's MRU page, tail[t] its LRU page; nil when empty.
-	head, tail []*qnode
+	tab    *core.LRUTable
 }
 
-type qnode struct {
-	page       trace.PageID
-	tenant     trace.Tenant
-	prev, next *qnode // prev = toward MRU, next = toward LRU
-}
-
-func newQuotaLRU(quotas []int) *quotaLRU {
-	q := &quotaLRU{
+// newQuotaLRU builds a partition engine for the given local quota vector
+// over the residue class base mod stride (the owning shard's page-id class).
+func newQuotaLRU(quotas []int, stride, base int) *quotaLRU {
+	tab, err := core.NewLRUTable(len(quotas), stride, base)
+	if err != nil {
+		// Shard geometry is validated in New; reaching here is a caller bug.
+		panic(err)
+	}
+	return &quotaLRU{
 		quotas: append([]int(nil), quotas...),
-		size:   make([]int, len(quotas)),
-		nodes:  make(map[trace.PageID]*qnode),
-		head:   make([]*qnode, len(quotas)),
-		tail:   make([]*qnode, len(quotas)),
+		tab:    tab,
 	}
-	return q
-}
-
-// unlink removes n from its tenant's list (does not touch q.nodes).
-func (q *quotaLRU) unlink(n *qnode) {
-	t := n.tenant
-	if n.prev != nil {
-		n.prev.next = n.next
-	} else {
-		q.head[t] = n.next
-	}
-	if n.next != nil {
-		n.next.prev = n.prev
-	} else {
-		q.tail[t] = n.prev
-	}
-	n.prev, n.next = nil, nil
-}
-
-// pushFront makes n its tenant's MRU.
-func (q *quotaLRU) pushFront(n *qnode) {
-	t := n.tenant
-	n.next = q.head[t]
-	n.prev = nil
-	if q.head[t] != nil {
-		q.head[t].prev = n
-	}
-	q.head[t] = n
-	if q.tail[t] == nil {
-		q.tail[t] = n
-	}
-}
-
-// evictTail removes tenant t's LRU page and returns it.
-func (q *quotaLRU) evictTail(t trace.Tenant) trace.PageID {
-	n := q.tail[t]
-	q.unlink(n)
-	delete(q.nodes, n.page)
-	q.size[t]--
-	return n.page
 }
 
 // Access serves one request. Returns whether it hit and whether an eviction
 // occurred (evictions are always of the requesting tenant's own LRU tail).
+// Pages arrive from the shard's own interner, so a residue-class or owner
+// violation is engine corruption and panics into the shard's rebuild path.
 func (q *quotaLRU) Access(t trace.Tenant, p trace.PageID) (hit, evicted bool) {
-	if n, ok := q.nodes[p]; ok {
-		q.unlink(n)
-		q.pushFront(n)
+	hit, err := q.tab.Touch(p, t)
+	if err != nil {
+		panic(err)
+	}
+	if hit {
 		return true, false
 	}
 	if q.quotas[t] <= 0 {
 		// No capacity: the miss is served but the page is not admitted.
 		return false, false
 	}
-	if q.size[t] >= q.quotas[t] {
-		q.evictTail(t)
+	if q.tab.Len(t) >= q.quotas[t] {
+		if _, ok := q.tab.PopTail(t); !ok {
+			panic(fmt.Sprintf("cached: tenant %d at quota %d with empty list", t, q.quotas[t]))
+		}
 		evicted = true
 	}
-	n := &qnode{page: p, tenant: t}
-	q.nodes[p] = n
-	q.pushFront(n)
-	q.size[t]++
+	if err := q.tab.Insert(p, t); err != nil {
+		panic(err)
+	}
 	return false, evicted
 }
 
@@ -117,8 +84,8 @@ func (q *quotaLRU) SetQuotas(quotas []int) []int {
 			nq = quotas[t]
 		}
 		q.quotas[t] = nq
-		for q.size[t] > nq {
-			q.evictTail(trace.Tenant(t))
+		for q.tab.Len(trace.Tenant(t)) > nq {
+			q.tab.PopTail(trace.Tenant(t))
 			evictions[t]++
 		}
 	}
@@ -126,18 +93,14 @@ func (q *quotaLRU) SetQuotas(quotas []int) []int {
 }
 
 // Occupancy is the total resident page count.
-func (q *quotaLRU) Occupancy() int { return len(q.nodes) }
+func (q *quotaLRU) Occupancy() int { return q.tab.Total() }
 
 // dump serializes residency for a checkpoint: per tenant, resident pages in
 // MRU→LRU order. Deterministic — it walks the intrusive lists, never a map.
 func (q *quotaLRU) dump() [][]int64 {
 	out := make([][]int64, len(q.quotas))
 	for t := range q.quotas {
-		pages := make([]int64, 0, q.size[t])
-		for n := q.head[t]; n != nil; n = n.next {
-			pages = append(pages, int64(n.page))
-		}
-		out[t] = pages
+		out[t] = q.tab.PagesMRU(trace.Tenant(t))
 	}
 	return out
 }
@@ -148,23 +111,18 @@ func (q *quotaLRU) restore(pages [][]int64) error {
 	if len(pages) > len(q.quotas) {
 		return fmt.Errorf("quota image has %d tenants, engine has %d", len(pages), len(q.quotas))
 	}
-	if len(q.nodes) != 0 {
+	if q.tab.Total() != 0 {
 		return fmt.Errorf("restore on a non-empty engine")
 	}
 	for t, ps := range pages {
 		if len(ps) > q.quotas[t] {
 			return fmt.Errorf("tenant %d image holds %d pages over quota %d", t, len(ps), q.quotas[t])
 		}
-		// The dump is MRU→LRU; pushing front in reverse rebuilds the order.
-		for i := len(ps) - 1; i >= 0; i-- {
-			p := trace.PageID(ps[i])
-			if _, dup := q.nodes[p]; dup {
-				return fmt.Errorf("page %d resident twice in quota image", p)
+		// The dump is MRU→LRU; appending at the back preserves the order.
+		for _, p := range ps {
+			if err := q.tab.PushBack(trace.PageID(p), trace.Tenant(t)); err != nil {
+				return fmt.Errorf("tenant %d quota image: %w", t, err)
 			}
-			n := &qnode{page: p, tenant: trace.Tenant(t)}
-			q.nodes[p] = n
-			q.pushFront(n)
-			q.size[t]++
 		}
 	}
 	return nil

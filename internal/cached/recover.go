@@ -111,6 +111,13 @@ func (sh *shard) buildCheckpoint() *checkpoint {
 		ck.Engine = "quota"
 		ck.Quotas = append([]int(nil), sh.quotasNow...)
 		ck.QuotaPages = sh.qlru.dump()
+	case sh.open != nil:
+		// The dense shard core serializes in the same FastSnapshot format as
+		// the map-mode engine, so dense- and map-mode services can recover
+		// each other's WAL directories.
+		snap := sh.open.Snapshot()
+		ck.Engine = "fast"
+		ck.Fast = &snap
 	default:
 		f, ok := sh.policy.(*core.Fast)
 		if !ok {
@@ -120,11 +127,11 @@ func (sh *shard) buildCheckpoint() *checkpoint {
 		ck.Engine = "fast"
 		ck.Fast = &snap
 	}
-	for t, km := range sh.keys {
+	for t := range sh.keys {
 		base := len(ck.Keys)
-		for k, p := range km {
-			ck.Keys = append(ck.Keys, ckptKey{Tenant: t, Page: int64(p), Key: k})
-		}
+		sh.keys[t].each(func(k []byte, p trace.PageID) {
+			ck.Keys = append(ck.Keys, ckptKey{Tenant: t, Page: int64(p), Key: string(k)})
+		})
 		keys := ck.Keys[base:]
 		sort.Slice(keys, func(i, j int) bool { return keys[i].Page < keys[j].Page })
 	}
@@ -222,11 +229,13 @@ func (sh *shard) installCheckpoint(ck *checkpoint) error {
 		if k.Page < 0 || int(k.Page%int64(n)) != sh.id || k.Page >= ck.NextPage {
 			return fmt.Errorf("checkpoint key maps to page %d outside shard %d's allocation", k.Page, sh.id)
 		}
-		km := sh.keys[k.Tenant]
-		if _, dup := km[k.Key]; dup {
+		kt := &sh.keys[k.Tenant]
+		kb := []byte(k.Key)
+		h, pre := hashKey(kb)
+		if _, dup := kt.lookup(h, pre, kb); dup {
 			return fmt.Errorf("checkpoint has duplicate key for tenant %d", k.Tenant)
 		}
-		km[k.Key] = trace.PageID(k.Page)
+		kt.insert(h, pre, kb, trace.PageID(k.Page))
 	}
 	switch ck.Engine {
 	case "quota":
@@ -237,7 +246,7 @@ func (sh *shard) installCheckpoint(ck *checkpoint) error {
 			return errors.New("checkpoint quota vector missized")
 		}
 		sh.quotasNow = append(sh.quotasNow[:0], ck.Quotas...)
-		sh.qlru = newQuotaLRU(localQuotas(ck.Quotas, n, sh.id))
+		sh.qlru = newQuotaLRU(localQuotas(ck.Quotas, n, sh.id), n, sh.id)
 		if err := sh.qlru.restore(ck.QuotaPages); err != nil {
 			return fmt.Errorf("checkpoint quota image: %w", err)
 		}
@@ -245,8 +254,17 @@ func (sh *shard) installCheckpoint(ck *checkpoint) error {
 		if sh.qlru != nil {
 			return errors.New("fast checkpoint but service is in partition mode")
 		}
+		if ck.Fast == nil {
+			return errors.New("fast checkpoint carries no engine image")
+		}
+		if sh.open != nil {
+			if err := sh.open.Restore(*ck.Fast); err != nil {
+				return fmt.Errorf("checkpoint engine image: %w", err)
+			}
+			break
+		}
 		f, ok := sh.policy.(*core.Fast)
-		if !ok || ck.Fast == nil {
+		if !ok {
 			return errors.New("fast checkpoint does not match the configured policy")
 		}
 		if err := f.Restore(*ck.Fast); err != nil {
@@ -277,11 +295,11 @@ func (sh *shard) installCheckpoint(ck *checkpoint) error {
 func (sh *shard) resetForRecovery() {
 	sh.resetEngine()
 	for t := range sh.keys {
-		sh.keys[t] = make(map[string]trace.PageID)
+		sh.keys[t] = keyTable{}
 	}
 	sh.nextPage = trace.PageID(sh.id)
 	sh.pages = 0
-	sh.log = nil
+	sh.log = entryLog{}
 	sh.logStart = 0
 }
 
@@ -348,7 +366,7 @@ func (sh *shard) replaySegments(segs []int, ck *checkpoint, rep *RecoveryReport)
 	entries := 0
 	replayed := int64(0)
 	var lastSeq int64
-	var tail []LogEntry
+	var tail entryLog
 	tailStart := 0
 	for i, idx := range segs {
 		if idx != i {
@@ -401,7 +419,7 @@ func (sh *shard) replaySegments(segs []int, ck *checkpoint, rep *RecoveryReport)
 			at := entries
 			entries++
 			if final {
-				tail = append(tail, e)
+				tail.append(e)
 			}
 			if at < ckEntries {
 				return nil // covered by the checkpoint image
@@ -472,7 +490,7 @@ func (sh *shard) replaySegments(segs []int, ck *checkpoint, rep *RecoveryReport)
 	if sh.lastSeq > rep.LastSeq {
 		rep.LastSeq = sh.lastSeq
 	}
-	sh.syncMetrics()
+	sh.publishMetrics()
 	return nil
 }
 
@@ -536,7 +554,7 @@ func (s *Service) reconcileQuotas() error {
 			continue
 		}
 		seq := s.seq.Add(1)
-		sh.appendEntry(LogEntry{Seq: seq, Page: -1, Tenant: -1, Quotas: append([]int(nil), vec...)}, nil)
+		sh.appendQuotaEntry(seq, append([]int(nil), vec...))
 		sh.stepQuotas(vec)
 		if err := sh.wal.flush(time.Now()); err != nil {
 			return fmt.Errorf("cached: shard %d: persist quota reconcile: %w", sh.id, err)

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"convexcache/internal/core"
 	"convexcache/internal/mrclive"
 	"convexcache/internal/obs"
 	"convexcache/internal/sim"
@@ -30,19 +31,100 @@ type LogEntry struct {
 	Quotas []int
 }
 
-// shardReq is one request after ingress validation, routed to its shard.
-type shardReq struct {
-	idx    int
-	op     Op
-	tenant trace.Tenant
-	key    []byte
+// logRec is one in-memory log entry in pointer-free form: 24 bytes, no
+// Quotas slice. A []LogEntry is pointer-bearing through Quotas, which puts a
+// write barrier on every live-path append and rescans the whole log on every
+// GC mark; logRec keeps the hot array out of both.
+type logRec struct {
+	seq    int64
+	page   trace.PageID
+	tenant int32
+	_      int32
 }
 
-// shardMsg is a mailbox message: a batch to apply (batch/results/done set),
-// a snapshot request (snap set), or a quota-change control message (quotas
-// set, partition mode only).
+// logChunkBits sizes entryLog's fixed chunks: 2^15 records (768 KiB each).
+const logChunkBits = 15
+
+// entryLog stores the active segment's entries as pointer-free records in
+// fixed-size chunks. Chunking means appends never copy and growth produces
+// no garbage — a flat slice either reallocates ~4x the final size over a
+// segment's life (append's large-slice policy) or needs manual doubling
+// copies. Quota control entries are rare (partition-mode control plane), so
+// their vectors live in a small side map keyed by log index.
+type entryLog struct {
+	chunks [][]logRec
+	n      int
+	quotas map[int][]int
+}
+
+func (l *entryLog) len() int { return l.n }
+
+func (l *entryLog) appendReq(seq int64, page trace.PageID, t trace.Tenant) {
+	const mask = 1<<logChunkBits - 1
+	ci := l.n >> logChunkBits
+	if ci == len(l.chunks) {
+		l.chunks = append(l.chunks, make([]logRec, 0, 1<<logChunkBits))
+	}
+	l.chunks[ci] = append(l.chunks[ci], logRec{seq: seq, page: page, tenant: int32(t)})
+	l.n++
+}
+
+func (l *entryLog) appendQuotas(seq int64, quotas []int) {
+	l.appendReq(seq, -1, -1)
+	if l.quotas == nil {
+		l.quotas = make(map[int][]int)
+	}
+	l.quotas[l.n-1] = quotas
+}
+
+func (l *entryLog) append(e LogEntry) {
+	l.appendReq(e.Seq, e.Page, e.Tenant)
+	if e.Quotas != nil {
+		if l.quotas == nil {
+			l.quotas = make(map[int][]int)
+		}
+		l.quotas[l.n-1] = e.Quotas
+	}
+}
+
+func (l *entryLog) at(i int) LogEntry {
+	r := &l.chunks[i>>logChunkBits][i&(1<<logChunkBits-1)]
+	e := LogEntry{Seq: r.seq, Page: r.page, Tenant: trace.Tenant(r.tenant)}
+	if l.quotas != nil {
+		e.Quotas = l.quotas[i]
+	}
+	return e
+}
+
+// reset empties the log keeping the first chunk's capacity (segment
+// rotation).
+func (l *entryLog) reset() {
+	if len(l.chunks) > 1 {
+		l.chunks = l.chunks[:1]
+	}
+	if len(l.chunks) == 1 {
+		l.chunks[0] = l.chunks[0][:0]
+	}
+	l.n = 0
+	l.quotas = nil
+}
+
+// entries materializes the AoS view for snapshots and wire formats.
+func (l *entryLog) entries() []LogEntry {
+	out := make([]LogEntry, l.len())
+	for i := range out {
+		out[i] = l.at(i)
+	}
+	return out
+}
+
+// shardMsg is a mailbox message: a batch to apply (reqs/idxs/results/done
+// set — idxs are this shard's indices into the Apply caller's reqs slice, in
+// batch order), a snapshot request (snap set), or a quota-change control
+// message (quotas set, partition mode only).
 type shardMsg struct {
-	batch   []shardReq
+	reqs    []Request
+	idxs    []int32
 	results []byte
 	done    *sync.WaitGroup
 
@@ -58,7 +140,7 @@ type shardMsg struct {
 // panic inside the engine can still answer the waiting Apply / SetQuotas /
 // snapshot caller instead of deadlocking it.
 type inflight struct {
-	batch   []shardReq
+	idxs    []int32
 	results []byte
 	pos     int
 	wg      *sync.WaitGroup
@@ -118,28 +200,33 @@ type shard struct {
 	// wal is the shard's write-ahead log; nil when durability is disabled.
 	wal *shardWAL
 
-	// Exactly one engine is active: policy (classic mode) or qlru
-	// (partition mode, adaptive per-tenant quotas).
+	// Exactly one engine steps requests: open (the dense shard core —
+	// classic mode's default), policy (classic mode with Config.MapStep, or
+	// a policy without a dense core), or qlru (partition mode, adaptive
+	// per-tenant quotas). When open is active, policy still holds the
+	// constructed policy (it supplies the Options) but is never stepped.
+	open   *core.Open
 	policy sim.Policy
 	qlru   *quotaLRU
 	// sampler is the shard's streaming MRC estimator (nil when disabled);
 	// owned by the loop goroutine like all other state, so Observe runs
 	// lock-free on the request path.
 	sampler *mrclive.Sampler
-	// keys maps tenant-scoped keys to page ids. Shard s assigns ids from
-	// the residue class {s, s+n, s+2n, ...} (nextPage starts at s, steps by
-	// n), so page ownership is recoverable as page mod n at replay time.
-	keys     []map[string]trace.PageID
+	// keys interns tenant-scoped keys to page ids (one table per tenant).
+	// Shard s assigns ids from the residue class {s, s+n, s+2n, ...}
+	// (nextPage starts at s, steps by n), so page ownership is recoverable
+	// as page mod n at replay time.
+	keys     []keyTable
 	nextPage trace.PageID
 	pages    int
 	// cache maps resident pages to their owning tenant, exactly like the
 	// simulator's map engine.
 	cache map[trace.PageID]trace.Tenant
 	// log holds the entries of the active WAL segment only (the whole
-	// history without a WAL); logStart is the logical index of log[0], and
-	// steps = logStart + len(log) is the total logical entry count — also
-	// the policy step counter.
-	log      []LogEntry
+	// history without a WAL); logStart is the logical index of the first
+	// held entry, and steps = logStart + log.len() is the total logical
+	// entry count — also the policy step counter.
+	log      entryLog
 	logStart int
 	steps    int
 	// lastSeq is the newest global sequence number this shard admitted;
@@ -164,7 +251,13 @@ type shard struct {
 	cur      *inflight
 
 	mReqs, mHits, mMisses, mEvictions *obs.Counter
-	mOccupancy, mLog                  *obs.Gauge
+	mOccupancy, mLog, mMailbox        *obs.Gauge
+	// pub* are the counter values already published to the registry; the
+	// metrics are brought up to date by delta at batch boundaries instead of
+	// per request, keeping atomics off the request path. Rebuild and
+	// recovery replay reproduce the counters bit-exactly, so the deltas stay
+	// correct across both.
+	pubReqs, pubHits, pubMisses, pubEvictions int64
 }
 
 func newShard(svc *Service, id, k int) *shard {
@@ -174,9 +267,8 @@ func newShard(svc *Service, id, k int) *shard {
 		id:        id,
 		k:         k,
 		in:        make(chan shardMsg, svc.cfg.MailboxDepth),
-		keys:      make([]map[string]trace.PageID, svc.cfg.Tenants),
+		keys:      make([]keyTable, svc.cfg.Tenants),
 		nextPage:  trace.PageID(id),
-		cache:     make(map[trace.PageID]trace.Tenant, k),
 		hits:      make([]int64, svc.cfg.Tenants),
 		misses:    make([]int64, svc.cfg.Tenants),
 		evictions: make([]int64, svc.cfg.Tenants),
@@ -187,15 +279,17 @@ func newShard(svc *Service, id, k int) *shard {
 		mEvictions: svc.reg.Counter("cached_evictions_total" + lbl),
 		mOccupancy: svc.reg.Gauge("cached_occupancy_pages" + lbl),
 		mLog:       svc.reg.Gauge("cached_log_entries" + lbl),
-	}
-	for t := range sh.keys {
-		sh.keys[t] = make(map[string]trace.PageID)
+		mMailbox:   svc.reg.Gauge("cached_shard_mailbox_depth" + lbl),
 	}
 	if svc.cfg.Quotas != nil {
-		sh.qlru = newQuotaLRU(localQuotas(svc.cfg.Quotas, svc.cfg.Shards, id))
+		sh.qlru = newQuotaLRU(localQuotas(svc.cfg.Quotas, svc.cfg.Shards, id), svc.cfg.Shards, id)
 		sh.quotasNow = append([]int(nil), svc.cfg.Quotas...)
 	} else {
 		sh.policy = svc.cfg.NewPolicy()
+		sh.open = svc.openCore(sh.policy, k, id)
+		if sh.open == nil {
+			sh.cache = make(map[trace.PageID]trace.Tenant, k)
+		}
 	}
 	if svc.cfg.MRC != nil {
 		mc := *svc.cfg.MRC
@@ -208,6 +302,26 @@ func newShard(svc *Service, id, k int) *shard {
 		sh.wal = newShardWAL(svc.walCfg, id, svc.cfg.Shards)
 	}
 	return sh
+}
+
+// openCore builds the dense shard core for classic mode: the same denseCore
+// the replay engine runs, over this shard's residue-class page ids. Returns
+// nil when the configuration opts out (Config.MapStep), the policy carries
+// no dense core (only core.Fast does), or the shard's capacity share is
+// zero — the map-mode step serves those cases instead.
+func (svc *Service) openCore(p sim.Policy, k, id int) *core.Open {
+	if svc.cfg.MapStep {
+		return nil
+	}
+	f, ok := p.(*core.Fast)
+	if !ok {
+		return nil
+	}
+	o, err := f.OpenWorld(svc.cfg.Tenants, k, svc.cfg.Shards, id)
+	if err != nil {
+		return nil
+	}
+	return o
 }
 
 // localQuotas derives shard id's slice of a global per-tenant quota vector:
@@ -285,9 +399,9 @@ func (sh *shard) abortInflight() {
 		}
 		return
 	}
-	for _, r := range cur.batch[cur.pos:] {
-		if cur.results[r.idx] == 0 {
-			cur.results[r.idx] = ResultShed
+	for _, ix := range cur.idxs[cur.pos:] {
+		if cur.results[ix] == 0 {
+			cur.results[ix] = ResultShed
 		}
 	}
 	if cur.wg != nil {
@@ -309,46 +423,65 @@ func (sh *shard) handle(m shardMsg) {
 		if !sh.svc.crashed.Load() {
 			sh.applyQuotas(m.quotas)
 			sh.afterBatch(nil)
+			sh.publishMetrics()
 		}
 		sh.cur = nil
 		m.quotasDone.Done()
 		return
 	}
-	cur := &inflight{batch: m.batch, results: m.results, wg: m.done}
+	cur := &inflight{idxs: m.idxs, results: m.results, wg: m.done}
 	sh.cur = cur
-	for i, r := range m.batch {
-		cur.pos = i
-		if sh.svc.crashed.Load() {
-			m.results[r.idx] = ResultShed
-			continue
+	if sh.svc.crashed.Load() {
+		// The process is pretending to be dead: shed the whole batch. The
+		// check is per batch, not per request — Crash lands between batches
+		// from any serving goroutine's perspective.
+		for _, ix := range m.idxs {
+			m.results[ix] = ResultShed
 		}
-		m.results[r.idx] = sh.apply(r)
+	} else {
+		// One atomic draw reserves the whole batch's sequence numbers: this
+		// single-writer loop applies the batch in order, so consecutive seqs
+		// preserve the per-shard monotonicity the log merge relies on, and
+		// the lock-prefixed add leaves the per-request path. Seqs reserved
+		// for requests a mid-batch shard failure rejects are never logged;
+		// the merge only needs strict increase, not contiguity.
+		seq := sh.svc.seq.Add(int64(len(m.idxs))) - int64(len(m.idxs))
+		for i, ix := range m.idxs {
+			cur.pos = i
+			seq++
+			m.results[ix] = sh.apply(&m.reqs[ix], seq)
+		}
 	}
-	cur.pos = len(m.batch)
+	cur.pos = len(m.idxs)
 	if !sh.svc.crashed.Load() {
 		sh.afterBatch(cur)
+		sh.publishMetrics()
 	}
 	sh.cur = nil
 	m.done.Done()
 }
 
-// appendEntry admits one log entry: in-memory log, WAL buffer (group
-// commit — flushed in afterBatch), sequence bookkeeping.
-func (sh *shard) appendEntry(e LogEntry, newKey []byte) {
-	sh.log = append(sh.log, e)
+// appendRequest admits one request entry: in-memory log, WAL buffer (group
+// commit — flushed in afterBatch), sequence bookkeeping. The scalar
+// signature keeps a LogEntry (and its nil Quotas slice) off the hot path.
+func (sh *shard) appendRequest(seq int64, page trace.PageID, t trace.Tenant, newKey []byte) {
+	sh.log.appendReq(seq, page, t)
 	sh.steps++
-	sh.lastSeq = e.Seq
-	if e.Quotas != nil {
-		sh.lastQuotaSeq = e.Seq
-	}
+	sh.lastSeq = seq
 	if sh.wal != nil {
-		if e.Quotas != nil {
-			sh.wal.appendQuotas(e.Seq, e.Quotas)
-		} else {
-			sh.wal.appendRequest(e.Seq, e.Page, e.Tenant, newKey)
-		}
+		sh.wal.appendRequest(seq, page, t, newKey)
 	}
-	sh.mLog.Set(int64(sh.steps))
+}
+
+// appendQuotaEntry admits one quota-control entry (partition mode).
+func (sh *shard) appendQuotaEntry(seq int64, quotas []int) {
+	sh.log.appendQuotas(seq, quotas)
+	sh.steps++
+	sh.lastSeq = seq
+	sh.lastQuotaSeq = seq
+	if sh.wal != nil {
+		sh.wal.appendQuotas(seq, quotas)
+	}
 }
 
 // afterBatch runs the durability work riding each mailbox batch: group
@@ -370,7 +503,7 @@ func (sh *shard) afterBatch(cur *inflight) {
 			return
 		}
 		sh.logStart = sh.steps
-		sh.log = sh.log[:0]
+		sh.log.reset()
 	}
 	if sh.wal.ckptEvery > 0 && sh.steps-sh.lastCkpt >= sh.wal.ckptEvery {
 		// Advance lastCkpt even on failure so a broken disk is not hammered
@@ -389,8 +522,8 @@ func (sh *shard) walFail(err error, cur *inflight) {
 	sh.failed = fmt.Errorf("cached: shard %d wal: %w", sh.id, err)
 	sh.svc.mWALErrors.Inc()
 	if cur != nil {
-		for _, r := range cur.batch {
-			cur.results[r.idx] = ResultError
+		for _, ix := range cur.idxs {
+			cur.results[ix] = ResultError
 		}
 	}
 }
@@ -420,11 +553,8 @@ func (sh *shard) applyQuotas(global []int) {
 		return
 	}
 	seq := sh.svc.seq.Add(1)
-	sh.appendEntry(LogEntry{Seq: seq, Page: -1, Tenant: -1, Quotas: append([]int(nil), global...)}, nil)
-	if ev := sh.stepQuotas(global); ev > 0 {
-		sh.mEvictions.Add(int64(ev))
-	}
-	sh.mOccupancy.Set(int64(sh.qlru.Occupancy()))
+	sh.appendQuotaEntry(seq, append([]int(nil), global...))
+	sh.stepQuotas(global)
 }
 
 // stepQuotas is the engine side of a quota switch, shared verbatim by the
@@ -441,44 +571,31 @@ func (sh *shard) stepQuotas(global []int) int {
 	return total
 }
 
-// apply runs one live request through the shard: key interning, sequence
-// draw, log + WAL append, then the engine step. Only this live wrapper
-// touches obs metrics — the step itself is shared with recovery replay.
-func (sh *shard) apply(r shardReq) byte {
+// apply runs one live request through the shard: key interning, log + WAL
+// append under the batch-reserved sequence number seq, then the engine step.
+// Metrics are deliberately absent — publishMetrics reconciles the registry
+// from the shard counters at batch boundaries, keeping atomics off the
+// request path.
+func (sh *shard) apply(r *Request, seq int64) byte {
 	if sh.failed != nil {
 		return ResultError
 	}
-	km := sh.keys[r.tenant]
-	page, seen := km[string(r.key)]
+	kt := &sh.keys[r.Tenant]
+	h, pre := hashKey(r.Key)
+	page, seen := kt.lookup(h, pre, r.Key)
 	var newKey []byte
 	if !seen {
 		page = sh.nextPage
 		sh.nextPage += trace.PageID(len(sh.svc.shards))
 		sh.pages++
-		km[string(r.key)] = page
-		newKey = r.key
+		kt.insert(h, pre, r.Key, page)
+		newKey = r.Key
 	}
-	seq := sh.svc.seq.Add(1)
-	sh.appendEntry(LogEntry{Seq: seq, Page: page, Tenant: r.tenant}, newKey)
-	sh.mReqs.Inc()
+	sh.appendRequest(seq, page, r.Tenant, newKey)
 	if sh.sampler != nil {
-		sh.sampler.Observe(r.tenant, page)
+		sh.sampler.Observe(r.Tenant, page)
 	}
-	res, ev := sh.stepRequest(page, r.tenant)
-	switch res {
-	case ResultHit:
-		sh.mHits.Inc()
-	case ResultMiss:
-		sh.mMisses.Inc()
-	}
-	if ev > 0 {
-		sh.mEvictions.Add(int64(ev))
-	}
-	occ := len(sh.cache)
-	if sh.qlru != nil {
-		occ = sh.qlru.Occupancy()
-	}
-	sh.mOccupancy.Set(int64(occ))
+	res, _ := sh.stepRequest(page, r.Tenant)
 	return res
 }
 
@@ -489,6 +606,27 @@ func (sh *shard) apply(r shardReq) byte {
 // eviction count (0 or 1).
 func (sh *shard) stepRequest(page trace.PageID, t trace.Tenant) (byte, int) {
 	sh.reqs++
+	if sh.open != nil {
+		// Dense shard core: the replay engine's denseCore stepped one
+		// request at a time over the interner's residue-class ids. An error
+		// here (out-of-class page, owner flip) is interner corruption; the
+		// shard fails rather than serving requests it cannot replay.
+		hit, vo, err := sh.open.Access(page, t)
+		if err != nil {
+			sh.failed = fmt.Errorf("cached: shard %d: dense core: %w", sh.id, err)
+			return ResultError, 0
+		}
+		if hit {
+			sh.hits[t]++
+			return ResultHit, 0
+		}
+		sh.misses[t]++
+		if vo >= 0 {
+			sh.evictions[vo]++
+			return ResultMiss, 1
+		}
+		return ResultMiss, 0
+	}
 	if sh.qlru != nil {
 		hit, evicted := sh.qlru.Access(t, page)
 		if hit {
@@ -547,9 +685,10 @@ func (sh *shard) replayEntry(e LogEntry, key []byte) error {
 		return nil
 	}
 	if key != nil {
-		km := sh.keys[e.Tenant]
-		if _, seen := km[string(key)]; !seen {
-			km[string(key)] = e.Page
+		kt := &sh.keys[e.Tenant]
+		h, pre := hashKey(key)
+		if _, seen := kt.lookup(h, pre, key); !seen {
+			kt.insert(h, pre, key, e.Page)
 			sh.pages++
 			if next := e.Page + trace.PageID(len(sh.svc.shards)); next > sh.nextPage {
 				sh.nextPage = next
@@ -568,11 +707,16 @@ func (sh *shard) replayEntry(e LogEntry, key []byte) error {
 func (sh *shard) resetEngine() {
 	cfg := sh.svc.cfg
 	if cfg.Quotas != nil {
-		sh.qlru = newQuotaLRU(localQuotas(cfg.Quotas, cfg.Shards, sh.id))
+		sh.qlru = newQuotaLRU(localQuotas(cfg.Quotas, cfg.Shards, sh.id), cfg.Shards, sh.id)
 		sh.quotasNow = append(sh.quotasNow[:0], cfg.Quotas...)
 	} else {
 		sh.policy = cfg.NewPolicy()
-		sh.cache = make(map[trace.PageID]trace.Tenant, sh.k)
+		sh.open = sh.svc.openCore(sh.policy, sh.k, sh.id)
+		if sh.open == nil {
+			sh.cache = make(map[trace.PageID]trace.Tenant, sh.k)
+		} else {
+			sh.cache = nil
+		}
 	}
 	sh.reqs = 0
 	for t := range sh.hits {
@@ -607,8 +751,8 @@ func (sh *shard) rebuild() {
 			return
 		}
 	}
-	for _, e := range tail {
-		if err := sh.replayEntry(e, nil); err != nil {
+	for i := 0; i < tail.len(); i++ {
+		if err := sh.replayEntry(tail.at(i), nil); err != nil {
 			sh.failed = err
 			return
 		}
@@ -642,25 +786,38 @@ func (sh *shard) replaySealed() error {
 	return nil
 }
 
-// syncMetrics brings the obs counters and gauges up to the shard's current
-// accounting — used once after recovery, when the registry starts from zero.
-func (sh *shard) syncMetrics() {
-	sh.mReqs.Add(sh.reqs)
+// occupancy is the active engine's resident page count.
+func (sh *shard) occupancy() int {
+	switch {
+	case sh.qlru != nil:
+		return sh.qlru.Occupancy()
+	case sh.open != nil:
+		return sh.open.Used()
+	}
+	return len(sh.cache)
+}
+
+// publishMetrics reconciles the obs registry with the shard's counters,
+// adding only the delta since the last publication. Called at batch
+// boundaries (including the empty batch after a quota change) and once
+// after recovery replay, when the registry starts from zero and the delta
+// is the whole recovered history. Panic rebuilds replay the log bit-exactly
+// back to the pre-panic counters, so the baselines stay valid across them.
+func (sh *shard) publishMetrics() {
 	var h, m, e int64
 	for t := range sh.hits {
 		h += sh.hits[t]
 		m += sh.misses[t]
 		e += sh.evictions[t]
 	}
-	sh.mHits.Add(h)
-	sh.mMisses.Add(m)
-	sh.mEvictions.Add(e)
-	occ := len(sh.cache)
-	if sh.qlru != nil {
-		occ = sh.qlru.Occupancy()
-	}
-	sh.mOccupancy.Set(int64(occ))
+	sh.mReqs.Add(sh.reqs - sh.pubReqs)
+	sh.mHits.Add(h - sh.pubHits)
+	sh.mMisses.Add(m - sh.pubMisses)
+	sh.mEvictions.Add(e - sh.pubEvictions)
+	sh.pubReqs, sh.pubHits, sh.pubMisses, sh.pubEvictions = sh.reqs, h, m, e
+	sh.mOccupancy.Set(int64(sh.occupancy()))
 	sh.mLog.Set(int64(sh.steps))
+	sh.mMailbox.Set(int64(len(sh.in)))
 }
 
 // snapshot copies the shard's accounting. Called from the loop goroutine
@@ -670,9 +827,9 @@ func (sh *shard) snapshot(withLog, withMRC bool) *ShardSnapshot {
 		Shard:     sh.id,
 		K:         sh.k,
 		Requests:  sh.reqs,
-		Occupancy: len(sh.cache),
+		Occupancy: sh.occupancy(),
 		LogStart:  sh.logStart,
-		LogLen:    len(sh.log),
+		LogLen:    sh.log.len(),
 		Pages:     sh.pages,
 		Down:      sh.down.Load(),
 		Hits:      append([]int64(nil), sh.hits...),
@@ -683,11 +840,8 @@ func (sh *shard) snapshot(withLog, withMRC bool) *ShardSnapshot {
 	if sh.wal != nil {
 		snap.Seg = sh.wal.segIndex
 	}
-	if sh.qlru != nil {
-		snap.Occupancy = sh.qlru.Occupancy()
-	}
 	if withLog {
-		snap.Log = append([]LogEntry(nil), sh.log...)
+		snap.Log = sh.log.entries()
 	}
 	if withMRC && sh.sampler != nil {
 		snap.MRC = sh.sampler.Snapshot()

@@ -132,7 +132,7 @@ func (s *Service) verifyPartition(ctx context.Context, snaps []*ShardSnapshot, r
 	replay := emptyCounters(s.cfg.Tenants)
 	n := len(s.shards)
 	for _, snap := range snaps {
-		q := newQuotaLRU(localQuotas(s.cfg.Quotas, n, snap.Shard))
+		q := newQuotaLRU(localQuotas(s.cfg.Quotas, n, snap.Shard), n, snap.Shard)
 		lastSeq := int64(-1)
 		i := 0
 		step := func(e LogEntry) error {

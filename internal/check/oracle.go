@@ -173,6 +173,31 @@ func Oracles() []Oracle {
 		}})
 	}
 
+	// The dense shard core against the retained map-mode reference step:
+	// two live services over identical request streams must return identical
+	// per-request results and counters at every shard count. One cost regime
+	// suffices — both sides run the same Options, and the engine families
+	// above already sweep the cost space.
+	out = append(out, Oracle{Name: "live/dense-vs-map", Run: func(tr *trace.Trace, k int) error {
+		opt := core.Options{Costs: oracleCosts(tr.NumTenants())}
+		return divergeErr(DiffDenseVsMap(tr, k, func() sim.Policy { return core.NewFast(opt) }, []int{1, 2, 4}))
+	}})
+
+	// The incremental victim-argmin cursor against the full scan: the cursor
+	// only ever caches a unique strict minimum, so victim selection — and
+	// therefore the whole run — must be identical with it disabled. The
+	// cursor side is force-armed: the workload suite's tenant counts sit
+	// below the auto-enable floor, and scan-vs-scan would prove nothing.
+	out = append(out, Oracle{Name: "impl/victim-cursor", Run: func(tr *trace.Trace, k int) error {
+		opt := core.Options{Costs: oracleCosts(tr.NumTenants()), ForceVictimCursor: true}
+		optNC := opt
+		optNC.NoVictimCursor = true
+		return divergeErr(DiffPolicies(tr, k,
+			func() sim.Policy { return core.NewFast(opt) },
+			func() sim.Policy { return core.NewFast(optNC) },
+			sim.EngineAuto, sim.EngineAuto))
+	}})
+
 	// Crash-and-recover: kill the WAL-backed service at several points (clean
 	// crash, mid-rebalance, torn mid-batch write), recover, and require the
 	// resurrected state — and the completed run — to be bit-identical to a

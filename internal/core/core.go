@@ -53,6 +53,18 @@ type Options struct {
 	// paper's eviction count to the fetch (miss) count. Supported by Fast
 	// and Discrete.
 	CountMisses bool
+	// NoVictimCursor disables the dense backends' incremental victim-argmin
+	// cursor, forcing a full tenant scan on every eviction. The cursor is a
+	// pure optimization — victim selection is identical either way (the
+	// impl/victim-cursor oracle enforces it) — so this switch exists for
+	// differential testing, not tuning.
+	NoVictimCursor bool
+	// ForceVictimCursor arms the cursor even below the auto-enable tenant
+	// floor (the cursor's bookkeeping loses to the scan when the scan is a
+	// handful of compares, so few-tenant runs disarm it by default). Used by
+	// the differential tests that pin cursor == scan; NoVictimCursor wins if
+	// both are set.
+	ForceVictimCursor bool
 
 	// Ablation switches (Discrete only; experiment E9).
 

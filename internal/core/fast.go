@@ -30,12 +30,17 @@ import (
 // on an indexable trace it implements sim.BatchPolicy: the engine hands it
 // runs of sim.BatchSize requests and the whole hit/miss/evict/insert loop
 // runs here with concrete types over the shared slot table. Per-page and
-// per-tenant state is laid out hot/cold (see fastDense) so the hit path
+// per-tenant state is laid out hot/cold (see denseCore) so the hit path
 // touches two cache lines and the victim scan one line per tenant; the
 // request loop is allocation-free. Direct drivers (the lower-bound
 // adversary, the buffer pool, the hierarchy and multipool substrates) use
 // the original map-backed sim.Policy methods; the two backends never mix
 // within a run.
+//
+// The dense state machine itself lives in denseCore, which is shared with
+// the open-world Open front end (the live cache service's shard engine):
+// one step function, three drivers — closed-world replay here, live serving
+// there, and the batched loop over both.
 type Fast struct {
 	opt Options
 
@@ -78,10 +83,10 @@ type fastPage struct {
 // matters because the aging update is a serial FP chain across evictions,
 // and with the key the scan no longer waits on it. The key is recomputed
 // (one add) wherever marg or tailAge changes. All victim paths (batched,
-// per-step, map) compare the same fl(marg + tailAge) so the backends stay
-// bit-identical; when A grows so large that ulp-level rounding makes keys
-// collide, the sequence tie-break (global LRU order) decides, identically
-// everywhere.
+// per-step, open-world, map) compare the same fl(marg + tailAge) so the
+// backends stay bit-identical; when A grows so large that ulp-level rounding
+// makes keys collide, the sequence tie-break (global LRU order) decides,
+// identically everywhere.
 type tenantHot struct {
 	marg       float64
 	tailAge    float64 // pr[tail].ageStart mirror, valid while tail >= 0
@@ -103,22 +108,26 @@ type pageRec struct {
 	seq      int64
 	// prev/next are the intrusive per-tenant LRU links, -1 = nil.
 	prev, next int32
-	// owner is the page's tenant, mirrored from trace.Dense.Owners.
+	// owner is the page's tenant: mirrored from trace.Dense.Owners in the
+	// closed-world backend, assigned at first touch in the open-world one
+	// (-1 until then).
 	owner int32
-	// resident is 1 while the page is cached; maintained only by the
-	// batched loop, which owns residency (the per-step loop keeps it in the
-	// engine's sim.SlotTable).
+	// resident is 1 while the page is cached; maintained by the batched and
+	// open-world loops, which own residency (the per-step loop keeps it in
+	// the engine's sim.SlotTable, but mirrors it here too).
 	resident int32
 }
 
-// fastDense is the struct-of-arrays state of the dense path, split hot/cold:
-// th holds everything the victim scan reads (one line per two tenants), pr
-// holds the per-page records the hit and insert paths write, and the
-// per-tenant miss counters m stay cold — they are read only when a marginal
-// is recomputed. All page-indexed state uses the trace.Dense page index.
-type fastDense struct {
-	d *trace.Dense
-
+// denseCore is the struct-of-arrays state machine of the dense path, split
+// hot/cold: th holds everything the victim scan reads (one line per two
+// tenants), pr holds the per-page records the hit and insert paths write,
+// and the per-tenant miss counters m stay cold — they are read only when a
+// marginal is recomputed. All page-indexed state uses a dense page index:
+// the trace.Dense index in the closed-world backend (fastDense), the
+// residue-class slot (page - base)/stride in the open-world one (Open).
+// Nothing in the core references a trace, which is exactly what lets the
+// live service drive it with pages it has never seen before.
+type denseCore struct {
 	aging float64
 
 	// Hot per-tenant state, indexed by tenant id.
@@ -138,9 +147,9 @@ type fastDense struct {
 	// Per-page state.
 	pr []pageRec
 
-	// Residency bookkeeping of the batched path: occupied page count and
-	// capacity (the per-step path reads neither; the engine's slot table
-	// tracks them there).
+	// Residency bookkeeping of the batched and open-world paths: occupied
+	// page count and capacity (the per-step path reads neither; the engine's
+	// slot table tracks them there).
 	used, k int
 
 	nextSeq int64
@@ -149,17 +158,42 @@ type fastDense struct {
 	// Options struct.
 	discrete    bool
 	countMisses bool
+	noCursor    bool
+
+	// Incremental victim-argmin cursor. While vTen >= 0 the following holds:
+	// th[vTen].tail >= 0, vKey == th[vTen].key, and
+	//
+	//	vKey < vSecond <= min over every other nonempty tenant's key,
+	//
+	// i.e. vTen is the UNIQUE strict minimum, so the victim is th[vTen].tail
+	// with no scan and no sequence tie-break (strictness rules ties out).
+	// Every key-changing event calls noteKey, which either tightens the
+	// cached bounds or invalidates the cursor; the next eviction's full scan
+	// re-arms it. vSecond is a lower bound that only ever needs to hold for
+	// the keys it has seen: keys can silently grow past it (fine — the bound
+	// stays valid) but never silently shrink below it.
+	vTen    int32
+	vKey    float64
+	vSecond float64
 
 	// prefetchSink absorbs the batched loop's prefetch pass so it is not
 	// dead-code-eliminated; the value is meaningless.
 	prefetchSink int32
 }
 
+// fastDense is the closed-world dense backend: the shared core plus the
+// trace view that maps dense indices back to page ids (needed only by
+// snapshots and test accessors — the step paths run entirely on the core).
+type fastDense struct {
+	d *trace.Dense
+	denseCore
+}
+
 // margAt recomputes tenant i's marginal from its current miss counter. The
 // arithmetic is identical to Options.marginal, but the cost function is
 // pre-resolved and the mode branch pre-hoisted, so an eviction pays one
 // interface dispatch instead of an Options copy plus default resolution.
-func (s *fastDense) margAt(i trace.Tenant) float64 {
+func (s *denseCore) margAt(i trace.Tenant) float64 {
 	if cb := s.cb[i]; cb != 0 {
 		return cb * (s.m[i] + 1)
 	}
@@ -167,6 +201,42 @@ func (s *fastDense) margAt(i trace.Tenant) float64 {
 		return costfn.DiscreteDeriv(s.fs[i], s.m[i])
 	}
 	return s.fs[i].Deriv(s.m[i] + 1)
+}
+
+// initTenants (re)initializes the per-tenant state from the options. The
+// th/m/fs/cb slices must already have at least nTenants entries.
+func (s *denseCore) initTenants(opt Options, nTenants, k int) {
+	s.aging = 0
+	s.nextSeq = 0
+	s.used = 0
+	s.k = k
+	s.discrete = opt.UseDiscreteDeriv
+	s.countMisses = opt.CountMisses
+	s.noCursor = opt.NoVictimCursor ||
+		(!opt.ForceVictimCursor && nTenants < victimCursorMinTenants)
+	s.vTen = -1
+	for i := 0; i < nTenants; i++ {
+		s.m[i] = 0
+		s.fs[i] = opt.cost(trace.Tenant(i))
+		// A linear tenant's derivative never moves, so its marginal is
+		// computed once here and the per-eviction recompute skipped. (The
+		// discrete finite difference of a linear cost is not bit-stable for
+		// large counters, so the shortcut applies to true derivatives only.)
+		_, lin := s.fs[i].(costfn.Linear)
+		s.cb[i] = 0
+		if mono, ok := s.fs[i].(costfn.Monomial); ok && !s.discrete && mono.Beta == 2 {
+			s.cb[i] = mono.C * mono.Beta
+		}
+		marg := opt.marginal(trace.Tenant(i), 0)
+		s.th[i] = tenantHot{
+			marg:      marg,
+			key:       marg, // tailAge is zero until the first insert
+			head:      -1,
+			tail:      -1,
+			tailPrev:  -1,
+			constMarg: lin && !s.discrete,
+		}
+	}
 }
 
 // NewFast returns a fresh Fast instance.
@@ -198,54 +268,76 @@ func (f *Fast) PrepareDense(d *trace.Dense, k int) bool {
 	nTenants := d.Tenants
 	s := f.dn
 	if s == nil || len(s.pr) < nPages || len(s.th) < nTenants {
-		s = &fastDense{
-			th: make([]tenantHot, nTenants),
-			m:  make([]float64, nTenants),
-			fs: make([]costfn.Func, nTenants),
-			cb: make([]float64, nTenants),
-			pr: make([]pageRec, nPages),
-		}
+		s = &fastDense{}
+		s.th = make([]tenantHot, nTenants)
+		s.m = make([]float64, nTenants)
+		s.fs = make([]costfn.Func, nTenants)
+		s.cb = make([]float64, nTenants)
+		s.pr = make([]pageRec, nPages)
 		f.dn = s
 	}
 	s.d = d
-	s.aging = 0
-	s.nextSeq = 0
-	s.used = 0
-	s.k = k
-	s.discrete = f.opt.UseDiscreteDeriv
-	s.countMisses = f.opt.CountMisses
-	for i := 0; i < nTenants; i++ {
-		s.m[i] = 0
-		s.fs[i] = f.opt.cost(trace.Tenant(i))
-		// A linear tenant's derivative never moves, so its marginal is
-		// computed once here and the per-eviction recompute skipped. (The
-		// discrete finite difference of a linear cost is not bit-stable for
-		// large counters, so the shortcut applies to true derivatives only.)
-		_, lin := s.fs[i].(costfn.Linear)
-		s.cb[i] = 0
-		if mono, ok := s.fs[i].(costfn.Monomial); ok && !s.discrete && mono.Beta == 2 {
-			s.cb[i] = mono.C * mono.Beta
-		}
-		marg := f.opt.marginal(trace.Tenant(i), 0)
-		s.th[i] = tenantHot{
-			marg:      marg,
-			key:       marg, // tailAge is zero until the first insert
-			head:      -1,
-			tail:      -1,
-			tailPrev:  -1,
-			constMarg: lin && !s.discrete,
-		}
-	}
+	s.initTenants(f.opt, nTenants, k)
 	for p := 0; p < nPages; p++ {
 		s.pr[p] = pageRec{prev: -1, next: -1, owner: int32(d.Owners[p])}
 	}
 	return true
 }
 
+// victimCursorMinTenants is the auto-arm floor: below this many tenants the
+// full victim scan is a handful of compares and the cursor's per-key-event
+// bookkeeping costs more than the scans it saves, so the cursor stays
+// disarmed unless Options.ForceVictimCursor insists (differential tests).
+// Victim selection is identical either way — this is purely a perf switch.
+const victimCursorMinTenants = 16
+
+// noteKey maintains the victim cursor across a key-changing event on tenant
+// i: a key write, or the tenant's list becoming (non)empty. Call it AFTER
+// the tenant's th record reflects the change. Each case either tightens the
+// cached (vKey, vSecond) bounds — preserving the strict-argmin invariant —
+// or invalidates the cursor, and the next eviction re-arms it with a scan.
+// Call sites guard on s.vTen >= 0 so a disarmed cursor costs nothing.
+func (s *denseCore) noteKey(i trace.Tenant) {
+	v := s.vTen
+	if v < 0 {
+		return
+	}
+	t := &s.th[i]
+	if int32(i) == v {
+		// The champion moved. Still strictly below everyone else's lower
+		// bound: track it. At or above the bound (or gone): a tie or a new
+		// minimum is possible, rescan.
+		if t.tail >= 0 && t.key < s.vSecond {
+			s.vKey = t.key
+		} else {
+			s.vTen = -1
+		}
+		return
+	}
+	if t.tail < 0 || t.key >= s.vSecond {
+		// An empty list never competes; a key at or above vSecond keeps the
+		// bound valid (bounds may only be undercut, never outgrown).
+		return
+	}
+	if t.key > s.vKey {
+		s.vSecond = t.key
+	} else {
+		// At or below the champion's key: new minimum or an exact tie —
+		// either way the cursor can no longer certify a unique argmin.
+		s.vTen = -1
+	}
+}
+
 // pushFront links page p at the front of its owner's recency list. It must
 // run after p's pageRec age fields are current, so the tailAge mirror picks
 // up the fresh aging origin when p becomes the tail of an empty list.
-func (s *fastDense) pushFront(i trace.Tenant, p int32) {
+//
+// The body is deliberately call-free so it stays within the inline budget
+// (a single call node costs most of it): when the push changes the tail —
+// exactly when the list was empty — the CALLER must fire the victim-cursor
+// hook, `if wasEmpty && s.vTen >= 0 { s.noteKey(i) }`, with wasEmpty
+// captured before the call.
+func (s *denseCore) pushFront(i trace.Tenant, p int32) {
 	t := &s.th[i]
 	h := t.head
 	s.pr[p].prev = -1
@@ -265,13 +357,41 @@ func (s *fastDense) pushFront(i trace.Tenant, p int32) {
 	t.head = p
 }
 
+// pushBack links page p at the BACK of its owner's recency list — the
+// restore path's primitive: snapshots list pages most-recent-first, so
+// appending preserves recency order. p's pageRec age fields must be current.
+func (s *denseCore) pushBack(i trace.Tenant, p int32) {
+	t := &s.th[i]
+	tl := t.tail
+	s.pr[p].prev = tl
+	s.pr[p].next = -1
+	if tl >= 0 {
+		s.pr[tl].next = p
+		t.tailPrev = tl
+	} else {
+		t.head = p
+		t.tailPrev = -1
+	}
+	t.tail = p
+	t.tailAge = s.pr[p].ageStart
+	t.key = t.marg + t.tailAge
+	if s.vTen >= 0 {
+		s.noteKey(i)
+	}
+}
+
 // unlink removes page p from its owner's recency list, refreshing the
 // tailAge/tailPrev mirrors when the tail or its predecessor moves.
 //
 // Tail next pointers may be stale: popTail retires a tail without clearing
 // its predecessor's next link, so a page that is currently the tail must be
 // treated as having no successor regardless of what its record says.
-func (s *fastDense) unlink(i trace.Tenant, p int32) {
+//
+// Call-free for inlinability, like pushFront: when p was the tail the
+// CALLER must fire the victim-cursor hook,
+// `if wasTail && s.vTen >= 0 { s.noteKey(i) }`, with wasTail captured
+// before the call.
+func (s *denseCore) unlink(i trace.Tenant, p int32) {
 	t := &s.th[i]
 	pr, nx := s.pr[p].prev, s.pr[p].next
 	if p == t.tail {
@@ -304,8 +424,10 @@ func (s *fastDense) unlink(i trace.Tenant, p int32) {
 // nominates tails). The new tail is the mirrored tailPrev, so the victim's
 // cold page record is never read, and the single read of the new tail's
 // record refreshes both mirrors — its stale next link is left in place and
-// neutralized by unlink's tail guard.
-func (s *fastDense) popTail(i trace.Tenant, p int32) {
+// neutralized by unlink's tail guard. Call-free for inlinability: the tail
+// always changes here, so the CALLER must fire the victim-cursor hook,
+// `if s.vTen >= 0 { s.noteKey(i) }`, after the call.
+func (s *denseCore) popTail(i trace.Tenant, p int32) {
 	t := &s.th[i]
 	nt := t.tailPrev
 	t.tail = nt
@@ -320,27 +442,36 @@ func (s *fastDense) popTail(i trace.Tenant, p int32) {
 
 // DenseHit implements sim.DensePolicy: refresh recency and the aging origin.
 func (f *Fast) DenseHit(step int, page int32) {
-	s := f.dn
+	s := &f.dn.denseCore
 	s.nextSeq++
-	i := s.d.Owners[page]
+	i := trace.Tenant(s.pr[page].owner)
 	s.pr[page].ageStart = s.aging
 	s.pr[page].seq = s.nextSeq
 	if s.th[i].head != page {
+		wasTail := s.th[i].tail == page
 		s.unlink(i, page)
 		s.pushFront(i, page)
+		// The re-push lands in a list that stayed nonempty, so only the
+		// unlink can have moved the tail (and with it the victim key).
+		if wasTail && s.vTen >= 0 {
+			s.noteKey(i)
+		}
 	} else if s.th[i].tail == page {
 		// Single-page list: the tail's aging origin just moved.
 		s.th[i].tailAge = s.aging
 		s.th[i].key = s.th[i].marg + s.aging
+		if s.vTen >= 0 {
+			s.noteKey(i)
+		}
 	}
 }
 
 // DenseInsert implements sim.DensePolicy: register the page with the current
 // marginal as its budget.
 func (f *Fast) DenseInsert(step int, page int32) {
-	s := f.dn
+	s := &f.dn.denseCore
 	s.nextSeq++
-	i := s.d.Owners[page]
+	i := trace.Tenant(s.pr[page].owner)
 	if s.countMisses {
 		s.m[i]++
 		if !s.th[i].constMarg {
@@ -348,26 +479,47 @@ func (f *Fast) DenseInsert(step int, page int32) {
 			// The key tracks the marginal; pushFront refreshes it again if
 			// this insert lands in an empty list and moves the tail.
 			s.th[i].key = s.th[i].marg + s.th[i].tailAge
+			if s.th[i].tail >= 0 {
+				if s.vTen >= 0 {
+					s.noteKey(i)
+				}
+			}
 		}
 	}
 	s.pr[page].ageStart = s.aging
 	s.pr[page].seq = s.nextSeq
 	s.pr[page].resident = 1
+	wasEmpty := s.th[i].head < 0
 	s.pushFront(i, page)
+	if wasEmpty && s.vTen >= 0 {
+		s.noteKey(i)
+	}
 }
 
-// denseVictim is the victim scan of the per-step path: a linear pass over
-// the flat tenant array comparing each tenant's least-recently-requested
-// page by the precomputed key (see tenantHot) — no map iteration, no Deriv
-// calls, no arithmetic, and no dependent load into the page array except on
-// exact key ties, where the sequence tie-break is resolved lazily. Returns
-// -1 when every tenant list is empty.
-func (f *Fast) denseVictim() int32 {
-	s := f.dn
+// victim nominates the eviction victim: the cursor's cached strict argmin
+// when valid (no scan, no tie-break — strictness rules ties out), otherwise
+// a full scan that re-arms the cursor. Returns (-1, -1) when every tenant
+// list is empty.
+func (s *denseCore) victim() (trace.Tenant, int32) {
+	if s.noCursor {
+		return s.victimScanPlain()
+	}
+	if v := s.vTen; v >= 0 {
+		return trace.Tenant(v), s.th[v].tail
+	}
+	return s.victimScan()
+}
+
+// victimScanPlain is the disarmed-cursor scan: the same minimum-key /
+// sequence-tie-break selection as victimScan, without the runner-up
+// tracking the cursor arming needs — while the cursor is off (few tenants,
+// or NoVictimCursor) those extra compares would buy nothing.
+func (s *denseCore) victimScanPlain() (trace.Tenant, int32) {
 	best := int32(-1)
 	bestK := 0.0
 	bestSeq := int64(0)
 	haveSeq := false
+	var bestT trace.Tenant
 	for i := range s.th {
 		t := &s.th[i]
 		p := t.tail
@@ -376,7 +528,7 @@ func (f *Fast) denseVictim() int32 {
 		}
 		k := t.key
 		if best < 0 || k < bestK {
-			best, bestK = p, k
+			best, bestK, bestT = p, k, trace.Tenant(i)
 			haveSeq = false
 		} else if k == bestK {
 			if !haveSeq {
@@ -384,11 +536,83 @@ func (f *Fast) denseVictim() int32 {
 				haveSeq = true
 			}
 			if s.pr[p].seq < bestSeq {
-				best, bestSeq = p, s.pr[p].seq
+				best, bestSeq, bestT = p, s.pr[p].seq, trace.Tenant(i)
 			}
 		}
 	}
-	return best
+	return bestT, best
+}
+
+// victimScan is the full victim scan: a linear pass over the flat tenant
+// array comparing each tenant's least-recently-requested page by the
+// precomputed key (see tenantHot) — no map iteration, no Deriv calls, no
+// arithmetic, and no dependent load into the page array except on exact key
+// ties, where the sequence tie-break is resolved lazily. The scan also
+// tracks the runner-up key; when the winner is strictly below it the cursor
+// is armed, so the next evictions skip the scan entirely until a key event
+// disturbs the order. Returns (-1, -1) when every tenant list is empty.
+func (s *denseCore) victimScan() (trace.Tenant, int32) {
+	best := int32(-1)
+	bestK := 0.0
+	// second is the smallest key seen outside the current winner, including
+	// exact ties with it; haveSecond gates its first assignment.
+	second := 0.0
+	haveSecond := false
+	bestSeq := int64(0)
+	haveSeq := false
+	var bestT trace.Tenant
+	for i := range s.th {
+		t := &s.th[i]
+		p := t.tail
+		if p < 0 {
+			continue
+		}
+		k := t.key
+		if best < 0 {
+			best, bestK, bestT = p, k, trace.Tenant(i)
+			haveSeq = false
+			continue
+		}
+		if k < bestK {
+			second, haveSecond = bestK, true
+			best, bestK, bestT = p, k, trace.Tenant(i)
+			haveSeq = false
+			continue
+		}
+		if k == bestK {
+			// An exact tie: the sequence decides the victim, and the tie
+			// itself (second == bestK) blocks the cursor from arming.
+			second, haveSecond = k, true
+			if !haveSeq {
+				bestSeq = s.pr[best].seq
+				haveSeq = true
+			}
+			if s.pr[p].seq < bestSeq {
+				best, bestSeq, bestT = p, s.pr[p].seq, trace.Tenant(i)
+			}
+			continue
+		}
+		if !haveSecond || k < second {
+			second, haveSecond = k, true
+		}
+	}
+	if best >= 0 && !s.noCursor {
+		if !haveSecond {
+			// Single nonempty tenant: trivially the unique minimum. Any
+			// second list becoming nonempty writes a key and noteKey
+			// re-examines the cursor, so an unbounded vSecond is safe.
+			s.vTen, s.vKey, s.vSecond = int32(bestT), bestK, inf
+		} else if bestK < second {
+			s.vTen, s.vKey, s.vSecond = int32(bestT), bestK, second
+		}
+	}
+	return bestT, best
+}
+
+// denseVictim adapts victim for the per-step path.
+func (f *Fast) denseVictim() int32 {
+	_, p := f.dn.victim()
+	return p
 }
 
 // DenseVictim implements sim.DensePolicy.
@@ -404,8 +628,8 @@ func (f *Fast) DenseVictim(step int, page int32) int32 {
 // victim's budget (a single add to the global aging counter) and advance the
 // owner's miss counter in eviction-count mode.
 func (f *Fast) DenseEvict(step int, page int32) {
-	s := f.dn
-	i := s.d.Owners[page]
+	s := &f.dn.denseCore
+	i := trace.Tenant(s.pr[page].owner)
 	s.aging += s.th[i].marg - (s.aging - s.pr[page].ageStart)
 	if !s.countMisses {
 		s.m[i]++
@@ -413,7 +637,12 @@ func (f *Fast) DenseEvict(step int, page int32) {
 			s.th[i].marg = s.margAt(i)
 		}
 	}
+	// The victim is its owner's tail, so the unlink always moves the tail
+	// and the victim key with it.
 	s.unlink(i, page)
+	if s.vTen >= 0 {
+		s.noteKey(i)
+	}
 	s.pr[page].resident = 0
 }
 
@@ -426,7 +655,11 @@ func (f *Fast) DenseEvict(step int, page int32) {
 // so the two loops stay bit-exact (enforced by the internal/check batched
 // oracle).
 func (f *Fast) StepBatch(base int, pages []int32, bc *sim.BatchCounters, warm bool) error {
-	s := f.dn
+	return f.dn.denseCore.stepBatch(base, pages, bc, warm)
+}
+
+// stepBatch is the batched request loop on the shared core; see StepBatch.
+func (s *denseCore) stepBatch(base int, pages []int32, bc *sim.BatchCounters, warm bool) error {
 	prs := s.pr
 	ths := s.th
 	countMisses := s.countMisses
@@ -461,12 +694,19 @@ func (f *Fast) StepBatch(base int, pages []int32, bc *sim.BatchCounters, warm bo
 			r.ageStart = aging
 			r.seq = nextSeq
 			if ths[i].head != pg {
+				wasTail := ths[i].tail == pg
 				s.unlink(i, pg)
 				s.pushFront(i, pg)
+				if wasTail && s.vTen >= 0 {
+					s.noteKey(i)
+				}
 			} else if ths[i].tail == pg {
 				// Single-page list: the tail's aging origin just moved.
 				ths[i].tailAge = aging
 				ths[i].key = ths[i].marg + aging
+				if s.vTen >= 0 {
+					s.noteKey(i)
+				}
 			}
 			if !warm {
 				bc.Hits++
@@ -477,37 +717,14 @@ func (f *Fast) StepBatch(base int, pages []int32, bc *sim.BatchCounters, warm bo
 			bc.Misses[i]++
 		}
 		if used >= s.k {
-			// Victim scan, inlined from denseVictim (which the compiler will
-			// not inline because of its loop); comparison and selection order
-			// are identical, which the batched-vs-per-step oracle enforces.
-			// Comparing precomputed keys keeps the scan off the aging chain:
-			// the FP adds of consecutive evictions pipeline across iterations
-			// instead of serializing through the next scan.
-			best := int32(-1)
-			bestK := 0.0
-			bestSeq := int64(0)
-			haveSeq := false
-			var bestT trace.Tenant
-			for t := range ths {
-				th := &ths[t]
-				p := th.tail
-				if p < 0 {
-					continue
-				}
-				k := th.key
-				if k < bestK || best < 0 {
-					best, bestK, bestT = p, k, trace.Tenant(t)
-					haveSeq = false
-				} else if k == bestK {
-					if !haveSeq {
-						bestSeq = prs[best].seq
-						haveSeq = true
-					}
-					if prs[p].seq < bestSeq {
-						best, bestSeq, bestT = p, prs[p].seq, trace.Tenant(t)
-					}
-				}
-			}
+			// Victim: the cursor's cached argmin when valid, the full scan
+			// (which re-arms the cursor) otherwise; comparison and selection
+			// order are identical to the per-step path, which the
+			// batched-vs-per-step oracle enforces. Comparing precomputed
+			// keys keeps the scan off the aging chain: the FP adds of
+			// consecutive evictions pipeline across iterations instead of
+			// serializing through the next scan.
+			vo, best := s.victim()
 			if best < 0 {
 				return fmt.Errorf("core: alg-fast found no victim at step %d", base)
 			}
@@ -515,7 +732,6 @@ func (f *Fast) StepBatch(base int, pages []int32, bc *sim.BatchCounters, warm bo
 			// owner's tail, so tailAge is its ageStart and the whole update
 			// stays inside the tenantHot line — then advance the owner's
 			// counter in eviction-count mode, unlink, and mark it absent.
-			vo := bestT
 			aging += ths[vo].marg - (aging - ths[vo].tailAge)
 			if !countMisses {
 				s.m[vo]++
@@ -524,6 +740,9 @@ func (f *Fast) StepBatch(base int, pages []int32, bc *sim.BatchCounters, warm bo
 				}
 			}
 			s.popTail(vo, best)
+			if s.vTen >= 0 {
+				s.noteKey(vo)
+			}
 			prs[best].resident = 0
 			if !warm {
 				bc.Evictions[vo]++
@@ -538,14 +757,98 @@ func (f *Fast) StepBatch(base int, pages []int32, bc *sim.BatchCounters, warm bo
 			if !ths[i].constMarg {
 				ths[i].marg = s.margAt(i)
 				ths[i].key = ths[i].marg + ths[i].tailAge
+				if ths[i].tail >= 0 {
+					if s.vTen >= 0 {
+						s.noteKey(i)
+					}
+				}
 			}
 		}
 		r.ageStart = aging
 		r.seq = nextSeq
 		r.resident = 1
+		wasEmpty := ths[i].head < 0
 		s.pushFront(i, pg)
+		if wasEmpty && s.vTen >= 0 {
+			s.noteKey(i)
+		}
 	}
 	return nil
+}
+
+// step serves one request for page index pg — the open-world per-request
+// entry point. The event order and arithmetic are identical to stepBatch's
+// per-request body (and therefore to the per-step Dense* path), which is
+// what keeps a live open-world run bit-exact with a closed-world replay of
+// the same request sequence. Returns whether the request hit and, on an
+// evicting miss, the victim's owner (-1 otherwise).
+func (s *denseCore) step(pg int32) (hit bool, victimOwner int32, err error) {
+	r := &s.pr[pg]
+	i := trace.Tenant(r.owner)
+	if r.resident != 0 {
+		s.nextSeq++
+		r.ageStart = s.aging
+		r.seq = s.nextSeq
+		if s.th[i].head != pg {
+			wasTail := s.th[i].tail == pg
+			s.unlink(i, pg)
+			s.pushFront(i, pg)
+			if wasTail && s.vTen >= 0 {
+				s.noteKey(i)
+			}
+		} else if s.th[i].tail == pg {
+			s.th[i].tailAge = s.aging
+			s.th[i].key = s.th[i].marg + s.aging
+			if s.vTen >= 0 {
+				s.noteKey(i)
+			}
+		}
+		return true, -1, nil
+	}
+	victimOwner = -1
+	if s.used >= s.k {
+		vo, best := s.victim()
+		if best < 0 {
+			return false, -1, fmt.Errorf("core: alg-fast found no victim (used=%d k=%d)", s.used, s.k)
+		}
+		s.aging += s.th[vo].marg - (s.aging - s.th[vo].tailAge)
+		if !s.countMisses {
+			s.m[vo]++
+			if !s.th[vo].constMarg {
+				s.th[vo].marg = s.margAt(vo)
+			}
+		}
+		s.popTail(vo, best)
+		if s.vTen >= 0 {
+			s.noteKey(vo)
+		}
+		s.pr[best].resident = 0
+		victimOwner = int32(vo)
+	} else {
+		s.used++
+	}
+	s.nextSeq++
+	if s.countMisses {
+		s.m[i]++
+		if !s.th[i].constMarg {
+			s.th[i].marg = s.margAt(i)
+			s.th[i].key = s.th[i].marg + s.th[i].tailAge
+			if s.th[i].tail >= 0 {
+				if s.vTen >= 0 {
+					s.noteKey(i)
+				}
+			}
+		}
+	}
+	r.ageStart = s.aging
+	r.seq = s.nextSeq
+	r.resident = 1
+	wasEmpty := s.th[i].head < 0
+	s.pushFront(i, pg)
+	if wasEmpty && s.vTen >= 0 {
+		s.noteKey(i)
+	}
+	return false, victimOwner, nil
 }
 
 func (f *Fast) tenantList(i trace.Tenant) *list.List {
@@ -588,8 +891,8 @@ func (f *Fast) OnInsert(step int, r trace.Request) {
 // Victim scans the per-tenant LRU candidates for the minimum budget. The
 // candidates are compared by marginal + ageStart — the budget ordering with
 // the shared aging term cancelled (see tenantHot.key); the dense backends
-// compare the same fl(marg + tailAge), so all three victim paths pick
-// identical victims.
+// compare the same fl(marg + tailAge), so all victim paths pick identical
+// victims.
 func (f *Fast) Victim(step int, r trace.Request) trace.PageID {
 	var best trace.PageID
 	bestK := 0.0

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"convexcache/internal/trace"
+)
+
+// TestLRUTableBasics pins the table's recency semantics: inserts land at
+// the front, touches move to the front, PopTail evicts in exact LRU order,
+// and counters stay consistent.
+func TestLRUTableBasics(t *testing.T) {
+	tab, err := NewLRUTable(2, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []trace.PageID{1, 4, 7} {
+		if err := tab.Insert(p, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tab.Insert(10, 1); err != nil {
+		t.Fatal(err)
+	}
+	if tab.Len(0) != 3 || tab.Len(1) != 1 || tab.Total() != 4 {
+		t.Fatalf("counts: len0=%d len1=%d total=%d", tab.Len(0), tab.Len(1), tab.Total())
+	}
+	if got := tab.PagesMRU(0); !reflect.DeepEqual(got, []int64{7, 4, 1}) {
+		t.Fatalf("MRU order: %v", got)
+	}
+	// Touch the LRU page; it becomes MRU and 4 becomes the tail.
+	if ok, err := tab.Touch(1, 0); err != nil || !ok {
+		t.Fatalf("touch resident: ok=%v err=%v", ok, err)
+	}
+	if got := tab.PagesMRU(0); !reflect.DeepEqual(got, []int64{1, 7, 4}) {
+		t.Fatalf("MRU order after touch: %v", got)
+	}
+	if p, ok := tab.PopTail(0); !ok || p != 4 {
+		t.Fatalf("PopTail: %d %v", p, ok)
+	}
+	if tab.Resident(4) || !tab.Resident(7) {
+		t.Fatal("residency after eviction wrong")
+	}
+	// A popped page is reinsertable.
+	if err := tab.Insert(4, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := tab.PagesMRU(0); !reflect.DeepEqual(got, []int64{4, 1, 7}) {
+		t.Fatalf("MRU order after reinsert: %v", got)
+	}
+
+	// Error paths.
+	if ok, err := tab.Touch(13, 0); err != nil || ok {
+		t.Fatalf("touch of absent page: ok=%v err=%v", ok, err)
+	}
+	if _, err := tab.Touch(2, 0); err == nil {
+		t.Fatal("out-of-class touch accepted")
+	}
+	if err := tab.Insert(4, 0); err == nil {
+		t.Fatal("double insert accepted")
+	}
+	if err := tab.Insert(5, 0); err == nil {
+		t.Fatal("out-of-class insert accepted")
+	}
+	if _, ok := tab.PopTail(1); !ok {
+		t.Fatal("PopTail on populated tenant failed")
+	}
+	if _, ok := tab.PopTail(1); ok {
+		t.Fatal("PopTail on empty tenant succeeded")
+	}
+	if _, err := NewLRUTable(1, 2, 2); err == nil {
+		t.Fatal("base >= stride accepted")
+	}
+}
+
+// lruModel is a trivial reference: per-tenant page slices, front = MRU.
+type lruModel struct {
+	lists map[trace.Tenant][]trace.PageID
+}
+
+func (m *lruModel) find(i trace.Tenant, p trace.PageID) int {
+	for j, q := range m.lists[i] {
+		if q == p {
+			return j
+		}
+	}
+	return -1
+}
+
+// TestLRUTableMatchesModel drives random touch/insert/pop traffic against a
+// slice-backed reference model.
+func TestLRUTableMatchesModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	tenants := 3
+	tab, err := NewLRUTable(tenants, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := &lruModel{lists: map[trace.Tenant][]trace.PageID{}}
+	for step := 0; step < 20000; step++ {
+		tn := trace.Tenant(rng.Intn(tenants))
+		switch rng.Intn(3) {
+		case 0, 1: // access
+			p := trace.PageID(rng.Intn(32) * 2)
+			j := model.find(tn, p)
+			hit, err := tab.Touch(p, tn)
+			if err != nil {
+				// The model owns each page via whichever tenant inserted it
+				// first; an owner mismatch is also a model "miss" we skip.
+				continue
+			}
+			if hit != (j >= 0) {
+				t.Fatalf("step %d: hit %v model %v", step, hit, j >= 0)
+			}
+			if hit {
+				l := model.lists[tn]
+				p := l[j]
+				copy(l[1:j+1], l[:j])
+				l[0] = p
+			} else {
+				owned := false
+				for i := trace.Tenant(0); int(i) < tenants; i++ {
+					if i != tn && model.find(i, p) >= 0 {
+						owned = true
+					}
+				}
+				if owned {
+					continue
+				}
+				if err := tab.Insert(p, tn); err != nil {
+					t.Fatalf("step %d: insert: %v", step, err)
+				}
+				model.lists[tn] = append([]trace.PageID{p}, model.lists[tn]...)
+			}
+		case 2: // evict
+			got, ok := tab.PopTail(tn)
+			l := model.lists[tn]
+			if ok != (len(l) > 0) {
+				t.Fatalf("step %d: pop ok %v model %d", step, ok, len(l))
+			}
+			if ok {
+				want := l[len(l)-1]
+				if got != want {
+					t.Fatalf("step %d: popped %d want %d", step, got, want)
+				}
+				model.lists[tn] = l[:len(l)-1]
+			}
+		}
+		total := 0
+		for i := trace.Tenant(0); int(i) < tenants; i++ {
+			if tab.Len(i) != len(model.lists[i]) {
+				t.Fatalf("step %d: tenant %d len %d model %d", step, i, tab.Len(i), len(model.lists[i]))
+			}
+			total += len(model.lists[i])
+		}
+		if tab.Total() != total {
+			t.Fatalf("step %d: total %d model %d", step, tab.Total(), total)
+		}
+	}
+	for i := trace.Tenant(0); int(i) < tenants; i++ {
+		got := tab.PagesMRU(i)
+		want := make([]int64, 0, len(model.lists[i]))
+		for _, p := range model.lists[i] {
+			want = append(want, int64(p))
+		}
+		if len(got) != len(want) {
+			t.Fatalf("tenant %d: MRU len %d model %d", i, len(got), len(want))
+		}
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("tenant %d: MRU[%d] %d model %d", i, j, got[j], want[j])
+			}
+		}
+	}
+}

@@ -1,0 +1,46 @@
+package sim_test
+
+import (
+	"fmt"
+	"testing"
+
+	"convexcache/internal/core"
+	"convexcache/internal/costfn"
+	"convexcache/internal/runspec"
+	"convexcache/internal/sim"
+	"convexcache/internal/trace"
+)
+
+// perfTrace builds the small multi-tenant zipf workload the perf benchmarks
+// replay: 4 tenants with distinct cost shapes over 200k requests, the same
+// shape cmd/bench's throughput suite uses. BenchmarkPerStepK256 pins the
+// per-step (NoBatch) dense path — the hottest per-event loop, and the one
+// most sensitive to the core primitives' inlinability — so engine changes
+// can be A/B-profiled with plain `go test -bench` without the full suite.
+func perfTrace(b *testing.B) *trace.Trace {
+	b.Helper()
+	w := &runspec.WorkloadSpec{Length: 200_000}
+	for t := 0; t < 4; t++ {
+		seed := int64(1000 + t)
+		w.Tenants = append(w.Tenants, runspec.TenantSpec{Stream: fmt.Sprintf("zipf:%d,0.9", 4096), Seed: &seed})
+	}
+	tr, err := (&runspec.Scenario{Trace: runspec.TraceSpec{Workload: w}}).BuildTrace()
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr.Dense()
+	return tr
+}
+
+func BenchmarkPerStepK256(b *testing.B) {
+	tr := perfTrace(b)
+	costs := []costfn.Func{costfn.Monomial{C: 1, Beta: 2}, costfn.Linear{W: 2}, costfn.Monomial{C: 1, Beta: 2}, costfn.Linear{W: 4}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := core.NewFast(core.Options{Costs: costs})
+		if _, err := sim.Run(tr, p, sim.Config{K: 256, NoBatch: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(tr.Len()))
+}

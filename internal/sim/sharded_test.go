@@ -284,7 +284,10 @@ func TestBuildShardsByCustomRouting(t *testing.T) {
 // TestShardShare checks the capacity split sums to k and spreads the
 // remainder over the lowest-numbered shards.
 func TestShardShare(t *testing.T) {
-	for _, tc := range []struct{ k, n int }{{8, 3}, {7, 7}, {100, 16}, {5, 4}, {4, 4}} {
+	// k < n is included deliberately: the split itself stays well-defined
+	// (trailing shards get zero pages) even though cached.New rejects such
+	// configs — the rejection is the service's contract, not the math's.
+	for _, tc := range []struct{ k, n int }{{8, 3}, {7, 7}, {100, 16}, {5, 4}, {4, 4}, {2, 5}, {1, 7}, {0, 3}} {
 		sum := 0
 		prev := 1 << 30
 		for s := 0; s < tc.n; s++ {
